@@ -1,0 +1,226 @@
+(* The benchmark harness: regenerates every measured artifact of the
+   paper's evaluation (Table III, Figure 9, the complexity report, the
+   reconfiguration-latency relation) plus the ablations DESIGN.md calls
+   out, and Bechamel microbenchmarks of the simulator's hot primitives.
+
+     dune exec bench/main.exe                 # everything
+     dune exec bench/main.exe -- table3 fig9  # a subset
+
+   Sections: table3 fig9 report reconfig axi vfp trapvshyper asid
+   quantum micro. *)
+
+let fmt = Format.std_formatter
+
+(* The Table III sweep feeds both table3 and fig9; run it once. *)
+let sweep_cache : Scenario.overheads list option ref = ref None
+
+let bench_config =
+  { Scenario.default_config with
+    Scenario.requests_per_guest = 40;
+    warmup_requests = 8;
+    job_fraction = 2 }
+
+let sweep () =
+  match !sweep_cache with
+  | Some s -> s
+  | None ->
+    Format.fprintf fmt
+      "running the Fig 8 scenario (native + 1..4 guests)...@.";
+    let s = Scenario.run_table3 ~config:bench_config () in
+    sweep_cache := Some s;
+    s
+
+let section name f =
+  Format.fprintf fmt "@.===== %s =====@." name;
+  f ();
+  Format.pp_print_flush fmt ()
+
+let run_table3 () =
+  let s = sweep () in
+  Tables.print_table3 fmt s;
+  Format.fprintf fmt "@.run statistics per configuration:@.";
+  List.iteri
+    (fun i o ->
+       Format.fprintf fmt "  %-8s %a@."
+         (if i = 0 then "native" else Printf.sprintf "%d OS" i)
+         Scenario.pp_overheads o)
+    s
+
+let run_fig9 () = Tables.print_fig9 fmt (sweep ())
+
+let run_report () =
+  Complexity.print fmt (Complexity.measure ());
+  Format.fprintf fmt
+    "  (plus, paper-only: %d KB kernel ELF, %d MB footprint)@."
+    Paper_data.kernel_elf_kb Paper_data.footprint_mb
+
+let run_reconfig () =
+  Format.fprintf fmt
+    "E4: PCAP reconfiguration latency vs bitstream size@.";
+  Format.fprintf fmt "  %-10s %12s %14s@." "task" "bitstream" "reconfig";
+  List.iter
+    (fun r ->
+       Format.fprintf fmt "  %-10s %9d KB %11.2f ms@." r.Ablations.task
+         r.Ablations.bitstream_kb r.Ablations.reconfig_ms)
+    (Ablations.reconfig_table ())
+
+let run_axi () =
+  let r = Ablations.axi_ablation () in
+  Format.fprintf fmt
+    "A1: AXI HP vs ACP for a %d KB task transfer (paper S IV-A)@."
+    r.Ablations.payload_kb;
+  Format.fprintf fmt "  DMA latency:    HP %8.2f us   ACP %8.2f us@."
+    r.Ablations.hp_dma_us r.Ablations.acp_dma_us;
+  Format.fprintf fmt
+    "  CPU 512 KB sweep afterwards: HP %8.2f us   ACP %8.2f us@."
+    r.Ablations.cpu_after_hp_us r.Ablations.cpu_after_acp_us;
+  Format.fprintf fmt
+    "  => ACP wins the wire but costs the CPU %.1fx on its own working \
+     set;@.     the paper's choice of AXI_HP holds.@."
+    (r.Ablations.cpu_after_acp_us /. r.Ablations.cpu_after_hp_us)
+
+let run_vfp () =
+  let r = Ablations.vfp_ablation () in
+  Format.fprintf fmt "A2: lazy vs active VFP switching (paper Table I)@.";
+  Format.fprintf fmt
+    "  lazy:   mean VM switch %6.2f us, %4d VFP bank switches@."
+    r.Ablations.lazy_switch_us r.Ablations.lazy_vfp_switches;
+  Format.fprintf fmt
+    "  active: mean VM switch %6.2f us, %4d VFP bank switches@."
+    r.Ablations.active_switch_us r.Ablations.active_vfp_switches
+
+let run_trap () =
+  let r = Ablations.trap_vs_hypercall () in
+  Format.fprintf fmt
+    "A3: hypercall vs trap-and-emulate, privileged register read@.";
+  Format.fprintf fmt "  hypercall        %6.2f us@." r.Ablations.hypercall_us;
+  Format.fprintf fmt "  trap-and-emulate %6.2f us (%.2fx)@."
+    r.Ablations.trap_us
+    (r.Ablations.trap_us /. r.Ablations.hypercall_us)
+
+let small_config =
+  { bench_config with
+    Scenario.requests_per_guest = 25;
+    warmup_requests = 5 }
+
+let run_asid () =
+  let r = Ablations.asid_ablation ~config:small_config () in
+  Format.fprintf fmt
+    "A4: ASID-tagged TLB vs flush-on-switch, 2 guests (paper S III-C)@.";
+  Format.fprintf fmt "  ASID:      %a@." Scenario.pp_overheads
+    r.Ablations.asid;
+  Format.fprintf fmt "  flush-all: %a@." Scenario.pp_overheads
+    r.Ablations.flush_all;
+  Format.fprintf fmt
+    "  TLB-bound chunk right after a VM switch: ASID %.2f us, flush %.2f us      (%.2fx)@."
+    r.Ablations.first_chunk_asid_us r.Ablations.first_chunk_flush_us
+    (r.Ablations.first_chunk_flush_us /. r.Ablations.first_chunk_asid_us)
+
+let run_quantum () =
+  Format.fprintf fmt "A5: time-slice sweep, 2 guests (paper uses 33 ms)@.";
+  List.iter
+    (fun (q, o) ->
+       Format.fprintf fmt "  quantum %6.1f ms: %a@." q Scenario.pp_overheads o)
+    (Ablations.quantum_sweep ~config:small_config ())
+
+(* --- Bechamel microbenchmarks --- *)
+
+let micro_tests () =
+  let open Bechamel in
+  let cache_bench =
+    let c =
+      Cache.create
+        { Cache.name = "b"; size_bytes = 32 * 1024; ways = 4; line_size = 32 }
+    in
+    let i = ref 0 in
+    Test.make ~name:"cache.access"
+      (Staged.stage (fun () ->
+           incr i;
+           ignore (Cache.access c (!i * 64) ~write:false)))
+  in
+  let tlb_bench =
+    let t = Tlb.create Tlb.cortex_a9 in
+    let i = ref 0 in
+    Test.make ~name:"tlb.lookup+insert"
+      (Staged.stage (fun () ->
+           incr i;
+           let vpage = !i land 0xFFFF in
+           match Tlb.lookup t ~asid:1 ~vpage with
+           | Some _ -> ()
+           | None ->
+             Tlb.insert t ~asid:1 ~vpage
+               { Tlb.ppage = vpage; word = 0; global = false }))
+  in
+  let fft_bench =
+    let re = Array.init 1024 (fun i -> sin (0.01 *. float_of_int i)) in
+    let im = Array.make 1024 0.0 in
+    Test.make ~name:"fft.1024"
+      (Staged.stage (fun () ->
+           let r = Array.copy re and i = Array.copy im in
+           Fft.transform r i))
+  in
+  let adpcm_bench =
+    let rng = Rng.create ~seed:3 in
+    let pcm = Signal.speech_like rng 1024 in
+    Test.make ~name:"adpcm.encode1k"
+      (Staged.stage (fun () -> ignore (Adpcm.encode pcm)))
+  in
+  let translate_bench =
+    let z = Zynq.create () in
+    let _kmem = Kmem.create z in
+    Test.make ~name:"mmu.translate"
+      (Staged.stage (fun () ->
+           ignore
+             (Mmu.translate z.Zynq.mmu Mmu.Read ~priv:true
+                Address_map.kernel_code_base)))
+  in
+  [ cache_bench; tlb_bench; fft_bench; adpcm_bench; translate_bench ]
+
+let run_micro () =
+  let open Bechamel in
+  Format.fprintf fmt
+    "Bechamel microbenchmarks: host-side cost of simulator primitives@.";
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.3) () in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let ols =
+    Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+       let raw = Benchmark.all cfg instances test in
+       let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+       Hashtbl.iter
+         (fun name est ->
+            match Analyze.OLS.estimates est with
+            | Some (t :: _) ->
+              Format.fprintf fmt "  %-24s %10.1f ns/op@." name t
+            | Some [] | None ->
+              Format.fprintf fmt "  %-24s (no estimate)@." name)
+         results)
+    (micro_tests ())
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as args) -> args
+    | _ ->
+      [ "table3"; "fig9"; "report"; "reconfig"; "axi"; "vfp";
+        "trapvshyper"; "asid"; "quantum"; "micro" ]
+  in
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Error);
+  List.iter
+    (fun name ->
+       match name with
+       | "table3" -> section "E1: Table III" run_table3
+       | "fig9" -> section "E2: Figure 9" run_fig9
+       | "report" -> section "E3: complexity report" run_report
+       | "reconfig" -> section "E4: reconfiguration latency" run_reconfig
+       | "axi" -> section "A1: AXI HP vs ACP" run_axi
+       | "vfp" -> section "A2: VFP switching policy" run_vfp
+       | "trapvshyper" -> section "A3: trap vs hypercall" run_trap
+       | "asid" -> section "A4: ASID vs TLB flush" run_asid
+       | "quantum" -> section "A5: quantum sweep" run_quantum
+       | "micro" -> section "microbenchmarks" run_micro
+       | other -> Format.fprintf fmt "unknown section: %s@." other)
+    requested

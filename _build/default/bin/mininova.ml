@@ -1,0 +1,192 @@
+(* mininova — command-line front end for the Mini-NOVA reproduction.
+
+     mininova table3    reproduce Table III (native + 1..N guests)
+     mininova fig9      reproduce Figure 9 (degradation ratios)
+     mininova report    complexity report (paper §V.B)
+     mininova reconfig  PCAP latency vs bitstream size
+     mininova scenario  one evaluation configuration, verbose *)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Error))
+
+let verbose =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable kernel logging.")
+
+let requests =
+  Arg.(
+    value
+    & opt int Scenario.default_config.Scenario.requests_per_guest
+    & info [ "r"; "requests" ] ~docv:"N"
+        ~doc:"Hardware-task requests per guest (T_hw iterations).")
+
+let warmup =
+  Arg.(
+    value
+    & opt int Scenario.default_config.Scenario.warmup_requests
+    & info [ "warmup" ] ~docv:"N" ~doc:"Requests discarded as warm-up.")
+
+let quantum =
+  Arg.(
+    value
+    & opt float Scenario.default_config.Scenario.quantum_ms
+    & info [ "q"; "quantum" ] ~docv:"MS"
+        ~doc:"Guest time slice in milliseconds (paper: 33).")
+
+let seed =
+  Arg.(
+    value
+    & opt int Scenario.default_config.Scenario.seed
+    & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic scenario seed.")
+
+let guests =
+  Arg.(
+    value & opt int 4
+    & info [ "g"; "guests" ] ~docv:"N" ~doc:"Number of parallel guest VMs.")
+
+let config requests warmup quantum seed =
+  { Scenario.default_config with
+    Scenario.requests_per_guest = requests;
+    warmup_requests = warmup;
+    quantum_ms = quantum;
+    seed }
+
+let cfg_term = Term.(const config $ requests $ warmup $ quantum $ seed)
+
+let fmt = Format.std_formatter
+
+let table3_cmd =
+  let run verbose cfg max_guests =
+    setup_logs verbose;
+    let s = Scenario.run_table3 ~config:cfg ~max_guests () in
+    Tables.print_table3 fmt s
+  in
+  Cmd.v
+    (Cmd.info "table3" ~doc:"Reproduce Table III of the paper.")
+    Term.(const run $ verbose $ cfg_term $ guests)
+
+let fig9_cmd =
+  let run verbose cfg max_guests =
+    setup_logs verbose;
+    let s = Scenario.run_table3 ~config:cfg ~max_guests () in
+    Tables.print_table3 fmt s;
+    Format.fprintf fmt "@.";
+    Tables.print_fig9 fmt s
+  in
+  Cmd.v
+    (Cmd.info "fig9" ~doc:"Reproduce Figure 9 (degradation ratios).")
+    Term.(const run $ verbose $ cfg_term $ guests)
+
+let report_cmd =
+  let run verbose root =
+    setup_logs verbose;
+    Complexity.print fmt (Complexity.measure ~root ())
+  in
+  let root =
+    Arg.(
+      value & opt string "."
+      & info [ "root" ] ~docv:"DIR" ~doc:"Repository root for line counts.")
+  in
+  Cmd.v
+    (Cmd.info "report" ~doc:"Complexity report (paper S V.B).")
+    Term.(const run $ verbose $ root)
+
+let reconfig_cmd =
+  let run verbose =
+    setup_logs verbose;
+    Format.fprintf fmt "%-10s %12s %14s@." "task" "bitstream" "reconfig";
+    List.iter
+      (fun r ->
+         Format.fprintf fmt "%-10s %9d KB %11.2f ms@." r.Ablations.task
+           r.Ablations.bitstream_kb r.Ablations.reconfig_ms)
+      (Ablations.reconfig_table ())
+  in
+  Cmd.v
+    (Cmd.info "reconfig" ~doc:"PCAP reconfiguration latency per bitstream.")
+    Term.(const run $ verbose)
+
+let scenario_cmd =
+  let run verbose cfg guests native =
+    setup_logs verbose;
+    let o =
+      if native then Scenario.run_native ~config:cfg ()
+      else Scenario.run_virtualized ~config:cfg ~guests ()
+    in
+    Format.fprintf fmt "%s: %a@."
+      (if native then "native" else Printf.sprintf "%d guest(s)" guests)
+      Scenario.pp_overheads o
+  in
+  let native =
+    Arg.(
+      value & flag
+      & info [ "native" ] ~doc:"Run the non-virtualized baseline instead.")
+  in
+  Cmd.v
+    (Cmd.info "scenario"
+       ~doc:"Run one evaluation configuration and print its overheads.")
+    Term.(const run $ verbose $ cfg_term $ guests $ native)
+
+let trace_cmd =
+  let run verbose last =
+    setup_logs verbose;
+    (* A compact two-VM demo with hardware tasks, traced end to end. *)
+    let z = Zynq.create () in
+    let kern = Kernel.boot z in
+    let tr = Ktrace.create ~capacity:4096 in
+    Kernel.set_trace kern (Some tr);
+    let qam = Kernel.register_hw_task kern (Task_kind.Qam 16) in
+    for g = 0 to 1 do
+      ignore
+        (Kernel.create_vm kern
+           ~name:(Printf.sprintf "vm%d" g)
+           (fun genv ->
+              let os = Ucos.create (Port.paravirt genv) in
+              ignore
+                (Ucos.spawn os ~name:"worker" ~prio:5 (fun () ->
+                     for _ = 1 to 2 do
+                       (match Hw_task_api.acquire os ~task:qam ~want_irq:true ()
+                        with
+                        | Ok h ->
+                          let bits = Array.init 16 (fun i -> i land 1) in
+                          ignore (Hw_task_api.run_qam_mod os h ~order:16 ~bits);
+                          Hw_task_api.release os h
+                        | Error _ -> ());
+                       Ucos.delay os 2
+                     done));
+              Ucos.run os))
+    done;
+    Kernel.run kern ~until:(Cycles.of_ms 200.0);
+    let events = Ktrace.events tr in
+    let n = List.length events in
+    let skip = max 0 (n - last) in
+    Format.fprintf fmt "%d events (%d dropped), showing the last %d:@." n
+      (Ktrace.dropped tr) (min last n);
+    List.iteri
+      (fun i e -> if i >= skip then Format.fprintf fmt "%a@." Ktrace.pp_event e)
+      events
+  in
+  let last =
+    Arg.(
+      value & opt int 60
+      & info [ "n"; "last" ] ~docv:"N" ~doc:"How many trailing events to show.")
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a small traced two-VM hardware-task demo and dump the \
+             kernel event timeline.")
+    Term.(const run $ verbose $ last)
+
+let () =
+  let info =
+    Cmd.info "mininova" ~version:"1.0"
+      ~doc:
+        "Mini-NOVA (IPDPSW'15) reproduction: an ARM+FPGA virtualization \
+         microkernel with DPR support, on a simulated Zynq-7000."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ table3_cmd; fig9_cmd; report_cmd; reconfig_cmd; scenario_cmd;
+            trace_cmd ]))

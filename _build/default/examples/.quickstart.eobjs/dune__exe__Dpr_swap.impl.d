@@ -1,0 +1,1 @@
+examples/dpr_swap.ml: Array Clock Cycles Fft Float Format Hw_task_api Hw_task_manager Kernel Logs Pcap Port Printf Rng Task_kind Uart Ucos Zynq

@@ -1,0 +1,1 @@
+examples/dpr_swap.mli:

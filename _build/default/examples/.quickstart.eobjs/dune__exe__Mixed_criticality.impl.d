@@ -1,0 +1,1 @@
+examples/mixed_criticality.ml: Clock Cycles Exec Format Guest_layout Hyper Irq_id Kernel List Logs Printf Probe Stats Ucos_layout Zynq

@@ -1,0 +1,1 @@
+examples/mixed_criticality.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Clock Cycles Fft Float Format Hw_task_api Kernel Logs Pcap Port Printf Probe Qam Signal Stats Task_kind Uart Ucos Zynq

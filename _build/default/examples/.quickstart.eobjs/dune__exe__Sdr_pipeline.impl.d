@@ -1,0 +1,1 @@
+examples/sdr_pipeline.ml: Array Clock Cycles Format Hw_task_api Hyper Kernel Logs Pcap Pd Port Printf Prr_controller Rng Task_kind Uart Ucos Zynq

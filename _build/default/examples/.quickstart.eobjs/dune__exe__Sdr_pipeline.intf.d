@@ -1,0 +1,1 @@
+examples/sdr_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/voice_uplink.ml: Array Clock Cycles Fir Format Gsm_rpe Hw_task_api Kernel List Logs Port Printf Prr_controller Rng Signal Task_kind Uart Ucos Zynq

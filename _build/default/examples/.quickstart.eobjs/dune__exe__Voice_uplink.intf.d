@@ -1,0 +1,1 @@
+examples/voice_uplink.mli:

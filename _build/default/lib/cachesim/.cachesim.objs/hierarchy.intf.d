@@ -1,0 +1,1 @@
+lib/cachesim/hierarchy.mli: Addr Cache Clock

@@ -1,0 +1,1 @@
+lib/cachesim/tlb.ml: Array

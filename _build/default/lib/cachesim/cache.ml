@@ -1,0 +1,165 @@
+type config = {
+  name : string;
+  size_bytes : int;
+  ways : int;
+  line_size : int;
+}
+
+type t = {
+  cfg : config;
+  sets : int;
+  line_shift : int;
+  (* Flat arrays indexed by [set * ways + way]. *)
+  tags : int array;           (* line address (addr / line_size) *)
+  valid : bool array;
+  dirty : bool array;
+  age : int array;            (* LRU: larger = more recent *)
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec loop i n = if n = 1 then i else loop (i + 1) (n lsr 1) in
+  loop 0 n
+
+let create cfg =
+  if not (is_pow2 cfg.line_size) then
+    invalid_arg "Cache.create: line_size must be a power of two";
+  if cfg.ways <= 0 || cfg.size_bytes mod (cfg.ways * cfg.line_size) <> 0 then
+    invalid_arg "Cache.create: capacity not divisible by ways*line";
+  let sets = cfg.size_bytes / (cfg.ways * cfg.line_size) in
+  if not (is_pow2 sets) then
+    invalid_arg "Cache.create: set count must be a power of two";
+  let n = sets * cfg.ways in
+  { cfg; sets; line_shift = log2 cfg.line_size;
+    tags = Array.make n 0;
+    valid = Array.make n false;
+    dirty = Array.make n false;
+    age = Array.make n 0;
+    tick = 0; hits = 0; misses = 0 }
+
+let config t = t.cfg
+
+let line_addr t a = a lsr t.line_shift
+let set_of_line t la = la land (t.sets - 1)
+
+(* Returns the way index holding [la] in its set, or -1. *)
+let find t la =
+  let s = set_of_line t la in
+  let base = s * t.cfg.ways in
+  let rec loop w =
+    if w = t.cfg.ways then -1
+    else if t.valid.(base + w) && t.tags.(base + w) = la then base + w
+    else loop (w + 1)
+  in
+  loop 0
+
+let victim t la =
+  let s = set_of_line t la in
+  let base = s * t.cfg.ways in
+  let best = ref base in
+  for w = 1 to t.cfg.ways - 1 do
+    let i = base + w in
+    if not t.valid.(i) then begin
+      if t.valid.(!best) then best := i
+    end
+    else if t.valid.(!best) && t.age.(i) < t.age.(!best) then best := i
+  done;
+  !best
+
+let access t a ~write =
+  t.tick <- t.tick + 1;
+  let la = line_addr t a in
+  let i = find t la in
+  if i >= 0 then begin
+    t.hits <- t.hits + 1;
+    t.age.(i) <- t.tick;
+    if write then t.dirty.(i) <- true;
+    `Hit
+  end
+  else begin
+    t.misses <- t.misses + 1;
+    let i = victim t la in
+    t.tags.(i) <- la;
+    t.valid.(i) <- true;
+    t.dirty.(i) <- write;
+    t.age.(i) <- t.tick;
+    `Miss
+  end
+
+let probe t a = find t (line_addr t a) >= 0
+
+let iter_range t a len f =
+  (* Visit each resident line whose address intersects [a, a+len). *)
+  let first = line_addr t a and last = line_addr t (a + len - 1) in
+  if last - first >= t.sets * t.cfg.ways then
+    (* Range larger than the cache: scan the arrays instead. *)
+    Array.iteri
+      (fun i v ->
+         if v then begin
+           let la = t.tags.(i) in
+           if la >= first && la <= last then f i
+         end)
+      t.valid
+  else
+    for la = first to last do
+      let i = find t la in
+      if i >= 0 then f i
+    done
+
+let dirty_in_range t a len =
+  let found = ref false in
+  iter_range t a len (fun i -> if t.dirty.(i) then found := true);
+  !found
+
+let clean_range t a len =
+  let n = ref 0 in
+  iter_range t a len (fun i ->
+      if t.dirty.(i) then begin
+        t.dirty.(i) <- false;
+        incr n
+      end);
+  !n
+
+let invalidate_range t a len =
+  let n = ref 0 in
+  iter_range t a len (fun i ->
+      t.valid.(i) <- false;
+      t.dirty.(i) <- false;
+      incr n);
+  !n
+
+let invalidate_all t =
+  let n = ref 0 in
+  Array.iteri
+    (fun i v ->
+       if v then begin
+         t.valid.(i) <- false;
+         t.dirty.(i) <- false;
+         incr n
+       end)
+    t.valid;
+  !n
+
+let clean_all t =
+  let n = ref 0 in
+  Array.iteri
+    (fun i d ->
+       if d then begin
+         t.dirty.(i) <- false;
+         incr n
+       end)
+    t.dirty;
+  !n
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0
+
+let lines t = t.sets * t.cfg.ways

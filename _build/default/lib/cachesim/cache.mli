@@ -1,0 +1,58 @@
+(** Set-associative cache model (timing and coherence state only).
+
+    Tracks tags, validity, dirtiness and LRU order per set. Data
+    contents live in {!Mem.Phys_mem}; this model decides whether an
+    access hits and what maintenance operations must write back, which
+    is all the timing layer needs. Caches are physically indexed and
+    physically tagged, as on the Cortex-A9 (paper §III-C), so entries
+    survive address-space switches. *)
+
+type config = {
+  name : string;       (** for stats/debug output *)
+  size_bytes : int;    (** total capacity *)
+  ways : int;          (** associativity *)
+  line_size : int;     (** bytes per line *)
+}
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument if geometry is not a power-of-two split. *)
+
+val config : t -> config
+
+val access : t -> Addr.t -> write:bool -> [ `Hit | `Miss ]
+(** Look up the line containing a physical address; on miss the line is
+    filled (LRU victim evicted), on hit LRU is refreshed. [write] marks
+    the line dirty (write-back, write-allocate policy). *)
+
+val probe : t -> Addr.t -> bool
+(** [probe t a] is true when the line holding [a] is resident; does not
+    disturb LRU or fill — used by tests and by DMA coherence checks. *)
+
+val dirty_in_range : t -> Addr.t -> int -> bool
+(** True when any dirty line intersects [\[a, a+len)]. Used to detect
+    CPU→FPGA coherence hazards when a guest launches DMA without the
+    cache-clean hypercall. *)
+
+val clean_range : t -> Addr.t -> int -> int
+(** Write back (un-dirty) every dirty line in the range; lines stay
+    resident. Returns the number of lines written back (each costs a
+    memory write at the level above). *)
+
+val invalidate_range : t -> Addr.t -> int -> int
+(** Drop every line in the range, discarding dirtiness; returns the
+    number of lines invalidated. *)
+
+val invalidate_all : t -> int
+(** Drop everything; returns the number of valid lines discarded. *)
+
+val clean_all : t -> int
+(** Write back every dirty line; returns how many were written back. *)
+
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit
+
+val lines : t -> int
+(** Total number of lines (capacity / line size). *)

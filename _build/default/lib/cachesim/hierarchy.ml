@@ -1,0 +1,101 @@
+type latencies = {
+  l1_hit : int;
+  l2_hit : int;
+  dram : int;
+  writeback : int;
+  maintenance_per_line : int;
+}
+
+let default_latencies =
+  { l1_hit = 1; l2_hit = 25; dram = 120; writeback = 12;
+    maintenance_per_line = 4 }
+
+type kind = Ifetch | Load | Store
+
+type t = {
+  lat : latencies;
+  clock : Clock.t;
+  l1i : Cache.t;
+  l1d : Cache.t;
+  l2 : Cache.t;
+}
+
+let a9_l1i = { Cache.name = "L1I"; size_bytes = 32 * 1024; ways = 4;
+               line_size = 32 }
+
+let a9_l1d = { a9_l1i with Cache.name = "L1D" }
+
+let a9_l2 = { Cache.name = "L2"; size_bytes = 512 * 1024; ways = 8;
+              line_size = 32 }
+
+let create_custom ?(lat = default_latencies) ~l1i ~l1d ~l2 clock =
+  { lat; clock;
+    l1i = Cache.create l1i;
+    l1d = Cache.create l1d;
+    l2 = Cache.create l2 }
+
+let create ?lat clock = create_custom ?lat ~l1i:a9_l1i ~l1d:a9_l1d ~l2:a9_l2 clock
+
+let access t kind a =
+  let l1 = match kind with Ifetch -> t.l1i | Load | Store -> t.l1d in
+  let write = kind = Store in
+  let cost =
+    match Cache.access l1 a ~write with
+    | `Hit -> t.lat.l1_hit
+    | `Miss ->
+      (* L1 line fill goes through L2 (write-allocate at both levels). *)
+      (match Cache.access t.l2 a ~write with
+       | `Hit -> t.lat.l1_hit + t.lat.l2_hit
+       | `Miss -> t.lat.l1_hit + t.lat.l2_hit + t.lat.dram)
+  in
+  Clock.advance t.clock cost;
+  cost
+
+let access_uncached t =
+  (* Single-beat device access over the peripheral bus. *)
+  let cost = 25 in
+  Clock.advance t.clock cost;
+  cost
+
+let charge t c =
+  Clock.advance t.clock c;
+  c
+
+let clean_dcache_range t a len =
+  let wb = Cache.clean_range t.l1d a len + Cache.clean_range t.l2 a len in
+  let touched = (len + Addr.line_size - 1) / Addr.line_size in
+  charge t ((wb * t.lat.writeback) + (touched * t.lat.maintenance_per_line))
+
+let invalidate_dcache_range t a len =
+  let dropped =
+    Cache.invalidate_range t.l1d a len + Cache.invalidate_range t.l2 a len
+  in
+  let touched = (len + Addr.line_size - 1) / Addr.line_size in
+  ignore dropped;
+  charge t (touched * t.lat.maintenance_per_line)
+
+let clean_invalidate_all t =
+  let wb = Cache.clean_all t.l1d + Cache.clean_all t.l2 in
+  let dropped =
+    Cache.invalidate_all t.l1d + Cache.invalidate_all t.l2
+    + Cache.invalidate_all t.l1i
+  in
+  charge t
+    ((wb * t.lat.writeback) + (dropped * t.lat.maintenance_per_line) + 200)
+
+let invalidate_icache_all t =
+  let dropped = Cache.invalidate_all t.l1i in
+  charge t ((dropped * t.lat.maintenance_per_line) + 50)
+
+let dirty_in_range t a len =
+  Cache.dirty_in_range t.l1d a len || Cache.dirty_in_range t.l2 a len
+
+let l1i t = t.l1i
+let l1d t = t.l1d
+let l2 t = t.l2
+let latencies t = t.lat
+
+let reset_stats t =
+  Cache.reset_stats t.l1i;
+  Cache.reset_stats t.l1d;
+  Cache.reset_stats t.l2

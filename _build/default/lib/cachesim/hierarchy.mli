@@ -1,0 +1,60 @@
+(** Cortex-A9 cache hierarchy: split 32 KB L1 I/D, unified 512 KB L2,
+    DDR behind it.
+
+    Every CPU-side physical access is charged here: the clock bound at
+    creation advances by the access latency. Maintenance operations
+    (clean/invalidate, used by the paper's cache hypercalls) are charged
+    per line touched. *)
+
+type latencies = {
+  l1_hit : int;      (** cycles for an L1 hit *)
+  l2_hit : int;      (** additional cycles when L1 misses but L2 hits *)
+  dram : int;        (** additional cycles when L2 also misses *)
+  writeback : int;   (** cycles per dirty line written back *)
+  maintenance_per_line : int; (** cycles per line for clean/invalidate ops *)
+}
+
+val default_latencies : latencies
+(** 660 MHz Cortex-A9 + PL310-class numbers: L1 hit 1, L2 hit +25,
+    DRAM +120. *)
+
+type kind = Ifetch | Load | Store
+
+type t
+
+val create : ?lat:latencies -> Clock.t -> t
+(** Build the A9 hierarchy (32 KB 4-way L1I, 32 KB 4-way L1D, 512 KB
+    8-way unified L2, 32 B lines) bound to [clock]. *)
+
+val create_custom :
+  ?lat:latencies ->
+  l1i:Cache.config -> l1d:Cache.config -> l2:Cache.config -> Clock.t -> t
+(** Same, with explicit geometries (for sensitivity experiments). *)
+
+val access : t -> kind -> Addr.t -> int
+(** Charge one access to the physical address; advances the clock and
+    returns the cost in cycles. *)
+
+val access_uncached : t -> int
+(** Charge a device (MMIO) access: bypasses the caches, costs a fixed
+    bus round-trip; advances the clock and returns the cost. *)
+
+val clean_dcache_range : t -> Addr.t -> int -> int
+(** Clean (write back) the range in L1D and L2; advances the clock by
+    the maintenance cost and returns it. *)
+
+val invalidate_dcache_range : t -> Addr.t -> int -> int
+val clean_invalidate_all : t -> int
+(** Full clean+invalidate of both cache levels (expensive). *)
+
+val invalidate_icache_all : t -> int
+
+val dirty_in_range : t -> Addr.t -> int -> bool
+(** CPU-side dirty data overlapping a range (DMA coherence check). *)
+
+val l1i : t -> Cache.t
+val l1d : t -> Cache.t
+val l2 : t -> Cache.t
+val latencies : t -> latencies
+
+val reset_stats : t -> unit

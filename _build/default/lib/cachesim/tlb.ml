@@ -1,0 +1,124 @@
+type entry = { ppage : int; word : int; global : bool }
+
+type config = { entries : int; ways : int }
+
+type slot = {
+  mutable valid : bool;
+  mutable asid : int;
+  mutable vpage : int;
+  mutable entry : entry;
+  mutable age : int;
+}
+
+type t = {
+  cfg : config;
+  sets : int;
+  slots : slot array;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let cortex_a9 = { entries = 128; ways = 2 }
+
+let dummy_entry = { ppage = 0; word = 0; global = false }
+
+let create cfg =
+  if cfg.ways <= 0 || cfg.entries mod cfg.ways <> 0 then
+    invalid_arg "Tlb.create: entries not divisible by ways";
+  let sets = cfg.entries / cfg.ways in
+  if not (is_pow2 sets) then
+    invalid_arg "Tlb.create: set count must be a power of two";
+  let slots =
+    Array.init cfg.entries (fun _ ->
+        { valid = false; asid = 0; vpage = 0; entry = dummy_entry; age = 0 })
+  in
+  { cfg; sets; slots; tick = 0; hits = 0; misses = 0 }
+
+let set_of t vpage = vpage land (t.sets - 1)
+
+let matching t ~asid ~vpage =
+  let base = set_of t vpage * t.cfg.ways in
+  let rec loop w =
+    if w = t.cfg.ways then None
+    else
+      let s = t.slots.(base + w) in
+      if s.valid && s.vpage = vpage && (s.entry.global || s.asid = asid)
+      then Some s
+      else loop (w + 1)
+  in
+  loop 0
+
+let lookup t ~asid ~vpage =
+  t.tick <- t.tick + 1;
+  match matching t ~asid ~vpage with
+  | Some s ->
+    t.hits <- t.hits + 1;
+    s.age <- t.tick;
+    Some s.entry
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let insert t ~asid ~vpage entry =
+  t.tick <- t.tick + 1;
+  let base = set_of t vpage * t.cfg.ways in
+  (* Reuse an existing slot for the same mapping, else LRU victim. *)
+  let slot =
+    match matching t ~asid ~vpage with
+    | Some s -> s
+    | None ->
+      let best = ref t.slots.(base) in
+      for w = 1 to t.cfg.ways - 1 do
+        let s = t.slots.(base + w) in
+        if not s.valid then begin
+          if !best.valid then best := s
+        end
+        else if !best.valid && s.age < !best.age then best := s
+      done;
+      !best
+  in
+  slot.valid <- true;
+  slot.asid <- asid;
+  slot.vpage <- vpage;
+  slot.entry <- entry;
+  slot.age <- t.tick
+
+let flush_all t =
+  let n = ref 0 in
+  Array.iter
+    (fun s ->
+       if s.valid then begin
+         s.valid <- false;
+         incr n
+       end)
+    t.slots;
+  !n
+
+let flush_asid t asid =
+  let n = ref 0 in
+  Array.iter
+    (fun s ->
+       if s.valid && (not s.entry.global) && s.asid = asid then begin
+         s.valid <- false;
+         incr n
+       end)
+    t.slots;
+  !n
+
+let flush_page t ~asid ~vpage =
+  let base = set_of t vpage * t.cfg.ways in
+  for w = 0 to t.cfg.ways - 1 do
+    let s = t.slots.(base + w) in
+    if s.valid && s.vpage = vpage && (s.entry.global || s.asid = asid) then
+      s.valid <- false
+  done
+
+let hits t = t.hits
+let misses t = t.misses
+
+let reset_stats t =
+  t.hits <- 0;
+  t.misses <- 0

@@ -1,0 +1,42 @@
+(** ASID-tagged translation lookaside buffer.
+
+    Models the Cortex-A9 main TLB: set-associative, tagged with an
+    8-bit ASID so that VM switches need no flush (paper §III-C), with
+    global entries (kernel mappings) that match under any ASID. The
+    stored payload is the raw descriptor word the MMU produced, so this
+    module needs no knowledge of page-table formats. *)
+
+type entry = {
+  ppage : int;   (** physical page number *)
+  word : int;    (** opaque descriptor word (permissions, domain) *)
+  global : bool; (** matches regardless of ASID *)
+}
+
+type config = { entries : int; ways : int }
+
+type t
+
+val create : config -> t
+(** @raise Invalid_argument on non power-of-two geometry. *)
+
+val cortex_a9 : config
+(** 128 entries, 2-way — the A9 main TLB. *)
+
+val lookup : t -> asid:int -> vpage:int -> entry option
+(** Hit refreshes LRU. A non-global entry only matches its own ASID. *)
+
+val insert : t -> asid:int -> vpage:int -> entry -> unit
+(** Install a translation (evicting LRU in the set if needed). *)
+
+val flush_all : t -> int
+(** Invalidate everything (including globals); returns entries dropped. *)
+
+val flush_asid : t -> int -> int
+(** Invalidate all non-global entries of one ASID. *)
+
+val flush_page : t -> asid:int -> vpage:int -> unit
+(** Invalidate one translation (also drops a matching global entry). *)
+
+val hits : t -> int
+val misses : t -> int
+val reset_stats : t -> unit

@@ -1,0 +1,1 @@
+lib/core/guest_layout.ml: Addr

@@ -1,0 +1,1 @@
+lib/core/hw_task_manager.ml: Addr Address_map Array Axi Bitstream Clock Costs Exec Hashtbl Hierarchy Hw_mmu Hyper Klayout List Option Pcap Phys_mem Printf Prr Prr_controller Task_kind Zynq

@@ -1,0 +1,1 @@
+lib/core/hw_task_manager.mli: Addr Bitstream Hyper Prr Task_kind Zynq

@@ -1,0 +1,1 @@
+lib/core/hyper.ml: Addr Array Bitstream Bytes Cycles Effect Format

@@ -1,0 +1,1 @@
+lib/core/hyper.mli: Addr Bitstream Bytes Cycles Effect Format

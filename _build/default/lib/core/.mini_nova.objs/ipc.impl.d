@@ -1,0 +1,1 @@
+lib/core/ipc.ml: Array Queue

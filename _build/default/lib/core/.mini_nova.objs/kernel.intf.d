@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Addr Bitstream Cycles Hw_task_manager Kmem Ktrace Pd Probe Task_kind Zynq

@@ -1,0 +1,1 @@
+lib/core/klayout.ml: Addr Address_map Hyper

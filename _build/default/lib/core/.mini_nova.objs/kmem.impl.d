@@ -1,0 +1,1 @@
+lib/core/kmem.ml: Addr Address_map Clock Costs Dacr Frame_alloc Guest_layout Hierarchy Hyper Mmu Page_table Pd Phys_mem Pte Tlb Vcpu Zynq

@@ -1,0 +1,1 @@
+lib/core/kmem.mli: Addr Frame_alloc Hyper Page_table Pd Zynq

@@ -1,0 +1,1 @@
+lib/core/ktrace.ml: Array Cycles Format List Printf

@@ -1,0 +1,1 @@
+lib/core/ktrace.mli: Cycles Format

@@ -1,0 +1,1 @@
+lib/core/pd.ml: Addr Bitstream Cycles Format Ipc List Page_table Vcpu Vgic

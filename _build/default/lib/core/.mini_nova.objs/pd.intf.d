@@ -1,0 +1,1 @@
+lib/core/pd.mli: Addr Bitstream Cycles Format Ipc Page_table Vcpu Vgic

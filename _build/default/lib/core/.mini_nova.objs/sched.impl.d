@@ -1,0 +1,1 @@
+lib/core/sched.ml: Array Hashtbl List Pd

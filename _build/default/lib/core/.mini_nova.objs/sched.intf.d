@@ -1,0 +1,1 @@
+lib/core/sched.mli: Pd

@@ -1,0 +1,1 @@
+lib/core/trap_emulate.ml: Clock Costs Cpu_mode Exec Hyper Klayout Mmu Vcpu Zynq

@@ -1,0 +1,1 @@
+lib/core/trap_emulate.mli: Hyper Vcpu Zynq

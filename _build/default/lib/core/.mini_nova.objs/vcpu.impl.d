@@ -1,0 +1,1 @@
+lib/core/vcpu.ml: Addr Costs Exec Hyper Klayout

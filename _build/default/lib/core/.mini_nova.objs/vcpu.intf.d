@@ -1,0 +1,1 @@
+lib/core/vcpu.mli: Addr Hyper Zynq

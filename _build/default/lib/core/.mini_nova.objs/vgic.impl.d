@@ -1,0 +1,1 @@
+lib/core/vgic.ml: Addr Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/core/vgic.mli: Addr

@@ -1,0 +1,24 @@
+let mb = 1 lsl 20
+
+let window_size = 16 * mb
+
+(* The window sits at 256 MB so it can never shadow the kernel's
+   identity-mapped image, the bitstream store, or the PL window. *)
+let kernel_base = 0x1000_0000
+let kernel_size = 4 * mb
+
+let user_base = kernel_base + kernel_size
+let user_size = 11 * mb
+
+let page_region_base = kernel_base + (15 * mb)
+let page_region_size = mb
+
+let default_data_section = kernel_base + 0x0080_0000
+let default_data_section_len = 256 * 1024
+
+let default_iface_vaddr prr = page_region_base + (prr * Addr.page_size)
+
+let to_phys ~phys_base vaddr =
+  if vaddr < kernel_base || vaddr >= page_region_base then
+    invalid_arg "Guest_layout.to_phys: not in a linearly-mapped area";
+  phys_base + (vaddr - kernel_base)

@@ -1,0 +1,43 @@
+(** Virtual memory layout of a guest VM.
+
+    Every guest sees the same 16 MB virtual window at 0x1000_0000
+    (clear of the kernel's identity-mapped regions), backed by its
+    private physical allotment ({!Address_map.guest_phys_base}):
+
+    {v
+    0x1000_0000 .. 0x1040_0000   guest kernel   (domain guest-kernel)
+    0x1040_0000 .. 0x10F0_0000   guest user     (domain guest-user)
+    0x10F0_0000 .. 0x1100_0000   page region: PRR interfaces and
+                                 guest-requested 4 KB mappings
+    v}
+
+    The first two areas are section-mapped linearly to the physical
+    allotment; the page region holds on-demand small pages (hardware
+    task interfaces must sit on their own 4 KB page — paper §IV-C). *)
+
+val window_size : int
+(** 16 MB. *)
+
+val kernel_base : Addr.t
+val kernel_size : int
+
+val user_base : Addr.t
+val user_size : int
+
+val page_region_base : Addr.t
+val page_region_size : int
+
+val default_data_section : Addr.t
+(** Conventional hardware-task data section (inside the user area);
+    guests may choose another. *)
+
+val default_data_section_len : int
+(** 256 KB: room for an 8192-point complex FFT in and out. *)
+
+val default_iface_vaddr : int -> Addr.t
+(** [default_iface_vaddr prr] — conventional interface page for PRR
+    [prr] inside the page region. *)
+
+val to_phys : phys_base:Addr.t -> Addr.t -> Addr.t
+(** Linear translation for the section-mapped areas (kernel + user).
+    @raise Invalid_argument inside the page region (not linear). *)

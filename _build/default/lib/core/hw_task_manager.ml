@@ -1,0 +1,306 @@
+type client = {
+  client_id : int;
+  data_window : Addr.t * int;
+  map_iface : Prr.t -> (unit, string) result;
+  unmap_iface : Prr.t -> unit;
+  notify_irq : Prr.t -> int -> unit;
+}
+
+type alloc_result = {
+  status : Hyper.hw_status;
+  prr : int option;
+  irq : int option;
+}
+
+type task_entry = {
+  bit : Bitstream.t;
+  prr_list : int list;
+}
+
+(* PRR-table row (Fig 7): current client, allocated task, plus the
+   client-environment callbacks captured at allocation time so a later
+   reclaim can act on the *previous* client. *)
+type prr_row = {
+  prr_id : int;
+  mutable row_client : client option;
+  mutable row_task : Bitstream.id option;
+}
+
+type t = {
+  zynq : Zynq.t;
+  tasks : (Bitstream.id, task_entry) Hashtbl.t;
+  rows : prr_row array;
+  mutable next_task_id : int;
+  mutable store_next : Addr.t;
+  mutable pcap_client : int option;
+  mutable requests : int;
+  mutable reclaims : int;
+  mutable reconfigs : int;
+}
+
+let reserved_bytes = 64
+let flag_offset = 0
+let saved_regs_offset = 4
+
+let create zynq =
+  let n = Prr_controller.prr_count zynq.Zynq.prrc in
+  { zynq;
+    tasks = Hashtbl.create 16;
+    rows = Array.init n (fun prr_id ->
+        { prr_id; row_client = None; row_task = None });
+    next_task_id = 1;
+    store_next = Address_map.bitstream_store_base;
+    pcap_client = None;
+    requests = 0; reclaims = 0; reconfigs = 0 }
+
+let register_task t kind =
+  Task_kind.validate kind;
+  let prr_list =
+    Array.to_list t.rows
+    |> List.filter_map (fun row ->
+        let prr = Prr_controller.prr t.zynq.Zynq.prrc row.prr_id in
+        if Prr.can_host prr kind then Some row.prr_id else None)
+  in
+  if prr_list = [] then
+    failwith
+      (Printf.sprintf "Hw_task_manager: no PRR can host %s"
+         (Task_kind.name kind));
+  let id = t.next_task_id in
+  t.next_task_id <- id + 1;
+  let bit = Bitstream.make ~id ~kind ~store_addr:t.store_next in
+  let store_end =
+    Address_map.bitstream_store_base + Address_map.bitstream_store_size
+  in
+  if t.store_next + bit.Bitstream.size_bytes > store_end then
+    failwith "Hw_task_manager: bitstream store full";
+  t.store_next <-
+    Addr.align_up (t.store_next + bit.Bitstream.size_bytes) Addr.page_size;
+  Hashtbl.replace t.tasks id { bit; prr_list };
+  id
+
+let task_kind t id =
+  Option.map (fun e -> e.bit.Bitstream.kind) (Hashtbl.find_opt t.tasks id)
+
+let task_ids t =
+  List.sort compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.tasks [])
+
+(* Manager-space footprint for the allocation bookkeeping. *)
+let charge_exec t ~prrs_scanned =
+  let code_base, code_bytes = Klayout.mgr_main in
+  let tt_base, tt_len = Klayout.mgr_task_table in
+  let pt_base, pt_len = Klayout.mgr_prr_table in
+  let st_base, st_len = Klayout.mgr_stack in
+  let fp =
+    { Exec.label = "hwtm_exec";
+      code = { Exec.base = code_base; len = code_bytes };
+      reads =
+        [ { Exec.base = tt_base; len = tt_len };
+          { Exec.base = pt_base; len = pt_len } ];
+      writes = [ { Exec.base = st_base; len = st_len / 2 } ];
+      base_cycles =
+        Costs.mgr_exec_base + (Costs.mgr_exec_per_prr * prrs_scanned) }
+  in
+  ignore (Exec.run t.zynq ~priv:true fp)
+
+let charge_gp_write t =
+  ignore (Hierarchy.access_uncached t.zynq.Zynq.hier);
+  Clock.advance t.zynq.Zynq.clock Axi.gp_access_cycles
+
+(* Save the reclaimed PRR's register group and the inconsistent flag
+   into the previous client's data section (paper §IV-C / Fig 5). *)
+let save_consistency_block t prr (prev : client) =
+  let base, _len = prev.data_window in
+  Phys_mem.write_u32 t.zynq.Zynq.mem (base + flag_offset) 1l;
+  ignore (Hierarchy.access t.zynq.Zynq.hier Hierarchy.Store (base + flag_offset));
+  for r = 0 to Prr.Reg.count - 1 do
+    let a = base + saved_regs_offset + (4 * r) in
+    Phys_mem.write_u32 t.zynq.Zynq.mem a (Prr.read_reg prr r);
+    ignore (Hierarchy.access t.zynq.Zynq.hier Hierarchy.Store a)
+  done;
+  Clock.advance t.zynq.Zynq.clock Costs.mgr_reclaim
+
+let reclaim t row prr (prev : client) =
+  save_consistency_block t prr prev;
+  (* Scrub the register group so the next client sees neither the old
+     job's parameters nor a stale completion status. *)
+  for r = Prr.Reg.ctrl to Prr.Reg.param do
+    Prr.write_reg prr r 0l
+  done;
+  Prr.write_reg prr Prr.Reg.status 0l;
+  prev.unmap_iface prr;
+  (match prr.Prr.irq_index with
+   | Some _ -> Prr_controller.release_irq t.zynq.Zynq.prrc ~prr_id:row.prr_id
+   | None -> ());
+  Hw_mmu.clear_window prr.Prr.hw_mmu;
+  row.row_client <- None;
+  row.row_task <- None;
+  t.reclaims <- t.reclaims + 1
+
+(* PRR selection (Fig 7 stage 2): among the task's suitable PRRs that
+   are idle, prefer one already holding the task, then an empty one,
+   then one to reconfigure. *)
+let select_prr t entry =
+  let candidates =
+    List.filter_map
+      (fun prr_id ->
+         let row = t.rows.(prr_id) in
+         let prr = Prr_controller.prr t.zynq.Zynq.prrc prr_id in
+         match prr.Prr.state with
+         | Prr.Busy | Prr.Reconfiguring -> None
+         | Prr.Empty | Prr.Ready -> Some (row, prr))
+      entry.prr_list
+  in
+  let loaded_with id (_, prr) =
+    match prr.Prr.loaded with
+    | Some b -> b.Bitstream.id = id
+    | None -> false
+  in
+  let empty (_, prr) = prr.Prr.loaded = None in
+  let unclaimed (row, _) = row.row_client = None in
+  let pick p = List.find_opt p candidates in
+  match pick (fun c -> loaded_with entry.bit.Bitstream.id c && unclaimed c) with
+  | Some c -> Some c
+  | None ->
+    (match pick (loaded_with entry.bit.Bitstream.id) with
+     | Some c -> Some c
+     | None ->
+       (match pick (fun c -> empty c && unclaimed c) with
+        | Some c -> Some c
+        | None ->
+          (match pick unclaimed with
+           | Some c -> Some c
+           | None -> pick (fun _ -> true))))
+
+let request t (cl : client) ~task ~want_irq =
+  t.requests <- t.requests + 1;
+  match Hashtbl.find_opt t.tasks task with
+  | None ->
+    charge_exec t ~prrs_scanned:0;
+    { status = Hyper.Hw_bad_task; prr = None; irq = None }
+  | Some entry ->
+    charge_exec t ~prrs_scanned:(List.length entry.prr_list);
+    (* Idempotent: the client already holds this task. *)
+    let already =
+      Array.to_list t.rows
+      |> List.find_opt (fun row ->
+          row.row_task = Some task
+          &&
+          match row.row_client with
+          | Some c -> c.client_id = cl.client_id
+          | None -> false)
+    in
+    (match already with
+     | Some row ->
+       let prr = Prr_controller.prr t.zynq.Zynq.prrc row.prr_id in
+       { status = Hyper.Hw_success; prr = Some row.prr_id;
+         irq = prr.Prr.irq_index }
+     | None ->
+       match select_prr t entry with
+       | None -> { status = Hyper.Hw_busy; prr = None; irq = None }
+       | Some (row, prr) ->
+         let needs_reconfig =
+           match prr.Prr.loaded with
+           | Some b -> b.Bitstream.id <> task
+           | None -> true
+         in
+         if needs_reconfig && Pcap.busy t.zynq.Zynq.pcap then
+           (* The single download channel is occupied; retry later. *)
+           { status = Hyper.Hw_busy; prr = None; irq = None }
+         else begin
+           (* Stage: reclaim from the previous client if any. *)
+           (match row.row_client with
+            | Some prev when prev.client_id <> cl.client_id ->
+              reclaim t row prr prev
+            | Some prev -> reclaim t row prr prev (* same client, other task *)
+            | None -> ());
+           (* Stage 3: map the interface page for the caller. *)
+           (match cl.map_iface prr with
+            | Ok () -> ()
+            | Error e -> failwith ("Hw_task_manager: map_iface: " ^ e));
+           (* Stage 4: program the hwMMU with the data-section window. *)
+           let wbase, wlen = cl.data_window in
+           Hw_mmu.load_window prr.Prr.hw_mmu ~base:wbase ~size:wlen;
+           charge_gp_write t;
+           (* Reset the consistency flag for the new holder. *)
+           Phys_mem.write_u32 t.zynq.Zynq.mem (wbase + flag_offset) 0l;
+           (* Optional PL interrupt source (Fig 6). *)
+           let irq =
+             if want_irq then begin
+               match
+                 Prr_controller.allocate_irq t.zynq.Zynq.prrc ~prr_id:row.prr_id
+               with
+               | Some i ->
+                 cl.notify_irq prr i;
+                 charge_gp_write t;
+                 Some i
+               | None -> None
+             end
+             else None
+           in
+           row.row_client <- Some cl;
+           row.row_task <- Some task;
+           (* Stage 5: launch — and do not wait for — reconfiguration. *)
+           let status =
+             if needs_reconfig then begin
+               Clock.advance t.zynq.Zynq.clock Costs.mgr_reconfig_launch;
+               charge_gp_write t;
+               match Pcap.launch t.zynq.Zynq.pcap entry.bit prr with
+               | `Started _ ->
+                 t.reconfigs <- t.reconfigs + 1;
+                 t.pcap_client <- Some cl.client_id;
+                 Hyper.Hw_reconfig
+               | `Busy -> Hyper.Hw_busy (* raced; caller retries *)
+             end
+             else Hyper.Hw_success
+           in
+           { status; prr = Some row.prr_id; irq }
+         end)
+
+let find_row t ~client_id ~task =
+  Array.to_list t.rows
+  |> List.find_opt (fun row ->
+      row.row_task = Some task
+      &&
+      match row.row_client with
+      | Some c -> c.client_id = client_id
+      | None -> false)
+
+let release t ~client_id ~task =
+  match find_row t ~client_id ~task with
+  | None -> Error "release: task not held by this client"
+  | Some row ->
+    let prr = Prr_controller.prr t.zynq.Zynq.prrc row.prr_id in
+    (match row.row_client with
+     | Some cl ->
+       cl.unmap_iface prr;
+       (match prr.Prr.irq_index with
+        | Some _ -> Prr_controller.release_irq t.zynq.Zynq.prrc ~prr_id:row.prr_id
+        | None -> ());
+       Hw_mmu.clear_window prr.Prr.hw_mmu;
+       charge_gp_write t
+     | None -> ());
+    row.row_client <- None;
+    row.row_task <- None;
+    Ok ()
+
+let poll t ~client_id ~task =
+  match find_row t ~client_id ~task with
+  | None -> (false, false)
+  | Some row ->
+    let prr = Prr_controller.prr t.zynq.Zynq.prrc row.prr_id in
+    let ready =
+      prr.Prr.state = Prr.Ready
+      &&
+      match prr.Prr.loaded with
+      | Some b -> b.Bitstream.id = task
+      | None -> false
+    in
+    (ready, true)
+
+let prr_client t prr_id =
+  Option.map (fun c -> c.client_id) t.rows.(prr_id).row_client
+
+let requests t = t.requests
+let reclaims t = t.reclaims
+let reconfigs t = t.reconfigs
+let pcap_client t = t.pcap_client

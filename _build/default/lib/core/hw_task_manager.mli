@@ -1,0 +1,95 @@
+(** The Hardware Task Manager (paper §IV).
+
+    The user-level service that owns the bitstream store, the hardware
+    task table and the PRR table, and that dispatches DPR hardware
+    tasks to clients. One instance serves both deployments the paper
+    evaluates: under Mini-NOVA (clients are VMs; interface pages are
+    mapped/demapped in guest page tables) and natively under a single
+    RTOS (clients share one space; the mapping callbacks are no-ops).
+
+    The allocation routine follows Fig 7:
+    + look the task up (unknown id → [Hw_bad_task]);
+    + select a PRR from the task's suitability list — prefer one
+      already configured with the task, then an empty one, then
+      reconfigure an idle one; all busy/reconfiguring → [Hw_busy];
+    + if the chosen PRR belongs to another client, reclaim it: save
+      its register group and an {e inconsistent} flag into the old
+      client's data section, demap the old client's interface;
+    + map the interface page for the new client;
+    + load the hwMMU with the new client's data-section window;
+    + if the task is not already configured, launch (and do not wait
+      for) a PCAP download — the caller gets [Hw_reconfig];
+    + otherwise [Hw_success].
+
+    All table walks and bookkeeping are charged as manager-space
+    footprints; the caller is responsible for having activated the
+    manager's address space first. *)
+
+type t
+
+(** Callbacks binding one allocation to its client's environment. *)
+type client = {
+  client_id : int;
+  data_window : Addr.t * int;
+  (** physical base/length of the client's hardware-task data section *)
+
+  map_iface : Prr.t -> (unit, string) result;
+  (** stage 3: expose the PRR register page to the client *)
+
+  unmap_iface : Prr.t -> unit;
+  (** inverse, used at reclaim/release time *)
+
+  notify_irq : Prr.t -> int -> unit;
+  (** register an allocated PL IRQ source in the client's vGIC *)
+}
+
+type alloc_result = {
+  status : Hyper.hw_status;
+  prr : int option;
+  irq : int option;
+}
+
+(** {2 Data-section consistency block}
+
+    The first {!reserved_bytes} of every data section hold the state
+    the paper describes in §IV-C: a flag word (0 = consistent, 1 = the
+    task was reclaimed by another client) followed by the saved
+    register group. *)
+
+val reserved_bytes : int
+val flag_offset : int
+val saved_regs_offset : int
+
+val create : Zynq.t -> t
+
+val register_task : t -> Task_kind.t -> Bitstream.id
+(** Add a task to the hardware task table: allocates space in the
+    bitstream store, derives the suitable-PRR list from capacities.
+    @raise Failure if no PRR can host the kind or the store is full. *)
+
+val task_kind : t -> Bitstream.id -> Task_kind.t option
+val task_ids : t -> Bitstream.id list
+
+val request : t -> client -> task:Bitstream.id -> want_irq:bool -> alloc_result
+(** The Fig 7 allocation routine (fully charged). *)
+
+val release : t -> client_id:int -> task:Bitstream.id ->
+  (unit, string) result
+(** Voluntarily give a task back: clears the PRR's client, hwMMU and
+    interface mapping (no inconsistent flag — the client asked). *)
+
+val poll : t -> client_id:int -> task:Bitstream.id -> bool * bool
+(** [(prr_ready, consistent)]: whether the client's allocation of
+    [task] is configured and ready, and whether the client still holds
+    it (false once reclaimed by someone else). *)
+
+val prr_client : t -> int -> int option
+(** Current client of a PRR (evaluation/debug). *)
+
+val requests : t -> int
+val reclaims : t -> int
+val reconfigs : t -> int
+
+val pcap_client : t -> int option
+(** Client that launched the in-flight (or last) PCAP transfer — the
+    PCAP completion IRQ is routed to it (paper §IV-D). *)

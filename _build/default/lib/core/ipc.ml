@@ -1,0 +1,21 @@
+type message = { sender : int; payload : int array }
+
+type t = { q : message Queue.t }
+
+let capacity = 16
+let max_words = 64
+
+let create () = { q = Queue.create () }
+
+let send t ~sender payload =
+  if Array.length payload > max_words then
+    Error "Ipc.send: payload too long"
+  else if Queue.length t.q >= capacity then Error "Ipc.send: inbox full"
+  else begin
+    Queue.push { sender; payload = Array.copy payload } t.q;
+    Ok ()
+  end
+
+let recv t = Queue.take_opt t.q
+
+let depth t = Queue.length t.q

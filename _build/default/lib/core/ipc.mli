@@ -1,0 +1,28 @@
+(** Inter-VM communication (paper §III: "communication" is one of the
+    four properties the VMM provides; hypercalls 24/25).
+
+    Asynchronous bounded mailboxes: [Vm_send] copies a small word
+    payload into the destination PD's inbox through the kernel;
+    [Vm_recv] takes the oldest message. Kernel-mediated copying is
+    charged per word by the kernel's dispatcher. *)
+
+type message = { sender : int; payload : int array }
+
+type t
+(** One PD's inbox. *)
+
+val capacity : int
+(** Maximum queued messages per PD (16). *)
+
+val max_words : int
+(** Maximum payload length in words (64). *)
+
+val create : unit -> t
+
+val send : t -> sender:int -> int array -> (unit, string) result
+(** Enqueue a copy of the payload; [Error] when the inbox is full or
+    the payload oversize. *)
+
+val recv : t -> message option
+
+val depth : t -> int

@@ -1,0 +1,659 @@
+let log = Logs.Src.create "mini_nova.kernel" ~doc:"Mini-NOVA microkernel"
+
+module Log = (val Logs.src_log log)
+
+type config = {
+  quantum : Cycles.t;
+  vfp_policy : [ `Lazy | `Active ];
+  tlb_policy : [ `Asid | `Flush_all ];
+  kernel_tick : Cycles.t option;
+}
+
+let default_config =
+  { quantum = Cycles.of_ms 33.0;
+    vfp_policy = `Lazy;
+    tlb_policy = `Asid;
+    kernel_tick = Some (Cycles.of_ms 1.0) }
+
+type guest_env = {
+  env_zynq : Zynq.t;
+  pd_id : int;
+  guest_index : int;
+  phys_base : Addr.t;
+}
+
+(* VM-exit reasons surfaced by the effect handler. *)
+type exit =
+  | X_done
+  | X_crash of exn
+  | X_pause of (Hyper.pause_result, exit) Effect.Deep.continuation
+  | X_idle of (Hyper.pause_result, exit) Effect.Deep.continuation
+  | X_hyper of Hyper.request * (Hyper.response, exit) Effect.Deep.continuation
+  | X_und of Hyper.priv_instr * (int, exit) Effect.Deep.continuation
+
+type vm_rt = {
+  pd : Pd.t;
+  main : guest_env -> unit;
+  env : guest_env;
+  mutable started : bool;
+  mutable saved : (Hyper.pause_result, exit) Effect.Deep.continuation option;
+  mutable slice_start : Cycles.t;
+}
+
+type t = {
+  z : Zynq.t;
+  cfg : config;
+  kmem : Kmem.t;
+  sched : Sched.t;
+  probe : Probe.t;
+  pd_tbl : (int, Pd.t) Hashtbl.t;
+  rts : (int, vm_rt) Hashtbl.t;
+  hwtm : Hw_task_manager.t;
+  mgr_pd : Pd.t;
+  mutable cur : vm_rt option;
+  mutable vfp_owner : int option;
+  mutable next_pd : int;
+  mutable next_guest : int;
+  mutable crash_count : int;
+  mutable hypercall_count : int;
+  mutable trace : Ktrace.t option;
+}
+
+let ipc_doorbell_irq = 95
+
+let mgr_asid = 1
+
+let kernel_irqs =
+  Irq_id.private_timer :: Irq_id.devcfg
+  :: List.init Irq_id.pl_count Irq_id.pl
+
+let handler : (unit, exit) Effect.Deep.handler =
+  { Effect.Deep.retc = (fun () -> X_done);
+    exnc = (fun e -> X_crash e);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+         match eff with
+         | Hyper.Hypercall r ->
+           Some
+             (fun (k : (a, exit) Effect.Deep.continuation) -> X_hyper (r, k))
+         | Hyper.Vm_pause ->
+           Some (fun (k : (a, exit) Effect.Deep.continuation) -> X_pause k)
+         | Hyper.Vm_idle ->
+           Some (fun (k : (a, exit) Effect.Deep.continuation) -> X_idle k)
+         | Hyper.Und_trap i ->
+           Some
+             (fun (k : (a, exit) Effect.Deep.continuation) -> X_und (i, k))
+         | _ -> None) }
+
+(* Charge a kernel code path. *)
+let run_fp t ?(reads = []) ?(writes = []) ?(base_cycles = 0) (base, len) label
+  =
+  ignore
+    (Exec.run t.z ~priv:true
+       { Exec.label; code = { Exec.base; len }; reads; writes; base_cycles })
+
+let boot ?(config = default_config) z =
+  let kmem = Kmem.create z in
+  let hwtm = Hw_task_manager.create z in
+  let mgr_pd =
+    Pd.make ~id:0 ~name:"hwtm" ~kind:Pd.Service ~priority:6 ~asid:mgr_asid
+      ~pt:(Kmem.kernel_pt kmem) ~phys_base:0 ~quantum:config.quantum
+  in
+  List.iter (Gic.enable z.Zynq.gic) kernel_irqs;
+  (match config.kernel_tick with
+   | Some interval -> Private_timer.start z.Zynq.ptimer ~interval
+   | None -> ());
+  let t =
+    { z; cfg = config; kmem;
+      sched = Sched.create ();
+      probe = Probe.create ();
+      pd_tbl = Hashtbl.create 8;
+      rts = Hashtbl.create 8;
+      hwtm; mgr_pd;
+      cur = None; vfp_owner = None;
+      next_pd = 1; next_guest = 0;
+      crash_count = 0; hypercall_count = 0;
+      trace = None }
+  in
+  Hashtbl.replace t.pd_tbl 0 mgr_pd;
+  t
+
+let zynq t = t.z
+let probe t = t.probe
+let set_trace t tr = t.trace <- tr
+let trace t = t.trace
+
+let emit t kind =
+  match t.trace with
+  | Some tr -> Ktrace.record tr (Clock.now t.z.Zynq.clock) kind
+  | None -> ()
+let kmem t = t.kmem
+let hwtm t = t.hwtm
+let config t = t.cfg
+
+let register_hw_task t kind = Hw_task_manager.register_task t.hwtm kind
+
+let create_vm t ~name ?(priority = 1) ?(uses_vfp = false) main =
+  let id = t.next_pd in
+  t.next_pd <- id + 1;
+  let index = t.next_guest in
+  t.next_guest <- index + 1;
+  let asid = Kmem.alloc_asid t.kmem in
+  let pt = Kmem.make_guest_pt t.kmem ~index in
+  let phys_base = Address_map.guest_phys_base index in
+  let pd =
+    Pd.make ~id ~name ~kind:Pd.Guest ~priority ~asid ~pt ~phys_base
+      ~quantum:t.cfg.quantum
+  in
+  Vcpu.set_uses_vfp pd.Pd.vcpu uses_vfp;
+  let env = { env_zynq = t.z; pd_id = id; guest_index = index; phys_base } in
+  let rt = { pd; main; env; started = false; saved = None; slice_start = 0 } in
+  Hashtbl.replace t.pd_tbl id pd;
+  Hashtbl.replace t.rts id rt;
+  Sched.enqueue t.sched pd;
+  pd
+
+let pd t id = Hashtbl.find_opt t.pd_tbl id
+let pds t = Hashtbl.fold (fun _ p acc -> p :: acc) t.pd_tbl []
+let current t = Option.map (fun rt -> rt.pd) t.cur
+
+let alive_guests t =
+  Hashtbl.fold
+    (fun _ rt n -> if rt.pd.Pd.state <> Pd.Dead then n + 1 else n)
+    t.rts 0
+
+let crashes t = t.crash_count
+let hypercalls t = t.hypercall_count
+
+let drain rt = { Hyper.virqs = Vgic.drain rt.pd.Pd.vgic }
+
+let unblock t (pd : Pd.t) =
+  if pd.Pd.state = Pd.Blocked && Vgic.has_deliverable pd.Pd.vgic then begin
+    pd.Pd.state <- Pd.Runnable;
+    Sched.enqueue t.sched pd
+  end
+
+(* Distribute an interrupt into a PD's vGIC, charging the injection
+   stub plus the per-PD vGIC/vCPU state it touches — per-VM kernel
+   data whose cache residency decays as more VMs run (Table III's
+   "PL IRQ entry" growth). *)
+let inject_charged t pd_id irq =
+  match Hashtbl.find_opt t.pd_tbl pd_id with
+  | None -> ()
+  | Some pd ->
+    (* The vIRQ list lives in the upper half of the PD's kernel save
+       block: touched only on injection, so its residency genuinely
+       decays with the number of competing VMs. *)
+    let sa_base, _ = Vcpu.save_area pd.Pd.vcpu in
+    run_fp t Klayout.vgic_inject
+      ~reads:[ { Exec.base = sa_base + 384; len = 64 } ]
+      ~writes:[ { Exec.base = sa_base + 448; len = 32 } ]
+      ~base_cycles:Costs.vgic_inject "vgic_inject";
+    emit t (Ktrace.Virq_inject { pd = pd.Pd.id; irq });
+    Vgic.set_pending pd.Pd.vgic irq;
+    unblock t pd
+
+(* Physical interrupt routing: the kernel's IRQ exception path. *)
+let rec route_irqs t =
+  ignore (Event_queue.run_due t.z.Zynq.queue);
+  if Gic.line_asserted t.z.Zynq.gic then begin
+    let t0 = Clock.now t.z.Zynq.clock in
+    run_fp t Klayout.irq_entry
+      ~base_cycles:(Cpu_mode.exception_entry_cycles + Costs.irq_route)
+      "irq_entry";
+    (match Gic.ack t.z.Zynq.gic with
+     | None -> ()
+     | Some irq ->
+       Gic.eoi t.z.Zynq.gic irq;
+       if irq <> Irq_id.private_timer then emit t (Ktrace.Irq_taken irq);
+       if irq = Irq_id.private_timer then Probe.incr t.probe "kernel_tick"
+       else if irq = Irq_id.devcfg then begin
+         match Hw_task_manager.pcap_client t.hwtm with
+         | Some cid ->
+           inject_charged t cid irq;
+           Probe.incr t.probe "pcap_irq"
+         | None -> ()
+       end
+       else begin
+         match Irq_id.pl_index irq with
+         | Some i ->
+           (match Prr_controller.irq_owner t.z.Zynq.prrc i with
+            | Some prr_id ->
+              (match Hw_task_manager.prr_client t.hwtm prr_id with
+               | Some cid ->
+                 inject_charged t cid irq;
+                 Probe.record t.probe Probe.pl_irq_entry
+                   (Clock.now t.z.Zynq.clock - t0)
+               | None -> ())
+            | None -> ())
+         | None -> Probe.incr t.probe "spurious_irq"
+       end);
+    Probe.record t.probe Probe.irq_path (Clock.now t.z.Zynq.clock - t0);
+    route_irqs t
+  end
+
+let find_vcpu t id_opt =
+  match id_opt with
+  | None -> None
+  | Some id ->
+    Option.map (fun (p : Pd.t) -> p.Pd.vcpu) (Hashtbl.find_opt t.pd_tbl id)
+
+let switch_to t rt =
+  match t.cur with
+  | Some c when c == rt -> ()
+  | _ ->
+    let t0 = Clock.now t.z.Zynq.clock in
+    (match t.cur with
+     | Some old when old.pd.Pd.state <> Pd.Dead ->
+       Vcpu.save_active t.z old.pd.Pd.vcpu
+     | Some _ | None -> ());
+    run_fp t Klayout.sched_pick ~base_cycles:Costs.sched_pick "sched_pick";
+    (* Mask the previous guest's sources, unmask the successor's. *)
+    let guest_enabled =
+      List.filter
+        (fun i -> i < Irq_id.max_irq && not (List.mem i kernel_irqs))
+        (Vgic.enabled_sources rt.pd.Pd.vgic)
+    in
+    Gic.set_enabled_mask t.z.Zynq.gic ~keep:kernel_irqs ~enable:guest_enabled;
+    (match t.cfg.tlb_policy with
+     | `Asid -> ()
+     | `Flush_all ->
+       ignore (Tlb.flush_all t.z.Zynq.tlb);
+       Clock.advance t.z.Zynq.clock 80);
+    Vcpu.restore_active t.z rt.pd.Pd.vcpu;
+    Kmem.activate_guest t.kmem rt.pd;
+    (match t.cfg.vfp_policy with
+     | `Active ->
+       let from = find_vcpu t (Option.map (fun c -> c.pd.Pd.id) t.cur) in
+       Vcpu.switch_vfp t.z ~from ~to_:rt.pd.Pd.vcpu;
+       Probe.incr t.probe "vfp_switch";
+       t.vfp_owner <- Some rt.pd.Pd.id
+     | `Lazy ->
+       if Vcpu.uses_vfp rt.pd.Pd.vcpu && t.vfp_owner <> Some rt.pd.Pd.id
+       then begin
+         (* First VFP use after the switch traps and banks are swapped. *)
+         Vcpu.switch_vfp t.z ~from:(find_vcpu t t.vfp_owner)
+           ~to_:rt.pd.Pd.vcpu;
+         Probe.incr t.probe "vfp_switch";
+         t.vfp_owner <- Some rt.pd.Pd.id
+       end);
+    emit t
+      (Ktrace.Vm_switch
+         { from = Option.map (fun c -> c.pd.Pd.id) t.cur;
+           to_ = rt.pd.Pd.id });
+    t.cur <- Some rt;
+    rt.slice_start <- Clock.now t.z.Zynq.clock;
+    Probe.record t.probe Probe.vm_switch (Clock.now t.z.Zynq.clock - t0)
+
+let release_all_tasks t (pd : Pd.t) =
+  List.iter
+    (fun (task, _, _) ->
+       ignore (Hw_task_manager.release t.hwtm ~client_id:pd.Pd.id ~task))
+    pd.Pd.iface_mappings;
+  pd.Pd.iface_mappings <- []
+
+let kill t rt reason =
+  Log.warn (fun m -> m "killing %a: %s" Pd.pp rt.pd reason);
+  emit t (Ktrace.Vm_dead { pd = rt.pd.Pd.id; reason });
+  rt.pd.Pd.state <- Pd.Dead;
+  rt.pd.Pd.vtimer_generation <- rt.pd.Pd.vtimer_generation + 1;
+  rt.pd.Pd.vtimer_interval <- None;
+  Sched.dequeue t.sched rt.pd;
+  release_all_tasks t rt.pd;
+  (match t.cur with Some c when c == rt -> t.cur <- None | Some _ | None -> ())
+
+let rec arm_vtimer t (pd : Pd.t) interval gen =
+  ignore
+    (Event_queue.schedule_after t.z.Zynq.queue interval (fun () ->
+         if pd.Pd.vtimer_generation = gen && pd.Pd.state <> Pd.Dead then begin
+           Vgic.set_pending pd.Pd.vgic Irq_id.private_timer;
+           unblock t pd;
+           arm_vtimer t pd interval gen
+         end))
+
+(* Walk a guest buffer page by page, applying [f phys len] per piece. *)
+let for_each_page t (pd : Pd.t) vaddr len f =
+  let rec loop va remaining =
+    if remaining <= 0 then Ok ()
+    else
+      match Kmem.guest_translate t.kmem pd va with
+      | None -> Error "address not mapped"
+      | Some pa ->
+        let chunk = min remaining (Addr.page_size - Addr.page_offset va) in
+        f pa chunk;
+        loop (va + chunk) (remaining - chunk)
+  in
+  loop vaddr len
+
+let in_linear_guest_area vaddr len =
+  vaddr >= Guest_layout.kernel_base && len >= 0
+  && vaddr + len <= Guest_layout.page_region_base
+
+(* The Hardware Task Manager invocation: entry / execution / exit are
+   separately timed, matching Table III's three components. *)
+let handle_hw_task_request t rt ~entry_start ~task ~iface_vaddr ~data_vaddr
+    ~data_len ~want_irq =
+  let pd = rt.pd in
+  let clock = t.z.Zynq.clock in
+  (* Entry: portal dispatch + switch into the manager's space. *)
+  emit t (Ktrace.Hwtm_stage { pd = pd.Pd.id; stage = "entry" });
+  Kmem.activate_manager t.kmem ~asid:mgr_asid;
+  let stack_base, _ = Klayout.mgr_stack in
+  run_fp t Klayout.mgr_entry_stub
+    ~writes:[ { Exec.base = stack_base; len = 128 } ]
+    ~base_cycles:Costs.mgr_entry "hwtm_entry";
+  Probe.record t.probe Probe.hwtm_entry (Clock.now clock - entry_start);
+  (* Execution: the Fig 7 allocation routine. *)
+  let exec_start = Clock.now clock in
+  let resp =
+    if data_len < Hw_task_manager.reserved_bytes then
+      Hyper.R_error "data section too small"
+    else if not (in_linear_guest_area data_vaddr data_len) then
+      Hyper.R_error "data section must lie in the linear guest area"
+    else
+      match Kmem.guest_translate t.kmem pd data_vaddr with
+      | None -> Hyper.R_error "data section not mapped"
+      | Some data_phys ->
+        pd.Pd.data_section <- Some (data_vaddr, data_len, data_phys);
+        let client =
+          { Hw_task_manager.client_id = pd.Pd.id;
+            data_window = (data_phys, data_len);
+            map_iface =
+              (fun prr ->
+                 match
+                   Kmem.map_iface t.kmem pd
+                     ~prr_regs_base:prr.Prr.regs_base ~vaddr:iface_vaddr
+                 with
+                 | Ok () ->
+                   Pd.add_iface pd task ~prr:prr.Prr.id ~vaddr:iface_vaddr;
+                   Ok ()
+                 | Error e -> Error e);
+            unmap_iface =
+              (fun _prr ->
+                 match Pd.find_iface pd task with
+                 | Some (_, va) ->
+                   Kmem.unmap_iface t.kmem pd ~vaddr:va;
+                   Pd.remove_iface pd task
+                 | None -> ());
+            notify_irq =
+              (fun _prr i ->
+                 let v = Irq_id.pl i in
+                 Vgic.register pd.Pd.vgic v;
+                 Vgic.enable pd.Pd.vgic v) }
+        in
+        let r = Hw_task_manager.request t.hwtm client ~task ~want_irq in
+        Hyper.R_hw
+          { status = r.Hw_task_manager.status;
+            irq = Option.map Irq_id.pl r.Hw_task_manager.irq;
+            prr = r.Hw_task_manager.prr }
+  in
+  Probe.record t.probe Probe.hwtm_exec (Clock.now clock - exec_start);
+  (* Exit: back to the caller's space. *)
+  let exit_start = Clock.now clock in
+  let sa_base, _ = Vcpu.save_area pd.Pd.vcpu in
+  run_fp t Klayout.mgr_exit_stub
+    ~reads:[ { Exec.base = sa_base; len = 160 } ]
+    ~base_cycles:Costs.mgr_exit "hwtm_exit";
+  Kmem.activate_guest t.kmem pd;
+  run_fp t Klayout.svc_exit
+    ~base_cycles:(Costs.hypercall_exit + Cpu_mode.exception_return_cycles)
+    "svc_exit";
+  Probe.record t.probe Probe.hwtm_exit (Clock.now clock - exit_start);
+  Probe.record t.probe "hwtm_total" (Clock.now clock - entry_start);
+  emit t (Ktrace.Hwtm_stage { pd = pd.Pd.id; stage = "exit" });
+  resp
+
+let handle_simple t rt req =
+  let pd = rt.pd in
+  let z = t.z in
+  let hier = z.Zynq.hier in
+  run_fp t
+    (Klayout.handler (Hyper.number req))
+    ~base_cycles:Costs.hypercall_handler "hyper_handler";
+  match req with
+  | Hyper.Cache_clean_range { vaddr; len } ->
+    (match
+       for_each_page t pd vaddr len (fun pa n ->
+           ignore (Hierarchy.clean_dcache_range hier pa n))
+     with
+     | Ok () -> Hyper.R_unit
+     | Error e -> Hyper.R_error e)
+  | Hyper.Cache_invalidate_range { vaddr; len } ->
+    (match
+       for_each_page t pd vaddr len (fun pa n ->
+           ignore (Hierarchy.invalidate_dcache_range hier pa n))
+     with
+     | Ok () -> Hyper.R_unit
+     | Error e -> Hyper.R_error e)
+  | Hyper.Cache_flush_all ->
+    ignore (Hierarchy.clean_invalidate_all hier);
+    Hyper.R_unit
+  | Hyper.Tlb_flush_asid ->
+    ignore (Tlb.flush_asid z.Zynq.tlb pd.Pd.asid);
+    Hyper.R_unit
+  | Hyper.Tlb_flush_all ->
+    ignore (Tlb.flush_all z.Zynq.tlb);
+    Hyper.R_unit
+  | Hyper.Irq_enable irq ->
+    if irq < 0 || irq >= Irq_id.max_irq then Hyper.R_error "bad irq"
+    else begin
+      Vgic.register pd.Pd.vgic irq;
+      Vgic.enable pd.Pd.vgic irq;
+      Hyper.R_unit
+    end
+  | Hyper.Irq_disable irq ->
+    if Vgic.registered pd.Pd.vgic irq then begin
+      Vgic.disable pd.Pd.vgic irq;
+      Hyper.R_unit
+    end
+    else Hyper.R_error "irq not registered"
+  | Hyper.Irq_set_entry a ->
+    Vgic.set_entry pd.Pd.vgic a;
+    Hyper.R_unit
+  | Hyper.Irq_eoi _ -> Hyper.R_unit (* guest-local state, paper §III-B *)
+  | Hyper.Vtimer_config { interval } ->
+    if interval <= 0 then Hyper.R_error "bad interval"
+    else begin
+      pd.Pd.vtimer_generation <- pd.Pd.vtimer_generation + 1;
+      pd.Pd.vtimer_interval <- Some interval;
+      arm_vtimer t pd interval pd.Pd.vtimer_generation;
+      Hyper.R_unit
+    end
+  | Hyper.Vtimer_stop ->
+    pd.Pd.vtimer_generation <- pd.Pd.vtimer_generation + 1;
+    pd.Pd.vtimer_interval <- None;
+    Hyper.R_unit
+  | Hyper.Map_insert { vaddr; gphys_off; user } ->
+    (match Kmem.guest_map_page t.kmem pd ~vaddr ~gphys_off ~user with
+     | Ok () -> Hyper.R_unit
+     | Error e -> Hyper.R_error e)
+  | Hyper.Map_remove { vaddr } ->
+    (match Kmem.guest_unmap_page t.kmem pd ~vaddr with
+     | Ok () -> Hyper.R_unit
+     | Error e -> Hyper.R_error e)
+  | Hyper.Pt_alloc_l2 { vaddr } ->
+    (try
+       Page_table.ensure_l2 pd.Pd.pt ~virt:vaddr ~domain:Kmem.dom_guest_user;
+       Clock.advance z.Zynq.clock Costs.pt_update;
+       Hyper.R_unit
+     with Invalid_argument e -> Hyper.R_error e)
+  | Hyper.Set_guest_mode m ->
+    Vcpu.set_guest_mode pd.Pd.vcpu m;
+    Kmem.set_guest_dacr t.kmem m;
+    Hyper.R_unit
+  | Hyper.Priv_reg_read r ->
+    Hyper.R_int (Trap_emulate.emulate z pd.Pd.vcpu (Hyper.Mrc r))
+  | Hyper.Priv_reg_write (r, v) ->
+    Hyper.R_int (Trap_emulate.emulate z pd.Pd.vcpu (Hyper.Mcr (r, v)))
+  | Hyper.Uart_write s ->
+    Uart.write_string z.Zynq.uart s;
+    Clock.advance z.Zynq.clock (String.length s * Costs.uart_per_byte);
+    Hyper.R_unit
+  | Hyper.Sd_read { block } ->
+    (try
+       let b = Sd_card.read_block z.Zynq.sd block in
+       Clock.advance z.Zynq.clock Sd_card.transfer_cycles;
+       Hyper.R_bytes b
+     with Invalid_argument e -> Hyper.R_error e)
+  | Hyper.Sd_write { block; data } ->
+    (try
+       Sd_card.write_block z.Zynq.sd block data;
+       Clock.advance z.Zynq.clock Sd_card.transfer_cycles;
+       Hyper.R_unit
+     with Invalid_argument e -> Hyper.R_error e)
+  | Hyper.Hw_task_release { task } ->
+    (match Hw_task_manager.release t.hwtm ~client_id:pd.Pd.id ~task with
+     | Ok () -> Hyper.R_unit
+     | Error e -> Hyper.R_error e)
+  | Hyper.Hw_task_status { task } ->
+    let ready, consistent =
+      Hw_task_manager.poll t.hwtm ~client_id:pd.Pd.id ~task
+    in
+    Hyper.R_status { prr_ready = ready; consistent }
+  | Hyper.Vm_send { dest; payload } ->
+    (match Hashtbl.find_opt t.pd_tbl dest with
+     | None -> Hyper.R_error "no such PD"
+     | Some target ->
+       if target.Pd.state = Pd.Dead then Hyper.R_error "PD is dead"
+       else begin
+         match Ipc.send target.Pd.inbox ~sender:pd.Pd.id payload with
+         | Error e -> Hyper.R_error e
+         | Ok () ->
+           run_fp t Klayout.ipc_copy
+             ~base_cycles:(Array.length payload * Costs.ipc_per_word)
+             "ipc_copy";
+           Vgic.set_pending target.Pd.vgic ipc_doorbell_irq;
+           unblock t target;
+           Hyper.R_unit
+       end)
+  | Hyper.Vm_recv ->
+    (match Ipc.recv pd.Pd.inbox with
+     | None -> Hyper.R_msg None
+     | Some m ->
+       run_fp t Klayout.ipc_copy
+         ~base_cycles:(Array.length m.Ipc.payload * Costs.ipc_per_word)
+         "ipc_copy";
+       Hyper.R_msg (Some (m.Ipc.sender, m.Ipc.payload)))
+  | Hyper.Hw_task_request _ -> assert false (* handled separately *)
+
+let handle_hyper t rt req =
+  t.hypercall_count <- t.hypercall_count + 1;
+  Probe.incr t.probe ("hyper_" ^ Hyper.name req);
+  emit t (Ktrace.Hypercall { pd = rt.pd.Pd.id; name = Hyper.name req });
+  let clock = t.z.Zynq.clock in
+  let t0 = Clock.now clock in
+  let pd_base, pd_len = Klayout.pd_table in
+  run_fp t Klayout.svc_entry ~base_cycles:Costs.hypercall_entry "svc_entry";
+  run_fp t Klayout.hyper_dispatch
+    ~reads:[ { Exec.base = pd_base; len = min 128 pd_len } ]
+    "hyper_dispatch";
+  let resp =
+    match req with
+    | Hyper.Hw_task_request { task; iface_vaddr; data_vaddr; data_len;
+                              want_irq } ->
+      handle_hw_task_request t rt ~entry_start:t0 ~task ~iface_vaddr
+        ~data_vaddr ~data_len ~want_irq
+    | _ ->
+      let r = handle_simple t rt req in
+      run_fp t Klayout.svc_exit
+        ~base_cycles:(Costs.hypercall_exit + Cpu_mode.exception_return_cycles)
+        "svc_exit";
+      r
+  in
+  Probe.record t.probe Probe.hypercall (Clock.now clock - t0);
+  resp
+
+let account_quantum rt now =
+  let elapsed = now - rt.slice_start in
+  let pd = rt.pd in
+  pd.Pd.quantum_left <- max 1 (pd.Pd.quantum_left - elapsed);
+  rt.slice_start <- now
+
+let rec execute t rt ex ~until =
+  match ex with
+  | X_done -> kill t rt "guest main returned"
+  | X_crash e ->
+    t.crash_count <- t.crash_count + 1;
+    Probe.incr t.probe "vm_crash";
+    kill t rt (Printexc.to_string e)
+  | X_hyper (req, k) ->
+    let resp = handle_hyper t rt req in
+    execute t rt (Effect.Deep.continue k resp) ~until
+  | X_und (instr, k) ->
+    Probe.incr t.probe "und_trap";
+    Trap_emulate.charge_trap t.z;
+    let v = Trap_emulate.emulate t.z rt.pd.Pd.vcpu instr in
+    execute t rt (Effect.Deep.continue k v) ~until
+  | X_idle k ->
+    route_irqs t;
+    if Vgic.has_deliverable rt.pd.Pd.vgic then
+      execute t rt (Effect.Deep.continue k (drain rt)) ~until
+    else begin
+      account_quantum rt (Clock.now t.z.Zynq.clock);
+      rt.pd.Pd.state <- Pd.Blocked;
+      Sched.dequeue t.sched rt.pd;
+      rt.saved <- Some k
+    end
+  | X_pause k ->
+    (* Even an empty guest loop executes instructions: charge a
+       minimal cost so simulated time always progresses (liveness). *)
+    Clock.advance t.z.Zynq.clock 20;
+    route_irqs t;
+    let now = Clock.now t.z.Zynq.clock in
+    let pd = rt.pd in
+    let elapsed = now - rt.slice_start in
+    let higher =
+      match Sched.pick t.sched with
+      | Some top -> top.Pd.priority > pd.Pd.priority
+      | None -> false
+    in
+    if now >= until then rt.saved <- Some k
+    else if higher then begin
+      (* Preemption: preserve the remaining quantum (paper §III-D). *)
+      account_quantum rt now;
+      rt.saved <- Some k
+    end
+    else if elapsed >= pd.Pd.quantum_left then begin
+      pd.Pd.quantum_left <- pd.Pd.quantum;
+      rt.slice_start <- now;
+      Sched.rotate t.sched pd;
+      match Sched.pick t.sched with
+      | Some next when next.Pd.id <> pd.Pd.id -> rt.saved <- Some k
+      | Some _ | None ->
+        execute t rt (Effect.Deep.continue k (drain rt)) ~until
+    end
+    else execute t rt (Effect.Deep.continue k (drain rt)) ~until
+
+let run t ~until =
+  let stop = ref false in
+  while (not !stop) && Clock.now t.z.Zynq.clock < until do
+    route_irqs t;
+    if alive_guests t = 0 then stop := true
+    else begin
+      match Sched.pick t.sched with
+      | Some pd ->
+        let rt = Hashtbl.find t.rts pd.Pd.id in
+        switch_to t rt;
+        let ex =
+          if not rt.started then begin
+            rt.started <- true;
+            Effect.Deep.match_with rt.main rt.env handler
+          end
+          else
+            match rt.saved with
+            | Some k ->
+              rt.saved <- None;
+              Effect.Deep.continue k (drain rt)
+            | None -> assert false
+        in
+        execute t rt ex ~until
+      | None ->
+        (* Everything is blocked: sleep until the next event fires. *)
+        if not (Zynq.idle_until_next_event t.z) then begin
+          Log.warn (fun m -> m "all VMs blocked with no pending events");
+          stop := true
+        end
+    end
+  done
+
+let run_for t d = run t ~until:(Clock.now t.z.Zynq.clock + d)

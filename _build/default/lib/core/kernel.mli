@@ -1,0 +1,92 @@
+(** The Mini-NOVA microkernel (paper §III).
+
+    Boots on a {!Zynq.t}, hosts paravirtualized guests as one-shot
+    fibers (each VM-exit — hypercall, pause, idle, privileged trap —
+    is an effect the kernel handles), and provides the four VMM
+    properties: CPU virtualization (vCPU save/restore with lazy VFP
+    switching), memory management (per-VM page tables, ASIDs, the DACR
+    guest-mode trick), communication (IPC mailboxes with a doorbell
+    interrupt), and scheduling (preemptive priority round-robin with
+    quantum preservation). The Hardware Task Manager service runs in
+    its own protection domain at a priority above the guests and is
+    dispatched synchronously on the hardware-task hypercalls. *)
+
+type config = {
+  quantum : Cycles.t;
+  (** guest time slice; the paper uses 33 ms *)
+
+  vfp_policy : [ `Lazy | `Active ];
+  (** [`Lazy] switches the VFP bank only on first use by a new owner
+      (Table I); [`Active] saves/restores it on every VM switch
+      (ablation A2) *)
+
+  tlb_policy : [ `Asid | `Flush_all ];
+  (** [`Asid] relies on ASID tagging across VM switches (§III-C);
+      [`Flush_all] flushes the whole TLB on each switch (ablation A4) *)
+
+  kernel_tick : Cycles.t option;
+  (** period of the kernel's physical timer tick, [None] disables *)
+}
+
+val default_config : config
+(** 33 ms quantum, lazy VFP, ASID-tagged TLB, 1 ms kernel tick. *)
+
+type t
+
+(** What a guest's [main] receives: enough to address its own virtual
+    window and charge its execution, nothing kernel-private. *)
+type guest_env = {
+  env_zynq : Zynq.t;
+  pd_id : int;
+  guest_index : int;
+  phys_base : Addr.t;
+}
+
+val boot : ?config:config -> Zynq.t -> t
+(** Initialise kernel memory, activate the kernel address space,
+    create the Hardware Task Manager service PD, start the kernel
+    tick. *)
+
+val zynq : t -> Zynq.t
+val probe : t -> Probe.t
+
+val set_trace : t -> Ktrace.t option -> unit
+(** Attach (or detach) an event-trace ring; the kernel then records
+    VM switches, hypercalls, interrupt deliveries, manager stages and
+    VM deaths into it. *)
+
+val trace : t -> Ktrace.t option
+val kmem : t -> Kmem.t
+val hwtm : t -> Hw_task_manager.t
+val config : t -> config
+
+val ipc_doorbell_irq : int
+(** Virtual interrupt injected into a PD when a message arrives. *)
+
+val register_hw_task : t -> Task_kind.t -> Bitstream.id
+(** Add a bitstream to the Hardware Task Manager's store. *)
+
+val create_vm :
+  t -> name:string -> ?priority:int -> ?uses_vfp:bool ->
+  (guest_env -> unit) -> Pd.t
+(** Create a guest VM: allocates its ASID and address space, builds
+    its PD, and enqueues it (priority 1 by default; the manager runs
+    at 6). The guest's [main] starts on first schedule. *)
+
+val pd : t -> int -> Pd.t option
+val pds : t -> Pd.t list
+val current : t -> Pd.t option
+
+val run : t -> until:Cycles.t -> unit
+(** Schedule until the absolute simulated time [until], every guest
+    has died, or nothing can ever run again. *)
+
+val run_for : t -> Cycles.t -> unit
+(** [run t ~until:(now + d)]. *)
+
+val alive_guests : t -> int
+val crashes : t -> int
+(** Guests killed on an unhandled fault/exception. *)
+
+val hypercalls : t -> int
+(** Total hypercalls dispatched. *)

@@ -1,0 +1,194 @@
+let dom_kernel = 0
+let dom_guest_kernel = 1
+let dom_guest_user = 2
+
+type t = {
+  zynq : Zynq.t;
+  alloc : Frame_alloc.t;
+  kernel_pt : Page_table.t;
+  mutable next_asid : int;
+}
+
+let kernel_attrs =
+  { Pte.ap = Pte.Ap_priv; domain = dom_kernel; global = true }
+
+let map_identity_sections pt ~base ~size attrs =
+  let first = Addr.section_base base in
+  let last = Addr.section_base (base + size - 1) in
+  let a = ref first in
+  while !a <= last do
+    Page_table.map_section pt ~virt:!a ~phys:!a attrs;
+    a := !a + Addr.section_size
+  done
+
+(* Kernel global mappings shared by every address space. *)
+let install_kernel_globals pt =
+  map_identity_sections pt ~base:Address_map.kernel_code_base
+    ~size:Address_map.kernel_code_size kernel_attrs;
+  map_identity_sections pt ~base:Address_map.kernel_data_base
+    ~size:Address_map.kernel_data_size kernel_attrs
+
+let create zynq =
+  (* Kernel objects (page tables, save areas) live in the upper part of
+     the kernel data region; Klayout's static objects use the bottom. *)
+  let heap_off = 0x80000 in
+  let alloc =
+    Frame_alloc.create
+      ~base:(Address_map.kernel_data_base + heap_off)
+      ~size:(Address_map.kernel_data_size - heap_off)
+  in
+  let kernel_pt = Page_table.create zynq.Zynq.mem alloc in
+  install_kernel_globals kernel_pt;
+  map_identity_sections kernel_pt ~base:Address_map.bitstream_store_base
+    ~size:Address_map.bitstream_store_size kernel_attrs;
+  map_identity_sections kernel_pt ~base:Address_map.axi_gp0_base
+    ~size:Address_map.axi_gp0_size kernel_attrs;
+  let t = { zynq; alloc; kernel_pt; next_asid = 2 } in
+  Mmu.set_ttbr zynq.Zynq.mmu (Page_table.root kernel_pt);
+  Mmu.set_asid zynq.Zynq.mmu 0;
+  for d = 0 to 15 do
+    Dacr.set (Mmu.dacr zynq.Zynq.mmu) d Dacr.Client
+  done;
+  t
+
+let zynq t = t.zynq
+let kernel_pt t = t.kernel_pt
+let allocator t = t.alloc
+
+let alloc_asid t =
+  if t.next_asid > 255 then failwith "Kmem.alloc_asid: ASID space exhausted";
+  let a = t.next_asid in
+  t.next_asid <- a + 1;
+  a
+
+let make_guest_pt t ~index =
+  let pt = Page_table.create t.zynq.Zynq.mem t.alloc in
+  install_kernel_globals pt;
+  let phys_base = Address_map.guest_phys_base index in
+  let phys_of virt = phys_base + (virt - Guest_layout.kernel_base) in
+  (* Guest kernel image: domain 1, full access (USR), toggled by DACR. *)
+  let a = ref Guest_layout.kernel_base in
+  while !a < Guest_layout.kernel_base + Guest_layout.kernel_size do
+    Page_table.map_section pt ~virt:!a ~phys:(phys_of !a)
+      { Pte.ap = Pte.Ap_full; domain = dom_guest_kernel; global = false };
+    a := !a + Addr.section_size
+  done;
+  (* Guest user: domain 2. *)
+  let a = ref Guest_layout.user_base in
+  while !a < Guest_layout.user_base + Guest_layout.user_size do
+    Page_table.map_section pt ~virt:!a ~phys:(phys_of !a)
+      { Pte.ap = Pte.Ap_full; domain = dom_guest_user; global = false };
+    a := !a + Addr.section_size
+  done;
+  pt
+
+let charge_context_regs t =
+  Clock.advance t.zynq.Zynq.clock (Costs.ttbr_asid_write + Costs.dacr_write)
+
+let dacr_all_client t =
+  for d = 0 to 15 do
+    Dacr.set (Mmu.dacr t.zynq.Zynq.mmu) d Dacr.Client
+  done
+
+let activate_kernel t =
+  Mmu.set_ttbr t.zynq.Zynq.mmu (Page_table.root t.kernel_pt);
+  Mmu.set_asid t.zynq.Zynq.mmu 0;
+  dacr_all_client t;
+  charge_context_regs t
+
+let activate_manager t ~asid =
+  Mmu.set_ttbr t.zynq.Zynq.mmu (Page_table.root t.kernel_pt);
+  Mmu.set_asid t.zynq.Zynq.mmu asid;
+  dacr_all_client t;
+  charge_context_regs t
+
+let set_guest_dacr t mode =
+  let d = Mmu.dacr t.zynq.Zynq.mmu in
+  Dacr.set d dom_guest_kernel
+    (match mode with
+     | Hyper.Gm_kernel -> Dacr.Client
+     | Hyper.Gm_user -> Dacr.No_access);
+  Clock.advance t.zynq.Zynq.clock Costs.dacr_write
+
+let activate_guest t (pd : Pd.t) =
+  Mmu.set_ttbr t.zynq.Zynq.mmu (Page_table.root pd.Pd.pt);
+  Mmu.set_asid t.zynq.Zynq.mmu pd.Pd.asid;
+  let d = Mmu.dacr t.zynq.Zynq.mmu in
+  Dacr.set d dom_kernel Dacr.Client;
+  Dacr.set d dom_guest_user Dacr.Client;
+  Dacr.set d dom_guest_kernel
+    (match Vcpu.guest_mode pd.Pd.vcpu with
+     | Hyper.Gm_kernel -> Dacr.Client
+     | Hyper.Gm_user -> Dacr.No_access);
+  charge_context_regs t
+
+let in_page_region vaddr =
+  vaddr >= Guest_layout.page_region_base
+  && vaddr < Guest_layout.page_region_base + Guest_layout.page_region_size
+
+let charge_pt_update t =
+  Clock.advance t.zynq.Zynq.clock Costs.pt_update
+
+let guest_map_page t (pd : Pd.t) ~vaddr ~gphys_off ~user =
+  if not (Addr.is_aligned vaddr Addr.page_size) then
+    Error "map: vaddr not page aligned"
+  else if not (in_page_region vaddr) then
+    Error "map: vaddr outside the guest page region"
+  else if
+    gphys_off < 0
+    || gphys_off + Addr.page_size > Address_map.guest_phys_size
+    || not (Addr.is_aligned gphys_off Addr.page_size)
+  then Error "map: bad guest-physical offset"
+  else begin
+    let domain = if user then dom_guest_user else dom_guest_kernel in
+    (try
+       Page_table.map_page pd.Pd.pt ~virt:vaddr
+         ~phys:(pd.Pd.phys_base + gphys_off) ~domain ~ap:Pte.Ap_full
+         ~global:false;
+       Tlb.flush_page t.zynq.Zynq.tlb ~asid:pd.Pd.asid
+         ~vpage:(vaddr lsr Addr.page_shift);
+       charge_pt_update t;
+       Ok ()
+     with Invalid_argument e -> Error e)
+  end
+
+let guest_unmap_page t (pd : Pd.t) ~vaddr =
+  if not (in_page_region vaddr) then
+    Error "unmap: vaddr outside the guest page region"
+  else begin
+    let existed = Page_table.unmap_page pd.Pd.pt ~virt:vaddr in
+    Tlb.flush_page t.zynq.Zynq.tlb ~asid:pd.Pd.asid
+      ~vpage:(vaddr lsr Addr.page_shift);
+    charge_pt_update t;
+    if existed then Ok () else Error "unmap: nothing mapped"
+  end
+
+let map_iface t (pd : Pd.t) ~prr_regs_base ~vaddr =
+  if not (Addr.is_aligned vaddr Addr.page_size) then
+    Error "iface: vaddr not page aligned"
+  else if not (in_page_region vaddr) then
+    Error "iface: vaddr outside the guest page region"
+  else
+    (try
+       Page_table.map_page pd.Pd.pt ~virt:vaddr ~phys:prr_regs_base
+         ~domain:dom_guest_user ~ap:Pte.Ap_full ~global:false;
+       Tlb.flush_page t.zynq.Zynq.tlb ~asid:pd.Pd.asid
+         ~vpage:(vaddr lsr Addr.page_shift);
+       charge_pt_update t;
+       Ok ()
+     with Invalid_argument e -> Error e)
+
+let unmap_iface t (pd : Pd.t) ~vaddr =
+  ignore (Page_table.unmap_page pd.Pd.pt ~virt:vaddr);
+  Tlb.flush_page t.zynq.Zynq.tlb ~asid:pd.Pd.asid
+    ~vpage:(vaddr lsr Addr.page_shift);
+  charge_pt_update t
+
+let guest_translate t (pd : Pd.t) vaddr =
+  let read a =
+    ignore (Hierarchy.access t.zynq.Zynq.hier Hierarchy.Load a);
+    Phys_mem.read_u32 t.zynq.Zynq.mem a
+  in
+  match Page_table.walk ~read ~root:(Page_table.root pd.Pd.pt) ~virt:vaddr with
+  | Some (pa, _) -> Some pa
+  | None -> None

@@ -1,0 +1,63 @@
+type kind =
+  | Vm_switch of { from : int option; to_ : int }
+  | Hypercall of { pd : int; name : string }
+  | Irq_taken of int
+  | Virq_inject of { pd : int; irq : int }
+  | Hwtm_stage of { pd : int; stage : string }
+  | Vm_dead of { pd : int; reason : string }
+  | Mark of string
+
+type event = { at : Cycles.t; kind : kind }
+
+type t = {
+  ring : event option array;
+  mutable next : int;
+  mutable count : int;
+  mutable dropped : int;
+}
+
+let create ~capacity =
+  if capacity <= 0 then invalid_arg "Ktrace.create: capacity must be positive";
+  { ring = Array.make capacity None; next = 0; count = 0; dropped = 0 }
+
+let record t at kind =
+  let cap = Array.length t.ring in
+  if t.count = cap then t.dropped <- t.dropped + 1
+  else t.count <- t.count + 1;
+  t.ring.(t.next) <- Some { at; kind };
+  t.next <- (t.next + 1) mod cap
+
+let events t =
+  let cap = Array.length t.ring in
+  let start = (t.next - t.count + cap) mod cap in
+  List.init t.count (fun i ->
+      match t.ring.((start + i) mod cap) with
+      | Some e -> e
+      | None -> assert false)
+
+let dropped t = t.dropped
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.next <- 0;
+  t.count <- 0;
+  t.dropped <- 0
+
+let pp_kind ppf = function
+  | Vm_switch { from; to_ } ->
+    Format.fprintf ppf "vm-switch      %s -> PD%d"
+      (match from with Some f -> Printf.sprintf "PD%d" f | None -> "boot")
+      to_
+  | Hypercall { pd; name } ->
+    Format.fprintf ppf "hypercall      PD%d %s" pd name
+  | Irq_taken irq -> Format.fprintf ppf "irq-taken      #%d" irq
+  | Virq_inject { pd; irq } ->
+    Format.fprintf ppf "virq-inject    #%d -> PD%d" irq pd
+  | Hwtm_stage { pd; stage } ->
+    Format.fprintf ppf "hwtm-%-9s client PD%d" stage pd
+  | Vm_dead { pd; reason } ->
+    Format.fprintf ppf "vm-dead        PD%d (%s)" pd reason
+  | Mark s -> Format.fprintf ppf "mark           %s" s
+
+let pp_event ppf e =
+  Format.fprintf ppf "%10.3f ms  %a" (Cycles.to_ms e.at) pp_kind e.kind

@@ -1,0 +1,36 @@
+(** Kernel event tracing.
+
+    A bounded ring of timestamped scheduler/trap events, cheap enough
+    to leave on during experiments. The CLI's [trace] command and the
+    tests use it to check event ordering (e.g. a hypercall is always
+    bracketed by the VM that issued it being current). *)
+
+type kind =
+  | Vm_switch of { from : int option; to_ : int }
+  | Hypercall of { pd : int; name : string }
+  | Irq_taken of int
+  | Virq_inject of { pd : int; irq : int }
+  | Hwtm_stage of { pd : int; stage : string }
+  | Vm_dead of { pd : int; reason : string }
+  | Mark of string  (** user-defined annotation *)
+
+type event = { at : Cycles.t; kind : kind }
+
+type t
+
+val create : capacity:int -> t
+(** Keep at most [capacity] most-recent events.
+    @raise Invalid_argument if capacity <= 0. *)
+
+val record : t -> Cycles.t -> kind -> unit
+
+val events : t -> event list
+(** Oldest first (at most [capacity]). *)
+
+val dropped : t -> int
+(** Events discarded because the ring was full. *)
+
+val clear : t -> unit
+
+val pp_event : Format.formatter -> event -> unit
+(** One line: [  12.345 ms  vm-switch       -> PD2]. *)

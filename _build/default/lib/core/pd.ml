@@ -1,0 +1,53 @@
+type kind = Guest | Service
+
+type state = Runnable | Blocked | Dead
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  priority : int;
+  asid : int;
+  pt : Page_table.t;
+  vcpu : Vcpu.t;
+  vgic : Vgic.t;
+  phys_base : Addr.t;
+  quantum : Cycles.t;
+  inbox : Ipc.t;
+  mutable state : state;
+  mutable quantum_left : Cycles.t;
+  mutable data_section : (Addr.t * int * Addr.t) option;
+  mutable iface_mappings : (Bitstream.id * int * Addr.t) list;
+  mutable vtimer_interval : Cycles.t option;
+  mutable vtimer_generation : int;
+}
+
+let make ~id ~name ~kind ~priority ~asid ~pt ~phys_base ~quantum =
+  { id; name; kind; priority; asid; pt;
+    vcpu = Vcpu.create ~pd_id:id;
+    vgic = Vgic.create ~owner:id;
+    phys_base; quantum;
+    inbox = Ipc.create ();
+    state = Runnable;
+    quantum_left = quantum;
+    data_section = None;
+    iface_mappings = [];
+    vtimer_interval = None;
+    vtimer_generation = 0 }
+
+let is_guest t = t.kind = Guest
+
+let find_iface t task =
+  List.find_map
+    (fun (tid, prr, vaddr) -> if tid = task then Some (prr, vaddr) else None)
+    t.iface_mappings
+
+let add_iface t task ~prr ~vaddr =
+  t.iface_mappings <- (task, prr, vaddr) :: t.iface_mappings
+
+let remove_iface t task =
+  t.iface_mappings <-
+    List.filter (fun (tid, _, _) -> tid <> task) t.iface_mappings
+
+let pp ppf t =
+  Format.fprintf ppf "PD%d(%s prio=%d asid=%d)" t.id t.name t.priority t.asid

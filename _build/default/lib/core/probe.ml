@@ -1,0 +1,49 @@
+type t = {
+  samples : (string, Stats.t) Hashtbl.t;
+  events : (string, int ref) Hashtbl.t;
+}
+
+let create () = { samples = Hashtbl.create 16; events = Hashtbl.create 16 }
+
+let record t label v =
+  let s =
+    match Hashtbl.find_opt t.samples label with
+    | Some s -> s
+    | None ->
+      let s = Stats.create () in
+      Hashtbl.replace t.samples label s;
+      s
+  in
+  Stats.add s (float_of_int v)
+
+let incr t label =
+  match Hashtbl.find_opt t.events label with
+  | Some r -> Stdlib.incr r
+  | None -> Hashtbl.replace t.events label (ref 1)
+
+let stats t label =
+  match Hashtbl.find_opt t.samples label with
+  | Some s -> s
+  | None -> Stats.create ()
+
+let count t label =
+  match Hashtbl.find_opt t.events label with Some r -> !r | None -> 0
+
+let labels t =
+  List.sort String.compare
+    (Hashtbl.fold (fun k _ acc -> k :: acc) t.samples [])
+
+let counters t =
+  List.sort compare (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.events [])
+
+let reset t =
+  Hashtbl.reset t.samples;
+  Hashtbl.reset t.events
+
+let hwtm_entry = "hwtm_entry"
+let hwtm_exit = "hwtm_exit"
+let hwtm_exec = "hwtm_exec"
+let pl_irq_entry = "pl_irq_entry"
+let vm_switch = "vm_switch"
+let hypercall = "hypercall"
+let irq_path = "irq_path"

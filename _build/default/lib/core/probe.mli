@@ -1,0 +1,41 @@
+(** Instrumentation registry.
+
+    The kernel timestamps its characteristic paths (Hardware Task
+    Manager entry/exit/execution, PL IRQ delivery, VM switch, …) and
+    records the elapsed cycles here under a label. The evaluation
+    harness reads the aggregates to print Table III. *)
+
+type t
+
+val create : unit -> t
+
+val record : t -> string -> int -> unit
+(** Add one sample (cycles) under a label. *)
+
+val incr : t -> string -> unit
+(** Bump a plain event counter. *)
+
+val stats : t -> string -> Stats.t
+(** Aggregate for a label (empty if never recorded). *)
+
+val count : t -> string -> int
+(** Value of an event counter (0 if never bumped). *)
+
+val labels : t -> string list
+(** All sample labels seen, sorted. *)
+
+val counters : t -> (string * int) list
+(** All event counters, sorted by name. *)
+
+val reset : t -> unit
+(** Drop all samples and counters (e.g. after warm-up). *)
+
+(** {2 Well-known labels} *)
+
+val hwtm_entry : string
+val hwtm_exit : string
+val hwtm_exec : string
+val pl_irq_entry : string
+val vm_switch : string
+val hypercall : string
+val irq_path : string

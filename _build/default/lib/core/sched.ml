@@ -1,0 +1,84 @@
+(* Circular doubly-linked rings, one per priority level, as in the
+   paper's Fig 3. Nodes are tracked per PD id for O(1) removal. *)
+
+type node = {
+  pd : Pd.t;
+  mutable next : node;
+  mutable prev : node;
+}
+
+type t = {
+  heads : node option array;
+  nodes : (int, node) Hashtbl.t;
+  mutable count : int;
+}
+
+let levels = 8
+
+let create () =
+  { heads = Array.make levels None; nodes = Hashtbl.create 16; count = 0 }
+
+let check_prio p =
+  if p < 0 || p >= levels then invalid_arg "Sched: priority out of range"
+
+let enqueue t pd =
+  check_prio pd.Pd.priority;
+  if not (Hashtbl.mem t.nodes pd.Pd.id) then begin
+    let rec node = { pd; next = node; prev = node } in
+    (match t.heads.(pd.Pd.priority) with
+     | None -> t.heads.(pd.Pd.priority) <- Some node
+     | Some head ->
+       (* Insert at tail (= head.prev). *)
+       let tail = head.prev in
+       tail.next <- node;
+       node.prev <- tail;
+       node.next <- head;
+       head.prev <- node);
+    Hashtbl.replace t.nodes pd.Pd.id node;
+    t.count <- t.count + 1
+  end
+
+let dequeue t pd =
+  match Hashtbl.find_opt t.nodes pd.Pd.id with
+  | None -> ()
+  | Some node ->
+    Hashtbl.remove t.nodes pd.Pd.id;
+    t.count <- t.count - 1;
+    if node.next == node then t.heads.(pd.Pd.priority) <- None
+    else begin
+      node.prev.next <- node.next;
+      node.next.prev <- node.prev;
+      match t.heads.(pd.Pd.priority) with
+      | Some head when head == node ->
+        t.heads.(pd.Pd.priority) <- Some node.next
+      | Some _ | None -> ()
+    end
+
+let contains t pd = Hashtbl.mem t.nodes pd.Pd.id
+
+let pick t =
+  let rec scan level =
+    if level < 0 then None
+    else
+      match t.heads.(level) with
+      | Some node -> Some node.pd
+      | None -> scan (level - 1)
+  in
+  scan (levels - 1)
+
+let rotate t pd =
+  match t.heads.(pd.Pd.priority) with
+  | Some head when head.pd == pd -> t.heads.(pd.Pd.priority) <- Some head.next
+  | Some _ | None -> ()
+
+let count t = t.count
+
+let level_members t level =
+  check_prio level;
+  match t.heads.(level) with
+  | None -> []
+  | Some head ->
+    let rec walk acc node =
+      if node == head then List.rev acc else walk (node.pd :: acc) node.next
+    in
+    head.pd :: walk [] head.next

@@ -1,0 +1,37 @@
+(** Preemptive priority-based round-robin scheduler (paper §III-D,
+    Fig 3).
+
+    PDs at the same priority level sit in a circular doubly-linked
+    list and share the CPU round-robin; a higher level always preempts
+    lower ones. The run queue holds only runnable PDs — blocking
+    removes a PD (the "suspend queue" is the set of PDs not enqueued),
+    resuming re-inserts it at the tail of its level. *)
+
+type t
+
+val levels : int
+(** Priority levels 0–7; 7 is the most urgent. *)
+
+val create : unit -> t
+
+val enqueue : t -> Pd.t -> unit
+(** Insert at the tail of the PD's priority ring; no-op if present.
+    @raise Invalid_argument on an out-of-range priority. *)
+
+val dequeue : t -> Pd.t -> unit
+(** Remove from the run queue; no-op if absent. *)
+
+val contains : t -> Pd.t -> bool
+
+val pick : t -> Pd.t option
+(** Highest-priority ring's current head (does not rotate). *)
+
+val rotate : t -> Pd.t -> unit
+(** Round-robin step: if [pd] is the head of its ring, advance the
+    head to its successor (end-of-quantum behaviour). *)
+
+val count : t -> int
+(** Runnable PDs across all levels. *)
+
+val level_members : t -> int -> Pd.t list
+(** Ring order at one level, head first (test/debug). *)

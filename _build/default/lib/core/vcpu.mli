@@ -1,0 +1,41 @@
+(** Virtual CPU: the per-VM hardware state block (paper Table I).
+
+    Holds what Mini-NOVA saves/restores when switching VMs, split into
+    the {e actively} switched set (general-purpose registers, platform
+    timer, CP15, GIC state — switched on every VM switch) and the
+    {e lazily} switched set (VFP bank, L2 control registers — switched
+    only when the next owner actually touches them). Register contents
+    themselves are not simulated; the save area's memory traffic and
+    switch costs are. *)
+
+type t
+
+val create : pd_id:int -> t
+
+val pd_id : t -> int
+
+val save_area : t -> Addr.t * int
+(** Kernel-memory block written on save / read on restore. *)
+
+val guest_mode : t -> Hyper.guest_mode
+val set_guest_mode : t -> Hyper.guest_mode -> unit
+
+val uses_vfp : t -> bool
+(** Whether this guest's workload touches the VFP at all. *)
+
+val set_uses_vfp : t -> bool -> unit
+
+val l2ctrl : t -> int
+(** Shadowed L2 cache control register (lazily switched). *)
+
+val set_l2ctrl : t -> int -> unit
+
+val save_active : Zynq.t -> t -> unit
+(** Charge the active-set save: vm-switch code + stores to the save
+    area. Runs in kernel context (global mappings). *)
+
+val restore_active : Zynq.t -> t -> unit
+
+val switch_vfp : Zynq.t -> from:t option -> to_:t -> unit
+(** Charge a lazy VFP bank switch: save [from]'s bank (if any) and
+    load [to_]'s. Called on first VFP use after a VM switch. *)

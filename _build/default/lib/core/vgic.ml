@@ -1,0 +1,85 @@
+type source = {
+  mutable enabled : bool;
+  mutable pending : bool;
+}
+
+type t = {
+  owner : int;
+  sources : (int, source) Hashtbl.t;
+  arrival : int Queue.t;  (* pending ids in arrival order, no duplicates *)
+  mutable entry : Addr.t option;
+}
+
+let create ~owner =
+  { owner; sources = Hashtbl.create 8; arrival = Queue.create ();
+    entry = None }
+
+let owner t = t.owner
+
+let register t irq =
+  if not (Hashtbl.mem t.sources irq) then
+    Hashtbl.replace t.sources irq { enabled = false; pending = false }
+
+let unregister t irq = Hashtbl.remove t.sources irq
+
+let registered t irq = Hashtbl.mem t.sources irq
+
+let find t irq =
+  match Hashtbl.find_opt t.sources irq with
+  | Some s -> s
+  | None -> invalid_arg "Vgic: source not registered"
+
+let enable t irq = (find t irq).enabled <- true
+let disable t irq = (find t irq).enabled <- false
+
+let set_entry t a = t.entry <- Some a
+let entry t = t.entry
+
+let set_pending t irq =
+  let s =
+    match Hashtbl.find_opt t.sources irq with
+    | Some s -> s
+    | None ->
+      (* Latch even if the guest has not registered the source yet. *)
+      let s = { enabled = false; pending = false } in
+      Hashtbl.replace t.sources irq s;
+      s
+  in
+  if not s.pending then begin
+    s.pending <- true;
+    Queue.push irq t.arrival
+  end
+
+let drain t =
+  (* Walk the arrival queue once; requeue what stays latched. *)
+  let n = Queue.length t.arrival in
+  let delivered = ref [] in
+  for _ = 1 to n do
+    let irq = Queue.pop t.arrival in
+    match Hashtbl.find_opt t.sources irq with
+    | None -> () (* unregistered meanwhile: drop *)
+    | Some s ->
+      if s.enabled && s.pending then begin
+        s.pending <- false;
+        delivered := irq :: !delivered
+      end
+      else if s.pending then Queue.push irq t.arrival
+  done;
+  List.rev !delivered
+
+let has_deliverable t =
+  Queue.fold
+    (fun acc irq ->
+       acc
+       ||
+       match Hashtbl.find_opt t.sources irq with
+       | Some s -> s.enabled && s.pending
+       | None -> false)
+    false t.arrival
+
+let enabled_sources t =
+  let out =
+    Hashtbl.fold (fun irq s acc -> if s.enabled then irq :: acc else acc)
+      t.sources []
+  in
+  List.sort compare out

@@ -1,0 +1,50 @@
+(** Virtual Generic Interrupt Controller (paper Fig 2).
+
+    One per virtual machine. Keeps the per-source virtual state
+    (registered / enabled / pending), the guest's IRQ entry address,
+    and the arrival-ordered queue of pending virtual interrupts. The
+    kernel sets sources pending when physical interrupts are routed to
+    this VM; the VM drains them at its next pause boundary ("if the
+    IRQ occurs when the VM is not active, the IRQ state remains until
+    the next time the VM is scheduled"). *)
+
+type t
+
+val create : owner:int -> t
+(** [owner] is the PD id, kept for diagnostics. *)
+
+val owner : t -> int
+
+val register : t -> int -> unit
+(** Add a physical source id to the VM's vIRQ list (disabled). *)
+
+val unregister : t -> int -> unit
+(** Remove the source; clears any pending state. *)
+
+val registered : t -> int -> bool
+
+val enable : t -> int -> unit
+(** Guest-side unmask (via the IRQ hypercalls).
+    @raise Invalid_argument if the source was never registered. *)
+
+val disable : t -> int -> unit
+
+val set_entry : t -> Addr.t -> unit
+(** Record the guest's IRQ handler entry address. *)
+
+val entry : t -> Addr.t option
+
+val set_pending : t -> int -> unit
+(** Kernel-side injection. Pending on an unregistered or disabled
+    source is latched and delivered once enabled. *)
+
+val drain : t -> int list
+(** Pending {e and} enabled sources in arrival order; clears their
+    pending state. Disabled pending sources stay latched. *)
+
+val has_deliverable : t -> bool
+(** True when {!drain} would return a non-empty list. *)
+
+val enabled_sources : t -> int list
+(** Enabled physical ids, ascending — what the kernel unmasks in the
+    GIC when switching this VM in. *)

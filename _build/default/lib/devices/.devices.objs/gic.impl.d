@@ -1,0 +1,1 @@
+lib/devices/gic.ml: Array Irq_id List

@@ -1,0 +1,1 @@
+lib/devices/irq_id.ml:

@@ -1,0 +1,1 @@
+lib/devices/private_timer.ml: Cycles Event_queue Gic Irq_id

@@ -1,0 +1,1 @@
+lib/devices/private_timer.mli: Cycles Event_queue Gic

@@ -1,0 +1,1 @@
+lib/devices/sd_card.ml: Bytes Cycles Hashtbl

@@ -1,0 +1,1 @@
+lib/devices/uart.ml: Buffer String

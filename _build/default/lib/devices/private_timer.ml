@@ -1,0 +1,41 @@
+type t = {
+  queue : Event_queue.t;
+  gic : Gic.t;
+  mutable interval : Cycles.t option;
+  mutable pending_event : Event_queue.id option;
+  mutable generation : int;
+}
+
+let create queue gic =
+  { queue; gic; interval = None; pending_event = None; generation = 0 }
+
+let rec arm t interval gen =
+  let id =
+    Event_queue.schedule_after t.queue interval (fun () ->
+        (* A stop/start between arming and expiry invalidates this shot. *)
+        if t.generation = gen then begin
+          Gic.raise_irq t.gic Irq_id.private_timer;
+          arm t interval gen
+        end)
+  in
+  t.pending_event <- Some id
+
+let start t ~interval =
+  if interval <= 0 then invalid_arg "Private_timer.start: interval <= 0";
+  t.generation <- t.generation + 1;
+  (match t.pending_event with
+   | Some id -> Event_queue.cancel t.queue id
+   | None -> ());
+  t.interval <- Some interval;
+  arm t interval t.generation
+
+let stop t =
+  t.generation <- t.generation + 1;
+  (match t.pending_event with
+   | Some id -> Event_queue.cancel t.queue id
+   | None -> ());
+  t.pending_event <- None;
+  t.interval <- None
+
+let running t = t.interval <> None
+let interval t = t.interval

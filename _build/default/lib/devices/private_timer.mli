@@ -1,0 +1,20 @@
+(** Cortex-A9 private timer.
+
+    The microkernel's physical time base: programmed with an interval,
+    it raises {!Irq_id.private_timer} through the GIC on every expiry
+    (auto-reload). Guests never touch it — they get virtual timers
+    multiplexed by the kernel (paper §V-A). *)
+
+type t
+
+val create : Event_queue.t -> Gic.t -> t
+
+val start : t -> interval:Cycles.t -> unit
+(** (Re)start periodic expiry every [interval] cycles from now.
+    @raise Invalid_argument if [interval <= 0]. *)
+
+val stop : t -> unit
+
+val running : t -> bool
+
+val interval : t -> Cycles.t option

@@ -1,0 +1,1 @@
+lib/engine/cycles.ml: Float Format

@@ -1,0 +1,1 @@
+lib/engine/event_queue.ml: Array Clock Cycles Hashtbl Option

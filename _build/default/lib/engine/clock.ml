@@ -1,0 +1,11 @@
+type t = { mutable now : Cycles.t }
+
+let create () = { now = 0 }
+
+let now c = c.now
+
+let advance c d =
+  if d < 0 then invalid_arg "Clock.advance: negative duration";
+  c.now <- c.now + d
+
+let advance_to c t = if t > c.now then c.now <- t

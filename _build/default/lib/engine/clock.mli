@@ -1,0 +1,21 @@
+(** Monotonic simulation clock.
+
+    A single [Clock.t] is shared by every component of one simulated
+    board. Components advance it as they charge execution or transfer
+    costs; the event queue fires deadlines against it. *)
+
+type t
+
+val create : unit -> t
+(** A fresh clock at cycle 0. *)
+
+val now : t -> Cycles.t
+(** Current simulated time. *)
+
+val advance : t -> Cycles.t -> unit
+(** [advance c d] moves the clock forward by [d >= 0] cycles.
+    @raise Invalid_argument if [d] is negative. *)
+
+val advance_to : t -> Cycles.t -> unit
+(** [advance_to c t] moves the clock to absolute time [t] if [t] is in
+    the future; does nothing otherwise (the clock never goes back). *)

@@ -1,0 +1,141 @@
+type id = int
+
+type event = { time : Cycles.t; seq : int; action : unit -> unit }
+
+module Heap = struct
+  (* Binary min-heap ordered by (time, seq). *)
+  type t = { mutable arr : event array; mutable len : int }
+
+  let dummy = { time = 0; seq = 0; action = ignore }
+
+  let create () = { arr = Array.make 64 dummy; len = 0 }
+
+  let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+  let grow h =
+    let arr = Array.make (2 * Array.length h.arr) dummy in
+    Array.blit h.arr 0 arr 0 h.len;
+    h.arr <- arr
+
+  let push h e =
+    if h.len = Array.length h.arr then grow h;
+    h.arr.(h.len) <- e;
+    h.len <- h.len + 1;
+    let rec up i =
+      if i > 0 then begin
+        let p = (i - 1) / 2 in
+        if lt h.arr.(i) h.arr.(p) then begin
+          let tmp = h.arr.(i) in
+          h.arr.(i) <- h.arr.(p);
+          h.arr.(p) <- tmp;
+          up p
+        end
+      end
+    in
+    up (h.len - 1)
+
+  let peek h = if h.len = 0 then None else Some h.arr.(0)
+
+  let pop h =
+    match peek h with
+    | None -> None
+    | Some top ->
+      h.len <- h.len - 1;
+      h.arr.(0) <- h.arr.(h.len);
+      h.arr.(h.len) <- dummy;
+      let rec down i =
+        let l = (2 * i) + 1 and r = (2 * i) + 2 in
+        let s = if l < h.len && lt h.arr.(l) h.arr.(i) then l else i in
+        let s = if r < h.len && lt h.arr.(r) h.arr.(s) then r else s in
+        if s <> i then begin
+          let tmp = h.arr.(i) in
+          h.arr.(i) <- h.arr.(s);
+          h.arr.(s) <- tmp;
+          down s
+        end
+      in
+      down 0;
+      Some top
+end
+
+type t = {
+  clock : Clock.t;
+  heap : Heap.t;
+  cancelled : (id, unit) Hashtbl.t;
+  mutable next_seq : int;
+  mutable live : int;
+}
+
+let create clock =
+  { clock; heap = Heap.create (); cancelled = Hashtbl.create 16;
+    next_seq = 0; live = 0 }
+
+let schedule_at q time action =
+  let seq = q.next_seq in
+  q.next_seq <- seq + 1;
+  Heap.push q.heap { time; seq; action };
+  q.live <- q.live + 1;
+  seq
+
+let schedule_after q d action = schedule_at q (Clock.now q.clock + d) action
+
+let cancel q id =
+  if not (Hashtbl.mem q.cancelled id) then begin
+    Hashtbl.replace q.cancelled id ();
+    q.live <- q.live - 1
+  end
+
+(* Pop the earliest event, skipping cancelled ones. *)
+let rec pop_live q =
+  match Heap.pop q.heap with
+  | None -> None
+  | Some e ->
+    if Hashtbl.mem q.cancelled e.seq then begin
+      Hashtbl.remove q.cancelled e.seq;
+      pop_live q
+    end
+    else Some e
+
+let rec peek_live q =
+  match Heap.peek q.heap with
+  | None -> None
+  | Some e ->
+    if Hashtbl.mem q.cancelled e.seq then begin
+      ignore (Heap.pop q.heap);
+      Hashtbl.remove q.cancelled e.seq;
+      peek_live q
+    end
+    else Some e
+
+let next_deadline q = Option.map (fun e -> e.time) (peek_live q)
+
+let run_due q =
+  let fired = ref 0 in
+  let rec loop () =
+    match peek_live q with
+    | Some e when e.time <= Clock.now q.clock ->
+      ignore (pop_live q);
+      q.live <- q.live - 1;
+      incr fired;
+      e.action ();
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  !fired
+
+let advance_until q t =
+  let fired = ref 0 in
+  let rec loop () =
+    match peek_live q with
+    | Some e when e.time <= t ->
+      Clock.advance_to q.clock e.time;
+      fired := !fired + run_due q;
+      loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  Clock.advance_to q.clock t;
+  !fired
+
+let pending q = q.live

@@ -1,0 +1,31 @@
+type t = { mutable state : int64 }
+
+let create ~seed = { state = Int64.of_int seed }
+
+(* splitmix64 step: a small, high-quality, seedable generator. *)
+let next_i64 t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split t = { state = next_i64 t }
+
+let int t n =
+  if n <= 0 then invalid_arg "Rng.int: bound must be positive";
+  (* Keep 62 bits so the value stays non-negative as a 63-bit int. *)
+  let v = Int64.to_int (Int64.logand (next_i64 t) 0x3FFFFFFFFFFFFFFFL) in
+  v mod n
+
+let bool t = Int64.logand (next_i64 t) 1L = 1L
+
+let float t x =
+  let v = Int64.to_float (Int64.shift_right_logical (next_i64 t) 11) in
+  x *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
+  arr.(int t (Array.length arr))

@@ -1,0 +1,27 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The evaluation scenario (paper Fig 8) has each guest's T_hw task pick
+    a random hardware task per iteration. A self-contained, seedable PRNG
+    keeps every run — and therefore every reproduced table — bit-for-bit
+    deterministic across machines. *)
+
+type t
+
+val create : seed:int -> t
+(** A generator with the given seed; equal seeds yield equal streams. *)
+
+val split : t -> t
+(** A statistically independent generator derived from [t]'s stream. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]. @raise Invalid_argument if [n <= 0]. *)
+
+val bool : t -> bool
+(** A uniform boolean. *)
+
+val float : t -> float -> float
+(** [float t x] is uniform in [\[0, x)]. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice among the elements of a non-empty array.
+    @raise Invalid_argument on an empty array. *)

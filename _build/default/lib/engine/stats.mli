@@ -1,0 +1,31 @@
+(** Streaming summary statistics (Welford's algorithm).
+
+    Collects the per-path latency samples behind Table III: count, mean,
+    min/max, standard deviation, without storing samples. *)
+
+type t
+
+val create : unit -> t
+(** An empty accumulator. *)
+
+val add : t -> float -> unit
+(** Record one sample. *)
+
+val count : t -> int
+val mean : t -> float
+(** Mean of samples; 0 if empty. *)
+
+val min : t -> float
+(** Smallest sample; [nan] if empty. *)
+
+val max : t -> float
+(** Largest sample; [nan] if empty. *)
+
+val stddev : t -> float
+(** Sample standard deviation; 0 with fewer than two samples. *)
+
+val merge : t -> t -> t
+(** Combine two accumulators (parallel Welford merge). *)
+
+val pp : Format.formatter -> t -> unit
+(** Human-readable one-line summary. *)

@@ -1,0 +1,1 @@
+lib/harness/ablations.ml: Addr Address_map Axi Bitstream Clock Cycles Event_queue Exec Guest_layout Hierarchy Hyper Kernel List Pcap Probe Prr_controller Scenario Stats Task_kind Ucos_layout Zynq

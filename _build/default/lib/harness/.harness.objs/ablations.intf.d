@@ -1,0 +1,1 @@
+lib/harness/ablations.mli: Scenario

@@ -1,0 +1,1 @@
+lib/harness/complexity.ml: Array Cycles Filename Format Hyper Kernel List Paper_data Sys

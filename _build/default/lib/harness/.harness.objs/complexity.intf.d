@@ -1,0 +1,1 @@
+lib/harness/complexity.mli: Format

@@ -1,0 +1,1 @@
+lib/harness/paper_data.ml:

@@ -1,0 +1,1 @@
+lib/harness/scenario.mli: Format Task_kind

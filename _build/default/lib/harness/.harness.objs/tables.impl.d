@@ -1,0 +1,1 @@
+lib/harness/tables.ml: Array Format List Paper_data Printf Scenario

@@ -1,0 +1,78 @@
+type report = {
+  kernel_loc : int option;
+  patch_loc : int option;
+  hypercalls : int;
+  time_slice_ms : float;
+  substrate_loc : int option;
+}
+
+let count_lines file =
+  let ic = open_in file in
+  let n = ref 0 in
+  (try
+     while true do
+       ignore (input_line ic);
+       incr n
+     done
+   with End_of_file -> ());
+  close_in ic;
+  !n
+
+let loc_of_dir dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then None
+  else begin
+    let files = Sys.readdir dir in
+    let total =
+      Array.fold_left
+        (fun acc f ->
+           if Filename.check_suffix f ".ml" || Filename.check_suffix f ".mli"
+           then acc + count_lines (Filename.concat dir f)
+           else acc)
+        0 files
+    in
+    Some total
+  end
+
+let sum_opt xs =
+  List.fold_left
+    (fun acc x ->
+       match acc, x with
+       | Some a, Some b -> Some (a + b)
+       | _ -> None)
+    (Some 0) xs
+
+let measure ?(root = ".") () =
+  let dir d = Filename.concat root d in
+  let patch =
+    let f = dir "lib/ucos/port.ml" in
+    let fi = dir "lib/ucos/port.mli" in
+    if Sys.file_exists f && Sys.file_exists fi then
+      Some (count_lines f + count_lines fi)
+    else None
+  in
+  { kernel_loc = loc_of_dir (dir "lib/core");
+    patch_loc = patch;
+    hypercalls = Hyper.hypercall_count;
+    time_slice_ms = Cycles.to_ms Kernel.default_config.Kernel.quantum;
+    substrate_loc =
+      sum_opt
+        (List.map
+           (fun d -> loc_of_dir (dir d))
+           [ "lib/engine"; "lib/mem"; "lib/cachesim"; "lib/mmu";
+             "lib/devices"; "lib/pl"; "lib/platform" ]) }
+
+let str_opt = function Some v -> string_of_int v | None -> "n/a"
+
+let print ppf r =
+  Format.fprintf ppf "Complexity report (paper S V.B)@.";
+  Format.fprintf ppf "  %-34s %8s %8s@." "" "ours" "paper";
+  Format.fprintf ppf "  %-34s %8s %8d@." "microkernel + services LoC"
+    (str_opt r.kernel_loc) Paper_data.kernel_loc;
+  Format.fprintf ppf "  %-34s %8s %8d@." "paravirtualization patch LoC"
+    (str_opt r.patch_loc) Paper_data.patch_loc;
+  Format.fprintf ppf "  %-34s %8d %8d@." "hypercalls" r.hypercalls
+    Paper_data.hypercalls;
+  Format.fprintf ppf "  %-34s %8.0f %8.0f@." "guest time slice (ms)"
+    r.time_slice_ms Paper_data.time_slice_ms;
+  Format.fprintf ppf "  %-34s %8s %8s@."
+    "simulated-platform substrate LoC" (str_opt r.substrate_loc) "-"

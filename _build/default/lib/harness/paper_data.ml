@@ -1,0 +1,24 @@
+type row = {
+  metric : string;
+  native : float;
+  guests : float array;
+}
+
+let table3 =
+  [ { metric = "HW Manager entry"; native = 0.0;
+      guests = [| 0.87; 1.11; 1.26; 1.29 |] };
+    { metric = "HW Manager exit"; native = 0.0;
+      guests = [| 0.72; 0.91; 0.96; 0.99 |] };
+    { metric = "PL IRQ entry"; native = 0.0;
+      guests = [| 0.23; 0.46; 0.50; 0.51 |] };
+    { metric = "HW Manager execution"; native = 15.01;
+      guests = [| 15.46; 15.83; 16.11; 16.31 |] };
+    { metric = "Total overhead"; native = 15.01;
+      guests = [| 17.06; 17.84; 18.33; 18.57 |] } ]
+
+let kernel_loc = 5363
+let kernel_elf_kb = 40
+let hypercalls = 25
+let patch_loc = 200
+let time_slice_ms = 33.0
+let footprint_mb = 20

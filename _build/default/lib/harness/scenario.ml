@@ -1,0 +1,368 @@
+type config = {
+  seed : int;
+  requests_per_guest : int;
+  warmup_requests : int;
+  quantum_ms : float;
+  tlb_policy : [ `Asid | `Flush_all ];
+  vfp_policy : [ `Lazy | `Active ];
+  job_fraction : int;
+  churn_kb : int;
+}
+
+let default_config =
+  { seed = 42;
+    requests_per_guest = 60;
+    warmup_requests = 10;
+    quantum_ms = 33.0;
+    tlb_policy = `Asid;
+    vfp_policy = `Lazy;
+    job_fraction = 4;
+    churn_kb = 96 }
+
+type overheads = {
+  entry_us : float;
+  exit_us : float;
+  plirq_us : float;
+  exec_us : float;
+  total_us : float;
+  samples : int;
+  reconfigs : int;
+  reclaims : int;
+  jobs : int;
+  hwmmu_violations : int;
+  sim_ms : float;
+}
+
+let pp_overheads ppf o =
+  Format.fprintf ppf
+    "entry=%.2fus exit=%.2fus plirq=%.2fus exec=%.2fus total=%.2fus \
+     (n=%d reconf=%d reclaim=%d jobs=%d viol=%d sim=%.0fms)"
+    o.entry_us o.exit_us o.plirq_us o.exec_us o.total_us o.samples
+    o.reconfigs o.reclaims o.jobs o.hwmmu_violations o.sim_ms
+
+let standard_task_set =
+  [ Task_kind.Fft 256; Task_kind.Fft 512; Task_kind.Fft 1024;
+    Task_kind.Fft 2048; Task_kind.Fft 4096; Task_kind.Fft 8192;
+    Task_kind.Qam 4; Task_kind.Qam 16; Task_kind.Qam 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* Guest workload (identical for the native and virtualized runs).    *)
+
+let app = Ucos_layout.app_code_base
+
+(* Application virtual data areas, inside the guest-user region. *)
+let gsm_buf = Guest_layout.user_base + 0x0010_0000
+let adpcm_buf = Guest_layout.user_base + 0x0012_0000
+let churn_buf = Guest_layout.user_base + 0x0020_0000
+
+let fp ~label ~code_off ~code_len ?(reads = []) ?(writes = [])
+    ?(base_cycles = 0) () =
+  { Exec.label;
+    code = { Exec.base = app + code_off; len = code_len };
+    reads; writes; base_cycles }
+
+(* GSM-LPC encoder task: real LPC analysis over synthetic speech, plus
+   a charged footprint over its frame/coefficient buffers. *)
+let gsm_task os rng () =
+  let phase = ref 0 in
+  while true do
+    let pcm = Signal.speech_like rng Gsm_lpc.frame_size in
+    let lars = Gsm_lpc.analyze pcm in
+    if Array.length lars <> 8 then failwith "gsm: bad LPC output";
+    let off = !phase mod 4 * 4096 in
+    phase := !phase + 1;
+    Ucos.compute os
+      (fp ~label:"gsm" ~code_off:0x0000 ~code_len:1792
+         ~reads:[ { Exec.base = gsm_buf + off; len = 4096 } ]
+         ~writes:[ { Exec.base = gsm_buf + 16384; len = 256 } ]
+         ~base_cycles:14000 ());
+    if !phase mod 4 = 0 then Ucos.delay os 1
+  done
+
+(* IMA ADPCM compression task: real codec roundtrip per block. *)
+let adpcm_task os rng () =
+  let phase = ref 0 in
+  while true do
+    let pcm = Signal.speech_like rng 1024 in
+    let codes = Adpcm.encode pcm in
+    let back = Adpcm.decode codes in
+    if Adpcm.max_abs_error pcm back > 20000 then failwith "adpcm: diverged";
+    let off = !phase mod 4 * 4096 in
+    phase := !phase + 1;
+    Ucos.compute os
+      (fp ~label:"adpcm" ~code_off:0x1000 ~code_len:1280
+         ~reads:[ { Exec.base = adpcm_buf + off; len = 4096 } ]
+         ~writes:[ { Exec.base = adpcm_buf + 16384 + off; len = 2048 } ]
+         ~base_cycles:11000 ());
+    if !phase mod 5 = 0 then Ucos.delay os 1
+  done
+
+(* Cache-churn task: walks a working set to model the rest of the
+   guest's memory traffic (the paper's "heavy workload"). *)
+let churn_task os ~churn_kb () =
+  let set_bytes = churn_kb * 1024 in
+  let chunk = 8192 in
+  let pos = ref 0 in
+  while true do
+    let off = !pos in
+    pos := (!pos + chunk) mod set_bytes;
+    Ucos.compute os
+      (fp ~label:"churn" ~code_off:0x2000 ~code_len:512
+         ~reads:[ { Exec.base = churn_buf + off; len = chunk } ]
+         ~writes:[ { Exec.base = churn_buf + ((off + (set_bytes / 2)) mod set_bytes);
+                     len = chunk / 4 } ]
+         ~base_cycles:26000 ())
+  done
+
+exception Done_requests
+
+(* Wait until the manager reports the task's PRR configured. *)
+let wait_ready os task =
+  let port = Ucos.port os in
+  let rec loop n =
+    if n <= 0 then false
+    else
+      match port.Port.hw_status ~task with
+      | Hyper.R_status { prr_ready = true; _ } -> true
+      | _ ->
+        Ucos.delay os 1;
+        loop (n - 1)
+  in
+  loop 1000
+
+(* Run one real DMA job through the acquired task and verify the
+   result against the software reference. *)
+let run_job os rng h kind =
+  match kind with
+  | Task_kind.Qam order ->
+    let bps = Qam.bits_per_symbol (Qam.order_of_int order) in
+    let bits = Array.init (bps * 32) (fun _ -> Rng.int rng 2) in
+    (match Hw_task_api.run_qam_mod os h ~order ~bits with
+     | Ok (i, q) ->
+       let back = Qam.demodulate (Qam.order_of_int order) ~i ~q in
+       if back <> bits then failwith "qam job: roundtrip mismatch";
+       true
+     | Error _ -> false)
+  | Task_kind.Fft points when points <= 1024 ->
+    let re = Array.init points (fun i -> sin (0.1 *. float_of_int i)) in
+    let im = Array.make points 0.0 in
+    (match Hw_task_api.run_fft os h ~inverse:false ~re ~im with
+     | Ok (hr, hi) ->
+       let sr = Array.copy re and si = Array.copy im in
+       Fft.transform sr si;
+       let err =
+         Float.max (Fft.max_error hr sr) (Fft.max_error hi si)
+       in
+       if err > 0.05 *. float_of_int points then
+         failwith "fft job: result mismatch";
+       true
+     | Error _ -> false)
+  | Task_kind.Fft _ | Task_kind.Fir _ ->
+    false (* not streamed in the measurement loop *)
+
+(* T_hw: the paper's measurement task — pick a random hardware task,
+   issue the request hypercall, sometimes exercise the task. *)
+let t_hw_task os rng ~cfg ~tasks ~on_request () =
+  let task_arr = Array.of_list tasks in
+  let requests = ref 0 in
+  let jobs = ref 0 in
+  (try
+     while true do
+       Ucos.delay os (2 + Rng.int rng 5);
+       let task_id, kind = Rng.pick rng task_arr in
+       match
+         Hw_task_api.acquire os ~task:task_id ~want_irq:true
+           ~wait_ready:false ()
+       with
+       | Error _ -> () (* busy this round; the paper's guest retries *)
+       | Ok h ->
+         incr requests;
+         on_request ();
+         if !requests mod cfg.job_fraction = 0 && wait_ready os task_id
+         then begin
+           if run_job os rng h kind then incr jobs
+         end;
+         if Rng.bool rng then Hw_task_api.release os h;
+         if !requests >= cfg.requests_per_guest then raise Done_requests
+     done
+   with Done_requests -> ());
+  Ucos.stop os
+
+let install_workload os ~rng ~cfg ~tasks ~on_request =
+  ignore
+    (Ucos.spawn os ~name:"t_hw" ~prio:8
+       (t_hw_task os (Rng.split rng) ~cfg ~tasks ~on_request));
+  ignore (Ucos.spawn os ~name:"gsm" ~prio:10 (gsm_task os (Rng.split rng)));
+  ignore
+    (Ucos.spawn os ~name:"adpcm" ~prio:12 (adpcm_task os (Rng.split rng)));
+  ignore
+    (Ucos.spawn os ~name:"churn" ~prio:14
+       (churn_task os ~churn_kb:cfg.churn_kb))
+
+(* ------------------------------------------------------------------ *)
+
+(* Guard against configurations that would discard every sample. *)
+let sanitize config =
+  if config.warmup_requests >= config.requests_per_guest then
+    { config with warmup_requests = config.requests_per_guest / 2 }
+  else config
+
+let mean_us stats =
+  if Stats.count stats = 0 then 0.0
+  else Cycles.to_us (int_of_float (Stats.mean stats))
+
+let run_virtualized ?(config = default_config) ~guests () =
+  if guests < 1 then invalid_arg "run_virtualized: need at least one guest";
+  let config = sanitize config in
+  let z = Zynq.create () in
+  let kcfg =
+    { Kernel.quantum = Cycles.of_ms config.quantum_ms;
+      vfp_policy = config.vfp_policy;
+      tlb_policy = config.tlb_policy;
+      kernel_tick = Some (Cycles.of_ms 1.0) }
+  in
+  let kern = Kernel.boot ~config:kcfg z in
+  let tasks =
+    List.map
+      (fun kind -> (Kernel.register_hw_task kern kind, kind))
+      standard_task_set
+  in
+  let probe = Kernel.probe kern in
+  let total_requests = ref 0 in
+  let warm_at = guests * config.warmup_requests in
+  let base_counts = ref (0, 0, 0) in
+  let on_request () =
+    incr total_requests;
+    if !total_requests = warm_at then begin
+      Probe.reset probe;
+      base_counts :=
+        ( Hw_task_manager.reconfigs (Kernel.hwtm kern),
+          Hw_task_manager.reclaims (Kernel.hwtm kern),
+          Prr_controller.jobs_completed z.Zynq.prrc )
+    end
+  in
+  for g = 0 to guests - 1 do
+    let rng = Rng.create ~seed:(config.seed + (97 * g)) in
+    ignore
+      (Kernel.create_vm kern
+         ~name:(Printf.sprintf "ucos%d" g)
+         (fun genv ->
+            let port = Port.paravirt genv in
+            let os = Ucos.create port in
+            install_workload os ~rng ~cfg:config ~tasks ~on_request;
+            Ucos.run os))
+  done;
+  (* Safety cap well beyond what the request counts need. *)
+  Kernel.run kern ~until:(Cycles.of_ms (120_000.0 *. float_of_int guests));
+  let s label = Probe.stats probe label in
+  let entry = s Probe.hwtm_entry
+  and exit_ = s Probe.hwtm_exit
+  and exec = s Probe.hwtm_exec
+  and plirq = s Probe.pl_irq_entry in
+  let rc0, rl0, j0 = !base_counts in
+  { entry_us = mean_us entry;
+    exit_us = mean_us exit_;
+    plirq_us = mean_us plirq;
+    exec_us = mean_us exec;
+    total_us = mean_us entry +. mean_us exec +. mean_us exit_;
+    samples = Stats.count exec;
+    reconfigs = Hw_task_manager.reconfigs (Kernel.hwtm kern) - rc0;
+    reclaims = Hw_task_manager.reclaims (Kernel.hwtm kern) - rl0;
+    jobs = Prr_controller.jobs_completed z.Zynq.prrc - j0;
+    hwmmu_violations =
+      (let v = ref 0 in
+       for i = 0 to Prr_controller.prr_count z.Zynq.prrc - 1 do
+         v := !v + Hw_mmu.violations (Prr_controller.prr z.Zynq.prrc i).Prr.hw_mmu
+       done;
+       !v);
+    sim_ms = Cycles.to_ms (Clock.now z.Zynq.clock) }
+
+let run_native ?(config = default_config) () =
+  let config = sanitize config in
+  let sys = Port_native.create () in
+  let z = Port_native.zynq sys in
+  let tasks =
+    List.map
+      (fun kind -> (Port_native.register_hw_task sys kind, kind))
+      standard_task_set
+  in
+  let exec_stats = Stats.create () in
+  let requests = ref 0 in
+  (* Natively the manager is a plain function call: entry, exit and
+     PL-IRQ distribution cost nothing extra; execution is measured
+     around the call (paper Table III, "Native" column). *)
+  let base_port = Port_native.port sys in
+  let timed_port =
+    { base_port with
+      Port.hw_request =
+        (fun ~task ~iface_vaddr ~data_vaddr ~data_len ~want_irq ->
+           let t0 = Clock.now z.Zynq.clock in
+           let r =
+             base_port.Port.hw_request ~task ~iface_vaddr ~data_vaddr
+               ~data_len ~want_irq
+           in
+           (match r with
+            | Hyper.R_hw _ ->
+              Stats.add exec_stats
+                (float_of_int (Clock.now z.Zynq.clock - t0))
+            | _ -> ());
+           r) }
+  in
+  let warm_at = config.warmup_requests in
+  let stats_reset = Stats.create () in
+  let live_stats = ref exec_stats in
+  ignore stats_reset;
+  let base_counts = ref (0, 0, 0) in
+  let on_request () =
+    incr requests;
+    if !requests = warm_at then begin
+      live_stats := Stats.create ();
+      base_counts :=
+        ( Hw_task_manager.reconfigs (Port_native.hwtm sys),
+          Hw_task_manager.reclaims (Port_native.hwtm sys),
+          Prr_controller.jobs_completed z.Zynq.prrc )
+    end
+  in
+  (* Re-route the timed samples into whichever accumulator is live. *)
+  let timed_port =
+    { timed_port with
+      Port.hw_request =
+        (fun ~task ~iface_vaddr ~data_vaddr ~data_len ~want_irq ->
+           let t0 = Clock.now z.Zynq.clock in
+           let r =
+             base_port.Port.hw_request ~task ~iface_vaddr ~data_vaddr
+               ~data_len ~want_irq
+           in
+           (match r with
+            | Hyper.R_hw _ ->
+              Stats.add !live_stats
+                (float_of_int (Clock.now z.Zynq.clock - t0))
+            | _ -> ());
+           r) }
+  in
+  let rng = Rng.create ~seed:config.seed in
+  Port_native.run sys (fun _ ->
+      let os = Ucos.create timed_port in
+      install_workload os ~rng ~cfg:config ~tasks ~on_request;
+      Ucos.run os);
+  let exec = !live_stats in
+  let rc0, rl0, j0 = !base_counts in
+  { entry_us = 0.0;
+    exit_us = 0.0;
+    plirq_us = 0.0;
+    exec_us = mean_us exec;
+    total_us = mean_us exec;
+    samples = Stats.count exec;
+    reconfigs = Hw_task_manager.reconfigs (Port_native.hwtm sys) - rc0;
+    reclaims = Hw_task_manager.reclaims (Port_native.hwtm sys) - rl0;
+    jobs = Prr_controller.jobs_completed z.Zynq.prrc - j0;
+    hwmmu_violations = 0;
+    sim_ms = Cycles.to_ms (Clock.now z.Zynq.clock) }
+
+let run_table3 ?(config = default_config) ?(max_guests = 4) () =
+  let native = run_native ~config () in
+  let rec loop g acc =
+    if g > max_guests then List.rev acc
+    else loop (g + 1) (run_virtualized ~config ~guests:g () :: acc)
+  in
+  native :: loop 1 []

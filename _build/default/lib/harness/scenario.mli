@@ -1,0 +1,55 @@
+(** The paper's evaluation scenario (Fig 8).
+
+    Four PRRs in the fabric (two FFT-capable); a task set of FFT-256 …
+    FFT-8192 and QAM-4/16/64 bitstreams; each guest runs a virtualized
+    µC/OS-II with heavy software workloads (GSM-LPC encoding, IMA
+    ADPCM compression, a cache-churning memory task) plus the special
+    T_hw task that repeatedly picks a random hardware task and issues
+    the hardware-task hypercall. The same OS image runs natively as
+    the baseline, with the Hardware Task Manager called as a plain
+    function.
+
+    Timings are collected after a warm-up fraction and reported in µs
+    to match Table III. *)
+
+type config = {
+  seed : int;
+  requests_per_guest : int;  (** T_hw iterations before the guest stops *)
+  warmup_requests : int;     (** ignored leading samples *)
+  quantum_ms : float;        (** guest time slice (paper: 33 ms) *)
+  tlb_policy : [ `Asid | `Flush_all ];
+  vfp_policy : [ `Lazy | `Active ];
+  job_fraction : int;        (** run a real DMA job every n-th request *)
+  churn_kb : int;            (** per-guest cache-churn working set *)
+}
+
+val default_config : config
+
+type overheads = {
+  entry_us : float;
+  exit_us : float;
+  plirq_us : float;
+  exec_us : float;
+  total_us : float;       (** entry + execution + exit *)
+  samples : int;          (** manager invocations measured *)
+  reconfigs : int;        (** PCAP downloads *)
+  reclaims : int;         (** PRR client switches *)
+  jobs : int;             (** completed DMA jobs *)
+  hwmmu_violations : int;
+  sim_ms : float;         (** simulated time consumed *)
+}
+
+val pp_overheads : Format.formatter -> overheads -> unit
+
+val standard_task_set : Task_kind.t list
+(** FFT-{256,512,1024,2048,4096,8192} and QAM-{4,16,64}. *)
+
+val run_native : ?config:config -> unit -> overheads
+(** Baseline row of Table III. *)
+
+val run_virtualized : ?config:config -> guests:int -> unit -> overheads
+(** One measured configuration with [guests] parallel VMs (1–4 in the
+    paper). *)
+
+val run_table3 : ?config:config -> ?max_guests:int -> unit -> overheads list
+(** Native followed by 1..max_guests (default 4) VMs. *)

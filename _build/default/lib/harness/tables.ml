@@ -1,0 +1,71 @@
+let metric_names =
+  [ "HW Manager entry"; "HW Manager exit"; "PL IRQ entry";
+    "HW Manager execution"; "Total overhead" ]
+
+let values_of (o : Scenario.overheads) =
+  [ o.Scenario.entry_us; o.Scenario.exit_us; o.Scenario.plirq_us;
+    o.Scenario.exec_us; o.Scenario.total_us ]
+
+let table3_rows sweep =
+  let cols = List.map values_of sweep in
+  List.mapi
+    (fun i metric -> (metric, List.map (fun col -> List.nth col i) cols))
+    metric_names
+
+(* Degradation ratios, paper Eq (1): metrics that are zero natively
+   use the 1-VM figure as the reference. *)
+let ratio_rows rows =
+  List.map
+    (fun (metric, values) ->
+       match values with
+       | native :: (one :: _ as virt) ->
+         let reference = if native > 0.0 then native else one in
+         ( metric,
+           List.map
+             (fun v -> if reference > 0.0 then v /. reference else 0.0)
+             virt )
+       | _ -> (metric, []))
+    rows
+
+let fig9_rows sweep = ratio_rows (table3_rows sweep)
+
+let paper_rows =
+  List.map
+    (fun r ->
+       (r.Paper_data.metric, r.Paper_data.native :: Array.to_list r.guests))
+    Paper_data.table3
+
+let paper_fig9 = ratio_rows paper_rows
+
+let print_row ppf (metric, values) =
+  Format.fprintf ppf "%-22s" metric;
+  List.iter (fun v -> Format.fprintf ppf " %8.2f" v) values;
+  Format.fprintf ppf "@."
+
+let header ppf first cols =
+  Format.fprintf ppf "%-22s" first;
+  List.iter (fun c -> Format.fprintf ppf " %8s" c) cols;
+  Format.fprintf ppf "@."
+
+let print_table3 ppf sweep =
+  let n = List.length sweep - 1 in
+  let cols = "Native" :: List.init n (fun i -> Printf.sprintf "%d OS" (i + 1)) in
+  Format.fprintf ppf "Table III: overhead of hardware task management (us)@.";
+  Format.fprintf ppf "--- measured ---@.";
+  header ppf "" cols;
+  List.iter (print_row ppf) (table3_rows sweep);
+  Format.fprintf ppf "--- paper ---@.";
+  header ppf "" ("Native" :: List.init 4 (fun i -> Printf.sprintf "%d OS" (i + 1)));
+  List.iter (print_row ppf) paper_rows
+
+let print_fig9 ppf sweep =
+  let n = List.length sweep - 1 in
+  let cols = List.init n (fun i -> Printf.sprintf "%d OS" (i + 1)) in
+  Format.fprintf ppf
+    "Figure 9: degradation ratio R_D (entry/exit/IRQ normalised to 1 OS)@.";
+  Format.fprintf ppf "--- measured ---@.";
+  header ppf "" cols;
+  List.iter (print_row ppf) (fig9_rows sweep);
+  Format.fprintf ppf "--- paper ---@.";
+  header ppf "" (List.init 4 (fun i -> Printf.sprintf "%d OS" (i + 1)));
+  List.iter (print_row ppf) paper_fig9

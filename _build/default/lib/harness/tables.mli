@@ -1,0 +1,24 @@
+(** Rendering of the paper's evaluation artifacts.
+
+    Table III rows come straight from a {!Scenario.run_table3} sweep;
+    Figure 9's degradation ratios R_D = t_virt / t_native follow the
+    paper's convention — metrics that are zero natively (entry, exit,
+    PL IRQ entry) are normalised to their 1-VM value instead. *)
+
+val metric_names : string list
+(** Table III row labels, in paper order. *)
+
+val table3_rows : Scenario.overheads list -> (string * float list) list
+(** [(metric, [native; 1 VM; …])] in µs. Input must be the list
+    returned by {!Scenario.run_table3} (native first). *)
+
+val fig9_rows : Scenario.overheads list -> (string * float list) list
+(** [(metric, ratios for 1..n VMs)]. *)
+
+val print_table3 : Format.formatter -> Scenario.overheads list -> unit
+(** Measured values side by side with the paper's (µs). *)
+
+val print_fig9 : Format.formatter -> Scenario.overheads list -> unit
+
+val paper_fig9 : (string * float list) list
+(** The ratios implied by the paper's Table III numbers. *)

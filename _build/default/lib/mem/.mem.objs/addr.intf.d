@@ -1,0 +1,1 @@
+lib/mem/addr.mli: Format

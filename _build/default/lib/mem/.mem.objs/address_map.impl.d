@@ -1,0 +1,1 @@
+lib/mem/address_map.ml:

@@ -1,0 +1,1 @@
+lib/mem/phys_mem.ml: Addr Bytes Char Hashtbl Int32

@@ -1,0 +1,18 @@
+type t = int
+
+let page_shift = 12
+let page_size = 1 lsl page_shift
+let section_shift = 20
+let section_size = 1 lsl section_shift
+let line_size = 32
+
+let page_of a = a lsr page_shift
+let page_base a = a land lnot (page_size - 1)
+let page_offset a = a land (page_size - 1)
+let section_base a = a land lnot (section_size - 1)
+let line_base a = a land lnot (line_size - 1)
+
+let is_aligned a n = a land (n - 1) = 0
+let align_up a n = (a + n - 1) land lnot (n - 1)
+
+let pp ppf a = Format.fprintf ppf "0x%08x" a

@@ -1,0 +1,49 @@
+(** Addresses and page geometry.
+
+    Physical and virtual addresses are plain [int]s (the 32-bit Zynq
+    address space fits comfortably); this module centralises alignment
+    and page arithmetic so that page geometry lives in exactly one
+    place. ARM short-descriptor pages: 4 KB small pages, 1 MB sections,
+    32 B cache lines. *)
+
+type t = int
+(** A byte address (physical or virtual, per context). *)
+
+val page_size : int
+(** 4096 — ARM small page. *)
+
+val page_shift : int
+(** 12. *)
+
+val section_size : int
+(** 1 MB — ARM first-level section. *)
+
+val section_shift : int
+(** 20. *)
+
+val line_size : int
+(** 32 — Cortex-A9 cache line. *)
+
+val page_of : t -> int
+(** Page number containing an address. *)
+
+val page_base : t -> t
+(** Base address of the page containing an address. *)
+
+val page_offset : t -> int
+(** Offset of an address within its page. *)
+
+val section_base : t -> t
+(** Base address of the 1 MB section containing an address. *)
+
+val line_base : t -> t
+(** Base address of the cache line containing an address. *)
+
+val is_aligned : t -> int -> bool
+(** [is_aligned a n] is true when [a] is a multiple of [n]. *)
+
+val align_up : t -> int -> t
+(** Round up to the next multiple of [n] (power of two). *)
+
+val pp : Format.formatter -> t -> unit
+(** Hexadecimal rendering, e.g. [0x0010_0000]. *)

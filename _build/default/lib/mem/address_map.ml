@@ -1,0 +1,35 @@
+let mb = 1 lsl 20
+let kb = 1 lsl 10
+
+let ddr_base = 0x0010_0000
+let ddr_size = 511 * mb
+
+let ocm_base = 0xFFFC_0000
+let ocm_size = 256 * kb
+
+let axi_gp0_base = 0x4000_0000
+let axi_gp0_size = 16 * mb
+
+let prr_regs_base = axi_gp0_base
+let prr_regs_stride = 4096
+
+let gic_dist_base = 0xF8F0_1000
+let gic_cpu_base = 0xF8F0_0100
+let private_timer_base = 0xF8F0_0600
+let devcfg_base = 0xF800_7000
+let uart0_base = 0xE000_0000
+let sd0_base = 0xE010_0000
+
+let kernel_code_base = ddr_base
+let kernel_code_size = mb
+
+let kernel_data_base = ddr_base + mb
+let kernel_data_size = 3 * mb
+
+let bitstream_store_base = ddr_base + (4 * mb)
+let bitstream_store_size = 28 * mb
+
+let guest_phys_size = 16 * mb
+let guest_phys_base i = ddr_base + (32 * mb) + (i * guest_phys_size)
+
+let in_ddr a = a >= ddr_base && a < ddr_base + ddr_size

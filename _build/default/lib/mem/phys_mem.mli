@@ -1,0 +1,41 @@
+(** Sparse simulated physical memory.
+
+    Byte-addressable backing store for DDR and OCM, allocated lazily in
+    4 KB frames so a 512 MB address space costs only what is touched.
+    All multi-byte accessors are little-endian, matching the ARM
+    configuration of the Zynq PS.
+
+    This module stores {e contents} only; timing (cache hits/misses,
+    DRAM latency) is charged by the cache hierarchy, and access
+    {e permission} is enforced by the MMU/hwMMU layers above. *)
+
+type t
+
+val create : unit -> t
+(** Fresh memory, all bytes zero. *)
+
+val read_u8 : t -> Addr.t -> int
+val write_u8 : t -> Addr.t -> int -> unit
+
+val read_u32 : t -> Addr.t -> int32
+val write_u32 : t -> Addr.t -> int32 -> unit
+
+val read_u16 : t -> Addr.t -> int
+val write_u16 : t -> Addr.t -> int -> unit
+
+val read_f32 : t -> Addr.t -> float
+(** Read an IEEE-754 single stored at [a] (via its bit pattern). *)
+
+val write_f32 : t -> Addr.t -> float -> unit
+
+val read_bytes : t -> Addr.t -> int -> Bytes.t
+val write_bytes : t -> Addr.t -> Bytes.t -> unit
+
+val blit : t -> src:Addr.t -> dst:Addr.t -> len:int -> unit
+(** Copy [len] bytes between two (possibly overlapping) regions. *)
+
+val fill : t -> Addr.t -> int -> int -> unit
+(** [fill m a len v] sets [len] bytes from [a] to byte value [v]. *)
+
+val touched_frames : t -> int
+(** Number of 4 KB frames materialised so far (memory-usage metric). *)

@@ -1,0 +1,1 @@
+lib/mmu/dacr.ml: Array Format

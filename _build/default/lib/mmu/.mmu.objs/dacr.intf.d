@@ -1,0 +1,1 @@
+lib/mmu/dacr.mli: Format

@@ -1,0 +1,1 @@
+lib/mmu/frame_alloc.mli: Addr

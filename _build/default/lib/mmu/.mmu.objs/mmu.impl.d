@@ -1,0 +1,1 @@
+lib/mmu/mmu.ml: Addr Dacr Format Hierarchy Page_table Phys_mem Pte Tlb

@@ -1,0 +1,1 @@
+lib/mmu/mmu.mli: Addr Dacr Format Hierarchy Phys_mem Pte Tlb

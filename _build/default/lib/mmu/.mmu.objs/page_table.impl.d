@@ -1,0 +1,1 @@
+lib/mmu/page_table.ml: Addr Frame_alloc Phys_mem Pte

@@ -1,0 +1,1 @@
+lib/mmu/page_table.mli: Addr Frame_alloc Phys_mem Pte

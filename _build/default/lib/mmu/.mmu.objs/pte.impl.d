@@ -1,0 +1,1 @@
+lib/mmu/pte.ml: Addr Format Int32 Printf

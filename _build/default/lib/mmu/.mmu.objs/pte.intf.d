@@ -1,0 +1,1 @@
+lib/mmu/pte.mli: Addr Format

@@ -1,0 +1,43 @@
+type access = No_access | Client | Manager
+
+type t = { fields : access array }
+
+let create () = { fields = Array.make 16 No_access }
+
+let check dom =
+  if dom < 0 || dom > 15 then invalid_arg "Dacr: domain out of range"
+
+let set t dom a =
+  check dom;
+  t.fields.(dom) <- a
+
+let get t dom =
+  check dom;
+  t.fields.(dom)
+
+let bits = function No_access -> 0b00 | Client -> 0b01 | Manager -> 0b11
+
+let of_bits = function
+  | 0b00 -> No_access
+  | 0b01 -> Client
+  | 0b11 -> Manager
+  | _ -> invalid_arg "Dacr: reserved field encoding"
+
+let to_word t =
+  let w = ref 0 in
+  for dom = 15 downto 0 do
+    w := (!w lsl 2) lor bits t.fields.(dom)
+  done;
+  !w
+
+let of_word w =
+  let t = create () in
+  for dom = 0 to 15 do
+    t.fields.(dom) <- of_bits ((w lsr (2 * dom)) land 0b11)
+  done;
+  t
+
+let copy_from dst src = Array.blit src.fields 0 dst.fields 0 16
+
+let pp ppf t =
+  Format.fprintf ppf "DACR=0x%08x" (to_word t)

@@ -1,0 +1,13 @@
+type t = { base : Addr.t; size : int; mutable next : Addr.t }
+
+let create ~base ~size = { base; size; next = base }
+
+let alloc t ?(align = 4) n =
+  let a = Addr.align_up t.next align in
+  if a + n > t.base + t.size then
+    failwith "Frame_alloc: kernel memory region exhausted";
+  t.next <- a + n;
+  a
+
+let used t = t.next - t.base
+let remaining t = t.base + t.size - t.next

@@ -1,0 +1,20 @@
+(** Bump allocator over a physical region.
+
+    Hands out aligned chunks of simulated physical memory for kernel
+    objects: L1 tables (16 KB), L2 tables (1 KB), kernel stacks. No
+    free — kernel translation tables live for the kernel's lifetime,
+    matching the paper's static design. *)
+
+type t
+
+val create : base:Addr.t -> size:int -> t
+
+val alloc : t -> ?align:int -> int -> Addr.t
+(** [alloc t ~align n] returns an [align]-aligned physical base of [n]
+    fresh bytes (default alignment 4).
+    @raise Failure when the region is exhausted. *)
+
+val used : t -> int
+(** Bytes consumed so far (including alignment padding). *)
+
+val remaining : t -> int

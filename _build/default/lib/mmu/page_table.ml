@@ -1,0 +1,95 @@
+type t = {
+  mem : Phys_mem.t;
+  alloc : Frame_alloc.t;
+  root : Addr.t;
+  mutable l2_count : int;
+}
+
+let l1_size = 16 * 1024
+let l2_size = 1024
+
+let create mem alloc =
+  let root = Frame_alloc.alloc alloc ~align:l1_size l1_size in
+  Phys_mem.fill mem root l1_size 0;
+  { mem; alloc; root; l2_count = 0 }
+
+let root t = t.root
+
+let l1_slot t virt = t.root + (4 * (virt lsr Addr.section_shift))
+let l2_slot l2_base virt =
+  l2_base + (4 * ((virt lsr Addr.page_shift) land 0xff))
+
+let read_l1 t virt = Pte.decode_l1 (Phys_mem.read_u32 t.mem (l1_slot t virt))
+
+let write_l1 t virt d =
+  Phys_mem.write_u32 t.mem (l1_slot t virt) (Pte.encode_l1 d)
+
+let map_section t ~virt ~phys attrs =
+  if not (Addr.is_aligned virt Addr.section_size) then
+    invalid_arg "map_section: virtual address not 1 MB aligned";
+  match read_l1 t virt with
+  | Pte.L1_table _ ->
+    invalid_arg "map_section: slot already holds a page table"
+  | Pte.L1_fault | Pte.L1_section _ ->
+    write_l1 t virt (Pte.L1_section (phys, attrs))
+
+let ensure_l2_base t ~virt ~domain =
+  match read_l1 t virt with
+  | Pte.L1_table (base, dom) ->
+    if dom <> domain then
+      invalid_arg "ensure_l2: domain conflicts with existing L2 table";
+    base
+  | Pte.L1_fault ->
+    let base = Frame_alloc.alloc t.alloc ~align:l2_size l2_size in
+    Phys_mem.fill t.mem base l2_size 0;
+    t.l2_count <- t.l2_count + 1;
+    write_l1 t virt (Pte.L1_table (base, domain));
+    base
+  | Pte.L1_section _ ->
+    invalid_arg "ensure_l2: slot already holds a section mapping"
+
+let ensure_l2 t ~virt ~domain = ignore (ensure_l2_base t ~virt ~domain)
+
+let map_page t ~virt ~phys ~domain ~ap ~global =
+  if not (Addr.is_aligned virt Addr.page_size) then
+    invalid_arg "map_page: virtual address not 4 KB aligned";
+  if not (Addr.is_aligned phys Addr.page_size) then
+    invalid_arg "map_page: physical address not 4 KB aligned";
+  let l2_base = ensure_l2_base t ~virt ~domain in
+  Phys_mem.write_u32 t.mem (l2_slot l2_base virt)
+    (Pte.encode_l2 (Pte.L2_small (phys, ap, global)))
+
+let unmap_page t ~virt =
+  match read_l1 t virt with
+  | Pte.L1_fault | Pte.L1_section _ -> false
+  | Pte.L1_table (base, _) ->
+    let slot = l2_slot base virt in
+    (match Pte.decode_l2 (Phys_mem.read_u32 t.mem slot) with
+     | Pte.L2_fault -> false
+     | Pte.L2_small _ ->
+       Phys_mem.write_u32 t.mem slot (Pte.encode_l2 Pte.L2_fault);
+       true)
+
+let unmap_section t ~virt =
+  match read_l1 t virt with
+  | Pte.L1_section _ ->
+    write_l1 t virt Pte.L1_fault;
+    true
+  | Pte.L1_fault | Pte.L1_table _ -> false
+
+let walk ~read ~root ~virt =
+  let l1_word = read (root + (4 * (virt lsr Addr.section_shift))) in
+  match Pte.decode_l1 l1_word with
+  | Pte.L1_fault -> None
+  | Pte.L1_section (base, attrs) ->
+    Some (base lor (virt land (Addr.section_size - 1)), attrs)
+  | Pte.L1_table (l2_base, domain) ->
+    let l2_word = read (l2_slot l2_base virt) in
+    (match Pte.decode_l2 l2_word with
+     | Pte.L2_fault -> None
+     | Pte.L2_small (base, ap, global) ->
+       Some
+         (base lor (virt land (Addr.page_size - 1)),
+          { Pte.ap; domain; global }))
+
+let l2_tables t = t.l2_count

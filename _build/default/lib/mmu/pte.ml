@@ -1,0 +1,102 @@
+type ap = Ap_none | Ap_priv | Ap_full
+
+type attrs = { ap : ap; domain : int; global : bool }
+
+type l1 =
+  | L1_fault
+  | L1_table of Addr.t * int
+  | L1_section of Addr.t * attrs
+
+type l2 =
+  | L2_fault
+  | L2_small of Addr.t * ap * bool
+
+(* Word layouts (bits):
+   L1 table:   [31:10] L2 base | [8:5] domain | [1:0]=01
+   L1 section: [31:20] base | [17] global | [11:10] AP | [8:5] domain
+               | [1:0]=10
+   L2 small:   [31:12] base | [11] global | [5:4] AP | [1:0]=10 *)
+
+let ap_bits = function Ap_none -> 0 | Ap_priv -> 1 | Ap_full -> 3
+
+let ap_of_bits = function
+  | 0 -> Ap_none
+  | 1 -> Ap_priv
+  | 3 -> Ap_full
+  | b -> invalid_arg (Printf.sprintf "Pte: reserved AP encoding %d" b)
+
+let check_domain d =
+  if d < 0 || d > 15 then invalid_arg "Pte: domain out of range"
+
+let to_i32 v = Int32.of_int v
+let of_i32 w = Int32.to_int (Int32.logand w 0xFFFFFFFFl) land 0xFFFFFFFF
+
+let encode_l1 = function
+  | L1_fault -> 0l
+  | L1_table (base, domain) ->
+    check_domain domain;
+    if not (Addr.is_aligned base 1024) then
+      invalid_arg "Pte: L2 table base must be 1 KB aligned";
+    to_i32 (base lor (domain lsl 5) lor 0b01)
+  | L1_section (base, a) ->
+    check_domain a.domain;
+    if not (Addr.is_aligned base Addr.section_size) then
+      invalid_arg "Pte: section base must be 1 MB aligned";
+    to_i32
+      (base
+       lor (if a.global then 1 lsl 17 else 0)
+       lor (ap_bits a.ap lsl 10)
+       lor (a.domain lsl 5)
+       lor 0b10)
+
+let decode_l1 w =
+  let v = of_i32 w in
+  match v land 0b11 with
+  | 0b00 -> L1_fault
+  | 0b01 -> L1_table (v land lnot 1023, (v lsr 5) land 0xf)
+  | 0b10 ->
+    L1_section
+      (v land lnot (Addr.section_size - 1),
+       { ap = ap_of_bits ((v lsr 10) land 0b11);
+         domain = (v lsr 5) land 0xf;
+         global = (v lsr 17) land 1 = 1 })
+  | _ -> invalid_arg "Pte.decode_l1: reserved descriptor type"
+
+let encode_l2 = function
+  | L2_fault -> 0l
+  | L2_small (base, ap, global) ->
+    if not (Addr.is_aligned base Addr.page_size) then
+      invalid_arg "Pte: small page base must be 4 KB aligned";
+    to_i32
+      (base
+       lor (if global then 1 lsl 11 else 0)
+       lor (ap_bits ap lsl 4)
+       lor 0b10)
+
+let decode_l2 w =
+  let v = of_i32 w in
+  match v land 0b11 with
+  | 0b00 -> L2_fault
+  | 0b10 ->
+    L2_small
+      (v land lnot (Addr.page_size - 1),
+       ap_of_bits ((v lsr 4) land 0b11),
+       (v lsr 11) land 1 = 1)
+  | _ -> invalid_arg "Pte.decode_l2: reserved descriptor type"
+
+let attr_word a =
+  check_domain a.domain;
+  ap_bits a.ap lor (a.domain lsl 2) lor (if a.global then 1 lsl 6 else 0)
+
+let attr_of_word w =
+  { ap = ap_of_bits (w land 0b11);
+    domain = (w lsr 2) land 0xf;
+    global = (w lsr 6) land 1 = 1 }
+
+let pp_ap ppf = function
+  | Ap_none -> Format.pp_print_string ppf "none"
+  | Ap_priv -> Format.pp_print_string ppf "priv"
+  | Ap_full -> Format.pp_print_string ppf "full"
+
+let pp_attrs ppf a =
+  Format.fprintf ppf "{ap=%a; dom=%d; g=%b}" pp_ap a.ap a.domain a.global

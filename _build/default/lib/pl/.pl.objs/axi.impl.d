@@ -1,0 +1,1 @@
+lib/pl/axi.ml: Addr Cache

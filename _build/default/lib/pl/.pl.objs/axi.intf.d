@@ -1,0 +1,1 @@
+lib/pl/axi.mli: Addr Cache

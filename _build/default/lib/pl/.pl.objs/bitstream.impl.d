@@ -1,0 +1,1 @@
+lib/pl/bitstream.ml: Addr Format Task_kind

@@ -1,0 +1,1 @@
+lib/pl/bitstream.mli: Addr Format Task_kind

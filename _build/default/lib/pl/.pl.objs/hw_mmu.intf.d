@@ -1,0 +1,1 @@
+lib/pl/hw_mmu.mli: Addr

@@ -1,0 +1,1 @@
+lib/pl/ip_core.ml: Addr Array Fft Fir Float Phys_mem Printf Qam Task_kind

@@ -1,0 +1,1 @@
+lib/pl/ip_core.mli: Addr Phys_mem Task_kind

@@ -1,0 +1,1 @@
+lib/pl/pcap.ml: Bitstream Cycles Event_queue Gic Int32 Irq_id Prr

@@ -1,0 +1,1 @@
+lib/pl/pcap.mli: Bitstream Cycles Event_queue Gic Prr

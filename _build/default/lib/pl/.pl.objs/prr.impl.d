@@ -1,0 +1,1 @@
+lib/pl/prr.ml: Addr Address_map Array Bitstream Format Hw_mmu Int32 Task_kind

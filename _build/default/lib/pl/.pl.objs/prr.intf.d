@@ -1,0 +1,1 @@
+lib/pl/prr.mli: Addr Bitstream Format Hw_mmu Task_kind

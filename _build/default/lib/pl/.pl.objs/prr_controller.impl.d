@@ -1,0 +1,1 @@
+lib/pl/prr_controller.ml: Address_map Array Axi Bitstream Event_queue Gic Hierarchy Hw_mmu Int32 Ip_core Irq_id List Phys_mem Prr Task_kind

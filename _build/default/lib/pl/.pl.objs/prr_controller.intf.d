@@ -1,0 +1,1 @@
+lib/pl/prr_controller.mli: Addr Event_queue Gic Hierarchy Phys_mem Prr

@@ -1,0 +1,1 @@
+lib/pl/task_kind.ml: Float Format Printf

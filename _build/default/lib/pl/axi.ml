@@ -1,0 +1,18 @@
+let gp_access_cycles = 40
+
+(* 64-bit HP beats at 150 MHz fabric = 8 bytes per 4.4 CPU cycles,
+   plus burst setup. *)
+let hp_transfer_cycles bytes = 120 + (bytes * 44 / 80)
+
+let acp_transfer_cycles bytes ~l2 base =
+  (* Allocate the transfer's footprint into L2 (coherent path). *)
+  let line = Addr.line_size in
+  let first = Addr.line_base base in
+  let last = Addr.line_base (base + (max bytes 1) - 1) in
+  let a = ref first in
+  while !a <= last do
+    ignore (Cache.access l2 !a ~write:true);
+    a := !a + line
+  done;
+  (* Slightly cheaper per beat than HP, same setup. *)
+  120 + (bytes * 40 / 80)

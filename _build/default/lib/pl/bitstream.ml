@@ -1,0 +1,26 @@
+type id = int
+
+type t = {
+  id : id;
+  kind : Task_kind.t;
+  size_bytes : int;
+  store_addr : Addr.t;
+}
+
+let kb = 1024
+
+let size_for = function
+  | Task_kind.Qam _ -> 80 * kb
+  | Task_kind.Fir taps -> (100 + taps) * kb
+  | Task_kind.Fft points ->
+    let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v / 2) in
+    (* 250 KB at 256 points, +70 KB per doubling: 600 KB at 8192. *)
+    ((250 + (70 * (log2 0 points - 8))) * kb)
+
+let make ~id ~kind ~store_addr =
+  Task_kind.validate kind;
+  { id; kind; size_bytes = size_for kind; store_addr }
+
+let pp ppf t =
+  Format.fprintf ppf "bit#%d %a (%d KB @ %a)" t.id Task_kind.pp t.kind
+    (t.size_bytes / 1024) Addr.pp t.store_addr

@@ -1,0 +1,26 @@
+type t = {
+  mutable window : (Addr.t * int) option;
+  mutable violations : int;
+}
+
+let create () = { window = None; violations = 0 }
+
+let load_window t ~base ~size =
+  if size <= 0 then invalid_arg "Hw_mmu.load_window: size <= 0";
+  t.window <- Some (base, size)
+
+let clear_window t = t.window <- None
+
+let window t = t.window
+
+let check t ~base ~len =
+  let ok =
+    match t.window with
+    | None -> false
+    | Some (wbase, wsize) ->
+      len >= 0 && base >= wbase && base + len <= wbase + wsize
+  in
+  if not ok then t.violations <- t.violations + 1;
+  ok
+
+let violations t = t.violations

@@ -1,0 +1,30 @@
+(** hwMMU — the custom FPGA-side memory protection unit (paper §IV-C).
+
+    The PL masters DMA straight into physical memory, bypassing the
+    CPU's MMU; the hwMMU is the compensating check. Per PRR it holds
+    the physical window of the current client VM's hardware-task data
+    section, and every DMA range is validated against it. Accesses
+    outside the window are refused and counted. *)
+
+type t
+
+val create : unit -> t
+(** No window loaded: all DMA refused. *)
+
+val load_window : t -> base:Addr.t -> size:int -> unit
+(** Program the client's data-section window (manager does this at
+    allocation, stage 4 of Fig 7).
+    @raise Invalid_argument if [size <= 0]. *)
+
+val clear_window : t -> unit
+(** Detach: subsequent DMA is refused until a new client is loaded. *)
+
+val window : t -> (Addr.t * int) option
+
+val check : t -> base:Addr.t -> len:int -> bool
+(** [check t ~base ~len] is true when the whole range lies inside the
+    loaded window; a failed check increments the violation counter. *)
+
+val violations : t -> int
+(** Number of refused DMA ranges since creation (security telemetry —
+    tests assert on it). *)

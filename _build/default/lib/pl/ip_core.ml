@@ -1,0 +1,112 @@
+type job = {
+  kind : Task_kind.t;
+  src : Addr.t;
+  dst : Addr.t;
+  len : int;
+  param : int;
+}
+
+let demod j = j.param land 1 = 1
+
+let bits_per_symbol m = Qam.bits_per_symbol (Qam.order_of_int m)
+
+(* FIR PARAM register: bit0 = highpass, bits 8..15 = cutoff * 256. *)
+let fir_response j =
+  let fc =
+    let raw = (j.param lsr 8) land 0xff in
+    let raw = if raw = 0 then 64 else raw in
+    float_of_int raw /. 256.0
+  in
+  let fc = Float.min 0.499 (Float.max 0.004 fc) in
+  if j.param land 1 = 1 then Fir.Highpass fc else Fir.Lowpass fc
+
+let bytes_in j =
+  match j.kind with
+  | Task_kind.Fft _ -> j.len * 8
+  | Task_kind.Fir _ -> j.len * 4
+  | Task_kind.Qam m ->
+    if demod j then j.len / bits_per_symbol m * 8 else j.len
+
+let bytes_out j =
+  match j.kind with
+  | Task_kind.Fft _ -> j.len * 8
+  | Task_kind.Fir _ -> j.len * 4
+  | Task_kind.Qam m ->
+    if demod j then j.len else j.len / bits_per_symbol m * 8
+
+let items j =
+  match j.kind with
+  | Task_kind.Fft _ | Task_kind.Fir _ -> j.len
+  | Task_kind.Qam m -> j.len / bits_per_symbol m
+
+let validate j =
+  match j.kind with
+  | Task_kind.Fft points ->
+    if j.len <= 0 || j.len mod points <> 0 then
+      Error
+        (Printf.sprintf "FFT job length %d not a positive multiple of %d"
+           j.len points)
+    else Ok ()
+  | Task_kind.Qam m ->
+    if j.len <= 0 || j.len mod bits_per_symbol m <> 0 then
+      Error
+        (Printf.sprintf "QAM job length %d not a positive multiple of %d bits"
+           j.len (bits_per_symbol m))
+    else Ok ()
+  | Task_kind.Fir _ ->
+    if j.len <= 0 then Error "FIR job length must be positive" else Ok ()
+
+(* Complex samples are interleaved float32 (re, im) pairs. *)
+let read_complex mem base n =
+  let re = Array.make n 0.0 and im = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    re.(i) <- Phys_mem.read_f32 mem (base + (8 * i));
+    im.(i) <- Phys_mem.read_f32 mem (base + (8 * i) + 4)
+  done;
+  (re, im)
+
+let write_complex mem base re im =
+  Array.iteri
+    (fun i r ->
+       Phys_mem.write_f32 mem (base + (8 * i)) r;
+       Phys_mem.write_f32 mem (base + (8 * i) + 4) im.(i))
+    re
+
+let read_bits mem base n =
+  Array.init n (fun i -> if Phys_mem.read_u8 mem (base + i) = 0 then 0 else 1)
+
+let write_bits mem base bits =
+  Array.iteri (fun i b -> Phys_mem.write_u8 mem (base + i) b) bits
+
+let run mem j =
+  (match validate j with Ok () -> () | Error e -> invalid_arg e);
+  match j.kind with
+  | Task_kind.Fft points ->
+    let inverse = j.param land 1 = 1 in
+    let blocks = j.len / points in
+    for b = 0 to blocks - 1 do
+      let off = 8 * b * points in
+      let re, im = read_complex mem (j.src + off) points in
+      Fft.transform ~inverse re im;
+      write_complex mem (j.dst + off) re im
+    done
+  | Task_kind.Fir taps ->
+    let h = Fir.design ~taps (fir_response j) in
+    let x =
+      Array.init j.len (fun i -> Phys_mem.read_f32 mem (j.src + (4 * i)))
+    in
+    Array.iteri
+      (fun i y -> Phys_mem.write_f32 mem (j.dst + (4 * i)) y)
+      (Fir.apply h x)
+  | Task_kind.Qam m ->
+    let order = Qam.order_of_int m in
+    if demod j then begin
+      let nsym = j.len / bits_per_symbol m in
+      let i_arr, q_arr = read_complex mem j.src nsym in
+      write_bits mem j.dst (Qam.demodulate order ~i:i_arr ~q:q_arr)
+    end
+    else begin
+      let bits = read_bits mem j.src j.len in
+      let i_arr, q_arr = Qam.modulate order ~bits in
+      write_complex mem j.dst i_arr q_arr
+    end

@@ -1,0 +1,36 @@
+(** Functional models of the reconfigurable IP cores.
+
+    When a PRR job completes, the loaded task's model reads its input
+    from the client's data section in simulated physical memory,
+    computes (using the {!Workloads} reference implementations), and
+    writes the result back — exactly what the real core's DMA would
+    leave in DDR. Guests can therefore {e verify} hardware-task output,
+    making allocation and consistency bugs observable. *)
+
+type job = {
+  kind : Task_kind.t;
+  src : Addr.t;   (** physical input base *)
+  dst : Addr.t;   (** physical output base *)
+  len : int;      (** FFT: complex samples (multiple of the FFT size);
+                      QAM: number of bits (multiple of bits/symbol);
+                      FIR: real samples *)
+  param : int;    (** FFT bit0 = inverse; QAM bit0 = demodulate;
+                      FIR bit0 = highpass, bits 8–15 = cutoff·256 *)
+}
+
+val bytes_in : job -> int
+(** DMA read volume of the job. *)
+
+val bytes_out : job -> int
+(** DMA write volume of the job. *)
+
+val items : job -> int
+(** Item count for {!Task_kind.compute_cycles}: complex samples (FFT)
+    or symbols (QAM). *)
+
+val validate : job -> (unit, string) result
+(** Check length/alignment constraints before starting the job. *)
+
+val run : Phys_mem.t -> job -> unit
+(** Execute the job functionally (no timing).
+    @raise Invalid_argument when {!validate} would fail. *)

@@ -1,0 +1,39 @@
+type t = {
+  queue : Event_queue.t;
+  gic : Gic.t;
+  mutable busy : bool;
+  mutable last_completed : Bitstream.id option;
+  mutable transfers : int;
+}
+
+let create queue gic =
+  { queue; gic; busy = false; last_completed = None; transfers = 0 }
+
+let throughput_bytes_per_sec = 145_000_000
+
+let transfer_cycles (b : Bitstream.t) =
+  let us = float_of_int b.Bitstream.size_bytes /. 145.0 in
+  Cycles.of_us us
+
+let launch t bit prr =
+  if t.busy then `Busy
+  else begin
+    t.busy <- true;
+    prr.Prr.state <- Prr.Reconfiguring;
+    prr.Prr.loaded <- None;
+    let d = transfer_cycles bit in
+    ignore
+      (Event_queue.schedule_after t.queue d (fun () ->
+           prr.Prr.loaded <- Some bit;
+           prr.Prr.state <- Prr.Ready;
+           Prr.write_reg prr Prr.Reg.task_id (Int32.of_int bit.Bitstream.id);
+           t.busy <- false;
+           t.last_completed <- Some bit.Bitstream.id;
+           t.transfers <- t.transfers + 1;
+           Gic.raise_irq t.gic Irq_id.devcfg));
+    `Started d
+  end
+
+let busy t = t.busy
+let last_completed t = t.last_completed
+let transfers t = t.transfers

@@ -1,0 +1,33 @@
+(** Processor Configuration Access Port.
+
+    The single download channel for partial bitstreams (paper §IV-A):
+    one transfer at a time, latency proportional to the .bit size at
+    the effective PCAP throughput, completion signalled by the DevCfg
+    interrupt. The Hardware Task Manager launches a transfer and
+    returns to the caller {e without waiting} (Fig 7 stage 5/6), so
+    this module is fully event-driven. *)
+
+type t
+
+val create : Event_queue.t -> Gic.t -> t
+
+val throughput_bytes_per_sec : int
+(** Effective PCAP throughput: 145 MB/s. *)
+
+val transfer_cycles : Bitstream.t -> Cycles.t
+(** Download latency for one bitstream. *)
+
+val launch : t -> Bitstream.t -> Prr.t -> [ `Started of Cycles.t | `Busy ]
+(** Begin reconfiguring [prr] with [bitstream]. On success the PRR
+    enters [Reconfiguring]; at completion it becomes [Ready] with the
+    task loaded, its TASK_ID register updated, and {!Irq_id.devcfg}
+    raised. Returns the transfer latency, or [`Busy] when a transfer
+    is already in flight. *)
+
+val busy : t -> bool
+
+val last_completed : t -> Bitstream.id option
+(** Id of the most recently completed download (status polling). *)
+
+val transfers : t -> int
+(** Count of completed transfers (evaluation statistic). *)

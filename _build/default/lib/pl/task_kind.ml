@@ -1,0 +1,48 @@
+type t = Fft of int | Qam of int | Fir of int
+
+let validate = function
+  | Fft n ->
+    if n < 256 || n > 8192 || n land (n - 1) <> 0 then
+      invalid_arg "Task_kind: FFT points must be a power of two in 256-8192"
+  | Qam m ->
+    if m <> 4 && m <> 16 && m <> 64 then
+      invalid_arg "Task_kind: QAM order must be 4, 16 or 64"
+  | Fir taps ->
+    if taps < 5 || taps > 127 || taps land 1 = 0 then
+      invalid_arg "Task_kind: FIR taps must be odd and in 5-127"
+
+let name = function
+  | Fft n -> Printf.sprintf "FFT-%d" n
+  | Qam m -> Printf.sprintf "QAM-%d" m
+  | Fir taps -> Printf.sprintf "FIR-%d" taps
+
+let resource_units = function
+  | Fft n ->
+    (* Streaming FFT area grows with log2(points). *)
+    let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v / 2) in
+    400 + (60 * log2 0 n)
+  | Qam _ -> 120
+  | Fir taps -> 150 + (2 * taps) (* one MAC slice per pair of taps *)
+
+(* Fabric runs at 150 MHz; express latency in 660 MHz CPU cycles. *)
+let fabric_ratio = 660.0 /. 150.0
+
+let cpu_cycles fabric = int_of_float (Float.round (fabric *. fabric_ratio))
+
+let compute_cycles k n_items =
+  match k with
+  | Fft points ->
+    (* Pipelined radix-2: ~(n/2)·log2 n butterflies, 4 butterflies/cycle,
+       per block of [points]; round blocks up. *)
+    let rec log2 acc v = if v <= 1 then acc else log2 (acc + 1) (v / 2) in
+    let stages = log2 0 points in
+    let blocks = (n_items + points - 1) / points in
+    cpu_cycles (float_of_int (blocks * (points / 2) * stages) /. 4.0)
+  | Qam _ ->
+    (* One symbol per fabric cycle, fully pipelined. *)
+    cpu_cycles (float_of_int n_items)
+  | Fir taps ->
+    (* Systolic MAC array: 4 taps per fabric cycle per sample. *)
+    cpu_cycles (float_of_int (n_items * taps) /. 4.0)
+
+let pp ppf k = Format.pp_print_string ppf (name k)

@@ -1,0 +1,32 @@
+(** Hardware-task families of the evaluation (paper Fig 8).
+
+    Three IP families are reconfigured into the PRRs: the paper's FFT
+    cores (256–8192 points) and QAM modulators/demodulators (orders
+    4/16/64), plus a FIR filter family as a natural extension for the
+    same communication domain. *)
+
+type t =
+  | Fft of int   (** points: power of two in 256–8192 *)
+  | Qam of int   (** constellation size: 4, 16 or 64 *)
+  | Fir of int   (** filter taps: odd, 5–127 (coefficients are part of
+                     the bitstream; cutoff/response come in at run time
+                     through the PARAM register) *)
+
+val validate : t -> unit
+(** @raise Invalid_argument outside the supported parameter range. *)
+
+val name : t -> string
+(** e.g. ["FFT-1024"], ["QAM-16"]. *)
+
+val resource_units : t -> int
+(** FPGA area demanded, in abstract resource units; a PRR can host a
+    task only if its capacity is at least this (paper: only PRR1/2 are
+    large enough for FFT). *)
+
+val compute_cycles : t -> int -> int
+(** [compute_cycles k n_items] is the PL-side processing latency in
+    {e CPU} cycles for [n_items] input items (complex samples for FFT,
+    symbols for QAM, real samples for FIR), assuming a 150 MHz fabric
+    clock. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/platform/cpu_mode.mli: Format

@@ -1,0 +1,1 @@
+lib/platform/exec.ml: Addr Clock Hierarchy List Mmu Zynq

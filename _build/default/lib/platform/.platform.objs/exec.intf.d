@@ -1,0 +1,1 @@
+lib/platform/exec.mli: Addr Hierarchy Zynq

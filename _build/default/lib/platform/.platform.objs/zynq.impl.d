@@ -1,0 +1,1 @@
+lib/platform/zynq.ml: Address_map Axi Clock Event_queue Gic Hierarchy Int32 Mmu Pcap Phys_mem Private_timer Prr_controller Sd_card Tlb Uart

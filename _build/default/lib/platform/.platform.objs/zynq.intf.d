@@ -1,0 +1,1 @@
+lib/platform/zynq.mli: Addr Clock Event_queue Gic Hierarchy Mmu Pcap Phys_mem Private_timer Prr_controller Sd_card Tlb Uart

@@ -1,0 +1,69 @@
+type range = { base : Addr.t; len : int }
+
+type t = {
+  label : string;
+  code : range;
+  reads : range list;
+  writes : range list;
+  base_cycles : int;
+}
+
+let make ?(reads = []) ?(writes = []) ?(base_cycles = 0) ~label ~code_base
+    ~code_bytes () =
+  { label;
+    code = { base = code_base; len = code_bytes };
+    reads; writes; base_cycles }
+
+let touch zynq ~priv kind r =
+  if r.len > 0 then begin
+    let mmu_kind =
+      match kind with
+      | Hierarchy.Ifetch -> Mmu.Exec
+      | Hierarchy.Load -> Mmu.Read
+      | Hierarchy.Store -> Mmu.Write
+    in
+    let first = Addr.line_base r.base in
+    let last = Addr.line_base (r.base + r.len - 1) in
+    (* Translate once per page, access once per line. *)
+    let cur_page = ref (-1) in
+    let cur_pbase = ref 0 in
+    let a = ref first in
+    while !a <= last do
+      let page = !a lsr Addr.page_shift in
+      if page <> !cur_page then begin
+        let pa =
+          Mmu.translate_exn zynq.Zynq.mmu mmu_kind ~priv (Addr.page_base !a)
+        in
+        cur_page := page;
+        cur_pbase := Addr.page_base pa
+      end;
+      let pa = !cur_pbase lor (!a land (Addr.page_size - 1)) in
+      ignore (Hierarchy.access zynq.Zynq.hier kind pa);
+      a := !a + Addr.line_size
+    done
+  end
+
+let lines_of r =
+  if r.len <= 0 then 0
+  else
+    ((Addr.line_base (r.base + r.len - 1) - Addr.line_base r.base)
+     / Addr.line_size)
+    + 1
+
+let issue_cycles t = t.code.len / 4
+
+let run zynq ~priv t =
+  let start = Clock.now zynq.Zynq.clock in
+  touch zynq ~priv Hierarchy.Ifetch t.code;
+  List.iter (touch zynq ~priv Hierarchy.Load) t.reads;
+  List.iter (touch zynq ~priv Hierarchy.Store) t.writes;
+  Clock.advance zynq.Zynq.clock (t.base_cycles + issue_cycles t);
+  Clock.now zynq.Zynq.clock - start
+
+let estimate_warm_cycles t =
+  let l = Hierarchy.default_latencies.Hierarchy.l1_hit in
+  let data =
+    List.fold_left (fun acc r -> acc + lines_of r) 0 t.reads
+    + List.fold_left (fun acc r -> acc + lines_of r) 0 t.writes
+  in
+  (l * (lines_of t.code + data)) + t.base_cycles + issue_cycles t

@@ -1,0 +1,42 @@
+(** Footprint-based execution cost engine.
+
+    The simulation does not interpret an ISA. Instead, every code path
+    (kernel entry stub, hypercall handler, guest OS service, workload
+    inner loop) is described by a {e footprint}: the virtual range of
+    its code, the data ranges it touches, and its pipeline cycle
+    count. {!run} pushes the footprint through the MMU, TLB, and cache
+    hierarchy at the current translation context — so the same path is
+    fast when warm and slow when another VM evicted it, which is the
+    mechanism behind the paper's Table III trends. *)
+
+type range = { base : Addr.t; len : int }
+(** A virtual byte range. *)
+
+type t = {
+  label : string;
+  code : range;          (** instructions, fetched line by line *)
+  reads : range list;    (** data read, touched line by line *)
+  writes : range list;   (** data written, touched line by line *)
+  base_cycles : int;     (** non-memory pipeline cycles *)
+}
+
+val make :
+  ?reads:range list -> ?writes:range list -> ?base_cycles:int ->
+  label:string -> code_base:Addr.t -> code_bytes:int -> unit -> t
+(** Build a footprint. Instruction issue cost ([code_bytes/4] cycles,
+    one per instruction) is charged automatically on top of
+    [base_cycles]. *)
+
+val run : Zynq.t -> priv:bool -> t -> int
+(** Execute the footprint at the current TTBR/ASID/DACR: charges every
+    fetch and data line through the memory system and [base_cycles] on
+    the clock. Returns the total cycles consumed. Raises {!Mmu.Fault}
+    if any address fails to translate. *)
+
+val touch : Zynq.t -> priv:bool -> Hierarchy.kind -> range -> unit
+(** Charge one access per cache line of a single range (used for
+    fine-grained workload modelling). Raises {!Mmu.Fault}. *)
+
+val estimate_warm_cycles : t -> int
+(** Lower bound: cost with every access an L1 hit (for tests and for
+    sanity-checking calibration). *)

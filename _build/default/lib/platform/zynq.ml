@@ -1,0 +1,95 @@
+type t = {
+  clock : Clock.t;
+  queue : Event_queue.t;
+  mem : Phys_mem.t;
+  hier : Hierarchy.t;
+  tlb : Tlb.t;
+  mmu : Mmu.t;
+  gic : Gic.t;
+  ptimer : Private_timer.t;
+  uart : Uart.t;
+  sd : Sd_card.t;
+  prrc : Prr_controller.t;
+  pcap : Pcap.t;
+}
+
+(* PRR1/2 host FFT (large), PRR3/4 host only QAM (small) — Fig 8. *)
+let default_prr_capacities = [ 1300; 1300; 200; 200 ]
+
+let create ?(prr_capacities = default_prr_capacities) ?lat ?on_uart () =
+  let clock = Clock.create () in
+  let queue = Event_queue.create clock in
+  let mem = Phys_mem.create () in
+  let hier = Hierarchy.create ?lat clock in
+  let tlb = Tlb.create Tlb.cortex_a9 in
+  let mmu = Mmu.create mem hier tlb in
+  let gic = Gic.create () in
+  let ptimer = Private_timer.create queue gic in
+  let uart = Uart.create ?on_byte:on_uart () in
+  let sd = Sd_card.create () in
+  let prrc =
+    Prr_controller.create mem queue gic hier ~capacities:prr_capacities
+  in
+  let pcap = Pcap.create queue gic in
+  { clock; queue; mem; hier; tlb; mmu; gic; ptimer; uart; sd; prrc; pcap }
+
+let in_pl_window a =
+  a >= Address_map.prr_regs_base
+  && a < Address_map.prr_regs_base + Address_map.axi_gp0_size
+
+(* Charged physical access helpers. *)
+let phys_read_u32 t a =
+  if in_pl_window a then begin
+    ignore (Hierarchy.access_uncached t.hier);
+    Clock.advance t.clock Axi.gp_access_cycles;
+    Prr_controller.mmio_read t.prrc a
+  end
+  else begin
+    ignore (Hierarchy.access t.hier Hierarchy.Load a);
+    Phys_mem.read_u32 t.mem a
+  end
+
+let phys_write_u32 t a v =
+  if in_pl_window a then begin
+    ignore (Hierarchy.access_uncached t.hier);
+    Clock.advance t.clock Axi.gp_access_cycles;
+    Prr_controller.mmio_write t.prrc a v
+  end
+  else begin
+    ignore (Hierarchy.access t.hier Hierarchy.Store a);
+    Phys_mem.write_u32 t.mem a v
+  end
+
+let vtranslate t access ~priv a = Mmu.translate_exn t.mmu access ~priv a
+
+let vread_u32 t ~priv a = phys_read_u32 t (vtranslate t Mmu.Read ~priv a)
+let vwrite_u32 t ~priv a v = phys_write_u32 t (vtranslate t Mmu.Write ~priv a) v
+
+let vread_u8 t ~priv a =
+  let pa = vtranslate t Mmu.Read ~priv a in
+  if in_pl_window pa then invalid_arg "Zynq.vread_u8: byte access to PL regs"
+  else begin
+    ignore (Hierarchy.access t.hier Hierarchy.Load pa);
+    Phys_mem.read_u8 t.mem pa
+  end
+
+let vwrite_u8 t ~priv a v =
+  let pa = vtranslate t Mmu.Write ~priv a in
+  if in_pl_window pa then invalid_arg "Zynq.vwrite_u8: byte access to PL regs"
+  else begin
+    ignore (Hierarchy.access t.hier Hierarchy.Store pa);
+    Phys_mem.write_u8 t.mem pa v
+  end
+
+let vread_f32 t ~priv a = Int32.float_of_bits (vread_u32 t ~priv a)
+let vwrite_f32 t ~priv a v = vwrite_u32 t ~priv a (Int32.bits_of_float v)
+
+let pread_u32 = phys_read_u32
+let pwrite_u32 = phys_write_u32
+
+let idle_until_next_event t =
+  match Event_queue.next_deadline t.queue with
+  | None -> false
+  | Some d ->
+    ignore (Event_queue.advance_until t.queue d);
+    true

@@ -1,0 +1,68 @@
+(** The assembled Zynq-7000 board.
+
+    One value of this type is one simulated chip: clock, event queue,
+    DDR, cache hierarchy, TLB, MMU, GIC, private timer, UART, SD card,
+    and the PL side (PRR controller + PCAP). Components are exposed
+    directly — the microkernel is privileged code and drives them like
+    bare-metal drivers would.
+
+    Virtual-address accessors perform a real MMU translation at the
+    current TTBR/ASID/DACR, charge cache-hierarchy cost, and route
+    PL-window physical addresses to the PRR controller's registers
+    (uncached, over AXI_GP). *)
+
+type t = {
+  clock : Clock.t;
+  queue : Event_queue.t;
+  mem : Phys_mem.t;
+  hier : Hierarchy.t;
+  tlb : Tlb.t;
+  mmu : Mmu.t;
+  gic : Gic.t;
+  ptimer : Private_timer.t;
+  uart : Uart.t;
+  sd : Sd_card.t;
+  prrc : Prr_controller.t;
+  pcap : Pcap.t;
+}
+
+val default_prr_capacities : int list
+(** The evaluation's four PRRs (paper Fig 8): two FFT-capable large
+    regions, two QAM-only small ones. *)
+
+val create :
+  ?prr_capacities:int list -> ?lat:Hierarchy.latencies ->
+  ?on_uart:(char -> unit) -> unit -> t
+
+(** {2 Virtual-address CPU accesses}
+
+    All of these translate through the MMU ([priv] selects the
+    privilege the access is checked at), raise {!Mmu.Fault} on a
+    failed translation, and charge time. *)
+
+val vread_u32 : t -> priv:bool -> Addr.t -> int32
+val vwrite_u32 : t -> priv:bool -> Addr.t -> int32 -> unit
+val vread_u8 : t -> priv:bool -> Addr.t -> int
+val vwrite_u8 : t -> priv:bool -> Addr.t -> int -> unit
+val vread_f32 : t -> priv:bool -> Addr.t -> float
+val vwrite_f32 : t -> priv:bool -> Addr.t -> float -> unit
+
+val vtranslate : t -> Mmu.access -> priv:bool -> Addr.t -> Addr.t
+(** Translation only (raises {!Mmu.Fault}); no data access charged. *)
+
+(** {2 Physical (kernel / device) accesses} *)
+
+val in_pl_window : Addr.t -> bool
+(** True for addresses decoding to PRR register groups. *)
+
+val pread_u32 : t -> Addr.t -> int32
+(** Physical read, charged through the caches (or AXI_GP for the PL
+    window). The kernel runs identity-mapped, so its data accesses use
+    these. *)
+
+val pwrite_u32 : t -> Addr.t -> int32 -> unit
+
+val idle_until_next_event : t -> bool
+(** CPU idle (WFI): skip the clock to the next pending event and fire
+    it. Returns false when no event is pending (nothing will ever
+    happen again). *)

@@ -1,0 +1,1 @@
+lib/ucos/hw_task_api.ml: Addr Address_map Array Fir Float Guest_layout Hw_task_manager Hyper Int32 Mmu Option Port Prr Qam Ucos Zynq

@@ -1,0 +1,1 @@
+lib/ucos/hw_task_api.mli: Addr Fir Ucos

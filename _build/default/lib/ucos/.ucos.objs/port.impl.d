@@ -1,0 +1,1 @@
+lib/ucos/port.ml: Addr Clock Cycles Hyper Irq_id Kernel Printf Zynq

@@ -1,0 +1,1 @@
+lib/ucos/port.mli: Addr Cycles Hyper Kernel Zynq

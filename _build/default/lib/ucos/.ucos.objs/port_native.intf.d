@@ -1,0 +1,1 @@
+lib/ucos/port_native.mli: Bitstream Hierarchy Hw_task_manager Port Task_kind Zynq

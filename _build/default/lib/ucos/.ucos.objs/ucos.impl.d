@@ -1,0 +1,1 @@
+lib/ucos/ucos.ml: Addr Array Cycles Effect Exec Hashtbl List Logs Port Printexc Queue Ucos_layout

@@ -1,0 +1,1 @@
+lib/ucos/ucos.mli: Addr Cycles Exec Port

@@ -1,0 +1,1 @@
+lib/ucos/ucos_layout.mli: Addr

@@ -1,0 +1,249 @@
+exception Reclaimed
+
+type t = {
+  task : int;
+  iface : Addr.t;
+  data : Addr.t;
+  data_len : int;
+  irq : int option;
+  prr : int option;
+  completion : Ucos.sem option;
+}
+
+let data_in_off = Hw_task_manager.reserved_bytes
+
+let zp os =
+  let p = Ucos.port os in
+  (p.Port.zynq, p.Port.priv)
+
+let guard f = try f () with Mmu.Fault _ -> raise Reclaimed
+
+let read_reg os h i =
+  let z, priv = zp os in
+  guard (fun () -> Zynq.vread_u32 z ~priv (h.iface + (4 * i)))
+
+let write_reg os h i v =
+  let z, priv = zp os in
+  guard (fun () -> Zynq.vwrite_u32 z ~priv (h.iface + (4 * i)) v)
+
+let default_iface task =
+  Guest_layout.page_region_base + ((64 + (task land 127)) * Addr.page_size)
+
+let acquire os ~task ?iface_vaddr ?data_vaddr
+    ?(data_len = Guest_layout.default_data_section_len) ?(want_irq = false)
+    ?(wait_ready = true) () =
+  let port = Ucos.port os in
+  let iface_vaddr = Option.value iface_vaddr ~default:(default_iface task) in
+  let data_vaddr =
+    Option.value data_vaddr ~default:Guest_layout.default_data_section
+  in
+  let finish status irq prr =
+    let iface =
+      if port.Port.priv then
+        (* Native: the register group is reached through the identity
+           mapping of the PL window. *)
+        match prr with
+        | Some p ->
+          Address_map.prr_regs_base + (p * Address_map.prr_regs_stride)
+        | None -> iface_vaddr
+      else iface_vaddr
+    in
+    let completion =
+      match irq with
+      | Some i ->
+        let s = Ucos.sem_create os 0 in
+        Ucos.on_irq os i (fun () -> Ucos.sem_post os s);
+        Some s
+      | None -> None
+    in
+    let h = { task; iface; data = data_vaddr; data_len; irq; prr; completion } in
+    if status = Hyper.Hw_reconfig && wait_ready then begin
+      (* Await the PCAP download by polling the status hypercall. *)
+      let rec waitr n =
+        if n <= 0 then Error "reconfiguration timeout"
+        else begin
+          Ucos.delay os 1;
+          match port.Port.hw_status ~task with
+          | Hyper.R_status { prr_ready = true; _ } -> Ok h
+          | Hyper.R_status _ -> waitr (n - 1)
+          | _ -> Error "status query failed"
+        end
+      in
+      waitr 500
+    end
+    else Ok h
+  in
+  let rec attempt tries =
+    match
+      port.Port.hw_request ~task ~iface_vaddr ~data_vaddr ~data_len ~want_irq
+    with
+    | Hyper.R_error e -> Error e
+    | Hyper.R_hw { status = Hyper.Hw_bad_task; _ } -> Error "unknown task id"
+    | Hyper.R_hw { status = Hyper.Hw_busy; _ } ->
+      if tries <= 0 then Error "hardware busy"
+      else begin
+        Ucos.delay os 1;
+        attempt (tries - 1)
+      end
+    | Hyper.R_hw { status; irq; prr } -> finish status irq prr
+    | _ -> Error "unexpected response"
+  in
+  attempt 100
+
+let release os h =
+  let port = Ucos.port os in
+  ignore (port.Port.hw_release ~task:h.task)
+
+let start os h ~src_off ~dst_off ~len ~param =
+  write_reg os h Prr.Reg.src_offset (Int32.of_int src_off);
+  write_reg os h Prr.Reg.dst_offset (Int32.of_int dst_off);
+  write_reg os h Prr.Reg.len (Int32.of_int len);
+  write_reg os h Prr.Reg.param (Int32.of_int param);
+  let ctrl = 1 lor (if h.irq <> None then 2 else 0) in
+  write_reg os h Prr.Reg.ctrl (Int32.of_int ctrl)
+
+type outcome = [ `Done | `Violation | `Reclaimed ]
+
+let classify status =
+  if status land 0b100 <> 0 then Some `Violation
+  else if status land 0b10 <> 0 then Some `Done
+  else None
+
+let wait_done os h =
+  try
+    match h.completion with
+    | Some s ->
+      let rec wait n =
+        if n <= 0 then `Violation
+        else begin
+          match Ucos.sem_pend os s ~timeout:50 () with
+          | `Ok | `Timeout ->
+            (* Read (and clear) the status bits to classify. *)
+            (match classify (Int32.to_int (read_reg os h Prr.Reg.status)) with
+             | Some o -> o
+             | None -> wait (n - 1))
+        end
+      in
+      wait 100
+    | None ->
+      let rec poll n =
+        if n <= 0 then `Violation
+        else
+          match classify (Int32.to_int (read_reg os h Prr.Reg.status)) with
+          | Some o -> o
+          | None ->
+            Ucos.delay os 1;
+            poll (n - 1)
+      in
+      poll 2000
+  with Reclaimed -> `Reclaimed
+
+let inconsistent os h =
+  let z, priv = zp os in
+  Int32.to_int (Zynq.vread_u32 z ~priv (h.data + Hw_task_manager.flag_offset))
+  <> 0
+
+(* Sample movement between guest arrays and the data section. *)
+
+let write_complex os h ~off re im =
+  let z, priv = zp os in
+  Array.iteri
+    (fun i r ->
+       Zynq.vwrite_f32 z ~priv (h.data + off + (8 * i)) r;
+       Zynq.vwrite_f32 z ~priv (h.data + off + (8 * i) + 4) im.(i))
+    re
+
+let read_complex os h ~off n =
+  let z, priv = zp os in
+  let re = Array.make n 0.0 and im = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    re.(i) <- Zynq.vread_f32 z ~priv (h.data + off + (8 * i));
+    im.(i) <- Zynq.vread_f32 z ~priv (h.data + off + (8 * i) + 4)
+  done;
+  (re, im)
+
+let write_bits os h ~off bits =
+  let z, priv = zp os in
+  Array.iteri (fun i b -> Zynq.vwrite_u8 z ~priv (h.data + off + i) b) bits
+
+let read_bits os h ~off n =
+  let z, priv = zp os in
+  Array.init n (fun i -> Zynq.vread_u8 z ~priv (h.data + off + i))
+
+let run_job os h ~write_in ~in_bytes ~out_bytes ~len ~param ~read_out =
+  let port = Ucos.port os in
+  let dst_off = Addr.align_up (data_in_off + in_bytes) 64 in
+  if dst_off + out_bytes > h.data_len then Error "data section too small"
+  else begin
+    try
+      write_in data_in_off;
+      port.Port.cache_clean ~vaddr:h.data ~len:(data_in_off + in_bytes);
+      start os h ~src_off:data_in_off ~dst_off ~len ~param;
+      match wait_done os h with
+      | `Done ->
+        port.Port.cache_invalidate ~vaddr:(h.data + dst_off) ~len:out_bytes;
+        Ok (read_out dst_off)
+      | `Violation -> Error "hwMMU violation or job rejected"
+      | `Reclaimed -> Error "task reclaimed by another client"
+    with Reclaimed -> Error "task reclaimed by another client"
+  end
+
+let run_fft os h ~inverse ~re ~im =
+  let n = Array.length re in
+  if Array.length im <> n then Error "re/im length mismatch"
+  else
+    run_job os h
+      ~write_in:(fun off -> write_complex os h ~off re im)
+      ~in_bytes:(8 * n) ~out_bytes:(8 * n) ~len:n
+      ~param:(if inverse then 1 else 0)
+      ~read_out:(fun off -> read_complex os h ~off n)
+
+let run_qam_mod os h ~order ~bits =
+  let bps = Qam.bits_per_symbol (Qam.order_of_int order) in
+  let nb = Array.length bits in
+  if nb = 0 || nb mod bps <> 0 then Error "bit count not a symbol multiple"
+  else begin
+    let nsym = nb / bps in
+    run_job os h
+      ~write_in:(fun off -> write_bits os h ~off bits)
+      ~in_bytes:nb ~out_bytes:(8 * nsym) ~len:nb ~param:0
+      ~read_out:(fun off -> read_complex os h ~off nsym)
+  end
+
+let write_reals os h ~off xs =
+  let z, priv = zp os in
+  Array.iteri (fun i x -> Zynq.vwrite_f32 z ~priv (h.data + off + (4 * i)) x) xs
+
+let read_reals os h ~off n =
+  let z, priv = zp os in
+  Array.init n (fun i -> Zynq.vread_f32 z ~priv (h.data + off + (4 * i)))
+
+let fir_param response =
+  let bit, fc =
+    match response with
+    | Fir.Lowpass fc -> (0, fc)
+    | Fir.Highpass fc -> (1, fc)
+  in
+  let raw = max 1 (min 127 (int_of_float (Float.round (fc *. 256.0)))) in
+  bit lor (raw lsl 8)
+
+let run_fir os h ~response ~samples =
+  let n = Array.length samples in
+  if n = 0 then Error "empty input"
+  else
+    run_job os h
+      ~write_in:(fun off -> write_reals os h ~off samples)
+      ~in_bytes:(4 * n) ~out_bytes:(4 * n) ~len:n ~param:(fir_param response)
+      ~read_out:(fun off -> read_reals os h ~off n)
+
+let run_qam_demod os h ~order ~i ~q =
+  let bps = Qam.bits_per_symbol (Qam.order_of_int order) in
+  let nsym = Array.length i in
+  if Array.length q <> nsym || nsym = 0 then Error "bad I/Q input"
+  else begin
+    let nb = nsym * bps in
+    run_job os h
+      ~write_in:(fun off -> write_complex os h ~off i q)
+      ~in_bytes:(8 * nsym) ~out_bytes:nb ~len:nb ~param:1
+      ~read_out:(fun off -> read_bits os h ~off nb)
+  end

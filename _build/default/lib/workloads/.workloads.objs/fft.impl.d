@@ -1,0 +1,1 @@
+lib/workloads/fft.ml: Array Float

@@ -1,0 +1,1 @@
+lib/workloads/fir.ml: Array Float

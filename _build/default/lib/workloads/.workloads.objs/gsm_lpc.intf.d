@@ -1,0 +1,1 @@
+lib/workloads/gsm_lpc.mli:

@@ -1,0 +1,1 @@
+lib/workloads/gsm_rpe.ml: Array Float Gsm_lpc List

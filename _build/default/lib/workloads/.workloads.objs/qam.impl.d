@@ -1,0 +1,1 @@
+lib/workloads/qam.ml: Array Float Printf

@@ -1,0 +1,1 @@
+lib/workloads/signal.ml: Array Float List Rng

@@ -1,0 +1,1 @@
+lib/workloads/signal.mli: Rng

@@ -1,0 +1,74 @@
+type state = { mutable predictor : int; mutable index : int }
+
+let init_state () = { predictor = 0; index = 0 }
+
+let index_table = [| -1; -1; -1; -1; 2; 4; 6; 8; -1; -1; -1; -1; 2; 4; 6; 8 |]
+
+let step_table =
+  [| 7; 8; 9; 10; 11; 12; 13; 14; 16; 17; 19; 21; 23; 25; 28; 31; 34; 37;
+     41; 45; 50; 55; 60; 66; 73; 80; 88; 97; 107; 118; 130; 143; 157; 173;
+     190; 209; 230; 253; 279; 307; 337; 371; 408; 449; 494; 544; 598; 658;
+     724; 796; 876; 963; 1060; 1166; 1282; 1411; 1552; 1707; 1878; 2066;
+     2272; 2499; 2749; 3024; 3327; 3660; 4026; 4428; 4871; 5358; 5894;
+     6484; 7132; 7845; 8630; 9493; 10442; 11487; 12635; 13899; 15289;
+     16818; 18500; 20350; 22385; 24623; 27086; 29794; 32767 |]
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let encode_sample st sample =
+  let step = step_table.(st.index) in
+  let diff = sample - st.predictor in
+  let code = ref (if diff < 0 then 8 else 0) in
+  let diff = abs diff in
+  let delta = ref (step lsr 3) in
+  let d = ref diff in
+  if !d >= step then begin
+    code := !code lor 4;
+    d := !d - step;
+    delta := !delta + step
+  end;
+  let half = step lsr 1 in
+  if !d >= half then begin
+    code := !code lor 2;
+    d := !d - half;
+    delta := !delta + half
+  end;
+  let quarter = step lsr 2 in
+  if !d >= quarter then begin
+    code := !code lor 1;
+    delta := !delta + quarter
+  end;
+  st.predictor <-
+    clamp (-32768) 32767
+      (if !code land 8 <> 0 then st.predictor - !delta
+       else st.predictor + !delta);
+  st.index <- clamp 0 88 (st.index + index_table.(!code));
+  !code
+
+let decode_sample st code =
+  let step = step_table.(st.index) in
+  let delta = ref (step lsr 3) in
+  if code land 4 <> 0 then delta := !delta + step;
+  if code land 2 <> 0 then delta := !delta + (step lsr 1);
+  if code land 1 <> 0 then delta := !delta + (step lsr 2);
+  st.predictor <-
+    clamp (-32768) 32767
+      (if code land 8 <> 0 then st.predictor - !delta
+       else st.predictor + !delta);
+  st.index <- clamp 0 88 (st.index + index_table.(code));
+  st.predictor
+
+let encode samples =
+  let st = init_state () in
+  Array.map (encode_sample st) samples
+
+let decode codes =
+  let st = init_state () in
+  Array.map (decode_sample st) codes
+
+let max_abs_error a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Adpcm.max_abs_error: length mismatch";
+  let m = ref 0 in
+  Array.iteri (fun i x -> m := max !m (abs (x - b.(i)))) a;
+  !m

@@ -1,0 +1,72 @@
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let transform ?(inverse = false) re im =
+  let n = Array.length re in
+  if Array.length im <> n then
+    invalid_arg "Fft.transform: re/im length mismatch";
+  if n < 2 || not (is_pow2 n) then
+    invalid_arg "Fft.transform: length must be a power of two >= 2";
+  (* Bit-reversal permutation. *)
+  let j = ref 0 in
+  for i = 0 to n - 2 do
+    if i < !j then begin
+      let tr = re.(i) in
+      re.(i) <- re.(!j);
+      re.(!j) <- tr;
+      let ti = im.(i) in
+      im.(i) <- im.(!j);
+      im.(!j) <- ti
+    end;
+    let m = ref (n lsr 1) in
+    while !m >= 1 && !j land !m <> 0 do
+      j := !j lxor !m;
+      m := !m lsr 1
+    done;
+    j := !j lor !m
+  done;
+  (* Danielson–Lanczos butterflies. *)
+  let sign = if inverse then 1.0 else -1.0 in
+  let len = ref 2 in
+  while !len <= n do
+    let half = !len / 2 in
+    let theta = sign *. 2.0 *. Float.pi /. float_of_int !len in
+    let wr = cos theta and wi = sin theta in
+    let base = ref 0 in
+    while !base < n do
+      let cr = ref 1.0 and ci = ref 0.0 in
+      for k = 0 to half - 1 do
+        let i0 = !base + k and i1 = !base + k + half in
+        let tr = (re.(i1) *. !cr) -. (im.(i1) *. !ci) in
+        let ti = (re.(i1) *. !ci) +. (im.(i1) *. !cr) in
+        re.(i1) <- re.(i0) -. tr;
+        im.(i1) <- im.(i0) -. ti;
+        re.(i0) <- re.(i0) +. tr;
+        im.(i0) <- im.(i0) +. ti;
+        let nr = (!cr *. wr) -. (!ci *. wi) in
+        ci := (!cr *. wi) +. (!ci *. wr);
+        cr := nr
+      done;
+      base := !base + !len
+    done;
+    len := !len * 2
+  done;
+  if inverse then begin
+    let s = 1.0 /. float_of_int n in
+    for i = 0 to n - 1 do
+      re.(i) <- re.(i) *. s;
+      im.(i) <- im.(i) *. s
+    done
+  end
+
+let magnitudes re im =
+  if Array.length im <> Array.length re then
+    invalid_arg "Fft.magnitudes: length mismatch";
+  Array.init (Array.length re) (fun i ->
+      sqrt ((re.(i) *. re.(i)) +. (im.(i) *. im.(i))))
+
+let max_error a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Fft.max_error: length mismatch";
+  let m = ref 0.0 in
+  Array.iteri (fun i x -> m := Float.max !m (Float.abs (x -. b.(i)))) a;
+  !m

@@ -1,0 +1,21 @@
+(** Radix-2 complex FFT.
+
+    Functional model of the paper's FFT IP cores (256–8192 points) and
+    the software reference guests use to verify hardware-task results.
+    Operates in place on split real/imaginary [float array]s. *)
+
+val transform : ?inverse:bool -> float array -> float array -> unit
+(** [transform re im] computes the in-place DFT of the complex signal
+    [re + j·im]. With [~inverse:true], computes the inverse transform
+    including the 1/N scaling, so [transform ~inverse:true] after
+    [transform] restores the input (up to rounding).
+    @raise Invalid_argument if lengths differ or are not a power of
+    two (minimum 2). *)
+
+val magnitudes : float array -> float array -> float array
+(** Pointwise [sqrt (re² + im²)]. *)
+
+val max_error : float array -> float array -> float
+(** Largest absolute difference between two equal-length arrays —
+    convenience for roundtrip checks.
+    @raise Invalid_argument on length mismatch. *)

@@ -1,0 +1,73 @@
+let frame_size = 160
+let order = 8
+
+let check frame =
+  if Array.length frame <> frame_size then
+    invalid_arg "Gsm_lpc: frame must be 160 samples"
+
+(* Preemphasis then windowed autocorrelation, lags 0..order. *)
+let autocorrelation frame =
+  check frame;
+  let pre = Array.make frame_size 0.0 in
+  let prev = ref 0.0 in
+  Array.iteri
+    (fun i s ->
+       let x = float_of_int s in
+       pre.(i) <- x -. (0.86 *. !prev);
+       prev := x)
+    frame;
+  let acf = Array.make (order + 1) 0.0 in
+  for lag = 0 to order do
+    let sum = ref 0.0 in
+    for i = lag to frame_size - 1 do
+      sum := !sum +. (pre.(i) *. pre.(i - lag))
+    done;
+    acf.(lag) <- !sum
+  done;
+  acf
+
+(* Schur recursion: autocorrelation -> reflection coefficients. *)
+let reflection_coefficients frame =
+  let acf = autocorrelation frame in
+  let r = Array.make order 0.0 in
+  if acf.(0) <= 0.0 then r
+  else begin
+    let p = Array.sub acf 0 (order + 1) in
+    let k = Array.make (order + 1) 0.0 in
+    Array.blit acf 1 k 1 order;
+    (try
+       for n = 0 to order - 1 do
+         if p.(0) < Float.abs k.(n + 1) then raise Exit;
+         let refl = -.k.(n + 1) /. p.(0) in
+         r.(n) <- refl;
+         p.(0) <- p.(0) +. (refl *. k.(n + 1));
+         for m = 1 to order - 1 - n do
+           p.(m) <- p.(m + 1) +. (refl *. k.(m + n + 1));
+           k.(m + n + 1) <- k.(m + n + 1) +. (refl *. p.(m + 1))
+         done
+       done
+     with Exit -> ());
+    r
+  end
+
+(* Quantise reflection coefficients to integer log-area ratios,
+   GSM-style companding. *)
+let analyze frame =
+  let r = reflection_coefficients frame in
+  Array.map
+    (fun refl ->
+       let a = Float.abs refl in
+       let lar =
+         if a < 0.675 then refl
+         else if a < 0.950 then Float.copy_sign ((2.0 *. a) -. 0.675) refl
+         else Float.copy_sign ((8.0 *. a) -. 6.375) refl
+       in
+       int_of_float (Float.round (lar *. 16.0)))
+    r
+
+let residual_energy frame =
+  let acf = autocorrelation frame in
+  let r = reflection_coefficients frame in
+  let e = ref acf.(0) in
+  Array.iter (fun refl -> e := !e *. (1.0 -. (refl *. refl))) r;
+  !e

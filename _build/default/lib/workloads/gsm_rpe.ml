@@ -1,0 +1,261 @@
+type subframe = {
+  lag : int;
+  gain_index : int;
+  grid : int;
+  max_index : int;
+  pulses : int array;
+}
+
+type frame = {
+  lars : int array;
+  subframes : subframe array;
+}
+
+let frame_size = 160
+let subframe_size = 40
+let order = 8
+let pulses_per_subframe = 13
+let history = 160 (* residual kept for the long-term predictor *)
+
+(* 8×6 LAR bits + 4×(7 lag + 2 gain + 2 grid + 6 max + 13×3 pulses). *)
+let bits_per_frame = (8 * 6) + (4 * (7 + 2 + 2 + 6 + (13 * 3)))
+
+type encoder = { e_res : float array (* reconstructed residual history *) }
+
+type decoder = { d_res : float array }
+
+let create_encoder () = { e_res = Array.make history 0.0 }
+let create_decoder () = { d_res = Array.make history 0.0 }
+
+(* Reflection coefficients from quantised LARs — the inverse of the
+   companding in {!Gsm_lpc.analyze}, so encoder and decoder agree. *)
+let reflection_of_lars lars =
+  Array.map
+    (fun lq ->
+       let lar = float_of_int lq /. 16.0 in
+       let a = Float.abs lar in
+       let r =
+         if a < 0.675 then a
+         else if a < 1.225 then (a +. 0.675) /. 2.0
+         else (a +. 6.375) /. 8.0
+       in
+       let r = Float.min r 0.999 in
+       Float.copy_sign r lar)
+    lars
+
+(* Short-term lattice analysis filter: PCM -> residual. *)
+let lattice_analysis refl samples =
+  let d = Array.make (order + 1) 0.0 in
+  Array.map
+    (fun x ->
+       let f = ref x in
+       let prev_b = ref x in
+       for k = 0 to order - 1 do
+         let b_delayed = d.(k) in
+         let f' = !f +. (refl.(k) *. b_delayed) in
+         let b' = b_delayed +. (refl.(k) *. !f) in
+         d.(k) <- !prev_b;
+         prev_b := b';
+         f := f'
+       done;
+       d.(order) <- !prev_b;
+       !f)
+    samples
+
+(* Short-term lattice synthesis filter: residual -> PCM. *)
+let lattice_synthesis refl residual =
+  let d = Array.make (order + 1) 0.0 in
+  Array.map
+    (fun e ->
+       let f = ref e in
+       for k = order - 1 downto 0 do
+         f := !f -. (refl.(k) *. d.(k))
+       done;
+       (* Update the backward errors with the reconstructed sample. *)
+       for k = order - 1 downto 0 do
+         d.(k + 1) <- d.(k) +. (refl.(k) *. !f)
+       done;
+       d.(0) <- !f;
+       !f)
+    residual
+
+let ltp_gains = [| 0.10; 0.35; 0.65; 1.00 |]
+
+let min_lag = subframe_size
+let max_lag = 120
+
+(* Logarithmic 6-bit quantiser for the RPE block maximum. *)
+let log_max = log (1.0 +. 32767.0)
+
+let quantize_max m =
+  let m = Float.max m 0.0 in
+  let idx =
+    int_of_float (Float.round (log (1.0 +. m) /. log_max *. 63.0))
+  in
+  if idx < 0 then 0 else if idx > 63 then 63 else idx
+
+let dequantize_max idx = exp (float_of_int idx /. 63.0 *. log_max) -. 1.0
+
+let quantize_pulse m' p =
+  if m' <= 0.0 then 3
+  else begin
+    let v = p /. m' in
+    let c = int_of_float (Float.round ((v +. 1.0) *. 3.5)) in
+    if c < 0 then 0 else if c > 7 then 7 else c
+  end
+
+let dequantize_pulse m' c = ((float_of_int c /. 3.5) -. 1.0) *. m'
+
+(* Encode one subframe of residual [d] against the rolling history;
+   returns the parameters and the *reconstructed* subframe residual
+   (what the decoder will compute), which feeds back into the
+   history — the closed-loop structure of RPE-LTP. *)
+let encode_subframe res_hist d =
+  (* Long-term predictor: best lag by cross-correlation. *)
+  let best_lag = ref min_lag and best_cor = ref neg_infinity in
+  for lag = min_lag to max_lag do
+    let cor = ref 0.0 in
+    for i = 0 to subframe_size - 1 do
+      cor := !cor +. (d.(i) *. res_hist.(history - lag + i))
+    done;
+    if !cor > !best_cor then begin
+      best_cor := !cor;
+      best_lag := lag
+    end
+  done;
+  let lag = !best_lag in
+  let energy = ref 1e-6 in
+  for i = 0 to subframe_size - 1 do
+    let h = res_hist.(history - lag + i) in
+    energy := !energy +. (h *. h)
+  done;
+  let gain = Float.max 0.0 (Float.min 1.0 (!best_cor /. !energy)) in
+  let gain_index = ref 0 in
+  Array.iteri
+    (fun i g ->
+       if Float.abs (g -. gain) < Float.abs (ltp_gains.(!gain_index) -. gain)
+       then gain_index := i)
+    ltp_gains;
+  let g = ltp_gains.(!gain_index) in
+  let e =
+    Array.init subframe_size (fun i ->
+        d.(i) -. (g *. res_hist.(history - lag + i)))
+  in
+  (* Regular-pulse excitation: best decimation grid of three. *)
+  let grid_energy grid =
+    let s = ref 0.0 in
+    for k = 0 to pulses_per_subframe - 1 do
+      let v = e.(grid + (3 * k)) in
+      s := !s +. (v *. v)
+    done;
+    !s
+  in
+  let grid = ref 0 in
+  for c = 1 to 2 do
+    if grid_energy c > grid_energy !grid then grid := c
+  done;
+  let grid = !grid in
+  let raw = Array.init pulses_per_subframe (fun k -> e.(grid + (3 * k))) in
+  let m = Array.fold_left (fun acc v -> Float.max acc (Float.abs v)) 0.0 raw in
+  let max_index = quantize_max m in
+  let m' = dequantize_max max_index in
+  let pulses = Array.map (quantize_pulse m') raw in
+  (* Decoder-side reconstruction of this subframe's residual. *)
+  let recon =
+    Array.init subframe_size (fun i ->
+        let excitation =
+          if i >= grid && (i - grid) mod 3 = 0 && (i - grid) / 3 < pulses_per_subframe
+          then dequantize_pulse m' pulses.((i - grid) / 3)
+          else 0.0
+        in
+        excitation +. (g *. res_hist.(history - lag + i)))
+  in
+  ({ lag; gain_index = !gain_index; grid; max_index; pulses }, recon)
+
+let decode_subframe res_hist sf =
+  let g = ltp_gains.(sf.gain_index) in
+  let m' = dequantize_max sf.max_index in
+  Array.init subframe_size (fun i ->
+      let excitation =
+        if i >= sf.grid
+           && (i - sf.grid) mod 3 = 0
+           && (i - sf.grid) / 3 < pulses_per_subframe
+        then dequantize_pulse m' sf.pulses.((i - sf.grid) / 3)
+        else 0.0
+      in
+      excitation +. (g *. res_hist.(history - sf.lag + i)))
+
+let push_history hist sub =
+  Array.blit hist subframe_size hist 0 (history - subframe_size);
+  Array.blit sub 0 hist (history - subframe_size) subframe_size
+
+let check_frame pcm =
+  if Array.length pcm <> frame_size then
+    invalid_arg "Gsm_rpe: frame must be 160 samples"
+
+let encode_frame enc pcm =
+  check_frame pcm;
+  let lars = Gsm_lpc.analyze pcm in
+  let refl = reflection_of_lars lars in
+  let residual = lattice_analysis refl (Array.map float_of_int pcm) in
+  let subframes =
+    Array.init 4 (fun s ->
+        let d = Array.sub residual (s * subframe_size) subframe_size in
+        let sf, recon = encode_subframe enc.e_res d in
+        push_history enc.e_res recon;
+        sf)
+  in
+  { lars; subframes }
+
+let decode_frame dec frame =
+  let refl = reflection_of_lars frame.lars in
+  let residual = Array.make frame_size 0.0 in
+  Array.iteri
+    (fun s sf ->
+       let recon = decode_subframe dec.d_res sf in
+       push_history dec.d_res recon;
+       Array.blit recon 0 residual (s * subframe_size) subframe_size)
+    frame.subframes;
+  let pcm = lattice_synthesis refl residual in
+  Array.map
+    (fun x ->
+       let v = int_of_float (Float.round x) in
+       if v > 32767 then 32767 else if v < -32768 then -32768 else v)
+    pcm
+
+let encode pcm =
+  let n = Array.length pcm in
+  if n = 0 || n mod frame_size <> 0 then
+    invalid_arg "Gsm_rpe.encode: length must be a positive multiple of 160";
+  let enc = create_encoder () in
+  List.init (n / frame_size) (fun i ->
+      encode_frame enc (Array.sub pcm (i * frame_size) frame_size))
+
+let decode frames =
+  let dec = create_decoder () in
+  Array.concat (List.map (decode_frame dec) frames)
+
+let snr_db original reconstructed =
+  if Array.length original <> Array.length reconstructed then
+    invalid_arg "Gsm_rpe.snr_db: length mismatch";
+  let n = Array.length original in
+  let seg = frame_size in
+  let total = ref 0.0 and segments = ref 0 in
+  let i = ref 0 in
+  while !i + seg <= n do
+    let signal = ref 0.0 and noise = ref 0.0 in
+    for k = !i to !i + seg - 1 do
+      let s = float_of_int original.(k) in
+      let e = s -. float_of_int reconstructed.(k) in
+      signal := !signal +. (s *. s);
+      noise := !noise +. (e *. e)
+    done;
+    if !signal > 1e3 then begin
+      let snr = 10.0 *. log10 (!signal /. Float.max !noise 1e-9) in
+      (* Clamp per segment as segmental SNR definitions do. *)
+      total := !total +. Float.min 40.0 (Float.max (-10.0) snr);
+      incr segments
+    end;
+    i := !i + seg
+  done;
+  if !segments = 0 then 0.0 else !total /. float_of_int !segments

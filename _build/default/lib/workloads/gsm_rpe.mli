@@ -1,0 +1,53 @@
+(** GSM 06.10-style full-rate speech codec (RPE-LTP).
+
+    Completes the "GSM encoding" guest workload with the whole codec
+    chain, in the style of the full-rate standard: per 160-sample
+    frame, short-term LPC analysis ({!Gsm_lpc}) and lattice filtering,
+    then per 40-sample subframe a long-term predictor (pitch lag
+    40–120, 2-bit gain) and regular-pulse excitation (decimation grid
+    of 3, 13 pulses, 3-bit APCM against a 6-bit block maximum). The
+    bit layout is simplified but the signal path is the standard's;
+    encode∘decode is a real lossy speech codec whose reconstruction
+    quality is asserted by tests. *)
+
+type frame = {
+  lars : int array;          (** 8 quantised log-area ratios *)
+  subframes : subframe array;(** 4 × 40 samples *)
+}
+
+and subframe = {
+  lag : int;                 (** LTP lag, 40–120 *)
+  gain_index : int;          (** LTP gain index, 0–3 *)
+  grid : int;                (** RPE grid offset, 0–2 *)
+  max_index : int;           (** block-maximum quantiser index, 0–63 *)
+  pulses : int array;        (** 13 × 3-bit pulse codes *)
+}
+
+type encoder
+type decoder
+
+val frame_size : int
+(** 160 samples (20 ms at 8 kHz). *)
+
+val bits_per_frame : int
+(** Size of the simplified frame layout (the real standard packs 260). *)
+
+val create_encoder : unit -> encoder
+val create_decoder : unit -> decoder
+
+val encode_frame : encoder -> int array -> frame
+(** Encode one [frame_size]-sample 16-bit PCM frame; carries pitch
+    history across calls. @raise Invalid_argument on a bad length. *)
+
+val decode_frame : decoder -> frame -> int array
+(** Reconstruct a 160-sample frame. *)
+
+val encode : int array -> frame list
+(** Whole-buffer helper (length must be a multiple of 160). *)
+
+val decode : frame list -> int array
+
+val snr_db : int array -> int array -> float
+(** Segmental signal-to-noise ratio between original and
+    reconstruction — the quality metric the tests bound.
+    @raise Invalid_argument on length mismatch. *)

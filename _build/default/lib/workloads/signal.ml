@@ -1,0 +1,53 @@
+let clamp16 v =
+  if v > 32767 then 32767 else if v < -32768 then -32768 else v
+
+let sine ~amplitude ~freq ~rate n =
+  Array.init n (fun i ->
+      let t = float_of_int i /. rate in
+      clamp16
+        (int_of_float (amplitude *. sin (2.0 *. Float.pi *. freq *. t))))
+
+let multitone ~amplitude ~freqs ~rate n =
+  let k = List.length freqs in
+  if k = 0 then Array.make n 0
+  else
+    let a = amplitude /. float_of_int k in
+    Array.init n (fun i ->
+        let t = float_of_int i /. rate in
+        let v =
+          List.fold_left
+            (fun acc f -> acc +. (a *. sin (2.0 *. Float.pi *. f *. t)))
+            0.0 freqs
+        in
+        clamp16 (int_of_float v))
+
+let noise rng ~amplitude n =
+  Array.init n (fun _ -> Rng.int rng ((2 * amplitude) + 1) - amplitude)
+
+let speech_like rng n =
+  let out = Array.make n 0 in
+  let pitch = 64 + Rng.int rng 32 in
+  let y1 = ref 0.0 and y2 = ref 0.0 in
+  for i = 0 to n - 1 do
+    (* Excitation: pitch pulse train plus light noise. *)
+    let pulse = if i mod pitch = 0 then 8000.0 else 0.0 in
+    let excitation = pulse +. float_of_int (Rng.int rng 401 - 200) in
+    (* Two-pole resonator around ~500 Hz at 8 kHz. *)
+    let y = excitation +. (1.52 *. !y1) -. (0.64 *. !y2) in
+    y2 := !y1;
+    y1 := y;
+    out.(i) <- clamp16 (int_of_float (y /. 4.0))
+  done;
+  out
+
+let to_floats = Array.map float_of_int
+
+let ber a b =
+  if Array.length a <> Array.length b then
+    invalid_arg "Signal.ber: length mismatch";
+  if Array.length a = 0 then 0.0
+  else begin
+    let errs = ref 0 in
+    Array.iteri (fun i x -> if x <> b.(i) then incr errs) a;
+    float_of_int !errs /. float_of_int (Array.length a)
+  end

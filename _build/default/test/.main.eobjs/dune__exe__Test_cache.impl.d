@@ -1,0 +1,1 @@
+test/test_cache.ml: Alcotest Cache Clock Hierarchy QCheck2 QCheck_alcotest Tlb

@@ -1,0 +1,1 @@
+test/test_devices.ml: Alcotest Buffer Bytes Clock Event_queue Gic Irq_id Private_timer Sd_card Uart

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Clock Cycles Event_queue Float List QCheck2 QCheck_alcotest Rng Stats

@@ -1,0 +1,1 @@
+test/test_harness.ml: Ablations Alcotest Complexity Float List Scenario Tables

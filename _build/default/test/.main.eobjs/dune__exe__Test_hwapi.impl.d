@@ -1,0 +1,1 @@
+test/test_hwapi.ml: Alcotest Array Cycles Fft Fir Float Hw_mmu Hw_task_api Hw_task_manager Int32 Kernel List Pcap Port Port_native Prr Prr_controller Qam Result Task_kind Ucos Zynq

@@ -1,0 +1,1 @@
+test/test_hwtm.ml: Address_map Alcotest Clock Cycles Event_queue Hw_mmu Hw_task_manager Hyper Kmem Pcap Phys_mem Prr Prr_controller Result Task_kind Zynq

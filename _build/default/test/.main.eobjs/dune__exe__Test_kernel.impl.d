@@ -1,0 +1,1 @@
+test/test_kernel.ml: Address_map Alcotest Array Bytes Clock Cycles Exec Float Format Guest_layout Hyper Irq_id Kernel Ktrace List Mmu Pd Port Printf Sd_card Uart Ucos Ucos_layout Zynq

@@ -1,0 +1,1 @@
+test/test_mem.ml: Addr Address_map Alcotest Bytes Char Phys_mem QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mmu.ml: Addr Address_map Alcotest Clock Dacr Frame_alloc Fun Hierarchy List Mmu Page_table Phys_mem Pte QCheck2 QCheck_alcotest Result Tlb

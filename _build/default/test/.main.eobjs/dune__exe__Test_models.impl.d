@@ -1,0 +1,1 @@
+test/test_models.ml: Addr Address_map Alcotest Array Cache Clock Event_queue Frame_alloc Fun Hashtbl List Option Page_table Pd Phys_mem Pte QCheck2 QCheck_alcotest Sched Vgic

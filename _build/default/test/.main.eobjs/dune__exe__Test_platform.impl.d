@@ -1,0 +1,1 @@
+test/test_platform.ml: Address_map Alcotest Cache Clock Cpu_mode Event_queue Exec Hierarchy Kmem List Mmu Prr Prr_controller Zynq

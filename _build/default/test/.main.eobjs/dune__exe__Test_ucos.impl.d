@@ -1,0 +1,1 @@
+test/test_ucos.ml: Alcotest Cycles Event_queue Gic Guest_layout Irq_id List Option Port_native Result Ucos Zynq

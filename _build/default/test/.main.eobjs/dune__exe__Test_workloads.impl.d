@@ -1,0 +1,1 @@
+test/test_workloads.ml: Adpcm Alcotest Array Fft Fir Float Gsm_lpc Gsm_rpe List Printf QCheck2 QCheck_alcotest Qam Rng Signal

@@ -1,0 +1,19 @@
+let () =
+  Logs.set_level (Some Logs.Error);
+  Alcotest.run "mini-nova"
+    [ Test_engine.suite;
+      Test_mem.suite;
+      Test_cache.suite;
+      Test_mmu.suite;
+      Test_devices.suite;
+      Test_workloads.suite;
+      Test_pl.suite;
+      Test_core.suite;
+      Test_kernel.suite;
+      Test_ucos.suite;
+      Test_hwapi.suite;
+      Test_harness.suite;
+      Test_models.suite;
+      Test_platform.suite;
+      Test_hwtm.suite;
+      Test_edge.suite ]

@@ -1,0 +1,189 @@
+(* Tests for the cache, TLB and hierarchy models. *)
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let small_cfg =
+  { Cache.name = "test"; size_bytes = 1024; ways = 2; line_size = 32 }
+(* 1 KB, 2-way, 32 B lines -> 16 sets. *)
+
+let test_cache_geometry () =
+  let c = Cache.create small_cfg in
+  check ci "lines" 32 (Cache.lines c);
+  Alcotest.check_raises "bad geometry"
+    (Invalid_argument "Cache.create: capacity not divisible by ways*line")
+    (fun () -> ignore (Cache.create { small_cfg with Cache.size_bytes = 1000 }))
+
+let test_cache_hit_miss () =
+  let c = Cache.create small_cfg in
+  check cb "cold miss" true (Cache.access c 0x1000 ~write:false = `Miss);
+  check cb "warm hit" true (Cache.access c 0x1000 ~write:false = `Hit);
+  check cb "same line hit" true (Cache.access c 0x101F ~write:false = `Hit);
+  check cb "next line miss" true (Cache.access c 0x1020 ~write:false = `Miss);
+  check ci "stats hits" 2 (Cache.hits c);
+  check ci "stats misses" 2 (Cache.misses c)
+
+let test_cache_lru () =
+  let c = Cache.create small_cfg in
+  (* Three lines mapping to the same set (stride = sets * line = 512). *)
+  ignore (Cache.access c 0x0000 ~write:false);
+  ignore (Cache.access c 0x0200 ~write:false);
+  ignore (Cache.access c 0x0000 ~write:false); (* refresh first *)
+  ignore (Cache.access c 0x0400 ~write:false); (* evicts 0x0200 (LRU) *)
+  check cb "victim evicted" false (Cache.probe c 0x0200);
+  check cb "recently used kept" true (Cache.probe c 0x0000);
+  check cb "newcomer resident" true (Cache.probe c 0x0400)
+
+let test_cache_dirty () =
+  let c = Cache.create small_cfg in
+  ignore (Cache.access c 0x100 ~write:true);
+  ignore (Cache.access c 0x200 ~write:false);
+  check cb "dirty detected" true (Cache.dirty_in_range c 0x100 4);
+  check cb "clean range not dirty" false (Cache.dirty_in_range c 0x200 4);
+  check ci "clean writes back one line" 1 (Cache.clean_range c 0x0 0x1000);
+  check cb "clean clears dirtiness" false (Cache.dirty_in_range c 0x100 4);
+  check cb "line stays resident after clean" true (Cache.probe c 0x100)
+
+let test_cache_invalidate () =
+  let c = Cache.create small_cfg in
+  ignore (Cache.access c 0x100 ~write:true);
+  ignore (Cache.access c 0x300 ~write:false);
+  check ci "invalidate range drops one" 1 (Cache.invalidate_range c 0x100 32);
+  check cb "gone" false (Cache.probe c 0x100);
+  check cb "other kept" true (Cache.probe c 0x300);
+  check ci "invalidate all drops rest" 1 (Cache.invalidate_all c)
+
+let test_cache_large_range_scan () =
+  let c = Cache.create small_cfg in
+  ignore (Cache.access c 0x100 ~write:true);
+  (* A range far larger than the cache uses the scan path. *)
+  check cb "dirty found by scan" true (Cache.dirty_in_range c 0 (1 lsl 24))
+
+let prop_probe_after_access =
+  QCheck2.Test.make ~name:"accessed line is resident" ~count:300
+    QCheck2.Gen.(int_range 0 0xFFFFF)
+    (fun a ->
+       let c = Cache.create small_cfg in
+       ignore (Cache.access c a ~write:false);
+       Cache.probe c a)
+
+(* --- TLB --- *)
+
+let entry ?(global = false) ppage = { Tlb.ppage; word = 0; global }
+
+let test_tlb_hit_miss () =
+  let t = Tlb.create Tlb.cortex_a9 in
+  check cb "cold miss" true (Tlb.lookup t ~asid:1 ~vpage:5 = None);
+  Tlb.insert t ~asid:1 ~vpage:5 (entry 42);
+  (match Tlb.lookup t ~asid:1 ~vpage:5 with
+   | Some e -> check ci "translation" 42 e.Tlb.ppage
+   | None -> Alcotest.fail "expected hit");
+  check ci "one hit" 1 (Tlb.hits t);
+  check ci "one miss" 1 (Tlb.misses t)
+
+let test_tlb_asid_isolation () =
+  let t = Tlb.create Tlb.cortex_a9 in
+  Tlb.insert t ~asid:1 ~vpage:5 (entry 42);
+  check cb "other ASID misses" true (Tlb.lookup t ~asid:2 ~vpage:5 = None)
+
+let test_tlb_global () =
+  let t = Tlb.create Tlb.cortex_a9 in
+  Tlb.insert t ~asid:1 ~vpage:9 (entry ~global:true 7);
+  check cb "global hits under any ASID" true
+    (Tlb.lookup t ~asid:200 ~vpage:9 <> None);
+  check ci "flush_asid spares globals" 0 (Tlb.flush_asid t 1);
+  check cb "still there" true (Tlb.lookup t ~asid:3 ~vpage:9 <> None);
+  check ci "flush_all drops globals" 1 (Tlb.flush_all t)
+
+let test_tlb_flush_asid () =
+  let t = Tlb.create Tlb.cortex_a9 in
+  Tlb.insert t ~asid:1 ~vpage:1 (entry 10);
+  Tlb.insert t ~asid:1 ~vpage:2 (entry 11);
+  Tlb.insert t ~asid:2 ~vpage:3 (entry 12);
+  check ci "drops only asid 1" 2 (Tlb.flush_asid t 1);
+  check cb "asid 2 survives" true (Tlb.lookup t ~asid:2 ~vpage:3 <> None)
+
+let test_tlb_flush_page () =
+  let t = Tlb.create Tlb.cortex_a9 in
+  Tlb.insert t ~asid:1 ~vpage:1 (entry 10);
+  Tlb.flush_page t ~asid:1 ~vpage:1;
+  check cb "gone" true (Tlb.lookup t ~asid:1 ~vpage:1 = None)
+
+let test_tlb_eviction () =
+  (* 4-entry, 2-way TLB: 2 sets; three same-set insertions evict LRU. *)
+  let t = Tlb.create { Tlb.entries = 4; ways = 2 } in
+  Tlb.insert t ~asid:1 ~vpage:0 (entry 1);
+  Tlb.insert t ~asid:1 ~vpage:2 (entry 2);
+  ignore (Tlb.lookup t ~asid:1 ~vpage:0);
+  Tlb.insert t ~asid:1 ~vpage:4 (entry 3);
+  check cb "LRU victim" true (Tlb.lookup t ~asid:1 ~vpage:2 = None);
+  check cb "MRU kept" true (Tlb.lookup t ~asid:1 ~vpage:0 <> None)
+
+(* --- Hierarchy --- *)
+
+let test_hierarchy_latency_ordering () =
+  let clock = Clock.create () in
+  let h = Hierarchy.create clock in
+  let cost kind a = Hierarchy.access h kind a in
+  let miss = cost Hierarchy.Load 0x10000 in
+  let hit = cost Hierarchy.Load 0x10000 in
+  check cb "miss slower than hit" true (miss > hit);
+  check ci "L1 hit cost" (Hierarchy.default_latencies.Hierarchy.l1_hit) hit;
+  check ci "full miss cost"
+    (Hierarchy.default_latencies.Hierarchy.l1_hit
+     + Hierarchy.default_latencies.Hierarchy.l2_hit
+     + Hierarchy.default_latencies.Hierarchy.dram)
+    miss;
+  check cb "clock advanced" true (Clock.now clock = miss + hit)
+
+let test_hierarchy_l2_hit () =
+  let clock = Clock.create () in
+  let h = Hierarchy.create clock in
+  ignore (Hierarchy.access h Hierarchy.Load 0x20000);
+  (* Evict from tiny L1? Instead, touch via Ifetch: the L1I misses but
+     L2 already holds the line from the data access. *)
+  let c = Hierarchy.access h Hierarchy.Ifetch 0x20000 in
+  check ci "L1 miss, L2 hit"
+    (Hierarchy.default_latencies.Hierarchy.l1_hit
+     + Hierarchy.default_latencies.Hierarchy.l2_hit)
+    c
+
+let test_hierarchy_maintenance () =
+  let clock = Clock.create () in
+  let h = Hierarchy.create clock in
+  ignore (Hierarchy.access h Hierarchy.Store 0x400);
+  check cb "dirty seen" true (Hierarchy.dirty_in_range h 0x400 4);
+  ignore (Hierarchy.clean_dcache_range h 0x400 32);
+  check cb "clean clears" false (Hierarchy.dirty_in_range h 0x400 4);
+  ignore (Hierarchy.access h Hierarchy.Store 0x800);
+  ignore (Hierarchy.invalidate_dcache_range h 0x800 32);
+  check cb "invalidate clears" false (Hierarchy.dirty_in_range h 0x800 4)
+
+let test_hierarchy_uncached () =
+  let clock = Clock.create () in
+  let h = Hierarchy.create clock in
+  let c = Hierarchy.access_uncached h in
+  check cb "device access has a cost" true (c > 0);
+  check ci "clock moved" c (Clock.now clock)
+
+let suite =
+  let t n f = Alcotest.test_case n `Quick f in
+  ( "cachesim",
+    [ t "cache geometry" test_cache_geometry;
+      t "cache hit/miss" test_cache_hit_miss;
+      t "cache LRU" test_cache_lru;
+      t "cache dirty/clean" test_cache_dirty;
+      t "cache invalidate" test_cache_invalidate;
+      t "cache large-range scan" test_cache_large_range_scan;
+      QCheck_alcotest.to_alcotest prop_probe_after_access;
+      t "tlb hit/miss" test_tlb_hit_miss;
+      t "tlb asid isolation" test_tlb_asid_isolation;
+      t "tlb global entries" test_tlb_global;
+      t "tlb flush asid" test_tlb_flush_asid;
+      t "tlb flush page" test_tlb_flush_page;
+      t "tlb eviction" test_tlb_eviction;
+      t "hierarchy latency ordering" test_hierarchy_latency_ordering;
+      t "hierarchy l2 hit" test_hierarchy_l2_hit;
+      t "hierarchy maintenance" test_hierarchy_maintenance;
+      t "hierarchy uncached" test_hierarchy_uncached ] )

@@ -1,0 +1,147 @@
+(* Tests for GIC, timers, UART, SD, and IRQ numbering. *)
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let test_irq_id_pl_mapping () =
+  check ci "pl 0 is SPI 61" 61 (Irq_id.pl 0);
+  check ci "pl 7 is SPI 68" 68 (Irq_id.pl 7);
+  check ci "pl 8 is SPI 84" 84 (Irq_id.pl 8);
+  check ci "pl 15 is SPI 91" 91 (Irq_id.pl 15);
+  for i = 0 to Irq_id.pl_count - 1 do
+    check (Alcotest.option ci) "roundtrip" (Some i) (Irq_id.pl_index (Irq_id.pl i))
+  done;
+  check (Alcotest.option ci) "non-PL id" None (Irq_id.pl_index Irq_id.devcfg)
+
+let test_gic_basic () =
+  let g = Gic.create () in
+  check cb "quiet" false (Gic.line_asserted g);
+  Gic.raise_irq g 40;
+  check cb "pending but masked" false (Gic.line_asserted g);
+  Gic.enable g 40;
+  check cb "asserted" true (Gic.line_asserted g);
+  check (Alcotest.option ci) "ack" (Some 40) (Gic.ack g);
+  check cb "ack clears pending" false (Gic.is_pending g 40);
+  check cb "active blocks line" false (Gic.line_asserted g);
+  Gic.eoi g 40;
+  check cb "still quiet" false (Gic.line_asserted g)
+
+let test_gic_priority () =
+  let g = Gic.create () in
+  Gic.enable g 30;
+  Gic.enable g 50;
+  Gic.set_priority g 30 0x80;
+  Gic.set_priority g 50 0x10;
+  Gic.raise_irq g 30;
+  Gic.raise_irq g 50;
+  check (Alcotest.option ci) "lower value wins" (Some 50) (Gic.ack g);
+  check (Alcotest.option ci) "then the other" (Some 30) (Gic.ack g);
+  check cb "spurious after drain" true (Gic.ack g = None)
+
+let test_gic_tie_break () =
+  let g = Gic.create () in
+  Gic.enable g 30;
+  Gic.enable g 40;
+  Gic.raise_irq g 40;
+  Gic.raise_irq g 30;
+  check (Alcotest.option ci) "equal priority: lowest id" (Some 30) (Gic.ack g)
+
+let test_gic_mask_helper () =
+  let g = Gic.create () in
+  Gic.enable g 10;
+  Gic.enable g 20;
+  Gic.set_enabled_mask g ~keep:[ 29; 40 ] ~enable:[ 61 ];
+  check (Alcotest.list ci) "mask replaced" [ 29; 40; 61 ] (Gic.enabled_list g);
+  check cb "pending survives masking" true
+    (Gic.raise_irq g 10;
+     Gic.is_pending g 10 && not (Gic.line_asserted g))
+
+let test_gic_range_check () =
+  let g = Gic.create () in
+  Alcotest.check_raises "bad id" (Invalid_argument "Gic: IRQ id out of range")
+    (fun () -> Gic.enable g 200)
+
+let test_private_timer_periodic () =
+  let clock = Clock.create () in
+  let q = Event_queue.create clock in
+  let g = Gic.create () in
+  Gic.enable g Irq_id.private_timer;
+  let t = Private_timer.create q g in
+  Private_timer.start t ~interval:100;
+  check cb "running" true (Private_timer.running t);
+  let fired = ref 0 in
+  for _ = 1 to 5 do
+    ignore (Event_queue.advance_until q (Clock.now clock + 100));
+    if Gic.is_pending g Irq_id.private_timer then begin
+      incr fired;
+      Gic.clear_pending g Irq_id.private_timer
+    end
+  done;
+  check ci "five expiries" 5 !fired
+
+let test_private_timer_stop () =
+  let clock = Clock.create () in
+  let q = Event_queue.create clock in
+  let g = Gic.create () in
+  let t = Private_timer.create q g in
+  Private_timer.start t ~interval:100;
+  Private_timer.stop t;
+  ignore (Event_queue.advance_until q 1000);
+  check cb "no pending after stop" false (Gic.is_pending g Irq_id.private_timer);
+  check cb "not running" false (Private_timer.running t)
+
+let test_private_timer_restart () =
+  let clock = Clock.create () in
+  let q = Event_queue.create clock in
+  let g = Gic.create () in
+  let t = Private_timer.create q g in
+  Private_timer.start t ~interval:100;
+  Private_timer.start t ~interval:37;
+  (* Old schedule invalidated: first expiry at 37, not 100. *)
+  ignore (Event_queue.advance_until q 37);
+  check cb "new interval expiry" true (Gic.is_pending g Irq_id.private_timer);
+  check (Alcotest.option ci) "interval readable" (Some 37)
+    (Private_timer.interval t)
+
+let test_uart () =
+  let seen = Buffer.create 16 in
+  let u = Uart.create ~on_byte:(Buffer.add_char seen) () in
+  Uart.write_string u "hello";
+  Uart.write_byte u '!';
+  check Alcotest.string "captured" "hello!" (Uart.contents u);
+  check Alcotest.string "tee'd" "hello!" (Buffer.contents seen);
+  Uart.clear u;
+  check Alcotest.string "cleared" "" (Uart.contents u)
+
+let test_sd_card () =
+  let sd = Sd_card.create ~blocks:16 () in
+  let b = Bytes.make Sd_card.block_size 'z' in
+  Sd_card.write_block sd 3 b;
+  check cb "roundtrip" true (Sd_card.read_block sd 3 = b);
+  check cb "unwritten zeroed" true
+    (Sd_card.read_block sd 4 = Bytes.make Sd_card.block_size '\000');
+  Alcotest.check_raises "range" (Invalid_argument "Sd_card: block out of range")
+    (fun () -> ignore (Sd_card.read_block sd 16));
+  Alcotest.check_raises "size"
+    (Invalid_argument "Sd_card.write_block: buffer must be one block")
+    (fun () -> Sd_card.write_block sd 0 (Bytes.create 5));
+  (* Mutation of the returned buffer must not leak into the store. *)
+  let r = Sd_card.read_block sd 3 in
+  Bytes.set r 0 '?';
+  check cb "store isolated" true (Bytes.get (Sd_card.read_block sd 3) 0 = 'z')
+
+let suite =
+  let t n f = Alcotest.test_case n `Quick f in
+  ( "devices",
+    [ t "irq id pl mapping" test_irq_id_pl_mapping;
+      t "gic basic" test_gic_basic;
+      t "gic priority" test_gic_priority;
+      t "gic tie break" test_gic_tie_break;
+      t "gic mask helper" test_gic_mask_helper;
+      t "gic range check" test_gic_range_check;
+      t "private timer periodic" test_private_timer_periodic;
+      t "private timer stop" test_private_timer_stop;
+      t "private timer restart" test_private_timer_restart;
+      t "uart" test_uart;
+      t "sd card" test_sd_card ] )

@@ -1,0 +1,200 @@
+(* Unit and property tests for the simulation engine. *)
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+(* --- Cycles --- *)
+
+let test_cycles_conversions () =
+  check ci "1 us at 660 MHz" 660 (Cycles.of_us 1.0);
+  check ci "1 ms" 660_000 (Cycles.of_ms 1.0);
+  check (Alcotest.float 1e-9) "us roundtrip" 10.0 (Cycles.to_us (Cycles.of_us 10.0));
+  check (Alcotest.float 1e-6) "ns of one cycle" (1.0 /. 0.66)
+    (Cycles.to_ns 1)
+
+let test_cycles_zero () =
+  check ci "zero" 0 (Cycles.of_us 0.0);
+  check (Alcotest.float 0.0) "zero back" 0.0 (Cycles.to_ms 0)
+
+(* --- Clock --- *)
+
+let test_clock_advance () =
+  let c = Clock.create () in
+  check ci "starts at zero" 0 (Clock.now c);
+  Clock.advance c 100;
+  check ci "advanced" 100 (Clock.now c);
+  Clock.advance_to c 50;
+  check ci "never rewinds" 100 (Clock.now c);
+  Clock.advance_to c 500;
+  check ci "forward jump" 500 (Clock.now c);
+  Alcotest.check_raises "negative advance rejected"
+    (Invalid_argument "Clock.advance: negative duration") (fun () ->
+        Clock.advance c (-1))
+
+(* --- Event queue --- *)
+
+let test_event_order () =
+  let c = Clock.create () in
+  let q = Event_queue.create c in
+  let log = ref [] in
+  let push tag = log := tag :: !log in
+  ignore (Event_queue.schedule_at q 300 (fun () -> push 3));
+  ignore (Event_queue.schedule_at q 100 (fun () -> push 1));
+  ignore (Event_queue.schedule_at q 200 (fun () -> push 2));
+  Clock.advance c 250;
+  check ci "two fired" 2 (Event_queue.run_due q);
+  check (Alcotest.list ci) "deadline order" [ 1; 2 ] (List.rev !log);
+  check ci "one pending" 1 (Event_queue.pending q)
+
+let test_event_fifo_ties () =
+  let c = Clock.create () in
+  let q = Event_queue.create c in
+  let log = ref [] in
+  for i = 1 to 5 do
+    ignore (Event_queue.schedule_at q 10 (fun () -> log := i :: !log))
+  done;
+  Clock.advance c 10;
+  ignore (Event_queue.run_due q);
+  check (Alcotest.list ci) "FIFO among equal deadlines" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_event_cancel () =
+  let c = Clock.create () in
+  let q = Event_queue.create c in
+  let fired = ref false in
+  let id = Event_queue.schedule_at q 10 (fun () -> fired := true) in
+  Event_queue.cancel q id;
+  Event_queue.cancel q id; (* double-cancel is a no-op *)
+  Clock.advance c 20;
+  check ci "nothing fires" 0 (Event_queue.run_due q);
+  check cb "callback skipped" false !fired;
+  check ci "no pending" 0 (Event_queue.pending q)
+
+let test_event_reschedule_from_callback () =
+  let c = Clock.create () in
+  let q = Event_queue.create c in
+  let count = ref 0 in
+  let rec tick () =
+    incr count;
+    if !count < 5 then ignore (Event_queue.schedule_after q 10 tick)
+  in
+  ignore (Event_queue.schedule_after q 10 tick);
+  ignore (Event_queue.advance_until q 100);
+  check ci "chain fired to completion" 5 !count;
+  check ci "clock at target" 100 (Clock.now c)
+
+let test_advance_until_sets_clock () =
+  let c = Clock.create () in
+  let q = Event_queue.create c in
+  let at = ref 0 in
+  ignore (Event_queue.schedule_at q 42 (fun () -> at := Clock.now c));
+  ignore (Event_queue.advance_until q 1000);
+  check ci "fired at its own deadline" 42 !at;
+  check ci "clock ends at target" 1000 (Clock.now c)
+
+let test_next_deadline () =
+  let c = Clock.create () in
+  let q = Event_queue.create c in
+  check cb "empty" true (Event_queue.next_deadline q = None);
+  let id = Event_queue.schedule_at q 7 ignore in
+  ignore (Event_queue.schedule_at q 9 ignore);
+  check cb "earliest" true (Event_queue.next_deadline q = Some 7);
+  Event_queue.cancel q id;
+  check cb "skips cancelled" true (Event_queue.next_deadline q = Some 9)
+
+(* --- Rng --- *)
+
+let test_rng_deterministic () =
+  let a = Rng.create ~seed:7 and b = Rng.create ~seed:7 in
+  for _ = 1 to 100 do
+    check ci "same stream" (Rng.int a 1000) (Rng.int b 1000)
+  done
+
+let test_rng_split_independent () =
+  let a = Rng.create ~seed:7 in
+  let c = Rng.split a in
+  let xs = List.init 10 (fun _ -> Rng.int a 1000) in
+  let ys = List.init 10 (fun _ -> Rng.int c 1000) in
+  check cb "split differs from parent" true (xs <> ys)
+
+let test_rng_pick () =
+  let rng = Rng.create ~seed:1 in
+  let arr = [| "a"; "b"; "c" |] in
+  for _ = 1 to 50 do
+    check cb "pick member" true (Array.mem (Rng.pick rng arr) arr)
+  done;
+  Alcotest.check_raises "empty array"
+    (Invalid_argument "Rng.pick: empty array") (fun () ->
+        ignore (Rng.pick rng [||]))
+
+let prop_rng_bounds =
+  QCheck2.Test.make ~name:"Rng.int stays in [0,n)" ~count:500
+    QCheck2.Gen.(pair (int_range 1 10000) int)
+    (fun (n, seed) ->
+       let rng = Rng.create ~seed in
+       let v = Rng.int rng n in
+       v >= 0 && v < n)
+
+let prop_rng_float_bounds =
+  QCheck2.Test.make ~name:"Rng.float stays in [0,x)" ~count:200
+    QCheck2.Gen.(pair (float_range 0.001 1e6) int)
+    (fun (x, seed) ->
+       let rng = Rng.create ~seed in
+       let v = Rng.float rng x in
+       v >= 0.0 && v < x)
+
+(* --- Stats --- *)
+
+let test_stats_basic () =
+  let s = Stats.create () in
+  List.iter (Stats.add s) [ 1.0; 2.0; 3.0; 4.0 ];
+  check ci "count" 4 (Stats.count s);
+  check (Alcotest.float 1e-9) "mean" 2.5 (Stats.mean s);
+  check (Alcotest.float 1e-9) "min" 1.0 (Stats.min s);
+  check (Alcotest.float 1e-9) "max" 4.0 (Stats.max s);
+  check (Alcotest.float 1e-6) "stddev" 1.2909944487 (Stats.stddev s)
+
+let test_stats_empty () =
+  let s = Stats.create () in
+  check ci "count" 0 (Stats.count s);
+  check (Alcotest.float 0.0) "mean of empty" 0.0 (Stats.mean s);
+  check (Alcotest.float 0.0) "stddev of empty" 0.0 (Stats.stddev s)
+
+let prop_stats_merge =
+  QCheck2.Test.make ~name:"Stats.merge equals combined stream" ~count:200
+    QCheck2.Gen.(pair (list (float_range (-1e3) 1e3))
+                   (list (float_range (-1e3) 1e3)))
+    (fun (xs, ys) ->
+       let a = Stats.create () and b = Stats.create () and c = Stats.create () in
+       List.iter (Stats.add a) xs;
+       List.iter (Stats.add b) ys;
+       List.iter (Stats.add c) (xs @ ys);
+       let m = Stats.merge a b in
+       let close x y =
+         Float.abs (x -. y) <= 1e-6 *. (1.0 +. Float.abs x +. Float.abs y)
+       in
+       Stats.count m = Stats.count c
+       && close (Stats.mean m) (Stats.mean c)
+       && close (Stats.stddev m) (Stats.stddev c))
+
+let suite =
+  let t n f = Alcotest.test_case n `Quick f in
+  ( "engine",
+    [ t "cycles conversions" test_cycles_conversions;
+      t "cycles zero" test_cycles_zero;
+      t "clock advance" test_clock_advance;
+      t "event order" test_event_order;
+      t "event fifo ties" test_event_fifo_ties;
+      t "event cancel" test_event_cancel;
+      t "event reschedule from callback" test_event_reschedule_from_callback;
+      t "advance_until sets clock" test_advance_until_sets_clock;
+      t "next deadline" test_next_deadline;
+      t "rng deterministic" test_rng_deterministic;
+      t "rng split" test_rng_split_independent;
+      t "rng pick" test_rng_pick;
+      QCheck_alcotest.to_alcotest prop_rng_bounds;
+      QCheck_alcotest.to_alcotest prop_rng_float_bounds;
+      t "stats basic" test_stats_basic;
+      t "stats empty" test_stats_empty;
+      QCheck_alcotest.to_alcotest prop_stats_merge ] )

@@ -1,0 +1,198 @@
+(* Direct unit tests of the Hardware Task Manager's allocation logic
+   (Fig 7), without a kernel or guests in the loop. *)
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let setup ?prr_capacities () =
+  let z = Zynq.create ?prr_capacities () in
+  (* The manager's footprints run in a kernel-mapped address space. *)
+  ignore (Kmem.create z);
+  let hwtm = Hw_task_manager.create z in
+  (z, hwtm)
+
+let plain_client ?(id = 7) z =
+  ignore z;
+  { Hw_task_manager.client_id = id;
+    data_window = (Address_map.guest_phys_base 0, 65536);
+    map_iface = (fun _ -> Ok ());
+    unmap_iface = (fun _ -> ());
+    notify_irq = (fun _ _ -> ()) }
+
+let settle z = ignore (Event_queue.advance_until z.Zynq.queue
+                         (Clock.now z.Zynq.clock + Cycles.of_ms 30.0))
+
+let test_register_builds_prr_lists () =
+  let _, hwtm = setup () in
+  let fft = Hw_task_manager.register_task hwtm (Task_kind.Fft 1024) in
+  let qam = Hw_task_manager.register_task hwtm (Task_kind.Qam 4) in
+  check cb "ids distinct" true (fft <> qam);
+  check cb "kinds recorded" true
+    (Hw_task_manager.task_kind hwtm fft = Some (Task_kind.Fft 1024));
+  check (Alcotest.list ci) "both listed" [ fft; qam ]
+    (Hw_task_manager.task_ids hwtm)
+
+let test_capacity_gate () =
+  (* A board whose PRRs are all too small for any FFT. *)
+  let _, hwtm = setup ~prr_capacities:[ 200; 200 ] () in
+  Alcotest.check_raises "no PRR can host it"
+    (Failure "Hw_task_manager: no PRR can host FFT-1024") (fun () ->
+        ignore (Hw_task_manager.register_task hwtm (Task_kind.Fft 1024)))
+
+let test_request_unknown_task () =
+  let z, hwtm = setup () in
+  let r = Hw_task_manager.request hwtm (plain_client z) ~task:42 ~want_irq:false in
+  check cb "bad task" true (r.Hw_task_manager.status = Hyper.Hw_bad_task)
+
+let test_first_request_reconfigures () =
+  let z, hwtm = setup () in
+  let qam = Hw_task_manager.register_task hwtm (Task_kind.Qam 4) in
+  let r =
+    Hw_task_manager.request hwtm (plain_client z) ~task:qam ~want_irq:false
+  in
+  check cb "reconfig launched" true (r.Hw_task_manager.status = Hyper.Hw_reconfig);
+  check ci "one reconfig" 1 (Hw_task_manager.reconfigs hwtm);
+  check cb "pcap busy" true (Pcap.busy z.Zynq.pcap);
+  settle z;
+  let ready, consistent = Hw_task_manager.poll hwtm ~client_id:7 ~task:qam in
+  check cb "ready after download" true ready;
+  check cb "still consistent" true consistent
+
+let test_prefers_already_loaded_prr () =
+  let z, hwtm = setup () in
+  let qam = Hw_task_manager.register_task hwtm (Task_kind.Qam 4) in
+  let c1 = plain_client ~id:1 z in
+  let r1 = Hw_task_manager.request hwtm c1 ~task:qam ~want_irq:false in
+  settle z;
+  ignore (Hw_task_manager.release hwtm ~client_id:1 ~task:qam);
+  (* The next client asking for the same task must get the PRR that
+     already holds the bitstream — no second download. *)
+  let c2 = plain_client ~id:2 z in
+  let r2 = Hw_task_manager.request hwtm c2 ~task:qam ~want_irq:false in
+  check cb "second allocation instant" true
+    (r2.Hw_task_manager.status = Hyper.Hw_success);
+  check cb "same PRR reused" true (r1.Hw_task_manager.prr = r2.Hw_task_manager.prr);
+  check ci "still one reconfig" 1 (Hw_task_manager.reconfigs hwtm)
+
+let test_busy_when_pcap_occupied () =
+  let z, hwtm = setup () in
+  let q4 = Hw_task_manager.register_task hwtm (Task_kind.Qam 4) in
+  let q16 = Hw_task_manager.register_task hwtm (Task_kind.Qam 16) in
+  ignore
+    (Hw_task_manager.request hwtm (plain_client ~id:1 z) ~task:q4
+       ~want_irq:false);
+  (* The second task needs a download too, but the channel is busy. *)
+  let r =
+    Hw_task_manager.request hwtm (plain_client ~id:2 z) ~task:q16
+      ~want_irq:false
+  in
+  check cb "busy while PCAP occupied" true
+    (r.Hw_task_manager.status = Hyper.Hw_busy)
+
+let test_busy_when_all_prrs_claimed () =
+  let z, hwtm = setup ~prr_capacities:[ 200 ] () in
+  let q4 = Hw_task_manager.register_task hwtm (Task_kind.Qam 4) in
+  let q16 = Hw_task_manager.register_task hwtm (Task_kind.Qam 16) in
+  let prr = Prr_controller.prr z.Zynq.prrc 0 in
+  ignore
+    (Hw_task_manager.request hwtm (plain_client ~id:1 z) ~task:q4
+       ~want_irq:false);
+  settle z;
+  (* Mark the region busy as if client 1's job were running: no idle
+     PRR -> the paper's Busy status. *)
+  prr.Prr.state <- Prr.Busy;
+  let r =
+    Hw_task_manager.request hwtm (plain_client ~id:2 z) ~task:q16
+      ~want_irq:false
+  in
+  check cb "no idle PRR" true (r.Hw_task_manager.status = Hyper.Hw_busy);
+  prr.Prr.state <- Prr.Ready
+
+let test_reclaim_saves_consistency_block () =
+  let z, hwtm = setup ~prr_capacities:[ 200 ] () in
+  let qam = Hw_task_manager.register_task hwtm (Task_kind.Qam 4) in
+  let unmapped = ref 0 in
+  let w1 = Address_map.guest_phys_base 0 in
+  let c1 =
+    { (plain_client ~id:1 z) with
+      Hw_task_manager.data_window = (w1, 4096);
+      unmap_iface = (fun _ -> incr unmapped) }
+  in
+  ignore (Hw_task_manager.request hwtm c1 ~task:qam ~want_irq:false);
+  settle z;
+  (* Leave a recognisable register value to be saved. *)
+  let prr = Prr_controller.prr z.Zynq.prrc 0 in
+  Prr.write_reg prr Prr.Reg.len 1234l;
+  check (Alcotest.option ci) "client recorded" (Some 1)
+    (Hw_task_manager.prr_client hwtm 0);
+  (* Client 2 steals the region (same task: no reconfig needed). *)
+  let c2 =
+    { (plain_client ~id:2 z) with
+      Hw_task_manager.data_window = (Address_map.guest_phys_base 1, 4096) }
+  in
+  let r = Hw_task_manager.request hwtm c2 ~task:qam ~want_irq:false in
+  check cb "instant success" true (r.Hw_task_manager.status = Hyper.Hw_success);
+  check ci "old client demapped" 1 !unmapped;
+  check ci "one reclaim" 1 (Hw_task_manager.reclaims hwtm);
+  (* Client 1's data section carries the flag and the saved regs. *)
+  check (Alcotest.int32) "inconsistent flag" 1l
+    (Phys_mem.read_u32 z.Zynq.mem (w1 + Hw_task_manager.flag_offset));
+  check (Alcotest.int32) "saved LEN register" 1234l
+    (Phys_mem.read_u32 z.Zynq.mem
+       (w1 + Hw_task_manager.saved_regs_offset + (4 * Prr.Reg.len)));
+  (* The register file itself was scrubbed for the new client. *)
+  check (Alcotest.int32) "registers scrubbed" 0l (Prr.read_reg prr Prr.Reg.len);
+  let _, consistent1 = Hw_task_manager.poll hwtm ~client_id:1 ~task:qam in
+  check cb "old client no longer holds it" false consistent1
+
+let test_hwmmu_window_follows_client () =
+  let z, hwtm = setup ~prr_capacities:[ 200 ] () in
+  let qam = Hw_task_manager.register_task hwtm (Task_kind.Qam 4) in
+  let prr = Prr_controller.prr z.Zynq.prrc 0 in
+  let w1 = Address_map.guest_phys_base 0 and w2 = Address_map.guest_phys_base 1 in
+  let c1 = { (plain_client ~id:1 z) with Hw_task_manager.data_window = (w1, 4096) } in
+  ignore (Hw_task_manager.request hwtm c1 ~task:qam ~want_irq:false);
+  settle z;
+  check cb "window is client 1's" true
+    (Hw_mmu.window prr.Prr.hw_mmu = Some (w1, 4096));
+  let c2 = { (plain_client ~id:2 z) with Hw_task_manager.data_window = (w2, 8192) } in
+  ignore (Hw_task_manager.request hwtm c2 ~task:qam ~want_irq:false);
+  check cb "window reloaded for client 2" true
+    (Hw_mmu.window prr.Prr.hw_mmu = Some (w2, 8192))
+
+let test_release_requires_holder () =
+  let z, hwtm = setup () in
+  let qam = Hw_task_manager.register_task hwtm (Task_kind.Qam 4) in
+  ignore
+    (Hw_task_manager.request hwtm (plain_client ~id:1 z) ~task:qam
+       ~want_irq:false);
+  check cb "stranger cannot release" true
+    (Result.is_error (Hw_task_manager.release hwtm ~client_id:9 ~task:qam));
+  check cb "holder can" true
+    (Result.is_ok (Hw_task_manager.release hwtm ~client_id:1 ~task:qam))
+
+let test_pcap_client_tracked () =
+  let z, hwtm = setup () in
+  let qam = Hw_task_manager.register_task hwtm (Task_kind.Qam 16) in
+  ignore
+    (Hw_task_manager.request hwtm (plain_client ~id:5 z) ~task:qam
+       ~want_irq:false);
+  check (Alcotest.option ci) "completion IRQ routed to the requester"
+    (Some 5)
+    (Hw_task_manager.pcap_client hwtm)
+
+let suite =
+  let t n f = Alcotest.test_case n `Quick f in
+  ( "hw_task_manager",
+    [ t "register builds prr lists" test_register_builds_prr_lists;
+      t "capacity gate" test_capacity_gate;
+      t "unknown task" test_request_unknown_task;
+      t "first request reconfigures" test_first_request_reconfigures;
+      t "prefers loaded prr" test_prefers_already_loaded_prr;
+      t "busy when pcap occupied" test_busy_when_pcap_occupied;
+      t "busy when all claimed" test_busy_when_all_prrs_claimed;
+      t "reclaim consistency block" test_reclaim_saves_consistency_block;
+      t "hwmmu follows client" test_hwmmu_window_follows_client;
+      t "release requires holder" test_release_requires_holder;
+      t "pcap client tracked" test_pcap_client_tracked ] )

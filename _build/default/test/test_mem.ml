@@ -1,0 +1,122 @@
+(* Tests for addresses and simulated physical memory. *)
+
+let check = Alcotest.check
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let test_addr_geometry () =
+  check ci "page size" 4096 Addr.page_size;
+  check ci "section size" (1 lsl 20) Addr.section_size;
+  check ci "line size" 32 Addr.line_size;
+  check ci "page base" 0x1000 (Addr.page_base 0x1ABC);
+  check ci "page offset" 0xABC (Addr.page_offset 0x1ABC);
+  check ci "page number" 1 (Addr.page_of 0x1ABC);
+  check ci "section base" 0x0030_0000 (Addr.section_base 0x0031_2345);
+  check ci "line base" 0x1AA0 (Addr.line_base 0x1ABC)
+
+let test_addr_align () =
+  check cb "aligned" true (Addr.is_aligned 0x2000 4096);
+  check cb "not aligned" false (Addr.is_aligned 0x2001 4096);
+  check ci "align_up exact" 0x2000 (Addr.align_up 0x2000 4096);
+  check ci "align_up bump" 0x3000 (Addr.align_up 0x2001 4096)
+
+let prop_align_up =
+  QCheck2.Test.make ~name:"align_up is aligned and minimal" ~count:500
+    QCheck2.Gen.(pair (int_range 0 0xFFFFFF) (int_range 0 12))
+    (fun (a, k) ->
+       let n = 1 lsl k in
+       let r = Addr.align_up a n in
+       Addr.is_aligned r n && r >= a && r - a < n)
+
+let test_mem_bytes () =
+  let m = Phys_mem.create () in
+  Phys_mem.write_u8 m 0x100 0xAB;
+  check ci "u8 roundtrip" 0xAB (Phys_mem.read_u8 m 0x100);
+  check ci "untouched is zero" 0 (Phys_mem.read_u8 m 0x101);
+  Phys_mem.write_u8 m 0x100 0x1FF;
+  check ci "u8 masked to a byte" 0xFF (Phys_mem.read_u8 m 0x100)
+
+let test_mem_u32 () =
+  let m = Phys_mem.create () in
+  Phys_mem.write_u32 m 0x200 0xDEADBEEFl;
+  check (Alcotest.int32) "u32 roundtrip" 0xDEADBEEFl (Phys_mem.read_u32 m 0x200);
+  (* little-endian byte order *)
+  check ci "LE low byte" 0xEF (Phys_mem.read_u8 m 0x200);
+  check ci "LE high byte" 0xDE (Phys_mem.read_u8 m 0x203)
+
+let test_mem_u32_straddle () =
+  let m = Phys_mem.create () in
+  let a = Addr.page_size - 2 in
+  Phys_mem.write_u32 m a 0x11223344l;
+  check (Alcotest.int32) "straddling page boundary" 0x11223344l
+    (Phys_mem.read_u32 m a)
+
+let test_mem_u16 () =
+  let m = Phys_mem.create () in
+  Phys_mem.write_u16 m 7 0xBEEF;
+  check ci "u16 roundtrip" 0xBEEF (Phys_mem.read_u16 m 7)
+
+let test_mem_f32 () =
+  let m = Phys_mem.create () in
+  Phys_mem.write_f32 m 0x300 3.25;
+  check (Alcotest.float 0.0) "exact f32" 3.25 (Phys_mem.read_f32 m 0x300);
+  Phys_mem.write_f32 m 0x304 0.1;
+  check (Alcotest.float 1e-7) "f32 rounding" 0.1 (Phys_mem.read_f32 m 0x304)
+
+let test_mem_blocks () =
+  let m = Phys_mem.create () in
+  let src = Bytes.of_string "hello, zynq!" in
+  let a = Addr.page_size - 5 in
+  Phys_mem.write_bytes m a src;
+  check Alcotest.string "bytes roundtrip across pages" "hello, zynq!"
+    (Bytes.to_string (Phys_mem.read_bytes m a (Bytes.length src)));
+  Phys_mem.blit m ~src:a ~dst:0x5000 ~len:5;
+  check Alcotest.string "blit" "hello"
+    (Bytes.to_string (Phys_mem.read_bytes m 0x5000 5));
+  Phys_mem.fill m 0x5000 3 (Char.code 'x');
+  check Alcotest.string "fill" "xxxlo"
+    (Bytes.to_string (Phys_mem.read_bytes m 0x5000 5))
+
+let test_mem_sparse () =
+  let m = Phys_mem.create () in
+  check ci "fresh memory has no frames" 0 (Phys_mem.touched_frames m);
+  Phys_mem.write_u8 m 0x0 1;
+  Phys_mem.write_u8 m (512 * 1024 * 1024) 1;
+  check ci "only touched frames materialise" 2 (Phys_mem.touched_frames m)
+
+let prop_u32_roundtrip =
+  QCheck2.Test.make ~name:"u32 write/read roundtrip" ~count:300
+    QCheck2.Gen.(pair (int_range 0 0xFFFFF) ui32)
+    (fun (a, v) ->
+       let m = Phys_mem.create () in
+       Phys_mem.write_u32 m a v;
+       Phys_mem.read_u32 m a = v)
+
+let test_address_map_sanity () =
+  check cb "ddr holds kernel" true (Address_map.in_ddr Address_map.kernel_code_base);
+  check cb "PL window is not DDR" false (Address_map.in_ddr Address_map.axi_gp0_base);
+  check cb "guest regions are disjoint" true
+    (Address_map.guest_phys_base 1
+     >= Address_map.guest_phys_base 0 + Address_map.guest_phys_size);
+  check cb "bitstream store below guests" true
+    (Address_map.bitstream_store_base + Address_map.bitstream_store_size
+     <= Address_map.guest_phys_base 0);
+  check cb "kernel data below bitstream store" true
+    (Address_map.kernel_data_base + Address_map.kernel_data_size
+     <= Address_map.bitstream_store_base)
+
+let suite =
+  let t n f = Alcotest.test_case n `Quick f in
+  ( "mem",
+    [ t "addr geometry" test_addr_geometry;
+      t "addr align" test_addr_align;
+      QCheck_alcotest.to_alcotest prop_align_up;
+      t "bytes" test_mem_bytes;
+      t "u32" test_mem_u32;
+      t "u32 straddle" test_mem_u32_straddle;
+      t "u16" test_mem_u16;
+      t "f32" test_mem_f32;
+      t "blocks" test_mem_blocks;
+      t "sparse" test_mem_sparse;
+      QCheck_alcotest.to_alcotest prop_u32_roundtrip;
+      t "address map sanity" test_address_map_sanity ] )
