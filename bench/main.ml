@@ -7,9 +7,21 @@
      dune exec bench/main.exe -- table3 fig9  # a subset
 
    Sections: table3 fig9 report reconfig axi vfp trapvshyper asid
-   quantum micro. *)
+   quantum micro.
+
+   Flags:
+     --domains N   cap the sweep parallelism (default: MININOVA_DOMAINS
+                   or the host's recommended domain count)
+     --json        also write BENCH_sim.json (per-section wall time,
+                   Table III numbers, micro ns/op) *)
 
 let fmt = Format.std_formatter
+
+let domains_opt : int option ref = ref None
+let json_mode = ref false
+
+(* (key, wall seconds) per executed section, in execution order. *)
+let section_times : (string * float) list ref = ref []
 
 (* The Table III sweep feeds both table3 and fig9; run it once. *)
 let sweep_cache : Scenario.overheads list option ref = ref None
@@ -26,13 +38,17 @@ let sweep () =
   | None ->
     Format.fprintf fmt
       "running the Fig 8 scenario (native + 1..4 guests)...@.";
-    let s = Scenario.run_table3 ~config:bench_config () in
+    let s =
+      Scenario.run_table3 ~config:bench_config ?domains:!domains_opt ()
+    in
     sweep_cache := Some s;
     s
 
-let section name f =
+let section key name f =
   Format.fprintf fmt "@.===== %s =====@." name;
+  let t0 = Unix.gettimeofday () in
   f ();
+  section_times := (key, Unix.gettimeofday () -. t0) :: !section_times;
   Format.pp_print_flush fmt ()
 
 let run_table3 () =
@@ -80,7 +96,7 @@ let run_axi () =
     (r.Ablations.cpu_after_acp_us /. r.Ablations.cpu_after_hp_us)
 
 let run_vfp () =
-  let r = Ablations.vfp_ablation () in
+  let r = Ablations.vfp_ablation ?domains:!domains_opt () in
   Format.fprintf fmt "A2: lazy vs active VFP switching (paper Table I)@.";
   Format.fprintf fmt
     "  lazy:   mean VM switch %6.2f us, %4d VFP bank switches@."
@@ -104,7 +120,9 @@ let small_config =
     warmup_requests = 5 }
 
 let run_asid () =
-  let r = Ablations.asid_ablation ~config:small_config () in
+  let r =
+    Ablations.asid_ablation ~config:small_config ?domains:!domains_opt ()
+  in
   Format.fprintf fmt
     "A4: ASID-tagged TLB vs flush-on-switch, 2 guests (paper S III-C)@.";
   Format.fprintf fmt "  ASID:      %a@." Scenario.pp_overheads
@@ -121,9 +139,11 @@ let run_quantum () =
   List.iter
     (fun (q, o) ->
        Format.fprintf fmt "  quantum %6.1f ms: %a@." q Scenario.pp_overheads o)
-    (Ablations.quantum_sweep ~config:small_config ())
+    (Ablations.quantum_sweep ~config:small_config ?domains:!domains_opt ())
 
 (* --- Bechamel microbenchmarks --- *)
+
+let micro_results : (string * float option) list ref = ref []
 
 let micro_tests () =
   let open Bechamel in
@@ -180,47 +200,165 @@ let run_micro () =
   let open Bechamel in
   Format.fprintf fmt
     "Bechamel microbenchmarks: host-side cost of simulator primitives@.";
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.3) () in
+  (* 0.15 s per test keeps OLS estimates stable for these tight loops
+     (millions of samples for the ns-scale ones) at half the wall
+     cost of the old 0.3 s quota. *)
+  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.15) () in
   let instances = [ Toolkit.Instance.monotonic_clock ] in
   let ols =
     Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| Measure.run |]
   in
+  (* Collect and sort by name: Hashtbl.iter order is unspecified and
+     made the report nondeterministic across runs. *)
+  let rows =
+    List.concat_map
+      (fun test ->
+         let raw = Benchmark.all cfg instances test in
+         let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+         Hashtbl.fold
+           (fun name est acc ->
+              let ns =
+                match Analyze.OLS.estimates est with
+                | Some (t :: _) -> Some t
+                | Some [] | None -> None
+              in
+              (name, ns) :: acc)
+           results [])
+      (micro_tests ())
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  micro_results := rows;
   List.iter
-    (fun test ->
-       let raw = Benchmark.all cfg instances test in
-       let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-       Hashtbl.iter
-         (fun name est ->
-            match Analyze.OLS.estimates est with
-            | Some (t :: _) ->
-              Format.fprintf fmt "  %-24s %10.1f ns/op@." name t
-            | Some [] | None ->
-              Format.fprintf fmt "  %-24s (no estimate)@." name)
-         results)
-    (micro_tests ())
+    (fun (name, ns) ->
+       match ns with
+       | Some t -> Format.fprintf fmt "  %-24s %10.1f ns/op@." name t
+       | None -> Format.fprintf fmt "  %-24s (no estimate)@." name)
+    rows
+
+(* --- machine-readable output (--json) --- *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let write_json path ~total_wall =
+  let b = Buffer.create 4096 in
+  let add = Buffer.add_string b in
+  add "{\n";
+  add "  \"schema\": \"mini-nova-bench/1\",\n";
+  add
+    (Printf.sprintf "  \"domains\": %d,\n"
+       (match !domains_opt with
+        | Some d -> d
+        | None -> Parallel_sweep.default_domains ()));
+  add (Printf.sprintf "  \"total_wall_s\": %s,\n" (json_float total_wall));
+  add "  \"sections\": [";
+  List.iteri
+    (fun i (key, dt) ->
+       if i > 0 then add ",";
+       add
+         (Printf.sprintf "\n    {\"name\": \"%s\", \"wall_s\": %s}"
+            (json_escape key) (json_float dt)))
+    (List.rev !section_times);
+  add "\n  ],\n";
+  add "  \"table3\": [";
+  (match !sweep_cache with
+   | None -> ()
+   | Some rows ->
+     List.iteri
+       (fun i (o : Scenario.overheads) ->
+          if i > 0 then add ",";
+          add
+            (Printf.sprintf
+               "\n    {\"config\": \"%s\", \"entry_us\": %s, \
+                \"exit_us\": %s, \"plirq_us\": %s, \"exec_us\": %s, \
+                \"total_us\": %s, \"samples\": %d, \"reconfigs\": %d, \
+                \"reclaims\": %d, \"jobs\": %d, \"sim_ms\": %s}"
+               (if i = 0 then "native" else Printf.sprintf "%dos" i)
+               (json_float o.Scenario.entry_us)
+               (json_float o.Scenario.exit_us)
+               (json_float o.Scenario.plirq_us)
+               (json_float o.Scenario.exec_us)
+               (json_float o.Scenario.total_us)
+               o.Scenario.samples o.Scenario.reconfigs o.Scenario.reclaims
+               o.Scenario.jobs
+               (json_float o.Scenario.sim_ms)))
+       rows);
+  add "\n  ],\n";
+  add "  \"micro_ns_per_op\": {";
+  List.iteri
+    (fun i (name, ns) ->
+       if i > 0 then add ",";
+       add
+         (Printf.sprintf "\n    \"%s\": %s" (json_escape name)
+            (match ns with Some t -> json_float t | None -> "null")))
+    !micro_results;
+  add "\n  }\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.fprintf fmt "@.wrote %s@." path
+
+let all_sections =
+  [ "table3"; "fig9"; "report"; "reconfig"; "axi"; "vfp";
+    "trapvshyper"; "asid"; "quantum"; "micro" ]
 
 let () =
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--json" :: rest ->
+      json_mode := true;
+      parse acc rest
+    | "--domains" :: v :: rest ->
+      (match int_of_string_opt v with
+       | Some d when d >= 1 -> domains_opt := Some d
+       | Some _ | None ->
+         Format.fprintf fmt "ignoring bad --domains value: %s@." v);
+      parse acc rest
+    | "--domains" :: [] ->
+      Format.fprintf fmt "--domains needs a value@.";
+      []
+    | s :: rest -> parse (s :: acc) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as args) -> args
-    | _ ->
-      [ "table3"; "fig9"; "report"; "reconfig"; "axi"; "vfp";
-        "trapvshyper"; "asid"; "quantum"; "micro" ]
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> all_sections
+    | names -> names
   in
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some Logs.Error);
+  let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->
        match name with
-       | "table3" -> section "E1: Table III" run_table3
-       | "fig9" -> section "E2: Figure 9" run_fig9
-       | "report" -> section "E3: complexity report" run_report
-       | "reconfig" -> section "E4: reconfiguration latency" run_reconfig
-       | "axi" -> section "A1: AXI HP vs ACP" run_axi
-       | "vfp" -> section "A2: VFP switching policy" run_vfp
-       | "trapvshyper" -> section "A3: trap vs hypercall" run_trap
-       | "asid" -> section "A4: ASID vs TLB flush" run_asid
-       | "quantum" -> section "A5: quantum sweep" run_quantum
-       | "micro" -> section "microbenchmarks" run_micro
+       | "table3" -> section "table3" "E1: Table III" run_table3
+       | "fig9" -> section "fig9" "E2: Figure 9" run_fig9
+       | "report" -> section "report" "E3: complexity report" run_report
+       | "reconfig" ->
+         section "reconfig" "E4: reconfiguration latency" run_reconfig
+       | "axi" -> section "axi" "A1: AXI HP vs ACP" run_axi
+       | "vfp" -> section "vfp" "A2: VFP switching policy" run_vfp
+       | "trapvshyper" ->
+         section "trapvshyper" "A3: trap vs hypercall" run_trap
+       | "asid" -> section "asid" "A4: ASID vs TLB flush" run_asid
+       | "quantum" -> section "quantum" "A5: quantum sweep" run_quantum
+       | "micro" -> section "micro" "microbenchmarks" run_micro
        | other -> Format.fprintf fmt "unknown section: %s@." other)
-    requested
+    requested;
+  if !json_mode then
+    write_json "BENCH_sim.json" ~total_wall:(Unix.gettimeofday () -. t0)

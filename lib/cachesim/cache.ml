@@ -17,6 +17,7 @@ type t = {
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable epoch : int;
 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
@@ -34,63 +35,120 @@ let create cfg =
   if not (is_pow2 sets) then
     invalid_arg "Cache.create: set count must be a power of two";
   let n = sets * cfg.ways in
+  (* Invalid slots carry tag -1 (no line address is negative), so the
+     hit scan tests a single array instead of valid+tags. The [valid]
+     array is kept in sync for the maintenance/victim paths. *)
   { cfg; sets; line_shift = log2 cfg.line_size;
-    tags = Array.make n 0;
+    tags = Array.make n (-1);
     valid = Array.make n false;
     dirty = Array.make n false;
     age = Array.make n 0;
-    tick = 0; hits = 0; misses = 0 }
+    tick = 0; hits = 0; misses = 0; epoch = 0 }
 
 let config t = t.cfg
 
 let line_addr t a = a lsr t.line_shift
 let set_of_line t la = la land (t.sets - 1)
 
-(* Returns the way index holding [la] in its set, or -1. *)
+(* Returns the way index holding [la] in its set, or -1. All indices
+   are in bounds by construction (the arrays have [sets * ways]
+   entries), so the scan uses unsafe accesses; invalid slots hold tag
+   -1 and can never match. *)
 let find t la =
-  let s = set_of_line t la in
-  let base = s * t.cfg.ways in
+  let ways = t.cfg.ways in
+  let base = set_of_line t la * ways in
+  let tags = t.tags in
   let rec loop w =
-    if w = t.cfg.ways then -1
-    else if t.valid.(base + w) && t.tags.(base + w) = la then base + w
+    if w = ways then -1
+    else if Array.unsafe_get tags (base + w) = la then base + w
     else loop (w + 1)
   in
   loop 0
 
 let victim t la =
-  let s = set_of_line t la in
-  let base = s * t.cfg.ways in
+  let ways = t.cfg.ways in
+  let base = set_of_line t la * ways in
   let best = ref base in
-  for w = 1 to t.cfg.ways - 1 do
+  for w = 1 to ways - 1 do
     let i = base + w in
-    if not t.valid.(i) then begin
-      if t.valid.(!best) then best := i
+    if not (Array.unsafe_get t.valid i) then begin
+      if Array.unsafe_get t.valid !best then best := i
     end
-    else if t.valid.(!best) && t.age.(i) < t.age.(!best) then best := i
+    else if
+      Array.unsafe_get t.valid !best
+      && Array.unsafe_get t.age i < Array.unsafe_get t.age !best
+    then best := i
   done;
   !best
 
-let access t a ~write =
+(* The shared per-access transition. Fills bump the epoch: a fill may
+   evict another line, so any resident-set snapshot taken earlier is
+   stale. Hits only refresh LRU/dirty state and leave the epoch
+   alone. *)
+let access_line t la ~write =
   t.tick <- t.tick + 1;
-  let la = line_addr t a in
-  let i = find t la in
+  (* [find], inlined: this is the hottest loop in the simulator. *)
+  let ways = t.cfg.ways in
+  let base = set_of_line t la * ways in
+  let tags = t.tags in
+  let rec scan w =
+    if w = ways then -1
+    else if Array.unsafe_get tags (base + w) = la then base + w
+    else scan (w + 1)
+  in
+  let i = scan 0 in
   if i >= 0 then begin
     t.hits <- t.hits + 1;
-    t.age.(i) <- t.tick;
-    if write then t.dirty.(i) <- true;
-    `Hit
+    Array.unsafe_set t.age i t.tick;
+    if write then Array.unsafe_set t.dirty i true;
+    true
   end
   else begin
     t.misses <- t.misses + 1;
+    t.epoch <- t.epoch + 1;
     let i = victim t la in
-    t.tags.(i) <- la;
-    t.valid.(i) <- true;
-    t.dirty.(i) <- write;
-    t.age.(i) <- t.tick;
-    `Miss
+    Array.unsafe_set t.tags i la;
+    Array.unsafe_set t.valid i true;
+    Array.unsafe_set t.dirty i write;
+    Array.unsafe_set t.age i t.tick;
+    false
   end
 
+let access t a ~write =
+  if access_line t (line_addr t a) ~write then `Hit else `Miss
+
+let access_run t a ~stride ~n ~write ~on_miss =
+  (* Equivalent to [n] calls to [access] at [a, a+stride, ...]: the
+     per-line state transitions are identical and happen in the same
+     order; only the dispatch is batched. Returns the number of hits;
+     [on_miss] receives the byte address of every missing access, in
+     access order, so the caller can charge the next level. *)
+  let hits = ref 0 in
+  for k = 0 to n - 1 do
+    let addr = a + (k * stride) in
+    if access_line t (line_addr t addr) ~write then incr hits
+    else on_miss addr
+  done;
+  !hits
+
+let replay_hits t idx ~start ~stop ~write =
+  (* Replay a recorded run of guaranteed hits: identical counter, LRU
+     and dirty transitions to calling [access] on each line, valid only
+     while the epoch recorded with [idx] is current (no fill or
+     invalidation has moved any line since). *)
+  let tick = ref t.tick in
+  for k = start to stop - 1 do
+    let i = Array.unsafe_get idx k in
+    incr tick;
+    Array.unsafe_set t.age i !tick;
+    if write then Array.unsafe_set t.dirty i true
+  done;
+  t.hits <- t.hits + (stop - start);
+  t.tick <- !tick
+
 let probe t a = find t (line_addr t a) >= 0
+
+let resident_slot t a = find t (line_addr t a)
 
 let iter_range t a len f =
   (* Visit each resident line whose address intersects [a, a+len). *)
@@ -122,14 +180,17 @@ let clean_range t a len =
         t.dirty.(i) <- false;
         incr n
       end);
+  if !n > 0 then t.epoch <- t.epoch + 1;
   !n
 
 let invalidate_range t a len =
   let n = ref 0 in
   iter_range t a len (fun i ->
       t.valid.(i) <- false;
+      t.tags.(i) <- -1;
       t.dirty.(i) <- false;
       incr n);
+  if !n > 0 then t.epoch <- t.epoch + 1;
   !n
 
 let invalidate_all t =
@@ -138,10 +199,12 @@ let invalidate_all t =
     (fun i v ->
        if v then begin
          t.valid.(i) <- false;
+         t.tags.(i) <- -1;
          t.dirty.(i) <- false;
          incr n
        end)
     t.valid;
+  if !n > 0 then t.epoch <- t.epoch + 1;
   !n
 
 let clean_all t =
@@ -153,10 +216,12 @@ let clean_all t =
          incr n
        end)
     t.dirty;
+  if !n > 0 then t.epoch <- t.epoch + 1;
   !n
 
 let hits t = t.hits
 let misses t = t.misses
+let epoch t = t.epoch
 
 let reset_stats t =
   t.hits <- 0;

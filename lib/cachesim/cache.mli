@@ -26,9 +26,33 @@ val access : t -> Addr.t -> write:bool -> [ `Hit | `Miss ]
     filled (LRU victim evicted), on hit LRU is refreshed. [write] marks
     the line dirty (write-back, write-allocate policy). *)
 
+val access_run : t ->
+  Addr.t -> stride:int -> n:int -> write:bool -> on_miss:(Addr.t -> unit) ->
+  int
+(** Batched equivalent of [n] successive {!access} calls at addresses
+    [a, a+stride, …]: bit-identical counter, LRU, fill and dirty
+    transitions with a single dispatch. [on_miss] is invoked with the
+    byte address of each missing access, in access order, so the caller
+    can charge the next memory level. Returns the number of hits. *)
+
+val replay_hits : t -> int array -> start:int -> stop:int -> write:bool -> unit
+(** [replay_hits t idx ~start ~stop ~write] replays a recorded run of
+    guaranteed hits: for each slot index in [idx.(start..stop-1)] it
+    performs exactly the state transition of a hitting {!access} (tick,
+    hit counter, LRU refresh, dirtying when [write]). Only sound while
+    {!epoch} still equals the value observed when [idx] was captured
+    with {!resident_slot} — any fill or invalidation in between may
+    have moved the lines. *)
+
 val probe : t -> Addr.t -> bool
 (** [probe t a] is true when the line holding [a] is resident; does not
     disturb LRU or fill — used by tests and by DMA coherence checks. *)
+
+val resident_slot : t -> Addr.t -> int
+(** Slot index (into the flat [set * ways + way] state arrays) holding
+    the line that contains [a], or [-1] when not resident. Like
+    {!probe}, never disturbs LRU or fills. The index stays valid while
+    {!epoch} is unchanged; it is the currency of {!replay_hits}. *)
 
 val dirty_in_range : t -> Addr.t -> int -> bool
 (** True when any dirty line intersects [\[a, a+len)]. Used to detect
@@ -52,7 +76,21 @@ val clean_all : t -> int
 
 val hits : t -> int
 val misses : t -> int
+
+val epoch : t -> int
+(** Monotonic invalidation/placement generation. Bumped by every state
+    change that can move or drop a resident line: a miss fill (the LRU
+    victim is evicted), [invalidate_range], [invalidate_all],
+    [clean_range] and [clean_all]. Hits only refresh LRU and leave the
+    epoch alone, so "epoch unchanged" certifies that every line
+    resident at the last observation is still resident in the same
+    slot. The fast-path layers (Exec's warm-footprint memo) and
+    observability tooling key on this; it also measures invalidation
+    churn directly. *)
+
 val reset_stats : t -> unit
+(** Clears [hits]/[misses]; the {!epoch} is deliberately left alone so
+    outstanding residency snapshots stay sound across stat resets. *)
 
 val lines : t -> int
 (** Total number of lines (capacity / line size). *)

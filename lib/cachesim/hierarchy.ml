@@ -51,6 +51,44 @@ let access t kind a =
   Clock.advance t.clock cost;
   cost
 
+let access_line_run t kind a n =
+  (* Batched equivalent of [n] calls to [access] at [a, a + line, …]
+     (one per cache line): identical L1/L2 state transitions in the
+     same order, but a single dispatch and a single clock advance.
+     L1 fills consult L2 per missing line, exactly like the scalar
+     path. Returns the summed cost. *)
+  let l1 = match kind with Ifetch -> t.l1i | Load | Store -> t.l1d in
+  let write = kind = Store in
+  let lat = t.lat in
+  let l2 = t.l2 in
+  let miss_cost = ref 0 in
+  let on_miss addr =
+    miss_cost :=
+      !miss_cost
+      + (match Cache.access l2 addr ~write with
+         | `Hit -> lat.l2_hit
+         | `Miss -> lat.l2_hit + lat.dram)
+  in
+  let hits = Cache.access_run l1 a ~stride:Addr.line_size ~n ~write ~on_miss in
+  ignore hits;
+  let cost = (n * lat.l1_hit) + !miss_cost in
+  Clock.advance t.clock cost;
+  cost
+
+let replay_warm_lines t ~l1i ~l1d ~l1d_write_from =
+  (* Replay a recorded all-L1-hit footprint: bulk hit transitions on
+     both L1s (reads before writes on the data side, matching the
+     recording order) and one clock advance of the summed L1 hit
+     latency. Only sound under the epoch guards checked by the
+     caller (Exec's warm memo). *)
+  Cache.replay_hits t.l1i l1i ~start:0 ~stop:(Array.length l1i) ~write:false;
+  Cache.replay_hits t.l1d l1d ~start:0 ~stop:l1d_write_from ~write:false;
+  Cache.replay_hits t.l1d l1d ~start:l1d_write_from
+    ~stop:(Array.length l1d) ~write:true;
+  let cost = t.lat.l1_hit * (Array.length l1i + Array.length l1d) in
+  Clock.advance t.clock cost;
+  cost
+
 let access_uncached t =
   (* Single-beat device access over the peripheral bus. *)
   let cost = 25 in

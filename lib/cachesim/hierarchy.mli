@@ -35,6 +35,23 @@ val access : t -> kind -> Addr.t -> int
 (** Charge one access to the physical address; advances the clock and
     returns the cost in cycles. *)
 
+val access_line_run : t -> kind -> Addr.t -> int -> int
+(** [access_line_run t kind a n] charges [n] line-sized accesses at
+    [a, a + line_size, …] — bit-identical in cache state, hit/miss
+    statistics and total cycles to [n] scalar {!access} calls in the
+    same order, but with a single dispatch and a single clock advance.
+    This is the hot-path entry used by [Exec] for contiguous runs of
+    lines within one page. *)
+
+val replay_warm_lines : t -> l1i:int array -> l1d:int array ->
+  l1d_write_from:int -> int
+(** Replay a recorded all-L1-resident footprint: bulk hit transitions
+    on the L1 slot indices in [l1i]/[l1d] (data reads before writes,
+    split at [l1d_write_from]) and one clock advance of the summed L1
+    hit cost, which is returned. Sound only while the {!Cache.epoch}
+    of both L1s is unchanged since the indices were captured; the
+    caller (Exec's warm memo) checks that. *)
+
 val access_uncached : t -> int
 (** Charge a device (MMIO) access: bypasses the caches, costs a fixed
     bus round-trip; advances the clock and returns the cost. *)

@@ -17,6 +17,7 @@ type t = {
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
+  mutable epoch : int;
 }
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
@@ -35,7 +36,10 @@ let create cfg =
     Array.init cfg.entries (fun _ ->
         { valid = false; asid = 0; vpage = 0; entry = dummy_entry; age = 0 })
   in
-  { cfg; sets; slots; tick = 0; hits = 0; misses = 0 }
+  { cfg; sets; slots; tick = 0; hits = 0; misses = 0; epoch = 0 }
+
+let null_slot =
+  { valid = false; asid = -1; vpage = -1; entry = dummy_entry; age = 0 }
 
 let set_of t vpage = vpage land (t.sets - 1)
 
@@ -62,6 +66,15 @@ let lookup t ~asid ~vpage =
     t.misses <- t.misses + 1;
     None
 
+let peek t ~asid ~vpage = matching t ~asid ~vpage
+
+let slot_ppage s = s.entry.ppage
+
+let refresh t s =
+  t.tick <- t.tick + 1;
+  t.hits <- t.hits + 1;
+  s.age <- t.tick
+
 let insert t ~asid ~vpage entry =
   t.tick <- t.tick + 1;
   let base = set_of t vpage * t.cfg.ways in
@@ -84,7 +97,8 @@ let insert t ~asid ~vpage entry =
   slot.asid <- asid;
   slot.vpage <- vpage;
   slot.entry <- entry;
-  slot.age <- t.tick
+  slot.age <- t.tick;
+  t.epoch <- t.epoch + 1
 
 let flush_all t =
   let n = ref 0 in
@@ -95,6 +109,7 @@ let flush_all t =
          incr n
        end)
     t.slots;
+  if !n > 0 then t.epoch <- t.epoch + 1;
   !n
 
 let flush_asid t asid =
@@ -106,18 +121,22 @@ let flush_asid t asid =
          incr n
        end)
     t.slots;
+  if !n > 0 then t.epoch <- t.epoch + 1;
   !n
 
 let flush_page t ~asid ~vpage =
   let base = set_of t vpage * t.cfg.ways in
   for w = 0 to t.cfg.ways - 1 do
     let s = t.slots.(base + w) in
-    if s.valid && s.vpage = vpage && (s.entry.global || s.asid = asid) then
-      s.valid <- false
+    if s.valid && s.vpage = vpage && (s.entry.global || s.asid = asid) then begin
+      s.valid <- false;
+      t.epoch <- t.epoch + 1
+    end
   done
 
 let hits t = t.hits
 let misses t = t.misses
+let epoch t = t.epoch
 
 let reset_stats t =
   t.hits <- 0;

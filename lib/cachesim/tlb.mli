@@ -25,6 +25,30 @@ val cortex_a9 : config
 val lookup : t -> asid:int -> vpage:int -> entry option
 (** Hit refreshes LRU. A non-global entry only matches its own ASID. *)
 
+type slot
+(** Handle on the physical TLB slot currently holding a translation.
+    Stays valid (same mapping, same slot) while {!epoch} is unchanged:
+    only inserts and flushes move or drop entries. *)
+
+val peek : t -> asid:int -> vpage:int -> slot option
+(** Like {!lookup} but completely effect-free: no tick, no hit/miss
+    accounting, no LRU refresh. Used to snapshot residency for the
+    fast-path layers. *)
+
+val slot_ppage : slot -> int
+(** Physical page number stored in the slot. *)
+
+val refresh : t -> slot -> unit
+(** Replay a hit on a slot obtained from {!peek}: exactly the state
+    transition of a hitting {!lookup} (tick, hit counter, LRU
+    refresh). Only sound while {!epoch} still equals the value
+    observed at {!peek} time. *)
+
+val null_slot : slot
+(** An always-invalid placeholder slot (for pre-allocating memo
+    tables); {!refresh} on it under a stale-epoch guard is harmless
+    but it never matches any lookup. *)
+
 val insert : t -> asid:int -> vpage:int -> entry -> unit
 (** Install a translation (evicting LRU in the set if needed). *)
 
@@ -39,4 +63,16 @@ val flush_page : t -> asid:int -> vpage:int -> unit
 
 val hits : t -> int
 val misses : t -> int
+
+val epoch : t -> int
+(** Monotonic invalidation/placement generation: bumped by every
+    {!insert} (which may evict an LRU victim) and by every [flush_*]
+    that actually drops at least one entry. Lookups never bump it, so
+    "epoch unchanged" certifies that every translation observed with
+    {!peek} is still resident in the same slot. Exec's micro-TLB and
+    warm-footprint memo key on this; it also exposes TLB churn to
+    observability layers. *)
+
 val reset_stats : t -> unit
+(** Clears [hits]/[misses]; {!epoch} is deliberately preserved so
+    outstanding {!peek} snapshots stay sound across stat resets. *)

@@ -106,13 +106,18 @@ let vfp_run policy ~switches =
   ( Cycles.to_us (int_of_float (Stats.mean (Probe.stats probe Probe.vm_switch))),
     Probe.count probe "vfp_switch" )
 
-let vfp_ablation ?(switches = 200) () =
-  let lazy_us, lazy_n = vfp_run `Lazy ~switches in
-  let active_us, active_n = vfp_run `Active ~switches in
-  { lazy_switch_us = lazy_us;
-    active_switch_us = active_us;
-    lazy_vfp_switches = lazy_n;
-    active_vfp_switches = active_n }
+let vfp_ablation ?(switches = 200) ?domains () =
+  match
+    Parallel_sweep.run ?domains
+      [ (fun () -> vfp_run `Lazy ~switches);
+        (fun () -> vfp_run `Active ~switches) ]
+  with
+  | [ (lazy_us, lazy_n); (active_us, active_n) ] ->
+    { lazy_switch_us = lazy_us;
+      active_switch_us = active_us;
+      lazy_vfp_switches = lazy_n;
+      active_vfp_switches = active_n }
+  | _ -> assert false
 
 type trap_result = {
   hypercall_us : float;
@@ -190,21 +195,29 @@ let first_chunk_us policy =
   Kernel.run_for kern (Cycles.of_ms 20.0);
   Stats.mean stats
 
-let asid_ablation ?(config = Scenario.default_config) () =
+let asid_ablation ?(config = Scenario.default_config) ?domains () =
   (* A short quantum makes VM switches frequent enough for the TLB
      policy to matter (with the paper's 33 ms there are only a handful
      of switches per run). *)
   let config = { config with Scenario.quantum_ms = 2.0 } in
   let base = { config with Scenario.tlb_policy = `Asid } in
   let flush = { config with Scenario.tlb_policy = `Flush_all } in
-  { asid = Scenario.run_virtualized ~config:base ~guests:2 ();
-    flush_all = Scenario.run_virtualized ~config:flush ~guests:2 ();
-    first_chunk_asid_us = first_chunk_us `Asid;
-    first_chunk_flush_us = first_chunk_us `Flush_all }
+  match
+    Parallel_sweep.run ?domains
+      [ (fun () -> `Run (Scenario.run_virtualized ~config:base ~guests:2 ()));
+        (fun () -> `Run (Scenario.run_virtualized ~config:flush ~guests:2 ()));
+        (fun () -> `Us (first_chunk_us `Asid));
+        (fun () -> `Us (first_chunk_us `Flush_all)) ]
+  with
+  | [ `Run asid; `Run flush_all; `Us chunk_asid; `Us chunk_flush ] ->
+    { asid; flush_all;
+      first_chunk_asid_us = chunk_asid;
+      first_chunk_flush_us = chunk_flush }
+  | _ -> assert false
 
 let quantum_sweep ?(config = Scenario.default_config)
-    ?(quanta_ms = [ 1.0; 10.0; 33.0; 100.0 ]) () =
-  List.map
+    ?(quanta_ms = [ 1.0; 10.0; 33.0; 100.0 ]) ?domains () =
+  Parallel_sweep.map ?domains
     (fun q ->
        let cfg = { config with Scenario.quantum_ms = q } in
        (q, Scenario.run_virtualized ~config:cfg ~guests:2 ()))

@@ -1,0 +1,56 @@
+(* Run independent scenario configurations on OCaml domains.
+
+   Every job builds its own simulated world (Zynq.create and
+   everything above it), and the library keeps no module-level mutable
+   state — the effect handlers behind Hyper/Ucos are per-fiber — so
+   jobs are embarrassingly parallel. Work is handed out through an
+   atomic index; results land in per-job slots and are returned in
+   input order, so output is deterministic regardless of how the
+   domains interleave. The first exception (by job index) is re-raised
+   with its original backtrace. *)
+
+let default_domains () =
+  match Sys.getenv_opt "MININOVA_DOMAINS" with
+  | Some s ->
+    (match int_of_string_opt (String.trim s) with
+     | Some n when n >= 1 -> n
+     | Some _ | None -> 1)
+  | None -> Domain.recommended_domain_count ()
+
+let map ?domains f items =
+  let jobs = Array.of_list items in
+  let n = Array.length jobs in
+  let wanted =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  let wanted = min wanted n in
+  if wanted <= 1 || n <= 1 then List.map f items
+  else begin
+    let slots = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (slots.(i) <-
+             (match f jobs.(i) with
+              | v -> Some (Ok v)
+              | exception e ->
+                Some (Error (e, Printexc.get_raw_backtrace ()))));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    (* The calling domain participates; spawn only the extras. *)
+    let extras = List.init (wanted - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join extras;
+    Array.to_list slots
+    |> List.map (function
+        | Some (Ok v) -> v
+        | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+        | None -> assert false (* every index below n was claimed *))
+  end
+
+let run ?domains thunks = map ?domains (fun f -> f ()) thunks

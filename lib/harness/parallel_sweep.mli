@@ -1,0 +1,26 @@
+(** Domain-parallel execution of independent simulation jobs.
+
+    The bench harness runs many self-contained configurations (Table
+    III's native + 1..4 guests, the ASID ablation, the quantum sweep).
+    Each builds its own {!Zynq.t} world and shares nothing, so they
+    can run on separate OCaml domains; results are always returned in
+    input order, making the output deterministic and independent of
+    the domain count. *)
+
+val default_domains : unit -> int
+(** Domain budget used when [?domains] is omitted: the
+    [MININOVA_DOMAINS] environment variable if set to a positive
+    integer (any other value means 1, i.e. serial), otherwise
+    [Domain.recommended_domain_count ()]. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map f items] applies [f] to every item, using up to [domains]
+    domains (capped by the number of items; the calling domain
+    participates). With an effective budget of 1 this is exactly
+    [List.map f items] — no domains are spawned. If any job raises,
+    the exception of the lowest-indexed failing job is re-raised with
+    its backtrace after all domains have joined. *)
+
+val run : ?domains:int -> (unit -> 'a) list -> 'a list
+(** [run thunks] = [map (fun f -> f ()) thunks] — for heterogeneous
+    sweeps expressed as closures. *)

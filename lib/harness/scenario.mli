@@ -51,5 +51,11 @@ val run_virtualized : ?config:config -> guests:int -> unit -> overheads
 (** One measured configuration with [guests] parallel VMs (1–4 in the
     paper). *)
 
-val run_table3 : ?config:config -> ?max_guests:int -> unit -> overheads list
-(** Native followed by 1..max_guests (default 4) VMs. *)
+val run_table3 :
+  ?config:config -> ?max_guests:int -> ?domains:int -> unit ->
+  overheads list
+(** Native followed by 1..max_guests (default 4) VMs. The
+    configurations are independent and run on OCaml domains via
+    {!Parallel_sweep} ([domains] defaults to
+    {!Parallel_sweep.default_domains}); results are identical to the
+    serial sweep. *)

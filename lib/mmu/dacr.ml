@@ -1,21 +1,26 @@
 type access = No_access | Client | Manager
 
-type t = { fields : access array }
+(* [word] mirrors [fields] in the hardware encoding at all times, so
+   reading the register (and the fast-path context checks that compare
+   DACR state per footprint run) is O(1). *)
+type t = { fields : access array; mutable word : int }
 
-let create () = { fields = Array.make 16 No_access }
+let bits = function No_access -> 0b00 | Client -> 0b01 | Manager -> 0b11
+
+let create () = { fields = Array.make 16 No_access; word = 0 }
 
 let check dom =
   if dom < 0 || dom > 15 then invalid_arg "Dacr: domain out of range"
 
 let set t dom a =
   check dom;
-  t.fields.(dom) <- a
+  t.fields.(dom) <- a;
+  let sh = 2 * dom in
+  t.word <- t.word land lnot (0b11 lsl sh) lor (bits a lsl sh)
 
 let get t dom =
   check dom;
   t.fields.(dom)
-
-let bits = function No_access -> 0b00 | Client -> 0b01 | Manager -> 0b11
 
 let of_bits = function
   | 0b00 -> No_access
@@ -23,21 +28,19 @@ let of_bits = function
   | 0b11 -> Manager
   | _ -> invalid_arg "Dacr: reserved field encoding"
 
-let to_word t =
-  let w = ref 0 in
-  for dom = 15 downto 0 do
-    w := (!w lsl 2) lor bits t.fields.(dom)
-  done;
-  !w
+let to_word t = t.word
 
 let of_word w =
   let t = create () in
   for dom = 0 to 15 do
     t.fields.(dom) <- of_bits ((w lsr (2 * dom)) land 0b11)
   done;
+  t.word <- w;
   t
 
-let copy_from dst src = Array.blit src.fields 0 dst.fields 0 16
+let copy_from dst src =
+  Array.blit src.fields 0 dst.fields 0 16;
+  dst.word <- src.word
 
 let pp ppf t =
   Format.fprintf ppf "DACR=0x%08x" (to_word t)

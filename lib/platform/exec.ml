@@ -1,6 +1,21 @@
-type range = { base : Addr.t; len : int }
+(* Footprint execution. Two semantically identical paths exist:
 
-type t = {
+   - the reference path ([touch_ref]/[run_ref]): translate once per
+     page, charge the hierarchy once per line — the original scalar
+     walk, kept as the oracle for the equivalence property test and
+     used when the fast path is disabled (MININOVA_FASTPATH=0);
+
+   - the fast path: a per-CPU micro-TLB memoises page translations, a
+     contiguous run of lines within a page is charged through
+     [Hierarchy.access_line_run] with one dispatch, and footprints
+     whose last visit was entirely warm (zero new misses anywhere) are
+     replayed in bulk from a recorded memo. Epoch counters on the TLB
+     and caches guarantee every shortcut reproduces the exact state
+     transitions, statistics and cycle counts of the reference path. *)
+
+type range = Fastpath.range = { base : Addr.t; len : int }
+
+type t = Fastpath.fp = {
   label : string;
   code : range;
   reads : range list;
@@ -14,14 +29,15 @@ let make ?(reads = []) ?(writes = []) ?(base_cycles = 0) ~label ~code_base
     code = { base = code_base; len = code_bytes };
     reads; writes; base_cycles }
 
-let touch zynq ~priv kind r =
+let mmu_kind = function
+  | Hierarchy.Ifetch -> Mmu.Exec
+  | Hierarchy.Load -> Mmu.Read
+  | Hierarchy.Store -> Mmu.Write
+
+(* Reference walk: the original per-line loop, bit-for-bit. *)
+let touch_ref zynq ~priv kind r =
   if r.len > 0 then begin
-    let mmu_kind =
-      match kind with
-      | Hierarchy.Ifetch -> Mmu.Exec
-      | Hierarchy.Load -> Mmu.Read
-      | Hierarchy.Store -> Mmu.Write
-    in
+    let mmu_kind = mmu_kind kind in
     let first = Addr.line_base r.base in
     let last = Addr.line_base (r.base + r.len - 1) in
     (* Translate once per page, access once per line. *)
@@ -43,6 +59,77 @@ let touch zynq ~priv kind r =
     done
   end
 
+(* Translate the page at [page_vbase] (page-aligned) through the
+   micro-TLB. A hit replays exactly the state transition of the
+   TLB-hitting [Mmu.translate_exn] it stands in for (the permission
+   check is context-dependent only, and the context — TTBR, ASID,
+   DACR, privilege — is pinned in the entry; the TLB epoch pins slot
+   residency). *)
+let translate_page zynq fast kind ~priv ~asid ~ttbr ~dacr page_vbase =
+  let vpage = page_vbase lsr Addr.page_shift in
+  let tlb = zynq.Zynq.tlb in
+  let e =
+    Array.unsafe_get fast.Fastpath.mtlb (vpage land Fastpath.mtlb_mask)
+  in
+  if
+    e.Fastpath.m_vpage = vpage && e.m_asid = asid && e.m_ttbr = ttbr
+    && e.m_dacr = dacr && e.m_priv = priv
+    && e.m_epoch = Tlb.epoch tlb
+  then begin
+    fast.Fastpath.mtlb_hits <- fast.Fastpath.mtlb_hits + 1;
+    Tlb.refresh tlb e.m_slot;
+    e.m_pbase
+  end
+  else begin
+    fast.Fastpath.mtlb_misses <- fast.Fastpath.mtlb_misses + 1;
+    let pa = Mmu.translate_exn zynq.Zynq.mmu (mmu_kind kind) ~priv page_vbase in
+    (match Tlb.peek tlb ~asid ~vpage with
+     | Some slot ->
+       e.m_vpage <- vpage;
+       e.m_asid <- asid;
+       e.m_ttbr <- ttbr;
+       e.m_dacr <- dacr;
+       e.m_priv <- priv;
+       e.m_epoch <- Tlb.epoch tlb;
+       e.m_slot <- slot;
+       e.m_pbase <- Addr.page_base pa
+     | None -> e.m_vpage <- -1);
+    Addr.page_base pa
+  end
+
+(* Fast walk: translate per page (micro-TLB accelerated), then charge
+   the whole within-page run of lines with one hierarchy dispatch. *)
+let touch_fast zynq fast ~priv ~asid ~ttbr ~dacr kind r =
+  if r.len > 0 then begin
+    let first = Addr.line_base r.base in
+    let last = Addr.line_base (r.base + r.len - 1) in
+    let hier = zynq.Zynq.hier in
+    let a = ref first in
+    while !a <= last do
+      let page_vbase = Addr.page_base !a in
+      let pbase =
+        translate_page zynq fast kind ~priv ~asid ~ttbr ~dacr page_vbase
+      in
+      let page_last = page_vbase + Addr.page_size - Addr.line_size in
+      let stop = if last < page_last then last else page_last in
+      let n = ((stop - !a) / Addr.line_size) + 1 in
+      let pa = pbase lor (!a land (Addr.page_size - 1)) in
+      ignore (Hierarchy.access_line_run hier kind pa n);
+      a := !a + (n * Addr.line_size)
+    done
+  end
+
+let current_context zynq =
+  let mmu = zynq.Zynq.mmu in
+  (Mmu.asid mmu, Mmu.ttbr mmu, Dacr.to_word (Mmu.dacr mmu))
+
+let touch zynq ~priv kind r =
+  let fast = zynq.Zynq.fast in
+  if Fastpath.enabled fast then
+    let asid, ttbr, dacr = current_context zynq in
+    touch_fast zynq fast ~priv ~asid ~ttbr ~dacr kind r
+  else touch_ref zynq ~priv kind r
+
 let lines_of r =
   if r.len <= 0 then 0
   else
@@ -52,18 +139,152 @@ let lines_of r =
 
 let issue_cycles t = t.code.len / 4
 
-let run zynq ~priv t =
+let data_lines t =
+  List.fold_left (fun a r -> a + lines_of r) 0 t.reads
+  + List.fold_left (fun a r -> a + lines_of r) 0 t.writes
+
+let run_ref zynq ~priv t =
   let start = Clock.now zynq.Zynq.clock in
-  touch zynq ~priv Hierarchy.Ifetch t.code;
-  List.iter (touch zynq ~priv Hierarchy.Load) t.reads;
-  List.iter (touch zynq ~priv Hierarchy.Store) t.writes;
+  touch_ref zynq ~priv Hierarchy.Ifetch t.code;
+  List.iter (touch_ref zynq ~priv Hierarchy.Load) t.reads;
+  List.iter (touch_ref zynq ~priv Hierarchy.Store) t.writes;
   Clock.advance zynq.Zynq.clock (t.base_cycles + issue_cycles t);
   Clock.now zynq.Zynq.clock - start
 
+exception Abort_record
+
+(* Capture a warm memo. Only called after a run with zero new misses
+   in L1I/L1D/L2/TLB, so every line is L1-resident and every page
+   TLB-resident; the probes below are effect-free (no ticks, no stats,
+   no LRU movement) and simply record where everything sits. *)
+let record_memo zynq fast key (t : t) ~asid ~fail =
+  let n_code = lines_of t.code in
+  let n_read = List.fold_left (fun a r -> a + lines_of r) 0 t.reads in
+  let n_write = List.fold_left (fun a r -> a + lines_of r) 0 t.writes in
+  if n_code + n_read + n_write <= Fastpath.memo_lines_cap then begin
+    let tlb = zynq.Zynq.tlb in
+    let hier = zynq.Zynq.hier in
+    let l1i = Hierarchy.l1i hier in
+    let l1d = Hierarchy.l1d hier in
+    let slots = ref [] in
+    let l1i_idx = Array.make n_code 0 in
+    let l1d_idx = Array.make (n_read + n_write) 0 in
+    let pos = ref 0 in
+    let probe_range cache idx r =
+      if r.len > 0 then begin
+        let first = Addr.line_base r.base in
+        let last = Addr.line_base (r.base + r.len - 1) in
+        let cur_page = ref (-1) in
+        let cur_pbase = ref 0 in
+        let a = ref first in
+        while !a <= last do
+          let page = !a lsr Addr.page_shift in
+          if page <> !cur_page then begin
+            (match Tlb.peek tlb ~asid ~vpage:page with
+             | Some s ->
+               slots := s :: !slots;
+               cur_pbase := Tlb.slot_ppage s lsl Addr.page_shift
+             | None -> raise Abort_record);
+            cur_page := page
+          end;
+          let pa = !cur_pbase lor (!a land (Addr.page_size - 1)) in
+          let i = Cache.resident_slot cache pa in
+          if i < 0 then raise Abort_record;
+          Array.unsafe_set idx !pos i;
+          incr pos;
+          a := !a + Addr.line_size
+        done
+      end
+    in
+    try
+      probe_range l1i l1i_idx t.code;
+      pos := 0;
+      List.iter (probe_range l1d l1d_idx) t.reads;
+      List.iter (probe_range l1d l1d_idx) t.writes;
+      Fastpath.store_memo fast key
+        { Fastpath.w_tlb_epoch = Tlb.epoch tlb;
+          w_l1i_epoch = Cache.epoch l1i;
+          w_l1d_epoch = Cache.epoch l1d;
+          w_tlb_slots = Array.of_list (List.rev !slots);
+          w_l1i = l1i_idx;
+          w_l1d = l1d_idx;
+          w_l1d_write_from = n_read;
+          w_fail = fail }
+    with Abort_record -> ()
+  end
+
+let replay_memo zynq (m : Fastpath.memo) (t : t) =
+  let tlb = zynq.Zynq.tlb in
+  let slots = m.Fastpath.w_tlb_slots in
+  for i = 0 to Array.length slots - 1 do
+    Tlb.refresh tlb (Array.unsafe_get slots i)
+  done;
+  let c =
+    Hierarchy.replay_warm_lines zynq.Zynq.hier ~l1i:m.Fastpath.w_l1i
+      ~l1d:m.Fastpath.w_l1d ~l1d_write_from:m.Fastpath.w_l1d_write_from
+  in
+  let tail = t.base_cycles + issue_cycles t in
+  Clock.advance zynq.Zynq.clock tail;
+  c + tail
+
+let run zynq ~priv t =
+  let fast = zynq.Zynq.fast in
+  if not (Fastpath.enabled fast) then run_ref zynq ~priv t
+  else begin
+    let asid, ttbr, dacr = current_context zynq in
+    let key =
+      { Fastpath.k_fp = t; k_asid = asid; k_ttbr = ttbr; k_dacr = dacr;
+        k_priv = priv }
+    in
+    let tlb = zynq.Zynq.tlb in
+    let hier = zynq.Zynq.hier in
+    let l1i = Hierarchy.l1i hier in
+    let l1d = Hierarchy.l1d hier in
+    let prev = Hashtbl.find_opt fast.Fastpath.memos key in
+    match prev with
+    | Some m
+      when m.Fastpath.w_tlb_epoch = Tlb.epoch tlb
+           && m.Fastpath.w_l1i_epoch = Cache.epoch l1i
+           && m.Fastpath.w_l1d_epoch = Cache.epoch l1d ->
+      m.Fastpath.w_fail <- 0;
+      fast.Fastpath.warm_replays <- fast.Fastpath.warm_replays + 1;
+      replay_memo zynq m t
+    | _ ->
+      let fail =
+        match prev with
+        | Some m ->
+          m.Fastpath.w_fail <- m.Fastpath.w_fail + 1;
+          m.Fastpath.w_fail
+        | None -> 0
+      in
+      let l2 = Hierarchy.l2 hier in
+      let m0 =
+        Cache.misses l1i + Cache.misses l1d + Cache.misses l2
+        + Tlb.misses tlb
+      in
+      let start = Clock.now zynq.Zynq.clock in
+      touch_fast zynq fast ~priv ~asid ~ttbr ~dacr Hierarchy.Ifetch t.code;
+      List.iter
+        (touch_fast zynq fast ~priv ~asid ~ttbr ~dacr Hierarchy.Load)
+        t.reads;
+      List.iter
+        (touch_fast zynq fast ~priv ~asid ~ttbr ~dacr Hierarchy.Store)
+        t.writes;
+      Clock.advance zynq.Zynq.clock (t.base_cycles + issue_cycles t);
+      let elapsed = Clock.now zynq.Zynq.clock - start in
+      let m1 =
+        Cache.misses l1i + Cache.misses l1d + Cache.misses l2
+        + Tlb.misses tlb
+      in
+      (* Record only fully warm visits. A memo whose epochs keep
+         getting invalidated between visits backs off exponentially
+         (re-record on power-of-two failure counts) so churn-heavy
+         footprints don't pay the probe pass every time. *)
+      if m1 = m0 && (fail <= 2 || fail land (fail - 1) = 0) then
+        record_memo zynq fast key t ~asid ~fail;
+      elapsed
+  end
+
 let estimate_warm_cycles t =
   let l = Hierarchy.default_latencies.Hierarchy.l1_hit in
-  let data =
-    List.fold_left (fun acc r -> acc + lines_of r) 0 t.reads
-    + List.fold_left (fun acc r -> acc + lines_of r) 0 t.writes
-  in
-  (l * (lines_of t.code + data)) + t.base_cycles + issue_cycles t
+  (l * (lines_of t.code + data_lines t)) + t.base_cycles + issue_cycles t

@@ -7,12 +7,22 @@
     count. {!run} pushes the footprint through the MMU, TLB, and cache
     hierarchy at the current translation context — so the same path is
     fast when warm and slow when another VM evicted it, which is the
-    mechanism behind the paper's Table III trends. *)
+    mechanism behind the paper's Table III trends.
 
-type range = { base : Addr.t; len : int }
+    {!run} and {!touch} are accelerated by a per-CPU fast path
+    ({!Fastpath}): a micro-TLB over page translations, batched
+    per-page line runs ({!Hierarchy.access_line_run}), and a
+    warm-footprint memo that bulk-replays fully L1-resident visits.
+    All of it is {e exact} — simulated cycles and every hit/miss
+    counter are bit-identical to the scalar reference walk, which is
+    kept available (set [MININOVA_FASTPATH=0], or
+    {!Fastpath.set_enabled}) and pinned by the equivalence property
+    test in [test/test_fastpath.ml]. *)
+
+type range = Fastpath.range = { base : Addr.t; len : int }
 (** A virtual byte range. *)
 
-type t = {
+type t = Fastpath.fp = {
   label : string;
   code : range;          (** instructions, fetched line by line *)
   reads : range list;    (** data read, touched line by line *)

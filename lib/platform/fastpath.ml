@@ -1,0 +1,112 @@
+(* Per-CPU fast-path state for the footprint execution engine.
+
+   Two exact (bit-identical) accelerations of [Exec.run] live here:
+
+   - a direct-mapped micro-TLB memoising page translations, valid only
+     while the translation context (TTBR/ASID/DACR/privilege) and the
+     {!Tlb.epoch} are unchanged — every flush, ASID switch or
+     page-table update moves the epoch and kills stale entries;
+
+   - a warm-footprint memo: when a footprint ran with every line
+     L1-resident and every translation TLB-resident, the slot indices
+     are recorded so the next visit under the same context and epochs
+     can replay the exact hit transitions in bulk instead of walking
+     line by line.
+
+   Both structures are per-[Zynq] world (one simulated CPU), so
+   parallel sweeps on separate domains never share them. The types
+   for footprints live here (re-exported by [Exec]) so [Zynq] can
+   carry this state without a dependency cycle. *)
+
+type range = { base : Addr.t; len : int }
+
+type fp = {
+  label : string;
+  code : range;
+  reads : range list;
+  writes : range list;
+  base_cycles : int;
+}
+
+(* Micro-TLB entry: a memoised (vpage -> physical page base) under a
+   pinned translation context. [m_slot] is the hardware TLB slot that
+   produced it, replayed on hit so TLB statistics and LRU stay
+   bit-identical with the non-memoised path. *)
+type mentry = {
+  mutable m_vpage : int;   (* -1 when empty *)
+  mutable m_asid : int;
+  mutable m_ttbr : int;
+  mutable m_dacr : int;
+  mutable m_priv : bool;
+  mutable m_epoch : int;   (* Tlb.epoch at install time *)
+  mutable m_slot : Tlb.slot;
+  mutable m_pbase : int;
+}
+
+let mtlb_size = 256
+let mtlb_mask = mtlb_size - 1
+
+(* Warm-footprint memos are keyed by the footprint value itself plus
+   the translation context it ran under, so the same kernel stub
+   executed on behalf of different guests keeps one memo per guest. *)
+type key = {
+  k_fp : fp;
+  k_asid : int;
+  k_ttbr : int;
+  k_dacr : int;
+  k_priv : bool;
+}
+
+type memo = {
+  w_tlb_epoch : int;
+  w_l1i_epoch : int;
+  w_l1d_epoch : int;
+  w_tlb_slots : Tlb.slot array;  (* one per page-translate, in order *)
+  w_l1i : int array;             (* L1I slot index per code line *)
+  w_l1d : int array;             (* L1D slots: read lines then write lines *)
+  w_l1d_write_from : int;
+  mutable w_fail : int;          (* consecutive stale visits (backoff) *)
+}
+
+type t = {
+  mtlb : mentry array;
+  memos : (key, memo) Hashtbl.t;
+  mutable enabled : bool;
+  (* Observability counters (host-side only; never affect the sim). *)
+  mutable mtlb_hits : int;
+  mutable mtlb_misses : int;
+  mutable warm_replays : int;
+  mutable warm_records : int;
+}
+
+let memo_cap = 8192
+
+(* Footprints above this many lines are not memoised: they are rare,
+   already amortise their walk cost, and would make memos large. *)
+let memo_lines_cap = 512
+
+let create () =
+  let enabled =
+    match Sys.getenv_opt "MININOVA_FASTPATH" with
+    | Some ("0" | "off" | "false" | "no") -> false
+    | Some _ | None -> true
+  in
+  { mtlb =
+      Array.init mtlb_size (fun _ ->
+          { m_vpage = -1; m_asid = -1; m_ttbr = -1; m_dacr = -1;
+            m_priv = false; m_epoch = -1; m_slot = Tlb.null_slot;
+            m_pbase = 0 });
+    memos = Hashtbl.create 64;
+    enabled;
+    mtlb_hits = 0; mtlb_misses = 0; warm_replays = 0; warm_records = 0 }
+
+let set_enabled t b = t.enabled <- b
+let enabled t = t.enabled
+
+let store_memo t key memo =
+  if Hashtbl.length t.memos >= memo_cap then Hashtbl.reset t.memos;
+  Hashtbl.replace t.memos key memo;
+  t.warm_records <- t.warm_records + 1
+
+let stats t =
+  (t.mtlb_hits, t.mtlb_misses, t.warm_replays, t.warm_records)

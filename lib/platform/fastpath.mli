@@ -1,0 +1,93 @@
+(** Per-CPU exact fast-path state for {!Exec}.
+
+    Holds the micro-TLB (a direct-mapped memo over page translations)
+    and the warm-footprint memo table. Both are validated with the
+    {!Tlb.epoch} / {!Cache.epoch} counters, so every shortcut taken
+    through them is bit-identical — in simulated cycles and in every
+    hit/miss statistic — to the scalar reference walk.
+
+    One value lives in each {!Zynq.t}; parallel sweep domains never
+    share one. The types are concrete because {!Exec} is the hot path
+    and drives them field-by-field; treat them as private to the
+    platform layer. *)
+
+type range = { base : Addr.t; len : int }
+
+type fp = {
+  label : string;
+  code : range;
+  reads : range list;
+  writes : range list;
+  base_cycles : int;
+}
+(** The footprint record; {!Exec.t} is an alias of this (it lives here
+    so {!Zynq} can carry fast-path state without a dependency cycle). *)
+
+type mentry = {
+  mutable m_vpage : int;   (** -1 when the entry is empty *)
+  mutable m_asid : int;
+  mutable m_ttbr : int;
+  mutable m_dacr : int;
+  mutable m_priv : bool;
+  mutable m_epoch : int;   (** {!Tlb.epoch} at install time *)
+  mutable m_slot : Tlb.slot;
+  mutable m_pbase : int;
+}
+(** Micro-TLB entry: memoised page translation plus the pinned
+    translation context and TLB slot it came from; a hit replays the
+    slot so TLB statistics and LRU stay exact. *)
+
+val mtlb_size : int
+val mtlb_mask : int
+
+type key = {
+  k_fp : fp;
+  k_asid : int;
+  k_ttbr : int;
+  k_dacr : int;
+  k_priv : bool;
+}
+(** Warm-memo key: footprint plus translation context, so a kernel
+    stub run on behalf of different guests keeps one memo each. *)
+
+type memo = {
+  w_tlb_epoch : int;
+  w_l1i_epoch : int;
+  w_l1d_epoch : int;
+  w_tlb_slots : Tlb.slot array;  (** one per page-translate, in order *)
+  w_l1i : int array;             (** L1I slot index per code line *)
+  w_l1d : int array;             (** L1D slots: read lines then writes *)
+  w_l1d_write_from : int;
+  mutable w_fail : int;          (** consecutive stale visits (backoff) *)
+}
+
+type t = {
+  mtlb : mentry array;
+  memos : (key, memo) Hashtbl.t;
+  mutable enabled : bool;
+  mutable mtlb_hits : int;
+  mutable mtlb_misses : int;
+  mutable warm_replays : int;
+  mutable warm_records : int;
+}
+
+val memo_cap : int
+(** Memo table is reset when it grows past this (bounds memory). *)
+
+val memo_lines_cap : int
+(** Footprints with more total lines than this are never memoised. *)
+
+val create : unit -> t
+(** Fresh state; enabled unless the [MININOVA_FASTPATH] environment
+    variable is set to [0]/[off]/[false]/[no]. *)
+
+val enabled : t -> bool
+
+val set_enabled : t -> bool -> unit
+(** Toggle at runtime (the equivalence test drives both paths). *)
+
+val store_memo : t -> key -> memo -> unit
+
+val stats : t -> int * int * int * int
+(** [(mtlb_hits, mtlb_misses, warm_replays, warm_records)] — host-side
+    observability only; never feeds back into the simulation. *)

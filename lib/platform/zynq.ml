@@ -11,6 +11,7 @@ type t = {
   sd : Sd_card.t;
   prrc : Prr_controller.t;
   pcap : Pcap.t;
+  fast : Fastpath.t;
 }
 
 (* PRR1/2 host FFT (large), PRR3/4 host only QAM (small) — Fig 8. *)
@@ -31,7 +32,9 @@ let create ?(prr_capacities = default_prr_capacities) ?lat ?on_uart () =
     Prr_controller.create mem queue gic hier ~capacities:prr_capacities
   in
   let pcap = Pcap.create queue gic in
-  { clock; queue; mem; hier; tlb; mmu; gic; ptimer; uart; sd; prrc; pcap }
+  let fast = Fastpath.create () in
+  { clock; queue; mem; hier; tlb; mmu; gic; ptimer; uart; sd; prrc; pcap;
+    fast }
 
 let in_pl_window a =
   a >= Address_map.prr_regs_base

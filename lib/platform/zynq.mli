@@ -24,6 +24,7 @@ type t = {
   sd : Sd_card.t;
   prrc : Prr_controller.t;
   pcap : Pcap.t;
+  fast : Fastpath.t;  (** per-CPU exact fast-path state used by [Exec] *)
 }
 
 val default_prr_capacities : int list

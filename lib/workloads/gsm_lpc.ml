@@ -5,24 +5,29 @@ let check frame =
   if Array.length frame <> frame_size then
     invalid_arg "Gsm_lpc: frame must be 160 samples"
 
-(* Preemphasis then windowed autocorrelation, lags 0..order. *)
+(* Preemphasis then windowed autocorrelation, lags 0..order. The
+   accumulators are loop arguments rather than [ref]s so the hot loops
+   (run per GSM frame per guest) keep floats unboxed. *)
 let autocorrelation frame =
   check frame;
   let pre = Array.make frame_size 0.0 in
-  let prev = ref 0.0 in
-  Array.iteri
-    (fun i s ->
-       let x = float_of_int s in
-       pre.(i) <- x -. (0.86 *. !prev);
-       prev := x)
-    frame;
+  let rec emphasize i prev =
+    if i < frame_size then begin
+      let x = float_of_int (Array.unsafe_get frame i) in
+      Array.unsafe_set pre i (x -. (0.86 *. prev));
+      emphasize (i + 1) x
+    end
+  in
+  emphasize 0 0.0;
   let acf = Array.make (order + 1) 0.0 in
   for lag = 0 to order do
-    let sum = ref 0.0 in
-    for i = lag to frame_size - 1 do
-      sum := !sum +. (pre.(i) *. pre.(i - lag))
-    done;
-    acf.(lag) <- !sum
+    let rec sum i acc =
+      if i >= frame_size then acc
+      else
+        sum (i + 1)
+          (acc +. (Array.unsafe_get pre i *. Array.unsafe_get pre (i - lag)))
+    in
+    acf.(lag) <- sum lag 0.0
   done;
   acf
 

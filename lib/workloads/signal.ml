@@ -27,16 +27,23 @@ let noise rng ~amplitude n =
 let speech_like rng n =
   let out = Array.make n 0 in
   let pitch = 64 + Rng.int rng 32 in
-  let y1 = ref 0.0 and y2 = ref 0.0 in
+  (* Resonator state in a float array: unboxed stores, so the hot loop
+     does not allocate (boxed-float refs would, without flambda). *)
+  let st = [| 0.0; 0.0 |] in
+  (* [phase] counts i mod pitch without a per-sample division. *)
+  let phase = ref 0 in
   for i = 0 to n - 1 do
     (* Excitation: pitch pulse train plus light noise. *)
-    let pulse = if i mod pitch = 0 then 8000.0 else 0.0 in
+    let pulse = if !phase = 0 then 8000.0 else 0.0 in
+    incr phase;
+    if !phase = pitch then phase := 0;
     let excitation = pulse +. float_of_int (Rng.int rng 401 - 200) in
     (* Two-pole resonator around ~500 Hz at 8 kHz. *)
-    let y = excitation +. (1.52 *. !y1) -. (0.64 *. !y2) in
-    y2 := !y1;
-    y1 := y;
-    out.(i) <- clamp16 (int_of_float (y /. 4.0))
+    let y1 = Array.unsafe_get st 0 in
+    let y = excitation +. (1.52 *. y1) -. (0.64 *. Array.unsafe_get st 1) in
+    Array.unsafe_set st 1 y1;
+    Array.unsafe_set st 0 y;
+    Array.unsafe_set out i (clamp16 (int_of_float (y /. 4.0)))
   done;
   out
 

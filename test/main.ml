@@ -16,4 +16,5 @@ let () =
       Test_models.suite;
       Test_platform.suite;
       Test_hwtm.suite;
-      Test_edge.suite ]
+      Test_edge.suite;
+      Test_fastpath.suite ]

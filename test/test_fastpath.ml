@@ -1,0 +1,171 @@
+(* Equivalence of the Exec fast path with the scalar reference walk.
+
+   The fast path (per-CPU micro-TLB, batched cache-line runs, warm
+   footprint memo) promises to be bit-identical to the reference
+   implementation: same simulated cycles and the same hit/miss
+   counters in every cache level and the TLB, under any interleaving
+   of footprint runs, cache maintenance, TLB flushes and ASID
+   switches. This test drives a randomized op sequence through two
+   fresh boards — one with [Fastpath] enabled, one disabled — and
+   compares the full counter fingerprint after every op. *)
+
+let check = Alcotest.check
+
+(* --- randomized op DSL --- *)
+
+type op =
+  | Run of int                 (* footprint pool index *)
+  | Touch of int * int * int   (* kind (0 load / 1 store / 2 fetch), off, len *)
+  | Set_asid of int
+  | Flush_asid of int
+  | Flush_all
+  | Inval_d of int * int       (* data offset, len *)
+  | Clean_d of int * int
+  | Inval_i
+
+let data_base = Address_map.kernel_data_base + 0x40000
+let code_base = Address_map.kernel_code_base + 0x8000
+
+(* A small pool of footprints, referenced by index so the same value
+   recurs (that is what arms and then exercises the warm memo).
+   Data ranges overlap across footprints to force eviction interplay. *)
+let pool =
+  [| { Exec.label = "f0"; code = { Exec.base = code_base; len = 256 };
+       reads = []; writes = []; base_cycles = 10 };
+     { Exec.label = "f1"; code = { Exec.base = code_base + 0x400; len = 128 };
+       reads = [ { Exec.base = data_base; len = 256 } ];
+       writes = []; base_cycles = 0 };
+     { Exec.label = "f2"; code = { Exec.base = code_base + 0x800; len = 512 };
+       reads = [ { Exec.base = data_base + 128; len = 512 } ];
+       writes = [ { Exec.base = data_base + 0x1000; len = 128 } ];
+       base_cycles = 25 };
+     { Exec.label = "f3"; code = { Exec.base = code_base; len = 64 };
+       reads = [ { Exec.base = data_base + 0x2000; len = 64 };
+                 { Exec.base = data_base; len = 96 } ];
+       writes = [ { Exec.base = data_base + 0x2000; len = 64 } ];
+       base_cycles = 5 };
+     { Exec.label = "f4"; code = { Exec.base = code_base + 0x7000; len = 4096 };
+       reads = [ { Exec.base = data_base + 0x8000; len = 8192 } ];
+       writes = [ { Exec.base = data_base + 0x10000; len = 4096 } ];
+       base_cycles = 100 };
+     { Exec.label = "f5"; code = { Exec.base = code_base + 0x400; len = 128 };
+       reads = [ { Exec.base = data_base; len = 256 } ];
+       writes = [ { Exec.base = data_base + 64; len = 32 } ];
+       base_cycles = 0 } |]
+
+let gen_op =
+  QCheck.Gen.(frequency
+    [ 8, map (fun i -> Run i) (int_bound (Array.length pool - 1));
+      2, map3 (fun k off len -> Touch (k, off * 4, 4 + (len * 4)))
+           (int_bound 2) (int_bound 0x1000) (int_bound 127);
+      1, map (fun a -> Set_asid a) (int_bound 3);
+      1, map (fun a -> Flush_asid a) (int_bound 3);
+      1, return Flush_all;
+      1, map2 (fun off len -> Inval_d (off * 4, 4 + (len * 4)))
+           (int_bound 0x1000) (int_bound 255);
+      1, map2 (fun off len -> Clean_d (off * 4, 4 + (len * 4)))
+           (int_bound 0x1000) (int_bound 255);
+      1, return Inval_i ])
+
+let show_op = function
+  | Run i -> Printf.sprintf "Run %d" i
+  | Touch (k, o, l) -> Printf.sprintf "Touch (%d, 0x%x, %d)" k o l
+  | Set_asid a -> Printf.sprintf "Set_asid %d" a
+  | Flush_asid a -> Printf.sprintf "Flush_asid %d" a
+  | Flush_all -> "Flush_all"
+  | Inval_d (o, l) -> Printf.sprintf "Inval_d (0x%x, %d)" o l
+  | Clean_d (o, l) -> Printf.sprintf "Clean_d (0x%x, %d)" o l
+  | Inval_i -> "Inval_i"
+
+let arb_ops =
+  QCheck.make
+    ~print:(fun ops -> String.concat "; " (List.map show_op ops))
+    QCheck.Gen.(list_size (int_range 10 120) gen_op)
+
+(* --- the two worlds --- *)
+
+let make_board ~fast =
+  let z = Zynq.create () in
+  ignore (Kmem.create z);
+  Fastpath.set_enabled z.Zynq.fast fast;
+  z
+
+let apply z op =
+  match op with
+  | Run i -> ignore (Exec.run z ~priv:true pool.(i))
+  | Touch (k, off, len) ->
+    let kind, base =
+      match k with
+      | 0 -> Hierarchy.Load, data_base + off
+      | 1 -> Hierarchy.Store, data_base + off
+      | _ -> Hierarchy.Ifetch, code_base + off
+    in
+    Exec.touch z ~priv:true kind { Exec.base; len }
+  | Set_asid a -> Mmu.set_asid z.Zynq.mmu a
+  | Flush_asid a -> ignore (Tlb.flush_asid z.Zynq.tlb a)
+  | Flush_all -> ignore (Tlb.flush_all z.Zynq.tlb)
+  | Inval_d (off, len) ->
+    ignore (Hierarchy.invalidate_dcache_range z.Zynq.hier (data_base + off) len)
+  | Clean_d (off, len) ->
+    ignore (Hierarchy.clean_dcache_range z.Zynq.hier (data_base + off) len)
+  | Inval_i -> ignore (Hierarchy.invalidate_icache_all z.Zynq.hier)
+
+let fingerprint z =
+  let h = z.Zynq.hier in
+  [ Clock.now z.Zynq.clock;
+    Cache.hits (Hierarchy.l1i h); Cache.misses (Hierarchy.l1i h);
+    Cache.hits (Hierarchy.l1d h); Cache.misses (Hierarchy.l1d h);
+    Cache.hits (Hierarchy.l2 h); Cache.misses (Hierarchy.l2 h);
+    Tlb.hits z.Zynq.tlb; Tlb.misses z.Zynq.tlb ]
+
+let prop_equivalent ops =
+  let zf = make_board ~fast:true in
+  let zr = make_board ~fast:false in
+  List.iteri
+    (fun i op ->
+       apply zf op;
+       apply zr op;
+       let f = fingerprint zf and r = fingerprint zr in
+       if f <> r then
+         QCheck.Test.fail_reportf
+           "diverged after op %d (%s):@ fast %s@ ref  %s" i (show_op op)
+           (String.concat "," (List.map string_of_int f))
+           (String.concat "," (List.map string_of_int r)))
+    ops;
+  true
+
+let test_equivalence =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"fastpath == reference (random ops)"
+       arb_ops prop_equivalent)
+
+(* Determinized sanity check that the fast board actually takes the
+   shortcuts (otherwise the property above would pass vacuously). *)
+let test_shortcuts_taken () =
+  let z = make_board ~fast:true in
+  for _ = 1 to 50 do
+    ignore (Exec.run z ~priv:true pool.(2))
+  done;
+  let mtlb_hits, _, warm_replays, warm_records = Fastpath.stats z.Zynq.fast in
+  check Alcotest.bool "micro-TLB hit" true (mtlb_hits > 0);
+  check Alcotest.bool "memo recorded" true (warm_records > 0);
+  check Alcotest.bool "memo replayed" true (warm_replays > 0)
+
+(* The warm replay must charge exactly the modelled warm cost. *)
+let test_replay_cycles_exact () =
+  let z = make_board ~fast:true in
+  let fp = pool.(2) in
+  ignore (Exec.run z ~priv:true fp);
+  let w1 = Exec.run z ~priv:true fp in
+  let w2 = Exec.run z ~priv:true fp in
+  check Alcotest.int "replayed run costs the warm cost" w1 w2;
+  check Alcotest.int "matches the static estimate"
+    (Exec.estimate_warm_cycles fp) w2
+
+let suite =
+  ( "fastpath",
+    [ test_equivalence;
+      Alcotest.test_case "shortcuts actually taken" `Quick
+        test_shortcuts_taken;
+      Alcotest.test_case "replay cycles exact" `Quick
+        test_replay_cycles_exact ] )
