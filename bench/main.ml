@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- table3 fig9  # a subset
 
    Sections: table3 fig9 report reconfig axi vfp trapvshyper asid
-   quantum micro.
+   quantum chaos micro.
 
    Flags:
      --domains N   cap the sweep parallelism (default: MININOVA_DOMAINS
@@ -140,6 +140,27 @@ let run_quantum () =
     (fun (q, o) ->
        Format.fprintf fmt "  quantum %6.1f ms: %a@." q Scenario.pp_overheads o)
     (Ablations.quantum_sweep ~config:small_config ?domains:!domains_opt ())
+
+(* E5: resilience under PL fault injection. *)
+
+let chaos_cache : Chaos.report list option ref = ref None
+
+let chaos_config =
+  { Chaos.default_config with
+    Chaos.base =
+      { Scenario.default_config with Scenario.requests_per_guest = 20 } }
+
+let run_chaos () =
+  Format.fprintf fmt
+    "E5: chaos sweep — job completion vs PL fault rate (seed %d)@."
+    chaos_config.Chaos.fault_seed;
+  let reports =
+    Chaos.sweep ~config:chaos_config ?domains:!domains_opt ()
+  in
+  chaos_cache := Some reports;
+  List.iter
+    (fun r -> Format.fprintf fmt "  %a@." Chaos.pp_report r)
+    reports
 
 (* --- Bechamel microbenchmarks --- *)
 
@@ -300,6 +321,30 @@ let write_json path ~total_wall =
                (json_float o.Scenario.sim_ms)))
        rows);
   add "\n  ],\n";
+  add "  \"chaos\": [";
+  (match !chaos_cache with
+   | None -> ()
+   | Some rows ->
+     List.iteri
+       (fun i (r : Chaos.report) ->
+          if i > 0 then add ",";
+          add
+            (Printf.sprintf
+               "\n    {\"fault_rate\": %s, \"guests\": %d, \
+                \"injected\": %d, \"recoveries\": %d, \"retries\": %d, \
+                \"hang_resets\": %d, \"quarantines\": %d, \
+                \"fault_kills\": %d, \"jobs_ok\": %d, \
+                \"jobs_attempted\": %d, \"completion_rate\": %s, \
+                \"crashes\": %d, \"mgr_total_us\": %s, \"sim_ms\": %s}"
+               (json_float r.Chaos.fault_rate) r.Chaos.guests
+               r.Chaos.injected r.Chaos.recoveries r.Chaos.reconfig_retries
+               r.Chaos.hang_resets r.Chaos.quarantines r.Chaos.fault_kills
+               r.Chaos.jobs_ok r.Chaos.jobs_attempted
+               (json_float r.Chaos.completion_rate) r.Chaos.crashes
+               (json_float r.Chaos.mgr_total_us)
+               (json_float r.Chaos.sim_ms)))
+       rows);
+  add "\n  ],\n";
   add "  \"micro_ns_per_op\": {";
   List.iteri
     (fun i (name, ns) ->
@@ -316,7 +361,7 @@ let write_json path ~total_wall =
 
 let all_sections =
   [ "table3"; "fig9"; "report"; "reconfig"; "axi"; "vfp";
-    "trapvshyper"; "asid"; "quantum"; "micro" ]
+    "trapvshyper"; "asid"; "quantum"; "chaos"; "micro" ]
 
 let () =
   let rec parse acc = function
@@ -357,6 +402,7 @@ let () =
          section "trapvshyper" "A3: trap vs hypercall" run_trap
        | "asid" -> section "asid" "A4: ASID vs TLB flush" run_asid
        | "quantum" -> section "quantum" "A5: quantum sweep" run_quantum
+       | "chaos" -> section "chaos" "E5: chaos (fault injection)" run_chaos
        | "micro" -> section "micro" "microbenchmarks" run_micro
        | other -> Format.fprintf fmt "unknown section: %s@." other)
     requested;

@@ -4,7 +4,8 @@
      mininova fig9      reproduce Figure 9 (degradation ratios)
      mininova report    complexity report (paper §V.B)
      mininova reconfig  PCAP latency vs bitstream size
-     mininova scenario  one evaluation configuration, verbose *)
+     mininova scenario  one evaluation configuration, verbose
+     mininova chaos     fault injection + graceful degradation *)
 
 open Cmdliner
 
@@ -128,6 +129,72 @@ let scenario_cmd =
        ~doc:"Run one evaluation configuration and print its overheads.")
     Term.(const run $ verbose $ cfg_term $ guests $ native)
 
+let chaos_cmd =
+  let run verbose cfg guests fault_rate fault_seed assert_recovery =
+    setup_logs verbose;
+    let r =
+      Chaos.run
+        ~config:{ Chaos.base = cfg; fault_rate; fault_seed }
+        ~guests ()
+    in
+    Format.fprintf fmt "%a@." Chaos.pp_report r;
+    List.iter
+      (fun (k, n) -> if n > 0 then Format.fprintf fmt "  %-14s %d@." k n)
+      r.Chaos.injected_by;
+    if assert_recovery then begin
+      if r.Chaos.crashes > 0 then begin
+        Format.fprintf fmt "FAIL: %d kernel-level guest crashes@."
+          r.Chaos.crashes;
+        exit 1
+      end;
+      if
+        fault_rate > 0.0 && r.Chaos.injected > 0
+        && r.Chaos.recoveries + r.Chaos.reconfig_retries = 0
+      then begin
+        Format.fprintf fmt
+          "FAIL: faults injected but nothing recovered@.";
+        exit 1
+      end;
+      if fault_rate > 0.0 && r.Chaos.injected = 0 then begin
+        Format.fprintf fmt "FAIL: fault plane armed but never injected@.";
+        exit 1
+      end;
+      Format.fprintf fmt "chaos assertions passed@."
+    end
+  in
+  let fault_rate =
+    Arg.(
+      value
+      & opt float Chaos.default_config.Chaos.fault_rate
+      & info [ "fault-rate" ] ~docv:"P"
+          ~doc:
+            "Per-opportunity PL fault probability (0.0 disables the \
+             plane).")
+  in
+  let fault_seed =
+    Arg.(
+      value
+      & opt int Chaos.default_config.Chaos.fault_seed
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"Fault-plane RNG seed (fixed seed = same fault schedule).")
+  in
+  let assert_recovery =
+    Arg.(
+      value & flag
+      & info [ "assert-recovery" ]
+          ~doc:
+            "Exit non-zero unless faults were injected, something \
+             recovered, and no guest crashed (CI smoke mode).")
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the evaluation workload under seeded PL fault injection \
+          and report the graceful-degradation statistics.")
+    Term.(
+      const run $ verbose $ cfg_term $ guests $ fault_rate $ fault_seed
+      $ assert_recovery)
+
 let trace_cmd =
   let run verbose last =
     setup_logs verbose;
@@ -189,4 +256,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ table3_cmd; fig9_cmd; report_cmd; reconfig_cmd; scenario_cmd;
-            trace_cmd ]))
+            chaos_cmd; trace_cmd ]))

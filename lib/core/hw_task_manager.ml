@@ -24,18 +24,67 @@ type prr_row = {
   prr_id : int;
   mutable row_client : client option;
   mutable row_task : Bitstream.id option;
+  (* Graceful-degradation bookkeeping. *)
+  mutable row_faults : int;         (* faults on the current allocation *)
+  mutable consec_failures : int;    (* consecutive faults on this region *)
+  mutable quarantined_until : Cycles.t option;
+  mutable retry_count : int;        (* reconfig relaunches this allocation *)
+  mutable next_retry_at : Cycles.t; (* backoff deadline for the next one *)
+  mutable viol_seen : int;          (* hwMMU violation baseline snapshot *)
 }
+
+type policy = {
+  mutable exec_timeout : Cycles.t;
+  mutable reconfig_retry_limit : int;
+  mutable retry_backoff : Cycles.t;
+  mutable quarantine_threshold : int;
+  mutable quarantine_penalty : Cycles.t;
+  mutable kill_violation_threshold : int;
+}
+
+let default_policy () = {
+  exec_timeout = Cycles.of_ms 5.0;
+  reconfig_retry_limit = 3;
+  retry_backoff = Cycles.of_ms 1.0;
+  quarantine_threshold = 3;
+  quarantine_penalty = Cycles.of_ms 50.0;
+  kill_violation_threshold = 8;
+}
+
+type action =
+  | Act_retry of { prr : int; task : Bitstream.id }
+  | Act_recovered of { prr : int; task : Bitstream.id }
+  | Act_gave_up of { prr : int; task : Bitstream.id }
+  | Act_reset_hung of { prr : int }
+  | Act_quarantine of { prr : int }
+  | Act_unquarantine of { prr : int }
+  | Act_kill of { client : int; violations : int }
+
+let action_name = function
+  | Act_retry _ -> "retry-reconfig"
+  | Act_recovered _ -> "reconfig-recovered"
+  | Act_gave_up _ -> "gave-up-reclaimed"
+  | Act_reset_hung _ -> "reset-hung"
+  | Act_quarantine _ -> "quarantine"
+  | Act_unquarantine _ -> "unquarantine"
+  | Act_kill _ -> "kill-client"
 
 type t = {
   zynq : Zynq.t;
   tasks : (Bitstream.id, task_entry) Hashtbl.t;
   rows : prr_row array;
+  policy : policy;
+  client_viols : (int, int) Hashtbl.t;
   mutable next_task_id : int;
   mutable store_next : Addr.t;
   mutable pcap_client : int option;
   mutable requests : int;
   mutable reclaims : int;
   mutable reconfigs : int;
+  mutable recoveries : int;
+  mutable quarantines : int;
+  mutable hang_resets : int;
+  mutable retries : int;
 }
 
 let reserved_bytes = 64
@@ -47,11 +96,18 @@ let create zynq =
   { zynq;
     tasks = Hashtbl.create 16;
     rows = Array.init n (fun prr_id ->
-        { prr_id; row_client = None; row_task = None });
+        { prr_id; row_client = None; row_task = None;
+          row_faults = 0; consec_failures = 0; quarantined_until = None;
+          retry_count = 0; next_retry_at = 0; viol_seen = 0 });
+    policy = default_policy ();
+    client_viols = Hashtbl.create 8;
     next_task_id = 1;
     store_next = Address_map.bitstream_store_base;
     pcap_client = None;
-    requests = 0; reclaims = 0; reconfigs = 0 }
+    requests = 0; reclaims = 0; reconfigs = 0;
+    recoveries = 0; quarantines = 0; hang_resets = 0; retries = 0 }
+
+let policy t = t.policy
 
 let register_task t kind =
   Task_kind.validate kind;
@@ -136,18 +192,25 @@ let reclaim t row prr (prev : client) =
   row.row_task <- None;
   t.reclaims <- t.reclaims + 1
 
+let quarantined t row =
+  match row.quarantined_until with
+  | Some d -> Clock.now t.zynq.Zynq.clock < d
+  | None -> false
+
 (* PRR selection (Fig 7 stage 2): among the task's suitable PRRs that
-   are idle, prefer one already holding the task, then an empty one,
-   then one to reconfigure. *)
+   are idle and not quarantined, prefer one already holding the task,
+   then an empty one, then one to reconfigure. *)
 let select_prr t entry =
   let candidates =
     List.filter_map
       (fun prr_id ->
          let row = t.rows.(prr_id) in
          let prr = Prr_controller.prr t.zynq.Zynq.prrc prr_id in
-         match prr.Prr.state with
-         | Prr.Busy | Prr.Reconfiguring -> None
-         | Prr.Empty | Prr.Ready -> Some (row, prr))
+         if quarantined t row then None
+         else
+           match prr.Prr.state with
+           | Prr.Busy | Prr.Reconfiguring -> None
+           | Prr.Empty | Prr.Ready -> Some (row, prr))
       entry.prr_list
   in
   let loaded_with id (_, prr) =
@@ -213,10 +276,13 @@ let request t (cl : client) ~task ~want_irq =
               reclaim t row prr prev
             | Some prev -> reclaim t row prr prev (* same client, other task *)
             | None -> ());
-           (* Stage 3: map the interface page for the caller. *)
-           (match cl.map_iface prr with
-            | Ok () -> ()
-            | Error e -> failwith ("Hw_task_manager: map_iface: " ^ e));
+           (* Stage 3: map the interface page for the caller. A bad
+              interface address is the guest's fault: fail the request
+              (recoverably — never the whole kernel). The row is still
+              unclaimed at this point, so nothing needs rolling back. *)
+           match cl.map_iface prr with
+           | Error _ -> { status = Hyper.Hw_fault; prr = None; irq = None }
+           | Ok () ->
            (* Stage 4: program the hwMMU with the data-section window. *)
            let wbase, wlen = cl.data_window in
            Hw_mmu.load_window prr.Prr.hw_mmu ~base:wbase ~size:wlen;
@@ -239,21 +305,36 @@ let request t (cl : client) ~task ~want_irq =
            in
            row.row_client <- Some cl;
            row.row_task <- Some task;
+           row.row_faults <- 0;
+           row.retry_count <- 0;
+           row.next_retry_at <- 0;
+           row.viol_seen <- Hw_mmu.violations prr.Prr.hw_mmu;
            (* Stage 5: launch — and do not wait for — reconfiguration. *)
-           let status =
-             if needs_reconfig then begin
-               Clock.advance t.zynq.Zynq.clock Costs.mgr_reconfig_launch;
-               charge_gp_write t;
-               match Pcap.launch t.zynq.Zynq.pcap entry.bit prr with
-               | `Started _ ->
-                 t.reconfigs <- t.reconfigs + 1;
-                 t.pcap_client <- Some cl.client_id;
-                 Hyper.Hw_reconfig
-               | `Busy -> Hyper.Hw_busy (* raced; caller retries *)
-             end
-             else Hyper.Hw_success
-           in
-           { status; prr = Some row.prr_id; irq }
+           if needs_reconfig then begin
+             Clock.advance t.zynq.Zynq.clock Costs.mgr_reconfig_launch;
+             charge_gp_write t;
+             match Pcap.launch t.zynq.Zynq.pcap entry.bit prr with
+             | `Started _ ->
+               t.reconfigs <- t.reconfigs + 1;
+               t.pcap_client <- Some cl.client_id;
+               { status = Hyper.Hw_reconfig; prr = Some row.prr_id; irq }
+             | `Busy ->
+               (* Raced: another launch slipped in (e.g. from a handler
+                  run inside map_iface). Roll the whole allocation back
+                  so the retrying caller does not find a half-claimed
+                  row whose PRR was never reconfigured. *)
+               row.row_client <- None;
+               row.row_task <- None;
+               (match irq with
+                | Some _ ->
+                  Prr_controller.release_irq t.zynq.Zynq.prrc
+                    ~prr_id:row.prr_id
+                | None -> ());
+               Hw_mmu.clear_window prr.Prr.hw_mmu;
+               cl.unmap_iface prr;
+               { status = Hyper.Hw_busy; prr = None; irq = None }
+           end
+           else { status = Hyper.Hw_success; prr = Some row.prr_id; irq }
          end)
 
 let find_row t ~client_id ~task =
@@ -297,10 +378,138 @@ let poll t ~client_id ~task =
     in
     (ready, true)
 
+let faults t ~client_id ~task =
+  match find_row t ~client_id ~task with
+  | None -> 0
+  | Some row -> row.row_faults
+
 let prr_client t prr_id =
   Option.map (fun c -> c.client_id) t.rows.(prr_id).row_client
+
+(* Fence off a repeatedly-failing region: reclaim it from its client
+   (inconsistent flag set, so the client's next poll reports the loss)
+   and refuse to allocate it until the penalty expires. *)
+let quarantine_row t row prr now =
+  (match row.row_client with
+   | Some prev -> reclaim t row prr prev
+   | None -> ());
+  row.quarantined_until <- Some (now + t.policy.quarantine_penalty);
+  row.consec_failures <- 0;
+  row.retry_count <- 0;
+  t.quarantines <- t.quarantines + 1;
+  Act_quarantine { prr = row.prr_id }
+
+(* Periodic health scan (driven by the kernel's 1 ms tick). Pure reads
+   when everything is healthy — fault-free runs pay nothing; recovery
+   actions are charged when (and only when) they fire. *)
+let health_scan t =
+  let now = Clock.now t.zynq.Zynq.clock in
+  let actions = ref [] in
+  let push a = actions := a :: !actions in
+  Array.iter
+    (fun row ->
+       let prr = Prr_controller.prr t.zynq.Zynq.prrc row.prr_id in
+       (* Quarantine expiry: put the region back in rotation. *)
+       (match row.quarantined_until with
+        | Some d when now >= d ->
+          row.quarantined_until <- None;
+          row.consec_failures <- 0;
+          t.recoveries <- t.recoveries + 1;
+          push (Act_unquarantine { prr = row.prr_id })
+        | _ -> ());
+       (* Hung IP core: stuck busy past the execution timeout. *)
+       if prr.Prr.state = Prr.Busy
+          && now - prr.Prr.busy_since > t.policy.exec_timeout then begin
+         ignore
+           (Prr_controller.force_reset t.zynq.Zynq.prrc ~prr_id:row.prr_id);
+         charge_gp_write t;
+         row.row_faults <- row.row_faults + 1;
+         row.consec_failures <- row.consec_failures + 1;
+         t.hang_resets <- t.hang_resets + 1;
+         t.recoveries <- t.recoveries + 1;
+         push (Act_reset_hung { prr = row.prr_id });
+         if row.consec_failures >= t.policy.quarantine_threshold then
+           push (quarantine_row t row prr now)
+       end;
+       (* Failed reconfiguration: the row is allocated but the region
+          came back Empty (corrupt/aborted download). Relaunch with
+          backoff up to the retry limit, then give the region up. *)
+       (match row.row_client, row.row_task with
+        | Some prev, Some task when prr.Prr.state = Prr.Empty ->
+          if row.retry_count < t.policy.reconfig_retry_limit then begin
+            if now >= row.next_retry_at
+               && not (Pcap.busy t.zynq.Zynq.pcap) then
+              match Hashtbl.find_opt t.tasks task with
+              | None -> ()
+              | Some entry ->
+                Clock.advance t.zynq.Zynq.clock Costs.mgr_reconfig_launch;
+                charge_gp_write t;
+                (match Pcap.launch t.zynq.Zynq.pcap entry.bit prr with
+                 | `Started _ ->
+                   row.retry_count <- row.retry_count + 1;
+                   row.row_faults <- row.row_faults + 1;
+                   row.next_retry_at <-
+                     now + (t.policy.retry_backoff * (1 lsl row.retry_count));
+                   t.retries <- t.retries + 1;
+                   t.reconfigs <- t.reconfigs + 1;
+                   t.pcap_client <- Some prev.client_id;
+                   push (Act_retry { prr = row.prr_id; task })
+                 | `Busy -> ())
+          end
+          else begin
+            row.consec_failures <- row.consec_failures + 1;
+            reclaim t row prr prev;
+            row.retry_count <- 0;
+            t.recoveries <- t.recoveries + 1;
+            push (Act_gave_up { prr = row.prr_id; task });
+            if row.consec_failures >= t.policy.quarantine_threshold then
+              push (quarantine_row t row prr now)
+          end
+        | _ -> ());
+       (* A relaunch that made it: region Ready again with the task. *)
+       (match row.row_task with
+        | Some task
+          when row.retry_count > 0 && prr.Prr.state = Prr.Ready
+               && (match prr.Prr.loaded with
+                   | Some b -> b.Bitstream.id = task
+                   | None -> false) ->
+          row.retry_count <- 0;
+          row.consec_failures <- 0;
+          t.recoveries <- t.recoveries + 1;
+          push (Act_recovered { prr = row.prr_id; task })
+        | _ -> ());
+       (* Attribute real hwMMU violations to the row's client; ask the
+          kernel to kill clients that keep violating their window. *)
+       (match row.row_client with
+        | Some cl ->
+          let v = Hw_mmu.violations prr.Prr.hw_mmu in
+          if v > row.viol_seen then begin
+            let fresh = v - row.viol_seen in
+            row.viol_seen <- v;
+            let cur =
+              fresh
+              + (try Hashtbl.find t.client_viols cl.client_id
+                 with Not_found -> 0)
+            in
+            Hashtbl.replace t.client_viols cl.client_id cur;
+            if cur >= t.policy.kill_violation_threshold then begin
+              Hashtbl.replace t.client_viols cl.client_id 0;
+              push (Act_kill { client = cl.client_id; violations = cur })
+            end
+          end
+        | None -> ())
+    )
+    t.rows;
+  List.rev !actions
+
+let client_violations t ~client_id =
+  try Hashtbl.find t.client_viols client_id with Not_found -> 0
 
 let requests t = t.requests
 let reclaims t = t.reclaims
 let reconfigs t = t.reconfigs
+let recoveries t = t.recoveries
+let quarantines t = t.quarantines
+let hang_resets t = t.hang_resets
+let retries t = t.retries
 let pcap_client t = t.pcap_client

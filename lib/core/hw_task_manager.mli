@@ -49,6 +49,48 @@ type alloc_result = {
   irq : int option;
 }
 
+(** Graceful-degradation policy (all durations in cycles). Mutable so
+    a deployment can tune the knobs on a live manager. *)
+type policy = {
+  mutable exec_timeout : Cycles.t;
+  (** a PRR busy longer than this is declared hung and force-reset *)
+
+  mutable reconfig_retry_limit : int;
+  (** relaunch attempts per allocation after a failed download *)
+
+  mutable retry_backoff : Cycles.t;
+  (** base relaunch delay; doubled on each subsequent attempt *)
+
+  mutable quarantine_threshold : int;
+  (** consecutive faults on one region before it is quarantined *)
+
+  mutable quarantine_penalty : Cycles.t;
+  (** how long a quarantined region is kept out of rotation *)
+
+  mutable kill_violation_threshold : int;
+  (** accumulated real hwMMU violations before a client-kill request *)
+}
+
+val default_policy : unit -> policy
+
+(** One recovery decision taken by {!health_scan}, in scan order. *)
+type action =
+  | Act_retry of { prr : int; task : Bitstream.id }
+    (** failed download relaunched *)
+  | Act_recovered of { prr : int; task : Bitstream.id }
+    (** a relaunched download completed; allocation healthy again *)
+  | Act_gave_up of { prr : int; task : Bitstream.id }
+    (** retry limit hit; region reclaimed (client sees inconsistent) *)
+  | Act_reset_hung of { prr : int }
+    (** stuck-busy region force-reset *)
+  | Act_quarantine of { prr : int }
+  | Act_unquarantine of { prr : int }
+  | Act_kill of { client : int; violations : int }
+    (** the kernel should kill this client (hwMMU violation limit) *)
+
+val action_name : action -> string
+(** Short kebab-case label (Ktrace / logs). *)
+
 (** {2 Data-section consistency block}
 
     The first {!reserved_bytes} of every data section hold the state
@@ -62,6 +104,9 @@ val saved_regs_offset : int
 
 val create : Zynq.t -> t
 
+val policy : t -> policy
+(** The live policy record (mutate fields to tune). *)
+
 val register_task : t -> Task_kind.t -> Bitstream.id
 (** Add a task to the hardware task table: allocates space in the
     bitstream store, derives the suitable-PRR list from capacities.
@@ -71,7 +116,11 @@ val task_kind : t -> Bitstream.id -> Task_kind.t option
 val task_ids : t -> Bitstream.id list
 
 val request : t -> client -> task:Bitstream.id -> want_irq:bool -> alloc_result
-(** The Fig 7 allocation routine (fully charged). *)
+(** The Fig 7 allocation routine (fully charged). A failed
+    [map_iface] yields [Hw_fault] (the guest passed a bad interface
+    address — never a kernel crash); losing the PCAP race yields
+    [Hw_busy] with the allocation fully rolled back (row, interface
+    mapping, hwMMU window and IRQ all released). *)
 
 val release : t -> client_id:int -> task:Bitstream.id ->
   (unit, string) result
@@ -83,12 +132,39 @@ val poll : t -> client_id:int -> task:Bitstream.id -> bool * bool
     [task] is configured and ready, and whether the client still holds
     it (false once reclaimed by someone else). *)
 
+val faults : t -> client_id:int -> task:Bitstream.id -> int
+(** Fault/recovery events that hit the client's current allocation of
+    [task] (0 when healthy or not held) — surfaced to guests in
+    [R_status.faults]. *)
+
+val health_scan : t -> action list
+(** Graceful-degradation pass, called by the kernel on its periodic
+    tick: detects hung regions (force-reset), failed reconfigurations
+    (bounded relaunch with backoff, then reclaim), repeatedly-failing
+    regions (quarantine + later reclaim into rotation) and clients
+    accumulating real hwMMU violations (kill request — the manager
+    cannot kill a VM itself). Pure reads when nothing is wrong;
+    recovery work is charged only when actions fire. *)
+
+val client_violations : t -> client_id:int -> int
+(** Real hwMMU violations attributed to a client and not yet consumed
+    by a kill request. *)
+
 val prr_client : t -> int -> int option
 (** Current client of a PRR (evaluation/debug). *)
 
 val requests : t -> int
 val reclaims : t -> int
 val reconfigs : t -> int
+
+val recoveries : t -> int
+(** Recovery actions performed (resets, relaunch round-trips,
+    give-ups, unquarantines). *)
+
+val quarantines : t -> int
+val hang_resets : t -> int
+val retries : t -> int
+(** Reconfiguration relaunches after failed downloads. *)
 
 val pcap_client : t -> int option
 (** Client that launched the in-flight (or last) PCAP transfer — the

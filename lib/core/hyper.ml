@@ -93,7 +93,7 @@ let name = function
   | Vm_send _ -> "vm_send"
   | Vm_recv -> "vm_recv"
 
-type hw_status = Hw_success | Hw_reconfig | Hw_busy | Hw_bad_task
+type hw_status = Hw_success | Hw_reconfig | Hw_busy | Hw_bad_task | Hw_fault
 
 type response =
   | R_unit
@@ -101,7 +101,7 @@ type response =
   | R_bytes of Bytes.t
   | R_hw of { status : hw_status; irq : int option; prr : int option }
   | R_msg of (int * int array) option
-  | R_status of { prr_ready : bool; consistent : bool }
+  | R_status of { prr_ready : bool; consistent : bool; faults : int }
   | R_error of string
 
 type pause_result = { virqs : int list }
@@ -122,6 +122,7 @@ let pp_hw_status ppf = function
   | Hw_reconfig -> Format.pp_print_string ppf "reconfig"
   | Hw_busy -> Format.pp_print_string ppf "busy"
   | Hw_bad_task -> Format.pp_print_string ppf "bad-task"
+  | Hw_fault -> Format.pp_print_string ppf "fault"
 
 let pp_response ppf = function
   | R_unit -> Format.pp_print_string ppf "()"
@@ -136,6 +137,7 @@ let pp_response ppf = function
   | R_msg None -> Format.pp_print_string ppf "msg:none"
   | R_msg (Some (src, p)) ->
     Format.fprintf ppf "msg:from=%d len=%d" src (Array.length p)
-  | R_status { prr_ready; consistent } ->
-    Format.fprintf ppf "status:ready=%b consistent=%b" prr_ready consistent
+  | R_status { prr_ready; consistent; faults } ->
+    Format.fprintf ppf "status:ready=%b consistent=%b faults=%d"
+      prr_ready consistent faults
   | R_error e -> Format.fprintf ppf "error:%s" e

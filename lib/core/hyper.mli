@@ -72,6 +72,9 @@ type hw_status =
   | Hw_reconfig  (** allocated; PCAP download in flight (Fig 7 stage 6) *)
   | Hw_busy      (** no suitable idle PRR / PCAP occupied — retry later *)
   | Hw_bad_task  (** unknown task id *)
+  | Hw_fault     (** manager could not complete the request because of a
+                     fault (e.g. the interface page could not be mapped);
+                     retrying with the same arguments will fail again *)
 
 type response =
   | R_unit
@@ -79,7 +82,10 @@ type response =
   | R_bytes of Bytes.t
   | R_hw of { status : hw_status; irq : int option; prr : int option }
   | R_msg of (int * int array) option      (** sender, payload *)
-  | R_status of { prr_ready : bool; consistent : bool }
+  | R_status of { prr_ready : bool; consistent : bool; faults : int }
+    (** [faults] counts fault/recovery events that hit the client's
+        current allocation (failed downloads, forced resets, retries);
+        0 on a healthy allocation. *)
   | R_error of string
 
 type pause_result = { virqs : int list }

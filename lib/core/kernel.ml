@@ -193,6 +193,58 @@ let inject_charged t pd_id irq =
     Vgic.set_pending pd.Pd.vgic irq;
     unblock t pd
 
+let release_all_tasks t (pd : Pd.t) =
+  List.iter
+    (fun (task, _, _) ->
+       ignore (Hw_task_manager.release t.hwtm ~client_id:pd.Pd.id ~task))
+    pd.Pd.iface_mappings;
+  pd.Pd.iface_mappings <- []
+
+let kill t rt reason =
+  Log.warn (fun m -> m "killing %a: %s" Pd.pp rt.pd reason);
+  emit t (Ktrace.Vm_dead { pd = rt.pd.Pd.id; reason });
+  rt.pd.Pd.state <- Pd.Dead;
+  rt.pd.Pd.vtimer_generation <- rt.pd.Pd.vtimer_generation + 1;
+  rt.pd.Pd.vtimer_interval <- None;
+  Sched.dequeue t.sched rt.pd;
+  release_all_tasks t rt.pd;
+  (* Full reclamation: PRRs/windows above, plus any latched vIRQs. *)
+  ignore (Vgic.clear_pending rt.pd.Pd.vgic);
+  (match t.cur with Some c when c == rt -> t.cur <- None | Some _ | None -> ())
+
+(* Graceful degradation, driven by the kernel tick: drain the PL fault
+   log into the trace, run the manager's health scan, apply its
+   decisions. All of it is pure reads on a healthy fault-free system. *)
+let health_tick t =
+  List.iter
+    (fun (e : Fault_plane.entry) ->
+       emit t
+         (Ktrace.Fault_inject
+            { prr = e.Fault_plane.prr;
+              fault = Fault_plane.fault_name e.Fault_plane.fault }))
+    (Fault_plane.drain t.z.Zynq.faults);
+  List.iter
+    (fun (a : Hw_task_manager.action) ->
+       match a with
+       | Hw_task_manager.Act_kill { client; violations } ->
+         (match Hashtbl.find_opt t.rts client with
+          | Some rt when rt.pd.Pd.state <> Pd.Dead ->
+            Probe.incr t.probe "fault_kill";
+            kill t rt
+              (Printf.sprintf "hwMMU violation limit (%d)" violations)
+          | Some _ | None -> ())
+       | Hw_task_manager.Act_retry { prr; _ }
+       | Hw_task_manager.Act_recovered { prr; _ }
+       | Hw_task_manager.Act_gave_up { prr; _ }
+       | Hw_task_manager.Act_reset_hung { prr }
+       | Hw_task_manager.Act_quarantine { prr }
+       | Hw_task_manager.Act_unquarantine { prr } ->
+         Probe.incr t.probe "fault_recovery";
+         emit t
+           (Ktrace.Fault_recover
+              { prr; action = Hw_task_manager.action_name a }))
+    (Hw_task_manager.health_scan t.hwtm)
+
 (* Physical interrupt routing: the kernel's IRQ exception path. *)
 let rec route_irqs t =
   ignore (Event_queue.run_due t.z.Zynq.queue);
@@ -206,7 +258,10 @@ let rec route_irqs t =
      | Some irq ->
        Gic.eoi t.z.Zynq.gic irq;
        if irq <> Irq_id.private_timer then emit t (Ktrace.Irq_taken irq);
-       if irq = Irq_id.private_timer then Probe.incr t.probe "kernel_tick"
+       if irq = Irq_id.private_timer then begin
+         Probe.incr t.probe "kernel_tick";
+         health_tick t
+       end
        else if irq = Irq_id.devcfg then begin
          match Hw_task_manager.pcap_client t.hwtm with
          | Some cid ->
@@ -284,23 +339,6 @@ let switch_to t rt =
     t.cur <- Some rt;
     rt.slice_start <- Clock.now t.z.Zynq.clock;
     Probe.record t.probe Probe.vm_switch (Clock.now t.z.Zynq.clock - t0)
-
-let release_all_tasks t (pd : Pd.t) =
-  List.iter
-    (fun (task, _, _) ->
-       ignore (Hw_task_manager.release t.hwtm ~client_id:pd.Pd.id ~task))
-    pd.Pd.iface_mappings;
-  pd.Pd.iface_mappings <- []
-
-let kill t rt reason =
-  Log.warn (fun m -> m "killing %a: %s" Pd.pp rt.pd reason);
-  emit t (Ktrace.Vm_dead { pd = rt.pd.Pd.id; reason });
-  rt.pd.Pd.state <- Pd.Dead;
-  rt.pd.Pd.vtimer_generation <- rt.pd.Pd.vtimer_generation + 1;
-  rt.pd.Pd.vtimer_interval <- None;
-  Sched.dequeue t.sched rt.pd;
-  release_all_tasks t rt.pd;
-  (match t.cur with Some c when c == rt -> t.cur <- None | Some _ | None -> ())
 
 let rec arm_vtimer t (pd : Pd.t) interval gen =
   ignore
@@ -509,7 +547,8 @@ let handle_simple t rt req =
     let ready, consistent =
       Hw_task_manager.poll t.hwtm ~client_id:pd.Pd.id ~task
     in
-    Hyper.R_status { prr_ready = ready; consistent }
+    let faults = Hw_task_manager.faults t.hwtm ~client_id:pd.Pd.id ~task in
+    Hyper.R_status { prr_ready = ready; consistent; faults }
   | Hyper.Vm_send { dest; payload } ->
     (match Hashtbl.find_opt t.pd_tbl dest with
      | None -> Hyper.R_error "no such PD"
@@ -586,7 +625,9 @@ let rec execute t rt ex ~until =
     execute t rt (Effect.Deep.continue k v) ~until
   | X_idle k ->
     route_irqs t;
-    if Vgic.has_deliverable rt.pd.Pd.vgic then
+    if rt.pd.Pd.state = Pd.Dead then
+      () (* killed by the health tick inside route_irqs: drop the fiber *)
+    else if Vgic.has_deliverable rt.pd.Pd.vgic then
       execute t rt (Effect.Deep.continue k (drain rt)) ~until
     else begin
       account_quantum rt (Clock.now t.z.Zynq.clock);
@@ -599,6 +640,9 @@ let rec execute t rt ex ~until =
        minimal cost so simulated time always progresses (liveness). *)
     Clock.advance t.z.Zynq.clock 20;
     route_irqs t;
+    if rt.pd.Pd.state = Pd.Dead then
+      () (* killed by the health tick inside route_irqs: drop the fiber *)
+    else
     let now = Clock.now t.z.Zynq.clock in
     let pd = rt.pd in
     let elapsed = now - rt.slice_start in

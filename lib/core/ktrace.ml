@@ -5,6 +5,8 @@ type kind =
   | Virq_inject of { pd : int; irq : int }
   | Hwtm_stage of { pd : int; stage : string }
   | Vm_dead of { pd : int; reason : string }
+  | Fault_inject of { prr : int; fault : string }
+  | Fault_recover of { prr : int; action : string }
   | Mark of string
 
 type event = { at : Cycles.t; kind : kind }
@@ -20,10 +22,16 @@ let create ~capacity =
   if capacity <= 0 then invalid_arg "Ktrace.create: capacity must be positive";
   { ring = Array.make capacity None; next = 0; count = 0; dropped = 0 }
 
+(* Overwrite-oldest semantics: a record on a full ring evicts the
+   oldest event and counts it in [dropped]; the new event is always
+   kept. *)
 let record t at kind =
   let cap = Array.length t.ring in
-  if t.count = cap then t.dropped <- t.dropped + 1
-  else t.count <- t.count + 1;
+  if t.count = cap then
+    (* full: the slot at [next] holds the oldest event — evict it *)
+    t.dropped <- t.dropped + 1
+  else
+    t.count <- t.count + 1;
   t.ring.(t.next) <- Some { at; kind };
   t.next <- (t.next + 1) mod cap
 
@@ -57,6 +65,10 @@ let pp_kind ppf = function
     Format.fprintf ppf "hwtm-%-9s client PD%d" stage pd
   | Vm_dead { pd; reason } ->
     Format.fprintf ppf "vm-dead        PD%d (%s)" pd reason
+  | Fault_inject { prr; fault } ->
+    Format.fprintf ppf "fault-inject   PRR%d %s" prr fault
+  | Fault_recover { prr; action } ->
+    Format.fprintf ppf "fault-recover  PRR%d %s" prr action
   | Mark s -> Format.fprintf ppf "mark           %s" s
 
 let pp_event ppf e =

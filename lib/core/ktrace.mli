@@ -12,6 +12,10 @@ type kind =
   | Virq_inject of { pd : int; irq : int }
   | Hwtm_stage of { pd : int; stage : string }
   | Vm_dead of { pd : int; reason : string }
+  | Fault_inject of { prr : int; fault : string }
+    (** a PL fault-plane injection, drained by the kernel *)
+  | Fault_recover of { prr : int; action : string }
+    (** a graceful-degradation action (retry, reset, quarantine …) *)
   | Mark of string  (** user-defined annotation *)
 
 type event = { at : Cycles.t; kind : kind }
@@ -23,12 +27,18 @@ val create : capacity:int -> t
     @raise Invalid_argument if capacity <= 0. *)
 
 val record : t -> Cycles.t -> kind -> unit
+(** Append an event. The ring has {e overwrite-oldest} semantics: a
+    record on a full ring evicts the oldest retained event — the new
+    event is always kept — and the eviction is counted in
+    {!dropped}. *)
 
 val events : t -> event list
-(** Oldest first (at most [capacity]). *)
+(** Oldest first (at most [capacity]); the most recent [capacity]
+    events recorded. *)
 
 val dropped : t -> int
-(** Events discarded because the ring was full. *)
+(** Number of old events overwritten since creation/{!clear} (total
+    recorded = [List.length (events t) + dropped t]). *)
 
 val clear : t -> unit
 

@@ -50,6 +50,12 @@ let set_pending t irq =
     Queue.push irq t.arrival
   end
 
+let clear_pending t =
+  let n = Queue.length t.arrival in
+  Queue.clear t.arrival;
+  Hashtbl.iter (fun _ s -> s.pending <- false) t.sources;
+  n
+
 let drain t =
   (* Walk the arrival queue once; requeue what stays latched. *)
   let n = Queue.length t.arrival in

@@ -38,6 +38,11 @@ val set_pending : t -> int -> unit
 (** Kernel-side injection. Pending on an unregistered or disabled
     source is latched and delivered once enabled. *)
 
+val clear_pending : t -> int
+(** Discard every pending virtual interrupt (kill-path reclamation:
+    a dead VM must not hold latched vIRQs). Returns how many arrival
+    entries were discarded; registrations and enables are kept. *)
+
 val drain : t -> int list
 (** Pending {e and} enabled sources in arrival order; clears their
     pending state. Disabled pending sources stay latched. *)

@@ -70,6 +70,8 @@ let create clock =
   { clock; heap = Heap.create (); cancelled = Hashtbl.create 16;
     next_seq = 0; live = 0 }
 
+let now q = Clock.now q.clock
+
 let schedule_at q time action =
   let seq = q.next_seq in
   q.next_seq <- seq + 1;

@@ -13,6 +13,10 @@ type id
 val create : Clock.t -> t
 (** A queue bound to a clock; deadlines are absolute times on it. *)
 
+val now : t -> Cycles.t
+(** Current time on the bound clock (convenience for devices that hold
+    the queue but not the clock). *)
+
 val schedule_at : t -> Cycles.t -> (unit -> unit) -> id
 (** [schedule_at q t f] runs [f] when the queue is drained past absolute
     time [t]. A deadline already in the past fires at the next drain. *)

@@ -1,0 +1,199 @@
+type config = {
+  base : Scenario.config;
+  fault_rate : float;
+  fault_seed : int;
+}
+
+let default_config =
+  { base = { Scenario.default_config with requests_per_guest = 40 };
+    fault_rate = 0.1;
+    fault_seed = 7 }
+
+type report = {
+  guests : int;
+  fault_rate : float;
+  injected : int;
+  injected_by : (string * int) list;
+  trace_injects : int;
+  trace_recovers : int;
+  recoveries : int;
+  reconfig_retries : int;
+  hang_resets : int;
+  quarantines : int;
+  fault_kills : int;
+  busy_retries : int;
+  denied : int;
+  jobs_attempted : int;
+  jobs_ok : int;
+  completion_rate : float;
+  crashes : int;
+  mgr_total_us : float;
+  sim_ms : float;
+}
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "rate=%.2f guests=%d inj=%d recov=%d (retry=%d reset=%d quar=%d \
+     kill=%d) jobs=%d/%d (%.0f%%) busy-retry=%d denied=%d crash=%d \
+     mgr=%.2fus sim=%.0fms"
+    r.fault_rate r.guests r.injected r.recoveries r.reconfig_retries
+    r.hang_resets r.quarantines r.fault_kills r.jobs_ok r.jobs_attempted
+    (100.0 *. r.completion_rate) r.busy_retries r.denied r.crashes
+    r.mgr_total_us r.sim_ms
+
+(* Only kinds the whole-job helpers can stream (small FFTs and QAM):
+   the chaos guest runs a verified DMA job on every acquire. *)
+let chaos_task_set =
+  [ Task_kind.Fft 256; Task_kind.Fft 512; Task_kind.Fft 1024;
+    Task_kind.Qam 4; Task_kind.Qam 16; Task_kind.Qam 64 ]
+
+type tally = {
+  mutable busy_retries : int;
+  mutable denied : int;
+  mutable attempted : int;
+  mutable ok : int;
+}
+
+(* Run one verified job; a fault surfaces as [Error _] (false), a
+   mismatch under silent corruption also counts as a failure rather
+   than crashing the guest. *)
+let run_job os rng h kind =
+  match kind with
+  | Task_kind.Qam order ->
+    let bps = Qam.bits_per_symbol (Qam.order_of_int order) in
+    let bits = Array.init (bps * 32) (fun _ -> Rng.int rng 2) in
+    (match Hw_task_api.run_qam_mod os h ~order ~bits with
+     | Ok (i, q) -> Qam.demodulate (Qam.order_of_int order) ~i ~q = bits
+     | Error _ -> false)
+  | Task_kind.Fft points ->
+    let re = Array.init points (fun i -> sin (0.1 *. float_of_int i)) in
+    let im = Array.make points 0.0 in
+    (match Hw_task_api.run_fft os h ~inverse:false ~re ~im with
+     | Ok (hr, hi) ->
+       let sr = Array.copy re and si = Array.copy im in
+       Fft.transform sr si;
+       Float.max (Fft.max_error hr sr) (Fft.max_error hi si)
+       <= 0.05 *. float_of_int points
+     | Error _ -> false)
+  | Task_kind.Fir _ -> false
+
+(* The resilient T_hw: acquire with exponential backoff, run a job,
+   release. Failed acquires are counted, never fatal; the loop gives
+   up after a bounded number of attempts so quarantined regions at
+   high fault rates cannot wedge the guest. *)
+let chaos_guest os rng ~cfg ~tasks ~tally () =
+  let task_arr = Array.of_list tasks in
+  let goal = cfg.base.Scenario.requests_per_guest in
+  let acquired = ref 0 in
+  let tries = ref 0 in
+  while !acquired < goal && !tries < goal * 8 do
+    incr tries;
+    Ucos.delay os (2 + Rng.int rng 5);
+    let task_id, kind = Rng.pick rng task_arr in
+    match
+      Hw_task_api.acquire os ~task:task_id ~want_irq:true ~backoff:true ()
+    with
+    | Error _ -> tally.denied <- tally.denied + 1
+    | Ok h ->
+      incr acquired;
+      tally.busy_retries <- tally.busy_retries + h.Hw_task_api.retries;
+      tally.attempted <- tally.attempted + 1;
+      if run_job os rng h kind then tally.ok <- tally.ok + 1;
+      Hw_task_api.release os h
+  done;
+  Ucos.stop os
+
+let run ?(config = default_config) ~guests () =
+  if guests < 1 then invalid_arg "Chaos.run: need at least one guest";
+  let z =
+    Zynq.create ~fault_seed:config.fault_seed ~fault_rate:config.fault_rate
+      ()
+  in
+  let kcfg =
+    { Kernel.quantum = Cycles.of_ms config.base.Scenario.quantum_ms;
+      vfp_policy = config.base.Scenario.vfp_policy;
+      tlb_policy = config.base.Scenario.tlb_policy;
+      kernel_tick = Some (Cycles.of_ms 1.0) }
+  in
+  let kern = Kernel.boot ~config:kcfg z in
+  let trace = Ktrace.create ~capacity:65536 in
+  Kernel.set_trace kern (Some trace);
+  let tasks =
+    List.map
+      (fun kind -> (Kernel.register_hw_task kern kind, kind))
+      chaos_task_set
+  in
+  let tally = { busy_retries = 0; denied = 0; attempted = 0; ok = 0 } in
+  for g = 0 to guests - 1 do
+    let rng =
+      Rng.create ~seed:(config.base.Scenario.seed + (97 * g))
+    in
+    ignore
+      (Kernel.create_vm kern
+         ~name:(Printf.sprintf "chaos%d" g)
+         (fun genv ->
+            let port = Port.paravirt genv in
+            let os = Ucos.create port in
+            ignore
+              (Ucos.spawn os ~name:"t_hw" ~prio:8
+                 (chaos_guest os (Rng.split rng) ~cfg:config ~tasks ~tally));
+            Ucos.run os))
+  done;
+  Kernel.run kern ~until:(Cycles.of_ms (120_000.0 *. float_of_int guests));
+  let probe = Kernel.probe kern in
+  let hwtm = Kernel.hwtm kern in
+  let mean label =
+    let s = Probe.stats probe label in
+    if Stats.count s = 0 then 0.0
+    else Cycles.to_us (int_of_float (Stats.mean s))
+  in
+  let ti, tr =
+    List.fold_left
+      (fun (i, r) (e : Ktrace.event) ->
+         match e.Ktrace.kind with
+         | Ktrace.Fault_inject _ -> (i + 1, r)
+         | Ktrace.Fault_recover _ -> (i, r + 1)
+         | _ -> (i, r))
+      (0, 0) (Ktrace.events trace)
+  in
+  { guests;
+    fault_rate = config.fault_rate;
+    injected = Fault_plane.total_injected z.Zynq.faults;
+    injected_by =
+      List.map
+        (fun f ->
+           (Fault_plane.fault_name f, Fault_plane.injected z.Zynq.faults f))
+        Fault_plane.all_faults;
+    trace_injects = ti;
+    trace_recovers = tr;
+    recoveries = Hw_task_manager.recoveries hwtm;
+    reconfig_retries = Hw_task_manager.retries hwtm;
+    hang_resets = Hw_task_manager.hang_resets hwtm;
+    quarantines = Hw_task_manager.quarantines hwtm;
+    fault_kills = Probe.count probe "fault_kill";
+    busy_retries = tally.busy_retries;
+    denied = tally.denied;
+    jobs_attempted = tally.attempted;
+    jobs_ok = tally.ok;
+    completion_rate =
+      (if tally.attempted = 0 then 1.0
+       else float_of_int tally.ok /. float_of_int tally.attempted);
+    crashes = Kernel.crashes kern;
+    mgr_total_us =
+      mean Probe.hwtm_entry +. mean Probe.hwtm_exec +. mean Probe.hwtm_exit;
+    sim_ms = Cycles.to_ms (Clock.now z.Zynq.clock) }
+
+let default_rates = [ 0.0; 0.05; 0.2 ]
+
+let sweep ?(config = default_config) ?(max_guests = 4)
+    ?(rates = default_rates) ?domains () =
+  (* Every (rate, guests) cell is an independent world: sweep them on
+     domains, input order preserved. *)
+  Parallel_sweep.run ?domains
+    (List.concat_map
+       (fun rate ->
+          List.init max_guests (fun i ->
+              fun () ->
+                run ~config:{ config with fault_rate = rate }
+                  ~guests:(i + 1) ()))
+       rates)

@@ -1,19 +1,38 @@
 type t = {
   queue : Event_queue.t;
   gic : Gic.t;
+  faults : Fault_plane.t;
   mutable busy : bool;
   mutable last_completed : Bitstream.id option;
   mutable transfers : int;
+  mutable failures : int;
 }
 
-let create queue gic =
-  { queue; gic; busy = false; last_completed = None; transfers = 0 }
+let create ?faults queue gic =
+  let faults =
+    match faults with Some f -> f | None -> Fault_plane.disabled ()
+  in
+  { queue; gic; faults; busy = false; last_completed = None;
+    transfers = 0; failures = 0 }
 
 let throughput_bytes_per_sec = 145_000_000
 
+(* Derived from the one constant above so the two cannot drift
+   (bytes / (bytes-per-µs) = µs); 145e6 / 1e6 is exactly 145.0 in
+   binary floating point, so latencies are bit-identical to the old
+   hard-coded divisor. *)
 let transfer_cycles (b : Bitstream.t) =
-  let us = float_of_int b.Bitstream.size_bytes /. 145.0 in
-  Cycles.of_us us
+  let bytes_per_us = float_of_int throughput_bytes_per_sec /. 1e6 in
+  Cycles.of_us (float_of_int b.Bitstream.size_bytes /. bytes_per_us)
+
+let finish_failed t prr =
+  (* The region holds a partial/corrupt configuration: unusable. *)
+  prr.Prr.state <- Prr.Empty;
+  t.busy <- false;
+  t.failures <- t.failures + 1;
+  (* DevCfg still fires (transfer-done with error status); the manager
+     observes the PRR did not become Ready and retries or gives up. *)
+  Gic.raise_irq t.gic Irq_id.devcfg
 
 let launch t bit prr =
   if t.busy then `Busy
@@ -22,18 +41,36 @@ let launch t bit prr =
     prr.Prr.state <- Prr.Reconfiguring;
     prr.Prr.loaded <- None;
     let d = transfer_cycles bit in
-    ignore
-      (Event_queue.schedule_after t.queue d (fun () ->
-           prr.Prr.loaded <- Some bit;
-           prr.Prr.state <- Prr.Ready;
-           Prr.write_reg prr Prr.Reg.task_id (Int32.of_int bit.Bitstream.id);
-           t.busy <- false;
-           t.last_completed <- Some bit.Bitstream.id;
-           t.transfers <- t.transfers + 1;
-           Gic.raise_irq t.gic Irq_id.devcfg));
+    let fault =
+      Fault_plane.draw t.faults ~at:(Event_queue.now t.queue)
+        ~prr:prr.Prr.id
+        ~candidates:[Fault_plane.Pcap_corrupt; Fault_plane.Pcap_abort]
+    in
+    (match fault with
+     | Some Fault_plane.Pcap_corrupt ->
+       (* CRC failure detected once the whole stream is in. *)
+       ignore
+         (Event_queue.schedule_after t.queue d (fun () ->
+              finish_failed t prr))
+     | Some Fault_plane.Pcap_abort ->
+       (* DMA abort partway through. *)
+       ignore
+         (Event_queue.schedule_after t.queue (max 1 (d / 2)) (fun () ->
+              finish_failed t prr))
+     | Some _ | None ->
+       ignore
+         (Event_queue.schedule_after t.queue d (fun () ->
+              prr.Prr.loaded <- Some bit;
+              prr.Prr.state <- Prr.Ready;
+              Prr.write_reg prr Prr.Reg.task_id (Int32.of_int bit.Bitstream.id);
+              t.busy <- false;
+              t.last_completed <- Some bit.Bitstream.id;
+              t.transfers <- t.transfers + 1;
+              Gic.raise_irq t.gic Irq_id.devcfg)));
     `Started d
   end
 
 let busy t = t.busy
 let last_completed t = t.last_completed
 let transfers t = t.transfers
+let failures t = t.failures

@@ -9,7 +9,11 @@
 
 type t
 
-val create : Event_queue.t -> Gic.t -> t
+val create : ?faults:Fault_plane.t -> Event_queue.t -> Gic.t -> t
+(** [faults] defaults to a disabled plane. An armed plane may corrupt
+    or abort downloads: the transfer still completes (full or half
+    latency), DevCfg still fires, but the PRR is left [Empty] with no
+    task loaded and {!failures} is incremented. *)
 
 val throughput_bytes_per_sec : int
 (** Effective PCAP throughput: 145 MB/s. *)
@@ -31,3 +35,6 @@ val last_completed : t -> Bitstream.id option
 
 val transfers : t -> int
 (** Count of completed transfers (evaluation statistic). *)
+
+val failures : t -> int
+(** Count of injected transfer failures (corrupt/aborted downloads). *)

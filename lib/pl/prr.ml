@@ -21,6 +21,8 @@ type t = {
   mutable state : state;
   mutable loaded : Bitstream.t option;
   mutable irq_index : int option;
+  mutable busy_since : Cycles.t;
+  mutable job_gen : int;
 }
 
 let make ~id ~capacity =
@@ -30,7 +32,9 @@ let make ~id ~capacity =
     regs = Array.make Reg.count 0l;
     state = Empty;
     loaded = None;
-    irq_index = None }
+    irq_index = None;
+    busy_since = 0;
+    job_gen = 0 }
 
 let check_reg i =
   if i < 0 || i >= Reg.count then invalid_arg "Prr: register index out of range"

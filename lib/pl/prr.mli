@@ -15,8 +15,10 @@ type state =
 
 (** Register-group indices (32-bit registers at [regs_base]):
     [ctrl] (bit0 start, bit1 irq enable); [status] (bit0 busy, bit1
-    done, bit2 hwMMU violation, bit3 coherence warning, read-to-clear
-    for bits 1–3); [src_offset]/[dst_offset] (offsets inside the client
+    done, bit2 hwMMU violation, bit3 coherence warning, bit4 device
+    fault — DMA beat error or forced reset of a hung core —
+    read-to-clear for bits 1–4); [src_offset]/[dst_offset] (offsets
+    inside the client
     data section); [len] (item count: complex samples or bits); [param]
     (FFT bit0 = inverse, QAM bit0 = demodulate); [task_id] (loaded
     bitstream id, read-only); [irq] (allocated PL IRQ index + 1, 0 when
@@ -42,6 +44,11 @@ type t = {
   mutable state : state;
   mutable loaded : Bitstream.t option;
   mutable irq_index : int option;       (** PL IRQ source 0–15 *)
+  mutable busy_since : Cycles.t;        (** when the running job started
+                                            (hang detection) *)
+  mutable job_gen : int;                (** job generation; a forced reset
+                                            bumps it so a stale completion
+                                            event is ignored *)
 }
 
 val make : id:int -> capacity:int -> t

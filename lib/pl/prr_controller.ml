@@ -5,21 +5,28 @@ type t = {
   queue : Event_queue.t;
   gic : Gic.t;
   hier : Hierarchy.t;
+  faults : Fault_plane.t;
   prrs : Prr.t array;
   irq_table : int option array;  (* PL source index -> PRR id *)
   mutable port : port;
   mutable jobs_completed : int;
   mutable coherence_warnings : int;
+  mutable jobs_faulted : int;
+  mutable forced_resets : int;
 }
 
-let create mem queue gic hier ~capacities =
+let create ?faults mem queue gic hier ~capacities =
   if capacities = [] then invalid_arg "Prr_controller.create: no PRRs";
+  let faults =
+    match faults with Some f -> f | None -> Fault_plane.disabled ()
+  in
   let prrs =
     Array.of_list (List.mapi (fun id c -> Prr.make ~id ~capacity:c) capacities)
   in
-  { mem; queue; gic; hier; prrs;
+  { mem; queue; gic; hier; faults; prrs;
     irq_table = Array.make Irq_id.pl_count None;
-    port = Hp; jobs_completed = 0; coherence_warnings = 0 }
+    port = Hp; jobs_completed = 0; coherence_warnings = 0;
+    jobs_faulted = 0; forced_resets = 0 }
 
 let prr_count t = Array.length t.prrs
 
@@ -85,9 +92,19 @@ let start_job t prr =
        let dst_ok =
          valid && Hw_mmu.check prr.Prr.hw_mmu ~base:job.Ip_core.dst ~len:out_bytes
        in
-       if not (valid && src_ok && dst_ok) then begin
-         (* Refused by the hwMMU (or malformed): report, raise IRQ so a
-            sleeping client is not stuck waiting forever. *)
+       let fault =
+         if valid && src_ok && dst_ok then
+           Fault_plane.draw t.faults ~at:(Event_queue.now t.queue)
+             ~prr:prr.Prr.id
+             ~candidates:[Fault_plane.Ip_hang; Fault_plane.Dma_error;
+                          Fault_plane.Hwmmu_spurious]
+         else None
+       in
+       if not (valid && src_ok && dst_ok)
+          || fault = Some Fault_plane.Hwmmu_spurious then begin
+         (* Refused by the hwMMU (or malformed, or a spuriously
+            injected refusal): report, raise IRQ so a sleeping client
+            is not stuck waiting forever. *)
          Prr.set_status_bit prr 2 true;
          Prr.set_status_bit prr 1 true;
          signal_completion t prr
@@ -97,25 +114,68 @@ let start_job t prr =
          Prr.set_status_bit prr 1 false;
          Prr.set_status_bit prr 2 false;
          Prr.set_status_bit prr 3 false;
+         Prr.set_status_bit prr 4 false;
          if Hierarchy.dirty_in_range t.hier job.Ip_core.src in_bytes then begin
            t.coherence_warnings <- t.coherence_warnings + 1;
            Prr.set_status_bit prr 3 true
          end;
          prr.Prr.state <- Prr.Busy;
+         prr.Prr.busy_since <- Event_queue.now t.queue;
+         prr.Prr.job_gen <- prr.Prr.job_gen + 1;
          Prr.set_status_bit prr 0 true;
          let latency =
            dma_cycles t (in_bytes + out_bytes) job.Ip_core.src
            + Task_kind.compute_cycles job.Ip_core.kind (Ip_core.items job)
          in
-         ignore
-           (Event_queue.schedule_after t.queue latency (fun () ->
-                Ip_core.run t.mem job;
-                prr.Prr.state <- Prr.Ready;
-                Prr.set_status_bit prr 0 false;
-                Prr.set_status_bit prr 1 true;
-                t.jobs_completed <- t.jobs_completed + 1;
-                signal_completion t prr))
+         let gen = prr.Prr.job_gen in
+         match fault with
+         | Some Fault_plane.Ip_hang ->
+           (* The core wedges: stuck busy, no completion event. Only a
+              forced reset (manager timeout) recovers the region. *)
+           ()
+         | Some Fault_plane.Dma_error ->
+           ignore
+             (Event_queue.schedule_after t.queue latency (fun () ->
+                  if prr.Prr.job_gen = gen && prr.Prr.state = Prr.Busy
+                  then begin
+                    (* AXI beat error: no data written. *)
+                    prr.Prr.state <- Prr.Ready;
+                    Prr.set_status_bit prr 0 false;
+                    Prr.set_status_bit prr 4 true;
+                    t.jobs_faulted <- t.jobs_faulted + 1;
+                    signal_completion t prr
+                  end))
+         | Some _ | None ->
+           ignore
+             (Event_queue.schedule_after t.queue latency (fun () ->
+                  if prr.Prr.job_gen = gen && prr.Prr.state = Prr.Busy
+                  then begin
+                    Ip_core.run t.mem job;
+                    prr.Prr.state <- Prr.Ready;
+                    Prr.set_status_bit prr 0 false;
+                    Prr.set_status_bit prr 1 true;
+                    t.jobs_completed <- t.jobs_completed + 1;
+                    signal_completion t prr
+                  end))
        end)
+
+let force_reset t ~prr_id =
+  let p = prr t prr_id in
+  match p.Prr.state with
+  | Prr.Busy ->
+    (* Abort the in-flight job: any scheduled completion for it is
+       invalidated by the generation bump. The loaded configuration
+       survives a core reset. *)
+    p.Prr.job_gen <- p.Prr.job_gen + 1;
+    p.Prr.state <-
+      (match p.Prr.loaded with Some _ -> Prr.Ready | None -> Prr.Empty);
+    Prr.set_status_bit p 0 false;
+    Prr.set_status_bit p 4 true;
+    Prr.set_status_bit p 1 true;
+    t.forced_resets <- t.forced_resets + 1;
+    signal_completion t p;
+    true
+  | _ -> false
 
 let mmio_read t a =
   match decode_addr t a with
@@ -126,7 +186,8 @@ let mmio_read t a =
       (* Read-to-clear for the event bits; busy reflects live state. *)
       Prr.set_status_bit prr 1 false;
       Prr.set_status_bit prr 2 false;
-      Prr.set_status_bit prr 3 false
+      Prr.set_status_bit prr 3 false;
+      Prr.set_status_bit prr 4 false
     end;
     v
 
@@ -178,3 +239,5 @@ let irq_owner t i =
 
 let jobs_completed t = t.jobs_completed
 let coherence_warnings t = t.coherence_warnings
+let jobs_faulted t = t.jobs_faulted
+let forced_resets t = t.forced_resets

@@ -17,10 +17,15 @@ type port = Hp | Acp
 type t
 
 val create :
+  ?faults:Fault_plane.t ->
   Phys_mem.t -> Event_queue.t -> Gic.t -> Hierarchy.t ->
   capacities:int list -> t
 (** One PRR per capacity entry, ids 0..n-1, register pages at
-    consecutive 4 KB steps from {!Address_map.prr_regs_base}. *)
+    consecutive 4 KB steps from {!Address_map.prr_regs_base}.
+    [faults] (default: disabled) may inject per-job faults: a hung
+    core (stuck busy, no completion), an AXI beat error (STATUS bit 4,
+    no data written) or a spurious hwMMU refusal (STATUS.violation on
+    a legal job — the real hwMMU violation counter is untouched). *)
 
 val prr_count : t -> int
 
@@ -51,6 +56,20 @@ val release_irq : t -> prr_id:int -> unit
 val irq_owner : t -> int -> int option
 (** [irq_owner t i] is the PRR currently attached to PL source [i]. *)
 
+val force_reset : t -> prr_id:int -> bool
+(** Reset a hung region (graceful-degradation path): if the PRR is
+    [Busy], abort the in-flight job (its completion event, if any, is
+    invalidated), return the region to [Ready] (or [Empty] when no
+    task is loaded), set STATUS bits 4 (fault) and 1 (done), raise the
+    PRR's interrupt so a sleeping client wakes, and return [true].
+    Returns [false] if the region was not busy. *)
+
 val jobs_completed : t -> int
 val coherence_warnings : t -> int
 (** Jobs started while CPU caches held dirty lines of the input. *)
+
+val jobs_faulted : t -> int
+(** Jobs that completed with an injected DMA beat error. *)
+
+val forced_resets : t -> int
+(** Hung-core resets performed via {!force_reset}. *)

@@ -11,13 +11,15 @@ type t = {
   sd : Sd_card.t;
   prrc : Prr_controller.t;
   pcap : Pcap.t;
+  faults : Fault_plane.t;
   fast : Fastpath.t;
 }
 
 (* PRR1/2 host FFT (large), PRR3/4 host only QAM (small) — Fig 8. *)
 let default_prr_capacities = [ 1300; 1300; 200; 200 ]
 
-let create ?(prr_capacities = default_prr_capacities) ?lat ?on_uart () =
+let create ?(prr_capacities = default_prr_capacities) ?lat ?on_uart
+    ?fault_seed ?fault_rate () =
   let clock = Clock.create () in
   let queue = Event_queue.create clock in
   let mem = Phys_mem.create () in
@@ -28,13 +30,19 @@ let create ?(prr_capacities = default_prr_capacities) ?lat ?on_uart () =
   let ptimer = Private_timer.create queue gic in
   let uart = Uart.create ?on_byte:on_uart () in
   let sd = Sd_card.create () in
-  let prrc =
-    Prr_controller.create mem queue gic hier ~capacities:prr_capacities
+  let faults =
+    Fault_plane.create
+      ?seed:fault_seed
+      ?rate:fault_rate ()
   in
-  let pcap = Pcap.create queue gic in
+  let prrc =
+    Prr_controller.create ~faults mem queue gic hier
+      ~capacities:prr_capacities
+  in
+  let pcap = Pcap.create ~faults queue gic in
   let fast = Fastpath.create () in
   { clock; queue; mem; hier; tlb; mmu; gic; ptimer; uart; sd; prrc; pcap;
-    fast }
+    faults; fast }
 
 let in_pl_window a =
   a >= Address_map.prr_regs_base

@@ -24,6 +24,8 @@ type t = {
   sd : Sd_card.t;
   prrc : Prr_controller.t;
   pcap : Pcap.t;
+  faults : Fault_plane.t;  (** fault-injection plane shared by PCAP and
+                               the PRR controller; disabled by default *)
   fast : Fastpath.t;  (** per-CPU exact fast-path state used by [Exec] *)
 }
 
@@ -33,7 +35,10 @@ val default_prr_capacities : int list
 
 val create :
   ?prr_capacities:int list -> ?lat:Hierarchy.latencies ->
-  ?on_uart:(char -> unit) -> unit -> t
+  ?on_uart:(char -> unit) ->
+  ?fault_seed:int -> ?fault_rate:float -> unit -> t
+(** [fault_seed]/[fault_rate] arm the board's {!Fault_plane} (default:
+    seed 0, rate 0.0 — disabled, zero-cost). *)
 
 (** {2 Virtual-address CPU accesses}
 

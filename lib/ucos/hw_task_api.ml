@@ -8,6 +8,7 @@ type t = {
   irq : int option;
   prr : int option;
   completion : Ucos.sem option;
+  retries : int;
 }
 
 let data_in_off = Hw_task_manager.reserved_bytes
@@ -31,12 +32,13 @@ let default_iface task =
 
 let acquire os ~task ?iface_vaddr ?data_vaddr
     ?(data_len = Guest_layout.default_data_section_len) ?(want_irq = false)
-    ?(wait_ready = true) () =
+    ?(wait_ready = true) ?(max_tries = 100) ?(backoff = false) () =
   let port = Ucos.port os in
   let iface_vaddr = Option.value iface_vaddr ~default:(default_iface task) in
   let data_vaddr =
     Option.value data_vaddr ~default:Guest_layout.default_data_section
   in
+  let retried = ref 0 in
   let finish status irq prr =
     let iface =
       if port.Port.priv then
@@ -56,7 +58,8 @@ let acquire os ~task ?iface_vaddr ?data_vaddr
         Some s
       | None -> None
     in
-    let h = { task; iface; data = data_vaddr; data_len; irq; prr; completion } in
+    let h = { task; iface; data = data_vaddr; data_len; irq; prr;
+              completion; retries = !retried } in
     if status = Hyper.Hw_reconfig && wait_ready then begin
       (* Await the PCAP download by polling the status hypercall. *)
       let rec waitr n =
@@ -65,6 +68,10 @@ let acquire os ~task ?iface_vaddr ?data_vaddr
           Ucos.delay os 1;
           match port.Port.hw_status ~task with
           | Hyper.R_status { prr_ready = true; _ } -> Ok h
+          | Hyper.R_status { consistent = false; _ } ->
+            (* The manager reclaimed the allocation while we waited
+               (download kept failing, or another client took it). *)
+            Error "allocation lost during reconfiguration"
           | Hyper.R_status _ -> waitr (n - 1)
           | _ -> Error "status query failed"
         end
@@ -79,16 +86,24 @@ let acquire os ~task ?iface_vaddr ?data_vaddr
     with
     | Hyper.R_error e -> Error e
     | Hyper.R_hw { status = Hyper.Hw_bad_task; _ } -> Error "unknown task id"
+    | Hyper.R_hw { status = Hyper.Hw_fault; _ } -> Error "manager fault"
     | Hyper.R_hw { status = Hyper.Hw_busy; _ } ->
       if tries <= 0 then Error "hardware busy"
       else begin
-        Ucos.delay os 1;
+        incr retried;
+        let d =
+          if backoff then
+            (* Exponential backoff, capped: 1, 2, 4, 8, 16, 16 … ticks. *)
+            min 16 (1 lsl min 4 (max_tries - tries))
+          else 1
+        in
+        Ucos.delay os d;
         attempt (tries - 1)
       end
     | Hyper.R_hw { status; irq; prr } -> finish status irq prr
     | _ -> Error "unexpected response"
   in
-  attempt 100
+  attempt max_tries
 
 let release os h =
   let port = Ucos.port os in
@@ -102,10 +117,11 @@ let start os h ~src_off ~dst_off ~len ~param =
   let ctrl = 1 lor (if h.irq <> None then 2 else 0) in
   write_reg os h Prr.Reg.ctrl (Int32.of_int ctrl)
 
-type outcome = [ `Done | `Violation | `Reclaimed ]
+type outcome = [ `Done | `Violation | `Fault | `Reclaimed ]
 
 let classify status =
-  if status land 0b100 <> 0 then Some `Violation
+  if status land 0b10000 <> 0 then Some `Fault
+  else if status land 0b100 <> 0 then Some `Violation
   else if status land 0b10 <> 0 then Some `Done
   else None
 
@@ -184,6 +200,7 @@ let run_job os h ~write_in ~in_bytes ~out_bytes ~len ~param ~read_out =
         port.Port.cache_invalidate ~vaddr:(h.data + dst_off) ~len:out_bytes;
         Ok (read_out dst_off)
       | `Violation -> Error "hwMMU violation or job rejected"
+      | `Fault -> Error "device fault"
       | `Reclaimed -> Error "task reclaimed by another client"
     with Reclaimed -> Error "task reclaimed by another client"
   end

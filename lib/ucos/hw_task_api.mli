@@ -21,6 +21,7 @@ type t = {
   irq : int option;        (** PL interrupt id, when requested *)
   prr : int option;
   completion : Ucos.sem option;  (** posted by the IRQ handler *)
+  retries : int;           (** [Hw_busy] retries spent during acquire *)
 }
 
 val data_in_off : int
@@ -29,15 +30,23 @@ val data_in_off : int
 
 val acquire :
   Ucos.t -> task:int -> ?iface_vaddr:Addr.t -> ?data_vaddr:Addr.t ->
-  ?data_len:int -> ?want_irq:bool -> ?wait_ready:bool -> unit ->
+  ?data_len:int -> ?want_irq:bool -> ?wait_ready:bool ->
+  ?max_tries:int -> ?backoff:bool -> unit ->
   (t, string) result
 (** Request the task from the Hardware Task Manager. [Hw_busy] is
-    retried with 1-tick delays (bounded); [Hw_reconfig] is awaited
-    when [wait_ready] (default true) by polling the status hypercall
-    each tick. With [want_irq], a completion semaphore is wired to the
-    allocated PL interrupt. Defaults: interface page at a per-task
-    page-region address, data section at
-    {!Guest_layout.default_data_section}. *)
+    retried up to [max_tries] (default 100) times; by default each
+    retry sleeps one tick, with [backoff] (default false) the delay
+    doubles per retry (1, 2, 4, 8, then capped at 16 ticks), which
+    eases contention under fault injection. The retry count is
+    reported in the handle's [retries] field. [Hw_fault] (manager
+    could not map the interface, or the PRR is quarantined) is
+    returned as an error. [Hw_reconfig] is awaited when [wait_ready]
+    (default true) by polling the status hypercall each tick; if the
+    manager gives the allocation up meanwhile (persistent download
+    faults) the poll ends with an error instead of timing out. With
+    [want_irq], a completion semaphore is wired to the allocated PL
+    interrupt. Defaults: interface page at a per-task page-region
+    address, data section at {!Guest_layout.default_data_section}. *)
 
 val release : Ucos.t -> t -> unit
 
@@ -52,12 +61,13 @@ val start : Ucos.t -> t -> src_off:int -> dst_off:int -> len:int ->
 (** Program the job registers and set CTRL.start (IRQ enable follows
     whether the handle holds an interrupt). @raise Reclaimed. *)
 
-type outcome = [ `Done | `Violation | `Reclaimed ]
+type outcome = [ `Done | `Violation | `Fault | `Reclaimed ]
 
 val wait_done : Ucos.t -> t -> outcome
 (** Wait for job completion: pend on the completion semaphore (IRQ
     mode) or poll STATUS with 1-tick delays. [`Violation] reports an
-    hwMMU refusal. *)
+    hwMMU refusal; [`Fault] a device fault (STATUS bit 4 — DMA beat
+    error, or a hung IP core reset by the kernel's health scan). *)
 
 val inconsistent : Ucos.t -> t -> bool
 (** Read the consistency flag in the data section (paper §IV-C, first

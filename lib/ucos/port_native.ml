@@ -137,7 +137,8 @@ let create ?prr_capacities ?lat () =
            let ready, consistent =
              Hw_task_manager.poll hwtm ~client_id:0 ~task
            in
-           Hyper.R_status { prr_ready = ready; consistent });
+           let faults = Hw_task_manager.faults hwtm ~client_id:0 ~task in
+           Hyper.R_status { prr_ready = ready; consistent; faults });
       send = (fun ~dest:_ _ -> Hyper.R_error "native: no peers");
       recv = (fun () -> None) }
   in

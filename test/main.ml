@@ -16,5 +16,6 @@ let () =
       Test_models.suite;
       Test_platform.suite;
       Test_hwtm.suite;
+      Test_faults.suite;
       Test_edge.suite;
       Test_fastpath.suite ]

@@ -109,7 +109,7 @@ let test_hwmmu_blocks_escape () =
           ~param:0;
         (match Hw_task_api.wait_done os h with
          | `Violation -> refused := true
-         | `Done | `Reclaimed -> ()));
+         | `Done | `Fault | `Reclaimed -> ()));
   run kern;
   check cb "hwMMU refused the DMA" true !refused;
   let v = ref 0 in
