@@ -9,16 +9,19 @@
    Sections: table3 fig9 report reconfig axi vfp trapvshyper asid
    quantum chaos micro.
 
-   Flags:
-     --domains N   cap the sweep parallelism (default: MININOVA_DOMAINS
-                   or the host's recommended domain count)
-     --json        also write BENCH_sim.json (per-section wall time,
-                   Table III numbers, micro ns/op) *)
+   Flags are the shared Cli_args vocabulary: --domains, --json, --obs,
+   --fault-rate, --fault-seed, --check-baseline (plus --write-baseline
+   and --help, bench-only). *)
 
 let fmt = Format.std_formatter
 
 let domains_opt : int option ref = ref None
 let json_mode = ref false
+let obs_mode = ref false
+let fault_rate_opt : float option ref = ref None
+let fault_seed_opt : int option ref = ref None
+let baseline_check : string option ref = ref None
+let baseline_write : string option ref = ref None
 
 (* (key, wall seconds) per executed section, in execution order. *)
 let section_times : (string * float) list ref = ref []
@@ -26,11 +29,12 @@ let section_times : (string * float) list ref = ref []
 (* The Table III sweep feeds both table3 and fig9; run it once. *)
 let sweep_cache : Scenario.overheads list option ref = ref None
 
-let bench_config =
+let bench_config () =
   { Scenario.default_config with
     Scenario.requests_per_guest = 40;
     warmup_requests = 8;
-    job_fraction = 2 }
+    job_fraction = 2;
+    observe = !obs_mode }
 
 let sweep () =
   match !sweep_cache with
@@ -39,10 +43,12 @@ let sweep () =
     Format.fprintf fmt
       "running the Fig 8 scenario (native + 1..4 guests)...@.";
     let s =
-      Scenario.run_table3 ~config:bench_config ?domains:!domains_opt ()
+      Scenario.run_table3 ~config:(bench_config ()) ?domains:!domains_opt ()
     in
     sweep_cache := Some s;
     s
+
+let config_label i = if i = 0 then "native" else Printf.sprintf "%dos" i
 
 let section key name f =
   Format.fprintf fmt "@.===== %s =====@." name;
@@ -114,14 +120,14 @@ let run_trap () =
     r.Ablations.trap_us
     (r.Ablations.trap_us /. r.Ablations.hypercall_us)
 
-let small_config =
-  { bench_config with
+let small_config () =
+  { (bench_config ()) with
     Scenario.requests_per_guest = 25;
     warmup_requests = 5 }
 
 let run_asid () =
   let r =
-    Ablations.asid_ablation ~config:small_config ?domains:!domains_opt ()
+    Ablations.asid_ablation ~config:(small_config ()) ?domains:!domains_opt ()
   in
   Format.fprintf fmt
     "A4: ASID-tagged TLB vs flush-on-switch, 2 guests (paper S III-C)@.";
@@ -139,23 +145,38 @@ let run_quantum () =
   List.iter
     (fun (q, o) ->
        Format.fprintf fmt "  quantum %6.1f ms: %a@." q Scenario.pp_overheads o)
-    (Ablations.quantum_sweep ~config:small_config ?domains:!domains_opt ())
+    (Ablations.quantum_sweep ~config:(small_config ()) ?domains:!domains_opt ())
 
 (* E5: resilience under PL fault injection. *)
 
 let chaos_cache : Chaos.report list option ref = ref None
 
-let chaos_config =
-  { Chaos.default_config with
-    Chaos.base =
-      { Scenario.default_config with Scenario.requests_per_guest = 20 } }
+let chaos_config () =
+  { Chaos.base =
+      { Scenario.default_config with
+        Scenario.requests_per_guest = 20;
+        observe = !obs_mode };
+    fault_rate =
+      (match !fault_rate_opt with
+       | Some r -> r
+       | None -> Chaos.default_config.Chaos.fault_rate);
+    fault_seed =
+      (match !fault_seed_opt with
+       | Some s -> s
+       | None -> Chaos.default_config.Chaos.fault_seed) }
 
 let run_chaos () =
+  let chaos_config = chaos_config () in
   Format.fprintf fmt
     "E5: chaos sweep — job completion vs PL fault rate (seed %d)@."
     chaos_config.Chaos.fault_seed;
+  let rates =
+    match !fault_rate_opt with
+    | Some r -> Some [ r ]  (* pin the sweep to the requested rate *)
+    | None -> None
+  in
   let reports =
-    Chaos.sweep ~config:chaos_config ?domains:!domains_opt ()
+    Chaos.sweep ~config:chaos_config ?rates ?domains:!domains_opt ()
   in
   chaos_cache := Some reports;
   List.iter
@@ -277,6 +298,125 @@ let json_float f =
     Printf.sprintf "%.1f" f
   else Printf.sprintf "%.6g" f
 
+(* The "metrics" section: per-configuration observability snapshots
+   (per-VM x per-component cycle breakdown when --obs is on; empty
+   snapshots otherwise). Shared between BENCH_sim.json and the
+   standalone BENCH_metrics.json artifact. *)
+let metrics_json b =
+  let add = Buffer.add_string b in
+  add "{\n    \"observe\": ";
+  add (string_of_bool !obs_mode);
+  add ",\n    \"table3\": [";
+  (match !sweep_cache with
+   | None -> ()
+   | Some rows ->
+     List.iteri
+       (fun i (o : Scenario.overheads) ->
+          if i > 0 then add ",";
+          add
+            (Printf.sprintf
+               "\n      {\"config\": \"%s\", \"sim_cycles\": %d, \
+                \"metrics\": " (config_label i) o.Scenario.sim_cycles);
+          Obs.snapshot_to_json b o.Scenario.metrics;
+          add "}")
+       rows);
+  add "\n    ],\n    \"chaos\": [";
+  (match !chaos_cache with
+   | None -> ()
+   | Some rows ->
+     List.iteri
+       (fun i (r : Chaos.report) ->
+          if i > 0 then add ",";
+          add
+            (Printf.sprintf
+               "\n      {\"fault_rate\": %s, \"guests\": %d, \
+                \"metrics\": " (json_float r.Chaos.fault_rate)
+               r.Chaos.guests);
+          Obs.snapshot_to_json b r.Chaos.metrics;
+          add "}")
+       rows);
+  add "\n    ]\n  }"
+
+let write_metrics_json path =
+  let b = Buffer.create 4096 in
+  metrics_json b;
+  Buffer.add_char b '\n';
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.fprintf fmt "@.wrote %s@." path
+
+(* --- deterministic-cycle baseline (--check-baseline / --write-baseline) ---
+
+   The simulation is deterministic and host-independent, so the exact
+   simulated cycle counts of the Table III sweep are a commitable
+   fingerprint. Observability does not advance the clock, so the same
+   baseline holds with and without --obs. *)
+
+let baseline_rows () =
+  List.mapi
+    (fun i (o : Scenario.overheads) -> (config_label i, o.Scenario.sim_cycles))
+    (sweep ())
+
+let write_baseline path =
+  let oc = open_out path in
+  output_string oc
+    "# mini-nova bench cycle baseline: <config> <sim_cycles>\n\
+     # regenerate: dune exec bench/main.exe -- table3 --write-baseline FILE\n";
+  List.iter
+    (fun (name, cyc) -> output_string oc (Printf.sprintf "%s %d\n" name cyc))
+    (baseline_rows ());
+  close_out oc;
+  Format.fprintf fmt "@.wrote baseline %s@." path
+
+let read_baseline path =
+  let ic = open_in path in
+  let rows = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" && line.[0] <> '#' then
+         match String.split_on_char ' ' line with
+         | [ name; cyc ] ->
+           (match int_of_string_opt cyc with
+            | Some c -> rows := (name, c) :: !rows
+            | None -> failwith ("bad baseline line: " ^ line))
+         | _ -> failwith ("bad baseline line: " ^ line)
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !rows
+
+let check_baseline path =
+  let expected = read_baseline path in
+  let actual = baseline_rows () in
+  let drift = ref false in
+  List.iter
+    (fun (name, cyc) ->
+       match List.assoc_opt name actual with
+       | None ->
+         drift := true;
+         Format.fprintf fmt "baseline %s: config missing from this run@." name
+       | Some got when got <> cyc ->
+         drift := true;
+         Format.fprintf fmt
+           "baseline %s: expected %d cycles, got %d (drift %+d)@." name cyc
+           got (got - cyc)
+       | Some _ -> ())
+    expected;
+  if expected = [] then begin
+    drift := true;
+    Format.fprintf fmt "baseline %s: no entries@." path
+  end;
+  if !drift then begin
+    Format.fprintf fmt
+      "FAIL: simulated cycles drifted from the committed baseline@.";
+    exit 1
+  end
+  else
+    Format.fprintf fmt "baseline check passed (%d configurations)@."
+      (List.length expected)
+
 let write_json path ~total_wall =
   let b = Buffer.create 4096 in
   let add = Buffer.add_string b in
@@ -309,8 +449,9 @@ let write_json path ~total_wall =
                "\n    {\"config\": \"%s\", \"entry_us\": %s, \
                 \"exit_us\": %s, \"plirq_us\": %s, \"exec_us\": %s, \
                 \"total_us\": %s, \"samples\": %d, \"reconfigs\": %d, \
-                \"reclaims\": %d, \"jobs\": %d, \"sim_ms\": %s}"
-               (if i = 0 then "native" else Printf.sprintf "%dos" i)
+                \"reclaims\": %d, \"jobs\": %d, \"sim_ms\": %s, \
+                \"sim_cycles\": %d}"
+               (config_label i)
                (json_float o.Scenario.entry_us)
                (json_float o.Scenario.exit_us)
                (json_float o.Scenario.plirq_us)
@@ -318,7 +459,8 @@ let write_json path ~total_wall =
                (json_float o.Scenario.total_us)
                o.Scenario.samples o.Scenario.reconfigs o.Scenario.reclaims
                o.Scenario.jobs
-               (json_float o.Scenario.sim_ms)))
+               (json_float o.Scenario.sim_ms)
+               o.Scenario.sim_cycles))
        rows);
   add "\n  ],\n";
   add "  \"chaos\": [";
@@ -353,7 +495,10 @@ let write_json path ~total_wall =
          (Printf.sprintf "\n    \"%s\": %s" (json_escape name)
             (match ns with Some t -> json_float t | None -> "null")))
     !micro_results;
-  add "\n  }\n}\n";
+  add "\n  },\n";
+  add "  \"metrics\": ";
+  metrics_json b;
+  add "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents b);
   close_out oc;
@@ -363,28 +508,48 @@ let all_sections =
   [ "table3"; "fig9"; "report"; "reconfig"; "axi"; "vfp";
     "trapvshyper"; "asid"; "quantum"; "chaos"; "micro" ]
 
+(* Bench-only flag: regenerate the committed baseline file. *)
+let write_baseline_spec =
+  { Cli_args.names = [ "write-baseline" ];
+    docv = "FILE";
+    doc =
+      "Regenerate the deterministic cycle baseline FILE from this run's \
+       sweep.";
+    default = None;
+    parse = (fun s -> Ok (Some s));
+    show = (function Some s -> s | None -> "") }
+
 let () =
-  let rec parse acc = function
-    | [] -> List.rev acc
-    | "--json" :: rest ->
-      json_mode := true;
-      parse acc rest
-    | "--domains" :: v :: rest ->
-      (match int_of_string_opt v with
-       | Some d when d >= 1 -> domains_opt := Some d
-       | Some _ | None ->
-         Format.fprintf fmt "ignoring bad --domains value: %s@." v);
-      parse acc rest
-    | "--domains" :: [] ->
-      Format.fprintf fmt "--domains needs a value@.";
-      []
-    | s :: rest -> parse (s :: acc) rest
+  let help = ref false in
+  let entries =
+    [ Cli_args.flag_entry Cli_args.json (fun () -> json_mode := true);
+      Cli_args.flag_entry Cli_args.observe (fun () -> obs_mode := true);
+      Cli_args.value_entry Cli_args.domains (fun d -> domains_opt := d);
+      Cli_args.value_entry Cli_args.fault_rate
+        (fun r -> fault_rate_opt := Some r);
+      Cli_args.value_entry Cli_args.fault_seed
+        (fun s -> fault_seed_opt := Some s);
+      Cli_args.value_entry Cli_args.check_baseline
+        (fun f -> baseline_check := f);
+      Cli_args.value_entry write_baseline_spec
+        (fun f -> baseline_write := f);
+      Cli_args.flag_entry
+        { Cli_args.f_names = [ "help" ]; f_doc = "Show this help." }
+        (fun () -> help := true) ]
   in
   let requested =
-    match parse [] (List.tl (Array.to_list Sys.argv)) with
-    | [] -> all_sections
-    | names -> names
+    match Cli_args.parse entries (List.tl (Array.to_list Sys.argv)) with
+    | Error msg ->
+      Format.fprintf fmt "error: %s@." msg;
+      exit 2
+    | Ok [] -> all_sections
+    | Ok names -> names
   in
+  if !help then begin
+    Format.fprintf fmt "usage: bench [SECTION...] [FLAGS]@.@.sections: %s@.@.flags:@.%a"
+      (String.concat " " all_sections) Cli_args.pp_usage entries;
+    exit 0
+  end;
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some Logs.Error);
   let t0 = Unix.gettimeofday () in
@@ -406,5 +571,9 @@ let () =
        | "micro" -> section "micro" "microbenchmarks" run_micro
        | other -> Format.fprintf fmt "unknown section: %s@." other)
     requested;
-  if !json_mode then
-    write_json "BENCH_sim.json" ~total_wall:(Unix.gettimeofday () -. t0)
+  (match !baseline_write with Some p -> write_baseline p | None -> ());
+  (match !baseline_check with Some p -> check_baseline p | None -> ());
+  if !json_mode then begin
+    write_json "BENCH_sim.json" ~total_wall:(Unix.gettimeofday () -. t0);
+    write_metrics_json "BENCH_metrics.json"
+  end

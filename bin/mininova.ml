@@ -5,7 +5,13 @@
      mininova report    complexity report (paper §V.B)
      mininova reconfig  PCAP latency vs bitstream size
      mininova scenario  one evaluation configuration, verbose
-     mininova chaos     fault injection + graceful degradation *)
+     mininova chaos     fault injection + graceful degradation
+     mininova stats     observability breakdown of one run
+     mininova trace     traced two-VM demo + event timeline
+
+   Flags come from the shared Cli_args vocabulary (lib/harness);
+   the shim below adapts a spec to a Cmdliner term so names,
+   defaults and help stay in one place. *)
 
 open Cmdliner
 
@@ -16,69 +22,88 @@ let setup_logs verbose =
 let verbose =
   Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable kernel logging.")
 
-let requests =
+(* --- Cli_args -> Cmdliner shim --- *)
+
+let conv_of_spec (s : 'a Cli_args.spec) : 'a Arg.conv =
+  Arg.conv
+    ( (fun str ->
+        match s.Cli_args.parse str with
+        | Ok v -> Ok v
+        | Error m -> Error (`Msg m)),
+      fun ppf v -> Format.pp_print_string ppf (s.Cli_args.show v) )
+
+let term_of_spec (s : 'a Cli_args.spec) =
   Arg.(
     value
-    & opt int Scenario.default_config.Scenario.requests_per_guest
-    & info [ "r"; "requests" ] ~docv:"N"
-        ~doc:"Hardware-task requests per guest (T_hw iterations).")
+    & opt (conv_of_spec s) s.Cli_args.default
+    & info s.Cli_args.names ~docv:s.Cli_args.docv ~doc:s.Cli_args.doc)
 
-let warmup =
-  Arg.(
-    value
-    & opt int Scenario.default_config.Scenario.warmup_requests
-    & info [ "warmup" ] ~docv:"N" ~doc:"Requests discarded as warm-up.")
+let term_of_flag (f : Cli_args.flag) =
+  Arg.(value & flag & info f.Cli_args.f_names ~doc:f.Cli_args.f_doc)
 
-let quantum =
-  Arg.(
-    value
-    & opt float Scenario.default_config.Scenario.quantum_ms
-    & info [ "q"; "quantum" ] ~docv:"MS"
-        ~doc:"Guest time slice in milliseconds (paper: 33).")
+let requests = term_of_spec Cli_args.requests
+let warmup = term_of_spec Cli_args.warmup
+let quantum = term_of_spec Cli_args.quantum
+let seed = term_of_spec Cli_args.seed
+let guests = term_of_spec Cli_args.guests
+let domains = term_of_spec Cli_args.domains
+let fault_rate = term_of_spec Cli_args.fault_rate
+let fault_seed = term_of_spec Cli_args.fault_seed
+let observe = term_of_flag Cli_args.observe
+let json_flag = term_of_flag Cli_args.json
 
-let seed =
-  Arg.(
-    value
-    & opt int Scenario.default_config.Scenario.seed
-    & info [ "seed" ] ~docv:"SEED" ~doc:"Deterministic scenario seed.")
-
-let guests =
-  Arg.(
-    value & opt int 4
-    & info [ "g"; "guests" ] ~docv:"N" ~doc:"Number of parallel guest VMs.")
-
-let config requests warmup quantum seed =
+let config requests warmup quantum seed observe =
   { Scenario.default_config with
     Scenario.requests_per_guest = requests;
     warmup_requests = warmup;
     quantum_ms = quantum;
-    seed }
+    seed;
+    observe }
 
-let cfg_term = Term.(const config $ requests $ warmup $ quantum $ seed)
+let cfg_term =
+  Term.(const config $ requests $ warmup $ quantum $ seed $ observe)
 
 let fmt = Format.std_formatter
 
+(* PD-keyed cells are CPU-side components; the PL-side ones are keyed
+   by PRR id. *)
+let key_label ~component k =
+  match component with
+  | "pcap" | "prr_job" | "recovery" | "pl_irq" -> Printf.sprintf "prr%d" k
+  | _ -> Printf.sprintf "pd%d" k
+
+let print_metrics snap =
+  Obs.pp_breakdown ~key_label fmt snap;
+  Format.fprintf fmt "@.";
+  Obs.pp_counters fmt snap
+
+let print_metrics_json snap =
+  let b = Buffer.create 4096 in
+  Obs.snapshot_to_json b snap;
+  Buffer.add_char b '\n';
+  print_string (Buffer.contents b)
+
 let table3_cmd =
-  let run verbose cfg max_guests =
+  let run verbose cfg max_guests domains =
     setup_logs verbose;
-    let s = Scenario.run_table3 ~config:cfg ~max_guests () in
+    let s = Scenario.run_table3 ~config:cfg ~max_guests ?domains () in
     Tables.print_table3 fmt s
   in
   Cmd.v
     (Cmd.info "table3" ~doc:"Reproduce Table III of the paper.")
-    Term.(const run $ verbose $ cfg_term $ guests)
+    Term.(const run $ verbose $ cfg_term $ guests $ domains)
 
 let fig9_cmd =
-  let run verbose cfg max_guests =
+  let run verbose cfg max_guests domains =
     setup_logs verbose;
-    let s = Scenario.run_table3 ~config:cfg ~max_guests () in
+    let s = Scenario.run_table3 ~config:cfg ~max_guests ?domains () in
     Tables.print_table3 fmt s;
     Format.fprintf fmt "@.";
     Tables.print_fig9 fmt s
   in
   Cmd.v
     (Cmd.info "fig9" ~doc:"Reproduce Figure 9 (degradation ratios).")
-    Term.(const run $ verbose $ cfg_term $ guests)
+    Term.(const run $ verbose $ cfg_term $ guests $ domains)
 
 let report_cmd =
   let run verbose root =
@@ -117,7 +142,11 @@ let scenario_cmd =
     in
     Format.fprintf fmt "%s: %a@."
       (if native then "native" else Printf.sprintf "%d guest(s)" guests)
-      Scenario.pp_overheads o
+      Scenario.pp_overheads o;
+    if cfg.Scenario.observe then begin
+      Format.fprintf fmt "@.";
+      print_metrics o.Scenario.metrics
+    end
   in
   let native =
     Arg.(
@@ -141,6 +170,10 @@ let chaos_cmd =
     List.iter
       (fun (k, n) -> if n > 0 then Format.fprintf fmt "  %-14s %d@." k n)
       r.Chaos.injected_by;
+    if cfg.Scenario.observe then begin
+      Format.fprintf fmt "@.";
+      print_metrics r.Chaos.metrics
+    end;
     if assert_recovery then begin
       if r.Chaos.crashes > 0 then begin
         Format.fprintf fmt "FAIL: %d kernel-level guest crashes@."
@@ -162,22 +195,6 @@ let chaos_cmd =
       Format.fprintf fmt "chaos assertions passed@."
     end
   in
-  let fault_rate =
-    Arg.(
-      value
-      & opt float Chaos.default_config.Chaos.fault_rate
-      & info [ "fault-rate" ] ~docv:"P"
-          ~doc:
-            "Per-opportunity PL fault probability (0.0 disables the \
-             plane).")
-  in
-  let fault_seed =
-    Arg.(
-      value
-      & opt int Chaos.default_config.Chaos.fault_seed
-      & info [ "fault-seed" ] ~docv:"SEED"
-          ~doc:"Fault-plane RNG seed (fixed seed = same fault schedule).")
-  in
   let assert_recovery =
     Arg.(
       value & flag
@@ -194,6 +211,37 @@ let chaos_cmd =
     Term.(
       const run $ verbose $ cfg_term $ guests $ fault_rate $ fault_seed
       $ assert_recovery)
+
+let stats_cmd =
+  let run verbose cfg guests native json =
+    setup_logs verbose;
+    (* stats implies the observability plane. *)
+    let cfg = { cfg with Scenario.observe = true } in
+    let o =
+      if native then Scenario.run_native ~config:cfg ()
+      else Scenario.run_virtualized ~config:cfg ~guests ()
+    in
+    if json then print_metrics_json o.Scenario.metrics
+    else begin
+      Format.fprintf fmt "%s: %a@.@."
+        (if native then "native" else Printf.sprintf "%d guest(s)" guests)
+        Scenario.pp_overheads o;
+      print_metrics o.Scenario.metrics
+    end
+  in
+  let native =
+    Arg.(
+      value & flag
+      & info [ "native" ] ~doc:"Run the non-virtualized baseline instead.")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Run one evaluation configuration with the observability plane \
+          on and print the per-VM x per-component cycle breakdown \
+          (Table-III style) plus kernel counters. With $(b,--json), dump \
+          the raw metrics snapshot instead.")
+    Term.(const run $ verbose $ cfg_term $ guests $ native $ json_flag)
 
 let trace_cmd =
   let run verbose last =
@@ -256,4 +304,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ table3_cmd; fig9_cmd; report_cmd; reconfig_cmd; scenario_cmd;
-            chaos_cmd; trace_cmd ]))
+            chaos_cmd; stats_cmd; trace_cmd ]))

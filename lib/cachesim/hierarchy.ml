@@ -133,6 +133,17 @@ let l1d t = t.l1d
 let l2 t = t.l2
 let latencies t = t.lat
 
+type counts = {
+  l1i_hits : int; l1i_misses : int;
+  l1d_hits : int; l1d_misses : int;
+  l2_hits : int; l2_misses : int;
+}
+
+let counts t =
+  { l1i_hits = Cache.hits t.l1i; l1i_misses = Cache.misses t.l1i;
+    l1d_hits = Cache.hits t.l1d; l1d_misses = Cache.misses t.l1d;
+    l2_hits = Cache.hits t.l2; l2_misses = Cache.misses t.l2 }
+
 let reset_stats t =
   Cache.reset_stats t.l1i;
   Cache.reset_stats t.l1d;

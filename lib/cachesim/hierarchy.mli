@@ -74,4 +74,14 @@ val l1d : t -> Cache.t
 val l2 : t -> Cache.t
 val latencies : t -> latencies
 
+type counts = {
+  l1i_hits : int; l1i_misses : int;
+  l1d_hits : int; l1d_misses : int;
+  l2_hits : int; l2_misses : int;
+}
+
+val counts : t -> counts
+(** All six hit/miss statistics in one read — what the observability
+    meters and the equivalence tests fingerprint. *)
+
 val reset_stats : t -> unit

@@ -420,9 +420,15 @@ let health_scan t =
        (* Hung IP core: stuck busy past the execution timeout. *)
        if prr.Prr.state = Prr.Busy
           && now - prr.Prr.busy_since > t.policy.exec_timeout then begin
+         let obs = t.zynq.Zynq.obs in
+         let sp =
+           Obs.open_span obs ~component:"recovery" ~key:row.prr_id
+             ~at:(Clock.now t.zynq.Zynq.clock)
+         in
          ignore
            (Prr_controller.force_reset t.zynq.Zynq.prrc ~prr_id:row.prr_id);
          charge_gp_write t;
+         Obs.close_span obs sp ~at:(Clock.now t.zynq.Zynq.clock);
          row.row_faults <- row.row_faults + 1;
          row.consec_failures <- row.consec_failures + 1;
          t.hang_resets <- t.hang_resets + 1;
@@ -442,8 +448,14 @@ let health_scan t =
               match Hashtbl.find_opt t.tasks task with
               | None -> ()
               | Some entry ->
+                let obs = t.zynq.Zynq.obs in
+                let sp =
+                  Obs.open_span obs ~component:"recovery" ~key:row.prr_id
+                    ~at:(Clock.now t.zynq.Zynq.clock)
+                in
                 Clock.advance t.zynq.Zynq.clock Costs.mgr_reconfig_launch;
                 charge_gp_write t;
+                Obs.close_span obs sp ~at:(Clock.now t.zynq.Zynq.clock);
                 (match Pcap.launch t.zynq.Zynq.pcap entry.bit prr with
                  | `Started _ ->
                    row.retry_count <- row.retry_count + 1;
@@ -458,7 +470,13 @@ let health_scan t =
           end
           else begin
             row.consec_failures <- row.consec_failures + 1;
+            let obs = t.zynq.Zynq.obs in
+            let sp =
+              Obs.open_span obs ~component:"recovery" ~key:row.prr_id
+                ~at:(Clock.now t.zynq.Zynq.clock)
+            in
             reclaim t row prr prev;
+            Obs.close_span obs sp ~at:(Clock.now t.zynq.Zynq.clock);
             row.retry_count <- 0;
             t.recoveries <- t.recoveries + 1;
             push (Act_gave_up { prr = row.prr_id; task });

@@ -67,6 +67,13 @@ val number : request -> int
 
 val name : request -> string
 
+val requests : request list
+(** The full ABI, enumerable: one representative value per
+    constructor, in ABI order ([List.map number requests] is
+    [1; …; 25]). Payloads are the neutral defaults (zero addresses,
+    empty buffers) — useful for documentation generators and
+    exhaustiveness tests, not for issuing. *)
+
 type hw_status =
   | Hw_success   (** task ready in a PRR, interface mapped *)
   | Hw_reconfig  (** allocated; PCAP download in flight (Fig 7 stage 6) *)
@@ -111,4 +118,12 @@ val idle : unit -> pause_result
 val und_trap : priv_instr -> int
 (** Execute a privileged instruction the trap-and-emulate way. *)
 
+val hw_status_name : hw_status -> string
+
 val pp_response : Format.formatter -> response -> unit
+
+val response_to_json : Buffer.t -> response -> unit
+(** Total over {!response}: appends one JSON object tagged by
+    ["kind"] ("unit", "int", "bytes", "hw", "msg", "status",
+    "error"). Byte and word payloads serialize as lengths, not
+    contents. *)

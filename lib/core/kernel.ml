@@ -123,9 +123,11 @@ let probe t = t.probe
 let set_trace t tr = t.trace <- tr
 let trace t = t.trace
 
-let emit t kind =
+let emit t ?severity ~category ~name fields =
   match t.trace with
-  | Some tr -> Ktrace.record tr (Clock.now t.z.Zynq.clock) kind
+  | Some tr ->
+    Ktrace.record tr (Clock.now t.z.Zynq.clock) ?severity ~category ~name
+      fields
   | None -> ()
 let kmem t = t.kmem
 let hwtm t = t.hwtm
@@ -189,7 +191,8 @@ let inject_charged t pd_id irq =
       ~reads:[ { Exec.base = sa_base + 384; len = 64 } ]
       ~writes:[ { Exec.base = sa_base + 448; len = 32 } ]
       ~base_cycles:Costs.vgic_inject "vgic_inject";
-    emit t (Ktrace.Virq_inject { pd = pd.Pd.id; irq });
+    emit t ~severity:Ktrace.Debug ~category:"irq" ~name:"virq-inject"
+      [ ("pd", Ktrace.Int pd.Pd.id); ("irq", Ktrace.Int irq) ];
     Vgic.set_pending pd.Pd.vgic irq;
     unblock t pd
 
@@ -202,7 +205,8 @@ let release_all_tasks t (pd : Pd.t) =
 
 let kill t rt reason =
   Log.warn (fun m -> m "killing %a: %s" Pd.pp rt.pd reason);
-  emit t (Ktrace.Vm_dead { pd = rt.pd.Pd.id; reason });
+  emit t ~severity:Ktrace.Warn ~category:"sched" ~name:"vm-dead"
+    [ ("pd", Ktrace.Int rt.pd.Pd.id); ("reason", Ktrace.Str reason) ];
   rt.pd.Pd.state <- Pd.Dead;
   rt.pd.Pd.vtimer_generation <- rt.pd.Pd.vtimer_generation + 1;
   rt.pd.Pd.vtimer_interval <- None;
@@ -210,21 +214,27 @@ let kill t rt reason =
   release_all_tasks t rt.pd;
   (* Full reclamation: PRRs/windows above, plus any latched vIRQs. *)
   ignore (Vgic.clear_pending rt.pd.Pd.vgic);
-  (match t.cur with Some c when c == rt -> t.cur <- None | Some _ | None -> ())
+  (match t.cur with Some c when c == rt -> t.cur <- None | Some _ | None -> ());
+  let obs = t.z.Zynq.obs in
+  Obs.incr (Obs.counter obs "kernel.vm_kills");
+  Obs.set_gauge (Obs.gauge obs "alive_vms") (alive_guests t)
 
 (* Graceful degradation, driven by the kernel tick: drain the PL fault
    log into the trace, run the manager's health scan, apply its
    decisions. All of it is pure reads on a healthy fault-free system. *)
 let health_tick t =
+  let obs = t.z.Zynq.obs in
   List.iter
     (fun (e : Fault_plane.entry) ->
-       emit t
-         (Ktrace.Fault_inject
-            { prr = e.Fault_plane.prr;
-              fault = Fault_plane.fault_name e.Fault_plane.fault }))
+       Obs.incr (Obs.counter obs "fault.injected");
+       emit t ~severity:Ktrace.Warn ~category:"fault" ~name:"inject"
+         [ ("prr", Ktrace.Int e.Fault_plane.prr);
+           ("fault", Ktrace.Str (Fault_plane.fault_name e.Fault_plane.fault)) ])
     (Fault_plane.drain t.z.Zynq.faults);
   List.iter
     (fun (a : Hw_task_manager.action) ->
+       Obs.incr
+         (Obs.counter obs ("recovery." ^ Hw_task_manager.action_name a));
        match a with
        | Hw_task_manager.Act_kill { client; violations } ->
          (match Hashtbl.find_opt t.rts client with
@@ -240,9 +250,9 @@ let health_tick t =
        | Hw_task_manager.Act_quarantine { prr }
        | Hw_task_manager.Act_unquarantine { prr } ->
          Probe.incr t.probe "fault_recovery";
-         emit t
-           (Ktrace.Fault_recover
-              { prr; action = Hw_task_manager.action_name a }))
+         emit t ~category:"fault" ~name:"recover"
+           [ ("prr", Ktrace.Int prr);
+             ("action", Ktrace.Str (Hw_task_manager.action_name a)) ])
     (Hw_task_manager.health_scan t.hwtm)
 
 (* Physical interrupt routing: the kernel's IRQ exception path. *)
@@ -257,7 +267,9 @@ let rec route_irqs t =
      | None -> ()
      | Some irq ->
        Gic.eoi t.z.Zynq.gic irq;
-       if irq <> Irq_id.private_timer then emit t (Ktrace.Irq_taken irq);
+       if irq <> Irq_id.private_timer then
+         emit t ~severity:Ktrace.Debug ~category:"irq" ~name:"taken"
+           [ ("irq", Ktrace.Int irq) ];
        if irq = Irq_id.private_timer then begin
          Probe.incr t.probe "kernel_tick";
          health_tick t
@@ -278,7 +290,9 @@ let rec route_irqs t =
                | Some cid ->
                  inject_charged t cid irq;
                  Probe.record t.probe Probe.pl_irq_entry
-                   (Clock.now t.z.Zynq.clock - t0)
+                   (Clock.now t.z.Zynq.clock - t0);
+                 Obs.sample t.z.Zynq.obs ~component:"pl_irq" ~key:cid
+                   ~cycles:(Clock.now t.z.Zynq.clock - t0)
                | None -> ())
             | None -> ())
          | None -> Probe.incr t.probe "spurious_irq"
@@ -298,6 +312,10 @@ let switch_to t rt =
   | Some c when c == rt -> ()
   | _ ->
     let t0 = Clock.now t.z.Zynq.clock in
+    let sp =
+      Obs.open_span t.z.Zynq.obs ~component:"world_switch" ~key:rt.pd.Pd.id
+        ~at:t0
+    in
     (match t.cur with
      | Some old when old.pd.Pd.state <> Pd.Dead ->
        Vcpu.save_active t.z old.pd.Pd.vcpu
@@ -332,12 +350,16 @@ let switch_to t rt =
          Probe.incr t.probe "vfp_switch";
          t.vfp_owner <- Some rt.pd.Pd.id
        end);
-    emit t
-      (Ktrace.Vm_switch
-         { from = Option.map (fun c -> c.pd.Pd.id) t.cur;
-           to_ = rt.pd.Pd.id });
+    emit t ~category:"sched" ~name:"vm-switch"
+      [ ("from",
+         match t.cur with
+         | Some c -> Ktrace.Int c.pd.Pd.id
+         | None -> Ktrace.Str "boot");
+        ("to", Ktrace.Int rt.pd.Pd.id) ];
     t.cur <- Some rt;
     rt.slice_start <- Clock.now t.z.Zynq.clock;
+    Obs.close_span t.z.Zynq.obs sp ~at:(Clock.now t.z.Zynq.clock);
+    Obs.incr (Obs.counter t.z.Zynq.obs "kernel.vm_switches");
     Probe.record t.probe Probe.vm_switch (Clock.now t.z.Zynq.clock - t0)
 
 let rec arm_vtimer t (pd : Pd.t) interval gen =
@@ -373,16 +395,25 @@ let handle_hw_task_request t rt ~entry_start ~task ~iface_vaddr ~data_vaddr
     ~data_len ~want_irq =
   let pd = rt.pd in
   let clock = t.z.Zynq.clock in
+  let obs = t.z.Zynq.obs in
   (* Entry: portal dispatch + switch into the manager's space. *)
-  emit t (Ktrace.Hwtm_stage { pd = pd.Pd.id; stage = "entry" });
+  emit t ~severity:Ktrace.Debug ~category:"hwtm" ~name:"entry"
+    [ ("pd", Ktrace.Int pd.Pd.id) ];
+  let sp_entry =
+    Obs.open_span obs ~component:"htm_entry" ~key:pd.Pd.id ~at:entry_start
+  in
   Kmem.activate_manager t.kmem ~asid:mgr_asid;
   let stack_base, _ = Klayout.mgr_stack in
   run_fp t Klayout.mgr_entry_stub
     ~writes:[ { Exec.base = stack_base; len = 128 } ]
     ~base_cycles:Costs.mgr_entry "hwtm_entry";
+  Obs.close_span obs sp_entry ~at:(Clock.now clock);
   Probe.record t.probe Probe.hwtm_entry (Clock.now clock - entry_start);
   (* Execution: the Fig 7 allocation routine. *)
   let exec_start = Clock.now clock in
+  let sp_exec =
+    Obs.open_span obs ~component:"htm_exec" ~key:pd.Pd.id ~at:exec_start
+  in
   let resp =
     if data_len < Hw_task_manager.reserved_bytes then
       Hyper.R_error "data section too small"
@@ -425,9 +456,13 @@ let handle_hw_task_request t rt ~entry_start ~task ~iface_vaddr ~data_vaddr
             irq = Option.map Irq_id.pl r.Hw_task_manager.irq;
             prr = r.Hw_task_manager.prr }
   in
+  Obs.close_span obs sp_exec ~at:(Clock.now clock);
   Probe.record t.probe Probe.hwtm_exec (Clock.now clock - exec_start);
   (* Exit: back to the caller's space. *)
   let exit_start = Clock.now clock in
+  let sp_exit =
+    Obs.open_span obs ~component:"htm_exit" ~key:pd.Pd.id ~at:exit_start
+  in
   let sa_base, _ = Vcpu.save_area pd.Pd.vcpu in
   run_fp t Klayout.mgr_exit_stub
     ~reads:[ { Exec.base = sa_base; len = 160 } ]
@@ -436,9 +471,11 @@ let handle_hw_task_request t rt ~entry_start ~task ~iface_vaddr ~data_vaddr
   run_fp t Klayout.svc_exit
     ~base_cycles:(Costs.hypercall_exit + Cpu_mode.exception_return_cycles)
     "svc_exit";
+  Obs.close_span obs sp_exit ~at:(Clock.now clock);
   Probe.record t.probe Probe.hwtm_exit (Clock.now clock - exit_start);
   Probe.record t.probe "hwtm_total" (Clock.now clock - entry_start);
-  emit t (Ktrace.Hwtm_stage { pd = pd.Pd.id; stage = "exit" });
+  emit t ~severity:Ktrace.Debug ~category:"hwtm" ~name:"exit"
+    [ ("pd", Ktrace.Int pd.Pd.id) ];
   resp
 
 let handle_simple t rt req =
@@ -578,9 +615,13 @@ let handle_simple t rt req =
 let handle_hyper t rt req =
   t.hypercall_count <- t.hypercall_count + 1;
   Probe.incr t.probe ("hyper_" ^ Hyper.name req);
-  emit t (Ktrace.Hypercall { pd = rt.pd.Pd.id; name = Hyper.name req });
+  emit t ~severity:Ktrace.Debug ~category:"hyper" ~name:(Hyper.name req)
+    [ ("pd", Ktrace.Int rt.pd.Pd.id) ];
   let clock = t.z.Zynq.clock in
+  let obs = t.z.Zynq.obs in
+  Obs.incr (Obs.counter obs ("hyper." ^ Hyper.name req));
   let t0 = Clock.now clock in
+  let sp = Obs.open_span obs ~component:"hypercall" ~key:rt.pd.Pd.id ~at:t0 in
   let pd_base, pd_len = Klayout.pd_table in
   run_fp t Klayout.svc_entry ~base_cycles:Costs.hypercall_entry "svc_entry";
   run_fp t Klayout.hyper_dispatch
@@ -599,6 +640,7 @@ let handle_hyper t rt req =
         "svc_exit";
       r
   in
+  Obs.close_span obs sp ~at:(Clock.now clock);
   Probe.record t.probe Probe.hypercall (Clock.now clock - t0);
   resp
 

@@ -1,15 +1,20 @@
-type kind =
-  | Vm_switch of { from : int option; to_ : int }
-  | Hypercall of { pd : int; name : string }
-  | Irq_taken of int
-  | Virq_inject of { pd : int; irq : int }
-  | Hwtm_stage of { pd : int; stage : string }
-  | Vm_dead of { pd : int; reason : string }
-  | Fault_inject of { prr : int; fault : string }
-  | Fault_recover of { prr : int; action : string }
-  | Mark of string
+type severity = Debug | Info | Warn | Error
 
-type event = { at : Cycles.t; kind : kind }
+let severity_name = function
+  | Debug -> "debug"
+  | Info -> "info"
+  | Warn -> "warn"
+  | Error -> "error"
+
+type value = Int of int | Str of string | Bool of bool
+
+type event = {
+  at : Cycles.t;
+  category : string;
+  name : string;
+  severity : severity;
+  fields : (string * value) list;
+}
 
 type t = {
   ring : event option array;
@@ -25,14 +30,14 @@ let create ~capacity =
 (* Overwrite-oldest semantics: a record on a full ring evicts the
    oldest event and counts it in [dropped]; the new event is always
    kept. *)
-let record t at kind =
+let record t at ?(severity = Info) ~category ~name fields =
   let cap = Array.length t.ring in
   if t.count = cap then
     (* full: the slot at [next] holds the oldest event — evict it *)
     t.dropped <- t.dropped + 1
   else
     t.count <- t.count + 1;
-  t.ring.(t.next) <- Some { at; kind };
+  t.ring.(t.next) <- Some { at; category; name; severity; fields };
   t.next <- (t.next + 1) mod cap
 
 let events t =
@@ -43,6 +48,18 @@ let events t =
       | Some e -> e
       | None -> assert false)
 
+let matches ~category ?name e =
+  String.equal e.category category
+  && match name with None -> true | Some n -> String.equal e.name n
+
+let find t ~category ?name () =
+  List.filter (matches ~category ?name) (events t)
+
+let count t ~category ?name () =
+  List.fold_left
+    (fun n e -> if matches ~category ?name e then n + 1 else n)
+    0 (events t)
+
 let dropped t = t.dropped
 
 let clear t =
@@ -51,25 +68,112 @@ let clear t =
   t.count <- 0;
   t.dropped <- 0
 
-let pp_kind ppf = function
-  | Vm_switch { from; to_ } ->
-    Format.fprintf ppf "vm-switch      %s -> PD%d"
-      (match from with Some f -> Printf.sprintf "PD%d" f | None -> "boot")
-      to_
-  | Hypercall { pd; name } ->
-    Format.fprintf ppf "hypercall      PD%d %s" pd name
-  | Irq_taken irq -> Format.fprintf ppf "irq-taken      #%d" irq
-  | Virq_inject { pd; irq } ->
-    Format.fprintf ppf "virq-inject    #%d -> PD%d" irq pd
-  | Hwtm_stage { pd; stage } ->
-    Format.fprintf ppf "hwtm-%-9s client PD%d" stage pd
-  | Vm_dead { pd; reason } ->
-    Format.fprintf ppf "vm-dead        PD%d (%s)" pd reason
-  | Fault_inject { prr; fault } ->
-    Format.fprintf ppf "fault-inject   PRR%d %s" prr fault
-  | Fault_recover { prr; action } ->
-    Format.fprintf ppf "fault-recover  PRR%d %s" prr action
-  | Mark s -> Format.fprintf ppf "mark           %s" s
+let pp_value ppf = function
+  | Int i -> Format.pp_print_int ppf i
+  | Str s -> Format.pp_print_string ppf s
+  | Bool b -> Format.pp_print_bool ppf b
 
 let pp_event ppf e =
-  Format.fprintf ppf "%10.3f ms  %a" (Cycles.to_ms e.at) pp_kind e.kind
+  Format.fprintf ppf "%10.3f ms  %-22s" (Cycles.to_ms e.at)
+    (e.category ^ "/" ^ e.name);
+  (match e.severity with
+   | Info -> ()
+   | s -> Format.fprintf ppf " [%s]" (severity_name s));
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_value v)
+    e.fields
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s
+
+let event_to_json b e =
+  Buffer.add_string b (Printf.sprintf "{\"at_cycles\": %d, \"category\": \"" e.at);
+  json_escape b e.category;
+  Buffer.add_string b "\", \"name\": \"";
+  json_escape b e.name;
+  Buffer.add_string b "\", \"severity\": \"";
+  Buffer.add_string b (severity_name e.severity);
+  Buffer.add_string b "\", \"fields\": {";
+  List.iteri
+    (fun i (k, v) ->
+       if i > 0 then Buffer.add_string b ", ";
+       Buffer.add_char b '"';
+       json_escape b k;
+       Buffer.add_string b "\": ";
+       match v with
+       | Int n -> Buffer.add_string b (string_of_int n)
+       | Bool x -> Buffer.add_string b (string_of_bool x)
+       | Str s ->
+         Buffer.add_char b '"';
+         json_escape b s;
+         Buffer.add_char b '"')
+    e.fields;
+  Buffer.add_string b "}}"
+
+let to_json t =
+  let b = Buffer.create 4096 in
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i e ->
+       if i > 0 then Buffer.add_string b ",\n ";
+       event_to_json b e)
+    (events t);
+  Buffer.add_char b ']';
+  Buffer.contents b
+
+(* --- compatibility shim --- *)
+
+type kind =
+  | Vm_switch of { from : int option; to_ : int }
+  | Hypercall of { pd : int; name : string }
+  | Irq_taken of int
+  | Virq_inject of { pd : int; irq : int }
+  | Hwtm_stage of { pd : int; stage : string }
+  | Vm_dead of { pd : int; reason : string }
+  | Fault_inject of { prr : int; fault : string }
+  | Fault_recover of { prr : int; action : string }
+  | Mark of string
+
+let event_of_kind at = function
+  | Vm_switch { from; to_ } ->
+    { at; category = "sched"; name = "vm-switch"; severity = Info;
+      fields =
+        [ ("from", match from with Some f -> Int f | None -> Str "boot");
+          ("to", Int to_) ] }
+  | Hypercall { pd; name } ->
+    { at; category = "hyper"; name; severity = Debug;
+      fields = [ ("pd", Int pd) ] }
+  | Irq_taken irq ->
+    { at; category = "irq"; name = "taken"; severity = Debug;
+      fields = [ ("irq", Int irq) ] }
+  | Virq_inject { pd; irq } ->
+    { at; category = "irq"; name = "virq-inject"; severity = Debug;
+      fields = [ ("pd", Int pd); ("irq", Int irq) ] }
+  | Hwtm_stage { pd; stage } ->
+    { at; category = "hwtm"; name = stage; severity = Debug;
+      fields = [ ("pd", Int pd) ] }
+  | Vm_dead { pd; reason } ->
+    { at; category = "sched"; name = "vm-dead"; severity = Warn;
+      fields = [ ("pd", Int pd); ("reason", Str reason) ] }
+  | Fault_inject { prr; fault } ->
+    { at; category = "fault"; name = "inject"; severity = Warn;
+      fields = [ ("prr", Int prr); ("fault", Str fault) ] }
+  | Fault_recover { prr; action } ->
+    { at; category = "fault"; name = "recover"; severity = Info;
+      fields = [ ("prr", Int prr); ("action", Str action) ] }
+  | Mark s ->
+    { at; category = "mark"; name = "mark"; severity = Info;
+      fields = [ ("text", Str s) ] }
+
+let record_kind t at k =
+  let e = event_of_kind at k in
+  record t at ~severity:e.severity ~category:e.category ~name:e.name e.fields

@@ -1,9 +1,82 @@
 (** Kernel event tracing.
 
-    A bounded ring of timestamped scheduler/trap events, cheap enough
-    to leave on during experiments. The CLI's [trace] command and the
-    tests use it to check event ordering (e.g. a hypercall is always
-    bracketed by the VM that issued it being current). *)
+    A bounded ring of timestamped structured events, cheap enough to
+    leave on during experiments. Events are open records — a
+    [category] (which subsystem), a [name] (which event), a
+    [severity], and a typed field list — so new subsystems add events
+    without editing a central variant. The CLI's [trace] command and
+    the tests use the ring to check event ordering (e.g. a hypercall
+    is always bracketed by the VM that issued it being current).
+
+    The old closed {!kind} variant survives as a compatibility shim
+    ({!record_kind}/{!event_of_kind}); new code should use {!record}
+    directly. *)
+
+type severity = Debug | Info | Warn | Error
+
+val severity_name : severity -> string
+(** ["debug"], ["info"], ["warn"], ["error"]. *)
+
+(** Typed field payload: everything the kernel traces is an int, a
+    string or a bool. *)
+type value = Int of int | Str of string | Bool of bool
+
+type event = {
+  at : Cycles.t;
+  category : string;  (** subsystem: "sched", "hyper", "irq", "hwtm",
+                          "fault", "mark", … *)
+  name : string;      (** event within the category: "vm-switch", … *)
+  severity : severity;
+  fields : (string * value) list;
+}
+
+type t
+
+val create : capacity:int -> t
+(** Keep at most [capacity] most-recent events.
+    @raise Invalid_argument if capacity <= 0. *)
+
+val record :
+  t -> Cycles.t -> ?severity:severity -> category:string -> name:string ->
+  (string * value) list -> unit
+(** Append an event (default severity {!Info}). The ring has
+    {e overwrite-oldest} semantics: a record on a full ring evicts the
+    oldest retained event — the new event is always kept — and the
+    eviction is counted in {!dropped}. *)
+
+val events : t -> event list
+(** Oldest first (at most [capacity]); the most recent [capacity]
+    events recorded. *)
+
+val find : t -> category:string -> ?name:string -> unit -> event list
+(** Retained events of one category (and name, when given), oldest
+    first. *)
+
+val count : t -> category:string -> ?name:string -> unit -> int
+(** [List.length (find t ~category ?name ())] without the list. *)
+
+val dropped : t -> int
+(** Number of old events overwritten since creation/{!clear} (total
+    recorded = [List.length (events t) + dropped t]). *)
+
+val clear : t -> unit
+
+val pp_event : Format.formatter -> event -> unit
+(** One line: [  12.345 ms  sched/vm-switch  to=2]. *)
+
+val event_to_json : Buffer.t -> event -> unit
+(** Append one event as a JSON object:
+    [{"at_cycles": …, "category": …, "name": …, "severity": …,
+    "fields": {…}}]. *)
+
+val to_json : t -> string
+(** The whole retained ring as a JSON array, oldest first. *)
+
+(** {2 Compatibility shim}
+
+    The pre-redesign closed variant. [record_kind t at k] is
+    [record] applied to {!event_of_kind}; migrated call sites should
+    construct events directly. *)
 
 type kind =
   | Vm_switch of { from : int option; to_ : int }
@@ -13,34 +86,11 @@ type kind =
   | Hwtm_stage of { pd : int; stage : string }
   | Vm_dead of { pd : int; reason : string }
   | Fault_inject of { prr : int; fault : string }
-    (** a PL fault-plane injection, drained by the kernel *)
   | Fault_recover of { prr : int; action : string }
-    (** a graceful-degradation action (retry, reset, quarantine …) *)
-  | Mark of string  (** user-defined annotation *)
+  | Mark of string
 
-type event = { at : Cycles.t; kind : kind }
+val event_of_kind : Cycles.t -> kind -> event
+(** The structured event a legacy kind maps to (categories "sched",
+    "hyper", "irq", "hwtm", "fault", "mark"). *)
 
-type t
-
-val create : capacity:int -> t
-(** Keep at most [capacity] most-recent events.
-    @raise Invalid_argument if capacity <= 0. *)
-
-val record : t -> Cycles.t -> kind -> unit
-(** Append an event. The ring has {e overwrite-oldest} semantics: a
-    record on a full ring evicts the oldest retained event — the new
-    event is always kept — and the eviction is counted in
-    {!dropped}. *)
-
-val events : t -> event list
-(** Oldest first (at most [capacity]); the most recent [capacity]
-    events recorded. *)
-
-val dropped : t -> int
-(** Number of old events overwritten since creation/{!clear} (total
-    recorded = [List.length (events t) + dropped t]). *)
-
-val clear : t -> unit
-
-val pp_event : Format.formatter -> event -> unit
-(** One line: [  12.345 ms  vm-switch       -> PD2]. *)
+val record_kind : t -> Cycles.t -> kind -> unit

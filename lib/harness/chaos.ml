@@ -29,6 +29,7 @@ type report = {
   crashes : int;
   mgr_total_us : float;
   sim_ms : float;
+  metrics : Obs.snapshot;
 }
 
 let pp_report ppf r =
@@ -107,7 +108,7 @@ let run ?(config = default_config) ~guests () =
   if guests < 1 then invalid_arg "Chaos.run: need at least one guest";
   let z =
     Zynq.create ~fault_seed:config.fault_seed ~fault_rate:config.fault_rate
-      ()
+      ~observe:config.base.Scenario.observe ()
   in
   let kcfg =
     { Kernel.quantum = Cycles.of_ms config.base.Scenario.quantum_ms;
@@ -147,15 +148,8 @@ let run ?(config = default_config) ~guests () =
     if Stats.count s = 0 then 0.0
     else Cycles.to_us (int_of_float (Stats.mean s))
   in
-  let ti, tr =
-    List.fold_left
-      (fun (i, r) (e : Ktrace.event) ->
-         match e.Ktrace.kind with
-         | Ktrace.Fault_inject _ -> (i + 1, r)
-         | Ktrace.Fault_recover _ -> (i, r + 1)
-         | _ -> (i, r))
-      (0, 0) (Ktrace.events trace)
-  in
+  let ti = Ktrace.count trace ~category:"fault" ~name:"inject" () in
+  let tr = Ktrace.count trace ~category:"fault" ~name:"recover" () in
   { guests;
     fault_rate = config.fault_rate;
     injected = Fault_plane.total_injected z.Zynq.faults;
@@ -181,7 +175,8 @@ let run ?(config = default_config) ~guests () =
     crashes = Kernel.crashes kern;
     mgr_total_us =
       mean Probe.hwtm_entry +. mean Probe.hwtm_exec +. mean Probe.hwtm_exit;
-    sim_ms = Cycles.to_ms (Clock.now z.Zynq.clock) }
+    sim_ms = Cycles.to_ms (Clock.now z.Zynq.clock);
+    metrics = Obs.snapshot z.Zynq.obs }
 
 let default_rates = [ 0.0; 0.05; 0.2 ]
 

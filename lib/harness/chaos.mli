@@ -41,6 +41,9 @@ type report = {
   crashes : int;         (** unhandled guest crashes — must stay 0 *)
   mgr_total_us : float;  (** manager entry + execution + exit mean *)
   sim_ms : float;
+  metrics : Obs.snapshot;  (** whole-run observability snapshot (shaped
+                               like {!Obs.empty_snapshot} when
+                               [base.observe] is off) *)
 }
 
 val pp_report : Format.formatter -> report -> unit

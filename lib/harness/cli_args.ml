@@ -1,0 +1,190 @@
+type 'a spec = {
+  names : string list;
+  docv : string;
+  doc : string;
+  default : 'a;
+  parse : string -> ('a, string) result;
+  show : 'a -> string;
+}
+
+type flag = {
+  f_names : string list;
+  f_doc : string;
+}
+
+let parse_int s =
+  match int_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "expected an integer, got %S" s)
+
+let parse_float s =
+  match float_of_string_opt s with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "expected a number, got %S" s)
+
+let requests =
+  { names = [ "r"; "requests" ];
+    docv = "N";
+    doc = "Hardware-task requests per guest (T_hw iterations).";
+    default = Scenario.default_config.Scenario.requests_per_guest;
+    parse = parse_int;
+    show = string_of_int }
+
+let warmup =
+  { names = [ "warmup" ];
+    docv = "N";
+    doc = "Requests discarded as warm-up.";
+    default = Scenario.default_config.Scenario.warmup_requests;
+    parse = parse_int;
+    show = string_of_int }
+
+let quantum =
+  { names = [ "q"; "quantum" ];
+    docv = "MS";
+    doc = "Guest time slice in milliseconds (paper: 33).";
+    default = Scenario.default_config.Scenario.quantum_ms;
+    parse = parse_float;
+    show = string_of_float }
+
+let seed =
+  { names = [ "seed" ];
+    docv = "SEED";
+    doc = "Deterministic scenario seed.";
+    default = Scenario.default_config.Scenario.seed;
+    parse = parse_int;
+    show = string_of_int }
+
+let guests =
+  { names = [ "g"; "guests" ];
+    docv = "N";
+    doc = "Number of parallel guest VMs.";
+    default = 4;
+    parse = parse_int;
+    show = string_of_int }
+
+let domains =
+  { names = [ "domains" ];
+    docv = "N";
+    doc =
+      "Cap the sweep parallelism (default: MININOVA_DOMAINS or the \
+       host's recommended domain count).";
+    default = None;
+    parse =
+      (fun s ->
+         match int_of_string_opt s with
+         | Some d when d >= 1 -> Ok (Some d)
+         | Some _ | None ->
+           Error (Printf.sprintf "expected a positive integer, got %S" s));
+    show = (function Some d -> string_of_int d | None -> "auto") }
+
+let fault_rate =
+  { names = [ "fault-rate" ];
+    docv = "P";
+    doc = "Per-opportunity PL fault probability (0.0 disables the plane).";
+    default = Chaos.default_config.Chaos.fault_rate;
+    parse = parse_float;
+    show = string_of_float }
+
+let fault_seed =
+  { names = [ "fault-seed" ];
+    docv = "SEED";
+    doc = "Fault-plane RNG seed (fixed seed = same fault schedule).";
+    default = Chaos.default_config.Chaos.fault_seed;
+    parse = parse_int;
+    show = string_of_int }
+
+let check_baseline =
+  { names = [ "check-baseline" ];
+    docv = "FILE";
+    doc =
+      "Compare the sweep's deterministic simulated cycles against the \
+       committed baseline FILE and exit non-zero on drift.";
+    default = None;
+    parse = (fun s -> Ok (Some s));
+    show = (function Some s -> s | None -> "") }
+
+let json =
+  { f_names = [ "json" ];
+    f_doc = "Also emit machine-readable JSON output." }
+
+let observe =
+  { f_names = [ "obs" ];
+    f_doc =
+      "Enable the observability plane (cycle-attributed spans and \
+       counters; simulated timings are identical either way)." }
+
+(* --- generic argv engine --- *)
+
+type handler = Flag of (unit -> unit) | Value of (string -> (unit, string) result)
+
+type entry = {
+  e_names : string list;
+  e_docv : string option;
+  e_doc : string;
+  e_handler : handler;
+}
+
+let dashed n = if String.length n = 1 then "-" ^ n else "--" ^ n
+
+let value_entry spec f =
+  { e_names = spec.names;
+    e_docv = Some spec.docv;
+    e_doc = spec.doc;
+    e_handler =
+      Value
+        (fun s -> match spec.parse s with
+           | Ok v -> f v; Ok ()
+           | Error e -> Error e) }
+
+let flag_entry fl f =
+  { e_names = fl.f_names; e_docv = None; e_doc = fl.f_doc;
+    e_handler = Flag f }
+
+let find_entry entries key =
+  List.find_opt
+    (fun e -> List.exists (fun n -> dashed n = key) e.e_names)
+    entries
+
+let split_inline arg =
+  match String.index_opt arg '=' with
+  | Some i ->
+    (String.sub arg 0 i,
+     Some (String.sub arg (i + 1) (String.length arg - i - 1)))
+  | None -> (arg, None)
+
+let parse entries argv =
+  let rec go pos = function
+    | [] -> Ok (List.rev pos)
+    | arg :: rest when String.length arg > 1 && arg.[0] = '-' ->
+      let key, inline = split_inline arg in
+      (match find_entry entries key with
+       | None -> Error (Printf.sprintf "unknown flag %s" key)
+       | Some e ->
+         (match e.e_handler, inline with
+          | Flag _, Some _ ->
+            Error (Printf.sprintf "%s does not take a value" key)
+          | Flag f, None -> f (); go pos rest
+          | Value v, Some s ->
+            (match v s with
+             | Ok () -> go pos rest
+             | Error m -> Error (Printf.sprintf "%s: %s" key m))
+          | Value v, None ->
+            (match rest with
+             | s :: rest' ->
+               (match v s with
+                | Ok () -> go pos rest'
+                | Error m -> Error (Printf.sprintf "%s: %s" key m))
+             | [] -> Error (Printf.sprintf "%s needs a value" key))))
+    | arg :: rest -> go (arg :: pos) rest
+  in
+  go [] argv
+
+let pp_usage ppf entries =
+  List.iter
+    (fun e ->
+       let lhs =
+         String.concat ", " (List.map dashed e.e_names)
+         ^ match e.e_docv with Some d -> " " ^ d | None -> ""
+       in
+       Format.fprintf ppf "  %-28s %s@." lhs e.e_doc)
+    entries

@@ -1,0 +1,82 @@
+(** Shared command-line vocabulary for the Mini-NOVA front ends.
+
+    [bin/mininova] (Cmdliner) and [bench/main] (hand-rolled argv loop)
+    accept the same experiment flags — requests, warm-up, seed, fault
+    rate, domain cap, … Before this module each front end restated the
+    names, defaults and help strings; they drifted. A {!spec} is the
+    single source of truth: names (short and long), metavariable, help
+    text, default, and a parse/show pair.
+
+    The module is Cmdliner-free so the harness library stays
+    dependency-light: [bench] consumes specs through the generic
+    {!parse} engine below, [bin/mininova] adapts them to Cmdliner
+    terms with a ~10-line shim. *)
+
+type 'a spec = {
+  names : string list;  (** without dashes; 1-char names render as [-x] *)
+  docv : string;        (** metavariable for help, e.g. ["N"] *)
+  doc : string;         (** one-line help *)
+  default : 'a;
+  parse : string -> ('a, string) result;
+  show : 'a -> string;
+}
+
+type flag = {
+  f_names : string list;
+  f_doc : string;
+}
+
+(** {2 The shared vocabulary} *)
+
+val requests : int spec
+(** [-r]/[--requests]: T_hw iterations. *)
+
+val warmup : int spec
+(** [--warmup]: discarded leading samples. *)
+
+val quantum : float spec
+(** [-q]/[--quantum]: guest slice, ms. *)
+
+val seed : int spec
+(** [--seed]: scenario RNG seed. *)
+
+val guests : int spec
+(** [-g]/[--guests]: parallel guest VMs. *)
+
+val domains : int option spec
+(** [--domains]: sweep parallelism cap. *)
+
+val fault_rate : float spec
+(** [--fault-rate]: PL fault probability. *)
+
+val fault_seed : int spec
+(** [--fault-seed]: fault plane RNG seed. *)
+
+val check_baseline : string option spec
+(** [--check-baseline FILE]: compare deterministic sim cycles against a
+    committed baseline and fail on drift. *)
+
+val json : flag
+(** [--json]: machine-readable output. *)
+
+val observe : flag
+(** [--obs]: enable the observability plane. *)
+
+(** {2 Generic argv engine (for Cmdliner-less front ends)} *)
+
+type entry
+
+val value_entry : 'a spec -> ('a -> unit) -> entry
+(** On match, parse the flag's value and pass it to the callback. *)
+
+val flag_entry : flag -> (unit -> unit) -> entry
+
+val parse : entry list -> string list -> (string list, string) result
+(** Scan argv (without the program name). Recognizes [--name value],
+    [--name=value] and [-x value]; anything not starting with [-] is
+    collected as a positional and returned in order. [Error] carries a
+    human-readable message (unknown flag, missing or bad value). *)
+
+val pp_usage : Format.formatter -> entry list -> unit
+(** One aligned [--name DOCV  doc] line per entry — the help text both
+    front ends print. *)

@@ -7,6 +7,7 @@ type config = {
   vfp_policy : [ `Lazy | `Active ];
   job_fraction : int;
   churn_kb : int;
+  observe : bool;
 }
 
 let default_config =
@@ -17,7 +18,8 @@ let default_config =
     tlb_policy = `Asid;
     vfp_policy = `Lazy;
     job_fraction = 4;
-    churn_kb = 96 }
+    churn_kb = 96;
+    observe = false }
 
 type overheads = {
   entry_us : float;
@@ -31,6 +33,8 @@ type overheads = {
   jobs : int;
   hwmmu_violations : int;
   sim_ms : float;
+  sim_cycles : int;
+  metrics : Obs.snapshot;
 }
 
 let pp_overheads ppf o =
@@ -212,7 +216,7 @@ let mean_us stats =
 let run_virtualized ?(config = default_config) ~guests () =
   if guests < 1 then invalid_arg "run_virtualized: need at least one guest";
   let config = sanitize config in
-  let z = Zynq.create () in
+  let z = Zynq.create ~observe:config.observe () in
   let kcfg =
     { Kernel.quantum = Cycles.of_ms config.quantum_ms;
       vfp_policy = config.vfp_policy;
@@ -233,6 +237,9 @@ let run_virtualized ?(config = default_config) ~guests () =
     incr total_requests;
     if !total_requests = warm_at then begin
       Probe.reset probe;
+      (* [on_request] fires in guest context, after the acquire
+         hypercall returned — no span is open, so the reset is legal. *)
+      Obs.reset z.Zynq.obs;
       base_counts :=
         ( Hw_task_manager.reconfigs (Kernel.hwtm kern),
           Hw_task_manager.reclaims (Kernel.hwtm kern),
@@ -273,7 +280,9 @@ let run_virtualized ?(config = default_config) ~guests () =
          v := !v + Hw_mmu.violations (Prr_controller.prr z.Zynq.prrc i).Prr.hw_mmu
        done;
        !v);
-    sim_ms = Cycles.to_ms (Clock.now z.Zynq.clock) }
+    sim_ms = Cycles.to_ms (Clock.now z.Zynq.clock);
+    sim_cycles = Clock.now z.Zynq.clock;
+    metrics = Obs.snapshot z.Zynq.obs }
 
 let run_native ?(config = default_config) () =
   let config = sanitize config in
@@ -355,7 +364,9 @@ let run_native ?(config = default_config) () =
     reclaims = Hw_task_manager.reclaims (Port_native.hwtm sys) - rl0;
     jobs = Prr_controller.jobs_completed z.Zynq.prrc - j0;
     hwmmu_violations = 0;
-    sim_ms = Cycles.to_ms (Clock.now z.Zynq.clock) }
+    sim_ms = Cycles.to_ms (Clock.now z.Zynq.clock);
+    sim_cycles = Clock.now z.Zynq.clock;
+    metrics = Obs.snapshot z.Zynq.obs }
 
 let run_table3 ?(config = default_config) ?(max_guests = 4) ?domains () =
   (* Native and each guest count are independent worlds: sweep them on

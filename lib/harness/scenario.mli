@@ -21,6 +21,9 @@ type config = {
   vfp_policy : [ `Lazy | `Active ];
   job_fraction : int;        (** run a real DMA job every n-th request *)
   churn_kb : int;            (** per-guest cache-churn working set *)
+  observe : bool;            (** enable the board's {!Obs} plane
+                                 (default false; simulated cycles are
+                                 identical either way) *)
 }
 
 val default_config : config
@@ -37,6 +40,12 @@ type overheads = {
   jobs : int;             (** completed DMA jobs *)
   hwmmu_violations : int;
   sim_ms : float;         (** simulated time consumed *)
+  sim_cycles : int;       (** exact simulated cycles — deterministic and
+                              host-independent, the quantity the bench
+                              baseline gate compares *)
+  metrics : Obs.snapshot; (** post-warm-up observability snapshot
+                              ({!Obs.empty_snapshot}-shaped when
+                              [observe] was off) *)
 }
 
 val pp_overheads : Format.formatter -> overheads -> unit

@@ -1,0 +1,402 @@
+let log2_buckets = 40
+
+(* Bucket i holds 2^(i-1) <= v < 2^i; 0 holds v <= 0; the last bucket
+   absorbs the tail. Total over all ints. *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec bits n acc = if n = 0 then acc else bits (n lsr 1) (acc + 1) in
+    min (bits v 0) (log2_buckets - 1)
+  end
+
+type counter = { c_name : string; mutable c_val : int; c_on : bool ref }
+type gauge = { g_name : string; mutable g_val : int; g_on : bool ref }
+
+type histogram = {
+  h_name : string;
+  h_on : bool ref;
+  buckets : int array;
+  mutable count : int;
+  mutable total : int;
+  mutable min_v : int;
+  mutable max_v : int;
+}
+
+(* One (component, key) rollup cell. *)
+type cell_state = {
+  component : string;
+  key : int;
+  mutable calls : int;
+  mutable cycles : int;
+  mutable max_cycles : int;
+  cbuckets : int array;
+  mutable meter_sums : int array;  (* parallel to the registry's meters *)
+}
+
+type span = {
+  sp_cell : cell_state;
+  sp_start : int;
+  sp_meters : int array;  (* meter readings at open *)
+}
+
+(* Shared token returned by [open_span] on a disabled registry. *)
+let null_cell =
+  { component = ""; key = -1; calls = 0; cycles = 0; max_cycles = 0;
+    cbuckets = [||]; meter_sums = [||] }
+
+let null_span = { sp_cell = null_cell; sp_start = 0; sp_meters = [||] }
+
+type t = {
+  on : bool ref;
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  hists : (string, histogram) Hashtbl.t;
+  cells : (string * int, cell_state) Hashtbl.t;
+  mutable meters : (string * (unit -> int)) array;
+  mutable stack : span list;
+}
+
+let create ?(enabled = true) () =
+  { on = ref enabled;
+    counters = Hashtbl.create 16;
+    gauges = Hashtbl.create 8;
+    hists = Hashtbl.create 8;
+    cells = Hashtbl.create 32;
+    meters = [||];
+    stack = [] }
+
+let disabled () = create ~enabled:false ()
+
+let enabled t = !(t.on)
+let set_enabled t v = t.on := v
+
+let reset t =
+  if t.stack <> [] then invalid_arg "Obs.reset: spans are open";
+  Hashtbl.iter (fun _ c -> c.c_val <- 0) t.counters;
+  Hashtbl.iter (fun _ g -> g.g_val <- 0) t.gauges;
+  Hashtbl.iter
+    (fun _ h ->
+       Array.fill h.buckets 0 (Array.length h.buckets) 0;
+       h.count <- 0; h.total <- 0; h.min_v <- max_int; h.max_v <- min_int)
+    t.hists;
+  Hashtbl.reset t.cells
+
+(* --- counters / gauges / histograms --- *)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_val = 0; c_on = t.on } in
+    Hashtbl.replace t.counters name c;
+    c
+
+let incr c = if !(c.c_on) then c.c_val <- c.c_val + 1
+
+let add c n =
+  if n < 0 then invalid_arg "Obs.add: counters are monotonic";
+  if !(c.c_on) then c.c_val <- c.c_val + n
+
+let counter_value c = c.c_val
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; g_val = 0; g_on = t.on } in
+    Hashtbl.replace t.gauges name g;
+    g
+
+let set_gauge g v = if !(g.g_on) then g.g_val <- v
+let gauge_value g = g.g_val
+
+let histogram t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+    let h =
+      { h_name = name; h_on = t.on; buckets = Array.make log2_buckets 0;
+        count = 0; total = 0; min_v = max_int; max_v = min_int }
+    in
+    Hashtbl.replace t.hists name h;
+    h
+
+let observe h v =
+  if !(h.h_on) then begin
+    let b = bucket_of v in
+    h.buckets.(b) <- h.buckets.(b) + 1;
+    h.count <- h.count + 1;
+    h.total <- h.total + v;
+    if v < h.min_v then h.min_v <- v;
+    if v > h.max_v then h.max_v <- v
+  end
+
+(* --- meters --- *)
+
+let register_meter t name f =
+  t.meters <- Array.append t.meters [| (name, f) |]
+
+let read_meters t =
+  Array.map (fun (_, f) -> f ()) t.meters
+
+(* --- cells and spans --- *)
+
+let cell_state t component key =
+  match Hashtbl.find_opt t.cells (component, key) with
+  | Some c -> c
+  | None ->
+    let c =
+      { component; key; calls = 0; cycles = 0; max_cycles = 0;
+        cbuckets = Array.make log2_buckets 0;
+        meter_sums = Array.make (Array.length t.meters) 0 }
+    in
+    Hashtbl.replace t.cells (component, key) c;
+    c
+
+let attribute cell dt =
+  cell.calls <- cell.calls + 1;
+  cell.cycles <- cell.cycles + dt;
+  if dt > cell.max_cycles then cell.max_cycles <- dt;
+  let b = bucket_of dt in
+  cell.cbuckets.(b) <- cell.cbuckets.(b) + 1
+
+let open_span t ~component ~key ~at =
+  if not !(t.on) then null_span
+  else begin
+    let sp =
+      { sp_cell = cell_state t component key;
+        sp_start = at;
+        sp_meters = read_meters t }
+    in
+    t.stack <- sp :: t.stack;
+    sp
+  end
+
+let close_span t sp ~at =
+  if sp == null_span then ()
+  else
+    match t.stack with
+    | top :: rest when top == sp ->
+      t.stack <- rest;
+      let cell = sp.sp_cell in
+      attribute cell (at - sp.sp_start);
+      let n = Array.length sp.sp_meters in
+      if Array.length cell.meter_sums < n then begin
+        (* a meter was registered after this cell was created *)
+        let grown = Array.make n 0 in
+        Array.blit cell.meter_sums 0 grown 0 (Array.length cell.meter_sums);
+        cell.meter_sums <- grown
+      end;
+      for i = 0 to n - 1 do
+        let _, f = t.meters.(i) in
+        cell.meter_sums.(i) <- cell.meter_sums.(i) + (f () - sp.sp_meters.(i))
+      done
+    | _ -> invalid_arg "Obs.close_span: span is not the innermost open one"
+
+let sample t ~component ~key ~cycles =
+  if !(t.on) then attribute (cell_state t component key) cycles
+
+let open_spans t = List.length t.stack
+
+(* --- snapshots --- *)
+
+type hist_data = {
+  h_name : string;
+  h_count : int;
+  h_total : int;
+  h_min : int;
+  h_max : int;
+  h_buckets : (int * int) list;
+}
+
+type cell = {
+  c_component : string;
+  c_key : int;
+  c_calls : int;
+  c_cycles : int;
+  c_max_cycles : int;
+  c_buckets : (int * int) list;
+  c_meters : (string * int) list;
+}
+
+type snapshot = {
+  s_enabled : bool;
+  s_counters : (string * int) list;
+  s_gauges : (string * int) list;
+  s_hists : hist_data list;
+  s_cells : cell list;
+  s_open_spans : int;
+}
+
+let nonzero_buckets a =
+  let acc = ref [] in
+  for i = Array.length a - 1 downto 0 do
+    if a.(i) <> 0 then acc := (i, a.(i)) :: !acc
+  done;
+  !acc
+
+let snapshot t =
+  let by_name l = List.sort (fun (a, _) (b, _) -> String.compare a b) l in
+  { s_enabled = !(t.on);
+    (* Zero-valued instruments are omitted (matching [pp_counters]):
+       interning a name records nothing, so a never-enabled registry
+       snapshots to [empty_snapshot] exactly. *)
+    s_counters =
+      by_name
+        (Hashtbl.fold
+           (fun k c acc -> if c.c_val = 0 then acc else (k, c.c_val) :: acc)
+           t.counters []);
+    s_gauges =
+      by_name
+        (Hashtbl.fold
+           (fun k g acc -> if g.g_val = 0 then acc else (k, g.g_val) :: acc)
+           t.gauges []);
+    s_hists =
+      List.sort
+        (fun a b -> String.compare a.h_name b.h_name)
+        (Hashtbl.fold
+           (fun k h acc ->
+              if h.count = 0 then acc
+              else
+                { h_name = k; h_count = h.count; h_total = h.total;
+                  h_min = h.min_v; h_max = h.max_v;
+                  h_buckets = nonzero_buckets h.buckets }
+                :: acc)
+           t.hists []);
+    s_cells =
+      List.sort
+        (fun a b ->
+           match String.compare a.c_component b.c_component with
+           | 0 -> compare a.c_key b.c_key
+           | c -> c)
+        (Hashtbl.fold
+           (fun _ c acc ->
+              { c_component = c.component; c_key = c.key; c_calls = c.calls;
+                c_cycles = c.cycles; c_max_cycles = c.max_cycles;
+                c_buckets = nonzero_buckets c.cbuckets;
+                c_meters =
+                  List.filteri (fun i _ -> i < Array.length c.meter_sums)
+                    (Array.to_list t.meters)
+                  |> List.mapi (fun i (name, _) -> (name, c.meter_sums.(i))) }
+              :: acc)
+           t.cells []);
+    s_open_spans = List.length t.stack }
+
+let empty_snapshot =
+  { s_enabled = false; s_counters = []; s_gauges = []; s_hists = [];
+    s_cells = []; s_open_spans = 0 }
+
+(* --- rendering --- *)
+
+let cycles_to_ms c = Cycles.to_ms c
+let cycles_to_us c = Cycles.to_us c
+
+let pp_breakdown ?(key_label = fun ~component:_ k -> "#" ^ string_of_int k)
+    ppf s =
+  let meter_names =
+    match s.s_cells with
+    | [] -> []
+    | c :: _ -> List.map fst c.c_meters
+  in
+  Format.fprintf ppf "%-14s %-6s %8s %10s %10s" "component" "key" "calls"
+    "total_ms" "mean_us";
+  List.iter (fun m -> Format.fprintf ppf " %10s" m) meter_names;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun c ->
+       let mean_us =
+         if c.c_calls = 0 then 0.0
+         else cycles_to_us (c.c_cycles / c.c_calls)
+       in
+       Format.fprintf ppf "%-14s %-6s %8d %10.3f %10.2f" c.c_component
+         (key_label ~component:c.c_component c.c_key)
+         c.c_calls
+         (cycles_to_ms c.c_cycles)
+         mean_us;
+       List.iter (fun (_, v) -> Format.fprintf ppf " %10d" v) c.c_meters;
+       Format.fprintf ppf "@.")
+    s.s_cells
+
+let pp_counters ppf s =
+  List.iter
+    (fun (k, v) -> if v <> 0 then Format.fprintf ppf "%-28s %10d@." k v)
+    s.s_counters;
+  List.iter
+    (fun (k, v) ->
+       if v <> 0 then Format.fprintf ppf "%-28s %10d (gauge)@." k v)
+    s.s_gauges
+
+(* --- JSON --- *)
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string b "\\\""
+       | '\\' -> Buffer.add_string b "\\\\"
+       | '\n' -> Buffer.add_string b "\\n"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char b c)
+    s
+
+let add_kv_int b first k v =
+  if not !first then Buffer.add_string b ", ";
+  first := false;
+  Buffer.add_char b '"';
+  json_escape b k;
+  Buffer.add_string b (Printf.sprintf "\": %d" v)
+
+let add_pairs_obj b pairs =
+  Buffer.add_char b '{';
+  let first = ref true in
+  List.iter (fun (k, v) -> add_kv_int b first k v) pairs;
+  Buffer.add_char b '}'
+
+let add_buckets b l =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i (idx, n) ->
+       if i > 0 then Buffer.add_string b ", ";
+       Buffer.add_string b (Printf.sprintf "[%d, %d]" idx n))
+    l;
+  Buffer.add_char b ']'
+
+let snapshot_to_json b s =
+  Buffer.add_string b "{\"counters\": ";
+  add_pairs_obj b s.s_counters;
+  Buffer.add_string b ", \"gauges\": ";
+  add_pairs_obj b s.s_gauges;
+  Buffer.add_string b ", \"histograms\": [";
+  List.iteri
+    (fun i h ->
+       if i > 0 then Buffer.add_string b ", ";
+       Buffer.add_string b "{\"name\": \"";
+       json_escape b h.h_name;
+       Buffer.add_string b
+         (Printf.sprintf "\", \"count\": %d, \"total\": %d" h.h_count
+            h.h_total);
+       if h.h_count > 0 then
+         Buffer.add_string b
+           (Printf.sprintf ", \"min\": %d, \"max\": %d" h.h_min h.h_max);
+       Buffer.add_string b ", \"buckets\": ";
+       add_buckets b h.h_buckets;
+       Buffer.add_char b '}')
+    s.s_hists;
+  Buffer.add_string b "], \"cells\": [";
+  List.iteri
+    (fun i c ->
+       if i > 0 then Buffer.add_string b ", ";
+       Buffer.add_string b "{\"component\": \"";
+       json_escape b c.c_component;
+       Buffer.add_string b
+         (Printf.sprintf
+            "\", \"key\": %d, \"calls\": %d, \"cycles\": %d, \
+             \"max_cycles\": %d, \"meters\": "
+            c.c_key c.c_calls c.c_cycles c.c_max_cycles);
+       add_pairs_obj b c.c_meters;
+       Buffer.add_string b ", \"buckets\": ";
+       add_buckets b c.c_buckets;
+       Buffer.add_char b '}')
+    s.s_cells;
+  Buffer.add_string b (Printf.sprintf "], \"open_spans\": %d}" s.s_open_spans)

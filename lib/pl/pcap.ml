@@ -2,17 +2,19 @@ type t = {
   queue : Event_queue.t;
   gic : Gic.t;
   faults : Fault_plane.t;
+  obs : Obs.t;
   mutable busy : bool;
   mutable last_completed : Bitstream.id option;
   mutable transfers : int;
   mutable failures : int;
 }
 
-let create ?faults queue gic =
+let create ?faults ?obs queue gic =
   let faults =
     match faults with Some f -> f | None -> Fault_plane.disabled ()
   in
-  { queue; gic; faults; busy = false; last_completed = None;
+  let obs = match obs with Some o -> o | None -> Obs.disabled () in
+  { queue; gic; faults; obs; busy = false; last_completed = None;
     transfers = 0; failures = 0 }
 
 let throughput_bytes_per_sec = 145_000_000
@@ -25,11 +27,13 @@ let transfer_cycles (b : Bitstream.t) =
   let bytes_per_us = float_of_int throughput_bytes_per_sec /. 1e6 in
   Cycles.of_us (float_of_int b.Bitstream.size_bytes /. bytes_per_us)
 
-let finish_failed t prr =
+let finish_failed t prr ~elapsed =
   (* The region holds a partial/corrupt configuration: unusable. *)
   prr.Prr.state <- Prr.Empty;
   t.busy <- false;
   t.failures <- t.failures + 1;
+  Obs.sample t.obs ~component:"pcap" ~key:prr.Prr.id ~cycles:elapsed;
+  Obs.incr (Obs.counter t.obs "pcap.failures");
   (* DevCfg still fires (transfer-done with error status); the manager
      observes the PRR did not become Ready and retries or gives up. *)
   Gic.raise_irq t.gic Irq_id.devcfg
@@ -51,12 +55,13 @@ let launch t bit prr =
        (* CRC failure detected once the whole stream is in. *)
        ignore
          (Event_queue.schedule_after t.queue d (fun () ->
-              finish_failed t prr))
+              finish_failed t prr ~elapsed:d))
      | Some Fault_plane.Pcap_abort ->
        (* DMA abort partway through. *)
+       let half = max 1 (d / 2) in
        ignore
-         (Event_queue.schedule_after t.queue (max 1 (d / 2)) (fun () ->
-              finish_failed t prr))
+         (Event_queue.schedule_after t.queue half (fun () ->
+              finish_failed t prr ~elapsed:half))
      | Some _ | None ->
        ignore
          (Event_queue.schedule_after t.queue d (fun () ->
@@ -66,6 +71,8 @@ let launch t bit prr =
               t.busy <- false;
               t.last_completed <- Some bit.Bitstream.id;
               t.transfers <- t.transfers + 1;
+              Obs.sample t.obs ~component:"pcap" ~key:prr.Prr.id ~cycles:d;
+              Obs.incr (Obs.counter t.obs "pcap.transfers");
               Gic.raise_irq t.gic Irq_id.devcfg)));
     `Started d
   end

@@ -6,6 +6,7 @@ type t = {
   gic : Gic.t;
   hier : Hierarchy.t;
   faults : Fault_plane.t;
+  obs : Obs.t;
   prrs : Prr.t array;
   irq_table : int option array;  (* PL source index -> PRR id *)
   mutable port : port;
@@ -15,15 +16,16 @@ type t = {
   mutable forced_resets : int;
 }
 
-let create ?faults mem queue gic hier ~capacities =
+let create ?faults ?obs mem queue gic hier ~capacities =
   if capacities = [] then invalid_arg "Prr_controller.create: no PRRs";
   let faults =
     match faults with Some f -> f | None -> Fault_plane.disabled ()
   in
+  let obs = match obs with Some o -> o | None -> Obs.disabled () in
   let prrs =
     Array.of_list (List.mapi (fun id c -> Prr.make ~id ~capacity:c) capacities)
   in
-  { mem; queue; gic; hier; faults; prrs;
+  { mem; queue; gic; hier; faults; obs; prrs;
     irq_table = Array.make Irq_id.pl_count None;
     port = Hp; jobs_completed = 0; coherence_warnings = 0;
     jobs_faulted = 0; forced_resets = 0 }
@@ -143,6 +145,9 @@ let start_job t prr =
                     Prr.set_status_bit prr 0 false;
                     Prr.set_status_bit prr 4 true;
                     t.jobs_faulted <- t.jobs_faulted + 1;
+                    Obs.sample t.obs ~component:"prr_job" ~key:prr.Prr.id
+                      ~cycles:latency;
+                    Obs.incr (Obs.counter t.obs "prr.jobs_faulted");
                     signal_completion t prr
                   end))
          | Some _ | None ->
@@ -155,6 +160,9 @@ let start_job t prr =
                     Prr.set_status_bit prr 0 false;
                     Prr.set_status_bit prr 1 true;
                     t.jobs_completed <- t.jobs_completed + 1;
+                    Obs.sample t.obs ~component:"prr_job" ~key:prr.Prr.id
+                      ~cycles:latency;
+                    Obs.incr (Obs.counter t.obs "prr.jobs_completed");
                     signal_completion t prr
                   end))
        end)
@@ -173,6 +181,7 @@ let force_reset t ~prr_id =
     Prr.set_status_bit p 4 true;
     Prr.set_status_bit p 1 true;
     t.forced_resets <- t.forced_resets + 1;
+    Obs.incr (Obs.counter t.obs "prr.forced_resets");
     signal_completion t p;
     true
   | _ -> false

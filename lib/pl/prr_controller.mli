@@ -17,7 +17,7 @@ type port = Hp | Acp
 type t
 
 val create :
-  ?faults:Fault_plane.t ->
+  ?faults:Fault_plane.t -> ?obs:Obs.t ->
   Phys_mem.t -> Event_queue.t -> Gic.t -> Hierarchy.t ->
   capacities:int list -> t
 (** One PRR per capacity entry, ids 0..n-1, register pages at
@@ -25,7 +25,10 @@ val create :
     [faults] (default: disabled) may inject per-job faults: a hung
     core (stuck busy, no completion), an AXI beat error (STATUS bit 4,
     no data written) or a spurious hwMMU refusal (STATUS.violation on
-    a legal job — the real hwMMU violation counter is untouched). *)
+    a legal job — the real hwMMU violation counter is untouched).
+    [obs] (default: disabled) receives one ["prr_job"] sample per
+    finished job, keyed by PRR id and weighted by the DMA + compute
+    latency, plus job/reset counters. *)
 
 val prr_count : t -> int
 

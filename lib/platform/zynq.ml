@@ -13,13 +13,14 @@ type t = {
   pcap : Pcap.t;
   faults : Fault_plane.t;
   fast : Fastpath.t;
+  obs : Obs.t;
 }
 
 (* PRR1/2 host FFT (large), PRR3/4 host only QAM (small) — Fig 8. *)
 let default_prr_capacities = [ 1300; 1300; 200; 200 ]
 
 let create ?(prr_capacities = default_prr_capacities) ?lat ?on_uart
-    ?fault_seed ?fault_rate () =
+    ?fault_seed ?fault_rate ?(observe = false) () =
   let clock = Clock.create () in
   let queue = Event_queue.create clock in
   let mem = Phys_mem.create () in
@@ -35,14 +36,22 @@ let create ?(prr_capacities = default_prr_capacities) ?lat ?on_uart
       ?seed:fault_seed
       ?rate:fault_rate ()
   in
+  let obs = Obs.create ~enabled:observe () in
+  (* Meters are registered even when disabled: [Obs.set_enabled] can
+     turn the plane on later and spans will attribute deltas from the
+     same suppliers. *)
+  Obs.register_meter obs "l1i_miss" (fun () -> Cache.misses (Hierarchy.l1i hier));
+  Obs.register_meter obs "l1d_miss" (fun () -> Cache.misses (Hierarchy.l1d hier));
+  Obs.register_meter obs "l2_miss" (fun () -> Cache.misses (Hierarchy.l2 hier));
+  Obs.register_meter obs "tlb_miss" (fun () -> Tlb.misses tlb);
   let prrc =
-    Prr_controller.create ~faults mem queue gic hier
+    Prr_controller.create ~faults ~obs mem queue gic hier
       ~capacities:prr_capacities
   in
-  let pcap = Pcap.create ~faults queue gic in
+  let pcap = Pcap.create ~faults ~obs queue gic in
   let fast = Fastpath.create () in
   { clock; queue; mem; hier; tlb; mmu; gic; ptimer; uart; sd; prrc; pcap;
-    faults; fast }
+    faults; fast; obs }
 
 let in_pl_window a =
   a >= Address_map.prr_regs_base

@@ -27,6 +27,9 @@ type t = {
   faults : Fault_plane.t;  (** fault-injection plane shared by PCAP and
                                the PRR controller; disabled by default *)
   fast : Fastpath.t;  (** per-CPU exact fast-path state used by [Exec] *)
+  obs : Obs.t;  (** observability plane shared by the kernel, the HTM
+                    and the PL models; disabled by default, never
+                    advances the clock *)
 }
 
 val default_prr_capacities : int list
@@ -36,9 +39,12 @@ val default_prr_capacities : int list
 val create :
   ?prr_capacities:int list -> ?lat:Hierarchy.latencies ->
   ?on_uart:(char -> unit) ->
-  ?fault_seed:int -> ?fault_rate:float -> unit -> t
+  ?fault_seed:int -> ?fault_rate:float -> ?observe:bool -> unit -> t
 (** [fault_seed]/[fault_rate] arm the board's {!Fault_plane} (default:
-    seed 0, rate 0.0 — disabled, zero-cost). *)
+    seed 0, rate 0.0 — disabled, zero-cost). [observe] enables the
+    board's {!Obs} plane (default false); cache and TLB miss meters
+    are registered either way, so the plane can also be switched on
+    later with [Obs.set_enabled]. *)
 
 (** {2 Virtual-address CPU accesses}
 

@@ -18,4 +18,5 @@ let () =
       Test_hwtm.suite;
       Test_faults.suite;
       Test_edge.suite;
-      Test_fastpath.suite ]
+      Test_fastpath.suite;
+      Test_obs.suite ]

@@ -309,15 +309,21 @@ let test_bitstream_store_full () =
 (* ------------------------------------------------------------------ *)
 (* Satellite: Ktrace overwrite-oldest semantics                       *)
 
+let mark tr at text =
+  Ktrace.record tr at ~category:"mark" ~name:"mark"
+    [ ("text", Ktrace.Str text) ]
+
 let test_ktrace_wraparound () =
   let tr = Ktrace.create ~capacity:4 in
   for i = 1 to 10 do
-    Ktrace.record tr i (Ktrace.Mark (string_of_int i))
+    mark tr i (string_of_int i)
   done;
   let marks =
     List.map
       (fun (e : Ktrace.event) ->
-         match e.Ktrace.kind with Ktrace.Mark m -> m | _ -> "?")
+         match e.Ktrace.fields with
+         | [ ("text", Ktrace.Str m) ] -> m
+         | _ -> "?")
       (Ktrace.events tr)
   in
   check (Alcotest.list Alcotest.string) "newest capacity events kept"
@@ -328,7 +334,7 @@ let test_ktrace_wraparound () =
   Ktrace.clear tr;
   check ci "clear empties the ring" 0 (List.length (Ktrace.events tr));
   check ci "clear resets dropped" 0 (Ktrace.dropped tr);
-  Ktrace.record tr 11 (Ktrace.Mark "post-clear");
+  mark tr 11 "post-clear";
   check ci "ring usable after clear" 1 (List.length (Ktrace.events tr))
 
 (* ------------------------------------------------------------------ *)
@@ -385,12 +391,12 @@ let test_violation_kill_reclaims_everything () =
   check cb "death traced" true
     (List.exists
        (fun (e : Ktrace.event) ->
-          match e.Ktrace.kind with
-          | Ktrace.Vm_dead { reason; _ } ->
+          match List.assoc_opt "reason" e.Ktrace.fields with
+          | Some (Ktrace.Str reason) ->
             String.length reason >= 5
             && String.sub reason 0 5 = "hwMMU"
           | _ -> false)
-       (Ktrace.events trace))
+       (Ktrace.find trace ~category:"sched" ~name:"vm-dead" ()))
 
 (* ------------------------------------------------------------------ *)
 (* Chaos scenario                                                     *)

@@ -49,7 +49,8 @@ let fake entry exit_ plirq exec =
   { Scenario.entry_us = entry; exit_us = exit_; plirq_us = plirq;
     exec_us = exec; total_us = entry +. exec +. exit_;
     samples = 1; reconfigs = 0; reclaims = 0; jobs = 0;
-    hwmmu_violations = 0; sim_ms = 0.0 }
+    hwmmu_violations = 0; sim_ms = 0.0; sim_cycles = 0;
+    metrics = Obs.empty_snapshot }
 
 let sweep =
   [ fake 0.0 0.0 0.0 15.0;     (* native *)

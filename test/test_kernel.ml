@@ -330,29 +330,36 @@ let test_trace_records_ordered_events () =
     | _ -> ()
   in
   mono events;
-  let kinds = List.map (fun e -> e.Ktrace.kind) events in
-  check cb "has a vm switch" true
-    (List.exists (function Ktrace.Vm_switch _ -> true | _ -> false) kinds);
-  check cb "has the hypercall" true
-    (List.exists
-       (function
-         | Ktrace.Hypercall { name = "uart_write"; _ } -> true
-         | _ -> false)
-       kinds);
-  check cb "has the death" true
-    (List.exists (function Ktrace.Vm_dead _ -> true | _ -> false) kinds)
+  let tags = List.map (fun e -> (e.Ktrace.category, e.Ktrace.name)) events in
+  check cb "has a vm switch" true (List.mem ("sched", "vm-switch") tags);
+  check cb "has the hypercall" true (List.mem ("hyper", "uart_write") tags);
+  check cb "has the death" true (List.mem ("sched", "vm-dead") tags);
+  (* find/count agree with the raw event list. *)
+  check ci "count = |find|"
+    (List.length (Ktrace.find tr ~category:"hyper" ()))
+    (Ktrace.count tr ~category:"hyper" ());
+  check cb "count finds the hypercall" true
+    (Ktrace.count tr ~category:"hyper" ~name:"uart_write" () >= 1)
 
 let test_trace_ring_bounds () =
   let tr = Ktrace.create ~capacity:4 in
   for i = 1 to 10 do
-    Ktrace.record tr i (Ktrace.Mark (string_of_int i))
+    Ktrace.record tr i ~category:"mark" ~name:"mark"
+      [ ("text", Ktrace.Str (string_of_int i)) ]
   done;
   check ci "bounded" 4 (List.length (Ktrace.events tr));
   check ci "drops counted" 6 (Ktrace.dropped tr);
   (match Ktrace.events tr with
-   | { Ktrace.kind = Ktrace.Mark m; _ } :: _ ->
+   | { Ktrace.fields = [ ("text", Ktrace.Str m) ]; _ } :: _ ->
      check Alcotest.string "keeps the most recent" "7" m
    | _ -> Alcotest.fail "expected mark");
+  (* The legacy closed-variant shim still records. *)
+  Ktrace.record_kind tr 11 (Ktrace.Mark "legacy");
+  (match List.rev (Ktrace.events tr) with
+   | { Ktrace.category = "mark"; fields = [ ("text", Ktrace.Str m) ]; _ } :: _
+     ->
+     check Alcotest.string "shim recorded" "legacy" m
+   | _ -> Alcotest.fail "expected shim mark");
   Ktrace.clear tr;
   check ci "cleared" 0 (List.length (Ktrace.events tr))
 
