@@ -5,20 +5,56 @@ type config = {
   line_size : int;
 }
 
+(* Slot state is packed for the benefit of the fused walk loop:
+
+   - [state.(2*i)] holds slot [i]'s tag word: the line address OR-ed
+     with the validity generation shifted above it
+     ([la lor (vgen lsl tag_bits)]), or -1 when the slot is invalid.
+     A slot is live iff its generation field equals the cache's
+     current [vgen], so the full-cache invalidate is a generation bump
+     (O(1) instead of an O(lines) walk) and stale slots can never
+     match a lookup — the hit scan tests single words, with no
+     separate valid-bit load and no lazy scrubbing.
+
+   - [state.(2*i + 1)] is slot [i]'s LRU age (larger = more recent).
+     Tag and age are interleaved in one array because every access
+     that reads the tag also touches the age: pairing them puts both
+     on the same host cache line, which matters because the simulated
+     L2's state is far larger than the host L1 and the hot loop's
+     accesses into it are essentially random.
+
+   - [dstamp.(i)] = [dgen] iff the slot is dirty; [clean_all] bumps
+     [dgen] (O(1)) and every dirty stamp dies wholesale. Non-live
+     slots are never dirty ([invalidate_all] bumps both generations;
+     the range ops clear eagerly), so dirtiness needs no extra
+     validity check. Kept out of the pair: it is only touched by
+     stores and fills.
+
+   Both generations are monotonic, so a stale stamp can never come
+   back to life. The write-back/discard *counts* the full-cache
+   operations must return (they feed cycle charges) are kept
+   incrementally in [valid_count] and [dirty_count]. *)
 type t = {
   cfg : config;
   sets : int;
   line_shift : int;
-  (* Flat arrays indexed by [set * ways + way]. *)
-  tags : int array;           (* line address (addr / line_size) *)
-  valid : bool array;
-  dirty : bool array;
-  age : int array;            (* LRU: larger = more recent *)
+  (* Indexed by [2 * (set * ways + way)] (+1 for the age). *)
+  state : int array;
+  dstamp : int array;         (* dirty iff = dgen; indexed by slot *)
+  mutable vgen : int;
+  mutable dgen : int;
+  mutable valid_count : int;
+  mutable dirty_count : int;
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
   mutable epoch : int;
 }
+
+(* Line addresses fit 28 bits (byte addresses below 2^33 with >= 32 B
+   lines); the validity generation lives in the bits above. *)
+let tag_bits = 28
+let tag_mask = (1 lsl tag_bits) - 1
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
@@ -35,14 +71,11 @@ let create cfg =
   if not (is_pow2 sets) then
     invalid_arg "Cache.create: set count must be a power of two";
   let n = sets * cfg.ways in
-  (* Invalid slots carry tag -1 (no line address is negative), so the
-     hit scan tests a single array instead of valid+tags. The [valid]
-     array is kept in sync for the maintenance/victim paths. *)
   { cfg; sets; line_shift = log2 cfg.line_size;
-    tags = Array.make n (-1);
-    valid = Array.make n false;
-    dirty = Array.make n false;
-    age = Array.make n 0;
+    state =
+      Array.init (2 * n) (fun i -> if i land 1 = 0 then -1 else 0);
+    dstamp = Array.make n (-1);
+    vgen = 0; dgen = 0; valid_count = 0; dirty_count = 0;
     tick = 0; hits = 0; misses = 0; epoch = 0 }
 
 let config t = t.cfg
@@ -50,69 +83,99 @@ let config t = t.cfg
 let line_addr t a = a lsr t.line_shift
 let set_of_line t la = la land (t.sets - 1)
 
-(* Returns the way index holding [la] in its set, or -1. All indices
-   are in bounds by construction (the arrays have [sets * ways]
-   entries), so the scan uses unsafe accesses; invalid slots hold tag
-   -1 and can never match. *)
+(* The tag word a live slot holding [la] must carry right now. *)
+let live_key t la = la lor (t.vgen lsl tag_bits)
+
+let tag_of t i = Array.unsafe_get t.state (2 * i)
+let live t i = tag_of t i lsr tag_bits = t.vgen
+let dirty_slot t i = Array.unsafe_get t.dstamp i = t.dgen
+
+(* Returns the slot index holding [la] live in its set, or -1. All
+   indices are in bounds by construction (the arrays hold
+   [sets * ways] slots), so the scan uses unsafe accesses. A stale
+   slot's generation field differs from [vgen], so its tag word can
+   never equal the live key — invalidated lines drop out of the match
+   with no separate validity check. *)
 let find t la =
   let ways = t.cfg.ways in
-  let base = set_of_line t la * ways in
-  let tags = t.tags in
+  let base = 2 * (set_of_line t la * ways) in
+  let state = t.state in
+  let key = live_key t la in
   let rec loop w =
     if w = ways then -1
-    else if Array.unsafe_get tags (base + w) = la then base + w
+    else if Array.unsafe_get state (base + (2 * w)) = key then
+      (base lsr 1) + w
     else loop (w + 1)
   in
   loop 0
 
+(* Victim for a fill in [la]'s set: first non-live way in way order,
+   else the least-recently-used live way — byte-identical choice to
+   the eager-invalidation implementation this replaces (a
+   generation-stale slot counts as invalid, exactly as if its valid
+   bit had been cleared eagerly). *)
 let victim t la =
   let ways = t.cfg.ways in
   let base = set_of_line t la * ways in
   let best = ref base in
   for w = 1 to ways - 1 do
     let i = base + w in
-    if not (Array.unsafe_get t.valid i) then begin
-      if Array.unsafe_get t.valid !best then best := i
+    if not (live t i) then begin
+      if live t !best then best := i
     end
     else if
-      Array.unsafe_get t.valid !best
-      && Array.unsafe_get t.age i < Array.unsafe_get t.age !best
+      live t !best
+      && Array.unsafe_get t.state ((2 * i) + 1)
+         < Array.unsafe_get t.state ((2 * !best) + 1)
     then best := i
   done;
   !best
 
+let mark_dirty t i =
+  if not (dirty_slot t i) then begin
+    Array.unsafe_set t.dstamp i t.dgen;
+    t.dirty_count <- t.dirty_count + 1
+  end
+
+(* Install [la] in slot [i] (the fill half of a miss): maintains the
+   valid/dirty counters for whatever state the victim slot was in.
+   (A non-live victim is never dirty, see the invariant above.) *)
+let fill_slot t i la ~write =
+  let was_dirty = dirty_slot t i in
+  if live t i then begin
+    if was_dirty then t.dirty_count <- t.dirty_count - 1
+  end
+  else t.valid_count <- t.valid_count + 1;
+  Array.unsafe_set t.state (2 * i) (live_key t la);
+  Array.unsafe_set t.state ((2 * i) + 1) t.tick;
+  if write then begin
+    Array.unsafe_set t.dstamp i t.dgen;
+    if not was_dirty then t.dirty_count <- t.dirty_count + 1
+  end
+  else if was_dirty then Array.unsafe_set t.dstamp i (-1)
+
 (* The shared per-access transition. Fills bump the epoch: a fill may
    evict another line, so any resident-set snapshot taken earlier is
    stale. Hits only refresh LRU/dirty state and leave the epoch
-   alone. *)
-let access_line t la ~write =
+   alone. Returns the slot index on hit, -1 on miss (after filling). *)
+let access_slot t la ~write =
   t.tick <- t.tick + 1;
-  (* [find], inlined: this is the hottest loop in the simulator. *)
-  let ways = t.cfg.ways in
-  let base = set_of_line t la * ways in
-  let tags = t.tags in
-  let rec scan w =
-    if w = ways then -1
-    else if Array.unsafe_get tags (base + w) = la then base + w
-    else scan (w + 1)
-  in
-  let i = scan 0 in
+  let i = find t la in
   if i >= 0 then begin
     t.hits <- t.hits + 1;
-    Array.unsafe_set t.age i t.tick;
-    if write then Array.unsafe_set t.dirty i true;
-    true
+    Array.unsafe_set t.state ((2 * i) + 1) t.tick;
+    if write then mark_dirty t i;
+    i
   end
   else begin
     t.misses <- t.misses + 1;
     t.epoch <- t.epoch + 1;
     let i = victim t la in
-    Array.unsafe_set t.tags i la;
-    Array.unsafe_set t.valid i true;
-    Array.unsafe_set t.dirty i write;
-    Array.unsafe_set t.age i t.tick;
-    false
+    fill_slot t i la ~write;
+    -1
   end
+
+let access_line t la ~write = access_slot t la ~write >= 0
 
 let access t a ~write =
   if access_line t (line_addr t a) ~write then `Hit else `Miss
@@ -131,18 +194,212 @@ let access_run t a ~stride ~n ~write ~on_miss =
   done;
   !hits
 
+let run_through t next ~lat_next_hit ~lat_next_miss ~a ~n ~write ~slots
+    ~next_slots ~from =
+  (* Fused walk of [n] consecutive lines starting at byte address [a]:
+     per line, exactly the transition of [access t] followed — on a
+     miss — by [access next] (write-allocate at both levels), with the
+     next-level charge summed from [lat_next_hit]/[lat_next_miss].
+     This is the simulator's hottest loop, so both levels are fused
+     into one closure-free pass, the victim scans are inlined over the
+     paired tag/age words, and every counter (tick, hits, misses,
+     epoch, valid/dirty counts) is accumulated in locals and committed
+     once — nothing outside the two caches can observe the
+     intermediate values, because no events fire inside a walk.
+
+     The slot that ends up holding each line (hit slot or fill victim)
+     is recorded into [slots.(from + k)], and likewise the next-level
+     slot into [next_slots.(from + k)] — every cold walk doubles as a
+     (re)recording pass for the compiled footprint programs in the
+     platform layer. [next_slots] is also read back as a *hint*: when
+     the hinted next-level slot still carries the line's live tag, the
+     next-level hit is replayed directly (the tag word is
+     self-verifying, so a stale or garbage hint merely falls back to
+     the full scan — at most one live slot ever holds a given tag).
+     Hint entries must be -1 or in-bounds for [next]. Returns the
+     summed next-level cost (0 when everything hit). *)
+  let la0 = line_addr t a in
+  let ways = t.cfg.ways in
+  let smask = t.sets - 1 in
+  let state = t.state in
+  let key0 = live_key t la0 in
+  let tick = ref t.tick in
+  let hits = ref 0 and misses = ref 0 in
+  let vdelta = ref 0 and ddelta = ref 0 in
+  let extra = ref 0 in
+  (* Next level, in locals too. Line sizes may differ in custom
+     geometries; [nshift] converts our line addresses to next's. *)
+  let nshift = next.line_shift - t.line_shift in
+  let nstate = next.state in
+  let nways = next.cfg.ways in
+  let nsmask = next.sets - 1 in
+  let ngen = next.vgen lsl tag_bits in
+  let ntick = ref next.tick in
+  let nhits = ref 0 and nmisses = ref 0 in
+  let nvdelta = ref 0 and nddelta = ref 0 in
+  for k = 0 to n - 1 do
+    let la = la0 + k in
+    let key = key0 + k in
+    incr tick;
+    let base = 2 * ((la land smask) * ways) in
+    let i =
+      let rec loop w =
+        if w = ways then -1
+        else if Array.unsafe_get state (base + (2 * w)) = key then
+          (base lsr 1) + w
+        else loop (w + 1)
+      in
+      loop 0
+    in
+    let slot =
+      if i >= 0 then begin
+        incr hits;
+        Array.unsafe_set state ((2 * i) + 1) !tick;
+        if write && not (dirty_slot t i) then begin
+          Array.unsafe_set t.dstamp i t.dgen;
+          incr ddelta
+        end;
+        i
+      end
+      else begin
+        incr misses;
+        (* Inlined victim scan over the pairs: first non-live way in
+           way order, else min age among live ways. *)
+        let i =
+          let best = ref (base lsr 1) in
+          let blive = ref (Array.unsafe_get state base lsr tag_bits = t.vgen)
+          and bage = ref (Array.unsafe_get state (base + 1)) in
+          for w = 1 to ways - 1 do
+            if !blive then begin
+              let j = base + (2 * w) in
+              let jl = Array.unsafe_get state j lsr tag_bits = t.vgen in
+              let ja = Array.unsafe_get state (j + 1) in
+              if (not jl) || ja < !bage then begin
+                best := (j lsr 1);
+                blive := jl;
+                bage := ja
+              end
+            end
+          done;
+          !best
+        in
+        let was_dirty = dirty_slot t i in
+        if Array.unsafe_get state (2 * i) lsr tag_bits = t.vgen then begin
+          if was_dirty then decr ddelta
+        end
+        else incr vdelta;
+        Array.unsafe_set state (2 * i) key;
+        Array.unsafe_set state ((2 * i) + 1) !tick;
+        if write then begin
+          Array.unsafe_set t.dstamp i t.dgen;
+          if not was_dirty then incr ddelta
+        end
+        else if was_dirty then Array.unsafe_set t.dstamp i (-1);
+        (* Line fill consults the next level, like the scalar path.
+           Try the recorded next-level slot first: a live tag match
+           proves it is the unique slot holding the line, so replaying
+           the hit there is exactly what the full scan would do. *)
+        let nla = if nshift >= 0 then la lsr nshift else la lsl (-nshift) in
+        let nkey = nla lor ngen in
+        incr ntick;
+        let hint = Array.unsafe_get next_slots (from + k) in
+        let j =
+          if hint >= 0 && Array.unsafe_get nstate (2 * hint) = nkey then hint
+          else begin
+            let nbase = 2 * ((nla land nsmask) * nways) in
+            let rec loop w =
+              if w = nways then -1
+              else if Array.unsafe_get nstate (nbase + (2 * w)) = nkey then
+                (nbase lsr 1) + w
+              else loop (w + 1)
+            in
+            loop 0
+          end
+        in
+        if j >= 0 then begin
+          incr nhits;
+          Array.unsafe_set nstate ((2 * j) + 1) !ntick;
+          if write && not (dirty_slot next j) then begin
+            Array.unsafe_set next.dstamp j next.dgen;
+            incr nddelta
+          end;
+          Array.unsafe_set next_slots (from + k) j;
+          extra := !extra + lat_next_hit
+        end
+        else begin
+          incr nmisses;
+          let j = victim next nla in
+          let nwas_dirty = dirty_slot next j in
+          if live next j then begin
+            if nwas_dirty then decr nddelta
+          end
+          else incr nvdelta;
+          Array.unsafe_set nstate (2 * j) nkey;
+          Array.unsafe_set nstate ((2 * j) + 1) !ntick;
+          if write then begin
+            Array.unsafe_set next.dstamp j next.dgen;
+            if not nwas_dirty then incr nddelta
+          end
+          else if nwas_dirty then Array.unsafe_set next.dstamp j (-1);
+          Array.unsafe_set next_slots (from + k) j;
+          extra := !extra + lat_next_miss
+        end;
+        i
+      end
+    in
+    Array.unsafe_set slots (from + k) slot
+  done;
+  t.tick <- !tick;
+  t.hits <- t.hits + !hits;
+  t.misses <- t.misses + !misses;
+  t.epoch <- t.epoch + !misses;
+  t.valid_count <- t.valid_count + !vdelta;
+  t.dirty_count <- t.dirty_count + !ddelta;
+  next.tick <- !ntick;
+  next.hits <- next.hits + !nhits;
+  next.misses <- next.misses + !nmisses;
+  next.epoch <- next.epoch + !nmisses;
+  next.valid_count <- next.valid_count + !nvdelta;
+  next.dirty_count <- next.dirty_count + !nddelta;
+  !extra
+
+let verify_run t ~slots ~from ~n ~a =
+  (* True when the [n] consecutive lines from byte address [a] are all
+     still live in exactly the recorded slots — the soundness
+     condition for replaying the run as hits. Effect-free; the packed
+     tag word checks residency, liveness and placement in one compare
+     (a generation-stale slot's tag can never equal the live key). *)
+  let la0 = line_addr t a in
+  let key0 = live_key t la0 in
+  let state = t.state in
+  let rec loop k =
+    if k = n then true
+    else
+      let i = Array.unsafe_get slots (from + k) in
+      Array.unsafe_get state (2 * i) = key0 + k && loop (k + 1)
+  in
+  loop 0
+
 let replay_hits t idx ~start ~stop ~write =
   (* Replay a recorded run of guaranteed hits: identical counter, LRU
      and dirty transitions to calling [access] on each line, valid only
-     while the epoch recorded with [idx] is current (no fill or
-     invalidation has moved any line since). *)
+     while every replayed slot still holds its recorded line (epoch
+     unchanged since recording, or re-verified with [verify_run]). *)
   let tick = ref t.tick in
-  for k = start to stop - 1 do
-    let i = Array.unsafe_get idx k in
-    incr tick;
-    Array.unsafe_set t.age i !tick;
-    if write then Array.unsafe_set t.dirty i true
-  done;
+  let state = t.state in
+  if write then
+    for k = start to stop - 1 do
+      let i = Array.unsafe_get idx k in
+      incr tick;
+      Array.unsafe_set state ((2 * i) + 1) !tick;
+      mark_dirty t i
+    done
+  else
+    for k = start to stop - 1 do
+      let i = Array.unsafe_get idx k in
+      incr tick;
+      Array.unsafe_set state ((2 * i) + 1) !tick
+    done;
   t.hits <- t.hits + (stop - start);
   t.tick <- !tick
 
@@ -151,17 +408,18 @@ let probe t a = find t (line_addr t a) >= 0
 let resident_slot t a = find t (line_addr t a)
 
 let iter_range t a len f =
-  (* Visit each resident line whose address intersects [a, a+len). *)
+  (* Visit each live line whose address intersects [a, a+len). *)
   let first = line_addr t a and last = line_addr t (a + len - 1) in
-  if last - first >= t.sets * t.cfg.ways then
-    (* Range larger than the cache: scan the arrays instead. *)
-    Array.iteri
-      (fun i v ->
-         if v then begin
-           let la = t.tags.(i) in
-           if la >= first && la <= last then f i
-         end)
-      t.valid
+  if last - first >= t.sets * t.cfg.ways then begin
+    (* Range larger than the cache: scan the state instead. *)
+    let n = t.sets * t.cfg.ways in
+    for i = 0 to n - 1 do
+      if live t i then begin
+        let la = tag_of t i land tag_mask in
+        if la >= first && la <= last then f i
+      end
+    done
+  end
   else
     for la = first to last do
       let i = find t la in
@@ -170,14 +428,15 @@ let iter_range t a len f =
 
 let dirty_in_range t a len =
   let found = ref false in
-  iter_range t a len (fun i -> if t.dirty.(i) then found := true);
+  iter_range t a len (fun i -> if dirty_slot t i then found := true);
   !found
 
 let clean_range t a len =
   let n = ref 0 in
   iter_range t a len (fun i ->
-      if t.dirty.(i) then begin
-        t.dirty.(i) <- false;
+      if dirty_slot t i then begin
+        t.dstamp.(i) <- -1;
+        t.dirty_count <- t.dirty_count - 1;
         incr n
       end);
   if !n > 0 then t.epoch <- t.epoch + 1;
@@ -186,45 +445,46 @@ let clean_range t a len =
 let invalidate_range t a len =
   let n = ref 0 in
   iter_range t a len (fun i ->
-      t.valid.(i) <- false;
-      t.tags.(i) <- -1;
-      t.dirty.(i) <- false;
+      t.state.(2 * i) <- -1;
+      if dirty_slot t i then begin
+        t.dstamp.(i) <- -1;
+        t.dirty_count <- t.dirty_count - 1
+      end;
+      t.valid_count <- t.valid_count - 1;
       incr n);
   if !n > 0 then t.epoch <- t.epoch + 1;
   !n
 
 let invalidate_all t =
-  let n = ref 0 in
-  Array.iteri
-    (fun i v ->
-       if v then begin
-         t.valid.(i) <- false;
-         t.tags.(i) <- -1;
-         t.dirty.(i) <- false;
-         incr n
-       end)
-    t.valid;
-  if !n > 0 then t.epoch <- t.epoch + 1;
-  !n
+  (* O(1): bumping the generations orphans every live tag at once. *)
+  let n = t.valid_count in
+  if n > 0 then t.epoch <- t.epoch + 1;
+  t.vgen <- t.vgen + 1;
+  t.dgen <- t.dgen + 1;
+  t.valid_count <- 0;
+  t.dirty_count <- 0;
+  n
 
 let clean_all t =
-  let n = ref 0 in
-  Array.iteri
-    (fun i d ->
-       if d then begin
-         t.dirty.(i) <- false;
-         incr n
-       end)
-    t.dirty;
-  if !n > 0 then t.epoch <- t.epoch + 1;
-  !n
+  (* O(1): every dirty stamp dies with the generation; lines stay
+     resident. *)
+  let n = t.dirty_count in
+  if n > 0 then t.epoch <- t.epoch + 1;
+  t.dgen <- t.dgen + 1;
+  t.dirty_count <- 0;
+  n
 
 let hits t = t.hits
 let misses t = t.misses
 let epoch t = t.epoch
+
+let valid_lines t = t.valid_count
+let dirty_lines t = t.dirty_count
 
 let reset_stats t =
   t.hits <- 0;
   t.misses <- 0
 
 let lines t = t.sets * t.cfg.ways
+
+let sets t = t.sets

@@ -35,6 +35,32 @@ val access_run : t ->
     byte address of each missing access, in access order, so the caller
     can charge the next memory level. Returns the number of hits. *)
 
+val run_through :
+  t -> t -> lat_next_hit:int -> lat_next_miss:int -> a:Addr.t -> n:int ->
+  write:bool -> slots:int array -> next_slots:int array -> from:int -> int
+(** [run_through l1 next ~a ~n ...] walks [n] consecutive lines from
+    [a]: per line, exactly the transition of {!access} on [l1],
+    followed on a miss by {!access} on [next] (write-allocate at both
+    levels), charging [lat_next_hit]/[lat_next_miss] per next-level
+    consult. The slot that ends up holding each line is recorded into
+    [slots.(from + k)], and the next-level slot each missing line
+    resolves to into [next_slots.(from + k)] — so a cold walk doubles
+    as a recording pass for the fast-path replay layers. [next_slots]
+    is also read back as a self-verifying placement {e hint}: a stale
+    or garbage entry merely falls back to the full set scan, but every
+    entry must be [-1] or in bounds for [next]'s state arrays.
+    Returns the summed next-level cost. This is the simulator's
+    hottest loop — both levels are fused into one closure-free pass
+    with all counters accumulated in locals. *)
+
+val verify_run :
+  t -> slots:int array -> from:int -> n:int -> a:Addr.t -> bool
+(** [verify_run t ~slots ~from ~n ~a] is true when the [n] consecutive
+    lines starting at byte address [a] are still resident in exactly
+    the recorded slots [slots.(from ..)]. Effect-free (no LRU, no
+    counters); this is the soundness condition for {!replay_hits} when
+    {!epoch} has moved since the slots were recorded. *)
+
 val replay_hits : t -> int array -> start:int -> stop:int -> write:bool -> unit
 (** [replay_hits t idx ~start ~stop ~write] replays a recorded run of
     guaranteed hits: for each slot index in [idx.(start..stop-1)] it
@@ -69,10 +95,16 @@ val invalidate_range : t -> Addr.t -> int -> int
     number of lines invalidated. *)
 
 val invalidate_all : t -> int
-(** Drop everything; returns the number of valid lines discarded. *)
+(** Drop everything; returns the number of valid lines discarded.
+    O(1): validity is generation-stamped, so the whole-cache drop is a
+    generation bump checked lazily on slot access, not an array
+    walk — with statistics (the returned count, later hits/misses,
+    victim choice) identical to the eager walk. *)
 
 val clean_all : t -> int
-(** Write back every dirty line; returns how many were written back. *)
+(** Write back every dirty line; returns how many were written back.
+    O(1) via a dirtiness generation bump, like {!invalidate_all};
+    lines stay resident. *)
 
 val hits : t -> int
 val misses : t -> int
@@ -94,3 +126,15 @@ val reset_stats : t -> unit
 
 val lines : t -> int
 (** Total number of lines (capacity / line size). *)
+
+val sets : t -> int
+(** Number of sets (lines / ways). [n] consecutive lines can never
+    evict each other while [n <= sets] — the condition under which a
+    freshly walked run's recorded slots are current at walk end. *)
+
+val valid_lines : t -> int
+(** Number of currently resident lines (maintained incrementally; this
+    is what {!invalidate_all} returns). *)
+
+val dirty_lines : t -> int
+(** Number of currently dirty lines (what {!clean_all} returns). *)

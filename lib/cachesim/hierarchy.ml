@@ -18,6 +18,13 @@ type t = {
   l1i : Cache.t;
   l1d : Cache.t;
   l2 : Cache.t;
+  (* Slot-recording walks need somewhere to write when the caller does
+     not keep the record (plain [access_line_run]); grown on demand.
+     [scratch_l2] doubles as the L2 placement-hint array, so it is
+     (-1)-initialised — every entry is always either -1 or a slot a
+     previous walk recorded, hence in bounds for the L2. *)
+  mutable scratch : int array;
+  mutable scratch_l2 : int array;
 }
 
 let a9_l1i = { Cache.name = "L1I"; size_bytes = 32 * 1024; ways = 4;
@@ -32,7 +39,9 @@ let create_custom ?(lat = default_latencies) ~l1i ~l1d ~l2 clock =
   { lat; clock;
     l1i = Cache.create l1i;
     l1d = Cache.create l1d;
-    l2 = Cache.create l2 }
+    l2 = Cache.create l2;
+    scratch = Array.make 256 0;
+    scratch_l2 = Array.make 256 (-1) }
 
 let create ?lat clock = create_custom ?lat ~l1i:a9_l1i ~l1d:a9_l1d ~l2:a9_l2 clock
 
@@ -51,43 +60,35 @@ let access t kind a =
   Clock.advance t.clock cost;
   cost
 
-let access_line_run t kind a n =
+let access_line_run_record t kind a n ~slots ~next_slots ~from =
   (* Batched equivalent of [n] calls to [access] at [a, a + line, …]
      (one per cache line): identical L1/L2 state transitions in the
-     same order, but a single dispatch and a single clock advance.
-     L1 fills consult L2 per missing line, exactly like the scalar
-     path. Returns the summed cost. *)
+     same order, but a single fused dispatch (no closure per missing
+     line) and a single clock advance. The L1 slot that ends up
+     holding each line is recorded into [slots.(from + k)] (and the L2
+     slot of each missing line into [next_slots.(from + k)]), which is
+     how the platform layer's compiled footprint programs refresh
+     their replay records on every cold walk for free. Returns the
+     summed cost. *)
   let l1 = match kind with Ifetch -> t.l1i | Load | Store -> t.l1d in
   let write = kind = Store in
   let lat = t.lat in
-  let l2 = t.l2 in
-  let miss_cost = ref 0 in
-  let on_miss addr =
-    miss_cost :=
-      !miss_cost
-      + (match Cache.access l2 addr ~write with
-         | `Hit -> lat.l2_hit
-         | `Miss -> lat.l2_hit + lat.dram)
+  let miss_cost =
+    Cache.run_through l1 t.l2 ~lat_next_hit:lat.l2_hit
+      ~lat_next_miss:(lat.l2_hit + lat.dram) ~a ~n ~write ~slots ~next_slots
+      ~from
   in
-  let hits = Cache.access_run l1 a ~stride:Addr.line_size ~n ~write ~on_miss in
-  ignore hits;
-  let cost = (n * lat.l1_hit) + !miss_cost in
+  let cost = (n * lat.l1_hit) + miss_cost in
   Clock.advance t.clock cost;
   cost
 
-let replay_warm_lines t ~l1i ~l1d ~l1d_write_from =
-  (* Replay a recorded all-L1-hit footprint: bulk hit transitions on
-     both L1s (reads before writes on the data side, matching the
-     recording order) and one clock advance of the summed L1 hit
-     latency. Only sound under the epoch guards checked by the
-     caller (Exec's warm memo). *)
-  Cache.replay_hits t.l1i l1i ~start:0 ~stop:(Array.length l1i) ~write:false;
-  Cache.replay_hits t.l1d l1d ~start:0 ~stop:l1d_write_from ~write:false;
-  Cache.replay_hits t.l1d l1d ~start:l1d_write_from
-    ~stop:(Array.length l1d) ~write:true;
-  let cost = t.lat.l1_hit * (Array.length l1i + Array.length l1d) in
-  Clock.advance t.clock cost;
-  cost
+let access_line_run t kind a n =
+  if Array.length t.scratch < n then begin
+    t.scratch <- Array.make (max n (2 * Array.length t.scratch)) 0;
+    t.scratch_l2 <- Array.make (Array.length t.scratch) (-1)
+  end;
+  access_line_run_record t kind a n ~slots:t.scratch ~next_slots:t.scratch_l2
+    ~from:0
 
 let access_uncached t =
   (* Single-beat device access over the peripheral bus. *)

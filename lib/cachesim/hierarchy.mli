@@ -43,14 +43,18 @@ val access_line_run : t -> kind -> Addr.t -> int -> int
     This is the hot-path entry used by [Exec] for contiguous runs of
     lines within one page. *)
 
-val replay_warm_lines : t -> l1i:int array -> l1d:int array ->
-  l1d_write_from:int -> int
-(** Replay a recorded all-L1-resident footprint: bulk hit transitions
-    on the L1 slot indices in [l1i]/[l1d] (data reads before writes,
-    split at [l1d_write_from]) and one clock advance of the summed L1
-    hit cost, which is returned. Sound only while the {!Cache.epoch}
-    of both L1s is unchanged since the indices were captured; the
-    caller (Exec's warm memo) checks that. *)
+val access_line_run_record :
+  t -> kind -> Addr.t -> int ->
+  slots:int array -> next_slots:int array -> from:int -> int
+(** Like {!access_line_run}, and additionally records the L1 slot that
+    ends up holding line [k] into [slots.(from + k)] and the L2 slot
+    each missing line resolves to into [next_slots.(from + k)] — a
+    cold walk thereby refreshes the compiled footprint program's
+    replay record at no extra cost, and the recorded L2 slots serve as
+    self-verifying placement hints on the next walk (see
+    {!Cache.run_through}). The caller must size both arrays to at
+    least [from + n]; [next_slots] entries must be [-1] or in-bounds
+    L2 slots. *)
 
 val access_uncached : t -> int
 (** Charge a device (MMIO) access: bypasses the caches, costs a fixed

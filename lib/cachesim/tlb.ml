@@ -2,8 +2,14 @@ type entry = { ppage : int; word : int; global : bool }
 
 type config = { entries : int; ways : int }
 
+(* A slot is live when [valid] is set AND its generation stamp matches
+   the TLB's current generation: the full flush only bumps the
+   generation (O(1)) and stale slots are treated as empty wherever
+   they are next touched. The count a flush must report (it feeds the
+   maintenance cycle charge) is kept incrementally in [live_count]. *)
 type slot = {
   mutable valid : bool;
+  mutable gen : int;
   mutable asid : int;
   mutable vpage : int;
   mutable entry : entry;
@@ -14,6 +20,8 @@ type t = {
   cfg : config;
   sets : int;
   slots : slot array;
+  mutable gen_cur : int;
+  mutable live_count : int;
   mutable tick : int;
   mutable hits : int;
   mutable misses : int;
@@ -34,14 +42,19 @@ let create cfg =
     invalid_arg "Tlb.create: set count must be a power of two";
   let slots =
     Array.init cfg.entries (fun _ ->
-        { valid = false; asid = 0; vpage = 0; entry = dummy_entry; age = 0 })
+        { valid = false; gen = 0; asid = 0; vpage = 0; entry = dummy_entry;
+          age = 0 })
   in
-  { cfg; sets; slots; tick = 0; hits = 0; misses = 0; epoch = 0 }
+  { cfg; sets; slots; gen_cur = 0; live_count = 0; tick = 0; hits = 0;
+    misses = 0; epoch = 0 }
 
 let null_slot =
-  { valid = false; asid = -1; vpage = -1; entry = dummy_entry; age = 0 }
+  { valid = false; gen = 0; asid = -1; vpage = -1; entry = dummy_entry;
+    age = 0 }
 
 let set_of t vpage = vpage land (t.sets - 1)
+
+let slot_live t s = s.valid && s.gen = t.gen_cur
 
 let matching t ~asid ~vpage =
   let base = set_of t vpage * t.cfg.ways in
@@ -49,7 +62,9 @@ let matching t ~asid ~vpage =
     if w = t.cfg.ways then None
     else
       let s = t.slots.(base + w) in
-      if s.valid && s.vpage = vpage && (s.entry.global || s.asid = asid)
+      if
+        slot_live t s && s.vpage = vpage
+        && (s.entry.global || s.asid = asid)
       then Some s
       else loop (w + 1)
   in
@@ -78,7 +93,9 @@ let refresh t s =
 let insert t ~asid ~vpage entry =
   t.tick <- t.tick + 1;
   let base = set_of t vpage * t.cfg.ways in
-  (* Reuse an existing slot for the same mapping, else LRU victim. *)
+  (* Reuse an existing slot for the same mapping, else LRU victim
+     (a generation-stale slot counts as free, exactly as if the flush
+     had cleared its valid bit eagerly). *)
   let slot =
     match matching t ~asid ~vpage with
     | Some s -> s
@@ -86,14 +103,16 @@ let insert t ~asid ~vpage entry =
       let best = ref t.slots.(base) in
       for w = 1 to t.cfg.ways - 1 do
         let s = t.slots.(base + w) in
-        if not s.valid then begin
-          if !best.valid then best := s
+        if not (slot_live t s) then begin
+          if slot_live t !best then best := s
         end
-        else if !best.valid && s.age < !best.age then best := s
+        else if slot_live t !best && s.age < !best.age then best := s
       done;
       !best
   in
+  if not (slot_live t slot) then t.live_count <- t.live_count + 1;
   slot.valid <- true;
+  slot.gen <- t.gen_cur;
   slot.asid <- asid;
   slot.vpage <- vpage;
   slot.entry <- entry;
@@ -101,23 +120,20 @@ let insert t ~asid ~vpage entry =
   t.epoch <- t.epoch + 1
 
 let flush_all t =
-  let n = ref 0 in
-  Array.iter
-    (fun s ->
-       if s.valid then begin
-         s.valid <- false;
-         incr n
-       end)
-    t.slots;
-  if !n > 0 then t.epoch <- t.epoch + 1;
-  !n
+  (* O(1): the generation bump orphans every live slot at once. *)
+  let n = t.live_count in
+  if n > 0 then t.epoch <- t.epoch + 1;
+  t.gen_cur <- t.gen_cur + 1;
+  t.live_count <- 0;
+  n
 
 let flush_asid t asid =
   let n = ref 0 in
   Array.iter
     (fun s ->
-       if s.valid && (not s.entry.global) && s.asid = asid then begin
+       if slot_live t s && (not s.entry.global) && s.asid = asid then begin
          s.valid <- false;
+         t.live_count <- t.live_count - 1;
          incr n
        end)
     t.slots;
@@ -128,8 +144,11 @@ let flush_page t ~asid ~vpage =
   let base = set_of t vpage * t.cfg.ways in
   for w = 0 to t.cfg.ways - 1 do
     let s = t.slots.(base + w) in
-    if s.valid && s.vpage = vpage && (s.entry.global || s.asid = asid) then begin
+    if
+      slot_live t s && s.vpage = vpage && (s.entry.global || s.asid = asid)
+    then begin
       s.valid <- false;
+      t.live_count <- t.live_count - 1;
       t.epoch <- t.epoch + 1
     end
   done
@@ -137,6 +156,8 @@ let flush_page t ~asid ~vpage =
 let hits t = t.hits
 let misses t = t.misses
 let epoch t = t.epoch
+
+let live_entries t = t.live_count
 
 let reset_stats t =
   t.hits <- 0;

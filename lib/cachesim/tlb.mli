@@ -53,7 +53,11 @@ val insert : t -> asid:int -> vpage:int -> entry -> unit
 (** Install a translation (evicting LRU in the set if needed). *)
 
 val flush_all : t -> int
-(** Invalidate everything (including globals); returns entries dropped. *)
+(** Invalidate everything (including globals); returns entries
+    dropped. O(1): liveness is generation-stamped per slot, so the
+    full flush is a generation bump checked lazily on the next match,
+    with hit/miss statistics and LRU behaviour identical to the eager
+    array walk it replaces. *)
 
 val flush_asid : t -> int -> int
 (** Invalidate all non-global entries of one ASID. *)
@@ -72,6 +76,10 @@ val epoch : t -> int
     {!peek} is still resident in the same slot. Exec's micro-TLB and
     warm-footprint memo key on this; it also exposes TLB churn to
     observability layers. *)
+
+val live_entries : t -> int
+(** Number of currently resident translations (maintained
+    incrementally; this is what {!flush_all} returns). *)
 
 val reset_stats : t -> unit
 (** Clears [hits]/[misses]; {!epoch} is deliberately preserved so

@@ -5,13 +5,16 @@
      walk, kept as the oracle for the equivalence property test and
      used when the fast path is disabled (MININOVA_FASTPATH=0);
 
-   - the fast path: a per-CPU micro-TLB memoises page translations, a
-     contiguous run of lines within a page is charged through
-     [Hierarchy.access_line_run] with one dispatch, and footprints
-     whose last visit was entirely warm (zero new misses anywhere) are
-     replayed in bulk from a recorded memo. Epoch counters on the TLB
-     and caches guarantee every shortcut reproduces the exact state
-     transitions, statistics and cycle counts of the reference path. *)
+   - the fast path: each footprint is compiled once per translation
+     context into a flat program of page-run descriptors
+     ([Fastpath.prog]); replay revalidates each run independently
+     against the TLB/cache epoch counters (or an effect-free tag
+     verify) and bulk-replays the warm runs, walking only the cold
+     ones through the fused two-level loop — which re-records their
+     replay slots in passing. A per-CPU micro-TLB memoises page
+     translations for the cold runs. Epoch counters guarantee every
+     shortcut reproduces the exact state transitions, statistics and
+     cycle counts of the reference path. *)
 
 type range = Fastpath.range = { base : Addr.t; len : int }
 
@@ -151,81 +154,152 @@ let run_ref zynq ~priv t =
   Clock.advance zynq.Zynq.clock (t.base_cycles + issue_cycles t);
   Clock.now zynq.Zynq.clock - start
 
-exception Abort_record
-
-(* Capture a warm memo. Only called after a run with zero new misses
-   in L1I/L1D/L2/TLB, so every line is L1-resident and every page
-   TLB-resident; the probes below are effect-free (no ticks, no stats,
-   no LRU movement) and simply record where everything sits. *)
-let record_memo zynq fast key (t : t) ~asid ~fail =
-  let n_code = lines_of t.code in
-  let n_read = List.fold_left (fun a r -> a + lines_of r) 0 t.reads in
-  let n_write = List.fold_left (fun a r -> a + lines_of r) 0 t.writes in
-  if n_code + n_read + n_write <= Fastpath.memo_lines_cap then begin
-    let tlb = zynq.Zynq.tlb in
-    let hier = zynq.Zynq.hier in
-    let l1i = Hierarchy.l1i hier in
-    let l1d = Hierarchy.l1d hier in
-    let slots = ref [] in
-    let l1i_idx = Array.make n_code 0 in
-    let l1d_idx = Array.make (n_read + n_write) 0 in
-    let pos = ref 0 in
-    let probe_range cache idx r =
+(* Compile a footprint into a flat program: one descriptor per maximal
+   within-page run of consecutive lines, in exactly the order the
+   reference walk visits them (code, then reads, then writes). The
+   dynamic replay record starts all-stale (-1 stamps); the first visit
+   walks every run cold and records as it goes. *)
+let compile (t : t) =
+  let total = lines_of t.code + data_lines t in
+  if total > Fastpath.memo_lines_cap then None
+  else begin
+    let vbase = ref [] and off = ref [] and lns = ref [] and knd = ref []
+    and frm = ref [] in
+    let n_runs = ref 0 and pos = ref 0 in
+    let add_range kind r =
       if r.len > 0 then begin
         let first = Addr.line_base r.base in
         let last = Addr.line_base (r.base + r.len - 1) in
-        let cur_page = ref (-1) in
-        let cur_pbase = ref 0 in
         let a = ref first in
         while !a <= last do
-          let page = !a lsr Addr.page_shift in
-          if page <> !cur_page then begin
-            (match Tlb.peek tlb ~asid ~vpage:page with
-             | Some s ->
-               slots := s :: !slots;
-               cur_pbase := Tlb.slot_ppage s lsl Addr.page_shift
-             | None -> raise Abort_record);
-            cur_page := page
-          end;
-          let pa = !cur_pbase lor (!a land (Addr.page_size - 1)) in
-          let i = Cache.resident_slot cache pa in
-          if i < 0 then raise Abort_record;
-          Array.unsafe_set idx !pos i;
-          incr pos;
-          a := !a + Addr.line_size
+          let page_vbase = Addr.page_base !a in
+          let page_last = page_vbase + Addr.page_size - Addr.line_size in
+          let stop = if last < page_last then last else page_last in
+          let n = ((stop - !a) / Addr.line_size) + 1 in
+          vbase := page_vbase :: !vbase;
+          off := (!a - page_vbase) :: !off;
+          lns := n :: !lns;
+          knd := kind :: !knd;
+          frm := !pos :: !frm;
+          incr n_runs;
+          pos := !pos + n;
+          a := !a + (n * Addr.line_size)
         done
       end
     in
-    try
-      probe_range l1i l1i_idx t.code;
-      pos := 0;
-      List.iter (probe_range l1d l1d_idx) t.reads;
-      List.iter (probe_range l1d l1d_idx) t.writes;
-      Fastpath.store_memo fast key
-        { Fastpath.w_tlb_epoch = Tlb.epoch tlb;
-          w_l1i_epoch = Cache.epoch l1i;
-          w_l1d_epoch = Cache.epoch l1d;
-          w_tlb_slots = Array.of_list (List.rev !slots);
-          w_l1i = l1i_idx;
-          w_l1d = l1d_idx;
-          w_l1d_write_from = n_read;
-          w_fail = fail }
-    with Abort_record -> ()
+    add_range 0 t.code;
+    List.iter (add_range 1) t.reads;
+    List.iter (add_range 2) t.writes;
+    let arr l = Array.of_list (List.rev !l) in
+    let n = !n_runs in
+    Some
+      { Fastpath.n_runs = n;
+        r_vbase = arr vbase;
+        r_off = arr off;
+        r_lines = arr lns;
+        r_kind = arr knd;
+        r_from = arr frm;
+        total_lines = !pos;
+        r_tlb_epoch = Array.make n (-1);
+        r_tlb_slot = Array.make n Tlb.null_slot;
+        r_pbase = Array.make n 0;
+        r_cache_epoch = Array.make n (-1);
+        slots = Array.make !pos 0;
+        l2_slots = Array.make !pos (-1) }
   end
 
-let replay_memo zynq (m : Fastpath.memo) (t : t) =
+let kind_of = function
+  | 0 -> Hierarchy.Ifetch
+  | 1 -> Hierarchy.Load
+  | _ -> Hierarchy.Store
+
+(* Replay a compiled program, revalidating each run independently:
+
+   - translation: a TLB-epoch stamp match proves no insert or flush
+     has touched any slot since the run's slot was recorded, so the
+     recorded translation is replayed ([Tlb.refresh] — the exact
+     state transition of the hitting lookup it stands in for) and the
+     cached physical base reused; otherwise the page goes back
+     through the micro-TLB / MMU and the record is refreshed;
+
+   - lines: a cache-epoch stamp match proves no fill or invalidation
+     has moved anything, so the run's recorded slots are replayed as
+     bulk hits; failing that, an effect-free tag verify re-certifies
+     the (possibly restamped) slots; failing *that*, the run is
+     walked cold through the fused two-level loop, which re-records
+     the slots in passing.
+
+   Every tier performs bit-identical state transitions, statistics
+   and cycle charges to the scalar reference walk; the tiers differ
+   only in host-side work per line. *)
+let run_prog zynq fast (p : Fastpath.prog) (t : t) ~priv ~asid ~ttbr ~dacr =
   let tlb = zynq.Zynq.tlb in
-  let slots = m.Fastpath.w_tlb_slots in
-  for i = 0 to Array.length slots - 1 do
-    Tlb.refresh tlb (Array.unsafe_get slots i)
+  let hier = zynq.Zynq.hier in
+  let l1i = Hierarchy.l1i hier in
+  let l1d = Hierarchy.l1d hier in
+  let lat = Hierarchy.latencies hier in
+  let clock = zynq.Zynq.clock in
+  let start = Clock.now clock in
+  let cold = ref 0 in
+  let n_runs = p.Fastpath.n_runs in
+  for r = 0 to n_runs - 1 do
+    let ki = Array.unsafe_get p.Fastpath.r_kind r in
+    let n = Array.unsafe_get p.Fastpath.r_lines r in
+    let page_vbase = Array.unsafe_get p.Fastpath.r_vbase r in
+    let pbase =
+      if Array.unsafe_get p.Fastpath.r_tlb_epoch r = Tlb.epoch tlb then begin
+        Tlb.refresh tlb (Array.unsafe_get p.Fastpath.r_tlb_slot r);
+        Array.unsafe_get p.Fastpath.r_pbase r
+      end
+      else begin
+        let pb =
+          translate_page zynq fast (kind_of ki) ~priv ~asid ~ttbr ~dacr
+            page_vbase
+        in
+        (match Tlb.peek tlb ~asid ~vpage:(page_vbase lsr Addr.page_shift) with
+         | Some slot ->
+           Array.unsafe_set p.Fastpath.r_tlb_slot r slot;
+           Array.unsafe_set p.Fastpath.r_pbase r pb;
+           Array.unsafe_set p.Fastpath.r_tlb_epoch r (Tlb.epoch tlb)
+         | None -> Array.unsafe_set p.Fastpath.r_tlb_epoch r (-1));
+        pb
+      end
+    in
+    let pa = pbase lor Array.unsafe_get p.Fastpath.r_off r in
+    let cache = if ki = 0 then l1i else l1d in
+    let write = ki = 2 in
+    let from = Array.unsafe_get p.Fastpath.r_from r in
+    let cep = Cache.epoch cache in
+    if Array.unsafe_get p.Fastpath.r_cache_epoch r = cep then begin
+      Cache.replay_hits cache p.Fastpath.slots ~start:from ~stop:(from + n)
+        ~write;
+      Clock.advance clock (n * lat.Hierarchy.l1_hit)
+    end
+    else if Cache.verify_run cache ~slots:p.Fastpath.slots ~from ~n ~a:pa
+    then begin
+      Cache.replay_hits cache p.Fastpath.slots ~start:from ~stop:(from + n)
+        ~write;
+      Array.unsafe_set p.Fastpath.r_cache_epoch r cep;
+      Clock.advance clock (n * lat.Hierarchy.l1_hit)
+    end
+    else begin
+      incr cold;
+      ignore
+        (Hierarchy.access_line_run_record hier (kind_of ki) pa n
+           ~slots:p.Fastpath.slots ~next_slots:p.Fastpath.l2_slots ~from);
+      (* The post-walk stamp is only sound when the walk cannot have
+         evicted its own earlier lines: consecutive lines land in
+         distinct sets iff the run fits the set count. *)
+      Array.unsafe_set p.Fastpath.r_cache_epoch r
+        (if n <= Cache.sets cache then Cache.epoch cache else -1)
+    end
   done;
-  let c =
-    Hierarchy.replay_warm_lines zynq.Zynq.hier ~l1i:m.Fastpath.w_l1i
-      ~l1d:m.Fastpath.w_l1d ~l1d_write_from:m.Fastpath.w_l1d_write_from
-  in
-  let tail = t.base_cycles + issue_cycles t in
-  Clock.advance zynq.Zynq.clock tail;
-  c + tail
+  if !cold = 0 then
+    fast.Fastpath.warm_replays <- fast.Fastpath.warm_replays + 1
+  else if !cold < n_runs then
+    fast.Fastpath.partial_replays <- fast.Fastpath.partial_replays + 1;
+  Clock.advance clock (t.base_cycles + issue_cycles t);
+  Clock.now clock - start
 
 let run zynq ~priv t =
   let fast = zynq.Zynq.fast in
@@ -236,53 +310,26 @@ let run zynq ~priv t =
       { Fastpath.k_fp = t; k_asid = asid; k_ttbr = ttbr; k_dacr = dacr;
         k_priv = priv }
     in
-    let tlb = zynq.Zynq.tlb in
-    let hier = zynq.Zynq.hier in
-    let l1i = Hierarchy.l1i hier in
-    let l1d = Hierarchy.l1d hier in
-    let prev = Hashtbl.find_opt fast.Fastpath.memos key in
-    match prev with
-    | Some m
-      when m.Fastpath.w_tlb_epoch = Tlb.epoch tlb
-           && m.Fastpath.w_l1i_epoch = Cache.epoch l1i
-           && m.Fastpath.w_l1d_epoch = Cache.epoch l1d ->
-      m.Fastpath.w_fail <- 0;
-      fast.Fastpath.warm_replays <- fast.Fastpath.warm_replays + 1;
-      replay_memo zynq m t
-    | _ ->
-      let fail =
-        match prev with
-        | Some m ->
-          m.Fastpath.w_fail <- m.Fastpath.w_fail + 1;
-          m.Fastpath.w_fail
-        | None -> 0
-      in
-      let l2 = Hierarchy.l2 hier in
-      let m0 =
-        Cache.misses l1i + Cache.misses l1d + Cache.misses l2
-        + Tlb.misses tlb
-      in
-      let start = Clock.now zynq.Zynq.clock in
-      touch_fast zynq fast ~priv ~asid ~ttbr ~dacr Hierarchy.Ifetch t.code;
-      List.iter
-        (touch_fast zynq fast ~priv ~asid ~ttbr ~dacr Hierarchy.Load)
-        t.reads;
-      List.iter
-        (touch_fast zynq fast ~priv ~asid ~ttbr ~dacr Hierarchy.Store)
-        t.writes;
-      Clock.advance zynq.Zynq.clock (t.base_cycles + issue_cycles t);
-      let elapsed = Clock.now zynq.Zynq.clock - start in
-      let m1 =
-        Cache.misses l1i + Cache.misses l1d + Cache.misses l2
-        + Tlb.misses tlb
-      in
-      (* Record only fully warm visits. A memo whose epochs keep
-         getting invalidated between visits backs off exponentially
-         (re-record on power-of-two failure counts) so churn-heavy
-         footprints don't pay the probe pass every time. *)
-      if m1 = m0 && (fail <= 2 || fail land (fail - 1) = 0) then
-        record_memo zynq fast key t ~asid ~fail;
-      elapsed
+    match Fastpath.find_prog fast key with
+    | Some p -> run_prog zynq fast p t ~priv ~asid ~ttbr ~dacr
+    | None -> (
+        match compile t with
+        | Some p ->
+          Fastpath.store_prog fast key p;
+          run_prog zynq fast p t ~priv ~asid ~ttbr ~dacr
+        | None ->
+          (* Too many lines to compile: straight fast walk. *)
+          let start = Clock.now zynq.Zynq.clock in
+          touch_fast zynq fast ~priv ~asid ~ttbr ~dacr Hierarchy.Ifetch
+            t.code;
+          List.iter
+            (touch_fast zynq fast ~priv ~asid ~ttbr ~dacr Hierarchy.Load)
+            t.reads;
+          List.iter
+            (touch_fast zynq fast ~priv ~asid ~ttbr ~dacr Hierarchy.Store)
+            t.writes;
+          Clock.advance zynq.Zynq.clock (t.base_cycles + issue_cycles t);
+          Clock.now zynq.Zynq.clock - start)
   end
 
 let estimate_warm_cycles t =

@@ -11,8 +11,9 @@
 
     {!run} and {!touch} are accelerated by a per-CPU fast path
     ({!Fastpath}): a micro-TLB over page translations, batched
-    per-page line runs ({!Hierarchy.access_line_run}), and a
-    warm-footprint memo that bulk-replays fully L1-resident visits.
+    per-page line runs ({!Hierarchy.access_line_run}), and compiled
+    footprint programs whose partial-warm replay bulk-replays the
+    L1-resident runs and walks only the cold ones.
     All of it is {e exact} — simulated cycles and every hit/miss
     counter are bit-identical to the scalar reference walk, which is
     kept available (set [MININOVA_FASTPATH=0], or

@@ -7,11 +7,15 @@
      {!Tlb.epoch} are unchanged — every flush, ASID switch or
      page-table update moves the epoch and kills stale entries;
 
-   - a warm-footprint memo: when a footprint ran with every line
-     L1-resident and every translation TLB-resident, the slot indices
-     are recorded so the next visit under the same context and epochs
-     can replay the exact hit transitions in bulk instead of walking
-     line by line.
+   - compiled footprint programs: each footprint is flattened once per
+     translation context into an array of page-run descriptors (page
+     base, first-line offset, line count, access kind) with a per-run
+     replay record (TLB slot + physical base, L1 slot per line). A
+     replay visit revalidates each run independently — TLB-epoch stamp
+     for the translation, cache-epoch stamp or an effect-free
+     tag-verify pass for the lines — so a footprint with one cold
+     range replays its warm runs in bulk and walks only the cold ones,
+     and every cold walk re-records the run's slots in passing.
 
    Both structures are per-[Zynq] world (one simulated CPU), so
    parallel sweeps on separate domains never share them. The types
@@ -46,9 +50,9 @@ type mentry = {
 let mtlb_size = 256
 let mtlb_mask = mtlb_size - 1
 
-(* Warm-footprint memos are keyed by the footprint value itself plus
-   the translation context it ran under, so the same kernel stub
-   executed on behalf of different guests keeps one memo per guest. *)
+(* Programs are keyed by the footprint value itself plus the
+   translation context it runs under, so the same kernel stub executed
+   on behalf of different guests keeps one program per guest. *)
 type key = {
   k_fp : fp;
   k_asid : int;
@@ -57,32 +61,87 @@ type key = {
   k_priv : bool;
 }
 
-type memo = {
-  w_tlb_epoch : int;
-  w_l1i_epoch : int;
-  w_l1d_epoch : int;
-  w_tlb_slots : Tlb.slot array;  (* one per page-translate, in order *)
-  w_l1i : int array;             (* L1I slot index per code line *)
-  w_l1d : int array;             (* L1D slots: read lines then write lines *)
-  w_l1d_write_from : int;
-  mutable w_fail : int;          (* consecutive stale visits (backoff) *)
+(* A compiled footprint program. The static half is the flattened
+   access pattern: run [r] covers [r_lines.(r)] consecutive lines of
+   kind [r_kind.(r)] starting [r_off.(r)] bytes into the page at
+   [r_vbase.(r)], with its per-line slot record living at
+   [slots.(r_from.(r) ..)]. The dynamic half is the replay record,
+   guarded by the monotonic TLB/cache epoch stamps: a stamp of -1
+   means "never valid". *)
+type prog = {
+  n_runs : int;
+  r_vbase : int array;
+  r_off : int array;
+  r_lines : int array;
+  r_kind : int array;        (* 0 ifetch / 1 load / 2 store *)
+  r_from : int array;
+  total_lines : int;
+  r_tlb_epoch : int array;
+  r_tlb_slot : Tlb.slot array;
+  r_pbase : int array;
+  r_cache_epoch : int array;
+  slots : int array;
+  l2_slots : int array;      (* recorded L2 slot per line; -1 = none *)
 }
+
+(* The program table is the hottest lookup in the simulator (one find
+   per [Exec.run]); a hand-rolled hash over the footprint's scalar
+   fields avoids the polymorphic hash walking the label string and the
+   range lists on every call. *)
+module Key = struct
+  type t = key
+
+  let range_eq (a : range) (b : range) = a.base = b.base && a.len = b.len
+
+  let rec ranges_eq a b =
+    match a, b with
+    | [], [] -> true
+    | x :: a, y :: b -> range_eq x y && ranges_eq a b
+    | _ -> false
+
+  let equal a b =
+    a.k_asid = b.k_asid && a.k_ttbr = b.k_ttbr && a.k_dacr = b.k_dacr
+    && a.k_priv = b.k_priv
+    && a.k_fp.code.base = b.k_fp.code.base
+    && a.k_fp.code.len = b.k_fp.code.len
+    && a.k_fp.base_cycles = b.k_fp.base_cycles
+    && ranges_eq a.k_fp.reads b.k_fp.reads
+    && ranges_eq a.k_fp.writes b.k_fp.writes
+    && String.equal a.k_fp.label b.k_fp.label
+
+  let mix h v = (h * 0x01000193) lxor v
+
+  let mix_ranges h rs =
+    List.fold_left (fun h r -> mix (mix h r.base) r.len) h rs
+
+  let hash k =
+    let h = mix (mix 0x811c9dc5 k.k_fp.code.base) k.k_fp.code.len in
+    let h = mix h k.k_fp.base_cycles in
+    let h = mix_ranges h k.k_fp.reads in
+    let h = mix_ranges h k.k_fp.writes in
+    let h = mix (mix (mix h k.k_asid) k.k_ttbr) k.k_dacr in
+    let h = if k.k_priv then mix h 1 else h in
+    h land max_int
+end
+
+module Memos = Hashtbl.Make (Key)
 
 type t = {
   mtlb : mentry array;
-  memos : (key, memo) Hashtbl.t;
+  memos : prog Memos.t;
   mutable enabled : bool;
   (* Observability counters (host-side only; never affect the sim). *)
   mutable mtlb_hits : int;
   mutable mtlb_misses : int;
-  mutable warm_replays : int;
-  mutable warm_records : int;
+  mutable warm_replays : int;     (* visits with every run replayed warm *)
+  mutable partial_replays : int;  (* visits mixing warm replays and walks *)
+  mutable warm_records : int;     (* programs compiled *)
 }
 
 let memo_cap = 8192
 
-(* Footprints above this many lines are not memoised: they are rare,
-   already amortise their walk cost, and would make memos large. *)
+(* Footprints above this many lines are not compiled: they are rare,
+   already amortise their walk cost, and would make programs large. *)
 let memo_lines_cap = 512
 
 let create () =
@@ -96,17 +155,22 @@ let create () =
           { m_vpage = -1; m_asid = -1; m_ttbr = -1; m_dacr = -1;
             m_priv = false; m_epoch = -1; m_slot = Tlb.null_slot;
             m_pbase = 0 });
-    memos = Hashtbl.create 64;
+    memos = Memos.create 64;
     enabled;
-    mtlb_hits = 0; mtlb_misses = 0; warm_replays = 0; warm_records = 0 }
+    mtlb_hits = 0; mtlb_misses = 0; warm_replays = 0; partial_replays = 0;
+    warm_records = 0 }
 
 let set_enabled t b = t.enabled <- b
 let enabled t = t.enabled
 
-let store_memo t key memo =
-  if Hashtbl.length t.memos >= memo_cap then Hashtbl.reset t.memos;
-  Hashtbl.replace t.memos key memo;
+let store_prog t key prog =
+  if Memos.length t.memos >= memo_cap then Memos.reset t.memos;
+  Memos.replace t.memos key prog;
   t.warm_records <- t.warm_records + 1
+
+let find_prog t key = Memos.find_opt t.memos key
 
 let stats t =
   (t.mtlb_hits, t.mtlb_misses, t.warm_replays, t.warm_records)
+
+let partial_replays t = t.partial_replays

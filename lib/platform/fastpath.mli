@@ -1,10 +1,16 @@
 (** Per-CPU exact fast-path state for {!Exec}.
 
     Holds the micro-TLB (a direct-mapped memo over page translations)
-    and the warm-footprint memo table. Both are validated with the
-    {!Tlb.epoch} / {!Cache.epoch} counters, so every shortcut taken
-    through them is bit-identical — in simulated cycles and in every
-    hit/miss statistic — to the scalar reference walk.
+    and the compiled-footprint program table. A program flattens a
+    footprint into page-run descriptors (page base, first-line offset,
+    line count, access kind) plus a replay record: the TLB slot and
+    physical base per run, and the L1 slot per line. Replay
+    revalidates each run independently against the {!Tlb.epoch} /
+    {!Cache.epoch} counters (or an effect-free tag verify), so a
+    partially warm footprint bulk-replays its warm runs and walks only
+    the cold ones — with every shortcut bit-identical, in simulated
+    cycles and in every hit/miss statistic, to the scalar reference
+    walk.
 
     One value lives in each {!Zynq.t}; parallel sweep domains never
     share one. The types are concrete because {!Exec} is the hot path
@@ -47,35 +53,51 @@ type key = {
   k_dacr : int;
   k_priv : bool;
 }
-(** Warm-memo key: footprint plus translation context, so a kernel
-    stub run on behalf of different guests keeps one memo each. *)
+(** Program key: footprint plus translation context, so a kernel stub
+    run on behalf of different guests keeps one program each. *)
 
-type memo = {
-  w_tlb_epoch : int;
-  w_l1i_epoch : int;
-  w_l1d_epoch : int;
-  w_tlb_slots : Tlb.slot array;  (** one per page-translate, in order *)
-  w_l1i : int array;             (** L1I slot index per code line *)
-  w_l1d : int array;             (** L1D slots: read lines then writes *)
-  w_l1d_write_from : int;
-  mutable w_fail : int;          (** consecutive stale visits (backoff) *)
+type prog = {
+  n_runs : int;
+  r_vbase : int array;       (** page-aligned virtual base per run *)
+  r_off : int array;         (** first-line byte offset within the page *)
+  r_lines : int array;       (** consecutive lines in the run *)
+  r_kind : int array;        (** 0 ifetch / 1 load / 2 store *)
+  r_from : int array;        (** run's first line index into [slots] *)
+  total_lines : int;
+  r_tlb_epoch : int array;   (** {!Tlb.epoch} when [r_tlb_slot] was
+                                 recorded; -1 = never *)
+  r_tlb_slot : Tlb.slot array;
+  r_pbase : int array;       (** physical page base per run *)
+  r_cache_epoch : int array; (** {!Cache.epoch} of the run's L1 when
+                                 [slots] was last known current; -1 *)
+  slots : int array;         (** recorded L1 slot per line *)
+  l2_slots : int array;      (** recorded L2 slot per line (placement
+                                 hint for cold walks); -1 = none *)
 }
+(** A compiled footprint program: static flattened access pattern plus
+    the epoch-guarded dynamic replay record. *)
+
+module Memos : Hashtbl.S with type key = key
+(** Program table with a cheap hand-rolled hash over the footprint's
+    scalar fields (the polymorphic hash would walk the label string
+    and the range lists on every {!Exec.run}). *)
 
 type t = {
   mtlb : mentry array;
-  memos : (key, memo) Hashtbl.t;
+  memos : prog Memos.t;
   mutable enabled : bool;
   mutable mtlb_hits : int;
   mutable mtlb_misses : int;
   mutable warm_replays : int;
+  mutable partial_replays : int;
   mutable warm_records : int;
 }
 
 val memo_cap : int
-(** Memo table is reset when it grows past this (bounds memory). *)
+(** Program table is reset when it grows past this (bounds memory). *)
 
 val memo_lines_cap : int
-(** Footprints with more total lines than this are never memoised. *)
+(** Footprints with more total lines than this are never compiled. *)
 
 val create : unit -> t
 (** Fresh state; enabled unless the [MININOVA_FASTPATH] environment
@@ -86,8 +108,14 @@ val enabled : t -> bool
 val set_enabled : t -> bool -> unit
 (** Toggle at runtime (the equivalence test drives both paths). *)
 
-val store_memo : t -> key -> memo -> unit
+val store_prog : t -> key -> prog -> unit
+val find_prog : t -> key -> prog option
 
 val stats : t -> int * int * int * int
-(** [(mtlb_hits, mtlb_misses, warm_replays, warm_records)] — host-side
-    observability only; never feeds back into the simulation. *)
+(** [(mtlb_hits, mtlb_misses, warm_replays, warm_records)]:
+    micro-TLB hits/misses, fully-warm program replays, programs
+    compiled — host-side observability only; never feeds back into the
+    simulation. *)
+
+val partial_replays : t -> int
+(** Visits that mixed warm run replays with at least one cold walk. *)

@@ -54,6 +54,41 @@ let test_cache_invalidate () =
   check cb "other kept" true (Cache.probe c 0x300);
   check ci "invalidate all drops rest" 1 (Cache.invalidate_all c)
 
+(* The O(1) generation-stamped full-cache operations must be
+   statistically indistinguishable from the eager walks they replaced:
+   same returned counts, same later hit/miss behaviour, no zombie
+   dirtiness. Lines per set stay <= ways so nothing self-evicts. *)
+let test_cache_gen_stamped_full_ops () =
+  let c = Cache.create small_cfg in
+  ignore (Cache.access c 0x000 ~write:true);
+  ignore (Cache.access c 0x020 ~write:false);
+  ignore (Cache.access c 0x200 ~write:true);
+  check ci "valid lines tracked" 3 (Cache.valid_lines c);
+  check ci "dirty lines tracked" 2 (Cache.dirty_lines c);
+  let e0 = Cache.epoch c in
+  check ci "clean_all writes back every dirty line" 2 (Cache.clean_all c);
+  check cb "clean_all bumps the epoch" true (Cache.epoch c > e0);
+  check ci "second clean_all finds nothing" 0 (Cache.clean_all c);
+  check cb "lines stay resident after clean_all" true (Cache.probe c 0x000);
+  check ci "still all resident" 3 (Cache.valid_lines c);
+  ignore (Cache.access c 0x020 ~write:true);
+  check ci "invalidate_all returns the resident count" 3
+    (Cache.invalidate_all c);
+  check cb "probe misses after invalidate_all" false (Cache.probe c 0x000);
+  check cb "other set dropped too" false (Cache.probe c 0x200);
+  check ci "nothing resident" 0 (Cache.valid_lines c);
+  check ci "nothing dirty" 0 (Cache.dirty_lines c);
+  check ci "no zombie dirt reachable by ranges" 0 (Cache.clean_range c 0 0x1000);
+  check ci "second invalidate_all drops nothing" 0 (Cache.invalidate_all c);
+  (* The cache is fully functional after the generation bumps. *)
+  let h0 = Cache.hits c and m0 = Cache.misses c in
+  check cb "refill misses" true (Cache.access c 0x000 ~write:true = `Miss);
+  check cb "then hits" true (Cache.access c 0x000 ~write:false = `Hit);
+  check ci "hit counted" (h0 + 1) (Cache.hits c);
+  check ci "miss counted" (m0 + 1) (Cache.misses c);
+  check ci "dirty again" 1 (Cache.dirty_lines c);
+  check ci "clean_all after reuse" 1 (Cache.clean_all c)
+
 let test_cache_large_range_scan () =
   let c = Cache.create small_cfg in
   ignore (Cache.access c 0x100 ~write:true);
@@ -109,6 +144,23 @@ let test_tlb_flush_page () =
   Tlb.insert t ~asid:1 ~vpage:1 (entry 10);
   Tlb.flush_page t ~asid:1 ~vpage:1;
   check cb "gone" true (Tlb.lookup t ~asid:1 ~vpage:1 = None)
+
+(* O(1) generation-stamped flush_all: same returned count and later
+   behaviour as the eager walk. *)
+let test_tlb_gen_stamped_flush () =
+  let t = Tlb.create { Tlb.entries = 4; ways = 2 } in
+  Tlb.insert t ~asid:1 ~vpage:0 (entry 1);
+  Tlb.insert t ~asid:1 ~vpage:1 (entry 2);
+  Tlb.insert t ~asid:2 ~vpage:2 (entry ~global:true 3);
+  check ci "live entries tracked" 3 (Tlb.live_entries t);
+  check ci "flush_all drops everything at once" 3 (Tlb.flush_all t);
+  check ci "nothing live" 0 (Tlb.live_entries t);
+  check ci "second flush_all drops nothing" 0 (Tlb.flush_all t);
+  check cb "stale entry never matches" true (Tlb.lookup t ~asid:1 ~vpage:0 = None);
+  (* Stale slots are reusable: reinsert into the same set. *)
+  Tlb.insert t ~asid:1 ~vpage:0 (entry 9);
+  check cb "reinserted entry hits" true (Tlb.lookup t ~asid:1 ~vpage:0 <> None);
+  check ci "one live again" 1 (Tlb.live_entries t)
 
 let test_tlb_eviction () =
   (* 4-entry, 2-way TLB: 2 sets; three same-set insertions evict LRU. *)
@@ -175,6 +227,7 @@ let suite =
       t "cache LRU" test_cache_lru;
       t "cache dirty/clean" test_cache_dirty;
       t "cache invalidate" test_cache_invalidate;
+      t "cache O(1) full maintenance" test_cache_gen_stamped_full_ops;
       t "cache large-range scan" test_cache_large_range_scan;
       QCheck_alcotest.to_alcotest prop_probe_after_access;
       t "tlb hit/miss" test_tlb_hit_miss;
@@ -182,6 +235,7 @@ let suite =
       t "tlb global entries" test_tlb_global;
       t "tlb flush asid" test_tlb_flush_asid;
       t "tlb flush page" test_tlb_flush_page;
+      t "tlb O(1) flush_all" test_tlb_gen_stamped_flush;
       t "tlb eviction" test_tlb_eviction;
       t "hierarchy latency ordering" test_hierarchy_latency_ordering;
       t "hierarchy l2 hit" test_hierarchy_l2_hit;
