@@ -52,9 +52,12 @@ type t = {
 }
 
 (* Line addresses fit 28 bits (byte addresses below 2^33 with >= 32 B
-   lines); the validity generation lives in the bits above. *)
+   lines); the validity generation lives in the bits above. [create]
+   rejects geometries that would let a line address overflow into the
+   generation field. *)
 let tag_bits = 28
 let tag_mask = (1 lsl tag_bits) - 1
+let addr_bits = 33
 
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
@@ -65,6 +68,12 @@ let log2 n =
 let create cfg =
   if not (is_pow2 cfg.line_size) then
     invalid_arg "Cache.create: line_size must be a power of two";
+  if log2 cfg.line_size < addr_bits - tag_bits then
+    invalid_arg
+      (Printf.sprintf
+         "Cache.create: line_size %d admits line addresses wider than the \
+          %d-bit packed tag (need line_size >= %d for %d-bit addresses)"
+         cfg.line_size tag_bits (1 lsl (addr_bits - tag_bits)) addr_bits);
   if cfg.ways <= 0 || cfg.size_bytes mod (cfg.ways * cfg.line_size) <> 0 then
     invalid_arg "Cache.create: capacity not divisible by ways*line";
   let sets = cfg.size_bytes / (cfg.ways * cfg.line_size) in

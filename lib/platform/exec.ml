@@ -256,6 +256,13 @@ let run_prog zynq fast (p : Fastpath.prog) (t : t) ~priv ~asid ~ttbr ~dacr =
           translate_page zynq fast (kind_of ki) ~priv ~asid ~ttbr ~dacr
             page_vbase
         in
+        (* The recorded L1 slots belong to the *physical* lines the run
+           last walked. If the stale TLB stamp hid a remap (the page
+           now translates to a different frame), the cache-epoch stamp
+           is meaningless for the new lines — drop to the self-verifying
+           tiers, which check residency against the current [pa]. *)
+        if pb <> Array.unsafe_get p.Fastpath.r_pbase r then
+          Array.unsafe_set p.Fastpath.r_cache_epoch r (-1);
         (match Tlb.peek tlb ~asid ~vpage:(page_vbase lsr Addr.page_shift) with
          | Some slot ->
            Array.unsafe_set p.Fastpath.r_tlb_slot r slot;

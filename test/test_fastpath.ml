@@ -24,6 +24,10 @@ type op =
   | Clean_d of int * int
   | Inval_i
   | Pt_toggle of int * bool    (* scratch page index; flush the TLB page *)
+  | Pt_remap of int * int * bool
+      (* scratch page index, alternate physical frame index; flush —
+         remaps virt to a *different* physical frame, the case where
+         cache epochs stay untouched while the translation changes *)
 
 let data_base = Address_map.kernel_data_base + 0x40000
 let code_base = Address_map.kernel_code_base + 0x8000
@@ -33,6 +37,12 @@ let code_base = Address_map.kernel_code_base + 0x8000
 let scratch_base = 0x3000_0000
 let scratch_pages = 4
 let scratch_page i = scratch_base + (i * Addr.page_size)
+
+(* Alternate physical frames for [Pt_remap], disjoint from the scratch
+   pages' identity frames so a remap genuinely moves the page to a
+   different physical base. *)
+let scratch_frames = 4
+let scratch_frame i = scratch_base + 0x10_0000 + (i * Addr.page_size)
 
 (* A small pool of footprints, referenced by index so the same value
    recurs (that is what compiles and then replays the programs).
@@ -80,7 +90,10 @@ let gen_op =
            (int_bound 0x1000) (int_bound 255);
       1, return Inval_i;
       2, map2 (fun i flush -> Pt_toggle (i, flush))
-           (int_bound (scratch_pages - 1)) bool ])
+           (int_bound (scratch_pages - 1)) bool;
+      2, map3 (fun i p flush -> Pt_remap (i, p, flush))
+           (int_bound (scratch_pages - 1)) (int_bound (scratch_frames - 1))
+           bool ])
 
 let show_op = function
   | Run i -> Printf.sprintf "Run %d" i
@@ -92,6 +105,7 @@ let show_op = function
   | Clean_d (o, l) -> Printf.sprintf "Clean_d (0x%x, %d)" o l
   | Inval_i -> "Inval_i"
   | Pt_toggle (i, f) -> Printf.sprintf "Pt_toggle (%d, %b)" i f
+  | Pt_remap (i, p, f) -> Printf.sprintf "Pt_remap (%d, %d, %b)" i p f
 
 let arb_ops =
   QCheck.make
@@ -140,6 +154,19 @@ let apply (z, km) op =
     if not (Page_table.unmap_page pt ~virt) then
       Page_table.map_page pt ~virt ~phys:virt ~domain:Kmem.dom_kernel
         ~ap:Pte.Ap_priv ~global:true;
+    if flush then
+      Tlb.flush_page z.Zynq.tlb ~asid:(Mmu.asid z.Zynq.mmu)
+        ~vpage:(virt lsr Addr.page_shift)
+  | Pt_remap (i, p, flush) ->
+    (* Point the scratch page at an alternate physical frame. With the
+       TLB page flush this bumps only the *TLB* epoch: the fast path
+       must notice the physical base moved and not replay L1 slots
+       recorded for the old frame's lines. *)
+    let virt = scratch_page i in
+    let pt = Kmem.kernel_pt km in
+    ignore (Page_table.unmap_page pt ~virt);
+    Page_table.map_page pt ~virt ~phys:(scratch_frame p)
+      ~domain:Kmem.dom_kernel ~ap:Pte.Ap_priv ~global:true;
     if flush then
       Tlb.flush_page z.Zynq.tlb ~asid:(Mmu.asid z.Zynq.mmu)
         ~vpage:(virt lsr Addr.page_shift)
@@ -195,6 +222,30 @@ let test_shortcuts_taken () =
   check Alcotest.bool "partial-warm replay" true
     (Fastpath.partial_replays z.Zynq.fast > 0)
 
+(* Regression: remapping a virtual page to a *different* physical frame
+   and flushing the TLB page bumps only the TLB epoch — the cache
+   epochs (notably L1I, which page walks never touch) can stay
+   unchanged. The replay tier must not reproduce hits recorded for the
+   old frame's lines; it has to fall through to the self-verifying
+   tiers and walk the new lines cold, exactly like the reference. *)
+let test_remap_invalidates_replay () =
+  let bf = make_board ~fast:true in
+  let br = make_board ~fast:false in
+  let ops =
+    [ Pt_toggle (0, false); Pt_toggle (1, false) (* map scratch pages *);
+      Run 6; Run 6 (* compile, then warm-replay the program *);
+      Pt_remap (0, 2, true) (* move the frame; flush only the TLB page *);
+      Run 6; Run 6 ]
+  in
+  List.iteri
+    (fun i op ->
+       apply bf op;
+       apply br op;
+       check (Alcotest.list Alcotest.int)
+         (Printf.sprintf "fingerprint after op %d (%s)" i (show_op op))
+         (fingerprint br) (fingerprint bf))
+    ops
+
 (* The warm replay must charge exactly the modelled warm cost. *)
 let test_replay_cycles_exact () =
   let z, _ = make_board ~fast:true in
@@ -211,5 +262,7 @@ let suite =
     [ test_equivalence;
       Alcotest.test_case "shortcuts actually taken" `Quick
         test_shortcuts_taken;
+      Alcotest.test_case "remap invalidates replay" `Quick
+        test_remap_invalidates_replay;
       Alcotest.test_case "replay cycles exact" `Quick
         test_replay_cycles_exact ] )
