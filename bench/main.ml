@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- table3 fig9  # a subset
 
    Sections: table3 fig9 report reconfig axi vfp trapvshyper asid
-   quantum chaos micro.
+   quantum chaos soak micro.
 
    Flags are the shared Cli_args vocabulary: --domains, --json, --obs,
    --fault-rate, --fault-seed, --check-baseline (plus --write-baseline
@@ -22,6 +22,15 @@ let fault_rate_opt : float option ref = ref None
 let fault_seed_opt : int option ref = ref None
 let baseline_check : string option ref = ref None
 let baseline_write : string option ref = ref None
+
+(* soak section knobs; a modest default budget keeps the full-bench
+   run quick, CI's dedicated soak step passes --ops explicitly. *)
+let soak_ops = ref 30_000
+let soak_seed = ref Soak.default_config.Soak.seed
+let soak_max_vms = ref Soak.default_config.Soak.max_vms
+let soak_check = ref Soak.default_config.Soak.check
+let soak_replay : string option ref = ref None
+let soak_repro_out = ref Cli_args.repro_out.Cli_args.default
 
 (* (key, wall seconds) per executed section, in execution order. *)
 let section_times : (string * float) list ref = ref []
@@ -304,6 +313,39 @@ let run_micro () =
        | Some t -> Format.fprintf fmt "  %-24s %10.1f ns/op@." name t
        | None -> Format.fprintf fmt "  %-24s (no estimate)@." name)
     rows
+
+let run_soak () =
+  let d = Soak.default_config in
+  let cfg =
+    { Soak.ops = !soak_ops; seed = !soak_seed; max_vms = !soak_max_vms;
+      check = !soak_check;
+      fault_rate = Option.value !fault_rate_opt ~default:d.Soak.fault_rate;
+      fault_seed = Option.value !fault_seed_opt ~default:d.Soak.fault_seed;
+      quantum_ms = d.Soak.quantum_ms }
+  in
+  let outcome, generated =
+    match !soak_replay with
+    | Some path ->
+      (match Soak.replay_file path with
+       | Ok o -> (o, false)
+       | Error e ->
+         Format.fprintf fmt "soak: %s@." e;
+         exit 2)
+    | None -> (Soak.run cfg, true)
+  in
+  match outcome with
+  | Soak.Clean stats -> Format.fprintf fmt "clean: %a@." Soak.pp_stats stats
+  | Soak.Violated { violation; trace; shrunk; stats } ->
+    Format.fprintf fmt "INVARIANT VIOLATION: %s@."
+      (Invariant.violation_to_string violation);
+    Format.fprintf fmt "after %a@." Soak.pp_stats stats;
+    Format.fprintf fmt "trace: %d actions, shrunk to %d@."
+      (List.length trace) (List.length shrunk);
+    if generated then begin
+      Soak.write_reproducer !soak_repro_out cfg violation ~shrunk;
+      Format.fprintf fmt "reproducer written to %s@." !soak_repro_out
+    end;
+    exit 1
 
 (* --- machine-readable output (--json) --- *)
 
@@ -590,7 +632,7 @@ let write_perf_json path ~total_wall =
 
 let all_sections =
   [ "table3"; "fig9"; "report"; "reconfig"; "axi"; "vfp";
-    "trapvshyper"; "asid"; "quantum"; "chaos"; "micro" ]
+    "trapvshyper"; "asid"; "quantum"; "chaos"; "soak"; "micro" ]
 
 (* Bench-only flag: regenerate the committed baseline file. *)
 let write_baseline_spec =
@@ -617,6 +659,13 @@ let () =
         (fun f -> baseline_check := f);
       Cli_args.value_entry write_baseline_spec
         (fun f -> baseline_write := f);
+      Cli_args.value_entry Cli_args.ops (fun n -> soak_ops := n);
+      Cli_args.value_entry Cli_args.seed (fun s -> soak_seed := s);
+      Cli_args.value_entry Cli_args.max_vms (fun n -> soak_max_vms := n);
+      Cli_args.flag_entry Cli_args.check (fun () -> soak_check := true);
+      Cli_args.flag_entry Cli_args.no_check (fun () -> soak_check := false);
+      Cli_args.value_entry Cli_args.replay (fun f -> soak_replay := f);
+      Cli_args.value_entry Cli_args.repro_out (fun f -> soak_repro_out := f);
       Cli_args.flag_entry
         { Cli_args.f_names = [ "help" ]; f_doc = "Show this help." }
         (fun () -> help := true) ]
@@ -652,6 +701,8 @@ let () =
        | "asid" -> section "asid" "A4: ASID vs TLB flush" run_asid
        | "quantum" -> section "quantum" "A5: quantum sweep" run_quantum
        | "chaos" -> section "chaos" "E5: chaos (fault injection)" run_chaos
+       | "soak" ->
+         section "soak" "E6: invariant-checked lifecycle soak" run_soak
        | "micro" -> section "micro" "microbenchmarks" run_micro
        | other -> Format.fprintf fmt "unknown section: %s@." other)
     requested;

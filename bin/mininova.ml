@@ -7,6 +7,7 @@
      mininova scenario  one evaluation configuration, verbose
      mininova chaos     fault injection + graceful degradation
      mininova stats     observability breakdown of one run
+     mininova soak      invariant-checked VM-lifecycle soak
      mininova trace     traced two-VM demo + event timeline
 
    Flags come from the shared Cli_args vocabulary (lib/harness);
@@ -243,6 +244,72 @@ let stats_cmd =
           the raw metrics snapshot instead.")
     Term.(const run $ verbose $ cfg_term $ guests $ native $ json_flag)
 
+let soak_cmd =
+  let run verbose ops seed max_vms check no_check fault_rate fault_seed
+      quantum replay repro_out =
+    setup_logs verbose;
+    ignore check (* checking is the soak default; --check documents intent *);
+    let cfg =
+      { Soak.ops; seed; max_vms; check = not no_check; fault_rate;
+        fault_seed; quantum_ms = quantum }
+    in
+    let outcome, generated =
+      match replay with
+      | Some path ->
+        (match Soak.replay_file path with
+         | Ok o -> (o, false)
+         | Error e ->
+           Format.fprintf fmt "soak: %s@." e;
+           exit 2)
+      | None -> (Soak.run cfg, true)
+    in
+    match outcome with
+    | Soak.Clean stats ->
+      Format.fprintf fmt "soak clean: %a@." Soak.pp_stats stats
+    | Soak.Violated { violation; trace; shrunk; stats } ->
+      Format.fprintf fmt "INVARIANT VIOLATION: %s@."
+        (Invariant.violation_to_string violation);
+      Format.fprintf fmt "after %a@." Soak.pp_stats stats;
+      Format.fprintf fmt "trace: %d actions, shrunk to %d@."
+        (List.length trace) (List.length shrunk);
+      if generated then begin
+        Soak.write_reproducer repro_out cfg violation ~shrunk;
+        Format.fprintf fmt
+          "reproducer written to %s (re-run with --replay %s)@." repro_out
+          repro_out
+      end;
+      exit 1
+  in
+  let d = Soak.default_config in
+  let ops = term_of_spec Cli_args.ops in
+  let soak_seed = term_of_spec { Cli_args.seed with default = d.Soak.seed } in
+  let max_vms = term_of_spec Cli_args.max_vms in
+  let soak_fault_rate =
+    term_of_spec { Cli_args.fault_rate with default = d.Soak.fault_rate }
+  in
+  let soak_fault_seed =
+    term_of_spec { Cli_args.fault_seed with default = d.Soak.fault_seed }
+  in
+  let soak_quantum =
+    term_of_spec { Cli_args.quantum with default = d.Soak.quantum_ms }
+  in
+  let check = term_of_flag Cli_args.check in
+  let no_check = term_of_flag Cli_args.no_check in
+  let replay = term_of_spec Cli_args.replay in
+  let repro_out = term_of_spec Cli_args.repro_out in
+  Cmd.v
+    (Cmd.info "soak"
+       ~doc:
+         "Drive the kernel through a deterministic storm of VM \
+          create/kill cycles, hypercall storms, DPR churn and fault \
+          injection, evaluating the invariant plane after every \
+          operation. On a violation, writes a greedily shrunk, \
+          replayable reproducer and exits non-zero.")
+    Term.(
+      const run $ verbose $ ops $ soak_seed $ max_vms $ check $ no_check
+      $ soak_fault_rate $ soak_fault_seed $ soak_quantum $ replay
+      $ repro_out)
+
 let trace_cmd =
   let run verbose last =
     setup_logs verbose;
@@ -304,4 +371,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ table3_cmd; fig9_cmd; report_cmd; reconfig_cmd; scenario_cmd;
-            chaos_cmd; stats_cmd; trace_cmd ]))
+            chaos_cmd; stats_cmd; soak_cmd; trace_cmd ]))

@@ -1,0 +1,224 @@
+type violation = {
+  checker : string;
+  boundary : string;
+  detail : string;
+}
+
+exception Violation of violation
+
+let pp_violation ppf v =
+  Format.fprintf ppf "[%s] %s: %s" v.boundary v.checker v.detail
+
+let violation_to_string v = Format.asprintf "%a" pp_violation v
+
+let () =
+  Printexc.register_printer (function
+    | Violation v -> Some ("Invariant.Violation " ^ violation_to_string v)
+    | _ -> None)
+
+(* Each checker returns a list of problem strings; [check] tags them
+   with the checker name and boundary. Checkers are pure reads over
+   kernel/platform state: they never touch the simulated clock, caches
+   or memory traffic, so running them cannot perturb the simulation. *)
+
+let check_sched kern =
+  let sched = Kernel.sched kern in
+  let problems = ref (Sched.integrity sched) in
+  let note s = problems := s :: !problems in
+  List.iter
+    (fun (pd : Pd.t) ->
+       if Pd.is_guest pd then begin
+         let queued = Sched.contains sched pd in
+         match pd.Pd.state with
+         | Pd.Runnable ->
+           if not queued then
+             note
+               (Printf.sprintf "pd %d runnable but not in the run queue"
+                  pd.Pd.id)
+         | Pd.Blocked | Pd.Dead ->
+           if queued then
+             note
+               (Printf.sprintf "pd %d %s but in the run queue" pd.Pd.id
+                  (if pd.Pd.state = Pd.Blocked then "blocked" else "dead"))
+       end
+       else if Sched.contains sched pd then
+         note (Printf.sprintf "service pd %d must never be enqueued" pd.Pd.id))
+    (Kernel.pds kern);
+  List.rev !problems
+
+let check_vgic kern =
+  List.concat_map (fun (pd : Pd.t) -> Vgic.self_check pd.Pd.vgic)
+    (Kernel.pds kern)
+
+let guest_count kern =
+  List.length (List.filter Pd.is_guest (Kernel.pds kern))
+
+let check_asids kern =
+  let live = Kmem.live_asids (Kernel.kmem kern) in
+  let guests = guest_count kern in
+  if live <> guests then
+    [ Printf.sprintf "%d guest ASIDs allocated but %d live guest PDs" live
+        guests ]
+  else []
+
+let check_frames kern =
+  let kmem = Kernel.kmem kern in
+  let expected =
+    Page_table.footprint_bytes (Kmem.kernel_pt kmem)
+    + Kmem.retired_bytes kmem
+    + List.fold_left
+        (fun n (pd : Pd.t) ->
+           if Pd.is_guest pd then n + Page_table.footprint_bytes pd.Pd.pt
+           else n)
+        0 (Kernel.pds kern)
+  in
+  let live = Frame_alloc.live_bytes (Kmem.allocator kmem) in
+  if live <> expected then
+    [ Printf.sprintf
+        "allocator holds %d live bytes but live translation tables account \
+         for %d (leak or double free)"
+        live expected ]
+  else []
+
+let check_event_queue kern =
+  Event_queue.self_check (Kernel.zynq kern).Zynq.queue
+
+let check_prr_ownership kern =
+  let hwtm = Kernel.hwtm kern in
+  let prrc = (Kernel.zynq kern).Zynq.prrc in
+  let mem = (Kernel.zynq kern).Zynq.mem in
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let pds = Kernel.pds kern in
+  let find_pd id = List.find_opt (fun (p : Pd.t) -> p.Pd.id = id) pds in
+  (* Every claimed PRR must belong to a live PD that holds a matching
+     interface mapping, with the hwMMU window loaded from that PD's
+     registered data section. *)
+  for prr_id = 0 to Prr_controller.prr_count prrc - 1 do
+    match Hw_task_manager.prr_client hwtm prr_id with
+    | None -> ()
+    | Some cid ->
+      (match find_pd cid with
+       | None -> note "PRR %d claimed by reaped pd %d" prr_id cid
+       | Some pd ->
+         if pd.Pd.state = Pd.Dead then
+           note "PRR %d claimed by dead pd %d" prr_id cid;
+         if
+           not
+             (List.exists (fun (_, p, _) -> p = prr_id) pd.Pd.iface_mappings)
+         then
+           note "PRR %d claimed by pd %d without an interface mapping"
+             prr_id cid
+         else begin
+           let prr = Prr_controller.prr prrc prr_id in
+           match Hw_mmu.window prr.Prr.hw_mmu, pd.Pd.data_section with
+           | None, _ ->
+             note "PRR %d claimed by pd %d but its hwMMU window is clear"
+               prr_id cid
+           | Some (wb, wl), Some (_, dlen, dphys) ->
+             if wb <> dphys || wl <> dlen then
+               note
+                 "PRR %d hwMMU window %x+%d disagrees with pd %d data \
+                  section %x+%d"
+                 prr_id wb wl cid dphys dlen
+           | Some _, None ->
+             note "PRR %d claimed by pd %d which has no data section"
+               prr_id cid
+         end)
+  done;
+  (* Every held interface mapping must point back at a PRR the manager
+     says this client owns, and the mapped page must translate to that
+     PRR's register page. *)
+  List.iter
+    (fun (pd : Pd.t) ->
+       List.iter
+         (fun (task, prr_id, vaddr) ->
+            (match Hw_task_manager.prr_client hwtm prr_id with
+             | Some cid when cid = pd.Pd.id -> ()
+             | Some cid ->
+               note
+                 "pd %d maps task %d on PRR %d which the manager assigns \
+                  to pd %d"
+                 pd.Pd.id task prr_id cid
+             | None ->
+               note "pd %d maps task %d on PRR %d which is unclaimed"
+                 pd.Pd.id task prr_id);
+            let prr = Prr_controller.prr prrc prr_id in
+            match
+              Page_table.walk
+                ~read:(Phys_mem.read_u32 mem)
+                ~root:(Page_table.root pd.Pd.pt) ~virt:vaddr
+            with
+            | Some (pa, _) when Addr.page_base pa = prr.Prr.regs_base -> ()
+            | Some (pa, _) ->
+              note
+                "pd %d interface vaddr %x translates to %x, not PRR %d's \
+                 register page %x"
+                pd.Pd.id vaddr pa prr_id prr.Prr.regs_base
+            | None ->
+              note "pd %d interface vaddr %x for PRR %d is not mapped"
+                pd.Pd.id vaddr prr_id)
+         pd.Pd.iface_mappings)
+    pds;
+  List.rev !problems
+
+let check_mmu_context kern =
+  match Kernel.current kern with
+  | None -> []
+  | Some pd ->
+    let mmu = (Kernel.zynq kern).Zynq.mmu in
+    let problems = ref [] in
+    let note fmt =
+      Printf.ksprintf (fun s -> problems := s :: !problems) fmt
+    in
+    let root = Page_table.root pd.Pd.pt in
+    if Mmu.ttbr mmu <> root then
+      note "TTBR %x but current pd %d's table root is %x" (Mmu.ttbr mmu)
+        pd.Pd.id root;
+    if Mmu.asid mmu <> pd.Pd.asid then
+      note "ASID %d but current pd %d holds ASID %d" (Mmu.asid mmu)
+        pd.Pd.id pd.Pd.asid;
+    let d = Mmu.dacr mmu in
+    if Dacr.get d Kmem.dom_kernel <> Dacr.Client then
+      note "kernel domain not Client while pd %d runs" pd.Pd.id;
+    if Dacr.get d Kmem.dom_guest_user <> Dacr.Client then
+      note "guest-user domain not Client while pd %d runs" pd.Pd.id;
+    let expect =
+      match Vcpu.guest_mode pd.Pd.vcpu with
+      | Hyper.Gm_kernel -> Dacr.Client
+      | Hyper.Gm_user -> Dacr.No_access
+    in
+    if Dacr.get d Kmem.dom_guest_kernel <> expect then
+      note "guest-kernel domain disagrees with pd %d's %s mode" pd.Pd.id
+        (match Vcpu.guest_mode pd.Pd.vcpu with
+         | Hyper.Gm_kernel -> "kernel"
+         | Hyper.Gm_user -> "user");
+    List.rev !problems
+
+let checkers =
+  [ ("sched", check_sched);
+    ("virq_conservation", check_vgic);
+    ("asid_accounting", check_asids);
+    ("frame_accounting", check_frames);
+    ("event_queue", check_event_queue);
+    ("prr_ownership", check_prr_ownership);
+    ("mmu_context", check_mmu_context) ]
+
+let checker_names = List.map fst checkers
+
+let check kern ~boundary =
+  List.concat_map
+    (fun (checker, f) ->
+       List.map (fun detail -> { checker; boundary; detail }) (f kern))
+    checkers
+
+let raise_first kern ~boundary =
+  match check kern ~boundary with
+  | [] -> ()
+  | v :: _ -> raise (Violation v)
+
+let attach kern =
+  Kernel.set_check_hook kern
+    (Some (fun boundary -> raise_first kern ~boundary))
+
+let detach kern = Kernel.set_check_hook kern None

@@ -1,0 +1,57 @@
+(** Kernel invariant plane: pure checkers over kernel and platform
+    state.
+
+    Like the observability plane ([lib/obs]), the invariant plane is
+    zero-cost and cycle-identical when off: nothing is evaluated until
+    {!attach} installs the kernel's check hook, and every checker is a
+    pure read — no clock advances, no charged memory traffic — so runs
+    with checking on are cycle-identical to runs with it off.
+
+    The seven checkers:
+
+    - {e sched} — ring integrity (links, levels, node table, count)
+      plus the state agreement: a guest PD is Runnable iff enqueued,
+      and the service PD is never enqueued.
+    - {e virq_conservation} — per live PD, the vGIC structural check
+      and the counter identity latched = raised − delivered −
+      reclaimed.
+    - {e asid_accounting} — guest ASIDs allocated = live guest PDs (a
+      kill must return its ASID).
+    - {e frame_accounting} — allocator live bytes = kernel table +
+      live guest tables + retired-table bytes (a kill must return its
+      translation-table frames; nothing may be freed twice).
+    - {e event_queue} — heap entries are exactly the pending ∪
+      cancelled ids, no duplicates, no orphan tombstones (a
+      cancel-after-fire bug leaves one).
+    - {e prr_ownership} — HTM row assignment, PD interface mappings,
+      hwMMU windows and the actual page-table words all agree, in both
+      directions.
+    - {e mmu_context} — when a guest is current, TTBR/ASID point at
+      it and the DACR encodes its guest mode (paper Table II). *)
+
+type violation = {
+  checker : string;   (** one of {!checker_names} *)
+  boundary : string;  (** where it was caught: "world_switch", … *)
+  detail : string;
+}
+
+exception Violation of violation
+
+val pp_violation : Format.formatter -> violation -> unit
+val violation_to_string : violation -> string
+
+val checker_names : string list
+
+val check : Kernel.t -> boundary:string -> violation list
+(** Run every checker; [[]] on a consistent kernel. Pure. *)
+
+val raise_first : Kernel.t -> boundary:string -> unit
+(** @raise Violation on the first problem found. *)
+
+val attach : Kernel.t -> unit
+(** Install the check hook: {!raise_first} runs at every world-switch,
+    kill and recovery boundary. The exception propagates out of
+    [Kernel.run] (hooks run outside guest fibers, so it cannot be
+    swallowed as a guest crash). *)
+
+val detach : Kernel.t -> unit

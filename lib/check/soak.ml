@@ -1,0 +1,476 @@
+let log = Logs.Src.create "mini_nova.soak" ~doc:"VM-lifecycle soak engine"
+
+module Log = (val Logs.src_log log)
+
+type config = {
+  ops : int;
+  seed : int;
+  max_vms : int;
+  check : bool;
+  fault_rate : float;
+  fault_seed : int;
+  quantum_ms : float;
+}
+
+let default_config =
+  { ops = 200_000; seed = 1; max_vms = 6; check = true; fault_rate = 0.1;
+    fault_seed = 7; quantum_ms = 2.0 }
+
+type action =
+  | A_create of { profile : int; prio : int; gseed : int }
+  | A_kill of int
+  | A_run of int
+  | A_probe of int
+  | A_probe_cancel of int
+
+let profile_count = 4
+
+let action_to_string = function
+  | A_create { profile; prio; gseed } ->
+    Printf.sprintf "create %d %d %d" profile prio gseed
+  | A_kill i -> Printf.sprintf "kill %d" i
+  | A_run us -> Printf.sprintf "run %d" us
+  | A_probe d -> Printf.sprintf "probe %d" d
+  | A_probe_cancel k -> Printf.sprintf "probe-cancel %d" k
+
+let action_of_string s =
+  match String.split_on_char ' ' (String.trim s) with
+  | [ "create"; p; pr; g ] ->
+    (try
+       Some
+         (A_create
+            { profile = int_of_string p; prio = int_of_string pr;
+              gseed = int_of_string g })
+     with Failure _ -> None)
+  | [ "kill"; i ] -> Option.map (fun i -> A_kill i) (int_of_string_opt i)
+  | [ "run"; us ] -> Option.map (fun u -> A_run u) (int_of_string_opt us)
+  | [ "probe"; d ] -> Option.map (fun d -> A_probe d) (int_of_string_opt d)
+  | [ "probe-cancel"; k ] ->
+    Option.map (fun k -> A_probe_cancel k) (int_of_string_opt k)
+  | _ -> None
+
+type stats = {
+  ops_done : int;
+  actions : int;
+  creates : int;
+  kills : int;
+  crashes : int;
+  hypercalls : int;
+  live_vms : int;
+  checks : int;
+  final_cycles : Cycles.t;
+}
+
+type outcome =
+  | Clean of stats
+  | Violated of {
+      violation : Invariant.violation;
+      trace : action list;
+      shrunk : action list;
+      stats : stats;
+    }
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "%d ops (%d actions: %d creates, %d kills; %d hypercalls, %d crashes, \
+     %d live VMs, %d invariant sweeps) in %.1f ms simulated"
+    s.ops_done s.actions s.creates s.kills s.hypercalls s.crashes s.live_vms
+    s.checks (Cycles.to_ms s.final_cycles)
+
+(* {2 Guest profiles}
+
+   Each profile is an infinite loop seeded by the action's [gseed]:
+   determinism depends only on (config, action list). *)
+
+(* Hypercall storm: cheap calls, IRQ churn, IPC, hostile arguments. *)
+let storm ~gseed _tasks _genv =
+  let rng = Rng.create ~seed:gseed in
+  while true do
+    (match Rng.int rng 10 with
+     | 0 -> ignore (Hyper.hypercall (Hyper.Uart_write "s"))
+     | 1 -> ignore (Hyper.hypercall Hyper.Tlb_flush_asid)
+     | 2 -> ignore (Hyper.hypercall (Hyper.Irq_enable (32 + Rng.int rng 8)))
+     | 3 -> ignore (Hyper.hypercall (Hyper.Irq_disable (32 + Rng.int rng 8)))
+     | 4 -> ignore (Hyper.hypercall (Hyper.Irq_enable (-1)))
+     | 5 ->
+       ignore
+         (Hyper.hypercall
+            (Hyper.Vm_send
+               { dest = Rng.int rng 8; payload = [| Rng.int rng 1000 |] }))
+     | 6 -> ignore (Hyper.hypercall Hyper.Vm_recv)
+     | 7 -> ignore (Hyper.hypercall (Hyper.Sd_read { block = Rng.int rng 8 }))
+     | 8 ->
+       ignore
+         (Hyper.hypercall
+            (Hyper.Vtimer_config
+               { interval = Cycles.of_us (float_of_int (50 + Rng.int rng 500))
+               }))
+     | _ -> ignore (Hyper.hypercall Hyper.Vtimer_stop));
+    ignore (Hyper.pause ())
+  done
+
+(* Page-table churn over the guest page region, plus mode flips and
+   cache/TLB maintenance — keeps the MMU-context and frame checkers
+   honest. Roughly one call in eight carries hostile arguments. *)
+let mapper ~gseed _tasks _genv =
+  let rng = Rng.create ~seed:gseed in
+  let page k = Guest_layout.page_region_base + (k * Addr.page_size) in
+  while true do
+    (match Rng.int rng 8 with
+     | 0 ->
+       ignore
+         (Hyper.hypercall
+            (Hyper.Map_insert
+               { vaddr = page (Rng.int rng 16);
+                 gphys_off = Addr.page_size * Rng.int rng 64;
+                 user = Rng.bool rng }))
+     | 1 ->
+       ignore (Hyper.hypercall (Hyper.Map_remove { vaddr = page (Rng.int rng 16) }))
+     | 2 -> ignore (Hyper.hypercall (Hyper.Pt_alloc_l2 { vaddr = page 0 }))
+     | 3 ->
+       ignore
+         (Hyper.hypercall
+            (Hyper.Cache_clean_range
+               { vaddr = Guest_layout.kernel_base + (Addr.page_size * Rng.int rng 16);
+                 len = 64 + Rng.int rng 4096 }))
+     | 4 ->
+       ignore
+         (Hyper.hypercall
+            (Hyper.Set_guest_mode
+               (if Rng.bool rng then Hyper.Gm_kernel else Hyper.Gm_user)))
+     | 5 -> ignore (Hyper.hypercall Hyper.Tlb_flush_all)
+     | 6 ->
+       (* Hostile: unaligned vaddr outside the page region. *)
+       ignore
+         (Hyper.hypercall
+            (Hyper.Map_insert { vaddr = 0x1234; gphys_off = -4096; user = true }))
+     | _ ->
+       ignore
+         (Hyper.hypercall
+            (Hyper.Sd_write
+               { block = Rng.int rng 8; data = Bytes.make 16 'a' })));
+    ignore (Hyper.pause ())
+  done
+
+(* DPR churn: acquire/poll/release hardware tasks, sometimes leaking
+   the allocation on purpose so the kill path must reclaim it. *)
+let dpr_churn ~gseed tasks _genv =
+  let rng = Rng.create ~seed:gseed in
+  while true do
+    let task = tasks.(Rng.int rng (Array.length tasks)) in
+    (match
+       Hyper.hypercall
+         (Hyper.Hw_task_request
+            { task;
+              iface_vaddr = Guest_layout.default_iface_vaddr (Rng.int rng 8);
+              data_vaddr = Guest_layout.default_data_section;
+              data_len = Guest_layout.default_data_section_len;
+              want_irq = Rng.bool rng })
+     with
+     | Hyper.R_hw { status = Hyper.Hw_success | Hyper.Hw_reconfig; _ } ->
+       for _ = 1 to 1 + Rng.int rng 6 do
+         ignore (Hyper.hypercall (Hyper.Hw_task_status { task }));
+         ignore (Hyper.pause ())
+       done;
+       (* One allocation in four is deliberately leaked: teardown must
+          reclaim it when this VM dies. *)
+       if Rng.int rng 4 > 0 then
+         ignore (Hyper.hypercall (Hyper.Hw_task_release { task }))
+     | _ -> ignore (Hyper.pause ()));
+    (* Hostile: release something we do not hold. *)
+    if Rng.int rng 8 = 0 then
+      ignore (Hyper.hypercall (Hyper.Hw_task_release { task = 9999 }));
+    ignore (Hyper.pause ())
+  done
+
+(* Full µC/OS guest running real hardware jobs end to end (DMA, exec,
+   completion IRQ or polling) — the chaos-harness idiom. *)
+let ucos_jobs ~gseed tasks genv =
+  let rng = Rng.create ~seed:gseed in
+  let os = Ucos.create (Port.paravirt genv) in
+  ignore
+    (Ucos.spawn os ~name:"soak-hw" ~prio:4 (fun () ->
+         while true do
+           Ucos.delay os (1 + Rng.int rng 3);
+           let task = tasks.(Rng.int rng (Array.length tasks)) in
+           match
+             Hw_task_api.acquire os ~task ~want_irq:(Rng.bool rng)
+               ~backoff:true ~max_tries:6 ()
+           with
+           | Ok h ->
+             let off = Hw_task_api.data_in_off in
+             Hw_task_api.start os h ~src_off:off ~dst_off:(off + 8192)
+               ~len:(32 + Rng.int rng 64) ~param:4;
+             ignore (Hw_task_api.wait_done os h);
+             Hw_task_api.release os h
+           | Error _ -> ()
+         done));
+  Ucos.run os
+
+let profile_main profile ~gseed tasks =
+  match profile mod profile_count with
+  | 0 -> storm ~gseed tasks
+  | 1 -> mapper ~gseed tasks
+  | 2 -> dpr_churn ~gseed tasks
+  | _ -> ucos_jobs ~gseed tasks
+
+let profile_name = function
+  | 0 -> "storm"
+  | 1 -> "mapper"
+  | 2 -> "dpr"
+  | _ -> "ucos"
+
+(* {2 The engine} *)
+
+type world = {
+  z : Zynq.t;
+  kern : Kernel.t;
+  tasks : Bitstream.id array;
+  probes : (int, Event_queue.id) Hashtbl.t;
+  mutable nprobes : int;
+  mutable vm_seq : int;
+  mutable creates : int;
+  mutable kills : int;
+  mutable checks : int;
+}
+
+let boot cfg =
+  let z =
+    Zynq.create ~fault_seed:cfg.fault_seed ~fault_rate:cfg.fault_rate ()
+  in
+  let kern =
+    Kernel.boot
+      ~config:
+        { Kernel.default_config with
+          quantum = Cycles.of_ms cfg.quantum_ms }
+      z
+  in
+  let tasks =
+    Array.map (Kernel.register_hw_task kern)
+      [| Task_kind.Qam 4; Task_kind.Qam 16; Task_kind.Fft 256 |]
+  in
+  if cfg.check then Invariant.attach kern;
+  { z; kern; tasks; probes = Hashtbl.create 64; nprobes = 0; vm_seq = 0;
+    creates = 0; kills = 0; checks = 0 }
+
+let live_guest_ids w =
+  List.sort compare
+    (List.filter_map
+       (fun (pd : Pd.t) -> if Pd.is_guest pd then Some pd.Pd.id else None)
+       (Kernel.pds w.kern))
+
+let apply cfg w = function
+  | A_create { profile; prio; gseed } ->
+    if
+      Kernel.alive_guests w.kern < min cfg.max_vms Address_map.guest_slot_count
+    then begin
+      let name = Printf.sprintf "soak%d-%s" w.vm_seq (profile_name (profile mod profile_count)) in
+      w.vm_seq <- w.vm_seq + 1;
+      w.creates <- w.creates + 1;
+      ignore
+        (Kernel.create_vm w.kern ~name ~priority:(max 1 (prio mod 4))
+           (profile_main profile ~gseed w.tasks))
+    end
+  | A_kill i ->
+    (match live_guest_ids w with
+     | [] -> ()
+     | ids ->
+       let id = List.nth ids (i mod List.length ids) in
+       if Kernel.kill_vm w.kern id ~reason:"soak kill" then
+         w.kills <- w.kills + 1)
+  | A_run us -> Kernel.run_for w.kern (Cycles.of_us (float_of_int us))
+  | A_probe d ->
+    let id = Event_queue.schedule_after w.z.Zynq.queue d ignore in
+    Hashtbl.replace w.probes w.nprobes id;
+    w.nprobes <- w.nprobes + 1
+  | A_probe_cancel k ->
+    if w.nprobes > 0 then
+      Event_queue.cancel w.z.Zynq.queue
+        (Hashtbl.find w.probes (k mod w.nprobes))
+
+let stats_of cfg w ~actions =
+  ignore cfg;
+  { ops_done = Kernel.hypercalls w.kern + w.creates + w.kills;
+    actions;
+    creates = w.creates;
+    kills = w.kills;
+    crashes = Kernel.crashes w.kern;
+    hypercalls = Kernel.hypercalls w.kern;
+    live_vms = Kernel.alive_guests w.kern;
+    checks = w.checks;
+    final_cycles = Clock.now w.z.Zynq.clock }
+
+(* Drive a fresh world with actions from [next] until it returns
+   [None] or an invariant trips. Returns the reversed trace of applied
+   actions, the violation (if any) and final stats. *)
+let drive cfg next =
+  let w = boot cfg in
+  let trace_rev = ref [] in
+  let nactions = ref 0 in
+  let violation = ref None in
+  (try
+     let continue = ref true in
+     while !continue do
+       match next w with
+       | None -> continue := false
+       | Some a ->
+         trace_rev := a :: !trace_rev;
+         incr nactions;
+         apply cfg w a;
+         if cfg.check then begin
+           w.checks <- w.checks + 1;
+           Invariant.raise_first w.kern ~boundary:"op"
+         end
+     done
+   with
+   | Invariant.Violation v -> violation := Some v
+   | Failure msg ->
+     violation :=
+       Some
+         { Invariant.checker = "exception"; boundary = "op";
+           detail = "Failure: " ^ msg }
+   | Invalid_argument msg ->
+     violation :=
+       Some
+         { Invariant.checker = "exception"; boundary = "op";
+           detail = "Invalid_argument: " ^ msg });
+  (List.rev !trace_rev, !violation, stats_of cfg w ~actions:!nactions)
+
+let gen_action rng =
+  let r = Rng.int rng 100 in
+  if r < 10 then
+    A_create
+      { profile = Rng.int rng profile_count; prio = 1 + Rng.int rng 3;
+        gseed = Rng.int rng 1_000_000 }
+  else if r < 18 then A_kill (Rng.int rng 1024)
+  else if r < 24 then A_probe (1 + Rng.int rng 200_000)
+  else if r < 28 then A_probe_cancel (Rng.int rng 1024)
+  else A_run (20 + Rng.int rng 400)
+
+let replay_raw cfg actions =
+  let remaining = ref actions in
+  drive cfg (fun _ ->
+      match !remaining with
+      | [] -> None
+      | a :: tl ->
+        remaining := tl;
+        Some a)
+
+(* Greedy delta debugging: repeatedly drop windows of the trace while
+   the same checker still trips, halving the window on a fixed pass.
+   Bounded by a replay budget so shrinking stays fast even for long
+   traces. *)
+let shrink cfg (violation : Invariant.violation) trace =
+  let budget = ref 400 in
+  let reproduces actions =
+    if !budget <= 0 then false
+    else begin
+      decr budget;
+      match replay_raw { cfg with check = true } actions with
+      | _, Some v, _ -> v.Invariant.checker = violation.Invariant.checker
+      | _, None, _ -> false
+    end
+  in
+  let drop_window l i n =
+    List.filteri (fun j _ -> j < i || j >= i + n) l
+  in
+  let current = ref trace in
+  let chunk = ref (max 1 (List.length trace / 2)) in
+  while !chunk >= 1 && !budget > 0 do
+    let shrunk_this_pass = ref false in
+    let i = ref 0 in
+    while !i < List.length !current && !budget > 0 do
+      let candidate = drop_window !current !i !chunk in
+      if List.length candidate < List.length !current && reproduces candidate
+      then begin
+        current := candidate;
+        shrunk_this_pass := true
+        (* keep [i]: the window now holds the next actions *)
+      end
+      else i := !i + !chunk
+    done;
+    if !chunk = 1 && not !shrunk_this_pass then chunk := 0
+    else chunk := !chunk / 2
+  done;
+  !current
+
+let replay cfg actions =
+  match replay_raw cfg actions with
+  | _, None, stats -> Clean stats
+  | trace, Some violation, stats ->
+    Violated { violation; trace; shrunk = trace; stats }
+
+let run cfg =
+  let rng = Rng.create ~seed:cfg.seed in
+  let trace, violation, stats =
+    drive cfg (fun w ->
+        if Kernel.hypercalls w.kern + w.creates + w.kills >= cfg.ops then None
+        else Some (gen_action rng))
+  in
+  match violation with
+  | None -> Clean stats
+  | Some violation ->
+    Log.warn (fun m ->
+        m "violation after %d actions: %a" (List.length trace)
+          Invariant.pp_violation violation);
+    let shrunk = shrink cfg violation trace in
+    Violated { violation; trace; shrunk; stats }
+
+(* {2 Reproducer files} *)
+
+let write_reproducer path cfg (violation : Invariant.violation) ~shrunk =
+  let oc = open_out path in
+  Printf.fprintf oc "# mininova soak reproducer\n";
+  Printf.fprintf oc "# violation: %s\n"
+    (Invariant.violation_to_string violation);
+  Printf.fprintf oc "seed %d\n" cfg.seed;
+  Printf.fprintf oc "ops %d\n" cfg.ops;
+  Printf.fprintf oc "max-vms %d\n" cfg.max_vms;
+  Printf.fprintf oc "fault-rate %f\n" cfg.fault_rate;
+  Printf.fprintf oc "fault-seed %d\n" cfg.fault_seed;
+  Printf.fprintf oc "quantum-ms %f\n" cfg.quantum_ms;
+  Printf.fprintf oc "actions\n";
+  List.iter (fun a -> Printf.fprintf oc "%s\n" (action_to_string a)) shrunk;
+  close_out oc
+
+let load_reproducer path =
+  try
+    let ic = open_in path in
+    let cfg = ref { default_config with check = true } in
+    let actions = ref [] in
+    let in_actions = ref false in
+    let error = ref None in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         if line = "" || String.length line > 0 && line.[0] = '#' then ()
+         else if !in_actions then begin
+           match action_of_string line with
+           | Some a -> actions := a :: !actions
+           | None -> error := Some ("bad action line: " ^ line)
+         end
+         else
+           match String.split_on_char ' ' line with
+           | [ "actions" ] -> in_actions := true
+           | [ "seed"; v ] -> cfg := { !cfg with seed = int_of_string v }
+           | [ "ops"; v ] -> cfg := { !cfg with ops = int_of_string v }
+           | [ "max-vms"; v ] -> cfg := { !cfg with max_vms = int_of_string v }
+           | [ "fault-rate"; v ] ->
+             cfg := { !cfg with fault_rate = float_of_string v }
+           | [ "fault-seed"; v ] ->
+             cfg := { !cfg with fault_seed = int_of_string v }
+           | [ "quantum-ms"; v ] ->
+             cfg := { !cfg with quantum_ms = float_of_string v }
+           | _ -> error := Some ("bad header line: " ^ line)
+       done
+     with End_of_file -> ());
+    close_in ic;
+    match !error with
+    | Some e -> Error e
+    | None ->
+      if not !in_actions then Error "missing 'actions' section"
+      else Ok (!cfg, List.rev !actions)
+  with Sys_error e | Failure e -> Error e
+
+let replay_file path =
+  Result.map (fun (cfg, actions) -> replay cfg actions) (load_reproducer path)

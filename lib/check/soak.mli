@@ -1,0 +1,82 @@
+(** Deterministic VM-lifecycle soak engine.
+
+    Drives a freshly booted kernel with millions of seeded operations —
+    VM creates and kills, hypercall storms from four guest profiles,
+    DPR load/unload churn, event-queue probes and cancels — evaluating
+    the {!Invariant} plane after every host-side action. Everything is
+    derived from the configuration seed, so a run is bit-reproducible:
+    same config, same {!stats} fingerprint.
+
+    On a violation the engine captures the applied action trace,
+    greedily shrinks it (delta debugging with a bounded replay budget)
+    to a minimal trace that still trips the {e same} checker, and can
+    write it as a reproducer file replayable with {!replay_file}. *)
+
+type config = {
+  ops : int;          (** stop after this many ops (hypercalls + lifecycle actions) *)
+  seed : int;         (** master seed for the action stream *)
+  max_vms : int;      (** cap on concurrently live guests *)
+  check : bool;       (** evaluate invariants after every action *)
+  fault_rate : float; (** PL fault-injection rate, as in [bench -- faults] *)
+  fault_seed : int;
+  quantum_ms : float; (** scheduling quantum *)
+}
+
+val default_config : config
+(** 200k ops, seed 1, 6 VMs, checking on, fault rate 0.1. *)
+
+type action =
+  | A_create of { profile : int; prio : int; gseed : int }
+      (** create a VM running guest profile [profile mod 4]
+          (0 = hypercall storm, 1 = page-table mapper, 2 = DPR churn,
+          3 = µC/OS hardware jobs), seeded by [gseed] *)
+  | A_kill of int     (** kill the [i mod n]-th live guest (sorted by id) *)
+  | A_run of int      (** run the kernel for this many microseconds *)
+  | A_probe of int    (** schedule a no-op event this many cycles out *)
+  | A_probe_cancel of int
+      (** cancel the [k mod n]-th probe ever scheduled — including ones
+          that already fired, exercising cancel-after-fire *)
+
+val action_to_string : action -> string
+val action_of_string : string -> action option
+
+type stats = {
+  ops_done : int;
+  actions : int;
+  creates : int;
+  kills : int;
+  crashes : int;
+  hypercalls : int;
+  live_vms : int;
+  checks : int;          (** invariant sweeps evaluated *)
+  final_cycles : Cycles.t;
+}
+(** Determinism fingerprint: two runs of the same config must produce
+    equal stats. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+type outcome =
+  | Clean of stats
+  | Violated of {
+      violation : Invariant.violation;
+      trace : action list;   (** full trace up to the violation *)
+      shrunk : action list;  (** minimized trace tripping the same checker *)
+      stats : stats;
+    }
+
+val run : config -> outcome
+(** Generate-and-drive from the seed; shrinks on violation. *)
+
+val replay : config -> action list -> outcome
+(** Drive an explicit action list (no shrinking). *)
+
+val write_reproducer :
+  string -> config -> Invariant.violation -> shrunk:action list -> unit
+(** Write a self-contained reproducer file: config header plus one
+    action per line. *)
+
+val load_reproducer : string -> (config * action list, string) result
+
+val replay_file : string -> (outcome, string) result
+(** [load_reproducer] + [replay]. *)

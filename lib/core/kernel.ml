@@ -51,12 +51,18 @@ type t = {
   hwtm : Hw_task_manager.t;
   mgr_pd : Pd.t;
   mutable cur : vm_rt option;
-  mutable vfp_owner : int option;
+  (* The VFP bank owner carries its vCPU so the charged bank save
+     still targets the right save area after the owner is reaped. *)
+  mutable vfp_owner : (int * Vcpu.t) option;
   mutable next_pd : int;
   mutable next_guest : int;
+  mutable next_slot : int;
+  free_guest_indices : int Queue.t;
+  free_slots : int Queue.t;
   mutable crash_count : int;
   mutable hypercall_count : int;
   mutable trace : Ktrace.t option;
+  mutable check_hook : (string -> unit) option;
 }
 
 let ipc_doorbell_irq = 95
@@ -97,7 +103,7 @@ let boot ?(config = default_config) z =
   let hwtm = Hw_task_manager.create z in
   let mgr_pd =
     Pd.make ~id:0 ~name:"hwtm" ~kind:Pd.Service ~priority:6 ~asid:mgr_asid
-      ~pt:(Kmem.kernel_pt kmem) ~phys_base:0 ~quantum:config.quantum
+      ~pt:(Kmem.kernel_pt kmem) ~phys_base:0 ~quantum:config.quantum ()
   in
   List.iter (Gic.enable z.Zynq.gic) kernel_irqs;
   (match config.kernel_tick with
@@ -111,9 +117,11 @@ let boot ?(config = default_config) z =
       rts = Hashtbl.create 8;
       hwtm; mgr_pd;
       cur = None; vfp_owner = None;
-      next_pd = 1; next_guest = 0;
+      next_pd = 1; next_guest = 0; next_slot = 1;
+      free_guest_indices = Queue.create ();
+      free_slots = Queue.create ();
       crash_count = 0; hypercall_count = 0;
-      trace = None }
+      trace = None; check_hook = None }
   in
   Hashtbl.replace t.pd_tbl 0 mgr_pd;
   t
@@ -135,17 +143,45 @@ let config t = t.cfg
 
 let register_hw_task t kind = Hw_task_manager.register_task t.hwtm kind
 
+(* vCPU save areas live between data+0x2000 and the manager's tables:
+   the hard cap on concurrently live vCPUs (slot 0 is the manager's). *)
+let max_vcpu_slots =
+  let base0, slot_len = Klayout.vcpu_save_area 0 in
+  (fst Klayout.mgr_task_table - base0) / slot_len
+
 let create_vm t ~name ?(priority = 1) ?(uses_vfp = false) main =
+  (* Fail before consuming anything if a fresh resource would be
+     needed but its space is exhausted (recycled ones come first). *)
+  if Queue.is_empty t.free_slots && t.next_slot >= max_vcpu_slots then
+    failwith "Kernel.create_vm: vCPU save-area slots exhausted";
+  if
+    Queue.is_empty t.free_guest_indices
+    && t.next_guest >= Address_map.guest_slot_count
+  then failwith "Kernel.create_vm: guest physical windows exhausted";
+  let asid = Kmem.alloc_asid t.kmem in
   let id = t.next_pd in
   t.next_pd <- id + 1;
-  let index = t.next_guest in
-  t.next_guest <- index + 1;
-  let asid = Kmem.alloc_asid t.kmem in
+  let index =
+    match Queue.take_opt t.free_guest_indices with
+    | Some i -> i
+    | None ->
+      let i = t.next_guest in
+      t.next_guest <- i + 1;
+      i
+  in
+  let slot =
+    match Queue.take_opt t.free_slots with
+    | Some s -> s
+    | None ->
+      let s = t.next_slot in
+      t.next_slot <- s + 1;
+      s
+  in
   let pt = Kmem.make_guest_pt t.kmem ~index in
   let phys_base = Address_map.guest_phys_base index in
   let pd =
     Pd.make ~id ~name ~kind:Pd.Guest ~priority ~asid ~pt ~phys_base
-      ~quantum:t.cfg.quantum
+      ~quantum:t.cfg.quantum ~slot ()
   in
   Vcpu.set_uses_vfp pd.Pd.vcpu uses_vfp;
   let env = { env_zynq = t.z; pd_id = id; guest_index = index; phys_base } in
@@ -158,6 +194,8 @@ let create_vm t ~name ?(priority = 1) ?(uses_vfp = false) main =
 let pd t id = Hashtbl.find_opt t.pd_tbl id
 let pds t = Hashtbl.fold (fun _ p acc -> p :: acc) t.pd_tbl []
 let current t = Option.map (fun rt -> rt.pd) t.cur
+let sched t = t.sched
+let set_check_hook t h = t.check_hook <- h
 
 let alive_guests t =
   Hashtbl.fold
@@ -203,6 +241,9 @@ let release_all_tasks t (pd : Pd.t) =
     pd.Pd.iface_mappings;
   pd.Pd.iface_mappings <- []
 
+let run_check t boundary =
+  match t.check_hook with None -> () | Some f -> f boundary
+
 let kill t rt reason =
   Log.warn (fun m -> m "killing %a: %s" Pd.pp rt.pd reason);
   emit t ~severity:Ktrace.Warn ~category:"sched" ~name:"vm-dead"
@@ -215,9 +256,29 @@ let kill t rt reason =
   (* Full reclamation: PRRs/windows above, plus any latched vIRQs. *)
   ignore (Vgic.clear_pending rt.pd.Pd.vgic);
   (match t.cur with Some c when c == rt -> t.cur <- None | Some _ | None -> ());
+  (* Reap the PD: its ASID, save-area slot, guest physical window and
+     translation-table frames are recycled for future VMs. Host-side
+     bookkeeping only — the charged parts of teardown (task release,
+     demaps) happened above, so cycle behaviour is unchanged. The
+     dangling vfp_owner is kept: the bank save to the dead owner's
+     area is charged exactly as real hardware would. *)
+  Hashtbl.remove t.pd_tbl rt.pd.Pd.id;
+  Hashtbl.remove t.rts rt.pd.Pd.id;
+  Queue.push rt.env.guest_index t.free_guest_indices;
+  Queue.push (Vcpu.slot rt.pd.Pd.vcpu) t.free_slots;
+  Kmem.free_asid t.kmem rt.pd.Pd.asid;
+  Kmem.retire_guest_pt t.kmem rt.pd.Pd.pt;
   let obs = t.z.Zynq.obs in
   Obs.incr (Obs.counter obs "kernel.vm_kills");
-  Obs.set_gauge (Obs.gauge obs "alive_vms") (alive_guests t)
+  Obs.set_gauge (Obs.gauge obs "alive_vms") (alive_guests t);
+  run_check t "kill"
+
+let kill_vm t id ~reason =
+  match Hashtbl.find_opt t.rts id with
+  | Some rt when rt.pd.Pd.state <> Pd.Dead ->
+    kill t rt reason;
+    true
+  | Some _ | None -> false
 
 (* Graceful degradation, driven by the kernel tick: drain the PL fault
    log into the trace, run the manager's health scan, apply its
@@ -253,7 +314,8 @@ let health_tick t =
          emit t ~category:"fault" ~name:"recover"
            [ ("prr", Ktrace.Int prr);
              ("action", Ktrace.Str (Hw_task_manager.action_name a)) ])
-    (Hw_task_manager.health_scan t.hwtm)
+    (Hw_task_manager.health_scan t.hwtm);
+  run_check t "recovery"
 
 (* Physical interrupt routing: the kernel's IRQ exception path. *)
 let rec route_irqs t =
@@ -301,12 +363,6 @@ let rec route_irqs t =
     route_irqs t
   end
 
-let find_vcpu t id_opt =
-  match id_opt with
-  | None -> None
-  | Some id ->
-    Option.map (fun (p : Pd.t) -> p.Pd.vcpu) (Hashtbl.find_opt t.pd_tbl id)
-
 let switch_to t rt =
   match t.cur with
   | Some c when c == rt -> ()
@@ -337,18 +393,22 @@ let switch_to t rt =
     Kmem.activate_guest t.kmem rt.pd;
     (match t.cfg.vfp_policy with
      | `Active ->
-       let from = find_vcpu t (Option.map (fun c -> c.pd.Pd.id) t.cur) in
+       let from = Option.map (fun c -> c.pd.Pd.vcpu) t.cur in
        Vcpu.switch_vfp t.z ~from ~to_:rt.pd.Pd.vcpu;
        Probe.incr t.probe "vfp_switch";
-       t.vfp_owner <- Some rt.pd.Pd.id
+       t.vfp_owner <- Some (rt.pd.Pd.id, rt.pd.Pd.vcpu)
      | `Lazy ->
-       if Vcpu.uses_vfp rt.pd.Pd.vcpu && t.vfp_owner <> Some rt.pd.Pd.id
-       then begin
+       let owned =
+         match t.vfp_owner with
+         | Some (id, _) -> id = rt.pd.Pd.id
+         | None -> false
+       in
+       if Vcpu.uses_vfp rt.pd.Pd.vcpu && not owned then begin
          (* First VFP use after the switch traps and banks are swapped. *)
-         Vcpu.switch_vfp t.z ~from:(find_vcpu t t.vfp_owner)
+         Vcpu.switch_vfp t.z ~from:(Option.map snd t.vfp_owner)
            ~to_:rt.pd.Pd.vcpu;
          Probe.incr t.probe "vfp_switch";
-         t.vfp_owner <- Some rt.pd.Pd.id
+         t.vfp_owner <- Some (rt.pd.Pd.id, rt.pd.Pd.vcpu)
        end);
     emit t ~category:"sched" ~name:"vm-switch"
       [ ("from",
@@ -360,7 +420,8 @@ let switch_to t rt =
     rt.slice_start <- Clock.now t.z.Zynq.clock;
     Obs.close_span t.z.Zynq.obs sp ~at:(Clock.now t.z.Zynq.clock);
     Obs.incr (Obs.counter t.z.Zynq.obs "kernel.vm_switches");
-    Probe.record t.probe Probe.vm_switch (Clock.now t.z.Zynq.clock - t0)
+    Probe.record t.probe Probe.vm_switch (Clock.now t.z.Zynq.clock - t0);
+    run_check t "world_switch"
 
 let rec arm_vtimer t (pd : Pd.t) interval gen =
   ignore
@@ -419,6 +480,14 @@ let handle_hw_task_request t rt ~entry_start ~task ~iface_vaddr ~data_vaddr
       Hyper.R_error "data section too small"
     else if not (in_linear_guest_area data_vaddr data_len) then
       Hyper.R_error "data section must lie in the linear guest area"
+    else if
+      (* An interface page backs exactly one held task: aliasing two
+         tasks on one vaddr would leave the survivor's mapping dangling
+         when either is released or reclaimed. *)
+      List.exists
+        (fun (t', _, va) -> va = iface_vaddr && t' <> task)
+        pd.Pd.iface_mappings
+    then Hyper.R_error "interface vaddr already in use by another task"
     else
       match Kmem.guest_translate t.kmem pd data_vaddr with
       | None -> Hyper.R_error "data section not mapped"
@@ -429,6 +498,14 @@ let handle_hw_task_request t rt ~entry_start ~task ~iface_vaddr ~data_vaddr
             data_window = (data_phys, data_len);
             map_iface =
               (fun prr ->
+                 (* Re-requesting a held task at a new vaddr moves its
+                    window: drop the old page or it would leak, mapped
+                    but unaccounted. *)
+                 (match Pd.find_iface pd task with
+                  | Some (_, old_va) when old_va <> iface_vaddr ->
+                    Kmem.unmap_iface t.kmem pd ~vaddr:old_va;
+                    Pd.remove_iface pd task
+                  | _ -> ());
                  match
                    Kmem.map_iface t.kmem pd
                      ~prr_regs_base:prr.Prr.regs_base ~vaddr:iface_vaddr

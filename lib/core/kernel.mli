@@ -75,7 +75,28 @@ val create_vm :
 
 val pd : t -> int -> Pd.t option
 val pds : t -> Pd.t list
+(** Live PDs only: a killed VM is reaped (removed from the kernel's
+    tables, its ASID/slot/window/frames recycled), so it no longer
+    appears here. *)
+
 val current : t -> Pd.t option
+
+val sched : t -> Sched.t
+(** The run queue (read-only use intended: invariant checkers). *)
+
+val kill_vm : t -> int -> reason:string -> bool
+(** Host-initiated kill of a live guest by PD id, with the same full
+    reclamation as a fault kill. Must be called between [run] slices,
+    not from inside guest code. Returns false if the id names no live
+    guest. *)
+
+val set_check_hook : t -> (string -> unit) option -> unit
+(** Install (or remove) the invariant-plane hook, invoked with a
+    boundary name — ["world_switch"], ["kill"], ["recovery"] — after
+    the corresponding kernel path completes. The hook runs in kernel
+    context, outside any guest fiber, so an exception it raises
+    propagates out of {!run}. [None] (the default) is zero-cost and
+    cycle-identical. *)
 
 val run : t -> until:Cycles.t -> unit
 (** Schedule until the absolute simulated time [until], every guest

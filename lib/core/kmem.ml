@@ -7,6 +7,12 @@ type t = {
   alloc : Frame_alloc.t;
   kernel_pt : Page_table.t;
   mutable next_asid : int;
+  free_asids : int Queue.t;
+  (* Page tables of dead VMs whose root may still be loaded in TTBR:
+     destroying them immediately would let the allocator hand the
+     frames out while the MMU can still walk them. They are destroyed
+     at the next context activation that moves TTBR elsewhere. *)
+  mutable retired_pts : Page_table.t list;
 }
 
 let kernel_attrs =
@@ -43,7 +49,10 @@ let create zynq =
     ~size:Address_map.bitstream_store_size kernel_attrs;
   map_identity_sections kernel_pt ~base:Address_map.axi_gp0_base
     ~size:Address_map.axi_gp0_size kernel_attrs;
-  let t = { zynq; alloc; kernel_pt; next_asid = 2 } in
+  let t =
+    { zynq; alloc; kernel_pt; next_asid = 2; free_asids = Queue.create ();
+      retired_pts = [] }
+  in
   Mmu.set_ttbr zynq.Zynq.mmu (Page_table.root kernel_pt);
   Mmu.set_asid zynq.Zynq.mmu 0;
   for d = 0 to 15 do
@@ -56,10 +65,46 @@ let kernel_pt t = t.kernel_pt
 let allocator t = t.alloc
 
 let alloc_asid t =
-  if t.next_asid > 255 then failwith "Kmem.alloc_asid: ASID space exhausted";
-  let a = t.next_asid in
-  t.next_asid <- a + 1;
-  a
+  match Queue.take_opt t.free_asids with
+  | Some a ->
+    (* Recycled: stale entries tagged with the previous owner must go
+       before the ASID can name a new address space. Host-side only —
+       the cycle charge belongs to the kill path's bookkeeping, and
+       table3-style fixed populations never reach this branch. *)
+    ignore (Tlb.flush_asid t.zynq.Zynq.tlb a);
+    a
+  | None ->
+    if t.next_asid > 255 then
+      failwith "Kmem.alloc_asid: ASID space exhausted";
+    let a = t.next_asid in
+    t.next_asid <- a + 1;
+    a
+
+let free_asid t a =
+  if a < 2 || a > 255 then invalid_arg "Kmem.free_asid: reserved ASID";
+  Queue.push a t.free_asids
+
+let live_asids t = t.next_asid - 2 - Queue.length t.free_asids
+
+let retire_guest_pt t pt =
+  if Mmu.ttbr t.zynq.Zynq.mmu = Page_table.root pt then
+    t.retired_pts <- pt :: t.retired_pts
+  else Page_table.destroy pt
+
+let flush_retired t =
+  match t.retired_pts with
+  | [] -> ()
+  | pts ->
+    let ttbr = Mmu.ttbr t.zynq.Zynq.mmu in
+    let keep, dead =
+      List.partition (fun pt -> Page_table.root pt = ttbr) pts
+    in
+    List.iter Page_table.destroy dead;
+    t.retired_pts <- keep
+
+let retired_bytes t =
+  List.fold_left (fun n pt -> n + Page_table.footprint_bytes pt) 0
+    t.retired_pts
 
 let make_guest_pt t ~index =
   let pt = Page_table.create t.zynq.Zynq.mem t.alloc in
@@ -92,12 +137,14 @@ let dacr_all_client t =
 
 let activate_kernel t =
   Mmu.set_ttbr t.zynq.Zynq.mmu (Page_table.root t.kernel_pt);
+  flush_retired t;
   Mmu.set_asid t.zynq.Zynq.mmu 0;
   dacr_all_client t;
   charge_context_regs t
 
 let activate_manager t ~asid =
   Mmu.set_ttbr t.zynq.Zynq.mmu (Page_table.root t.kernel_pt);
+  flush_retired t;
   Mmu.set_asid t.zynq.Zynq.mmu asid;
   dacr_all_client t;
   charge_context_regs t
@@ -112,6 +159,7 @@ let set_guest_dacr t mode =
 
 let activate_guest t (pd : Pd.t) =
   Mmu.set_ttbr t.zynq.Zynq.mmu (Page_table.root pd.Pd.pt);
+  flush_retired t;
   Mmu.set_asid t.zynq.Zynq.mmu pd.Pd.asid;
   let d = Mmu.dacr t.zynq.Zynq.mmu in
   Dacr.set d dom_kernel Dacr.Client;

@@ -29,8 +29,30 @@ val kernel_pt : t -> Page_table.t
 val allocator : t -> Frame_alloc.t
 
 val alloc_asid : t -> int
-(** Next free ASID (kernel holds 0, manager 1, guests from 2).
+(** Next free ASID (kernel holds 0, manager 1, guests from 2). ASIDs
+    returned through {!free_asid} are recycled FIFO; a recycled ASID's
+    stale TLB entries are flushed before reuse (host-side, uncharged —
+    the cost is billed to the kill path's bookkeeping).
     @raise Failure when the 8-bit space is exhausted. *)
+
+val free_asid : t -> int -> unit
+(** Return a dead VM's ASID for recycling (kill-path reclamation).
+    @raise Invalid_argument on a reserved ASID (0, 1). *)
+
+val live_asids : t -> int
+(** ASIDs currently allocated to guests — the quantity the invariant
+    plane reconciles against the live-PD population. *)
+
+val retire_guest_pt : t -> Page_table.t -> unit
+(** Reclaim a dead VM's translation table. If its root is still loaded
+    in TTBR the destruction is deferred until the next context
+    activation moves TTBR elsewhere; otherwise the frames are freed
+    immediately. *)
+
+val retired_bytes : t -> int
+(** Allocator bytes still held by retired-but-not-yet-destroyed tables
+    (nonzero only between killing the running VM and the next context
+    activation). *)
 
 val make_guest_pt : t -> index:int -> Page_table.t
 (** Build the {!Guest_layout} address space over guest [index]'s

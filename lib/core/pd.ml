@@ -22,9 +22,9 @@ type t = {
   mutable vtimer_generation : int;
 }
 
-let make ~id ~name ~kind ~priority ~asid ~pt ~phys_base ~quantum =
+let make ~id ~name ~kind ~priority ~asid ~pt ~phys_base ~quantum ?slot () =
   { id; name; kind; priority; asid; pt;
-    vcpu = Vcpu.create ~pd_id:id;
+    vcpu = Vcpu.create ~pd_id:id ?slot ();
     vgic = Vgic.create ~owner:id;
     phys_base; quantum;
     inbox = Ipc.create ();
@@ -43,7 +43,10 @@ let find_iface t task =
     t.iface_mappings
 
 let add_iface t task ~prr ~vaddr =
-  t.iface_mappings <- (task, prr, vaddr) :: t.iface_mappings
+  (* One entry per task: a re-request replaces, never duplicates. *)
+  t.iface_mappings <-
+    (task, prr, vaddr)
+    :: List.filter (fun (tid, _, _) -> tid <> task) t.iface_mappings
 
 let remove_iface t task =
   t.iface_mappings <-

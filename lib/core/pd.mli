@@ -41,7 +41,9 @@ type t = {
 
 val make :
   id:int -> name:string -> kind:kind -> priority:int -> asid:int ->
-  pt:Page_table.t -> phys_base:Addr.t -> quantum:Cycles.t -> t
+  pt:Page_table.t -> phys_base:Addr.t -> quantum:Cycles.t ->
+  ?slot:int -> unit -> t
+(** [slot] picks the vCPU save-area slot (see {!Vcpu.create}). *)
 
 val is_guest : t -> bool
 

@@ -73,6 +73,46 @@ let rotate t pd =
 
 let count t = t.count
 
+let integrity t =
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let visited = ref 0 in
+  for level = 0 to levels - 1 do
+    match t.heads.(level) with
+    | None -> ()
+    | Some head ->
+      (* Bound the walk by count + 1 so a corrupted ring (lost back
+         link, cross-linked levels) cannot loop forever. *)
+      let rec walk node steps =
+        if steps > t.count then
+          note "level %d: ring does not close within count=%d nodes" level
+            t.count
+        else begin
+          incr visited;
+          if node.pd.Pd.priority <> level then
+            note "level %d: pd %d has priority %d" level node.pd.Pd.id
+              node.pd.Pd.priority;
+          if node.next.prev != node then
+            note "level %d: broken back link at pd %d" level node.pd.Pd.id;
+          (match Hashtbl.find_opt t.nodes node.pd.Pd.id with
+           | Some n when n == node -> ()
+           | Some _ ->
+             note "level %d: pd %d ring node differs from table node" level
+               node.pd.Pd.id
+           | None ->
+             note "level %d: pd %d enqueued but missing from node table"
+               level node.pd.Pd.id);
+          if node.next != head then walk node.next (steps + 1)
+        end
+      in
+      walk head 1
+  done;
+  if !visited <> t.count then
+    note "ring population %d <> count %d" !visited t.count;
+  if Hashtbl.length t.nodes <> t.count then
+    note "node table size %d <> count %d" (Hashtbl.length t.nodes) t.count;
+  List.rev !problems
+
 let level_members t level =
   check_prio level;
   match t.heads.(level) with

@@ -35,3 +35,11 @@ val count : t -> int
 
 val level_members : t -> int -> Pd.t list
 (** Ring order at one level, head first (test/debug). *)
+
+val integrity : t -> string list
+(** Structural invariants, for the kernel invariant plane: every ring
+    closes within [count] nodes with symmetric links, node priorities
+    match their level, ring nodes and the id→node table agree, and the
+    total ring population equals [count] and the table size. One
+    message per violation; [[]] when consistent. Walks are bounded, so
+    this terminates even on a corrupted ring. *)

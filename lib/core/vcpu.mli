@@ -10,9 +10,16 @@
 
 type t
 
-val create : pd_id:int -> t
+val create : pd_id:int -> ?slot:int -> unit -> t
+(** [slot] selects which {!Klayout.vcpu_save_area} backs this vCPU
+    (default: the PD id). The kernel recycles slots of dead VMs, so a
+    long-running system's monotonically growing PD ids stay decoupled
+    from the finite save-area region. *)
 
 val pd_id : t -> int
+
+val slot : t -> int
+(** Save-area slot index (for recycling at VM teardown). *)
 
 val save_area : t -> Addr.t * int
 (** Kernel-memory block written on save / read on restore. *)

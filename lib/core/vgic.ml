@@ -8,11 +8,16 @@ type t = {
   sources : (int, source) Hashtbl.t;
   arrival : int Queue.t;  (* pending ids in arrival order, no duplicates *)
   mutable entry : Addr.t option;
+  (* Lifetime conservation counters (invariant plane): at any moment
+     latched = raised - delivered - reclaimed. *)
+  mutable raised : int;
+  mutable delivered : int;
+  mutable reclaimed : int;
 }
 
 let create ~owner =
   { owner; sources = Hashtbl.create 8; arrival = Queue.create ();
-    entry = None }
+    entry = None; raised = 0; delivered = 0; reclaimed = 0 }
 
 let owner t = t.owner
 
@@ -20,7 +25,22 @@ let register t irq =
   if not (Hashtbl.mem t.sources irq) then
     Hashtbl.replace t.sources irq { enabled = false; pending = false }
 
-let unregister t irq = Hashtbl.remove t.sources irq
+(* Drop [irq] from the arrival queue (Queue has no removal: rotate). *)
+let purge_arrival t irq =
+  for _ = 1 to Queue.length t.arrival do
+    let i = Queue.pop t.arrival in
+    if i <> irq then Queue.push i t.arrival
+  done
+
+let unregister t irq =
+  (match Hashtbl.find_opt t.sources irq with
+   | Some s when s.pending ->
+     (* The latched interrupt is reclaimed, not delivered: purge its
+        queue entry so it can never be counted or delivered later. *)
+     purge_arrival t irq;
+     t.reclaimed <- t.reclaimed + 1
+   | Some _ | None -> ());
+  Hashtbl.remove t.sources irq
 
 let registered t irq = Hashtbl.mem t.sources irq
 
@@ -47,13 +67,20 @@ let set_pending t irq =
   in
   if not s.pending then begin
     s.pending <- true;
+    t.raised <- t.raised + 1;
     Queue.push irq t.arrival
   end
 
+let latched t =
+  Hashtbl.fold (fun _ s n -> if s.pending then n + 1 else n) t.sources 0
+
 let clear_pending t =
-  let n = Queue.length t.arrival in
+  (* Count sources actually latched — the arrival queue length would
+     also count entries whose source was unregistered while queued. *)
+  let n = latched t in
   Queue.clear t.arrival;
   Hashtbl.iter (fun _ s -> s.pending <- false) t.sources;
+  t.reclaimed <- t.reclaimed + n;
   n
 
 let drain t =
@@ -67,6 +94,7 @@ let drain t =
     | Some s ->
       if s.enabled && s.pending then begin
         s.pending <- false;
+        t.delivered <- t.delivered + 1;
         delivered := irq :: !delivered
       end
       else if s.pending then Queue.push irq t.arrival
@@ -89,3 +117,39 @@ let enabled_sources t =
       t.sources []
   in
   List.sort compare out
+
+let raised t = t.raised
+let delivered t = t.delivered
+let reclaimed t = t.reclaimed
+
+let self_check t =
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let queued = Hashtbl.create 8 in
+  Queue.iter
+    (fun irq ->
+       if Hashtbl.mem queued irq then
+         note "vgic %d: irq %d queued twice" t.owner irq;
+       Hashtbl.replace queued irq ();
+       match Hashtbl.find_opt t.sources irq with
+       | None ->
+         note "vgic %d: queued irq %d has no source (stale entry)" t.owner
+           irq
+       | Some s ->
+         if not s.pending then
+           note "vgic %d: queued irq %d is not pending" t.owner irq)
+    t.arrival;
+  Hashtbl.iter
+    (fun irq s ->
+       if s.pending && not (Hashtbl.mem queued irq) then
+         note "vgic %d: pending irq %d missing from arrival queue" t.owner
+           irq)
+    t.sources;
+  let l = latched t in
+  let expect = t.raised - t.delivered - t.reclaimed in
+  if l <> expect then
+    note
+      "vgic %d: conservation broken: latched %d <> raised %d - delivered %d \
+       - reclaimed %d"
+      t.owner l t.raised t.delivered t.reclaimed;
+  List.rev !problems

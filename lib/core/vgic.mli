@@ -19,7 +19,9 @@ val register : t -> int -> unit
 (** Add a physical source id to the VM's vIRQ list (disabled). *)
 
 val unregister : t -> int -> unit
-(** Remove the source; clears any pending state. *)
+(** Remove the source; a latched pending interrupt is reclaimed and
+    its arrival-queue entry purged (it can no longer be delivered or
+    counted). *)
 
 val registered : t -> int -> bool
 
@@ -40,8 +42,9 @@ val set_pending : t -> int -> unit
 
 val clear_pending : t -> int
 (** Discard every pending virtual interrupt (kill-path reclamation:
-    a dead VM must not hold latched vIRQs). Returns how many arrival
-    entries were discarded; registrations and enables are kept. *)
+    a dead VM must not hold latched vIRQs). Returns how many latched
+    interrupts were discarded — sources actually pending, not raw
+    arrival-queue entries; registrations and enables are kept. *)
 
 val drain : t -> int list
 (** Pending {e and} enabled sources in arrival order; clears their
@@ -53,3 +56,23 @@ val has_deliverable : t -> bool
 val enabled_sources : t -> int list
 (** Enabled physical ids, ascending — what the kernel unmasks in the
     GIC when switching this VM in. *)
+
+(** {2 Conservation accounting (invariant plane)}
+
+    Lifetime counters: every latch transition is {e raised}, every
+    {!drain} delivery is {e delivered}, every discard ({!clear_pending}
+    or {!unregister} of a pending source) is {e reclaimed} — so at any
+    quiescent point [latched = raised - delivered - reclaimed]. *)
+
+val raised : t -> int
+val delivered : t -> int
+val reclaimed : t -> int
+
+val latched : t -> int
+(** Sources currently pending. *)
+
+val self_check : t -> string list
+(** Structural + conservation invariants: the arrival queue holds
+    exactly the pending sources (no duplicates, no stale or missing
+    entries) and the counter identity above holds. One message per
+    violation; [[]] when consistent. *)

@@ -61,14 +61,19 @@ end
 type t = {
   clock : Clock.t;
   heap : Heap.t;
+  (* Every heap entry's seq is in exactly one of these two tables:
+     [pending_tbl] (scheduled, may still fire or be cancelled) or
+     [cancelled] (tombstone awaiting removal when the entry surfaces
+     at the heap top). Fired events are in neither, so a cancel after
+     the event fired — or a double cancel — finds nothing to do. *)
+  pending_tbl : (id, unit) Hashtbl.t;
   cancelled : (id, unit) Hashtbl.t;
   mutable next_seq : int;
-  mutable live : int;
 }
 
 let create clock =
-  { clock; heap = Heap.create (); cancelled = Hashtbl.create 16;
-    next_seq = 0; live = 0 }
+  { clock; heap = Heap.create (); pending_tbl = Hashtbl.create 16;
+    cancelled = Hashtbl.create 16; next_seq = 0 }
 
 let now q = Clock.now q.clock
 
@@ -76,18 +81,20 @@ let schedule_at q time action =
   let seq = q.next_seq in
   q.next_seq <- seq + 1;
   Heap.push q.heap { time; seq; action };
-  q.live <- q.live + 1;
+  Hashtbl.replace q.pending_tbl seq ();
   seq
 
 let schedule_after q d action = schedule_at q (Clock.now q.clock + d) action
 
 let cancel q id =
-  if not (Hashtbl.mem q.cancelled id) then begin
-    Hashtbl.replace q.cancelled id ();
-    q.live <- q.live - 1
+  if Hashtbl.mem q.pending_tbl id then begin
+    Hashtbl.remove q.pending_tbl id;
+    Hashtbl.replace q.cancelled id ()
   end
 
-(* Pop the earliest event, skipping cancelled ones. *)
+(* Pop the earliest event, skipping cancelled ones. The survivor is
+   removed from [pending_tbl] here, before its action can run, so a
+   reentrant cancel from inside the action is a no-op. *)
 let rec pop_live q =
   match Heap.pop q.heap with
   | None -> None
@@ -96,7 +103,10 @@ let rec pop_live q =
       Hashtbl.remove q.cancelled e.seq;
       pop_live q
     end
-    else Some e
+    else begin
+      Hashtbl.remove q.pending_tbl e.seq;
+      Some e
+    end
 
 let rec peek_live q =
   match Heap.peek q.heap with
@@ -117,7 +127,6 @@ let run_due q =
     match peek_live q with
     | Some e when e.time <= Clock.now q.clock ->
       ignore (pop_live q);
-      q.live <- q.live - 1;
       incr fired;
       e.action ();
       loop ()
@@ -140,4 +149,30 @@ let advance_until q t =
   Clock.advance_to q.clock t;
   !fired
 
-let pending q = q.live
+let pending q = Hashtbl.length q.pending_tbl
+
+let self_check q =
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let seen = Hashtbl.create 16 in
+  for i = 0 to q.heap.Heap.len - 1 do
+    let seq = q.heap.Heap.arr.(i).seq in
+    if Hashtbl.mem seen seq then note "duplicate heap entry for id %d" seq;
+    Hashtbl.replace seen seq ();
+    let p = Hashtbl.mem q.pending_tbl seq in
+    let c = Hashtbl.mem q.cancelled seq in
+    if p && c then note "id %d both pending and cancelled" seq;
+    if (not p) && not c then
+      note "heap entry %d in neither pending nor cancelled table" seq
+  done;
+  Hashtbl.iter
+    (fun seq () ->
+       if not (Hashtbl.mem seen seq) then
+         note "pending id %d has no heap entry" seq)
+    q.pending_tbl;
+  Hashtbl.iter
+    (fun seq () ->
+       if not (Hashtbl.mem seen seq) then
+         note "cancelled tombstone %d has no heap entry (leak)" seq)
+    q.cancelled;
+  List.rev !problems

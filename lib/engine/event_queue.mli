@@ -45,3 +45,10 @@ val advance_until : t -> Cycles.t -> int
 
 val pending : t -> int
 (** Number of scheduled, uncancelled, unfired events. *)
+
+val self_check : t -> string list
+(** Structural invariants, for the kernel invariant plane: every heap
+    entry is in exactly one of the pending/cancelled tables, ids are
+    unique in the heap, and neither table holds an id with no heap
+    entry (a cancel-after-fire bug would leave such a tombstone).
+    Returns one message per violation; [[]] when consistent. *)

@@ -103,9 +103,69 @@ let check_baseline =
     parse = (fun s -> Ok (Some s));
     show = (function Some s -> s | None -> "") }
 
+(* Soak counts are large; accept 200k / 1m style suffixes. *)
+let parse_count s =
+  let len = String.length s in
+  if len = 0 then Error "expected a count"
+  else
+    let mult, body =
+      match Char.lowercase_ascii s.[len - 1] with
+      | 'k' -> (1_000, String.sub s 0 (len - 1))
+      | 'm' -> (1_000_000, String.sub s 0 (len - 1))
+      | _ -> (1, s)
+    in
+    match int_of_string_opt body with
+    | Some v when v > 0 -> Ok (v * mult)
+    | Some _ | None ->
+      Error
+        (Printf.sprintf "expected a count like 5000, 200k or 1m, got %S" s)
+
+let ops =
+  { names = [ "ops" ];
+    docv = "N";
+    doc = "Soak operation budget; accepts k/m suffixes (200k, 1m).";
+    default = 200_000;
+    parse = parse_count;
+    show = string_of_int }
+
+let max_vms =
+  { names = [ "max-vms" ];
+    docv = "N";
+    doc = "Cap on concurrently live soak VMs.";
+    default = 6;
+    parse = parse_int;
+    show = string_of_int }
+
+let replay =
+  { names = [ "replay" ];
+    docv = "FILE";
+    doc = "Replay a soak reproducer file instead of generating from the seed.";
+    default = None;
+    parse = (fun s -> Ok (Some s));
+    show = (function Some s -> s | None -> "") }
+
+let repro_out =
+  { names = [ "repro-out" ];
+    docv = "FILE";
+    doc = "Where to write the shrunk reproducer on an invariant violation.";
+    default = "SOAK_repro.txt";
+    parse = (fun s -> Ok s);
+    show = Fun.id }
+
 let json =
   { f_names = [ "json" ];
     f_doc = "Also emit machine-readable JSON output." }
+
+let check =
+  { f_names = [ "check" ];
+    f_doc =
+      "Evaluate kernel invariants at every world-switch, kill, recovery \
+       and soak-action boundary (the soak default; timing is \
+       cycle-identical either way)." }
+
+let no_check =
+  { f_names = [ "no-check" ];
+    f_doc = "Disable invariant evaluation during the soak." }
 
 let observe =
   { f_names = [ "obs" ];

@@ -56,11 +56,29 @@ val check_baseline : string option spec
 (** [--check-baseline FILE]: compare deterministic sim cycles against a
     committed baseline and fail on drift. *)
 
+val ops : int spec
+(** [--ops]: soak operation budget; accepts [200k]/[1m] suffixes. *)
+
+val max_vms : int spec
+(** [--max-vms]: concurrently live soak VMs. *)
+
+val replay : string option spec
+(** [--replay FILE]: replay a soak reproducer file. *)
+
+val repro_out : string spec
+(** [--repro-out FILE]: reproducer destination on violation. *)
+
 val json : flag
 (** [--json]: machine-readable output. *)
 
 val observe : flag
 (** [--obs]: enable the observability plane. *)
+
+val check : flag
+(** [--check]: evaluate kernel invariants at every boundary. *)
+
+val no_check : flag
+(** [--no-check]: disable invariant evaluation during the soak. *)
 
 (** {2 Generic argv engine (for Cmdliner-less front ends)} *)
 

@@ -31,5 +31,6 @@ let bitstream_store_size = 28 * mb
 
 let guest_phys_size = 16 * mb
 let guest_phys_base i = ddr_base + (32 * mb) + (i * guest_phys_size)
+let guest_slot_count = (ddr_size - (32 * mb)) / guest_phys_size
 
 let in_ddr a = a >= ddr_base && a < ddr_base + ddr_size

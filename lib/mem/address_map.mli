@@ -58,5 +58,10 @@ val guest_phys_base : int -> Addr.t
 val guest_phys_size : int
 (** 16 MB per guest. *)
 
+val guest_slot_count : int
+(** Number of guest physical windows that fit in DDR (29) — the bound
+    on {e concurrently} live VMs; the kernel recycles windows of dead
+    VMs. *)
+
 val in_ddr : Addr.t -> bool
 (** True when an address falls inside DDR. *)

@@ -1,13 +1,56 @@
-type t = { base : Addr.t; size : int; mutable next : Addr.t }
+type t = {
+  base : Addr.t;
+  size : int;
+  mutable next : Addr.t;
+  (* Size-bucketed free lists: freed chunks are recycled only for a
+     same-size request whose alignment they satisfy. Kernel objects
+     come in a handful of fixed sizes (16 KB L1 tables, 1 KB L2
+     tables), so exact-size bucketing never fragments. *)
+  free : (int, Addr.t list ref) Hashtbl.t;
+  mutable freed_bytes : int;
+  (* Bytes currently handed out: sum of alloc sizes minus frees. Not
+     derivable from [next]: bump allocation skips padding to satisfy
+     alignment, and padding is not anybody's allocation. *)
+  mutable live : int;
+}
 
-let create ~base ~size = { base; size; next = base }
+let create ~base ~size =
+  { base; size; next = base; free = Hashtbl.create 4; freed_bytes = 0;
+    live = 0 }
+
+let bucket t n =
+  match Hashtbl.find_opt t.free n with
+  | Some l -> l
+  | None ->
+    let l = ref [] in
+    Hashtbl.replace t.free n l;
+    l
 
 let alloc t ?(align = 4) n =
-  let a = Addr.align_up t.next align in
-  if a + n > t.base + t.size then
-    failwith "Frame_alloc: kernel memory region exhausted";
-  t.next <- a + n;
-  a
+  let b = bucket t n in
+  match List.find_opt (fun a -> Addr.is_aligned a align) !b with
+  | Some a ->
+    b := List.filter (fun x -> x <> a) !b;
+    t.freed_bytes <- t.freed_bytes - n;
+    t.live <- t.live + n;
+    a
+  | None ->
+    let a = Addr.align_up t.next align in
+    if a + n > t.base + t.size then
+      failwith "Frame_alloc: kernel memory region exhausted";
+    t.next <- a + n;
+    t.live <- t.live + n;
+    a
+
+let free t addr n =
+  if addr < t.base || addr + n > t.next then
+    invalid_arg "Frame_alloc.free: chunk outside the allocated region";
+  let b = bucket t n in
+  if List.mem addr !b then invalid_arg "Frame_alloc.free: double free";
+  b := addr :: !b;
+  t.freed_bytes <- t.freed_bytes + n;
+  t.live <- t.live - n
 
 let used t = t.next - t.base
 let remaining t = t.base + t.size - t.next
+let live_bytes t = t.live

@@ -1,9 +1,12 @@
-(** Bump allocator over a physical region.
+(** Bump allocator with size-bucketed free lists over a physical
+    region.
 
     Hands out aligned chunks of simulated physical memory for kernel
-    objects: L1 tables (16 KB), L2 tables (1 KB), kernel stacks. No
-    free — kernel translation tables live for the kernel's lifetime,
-    matching the paper's static design. *)
+    objects: L1 tables (16 KB), L2 tables (1 KB), kernel stacks. The
+    high-water mark only grows, but freed chunks are recycled for
+    later same-size requests, so a VM destroy→create lifecycle runs in
+    bounded kernel memory. When nothing has been freed the allocator
+    behaves exactly like the original pure bump allocator. *)
 
 type t
 
@@ -11,10 +14,24 @@ val create : base:Addr.t -> size:int -> t
 
 val alloc : t -> ?align:int -> int -> Addr.t
 (** [alloc t ~align n] returns an [align]-aligned physical base of [n]
-    fresh bytes (default alignment 4).
+    bytes — a recycled chunk of exactly size [n] whose address
+    satisfies [align] if one is free, else fresh bytes from the bump
+    pointer (default alignment 4).
     @raise Failure when the region is exhausted. *)
 
+val free : t -> Addr.t -> int -> unit
+(** Return a chunk obtained from {!alloc} (same address and size) to
+    the allocator.
+    @raise Invalid_argument on a chunk outside the allocated region or
+    an already-free chunk of the same size. *)
+
 val used : t -> int
-(** Bytes consumed so far (including alignment padding). *)
+(** High-water mark: bytes ever consumed from the region (including
+    alignment padding); never decreases. *)
 
 val remaining : t -> int
+
+val live_bytes : t -> int
+(** Bytes currently handed out (sum of allocation sizes minus frees;
+    alignment padding is excluded) — the quantity the kernel invariant
+    plane reconciles against live translation tables. *)

@@ -3,6 +3,8 @@ type t = {
   alloc : Frame_alloc.t;
   root : Addr.t;
   mutable l2_count : int;
+  mutable l2_bases : Addr.t list;
+  mutable destroyed : bool;
 }
 
 let l1_size = 16 * 1024
@@ -11,7 +13,7 @@ let l2_size = 1024
 let create mem alloc =
   let root = Frame_alloc.alloc alloc ~align:l1_size l1_size in
   Phys_mem.fill mem root l1_size 0;
-  { mem; alloc; root; l2_count = 0 }
+  { mem; alloc; root; l2_count = 0; l2_bases = []; destroyed = false }
 
 let root t = t.root
 
@@ -43,6 +45,7 @@ let ensure_l2_base t ~virt ~domain =
     let base = Frame_alloc.alloc t.alloc ~align:l2_size l2_size in
     Phys_mem.fill t.mem base l2_size 0;
     t.l2_count <- t.l2_count + 1;
+    t.l2_bases <- base :: t.l2_bases;
     write_l1 t virt (Pte.L1_table (base, domain));
     base
   | Pte.L1_section _ ->
@@ -93,3 +96,15 @@ let walk ~read ~root ~virt =
           { Pte.ap; domain; global }))
 
 let l2_tables t = t.l2_count
+
+let footprint_bytes t =
+  if t.destroyed then 0 else l1_size + (t.l2_count * l2_size)
+
+let destroy t =
+  if not t.destroyed then begin
+    t.destroyed <- true;
+    List.iter (fun b -> Frame_alloc.free t.alloc b l2_size) t.l2_bases;
+    t.l2_bases <- [];
+    t.l2_count <- 0;
+    Frame_alloc.free t.alloc t.root l1_size
+  end

@@ -49,3 +49,13 @@ val walk : read:(Addr.t -> int32) -> root:Addr.t -> virt:Addr.t ->
 
 val l2_tables : t -> int
 (** Number of second-level tables allocated (footprint metric). *)
+
+val footprint_bytes : t -> int
+(** Bytes of allocator memory this table currently holds: the 16 KB L1
+    plus 1 KB per second-level table; 0 after {!destroy}. *)
+
+val destroy : t -> unit
+(** Return the L1 table and every second-level table to the frame
+    allocator (VM teardown). The handle must not be used afterwards —
+    and the table must no longer be reachable through any TTBR.
+    Idempotent. *)

@@ -19,4 +19,5 @@ let () =
       Test_faults.suite;
       Test_edge.suite;
       Test_fastpath.suite;
-      Test_obs.suite ]
+      Test_obs.suite;
+      Test_check.suite ]

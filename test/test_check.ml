@@ -1,0 +1,299 @@
+(* Invariant plane, resource-lifecycle regressions, and the soak
+   engine. The lifecycle tests pin the PR's bug fixes: ASID/frame/slot
+   reclamation on kill, event-queue cancel-after-fire, and vGIC
+   latched-source accounting. *)
+
+let ci = Alcotest.int
+let cb = Alcotest.bool
+
+let idle_guest _genv =
+  while true do
+    ignore (Hyper.pause ())
+  done
+
+(* ------------------------------------------------------------------ *)
+(* VM lifecycle: 1000 create/kill cycles reuse a bounded pool of       *)
+(* ASIDs, save-area slots and physical windows.                        *)
+
+let test_create_kill_1000 () =
+  let z = Zynq.create () in
+  let kern = Kernel.boot z in
+  let live = Queue.create () in
+  for i = 1 to 1000 do
+    let pd =
+      Kernel.create_vm kern
+        ~name:(Printf.sprintf "cycle%d" i)
+        ~priority:(1 + (i mod 3))
+        idle_guest
+    in
+    Queue.push pd.Pd.id live;
+    (* Let a few quanta elapse so some guests actually run (and one of
+       them is current when its killer strikes). *)
+    if i mod 7 = 0 then Kernel.run_for kern (Cycles.of_us 300.0);
+    (* Keep up to five alive so windows/slots recycle out of order. *)
+    if Queue.length live > 5 then begin
+      let victim = Queue.pop live in
+      Alcotest.(check bool) "kill succeeds" true
+        (Kernel.kill_vm kern victim ~reason:"lifecycle")
+    end;
+    if i mod 100 = 0 then
+      Alcotest.(check (list string)) "invariants hold mid-churn" []
+        (List.map Invariant.violation_to_string
+           (Invariant.check kern ~boundary:"test"))
+  done;
+  Queue.iter
+    (fun id -> ignore (Kernel.kill_vm kern id ~reason:"lifecycle"))
+    live;
+  Kernel.run_for kern (Cycles.of_ms 1.0);
+  Alcotest.check ci "no guests left" 0 (Kernel.alive_guests kern);
+  Alcotest.check ci "all guest ASIDs returned" 0
+    (Kmem.live_asids (Kernel.kmem kern));
+  Alcotest.(check (list string)) "invariants hold after churn" []
+    (List.map Invariant.violation_to_string
+       (Invariant.check kern ~boundary:"test"))
+
+let test_double_kill_is_noop () =
+  let z = Zynq.create () in
+  let kern = Kernel.boot z in
+  let pd = Kernel.create_vm kern ~name:"once" idle_guest in
+  Alcotest.check cb "first kill" true
+    (Kernel.kill_vm kern pd.Pd.id ~reason:"test");
+  Alcotest.check cb "second kill reports false" false
+    (Kernel.kill_vm kern pd.Pd.id ~reason:"test");
+  Alcotest.check ci "asid freed once" 0 (Kmem.live_asids (Kernel.kmem kern));
+  Alcotest.(check (list string)) "invariants hold" []
+    (List.map Invariant.violation_to_string
+       (Invariant.check kern ~boundary:"test"))
+
+(* ------------------------------------------------------------------ *)
+(* Event queue: cancelling an event that already fired is a no-op.     *)
+
+let test_cancel_after_fire () =
+  let clock = Clock.create () in
+  let q = Event_queue.create clock in
+  let fired = ref 0 in
+  let id = Event_queue.schedule_after q 10 (fun () -> incr fired) in
+  ignore (Event_queue.advance_until q 20);
+  Alcotest.check ci "fired" 1 !fired;
+  Alcotest.check ci "nothing pending" 0 (Event_queue.pending q);
+  (* The regression: this used to decrement the live count below the
+     truth, starving later runs. *)
+  Event_queue.cancel q id;
+  Alcotest.check ci "cancel-after-fire is a no-op" 0 (Event_queue.pending q);
+  Alcotest.(check (list string)) "queue self-check clean" []
+    (Event_queue.self_check q);
+  let fired2 = ref 0 in
+  ignore (Event_queue.schedule_after q 5 (fun () -> incr fired2));
+  Alcotest.check ci "queue still counts new events" 1 (Event_queue.pending q);
+  ignore (Event_queue.advance_until q 30);
+  Alcotest.check ci "queue still fires" 1 !fired2
+
+let test_cancel_self_while_firing () =
+  let clock = Clock.create () in
+  let q = Event_queue.create clock in
+  let fired = ref 0 in
+  let idr = ref None in
+  idr :=
+    Some
+      (Event_queue.schedule_after q 5 (fun () ->
+           incr fired;
+           (* Reentrant cancel of the very event being run. *)
+           Event_queue.cancel q (Option.get !idr)));
+  ignore (Event_queue.advance_until q 10);
+  Alcotest.check ci "fired exactly once" 1 !fired;
+  Alcotest.check ci "nothing pending" 0 (Event_queue.pending q);
+  Alcotest.(check (list string)) "no orphan tombstone" []
+    (Event_queue.self_check q)
+
+(* ------------------------------------------------------------------ *)
+(* vGIC: clear_pending counts latched sources; unregister purges the   *)
+(* arrival queue.                                                      *)
+
+let test_vgic_clear_pending_counts_latched () =
+  let v = Vgic.create ~owner:1 in
+  Vgic.register v 33;
+  Vgic.register v 34;
+  Vgic.enable v 33;
+  Vgic.enable v 34;
+  Vgic.set_pending v 33;
+  Vgic.set_pending v 34;
+  Vgic.set_pending v 34 (* re-latch: must not double count *);
+  Alcotest.check ci "two latches raised" 2 (Vgic.raised v);
+  Alcotest.check ci "two latched" 2 (Vgic.latched v);
+  (* Unregistering a pending source reclaims it and purges its queue
+     entry (the regression left a stale arrival behind). *)
+  Vgic.unregister v 33;
+  Alcotest.check ci "one reclaimed by unregister" 1 (Vgic.reclaimed v);
+  Alcotest.check ci "one still latched" 1 (Vgic.latched v);
+  Alcotest.(check (list string)) "no stale arrival" [] (Vgic.self_check v);
+  (* clear_pending returns the latched count, not the queue length. *)
+  Alcotest.check ci "clear reports one source" 1 (Vgic.clear_pending v);
+  Alcotest.check ci "nothing latched" 0 (Vgic.latched v);
+  Alcotest.check ci "reclaim accounted" 2 (Vgic.reclaimed v);
+  Alcotest.check ci "nothing was delivered" 0 (Vgic.delivered v);
+  Alcotest.(check (list string)) "conservation holds" [] (Vgic.self_check v)
+
+let test_vgic_conservation_through_delivery () =
+  let v = Vgic.create ~owner:1 in
+  Vgic.register v 40;
+  Vgic.enable v 40;
+  Vgic.set_pending v 40;
+  Alcotest.(check (list ci)) "delivered in order" [ 40 ] (Vgic.drain v);
+  Alcotest.check ci "delivery counted" 1 (Vgic.delivered v);
+  Alcotest.check ci "raised once" 1 (Vgic.raised v);
+  Alcotest.check ci "none latched" 0 (Vgic.latched v);
+  Alcotest.check ci "clearing after drain finds nothing" 0
+    (Vgic.clear_pending v);
+  Alcotest.(check (list string)) "conservation holds" [] (Vgic.self_check v)
+
+(* ------------------------------------------------------------------ *)
+(* The checkers actually catch corruption.                             *)
+
+let violation_checkers kern =
+  List.map
+    (fun v -> v.Invariant.checker)
+    (Invariant.check kern ~boundary:"test")
+
+let test_checker_catches_asid_leak () =
+  let z = Zynq.create () in
+  let kern = Kernel.boot z in
+  ignore (Kernel.create_vm kern ~name:"g" idle_guest);
+  Alcotest.(check (list string)) "clean before corruption" []
+    (violation_checkers kern);
+  ignore (Kmem.alloc_asid (Kernel.kmem kern));
+  Alcotest.check cb "asid checker fires" true
+    (List.mem "asid_accounting" (violation_checkers kern))
+
+let test_checker_catches_frame_leak () =
+  let z = Zynq.create () in
+  let kern = Kernel.boot z in
+  ignore (Kernel.create_vm kern ~name:"g" idle_guest);
+  ignore (Frame_alloc.alloc (Kmem.allocator (Kernel.kmem kern)) 4096);
+  Alcotest.check cb "frame checker fires" true
+    (List.mem "frame_accounting" (violation_checkers kern))
+
+let test_checker_catches_sched_corruption () =
+  let z = Zynq.create () in
+  let kern = Kernel.boot z in
+  let pd = Kernel.create_vm kern ~name:"g" idle_guest in
+  pd.Pd.state <- Pd.Blocked (* still enqueued: inconsistent *);
+  Alcotest.check cb "sched checker fires" true
+    (List.mem "sched" (violation_checkers kern));
+  pd.Pd.state <- Pd.Runnable;
+  Alcotest.(check (list string)) "clean after repair" []
+    (violation_checkers kern)
+
+(* ------------------------------------------------------------------ *)
+(* Soak engine: clean, deterministic, replayable.                      *)
+
+let stats_t =
+  Alcotest.testable Soak.pp_stats (fun (a : Soak.stats) b -> a = b)
+
+let smoke_config =
+  { Soak.default_config with ops = 3000; seed = 11; max_vms = 4 }
+
+let test_soak_smoke_clean () =
+  match Soak.run smoke_config with
+  | Soak.Clean stats ->
+    Alcotest.check cb "did real work" true (stats.Soak.ops_done >= 3000);
+    Alcotest.check cb "created VMs" true (stats.Soak.creates > 0);
+    Alcotest.check cb "killed VMs" true (stats.Soak.kills > 0);
+    Alcotest.check cb "invariants were evaluated" true
+      (stats.Soak.checks > 0)
+  | Soak.Violated { violation; shrunk; _ } ->
+    Alcotest.failf "soak violated (%s) with %d-action reproducer"
+      (Invariant.violation_to_string violation)
+      (List.length shrunk)
+
+let test_soak_deterministic () =
+  match Soak.run smoke_config, Soak.run smoke_config with
+  | Soak.Clean a, Soak.Clean b ->
+    Alcotest.check stats_t "identical stats fingerprint" a b
+  | _ -> Alcotest.fail "soak violated"
+
+let test_soak_replay_deterministic () =
+  let actions =
+    [ Soak.A_create { profile = 0; prio = 1; gseed = 5 };
+      Soak.A_probe 500;
+      Soak.A_run 400;
+      Soak.A_create { profile = 2; prio = 2; gseed = 9 };
+      Soak.A_run 800;
+      Soak.A_probe_cancel 0;
+      Soak.A_kill 0;
+      Soak.A_run 200;
+      Soak.A_kill 0 ]
+  in
+  match
+    Soak.replay smoke_config actions, Soak.replay smoke_config actions
+  with
+  | Soak.Clean a, Soak.Clean b ->
+    Alcotest.check stats_t "replay is deterministic" a b;
+    Alcotest.check ci "both creates applied" 2 a.Soak.creates;
+    Alcotest.check ci "both kills applied" 2 a.Soak.kills;
+    Alcotest.check ci "no VM survives" 0 a.Soak.live_vms
+  | _ -> Alcotest.fail "replay violated"
+
+let test_reproducer_roundtrip () =
+  let cfg =
+    { Soak.ops = 123_456; seed = 77; max_vms = 9; check = true;
+      fault_rate = 0.25; fault_seed = 3; quantum_ms = 1.5 }
+  in
+  let violation =
+    { Invariant.checker = "sched"; boundary = "op"; detail = "synthetic" }
+  in
+  let shrunk =
+    [ Soak.A_create { profile = 3; prio = 2; gseed = 101 };
+      Soak.A_run 250;
+      Soak.A_probe 4096;
+      Soak.A_probe_cancel 0;
+      Soak.A_kill 1 ]
+  in
+  let path = Filename.temp_file "soak_repro" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       Soak.write_reproducer path cfg violation ~shrunk;
+       match Soak.load_reproducer path with
+       | Error e -> Alcotest.failf "load failed: %s" e
+       | Ok (cfg', actions) ->
+         Alcotest.check ci "seed" cfg.Soak.seed cfg'.Soak.seed;
+         Alcotest.check ci "ops" cfg.Soak.ops cfg'.Soak.ops;
+         Alcotest.check ci "max vms" cfg.Soak.max_vms cfg'.Soak.max_vms;
+         Alcotest.check (Alcotest.float 1e-9) "fault rate"
+           cfg.Soak.fault_rate cfg'.Soak.fault_rate;
+         Alcotest.check ci "fault seed" cfg.Soak.fault_seed
+           cfg'.Soak.fault_seed;
+         Alcotest.check (Alcotest.float 1e-9) "quantum"
+           cfg.Soak.quantum_ms cfg'.Soak.quantum_ms;
+         Alcotest.(check (list string)) "actions round-trip"
+           (List.map Soak.action_to_string shrunk)
+           (List.map Soak.action_to_string actions))
+
+let suite =
+  ( "check",
+    [ Alcotest.test_case "1000 VM create/kill cycles" `Quick
+        test_create_kill_1000;
+      Alcotest.test_case "double kill is a no-op" `Quick
+        test_double_kill_is_noop;
+      Alcotest.test_case "event cancel after fire" `Quick
+        test_cancel_after_fire;
+      Alcotest.test_case "event cancels itself while firing" `Quick
+        test_cancel_self_while_firing;
+      Alcotest.test_case "vgic clear_pending counts latched" `Quick
+        test_vgic_clear_pending_counts_latched;
+      Alcotest.test_case "vgic conservation through delivery" `Quick
+        test_vgic_conservation_through_delivery;
+      Alcotest.test_case "checker catches ASID leak" `Quick
+        test_checker_catches_asid_leak;
+      Alcotest.test_case "checker catches frame leak" `Quick
+        test_checker_catches_frame_leak;
+      Alcotest.test_case "checker catches sched corruption" `Quick
+        test_checker_catches_sched_corruption;
+      Alcotest.test_case "soak smoke run is clean" `Quick
+        test_soak_smoke_clean;
+      Alcotest.test_case "soak is deterministic" `Quick
+        test_soak_deterministic;
+      Alcotest.test_case "soak replay is deterministic" `Quick
+        test_soak_replay_deterministic;
+      Alcotest.test_case "reproducer file round-trips" `Quick
+        test_reproducer_roundtrip ] )

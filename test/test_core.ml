@@ -143,7 +143,7 @@ let mk_pd id prio =
   let fa = Frame_alloc.create ~base:Address_map.kernel_data_base ~size:(1 lsl 20) in
   let pt = Page_table.create mem fa in
   Pd.make ~id ~name:(Printf.sprintf "pd%d" id) ~kind:Pd.Guest ~priority:prio
-    ~asid:(id + 2) ~pt ~phys_base:0 ~quantum:1000
+    ~asid:(id + 2) ~pt ~phys_base:0 ~quantum:1000 ()
 
 let pd_ids pds = List.map (fun p -> p.Pd.id) pds
 
@@ -243,20 +243,20 @@ let test_ipc_payload_isolation () =
 (* --- Vcpu --- *)
 
 let test_vcpu_state () =
-  let v = Vcpu.create ~pd_id:3 in
+  let v = Vcpu.create ~pd_id:3 () in
   check ci "pd id" 3 (Vcpu.pd_id v);
   check cb "boots in guest-kernel mode" true (Vcpu.guest_mode v = Hyper.Gm_kernel);
   Vcpu.set_guest_mode v Hyper.Gm_user;
   check cb "mode switch" true (Vcpu.guest_mode v = Hyper.Gm_user);
   let base, len = Vcpu.save_area v in
-  let base4, _ = Vcpu.save_area (Vcpu.create ~pd_id:4) in
+  let base4, _ = Vcpu.save_area (Vcpu.create ~pd_id:4 ()) in
   check cb "save areas disjoint" true (base + len <= base4)
 
 let test_vcpu_switch_costs () =
   let z = Zynq.create () in
   let kmem = Kmem.create z in
   ignore kmem;
-  let a = Vcpu.create ~pd_id:1 and b = Vcpu.create ~pd_id:2 in
+  let a = Vcpu.create ~pd_id:1 () and b = Vcpu.create ~pd_id:2 () in
   let t0 = Clock.now z.Zynq.clock in
   Vcpu.save_active z a;
   Vcpu.restore_active z b;
@@ -303,7 +303,7 @@ let test_kmem_guest_map_page () =
   let pt = Kmem.make_guest_pt kmem ~index:0 in
   let pd =
     Pd.make ~id:1 ~name:"g" ~kind:Pd.Guest ~priority:1 ~asid:2 ~pt
-      ~phys_base:(Address_map.guest_phys_base 0) ~quantum:100
+      ~phys_base:(Address_map.guest_phys_base 0) ~quantum:100 ()
   in
   let vaddr = Guest_layout.page_region_base + 0x3000 in
   check cb "map ok" true
@@ -325,7 +325,7 @@ let test_kmem_iface_mapping () =
   let pt = Kmem.make_guest_pt kmem ~index:0 in
   let pd =
     Pd.make ~id:1 ~name:"g" ~kind:Pd.Guest ~priority:1 ~asid:2 ~pt
-      ~phys_base:(Address_map.guest_phys_base 0) ~quantum:100
+      ~phys_base:(Address_map.guest_phys_base 0) ~quantum:100 ()
   in
   let prr = Prr_controller.prr z.Zynq.prrc 1 in
   let vaddr = Guest_layout.default_iface_vaddr 1 in

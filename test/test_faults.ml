@@ -349,8 +349,8 @@ let test_violation_kill_reclaims_everything () =
   let limit =
     (Hw_task_manager.policy (Kernel.hwtm kern)).kill_violation_threshold
   in
-  ignore
-    (Kernel.create_vm kern ~name:"evil" (fun genv ->
+  let evil =
+    Kernel.create_vm kern ~name:"evil" (fun genv ->
          let os = Ucos.create (Port.paravirt genv) in
          ignore
            (Ucos.spawn os ~name:"main" ~prio:5 (fun () ->
@@ -370,7 +370,8 @@ let test_violation_kill_reclaims_everything () =
                      | `Violation | `Fault | `Done | `Reclaimed -> ());
                     Ucos.delay os 1
                   done));
-         Ucos.run os));
+         Ucos.run os)
+  in
   Kernel.run kern ~until:(Cycles.of_ms 5000.0);
   check ci "VM killed" 0 (Kernel.alive_guests kern);
   check ci "kill is graceful, not a crash" 0 (Kernel.crashes kern);
@@ -382,12 +383,14 @@ let test_violation_kill_reclaims_everything () =
       (Hw_task_manager.prr_client (Kernel.hwtm kern) i);
     check cb "window cleared" true (Hw_mmu.window prr.Prr.hw_mmu = None)
   done;
-  (* The manager's service PD is also listed; exactly the guest died. *)
-  (match
-     List.filter (fun pd -> pd.Pd.state = Pd.Dead) (Kernel.pds kern)
-   with
-   | [ pd ] -> check ci "no latched vIRQs" 0 (Vgic.clear_pending pd.Pd.vgic)
-   | _ -> Alcotest.fail "expected exactly one dead PD");
+  (* The dead guest is reaped from the PD table entirely; its held Pd.t
+     shows the Dead state and no latched vIRQs survive the kill. *)
+  check (Alcotest.option ci) "dead PD reaped from the kernel" None
+    (Option.map (fun pd -> pd.Pd.id) (Kernel.pd kern evil.Pd.id));
+  check cb "held handle marked dead" true (evil.Pd.state = Pd.Dead);
+  check ci "no latched vIRQs" 0 (Vgic.clear_pending evil.Pd.vgic);
+  check cb "only the service PD remains" true
+    (List.for_all (fun pd -> not (Pd.is_guest pd)) (Kernel.pds kern));
   check cb "death traced" true
     (List.exists
        (fun (e : Ktrace.event) ->

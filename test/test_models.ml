@@ -21,56 +21,69 @@ let gen_eq_ops =
            map (fun i -> Eq_cancel (abs i)) int;
            map (fun d -> Eq_advance (1 + (d land 0x3F))) int ]))
 
+(* Runs an op sequence against both the real queue and the model.
+   Besides the firing order, every step compares the pending count
+   (which caught a live-counter undercount on cancel-after-fire) and
+   requires [Event_queue.self_check] to stay clean. *)
+let eq_model_holds ops =
+  let clock = Clock.create () in
+  let q = Event_queue.create clock in
+  let fired_real = ref [] in
+  let fired_model = ref [] in
+  (* model: (time, tag, cancelled ref) in insertion order *)
+  let model = ref [] in
+  let handles = ref [] in
+  let next_tag = ref 0 in
+  let ok = ref true in
+  List.iter
+    (fun op ->
+       (match op with
+        | Eq_schedule d ->
+          let tag = !next_tag in
+          incr next_tag;
+          let id =
+            Event_queue.schedule_after q d (fun () ->
+                fired_real := tag :: !fired_real)
+          in
+          let cancelled = ref false in
+          model := !model @ [ (Clock.now clock + d, tag, cancelled) ];
+          handles := !handles @ [ (id, cancelled) ]
+        | Eq_cancel i ->
+          if !handles <> [] then begin
+            let id, cancelled = List.nth !handles (i mod List.length !handles) in
+            Event_queue.cancel q id;
+            (* cancel after the event fired (it left the model) is a
+               no-op; marking the ref is harmless either way *)
+            cancelled := true
+          end
+        | Eq_advance d ->
+          let target = Clock.now clock + d in
+          (* model: fire due, stable by (time, insertion order) *)
+          let due, rest =
+            List.partition (fun (t, _, _) -> t <= target) !model
+          in
+          let due =
+            List.stable_sort (fun (t1, g1, _) (t2, g2, _) ->
+                compare (t1, g1) (t2, g2))
+              due
+          in
+          List.iter
+            (fun (_, tag, cancelled) ->
+               if not !cancelled then fired_model := tag :: !fired_model)
+            due;
+          model := rest;
+          ignore (Event_queue.advance_until q target));
+       let model_pending =
+         List.length (List.filter (fun (_, _, c) -> not !c) !model)
+       in
+       if Event_queue.pending q <> model_pending then ok := false;
+       if Event_queue.self_check q <> [] then ok := false)
+    ops;
+  !ok && List.rev !fired_real = List.rev !fired_model
+
 let prop_event_queue_model =
   QCheck2.Test.make ~name:"Event_queue matches sorted-list model" ~count:200
-    gen_eq_ops
-    (fun ops ->
-       let clock = Clock.create () in
-       let q = Event_queue.create clock in
-       let fired_real = ref [] in
-       let fired_model = ref [] in
-       (* model: (time, tag, cancelled ref) in insertion order *)
-       let model = ref [] in
-       let handles = ref [] in
-       let next_tag = ref 0 in
-       List.iter
-         (fun op ->
-            match op with
-            | Eq_schedule d ->
-              let tag = !next_tag in
-              incr next_tag;
-              let id =
-                Event_queue.schedule_after q d (fun () ->
-                    fired_real := tag :: !fired_real)
-              in
-              let cancelled = ref false in
-              model := !model @ [ (Clock.now clock + d, tag, cancelled) ];
-              handles := !handles @ [ (id, cancelled) ]
-            | Eq_cancel i ->
-              if !handles <> [] then begin
-                let id, cancelled = List.nth !handles (i mod List.length !handles) in
-                Event_queue.cancel q id;
-                cancelled := true
-              end
-            | Eq_advance d ->
-              let target = Clock.now clock + d in
-              (* model: fire due, stable by (time, insertion order) *)
-              let due, rest =
-                List.partition (fun (t, _, _) -> t <= target) !model
-              in
-              let due =
-                List.stable_sort (fun (t1, g1, _) (t2, g2, _) ->
-                    compare (t1, g1) (t2, g2))
-                  due
-              in
-              List.iter
-                (fun (_, tag, cancelled) ->
-                   if not !cancelled then fired_model := tag :: !fired_model)
-                due;
-              model := rest;
-              ignore (Event_queue.advance_until q target))
-         ops;
-       List.rev !fired_real = List.rev !fired_model)
+    gen_eq_ops eq_model_holds
 
 (* ------------------------------------------------------------------ *)
 (* Cache vs an explicit per-set LRU list model.                        *)
@@ -168,11 +181,10 @@ let gen_sched_ops =
            map (fun i -> S_deq (abs i mod 12)) int;
            return S_rotate ]))
 
-let prop_sched_model =
-  QCheck2.Test.make ~name:"Sched matches list-of-rings model" ~count:300
-    gen_sched_ops
-    (fun ops ->
-       let s = Sched.create () in
+(* Besides pick-agreement after every op, the ring must pass its own
+   structural integrity walk (closure, link symmetry, counts). *)
+let sched_model_holds ops =
+  let s = Sched.create () in
        let mem = Phys_mem.create () in
        let fa =
          Frame_alloc.create ~base:Address_map.kernel_data_base
@@ -183,41 +195,45 @@ let prop_sched_model =
              let pt = Page_table.create mem fa in
              Pd.make ~id ~name:(string_of_int id) ~kind:Pd.Guest
                ~priority:(id mod 3) ~asid:(2 + id) ~pt ~phys_base:0
-               ~quantum:100)
+               ~quantum:100 ())
        in
        (* model: per priority, pd ids head-first *)
-       let model = Array.make 3 [] in
-       let model_pick () =
-         let rec scan p = if p < 0 then None else
-             match model.(p) with [] -> scan (p - 1) | h :: _ -> Some h
-         in
-         scan 2
-       in
-       List.for_all
-         (fun op ->
-            (match op with
-             | S_enq i ->
-               let pd = pds.(i) in
-               Sched.enqueue s pd;
-               let p = pd.Pd.priority in
-               if not (List.mem i model.(p)) then model.(p) <- model.(p) @ [ i ]
-             | S_deq i ->
-               let pd = pds.(i) in
-               Sched.dequeue s pd;
-               let p = pd.Pd.priority in
-               model.(p) <- List.filter (( <> ) i) model.(p)
-             | S_rotate ->
-               (match Sched.pick s with
-                | Some pd ->
-                  Sched.rotate s pd;
-                  let p = pd.Pd.priority in
-                  (match model.(p) with
-                   | h :: t -> model.(p) <- t @ [ h ]
-                   | [] -> ())
-                | None -> ()));
-            let real = Option.map (fun p -> p.Pd.id) (Sched.pick s) in
-            real = model_pick ())
-         ops)
+  let model = Array.make 3 [] in
+  let model_pick () =
+    let rec scan p = if p < 0 then None else
+        match model.(p) with [] -> scan (p - 1) | h :: _ -> Some h
+    in
+    scan 2
+  in
+  List.for_all
+    (fun op ->
+       (match op with
+        | S_enq i ->
+          let pd = pds.(i) in
+          Sched.enqueue s pd;
+          let p = pd.Pd.priority in
+          if not (List.mem i model.(p)) then model.(p) <- model.(p) @ [ i ]
+        | S_deq i ->
+          let pd = pds.(i) in
+          Sched.dequeue s pd;
+          let p = pd.Pd.priority in
+          model.(p) <- List.filter (( <> ) i) model.(p)
+        | S_rotate ->
+          (match Sched.pick s with
+           | Some pd ->
+             Sched.rotate s pd;
+             let p = pd.Pd.priority in
+             (match model.(p) with
+              | h :: t -> model.(p) <- t @ [ h ]
+              | [] -> ())
+           | None -> ()));
+       let real = Option.map (fun p -> p.Pd.id) (Sched.pick s) in
+       real = model_pick () && Sched.integrity s = [])
+    ops
+
+let prop_sched_model =
+  QCheck2.Test.make ~name:"Sched matches list-of-rings model" ~count:300
+    gen_sched_ops sched_model_holds
 
 (* ------------------------------------------------------------------ *)
 (* vGIC vs a set/queue model.                                          *)
@@ -336,6 +352,44 @@ let prop_page_table_model =
                | _ -> false)
             (List.init 24 Fun.id))
 
+(* ------------------------------------------------------------------ *)
+(* Seeded runners: the same models driven by the repo's own splitmix
+   generator over a fixed seed range, so a failure message carries the
+   exact seed to replay (`seed N` below reproduces bit-for-bit).       *)
+
+let eq_ops_of_seed seed =
+  let rng = Rng.create ~seed in
+  List.init
+    (20 + Rng.int rng 60)
+    (fun _ ->
+       match Rng.int rng 3 with
+       | 0 -> Eq_schedule (Rng.int rng 256)
+       | 1 -> Eq_cancel (Rng.int rng 1024)
+       | _ -> Eq_advance (1 + Rng.int rng 64))
+
+let test_event_queue_seeded () =
+  for seed = 1 to 50 do
+    if not (eq_model_holds (eq_ops_of_seed seed)) then
+      Alcotest.failf
+        "event-queue model mismatch; replay with seed %d" seed
+  done
+
+let sched_ops_of_seed seed =
+  let rng = Rng.create ~seed in
+  List.init
+    (20 + Rng.int rng 80)
+    (fun _ ->
+       match Rng.int rng 3 with
+       | 0 -> S_enq (Rng.int rng 12)
+       | 1 -> S_deq (Rng.int rng 12)
+       | _ -> S_rotate)
+
+let test_sched_seeded () =
+  for seed = 1 to 50 do
+    if not (sched_model_holds (sched_ops_of_seed seed)) then
+      Alcotest.failf "sched model mismatch; replay with seed %d" seed
+  done
+
 let test_placeholder () = Alcotest.check cb "models loaded" true true
 
 let suite =
@@ -345,4 +399,8 @@ let suite =
       QCheck_alcotest.to_alcotest prop_sched_model;
       QCheck_alcotest.to_alcotest prop_vgic_model;
       QCheck_alcotest.to_alcotest prop_page_table_model;
+      Alcotest.test_case "event-queue model, seeded runner" `Quick
+        test_event_queue_seeded;
+      Alcotest.test_case "sched model, seeded runner" `Quick
+        test_sched_seeded;
       Alcotest.test_case "placeholder" `Quick test_placeholder ] )
