@@ -29,14 +29,31 @@ let soak_ops = ref 30_000
 let soak_seed = ref Soak.default_config.Soak.seed
 let soak_max_vms = ref Soak.default_config.Soak.max_vms
 let soak_check = ref Soak.default_config.Soak.check
+let soak_shards = ref Cli_args.shards.Cli_args.default
 let soak_replay : string option ref = ref None
 let soak_repro_out = ref Cli_args.repro_out.Cli_args.default
+
+(* Per-shard soak timing, kept for the BENCH_perf.json artifact:
+   (shard count, total wall, merged ops, [(shard, ops_done, wall)]). *)
+let soak_perf : (int * float * int * (int * int * float) list) option ref =
+  ref None
+
+(* Invariant-plane overhead: (checked wall, unchecked wall) of the
+   same bounded soak, for the check_overhead perf record. *)
+let check_overhead : (float * float) option ref = ref None
 
 (* (key, wall seconds) per executed section, in execution order. *)
 let section_times : (string * float) list ref = ref []
 
-(* The Table III sweep feeds both table3 and fig9; run it once. *)
+(* The Table III sweep feeds both table3 and fig9; run it once. Its
+   wall time is accounted as its own "sweep" pseudo-section (and
+   subtracted from whichever section happened to trigger it), so every
+   section's recorded wall covers exactly the work that section itself
+   performed — a section rendering cached sweep results no longer
+   reports microseconds while another silently absorbs the shared
+   cost. *)
 let sweep_cache : Scenario.overheads list option ref = ref None
+let sweep_wall_acc = ref 0.0
 
 let bench_config () =
   { Scenario.default_config with
@@ -51,9 +68,13 @@ let sweep () =
   | None ->
     Format.fprintf fmt
       "running the Fig 8 scenario (native + 1..4 guests)...@.";
+    let t0 = Unix.gettimeofday () in
     let s =
       Scenario.run_table3 ~config:(bench_config ()) ?domains:!domains_opt ()
     in
+    let dt = Unix.gettimeofday () -. t0 in
+    sweep_wall_acc := !sweep_wall_acc +. dt;
+    section_times := ("sweep", dt) :: !section_times;
     sweep_cache := Some s;
     s
 
@@ -62,8 +83,12 @@ let config_label i = if i = 0 then "native" else Printf.sprintf "%dos" i
 let section key name f =
   Format.fprintf fmt "@.===== %s =====@." name;
   let t0 = Unix.gettimeofday () in
+  let sw0 = !sweep_wall_acc in
   f ();
-  section_times := (key, Unix.gettimeofday () -. t0) :: !section_times;
+  (* Attribute any shared-sweep run triggered inside [f] to the
+     "sweep" pseudo-section, not to this section's own wall. *)
+  let own = Unix.gettimeofday () -. t0 -. (!sweep_wall_acc -. sw0) in
+  section_times := (key, own) :: !section_times;
   Format.pp_print_flush fmt ()
 
 let run_table3 () =
@@ -314,38 +339,96 @@ let run_micro () =
        | None -> Format.fprintf fmt "  %-24s (no estimate)@." name)
     rows
 
-let run_soak () =
+let soak_config () =
   let d = Soak.default_config in
-  let cfg =
-    { Soak.ops = !soak_ops; seed = !soak_seed; max_vms = !soak_max_vms;
-      check = !soak_check;
-      fault_rate = Option.value !fault_rate_opt ~default:d.Soak.fault_rate;
-      fault_seed = Option.value !fault_seed_opt ~default:d.Soak.fault_seed;
-      quantum_ms = d.Soak.quantum_ms }
+  { Soak.ops = !soak_ops; seed = !soak_seed; max_vms = !soak_max_vms;
+    check = !soak_check;
+    fault_rate = Option.value !fault_rate_opt ~default:d.Soak.fault_rate;
+    fault_seed = Option.value !fault_seed_opt ~default:d.Soak.fault_seed;
+    quantum_ms = d.Soak.quantum_ms }
+
+let report_soak_violation cfg ~violation ~trace ~shrunk ~stats ~generated =
+  Format.fprintf fmt "INVARIANT VIOLATION: %s@."
+    (Invariant.violation_to_string violation);
+  Format.fprintf fmt "after %a@." Soak.pp_stats stats;
+  Format.fprintf fmt "trace: %d actions, shrunk to %d@."
+    (List.length trace) (List.length shrunk);
+  if generated then begin
+    Soak.write_reproducer !soak_repro_out cfg violation ~shrunk;
+    Format.fprintf fmt "reproducer written to %s@." !soak_repro_out
+  end;
+  exit 1
+
+let run_soak () =
+  let cfg = soak_config () in
+  match !soak_replay with
+  | Some path ->
+    (match Soak.replay_file path with
+     | Ok (Soak.Clean stats) ->
+       Format.fprintf fmt "clean: %a@." Soak.pp_stats stats
+     | Ok (Soak.Violated { violation; trace; shrunk; stats }) ->
+       report_soak_violation cfg ~violation ~trace ~shrunk ~stats
+         ~generated:false
+     | Error e ->
+       Format.fprintf fmt "soak: %s@." e;
+       exit 2)
+  | None ->
+    let shards = max 1 !soak_shards in
+    let t0 = Unix.gettimeofday () in
+    let s = Soak.run_sharded ?domains:!domains_opt ~shards cfg in
+    let wall = Unix.gettimeofday () -. t0 in
+    let m = s.Soak.merged_stats in
+    soak_perf :=
+      Some
+        ( shards, wall, m.Soak.ops_done,
+          List.map
+            (fun (r : Soak.shard_report) ->
+               ( r.Soak.shard,
+                 (Soak.stats_of_outcome r.Soak.outcome).Soak.ops_done,
+                 r.Soak.wall_s ))
+            s.Soak.reports );
+    if shards > 1 then
+      List.iter
+        (fun (r : Soak.shard_report) ->
+           Format.fprintf fmt "shard %d (seed %d): %s, %d ops in %.3f s@."
+             r.Soak.shard r.Soak.shard_cfg.Soak.seed
+             (match r.Soak.outcome with
+              | Soak.Clean _ -> "clean"
+              | Soak.Violated _ -> "VIOLATED")
+             (Soak.stats_of_outcome r.Soak.outcome).Soak.ops_done
+             r.Soak.wall_s)
+        s.Soak.reports;
+    (match s.Soak.first_violated with
+     | Some r ->
+       (match r.Soak.outcome with
+        | Soak.Violated { violation; trace; shrunk; stats } ->
+          report_soak_violation r.Soak.shard_cfg ~violation ~trace ~shrunk
+            ~stats ~generated:true
+        | Soak.Clean _ -> assert false)
+     | None ->
+       Format.fprintf fmt "clean: %a@." Soak.pp_stats m;
+       Format.fprintf fmt "%d shard(s) in %.3f s wall (%.1fM ops/min)@."
+         shards wall
+         (float_of_int m.Soak.ops_done /. wall *. 60.0 /. 1e6))
+
+(* Invariant-plane cost: the same bounded soak with the checkers armed
+   and disarmed. The delta is the per-op price of evaluating the whole
+   invariant plane at every action boundary. *)
+let run_check_overhead () =
+  let cfg = { (soak_config ()) with Soak.ops = min !soak_ops 30_000 } in
+  let time c =
+    let t0 = Unix.gettimeofday () in
+    ignore (Soak.run c);
+    Unix.gettimeofday () -. t0
   in
-  let outcome, generated =
-    match !soak_replay with
-    | Some path ->
-      (match Soak.replay_file path with
-       | Ok o -> (o, false)
-       | Error e ->
-         Format.fprintf fmt "soak: %s@." e;
-         exit 2)
-    | None -> (Soak.run cfg, true)
-  in
-  match outcome with
-  | Soak.Clean stats -> Format.fprintf fmt "clean: %a@." Soak.pp_stats stats
-  | Soak.Violated { violation; trace; shrunk; stats } ->
-    Format.fprintf fmt "INVARIANT VIOLATION: %s@."
-      (Invariant.violation_to_string violation);
-    Format.fprintf fmt "after %a@." Soak.pp_stats stats;
-    Format.fprintf fmt "trace: %d actions, shrunk to %d@."
-      (List.length trace) (List.length shrunk);
-    if generated then begin
-      Soak.write_reproducer !soak_repro_out cfg violation ~shrunk;
-      Format.fprintf fmt "reproducer written to %s@." !soak_repro_out
-    end;
-    exit 1
+  let checked = time { cfg with Soak.check = true } in
+  let unchecked = time { cfg with Soak.check = false } in
+  check_overhead := Some (checked, unchecked);
+  Format.fprintf fmt
+    "soak (%d ops) checked %.3f s, unchecked %.3f s: invariant plane \
+     costs %+.0f%%@."
+    cfg.Soak.ops checked unchecked
+    (100.0 *. (checked -. unchecked) /. unchecked)
 
 (* --- machine-readable output (--json) --- *)
 
@@ -585,12 +668,14 @@ let write_json path ~total_wall =
 
 (* --- wall-time trajectory artifact (BENCH_perf.json) ---
 
-   One small record per run: per-section wall seconds, the domain
-   count, and the git revision. CI uploads it alongside
-   BENCH_sim.json so the wall-time trajectory across commits is
-   greppable, and compares it against the previous run's artifact as a
-   soft (warn-only) regression signal — wall time is host-dependent,
-   so simulated cycles remain the only hard gate. *)
+   One small record per run: per-section wall seconds (including the
+   shared "sweep" pseudo-section), per-shard soak timing, the
+   invariant-plane overhead pair, the domain count, and the git
+   revision. CI uploads it alongside BENCH_sim.json and gates hard on
+   total_wall_s against the committed record when the domain counts
+   match (scripts/perf_gate.py); on mismatched domains the comparison
+   degrades to a warning, and simulated cycles remain the
+   host-independent correctness gate. *)
 
 let git_rev () =
   match Sys.getenv_opt "GITHUB_SHA" with
@@ -624,7 +709,36 @@ let write_perf_json path ~total_wall =
          (Printf.sprintf "\n    {\"section\": \"%s\", \"wall_s\": %s}"
             (json_escape key) (json_float dt)))
     (List.rev !section_times);
-  add "\n  ]\n}\n";
+  add "\n  ]";
+  (match !soak_perf with
+   | None -> ()
+   | Some (shards, wall, ops, per_shard) ->
+     add
+       (Printf.sprintf
+          ",\n  \"soak\": {\n    \"shards\": %d,\n    \"wall_s\": %s,\n\
+          \    \"ops_done\": %d,\n    \"ops_per_min\": %s,\n\
+          \    \"shard_walls\": ["
+          shards (json_float wall) ops
+          (json_float (float_of_int ops /. wall *. 60.0)));
+     List.iteri
+       (fun i (shard, ops_done, w) ->
+          if i > 0 then add ",";
+          add
+            (Printf.sprintf
+               "\n      {\"shard\": %d, \"ops_done\": %d, \"wall_s\": %s}"
+               shard ops_done (json_float w)))
+       per_shard;
+     add "\n    ]\n  }");
+  (match !check_overhead with
+   | None -> ()
+   | Some (checked, unchecked) ->
+     add
+       (Printf.sprintf
+          ",\n  \"check_overhead\": {\"checked_wall_s\": %s, \
+           \"unchecked_wall_s\": %s, \"overhead_pct\": %s}"
+          (json_float checked) (json_float unchecked)
+          (json_float (100.0 *. (checked -. unchecked) /. unchecked))));
+  add "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents b);
   close_out oc;
@@ -632,7 +746,8 @@ let write_perf_json path ~total_wall =
 
 let all_sections =
   [ "table3"; "fig9"; "report"; "reconfig"; "axi"; "vfp";
-    "trapvshyper"; "asid"; "quantum"; "chaos"; "soak"; "micro" ]
+    "trapvshyper"; "asid"; "quantum"; "chaos"; "soak"; "checkoverhead";
+    "micro" ]
 
 (* Bench-only flag: regenerate the committed baseline file. *)
 let write_baseline_spec =
@@ -662,6 +777,7 @@ let () =
       Cli_args.value_entry Cli_args.ops (fun n -> soak_ops := n);
       Cli_args.value_entry Cli_args.seed (fun s -> soak_seed := s);
       Cli_args.value_entry Cli_args.max_vms (fun n -> soak_max_vms := n);
+      Cli_args.value_entry Cli_args.shards (fun n -> soak_shards := n);
       Cli_args.flag_entry Cli_args.check (fun () -> soak_check := true);
       Cli_args.flag_entry Cli_args.no_check (fun () -> soak_check := false);
       Cli_args.value_entry Cli_args.replay (fun f -> soak_replay := f);
@@ -703,6 +819,9 @@ let () =
        | "chaos" -> section "chaos" "E5: chaos (fault injection)" run_chaos
        | "soak" ->
          section "soak" "E6: invariant-checked lifecycle soak" run_soak
+       | "checkoverhead" ->
+         section "checkoverhead" "E7: invariant-plane overhead"
+           run_check_overhead
        | "micro" -> section "micro" "microbenchmarks" run_micro
        | other -> Format.fprintf fmt "unknown section: %s@." other)
     requested;

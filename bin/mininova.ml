@@ -246,39 +246,77 @@ let stats_cmd =
 
 let soak_cmd =
   let run verbose ops seed max_vms check no_check fault_rate fault_seed
-      quantum replay repro_out =
+      quantum replay repro_out shards domains =
     setup_logs verbose;
     ignore check (* checking is the soak default; --check documents intent *);
     let cfg =
       { Soak.ops; seed; max_vms; check = not no_check; fault_rate;
         fault_seed; quantum_ms = quantum }
     in
-    let outcome, generated =
-      match replay with
-      | Some path ->
-        (match Soak.replay_file path with
-         | Ok o -> (o, false)
-         | Error e ->
-           Format.fprintf fmt "soak: %s@." e;
-           exit 2)
-      | None -> (Soak.run cfg, true)
-    in
-    match outcome with
-    | Soak.Clean stats ->
-      Format.fprintf fmt "soak clean: %a@." Soak.pp_stats stats
-    | Soak.Violated { violation; trace; shrunk; stats } ->
+    let report_violation scfg ~violation ~trace ~shrunk ~stats =
       Format.fprintf fmt "INVARIANT VIOLATION: %s@."
         (Invariant.violation_to_string violation);
       Format.fprintf fmt "after %a@." Soak.pp_stats stats;
       Format.fprintf fmt "trace: %d actions, shrunk to %d@."
         (List.length trace) (List.length shrunk);
-      if generated then begin
-        Soak.write_reproducer repro_out cfg violation ~shrunk;
-        Format.fprintf fmt
-          "reproducer written to %s (re-run with --replay %s)@." repro_out
-          repro_out
-      end;
+      Soak.write_reproducer repro_out scfg violation ~shrunk;
+      Format.fprintf fmt
+        "reproducer written to %s (re-run with --replay %s)@." repro_out
+        repro_out;
       exit 1
+    in
+    match replay with
+    | Some path ->
+      (match Soak.replay_file path with
+       | Ok (Soak.Clean stats) ->
+         Format.fprintf fmt "soak clean: %a@." Soak.pp_stats stats
+       | Ok (Soak.Violated { violation; trace; shrunk; stats }) ->
+         Format.fprintf fmt "INVARIANT VIOLATION: %s@."
+           (Invariant.violation_to_string violation);
+         Format.fprintf fmt "after %a@." Soak.pp_stats stats;
+         Format.fprintf fmt "trace: %d actions, shrunk to %d@."
+           (List.length trace) (List.length shrunk);
+         exit 1
+       | Error e ->
+         Format.fprintf fmt "soak: %s@." e;
+         exit 2)
+    | None ->
+      if shards <= 1 then begin
+        match Soak.run cfg with
+        | Soak.Clean stats ->
+          Format.fprintf fmt "soak clean: %a@." Soak.pp_stats stats
+        | Soak.Violated { violation; trace; shrunk; stats } ->
+          report_violation cfg ~violation ~trace ~shrunk ~stats
+      end
+      else begin
+        let t0 = Unix.gettimeofday () in
+        let s = Soak.run_sharded ?domains ~shards cfg in
+        let wall = Unix.gettimeofday () -. t0 in
+        List.iter
+          (fun (r : Soak.shard_report) ->
+             Format.fprintf fmt
+               "shard %d (seed %d): %s, %d ops in %.3f s@." r.Soak.shard
+               r.Soak.shard_cfg.Soak.seed
+               (match r.Soak.outcome with
+                | Soak.Clean _ -> "clean"
+                | Soak.Violated _ -> "VIOLATED")
+               (Soak.stats_of_outcome r.Soak.outcome).Soak.ops_done
+               r.Soak.wall_s)
+          s.Soak.reports;
+        let m = s.Soak.merged_stats in
+        Format.fprintf fmt "merged: %a@." Soak.pp_stats m;
+        Format.fprintf fmt "%d shards in %.3f s wall (%.1fM ops/min)@."
+          shards wall
+          (float_of_int m.Soak.ops_done /. wall *. 60.0 /. 1e6);
+        match s.Soak.first_violated with
+        | None -> ()
+        | Some r ->
+          (match r.Soak.outcome with
+           | Soak.Violated { violation; trace; shrunk; stats } ->
+             report_violation r.Soak.shard_cfg ~violation ~trace ~shrunk
+               ~stats
+           | Soak.Clean _ -> assert false)
+      end
   in
   let d = Soak.default_config in
   let ops = term_of_spec Cli_args.ops in
@@ -297,18 +335,23 @@ let soak_cmd =
   let no_check = term_of_flag Cli_args.no_check in
   let replay = term_of_spec Cli_args.replay in
   let repro_out = term_of_spec Cli_args.repro_out in
+  let shards = term_of_spec Cli_args.shards in
   Cmd.v
     (Cmd.info "soak"
        ~doc:
          "Drive the kernel through a deterministic storm of VM \
           create/kill cycles, hypercall storms, DPR churn and fault \
           injection, evaluating the invariant plane after every \
-          operation. On a violation, writes a greedily shrunk, \
-          replayable reproducer and exits non-zero.")
+          operation. With $(b,--shards) N the op budget is split into \
+          N independent seeded shards run concurrently on OCaml \
+          domains (capped by $(b,--domains)); the decomposition is \
+          fixed by the shard count, so outcomes are identical for any \
+          domain budget. On a violation, writes a greedily shrunk, \
+          single-domain-replayable reproducer and exits non-zero.")
     Term.(
       const run $ verbose $ ops $ soak_seed $ max_vms $ check $ no_check
       $ soak_fault_rate $ soak_fault_seed $ soak_quantum $ replay
-      $ repro_out)
+      $ repro_out $ shards $ domains)
 
 let trace_cmd =
   let run verbose last =

@@ -110,13 +110,17 @@ let find t la =
   let base = 2 * (set_of_line t la * ways) in
   let state = t.state in
   let key = live_key t la in
-  let rec loop w =
-    if w = ways then -1
-    else if Array.unsafe_get state (base + (2 * w)) = key then
-      (base lsr 1) + w
-    else loop (w + 1)
-  in
-  loop 0
+  (* While-loop with non-escaping refs (compiled to registers), not a
+     local [let rec]: without flambda the closure both allocates and
+     calls, and this scan runs at least once per simulated line. *)
+  let res = ref (-1) in
+  let w = ref 0 in
+  while !res < 0 && !w < ways do
+    if Array.unsafe_get state (base + (2 * !w)) = key then
+      res := (base lsr 1) + !w;
+    incr w
+  done;
+  !res
 
 (* Victim for a fill in [la]'s set: first non-live way in way order,
    else the least-recently-used live way — byte-identical choice to
@@ -220,13 +224,17 @@ let run_through t next ~lat_next_hit ~lat_next_miss ~a ~n ~write ~slots
      is recorded into [slots.(from + k)], and likewise the next-level
      slot into [next_slots.(from + k)] — every cold walk doubles as a
      (re)recording pass for the compiled footprint programs in the
-     platform layer. [next_slots] is also read back as a *hint*: when
-     the hinted next-level slot still carries the line's live tag, the
-     next-level hit is replayed directly (the tag word is
-     self-verifying, so a stale or garbage hint merely falls back to
-     the full scan — at most one live slot ever holds a given tag).
-     Hint entries must be -1 or in-bounds for [next]. Returns the
-     summed next-level cost (0 when everything hit). *)
+     platform layer. Both arrays are also read back as *hints*: when
+     the recorded slot (at either level) still carries the line's live
+     tag, the hit is replayed there directly, skipping the set scan
+     (the tag word is self-verifying, so a stale or garbage hint
+     merely falls back to the full scan — at most one live slot ever
+     holds a given tag). Hint entries must be -1 or in-bounds for the
+     respective cache. Returns [(extra, moved)]: the summed next-level
+     cost (0 when everything hit at this level) and the number of
+     lines whose level-one hint did not pay off — [moved = 0] proves
+     every line was still live in its recorded slot, i.e. the walk was
+     pure hits and left the epoch untouched. *)
   let la0 = line_addr t a in
   let ways = t.cfg.ways in
   let smask = t.sets - 1 in
@@ -246,19 +254,55 @@ let run_through t next ~lat_next_hit ~lat_next_miss ~a ~n ~write ~slots
   let ntick = ref next.tick in
   let nhits = ref 0 and nmisses = ref 0 in
   let nvdelta = ref 0 and nddelta = ref 0 in
+  let moved = ref 0 in
   for k = 0 to n - 1 do
     let la = la0 + k in
     let key = key0 + k in
     incr tick;
-    let base = 2 * ((la land smask) * ways) in
+    (* Recorded-slot hint first: one self-verifying compare stands in
+       for the whole set scan when the line has not moved, which is
+       the common case for a replayed footprint whose epoch stamp went
+       stale through someone else's fills. *)
+    let hint = Array.unsafe_get slots (from + k) in
+    let vbest = ref (-1) in
     let i =
-      let rec loop w =
-        if w = ways then -1
-        else if Array.unsafe_get state (base + (2 * w)) = key then
-          (base lsr 1) + w
-        else loop (w + 1)
-      in
-      loop 0
+      if hint >= 0 && Array.unsafe_get state (2 * hint) = key then hint
+      else begin
+        incr moved;
+        let base = 2 * ((la land smask) * ways) in
+        (* One fused pass over the set finds the hit slot *and* the
+           fill victim — most walk lines here are L1 misses (working
+           sets larger than the L1), so a separate victim scan would
+           re-read every tag/age pair it just read. Victim choice is
+           byte-identical to [victim]: first non-live way in way
+           order, else strictly-min age among live ways (earliest on
+           ties). A while-loop over non-escaping refs (registers, no
+           closure allocation or call) — the per-line inner loop. *)
+        let res = ref (-1) in
+        let vnl = ref false in
+        let vage = ref max_int in
+        let w = ref 0 in
+        while !res < 0 && !w < ways do
+          let off = base + (2 * !w) in
+          let tag = Array.unsafe_get state off in
+          if tag = key then res := (base lsr 1) + !w
+          else if not !vnl then begin
+            if tag lsr tag_bits <> t.vgen then begin
+              vbest := (base lsr 1) + !w;
+              vnl := true
+            end
+            else begin
+              let age = Array.unsafe_get state (off + 1) in
+              if age < !vage then begin
+                vbest := (base lsr 1) + !w;
+                vage := age
+              end
+            end
+          end;
+          incr w
+        done;
+        !res
+      end
     in
     let slot =
       if i >= 0 then begin
@@ -272,26 +316,7 @@ let run_through t next ~lat_next_hit ~lat_next_miss ~a ~n ~write ~slots
       end
       else begin
         incr misses;
-        (* Inlined victim scan over the pairs: first non-live way in
-           way order, else min age among live ways. *)
-        let i =
-          let best = ref (base lsr 1) in
-          let blive = ref (Array.unsafe_get state base lsr tag_bits = t.vgen)
-          and bage = ref (Array.unsafe_get state (base + 1)) in
-          for w = 1 to ways - 1 do
-            if !blive then begin
-              let j = base + (2 * w) in
-              let jl = Array.unsafe_get state j lsr tag_bits = t.vgen in
-              let ja = Array.unsafe_get state (j + 1) in
-              if (not jl) || ja < !bage then begin
-                best := (j lsr 1);
-                blive := jl;
-                bage := ja
-              end
-            end
-          done;
-          !best
-        in
+        let i = !vbest in
         let was_dirty = dirty_slot t i in
         if Array.unsafe_get state (2 * i) lsr tag_bits = t.vgen then begin
           if was_dirty then decr ddelta
@@ -316,13 +341,14 @@ let run_through t next ~lat_next_hit ~lat_next_miss ~a ~n ~write ~slots
           if hint >= 0 && Array.unsafe_get nstate (2 * hint) = nkey then hint
           else begin
             let nbase = 2 * ((nla land nsmask) * nways) in
-            let rec loop w =
-              if w = nways then -1
-              else if Array.unsafe_get nstate (nbase + (2 * w)) = nkey then
-                (nbase lsr 1) + w
-              else loop (w + 1)
-            in
-            loop 0
+            let res = ref (-1) in
+            let w = ref 0 in
+            while !res < 0 && !w < nways do
+              if Array.unsafe_get nstate (nbase + (2 * !w)) = nkey then
+                res := (nbase lsr 1) + !w;
+              incr w
+            done;
+            !res
           end
         in
         if j >= 0 then begin
@@ -370,7 +396,7 @@ let run_through t next ~lat_next_hit ~lat_next_miss ~a ~n ~write ~slots
   next.epoch <- next.epoch + !nmisses;
   next.valid_count <- next.valid_count + !nvdelta;
   next.dirty_count <- next.dirty_count + !nddelta;
-  !extra
+  (!extra, !moved)
 
 let verify_run t ~slots ~from ~n ~a =
   (* True when the [n] consecutive lines from byte address [a] are all

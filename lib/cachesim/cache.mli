@@ -37,7 +37,8 @@ val access_run : t ->
 
 val run_through :
   t -> t -> lat_next_hit:int -> lat_next_miss:int -> a:Addr.t -> n:int ->
-  write:bool -> slots:int array -> next_slots:int array -> from:int -> int
+  write:bool -> slots:int array -> next_slots:int array -> from:int ->
+  int * int
 (** [run_through l1 next ~a ~n ...] walks [n] consecutive lines from
     [a]: per line, exactly the transition of {!access} on [l1],
     followed on a miss by {!access} on [next] (write-allocate at both
@@ -45,13 +46,17 @@ val run_through :
     consult. The slot that ends up holding each line is recorded into
     [slots.(from + k)], and the next-level slot each missing line
     resolves to into [next_slots.(from + k)] — so a cold walk doubles
-    as a recording pass for the fast-path replay layers. [next_slots]
-    is also read back as a self-verifying placement {e hint}: a stale
-    or garbage entry merely falls back to the full set scan, but every
-    entry must be [-1] or in bounds for [next]'s state arrays.
-    Returns the summed next-level cost. This is the simulator's
-    hottest loop — both levels are fused into one closure-free pass
-    with all counters accumulated in locals. *)
+    as a recording pass for the fast-path replay layers. Both arrays
+    are also read back as self-verifying placement {e hints}: when the
+    recorded slot still carries the line's live tag the hit is
+    replayed there without a set scan; a stale or garbage entry merely
+    falls back to the full scan, but every entry must be [-1] or in
+    bounds for the respective cache's state arrays. Returns
+    [(extra, moved)]: the summed next-level cost, and the number of
+    lines not found at their recorded [l1] slot — [moved = 0] proves
+    the walk was pure [l1] hits (and so left {!epoch} untouched).
+    This is the simulator's hottest loop — both levels are fused into
+    one closure-free pass with all counters accumulated in locals. *)
 
 val verify_run :
   t -> slots:int array -> from:int -> n:int -> a:Addr.t -> bool

@@ -68,27 +68,39 @@ let access_line_run_record t kind a n ~slots ~next_slots ~from =
      holding each line is recorded into [slots.(from + k)] (and the L2
      slot of each missing line into [next_slots.(from + k)]), which is
      how the platform layer's compiled footprint programs refresh
-     their replay records on every cold walk for free. Returns the
-     summed cost. *)
+     their replay records on every cold walk for free — and both
+     arrays are consulted as self-verifying placement hints on the way
+     in, so re-walking a footprint whose lines have not moved costs
+     one tag compare per line. The cost is charged to the clock;
+     returns the number of lines whose recorded L1 slot no longer held
+     them ([0] proves the walk was pure L1 hits). *)
   let l1 = match kind with Ifetch -> t.l1i | Load | Store -> t.l1d in
   let write = kind = Store in
   let lat = t.lat in
-  let miss_cost =
+  let miss_cost, moved =
     Cache.run_through l1 t.l2 ~lat_next_hit:lat.l2_hit
       ~lat_next_miss:(lat.l2_hit + lat.dram) ~a ~n ~write ~slots ~next_slots
       ~from
   in
-  let cost = (n * lat.l1_hit) + miss_cost in
-  Clock.advance t.clock cost;
-  cost
+  Clock.advance t.clock ((n * lat.l1_hit) + miss_cost);
+  moved
 
 let access_line_run t kind a n =
   if Array.length t.scratch < n then begin
     t.scratch <- Array.make (max n (2 * Array.length t.scratch)) 0;
     t.scratch_l2 <- Array.make (Array.length t.scratch) (-1)
   end;
-  access_line_run_record t kind a n ~slots:t.scratch ~next_slots:t.scratch_l2
-    ~from:0
+  let l1 = match kind with Ifetch -> t.l1i | Load | Store -> t.l1d in
+  let write = kind = Store in
+  let lat = t.lat in
+  let miss_cost, _moved =
+    Cache.run_through l1 t.l2 ~lat_next_hit:lat.l2_hit
+      ~lat_next_miss:(lat.l2_hit + lat.dram) ~a ~n ~write ~slots:t.scratch
+      ~next_slots:t.scratch_l2 ~from:0
+  in
+  let cost = (n * lat.l1_hit) + miss_cost in
+  Clock.advance t.clock cost;
+  cost
 
 let access_uncached t =
   (* Single-beat device access over the peripheral bus. *)

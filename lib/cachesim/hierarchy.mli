@@ -50,11 +50,14 @@ val access_line_run_record :
     ends up holding line [k] into [slots.(from + k)] and the L2 slot
     each missing line resolves to into [next_slots.(from + k)] — a
     cold walk thereby refreshes the compiled footprint program's
-    replay record at no extra cost, and the recorded L2 slots serve as
-    self-verifying placement hints on the next walk (see
-    {!Cache.run_through}). The caller must size both arrays to at
-    least [from + n]; [next_slots] entries must be [-1] or in-bounds
-    L2 slots. *)
+    replay record at no extra cost, and the recorded slots at both
+    levels serve as self-verifying placement hints on the next walk
+    (see {!Cache.run_through}). The caller must size both arrays to
+    at least [from + n]; entries must be [-1] or in-bounds slots for
+    the respective cache. The cost is charged to the clock; the
+    return value is the number of lines whose recorded L1 slot no
+    longer held them ([0] proves the walk replayed as pure L1
+    hits). *)
 
 val access_uncached : t -> int
 (** Charge a device (MMIO) access: bypasses the caches, costs a fixed

@@ -416,6 +416,93 @@ let run cfg =
     let shrunk = shrink cfg violation trace in
     Violated { violation; trace; shrunk; stats }
 
+(* {2 Sharded runs}
+
+   The action stream is embarrassingly parallel at the shard
+   granularity: every shard boots its own world from its own derived
+   seed, so shards share nothing and can run on separate OCaml
+   domains via {!Parallel_sweep}. The decomposition is fixed by
+   [shards] alone — the domain budget only decides how many run
+   concurrently — so results are bit-identical for any [?domains]. *)
+
+let shard_seed ~seed ~shard =
+  (* splitmix64 finalizer over (seed, shard): shard streams are
+     decorrelated even for adjacent master seeds, and the result is
+     masked positive so it round-trips through reproducer files. *)
+  let open Int64 in
+  let z =
+    ref (add (of_int seed) (mul (of_int (shard + 1)) 0x9E3779B97F4A7C15L))
+  in
+  z := mul (logxor !z (shift_right_logical !z 30)) 0xBF58476D1CE4E5B9L;
+  z := mul (logxor !z (shift_right_logical !z 27)) 0x94D049BB133111EBL;
+  z := logxor !z (shift_right_logical !z 31);
+  to_int (logand !z 0x3FFF_FFFF_FFFF_FFFFL)
+
+let shard_config cfg ~shards ~shard =
+  if shards <= 1 then cfg
+  else begin
+    let base = cfg.ops / shards and rem = cfg.ops mod shards in
+    { cfg with
+      ops = base + (if shard < rem then 1 else 0);
+      seed = shard_seed ~seed:cfg.seed ~shard }
+  end
+
+type shard_report = {
+  shard : int;
+  shard_cfg : config;
+  outcome : outcome;
+  wall_s : float;
+}
+
+type sharded = {
+  reports : shard_report list;
+  merged_stats : stats;
+  first_violated : shard_report option;
+}
+
+let stats_of_outcome = function
+  | Clean s -> s
+  | Violated { stats; _ } -> stats
+
+let zero_stats =
+  { ops_done = 0; actions = 0; creates = 0; kills = 0; crashes = 0;
+    hypercalls = 0; live_vms = 0; checks = 0; final_cycles = 0 }
+
+let add_stats a b =
+  { ops_done = a.ops_done + b.ops_done;
+    actions = a.actions + b.actions;
+    creates = a.creates + b.creates;
+    kills = a.kills + b.kills;
+    crashes = a.crashes + b.crashes;
+    hypercalls = a.hypercalls + b.hypercalls;
+    live_vms = a.live_vms + b.live_vms;
+    checks = a.checks + b.checks;
+    final_cycles = a.final_cycles + b.final_cycles }
+
+let run_sharded ?domains ~shards cfg =
+  let shards = max 1 shards in
+  let reports =
+    Parallel_sweep.map ?domains
+      (fun shard ->
+         let shard_cfg = shard_config cfg ~shards ~shard in
+         let t0 = Unix.gettimeofday () in
+         let outcome = run shard_cfg in
+         { shard; shard_cfg; outcome;
+           wall_s = Unix.gettimeofday () -. t0 })
+      (List.init shards Fun.id)
+  in
+  let merged_stats =
+    List.fold_left
+      (fun acc r -> add_stats acc (stats_of_outcome r.outcome))
+      zero_stats reports
+  in
+  let first_violated =
+    List.find_opt
+      (fun r -> match r.outcome with Violated _ -> true | Clean _ -> false)
+      reports
+  in
+  { reports; merged_stats; first_violated }
+
 (* {2 Reproducer files} *)
 
 let write_reproducer path cfg (violation : Invariant.violation) ~shrunk =

@@ -68,6 +68,52 @@ type outcome =
 val run : config -> outcome
 (** Generate-and-drive from the seed; shrinks on violation. *)
 
+(** {2 Sharded runs}
+
+    A sharded soak splits the operation budget into [shards]
+    independent action streams, each booting its own world from a seed
+    derived with {!shard_seed}, and runs them on OCaml domains via
+    [Parallel_sweep]. The decomposition — and therefore every shard's
+    outcome, the merged statistics and any violation — is fixed by
+    [shards] alone; the [?domains] budget only controls how many
+    shards execute concurrently, so a sharded run is bit-identical
+    under any domain count, including fully serial [~domains:1]. *)
+
+val stats_of_outcome : outcome -> stats
+(** The final stats either way — a run's determinism fingerprint. *)
+
+val shard_seed : seed:int -> shard:int -> int
+(** Derived per-shard master seed (splitmix64 finalizer over
+    [(seed, shard)]); always non-negative. *)
+
+val shard_config : config -> shards:int -> shard:int -> config
+(** The configuration shard [shard] of [shards] actually runs: the ops
+    budget split evenly (earlier shards absorb the remainder) and the
+    seed replaced by {!shard_seed}. With [shards <= 1] this is the
+    input configuration unchanged — a 1-shard run is exactly {!run}. *)
+
+type shard_report = {
+  shard : int;
+  shard_cfg : config;   (** what this shard ran, as {!shard_config} *)
+  outcome : outcome;
+  wall_s : float;       (** host wall time of this shard (not part of
+                            the determinism fingerprint) *)
+}
+
+type sharded = {
+  reports : shard_report list;    (** in shard order *)
+  merged_stats : stats;           (** field-wise sum over all shards *)
+  first_violated : shard_report option;
+      (** lowest-indexed violating shard; its [shard_cfg] + shrunk
+          trace written with {!write_reproducer} replay single-domain
+          through {!replay_file} *)
+}
+
+val run_sharded : ?domains:int -> shards:int -> config -> sharded
+(** Run [shards] derived configurations (concurrently up to the
+    [Parallel_sweep] domain budget) and merge. Violating shards shrink
+    their own traces exactly as {!run} does. *)
+
 val replay : config -> action list -> outcome
 (** Drive an explicit action list (no shrinking). *)
 

@@ -40,6 +40,47 @@ type vm_rt = {
   mutable slice_start : Cycles.t;
 }
 
+(* Pinned control-path traces (see {!Exec.pin}): the fixed kernel
+   paths — trap entry + hypercall dispatch, per-hypercall handler
+   stubs, world-switch pieces, vGIC injection — are interned once and
+   replayed as compiled trace programs per translation context. The
+   slot-keyed handles are shared by every VM that recycles the
+   save-area slot, so lifecycle churn does not recompile them. *)
+type kfast = {
+  kf_prologue : Fastpath.pinned;         (* svc_entry + hyper_dispatch *)
+  kf_svc_exit : Fastpath.pinned;
+  kf_irq_entry : Fastpath.pinned;
+  kf_sched_pick : Fastpath.pinned;
+  kf_mgr_entry : Fastpath.pinned;
+  kf_handlers : Fastpath.pinned array;   (* index = Hyper.number - 1 *)
+  kf_save : Fastpath.pinned option array;     (* by vCPU save slot *)
+  kf_restore : Fastpath.pinned option array;
+  kf_inject : Fastpath.pinned option array;
+  kf_mgr_exit : Fastpath.pinned option array;
+}
+
+(* Pre-resolved instrumentation handles: the hot paths bump these
+   directly instead of concatenating and hashing label strings on
+   every hypercall/switch/IRQ. *)
+type kinstr = {
+  ko_hyper : Obs.counter array;          (* "hyper.<name>" by number-1 *)
+  ko_switches : Obs.counter;
+  ko_kills : Obs.counter;
+  ko_alive : Obs.gauge;
+  kp_hyper : int ref array;              (* "hyper_<name>" by number-1 *)
+  kp_hypercall : Stats.t;
+  kp_vm_switch : Stats.t;
+  kp_irq_path : Stats.t;
+  kp_pl_irq : Stats.t;
+  kp_hwtm_entry : Stats.t;
+  kp_hwtm_exec : Stats.t;
+  kp_hwtm_exit : Stats.t;
+  kp_hwtm_total : Stats.t;
+  kp_kernel_tick : int ref;
+  kp_und_trap : int ref;
+  kp_vm_crash : int ref;
+}
+
 type t = {
   z : Zynq.t;
   cfg : config;
@@ -50,6 +91,8 @@ type t = {
   rts : (int, vm_rt) Hashtbl.t;
   hwtm : Hw_task_manager.t;
   mgr_pd : Pd.t;
+  kf : kfast;
+  ki : kinstr;
   mutable cur : vm_rt option;
   (* The VFP bank owner carries its vCPU so the charged bank save
      still targets the right save area after the owner is reaped. *)
@@ -91,12 +134,89 @@ let handler : (unit, exit) Effect.Deep.handler =
              (fun (k : (a, exit) Effect.Deep.continuation) -> X_und (i, k))
          | _ -> None) }
 
-(* Charge a kernel code path. *)
-let run_fp t ?(reads = []) ?(writes = []) ?(base_cycles = 0) (base, len) label
-  =
-  ignore
-    (Exec.run t.z ~priv:true
-       { Exec.label; code = { Exec.base; len }; reads; writes; base_cycles })
+let mk_fp ?(reads = []) ?(writes = []) ?(base_cycles = 0) (base, len) label =
+  { Exec.label; code = { Exec.base; len }; reads; writes; base_cycles }
+
+(* Charge a kernel code path (generic, for variable-shape footprints;
+   the fixed paths go through the pinned traces in [kfast]). *)
+let run_fp t ?reads ?writes ?base_cycles range label =
+  ignore (Exec.run t.z ~priv:true (mk_fp ?reads ?writes ?base_cycles range label))
+
+(* vCPU save areas live between data+0x2000 and the manager's tables:
+   the hard cap on concurrently live vCPUs (slot 0 is the manager's). *)
+let max_vcpu_slots =
+  let base0, slot_len = Klayout.vcpu_save_area 0 in
+  (fst Klayout.mgr_task_table - base0) / slot_len
+
+let make_kfast () =
+  let pd_base, pd_len = Klayout.pd_table in
+  let stack_base, _ = Klayout.mgr_stack in
+  { kf_prologue =
+      Exec.pin
+        [| mk_fp Klayout.svc_entry "svc_entry"
+             ~base_cycles:Costs.hypercall_entry;
+           mk_fp Klayout.hyper_dispatch "hyper_dispatch"
+             ~reads:[ { Exec.base = pd_base; len = min 128 pd_len } ] |];
+    kf_svc_exit =
+      Exec.pin1
+        (mk_fp Klayout.svc_exit "svc_exit"
+           ~base_cycles:
+             (Costs.hypercall_exit + Cpu_mode.exception_return_cycles));
+    kf_irq_entry =
+      Exec.pin1
+        (mk_fp Klayout.irq_entry "irq_entry"
+           ~base_cycles:(Cpu_mode.exception_entry_cycles + Costs.irq_route));
+    kf_sched_pick =
+      Exec.pin1
+        (mk_fp Klayout.sched_pick "sched_pick" ~base_cycles:Costs.sched_pick);
+    kf_mgr_entry =
+      Exec.pin1
+        (mk_fp Klayout.mgr_entry_stub "hwtm_entry"
+           ~writes:[ { Exec.base = stack_base; len = 128 } ]
+           ~base_cycles:Costs.mgr_entry);
+    kf_handlers =
+      Array.init Hyper.hypercall_count (fun i ->
+          Exec.pin1
+            (mk_fp (Klayout.handler (i + 1)) "hyper_handler"
+               ~base_cycles:Costs.hypercall_handler));
+    kf_save = Array.make max_vcpu_slots None;
+    kf_restore = Array.make max_vcpu_slots None;
+    kf_inject = Array.make max_vcpu_slots None;
+    kf_mgr_exit = Array.make max_vcpu_slots None }
+
+let make_kinstr z probe =
+  let obs = z.Zynq.obs in
+  let names = Array.make Hyper.hypercall_count "" in
+  List.iter
+    (fun r -> names.(Hyper.number r - 1) <- Hyper.name r)
+    Hyper.requests;
+  { ko_hyper = Array.map (fun n -> Obs.counter obs ("hyper." ^ n)) names;
+    ko_switches = Obs.counter obs "kernel.vm_switches";
+    ko_kills = Obs.counter obs "kernel.vm_kills";
+    ko_alive = Obs.gauge obs "alive_vms";
+    kp_hyper = Array.map (fun n -> Probe.event_handle probe ("hyper_" ^ n)) names;
+    kp_hypercall = Probe.sample_handle probe Probe.hypercall;
+    kp_vm_switch = Probe.sample_handle probe Probe.vm_switch;
+    kp_irq_path = Probe.sample_handle probe Probe.irq_path;
+    kp_pl_irq = Probe.sample_handle probe Probe.pl_irq_entry;
+    kp_hwtm_entry = Probe.sample_handle probe Probe.hwtm_entry;
+    kp_hwtm_exec = Probe.sample_handle probe Probe.hwtm_exec;
+    kp_hwtm_exit = Probe.sample_handle probe Probe.hwtm_exit;
+    kp_hwtm_total = Probe.sample_handle probe "hwtm_total";
+    kp_kernel_tick = Probe.event_handle probe "kernel_tick";
+    kp_und_trap = Probe.event_handle probe "und_trap";
+    kp_vm_crash = Probe.event_handle probe "vm_crash" }
+
+(* Get-or-intern the pinned trace for a save-area slot. The handle
+   outlives the VM: recycled slots reuse it, so lifecycle churn never
+   recompiles the switch/inject traces. *)
+let slot_pin arr slot make =
+  match arr.(slot) with
+  | Some p -> p
+  | None ->
+    let p = make () in
+    arr.(slot) <- Some p;
+    p
 
 let boot ?(config = default_config) z =
   let kmem = Kmem.create z in
@@ -109,13 +229,16 @@ let boot ?(config = default_config) z =
   (match config.kernel_tick with
    | Some interval -> Private_timer.start z.Zynq.ptimer ~interval
    | None -> ());
+  let probe = Probe.create () in
   let t =
     { z; cfg = config; kmem;
       sched = Sched.create ();
-      probe = Probe.create ();
+      probe;
       pd_tbl = Hashtbl.create 8;
       rts = Hashtbl.create 8;
       hwtm; mgr_pd;
+      kf = make_kfast ();
+      ki = make_kinstr z probe;
       cur = None; vfp_owner = None;
       next_pd = 1; next_guest = 0; next_slot = 1;
       free_guest_indices = Queue.create ();
@@ -142,12 +265,6 @@ let hwtm t = t.hwtm
 let config t = t.cfg
 
 let register_hw_task t kind = Hw_task_manager.register_task t.hwtm kind
-
-(* vCPU save areas live between data+0x2000 and the manager's tables:
-   the hard cap on concurrently live vCPUs (slot 0 is the manager's). *)
-let max_vcpu_slots =
-  let base0, slot_len = Klayout.vcpu_save_area 0 in
-  (fst Klayout.mgr_task_table - base0) / slot_len
 
 let create_vm t ~name ?(priority = 1) ?(uses_vfp = false) main =
   (* Fail before consuming anything if a fresh resource would be
@@ -224,13 +341,19 @@ let inject_charged t pd_id irq =
     (* The vIRQ list lives in the upper half of the PD's kernel save
        block: touched only on injection, so its residency genuinely
        decays with the number of competing VMs. *)
-    let sa_base, _ = Vcpu.save_area pd.Pd.vcpu in
-    run_fp t Klayout.vgic_inject
-      ~reads:[ { Exec.base = sa_base + 384; len = 64 } ]
-      ~writes:[ { Exec.base = sa_base + 448; len = 32 } ]
-      ~base_cycles:Costs.vgic_inject "vgic_inject";
-    emit t ~severity:Ktrace.Debug ~category:"irq" ~name:"virq-inject"
-      [ ("pd", Ktrace.Int pd.Pd.id); ("irq", Ktrace.Int irq) ];
+    let pin =
+      slot_pin t.kf.kf_inject (Vcpu.slot pd.Pd.vcpu) (fun () ->
+          let sa_base, _ = Vcpu.save_area pd.Pd.vcpu in
+          Exec.pin1
+            (mk_fp Klayout.vgic_inject "vgic_inject"
+               ~reads:[ { Exec.base = sa_base + 384; len = 64 } ]
+               ~writes:[ { Exec.base = sa_base + 448; len = 32 } ]
+               ~base_cycles:Costs.vgic_inject))
+    in
+    Exec.run_pinned t.z ~priv:true pin;
+    if t.trace <> None then
+      emit t ~severity:Ktrace.Debug ~category:"irq" ~name:"virq-inject"
+        [ ("pd", Ktrace.Int pd.Pd.id); ("irq", Ktrace.Int irq) ];
     Vgic.set_pending pd.Pd.vgic irq;
     unblock t pd
 
@@ -268,9 +391,8 @@ let kill t rt reason =
   Queue.push (Vcpu.slot rt.pd.Pd.vcpu) t.free_slots;
   Kmem.free_asid t.kmem rt.pd.Pd.asid;
   Kmem.retire_guest_pt t.kmem rt.pd.Pd.pt;
-  let obs = t.z.Zynq.obs in
-  Obs.incr (Obs.counter obs "kernel.vm_kills");
-  Obs.set_gauge (Obs.gauge obs "alive_vms") (alive_guests t);
+  Obs.incr t.ki.ko_kills;
+  Obs.set_gauge t.ki.ko_alive (alive_guests t);
   run_check t "kill"
 
 let kill_vm t id ~reason =
@@ -322,18 +444,16 @@ let rec route_irqs t =
   ignore (Event_queue.run_due t.z.Zynq.queue);
   if Gic.line_asserted t.z.Zynq.gic then begin
     let t0 = Clock.now t.z.Zynq.clock in
-    run_fp t Klayout.irq_entry
-      ~base_cycles:(Cpu_mode.exception_entry_cycles + Costs.irq_route)
-      "irq_entry";
+    Exec.run_pinned t.z ~priv:true t.kf.kf_irq_entry;
     (match Gic.ack t.z.Zynq.gic with
      | None -> ()
      | Some irq ->
        Gic.eoi t.z.Zynq.gic irq;
-       if irq <> Irq_id.private_timer then
+       if irq <> Irq_id.private_timer && t.trace <> None then
          emit t ~severity:Ktrace.Debug ~category:"irq" ~name:"taken"
            [ ("irq", Ktrace.Int irq) ];
        if irq = Irq_id.private_timer then begin
-         Probe.incr t.probe "kernel_tick";
+         Stdlib.incr t.ki.kp_kernel_tick;
          health_tick t
        end
        else if irq = Irq_id.devcfg then begin
@@ -351,15 +471,15 @@ let rec route_irqs t =
               (match Hw_task_manager.prr_client t.hwtm prr_id with
                | Some cid ->
                  inject_charged t cid irq;
-                 Probe.record t.probe Probe.pl_irq_entry
-                   (Clock.now t.z.Zynq.clock - t0);
+                 Stats.add t.ki.kp_pl_irq
+                   (float_of_int (Clock.now t.z.Zynq.clock - t0));
                  Obs.sample t.z.Zynq.obs ~component:"pl_irq" ~key:cid
                    ~cycles:(Clock.now t.z.Zynq.clock - t0)
                | None -> ())
             | None -> ())
          | None -> Probe.incr t.probe "spurious_irq"
        end);
-    Probe.record t.probe Probe.irq_path (Clock.now t.z.Zynq.clock - t0);
+    Stats.add t.ki.kp_irq_path (float_of_int (Clock.now t.z.Zynq.clock - t0));
     route_irqs t
   end
 
@@ -374,9 +494,12 @@ let switch_to t rt =
     in
     (match t.cur with
      | Some old when old.pd.Pd.state <> Pd.Dead ->
-       Vcpu.save_active t.z old.pd.Pd.vcpu
+       let v = old.pd.Pd.vcpu in
+       Exec.run_pinned t.z ~priv:true
+         (slot_pin t.kf.kf_save (Vcpu.slot v) (fun () ->
+              Exec.pin1 (Vcpu.save_fp v)))
      | Some _ | None -> ());
-    run_fp t Klayout.sched_pick ~base_cycles:Costs.sched_pick "sched_pick";
+    Exec.run_pinned t.z ~priv:true t.kf.kf_sched_pick;
     (* Mask the previous guest's sources, unmask the successor's. *)
     let guest_enabled =
       List.filter
@@ -389,7 +512,10 @@ let switch_to t rt =
      | `Flush_all ->
        ignore (Tlb.flush_all t.z.Zynq.tlb);
        Clock.advance t.z.Zynq.clock 80);
-    Vcpu.restore_active t.z rt.pd.Pd.vcpu;
+    (let v = rt.pd.Pd.vcpu in
+     Exec.run_pinned t.z ~priv:true
+       (slot_pin t.kf.kf_restore (Vcpu.slot v) (fun () ->
+            Exec.pin1 (Vcpu.restore_fp v))));
     Kmem.activate_guest t.kmem rt.pd;
     (match t.cfg.vfp_policy with
      | `Active ->
@@ -410,17 +536,18 @@ let switch_to t rt =
          Probe.incr t.probe "vfp_switch";
          t.vfp_owner <- Some (rt.pd.Pd.id, rt.pd.Pd.vcpu)
        end);
-    emit t ~category:"sched" ~name:"vm-switch"
-      [ ("from",
-         match t.cur with
-         | Some c -> Ktrace.Int c.pd.Pd.id
-         | None -> Ktrace.Str "boot");
-        ("to", Ktrace.Int rt.pd.Pd.id) ];
+    if t.trace <> None then
+      emit t ~category:"sched" ~name:"vm-switch"
+        [ ("from",
+           match t.cur with
+           | Some c -> Ktrace.Int c.pd.Pd.id
+           | None -> Ktrace.Str "boot");
+          ("to", Ktrace.Int rt.pd.Pd.id) ];
     t.cur <- Some rt;
     rt.slice_start <- Clock.now t.z.Zynq.clock;
     Obs.close_span t.z.Zynq.obs sp ~at:(Clock.now t.z.Zynq.clock);
-    Obs.incr (Obs.counter t.z.Zynq.obs "kernel.vm_switches");
-    Probe.record t.probe Probe.vm_switch (Clock.now t.z.Zynq.clock - t0);
+    Obs.incr t.ki.ko_switches;
+    Stats.add t.ki.kp_vm_switch (float_of_int (Clock.now t.z.Zynq.clock - t0));
     run_check t "world_switch"
 
 let rec arm_vtimer t (pd : Pd.t) interval gen =
@@ -464,12 +591,9 @@ let handle_hw_task_request t rt ~entry_start ~task ~iface_vaddr ~data_vaddr
     Obs.open_span obs ~component:"htm_entry" ~key:pd.Pd.id ~at:entry_start
   in
   Kmem.activate_manager t.kmem ~asid:mgr_asid;
-  let stack_base, _ = Klayout.mgr_stack in
-  run_fp t Klayout.mgr_entry_stub
-    ~writes:[ { Exec.base = stack_base; len = 128 } ]
-    ~base_cycles:Costs.mgr_entry "hwtm_entry";
+  Exec.run_pinned t.z ~priv:true t.kf.kf_mgr_entry;
   Obs.close_span obs sp_entry ~at:(Clock.now clock);
-  Probe.record t.probe Probe.hwtm_entry (Clock.now clock - entry_start);
+  Stats.add t.ki.kp_hwtm_entry (float_of_int (Clock.now clock - entry_start));
   (* Execution: the Fig 7 allocation routine. *)
   let exec_start = Clock.now clock in
   let sp_exec =
@@ -534,23 +658,24 @@ let handle_hw_task_request t rt ~entry_start ~task ~iface_vaddr ~data_vaddr
             prr = r.Hw_task_manager.prr }
   in
   Obs.close_span obs sp_exec ~at:(Clock.now clock);
-  Probe.record t.probe Probe.hwtm_exec (Clock.now clock - exec_start);
+  Stats.add t.ki.kp_hwtm_exec (float_of_int (Clock.now clock - exec_start));
   (* Exit: back to the caller's space. *)
   let exit_start = Clock.now clock in
   let sp_exit =
     Obs.open_span obs ~component:"htm_exit" ~key:pd.Pd.id ~at:exit_start
   in
-  let sa_base, _ = Vcpu.save_area pd.Pd.vcpu in
-  run_fp t Klayout.mgr_exit_stub
-    ~reads:[ { Exec.base = sa_base; len = 160 } ]
-    ~base_cycles:Costs.mgr_exit "hwtm_exit";
+  Exec.run_pinned t.z ~priv:true
+    (slot_pin t.kf.kf_mgr_exit (Vcpu.slot pd.Pd.vcpu) (fun () ->
+         let sa_base, _ = Vcpu.save_area pd.Pd.vcpu in
+         Exec.pin1
+           (mk_fp Klayout.mgr_exit_stub "hwtm_exit"
+              ~reads:[ { Exec.base = sa_base; len = 160 } ]
+              ~base_cycles:Costs.mgr_exit)));
   Kmem.activate_guest t.kmem pd;
-  run_fp t Klayout.svc_exit
-    ~base_cycles:(Costs.hypercall_exit + Cpu_mode.exception_return_cycles)
-    "svc_exit";
+  Exec.run_pinned t.z ~priv:true t.kf.kf_svc_exit;
   Obs.close_span obs sp_exit ~at:(Clock.now clock);
-  Probe.record t.probe Probe.hwtm_exit (Clock.now clock - exit_start);
-  Probe.record t.probe "hwtm_total" (Clock.now clock - entry_start);
+  Stats.add t.ki.kp_hwtm_exit (float_of_int (Clock.now clock - exit_start));
+  Stats.add t.ki.kp_hwtm_total (float_of_int (Clock.now clock - entry_start));
   emit t ~severity:Ktrace.Debug ~category:"hwtm" ~name:"exit"
     [ ("pd", Ktrace.Int pd.Pd.id) ];
   resp
@@ -559,9 +684,8 @@ let handle_simple t rt req =
   let pd = rt.pd in
   let z = t.z in
   let hier = z.Zynq.hier in
-  run_fp t
-    (Klayout.handler (Hyper.number req))
-    ~base_cycles:Costs.hypercall_handler "hyper_handler";
+  Exec.run_pinned t.z ~priv:true
+    (Array.unsafe_get t.kf.kf_handlers (Hyper.number req - 1));
   match req with
   | Hyper.Cache_clean_range { vaddr; len } ->
     (match
@@ -691,19 +815,18 @@ let handle_simple t rt req =
 
 let handle_hyper t rt req =
   t.hypercall_count <- t.hypercall_count + 1;
-  Probe.incr t.probe ("hyper_" ^ Hyper.name req);
-  emit t ~severity:Ktrace.Debug ~category:"hyper" ~name:(Hyper.name req)
-    [ ("pd", Ktrace.Int rt.pd.Pd.id) ];
+  let n = Hyper.number req - 1 in
+  Stdlib.incr (Array.unsafe_get t.ki.kp_hyper n);
+  if t.trace <> None then
+    emit t ~severity:Ktrace.Debug ~category:"hyper" ~name:(Hyper.name req)
+      [ ("pd", Ktrace.Int rt.pd.Pd.id) ];
   let clock = t.z.Zynq.clock in
   let obs = t.z.Zynq.obs in
-  Obs.incr (Obs.counter obs ("hyper." ^ Hyper.name req));
+  Obs.incr (Array.unsafe_get t.ki.ko_hyper n);
   let t0 = Clock.now clock in
   let sp = Obs.open_span obs ~component:"hypercall" ~key:rt.pd.Pd.id ~at:t0 in
-  let pd_base, pd_len = Klayout.pd_table in
-  run_fp t Klayout.svc_entry ~base_cycles:Costs.hypercall_entry "svc_entry";
-  run_fp t Klayout.hyper_dispatch
-    ~reads:[ { Exec.base = pd_base; len = min 128 pd_len } ]
-    "hyper_dispatch";
+  (* Trap entry + dispatch: one fused pinned trace. *)
+  Exec.run_pinned t.z ~priv:true t.kf.kf_prologue;
   let resp =
     match req with
     | Hyper.Hw_task_request { task; iface_vaddr; data_vaddr; data_len;
@@ -712,13 +835,11 @@ let handle_hyper t rt req =
         ~data_vaddr ~data_len ~want_irq
     | _ ->
       let r = handle_simple t rt req in
-      run_fp t Klayout.svc_exit
-        ~base_cycles:(Costs.hypercall_exit + Cpu_mode.exception_return_cycles)
-        "svc_exit";
+      Exec.run_pinned t.z ~priv:true t.kf.kf_svc_exit;
       r
   in
   Obs.close_span obs sp ~at:(Clock.now clock);
-  Probe.record t.probe Probe.hypercall (Clock.now clock - t0);
+  Stats.add t.ki.kp_hypercall (float_of_int (Clock.now clock - t0));
   resp
 
 let account_quantum rt now =
@@ -732,13 +853,13 @@ let rec execute t rt ex ~until =
   | X_done -> kill t rt "guest main returned"
   | X_crash e ->
     t.crash_count <- t.crash_count + 1;
-    Probe.incr t.probe "vm_crash";
+    Stdlib.incr t.ki.kp_vm_crash;
     kill t rt (Printexc.to_string e)
   | X_hyper (req, k) ->
     let resp = handle_hyper t rt req in
     execute t rt (Effect.Deep.continue k resp) ~until
   | X_und (instr, k) ->
-    Probe.incr t.probe "und_trap";
+    Stdlib.incr t.ki.kp_und_trap;
     Trap_emulate.charge_trap t.z;
     let v = Trap_emulate.emulate t.z rt.pd.Pd.vcpu instr in
     execute t rt (Effect.Deep.continue k v) ~until
@@ -782,8 +903,7 @@ let rec execute t rt ex ~until =
       Sched.rotate t.sched pd;
       match Sched.pick t.sched with
       | Some next when next.Pd.id <> pd.Pd.id -> rt.saved <- Some k
-      | Some _ | None ->
-        execute t rt (Effect.Deep.continue k (drain rt)) ~until
+      | Some _ | None -> execute t rt (Effect.Deep.continue k (drain rt)) ~until
     end
     else execute t rt (Effect.Deep.continue k (drain rt)) ~until
 

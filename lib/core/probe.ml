@@ -5,21 +5,29 @@ type t = {
 
 let create () = { samples = Hashtbl.create 16; events = Hashtbl.create 16 }
 
-let record t label v =
-  let s =
-    match Hashtbl.find_opt t.samples label with
-    | Some s -> s
-    | None ->
-      let s = Stats.create () in
-      Hashtbl.replace t.samples label s;
-      s
-  in
-  Stats.add s (float_of_int v)
+(* Pre-resolved handles: the hot paths (hypercall dispatch, world
+   switch, IRQ routing) resolve their label once and then bump the
+   handle, skipping the per-call string hash. [reset] clears entries
+   in place, so handles stay live across the warm-up reset. *)
+let sample_handle t label =
+  match Hashtbl.find_opt t.samples label with
+  | Some s -> s
+  | None ->
+    let s = Stats.create () in
+    Hashtbl.replace t.samples label s;
+    s
 
-let incr t label =
+let event_handle t label =
   match Hashtbl.find_opt t.events label with
-  | Some r -> Stdlib.incr r
-  | None -> Hashtbl.replace t.events label (ref 1)
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace t.events label r;
+    r
+
+let record t label v = Stats.add (sample_handle t label) (float_of_int v)
+
+let incr t label = Stdlib.incr (event_handle t label)
 
 let stats t label =
   match Hashtbl.find_opt t.samples label with
@@ -29,16 +37,23 @@ let stats t label =
 let count t label =
   match Hashtbl.find_opt t.events label with Some r -> !r | None -> 0
 
+(* Empty entries are interned handles that never fired (or not since
+   the last reset): invisible, exactly as if never created. *)
 let labels t =
   List.sort String.compare
-    (Hashtbl.fold (fun k _ acc -> k :: acc) t.samples [])
+    (Hashtbl.fold
+       (fun k s acc -> if Stats.count s = 0 then acc else k :: acc)
+       t.samples [])
 
 let counters t =
-  List.sort compare (Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.events [])
+  List.sort compare
+    (Hashtbl.fold
+       (fun k r acc -> if !r = 0 then acc else (k, !r) :: acc)
+       t.events [])
 
 let reset t =
-  Hashtbl.reset t.samples;
-  Hashtbl.reset t.events
+  Hashtbl.iter (fun _ s -> Stats.clear s) t.samples;
+  Hashtbl.iter (fun _ r -> r := 0) t.events
 
 let hwtm_entry = "hwtm_entry"
 let hwtm_exit = "hwtm_exit"

@@ -15,6 +15,17 @@ val record : t -> string -> int -> unit
 val incr : t -> string -> unit
 (** Bump a plain event counter. *)
 
+val sample_handle : t -> string -> Stats.t
+(** Find-or-intern the accumulator for a label. Hot paths resolve the
+    label once and feed the handle with {!Stats.add} directly; the
+    handle survives {!reset} (which clears in place). An interned
+    accumulator that never records is invisible to {!labels}. *)
+
+val event_handle : t -> string -> int ref
+(** Find-or-intern an event counter; same contract as
+    {!sample_handle}. An interned counter at zero is invisible to
+    {!counters}. *)
+
 val stats : t -> string -> Stats.t
 (** Aggregate for a label (empty if never recorded). *)
 

@@ -34,25 +34,23 @@ let vm_switch_code =
   let base, len = Klayout.vm_switch in
   { Exec.base; len }
 
-let save_active zynq t =
-  let fp =
-    { Exec.label = "vcpu_save";
-      code = vm_switch_code;
-      reads = [];
-      writes = [ { Exec.base = t.save_base; len = active_words * 4 } ];
-      base_cycles = Costs.vm_switch_active }
-  in
-  ignore (Exec.run zynq ~priv:true fp)
+let save_fp t =
+  { Exec.label = "vcpu_save";
+    code = vm_switch_code;
+    reads = [];
+    writes = [ { Exec.base = t.save_base; len = active_words * 4 } ];
+    base_cycles = Costs.vm_switch_active }
 
-let restore_active zynq t =
-  let fp =
-    { Exec.label = "vcpu_restore";
-      code = vm_switch_code;
-      reads = [ { Exec.base = t.save_base; len = active_words * 4 } ];
-      writes = [];
-      base_cycles = Costs.vm_switch_active }
-  in
-  ignore (Exec.run zynq ~priv:true fp)
+let restore_fp t =
+  { Exec.label = "vcpu_restore";
+    code = vm_switch_code;
+    reads = [ { Exec.base = t.save_base; len = active_words * 4 } ];
+    writes = [];
+    base_cycles = Costs.vm_switch_active }
+
+let save_active zynq t = ignore (Exec.run zynq ~priv:true (save_fp t))
+
+let restore_active zynq t = ignore (Exec.run zynq ~priv:true (restore_fp t))
 
 (* Lazy set: 32 double-precision VFP registers + FPSCR. *)
 let vfp_bytes = (32 * 8) + 4

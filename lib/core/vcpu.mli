@@ -43,6 +43,14 @@ val save_active : Zynq.t -> t -> unit
 
 val restore_active : Zynq.t -> t -> unit
 
+val save_fp : t -> Exec.t
+(** The footprint {!save_active} charges — exposed so the kernel can
+    intern it as a pinned control-path trace (keyed by save-area slot,
+    shared across the VMs that recycle the slot). *)
+
+val restore_fp : t -> Exec.t
+(** The footprint {!restore_active} charges. *)
+
 val switch_vfp : Zynq.t -> from:t option -> to_:t -> unit
 (** Charge a lazy VFP bank switch: save [from]'s bank (if any) and
     load [to_]'s. Called on first VFP use after a VM switch. *)

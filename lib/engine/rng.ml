@@ -1,23 +1,51 @@
-type t = { mutable state : int64 }
+(* splitmix64. The state lives in a one-element int64 bigarray rather
+   than a mutable [int64] record field: bigarray loads/stores move
+   unboxed values, so the whole step — called once per generated
+   sample in the DSP guests — compiles allocation-free, where a
+   mutable boxed field would allocate a fresh box per step without
+   flambda. The generated stream is bit-identical to the boxed
+   formulation. *)
 
-let create ~seed = { state = Int64.of_int seed }
+type state = (int64, Bigarray.int64_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+type t = { state : state }
+
+let make_state v =
+  let a = Bigarray.Array1.create Bigarray.Int64 Bigarray.C_layout 1 in
+  Bigarray.Array1.unsafe_set a 0 v;
+  a
+
+let create ~seed = { state = make_state (Int64.of_int seed) }
 
 (* splitmix64 step: a small, high-quality, seedable generator. *)
 let next_i64 t =
-  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
-  let z = t.state in
-  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+  let s =
+    Int64.add (Bigarray.Array1.unsafe_get t.state 0) 0x9E3779B97F4A7C15L
+  in
+  Bigarray.Array1.unsafe_set t.state 0 s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30))
       0xBF58476D1CE4E5B9L in
   let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
       0x94D049BB133111EBL in
   Int64.logxor z (Int64.shift_right_logical z 31)
 
-let split t = { state = next_i64 t }
+let split t = { state = make_state (next_i64 t) }
 
 let int t n =
   if n <= 0 then invalid_arg "Rng.int: bound must be positive";
-  (* Keep 62 bits so the value stays non-negative as a 63-bit int. *)
-  let v = Int64.to_int (Int64.logand (next_i64 t) 0x3FFFFFFFFFFFFFFFL) in
+  (* Keep 62 bits so the value stays non-negative as a 63-bit int.
+     [next_i64] is inlined by hand: without flambda a call returning
+     int64 boxes its result, and this is the per-sample path. *)
+  let s =
+    Int64.add (Bigarray.Array1.unsafe_get t.state 0) 0x9E3779B97F4A7C15L
+  in
+  Bigarray.Array1.unsafe_set t.state 0 s;
+  let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30))
+      0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL in
+  let z = Int64.logxor z (Int64.shift_right_logical z 31) in
+  let v = Int64.to_int (Int64.logand z 0x3FFFFFFFFFFFFFFFL) in
   v mod n
 
 let bool t = Int64.logand (next_i64 t) 1L = 1L

@@ -22,6 +22,13 @@ let add t x =
     if x > t.max then t.max <- x
   end
 
+let clear t =
+  t.n <- 0;
+  t.mean <- 0.;
+  t.m2 <- 0.;
+  t.min <- nan;
+  t.max <- nan
+
 let count t = t.n
 let mean t = if t.n = 0 then 0. else t.mean
 let min t = t.min

@@ -11,6 +11,10 @@ val create : unit -> t
 val add : t -> float -> unit
 (** Record one sample. *)
 
+val clear : t -> unit
+(** Drop all samples in place (the accumulator identity survives, so
+    cached handles keep working across a reset). *)
+
 val count : t -> int
 val mean : t -> float
 (** Mean of samples; 0 if empty. *)

@@ -128,6 +128,16 @@ let ops =
     parse = parse_count;
     show = string_of_int }
 
+let shards =
+  { names = [ "shards" ];
+    docv = "N";
+    doc =
+      "Split the soak into N independent seeded shards (run concurrently \
+       up to --domains; results are identical for any domain count).";
+    default = 1;
+    parse = parse_int;
+    show = string_of_int }
+
 let max_vms =
   { names = [ "max-vms" ];
     docv = "N";

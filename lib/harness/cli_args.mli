@@ -59,6 +59,10 @@ val check_baseline : string option spec
 val ops : int spec
 (** [--ops]: soak operation budget; accepts [200k]/[1m] suffixes. *)
 
+val shards : int spec
+(** [--shards]: soak shard count — the deterministic decomposition of
+    the op budget; [--domains] only caps how many run concurrently. *)
+
 val max_vms : int spec
 (** [--max-vms]: concurrently live soak VMs. *)
 

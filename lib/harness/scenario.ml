@@ -66,54 +66,79 @@ let fp ~label ~code_off ~code_len ?(reads = []) ?(writes = [])
     reads; writes; base_cycles }
 
 (* GSM-LPC encoder task: real LPC analysis over synthetic speech, plus
-   a charged footprint over its frame/coefficient buffers. *)
+   a charged footprint over its frame/coefficient buffers. The four
+   phase footprints are loop-invariant: intern them once as pinned
+   traces instead of rebuilding a footprint per frame. *)
 let gsm_task os rng () =
+  let pins =
+    Array.init 4 (fun i ->
+        Exec.pin1
+          (fp ~label:"gsm" ~code_off:0x0000 ~code_len:1792
+             ~reads:[ { Exec.base = gsm_buf + (i * 4096); len = 4096 } ]
+             ~writes:[ { Exec.base = gsm_buf + 16384; len = 256 } ]
+             ~base_cycles:14000 ()))
+  in
   let phase = ref 0 in
   while true do
     let pcm = Signal.speech_like rng Gsm_lpc.frame_size in
     let lars = Gsm_lpc.analyze pcm in
     if Array.length lars <> 8 then failwith "gsm: bad LPC output";
-    let off = !phase mod 4 * 4096 in
+    let i = !phase mod 4 in
     phase := !phase + 1;
-    Ucos.compute os
-      (fp ~label:"gsm" ~code_off:0x0000 ~code_len:1792
-         ~reads:[ { Exec.base = gsm_buf + off; len = 4096 } ]
-         ~writes:[ { Exec.base = gsm_buf + 16384; len = 256 } ]
-         ~base_cycles:14000 ());
+    Ucos.compute_pinned os pins.(i);
     if !phase mod 4 = 0 then Ucos.delay os 1
   done
 
 (* IMA ADPCM compression task: real codec roundtrip per block. *)
 let adpcm_task os rng () =
+  let pins =
+    Array.init 4 (fun i ->
+        let off = i * 4096 in
+        Exec.pin1
+          (fp ~label:"adpcm" ~code_off:0x1000 ~code_len:1280
+             ~reads:[ { Exec.base = adpcm_buf + off; len = 4096 } ]
+             ~writes:[ { Exec.base = adpcm_buf + 16384 + off; len = 2048 } ]
+             ~base_cycles:11000 ()))
+  in
   let phase = ref 0 in
   while true do
     let pcm = Signal.speech_like rng 1024 in
     if Adpcm.roundtrip_error pcm > 20000 then failwith "adpcm: diverged";
-    let off = !phase mod 4 * 4096 in
+    let i = !phase mod 4 in
     phase := !phase + 1;
-    Ucos.compute os
-      (fp ~label:"adpcm" ~code_off:0x1000 ~code_len:1280
-         ~reads:[ { Exec.base = adpcm_buf + off; len = 4096 } ]
-         ~writes:[ { Exec.base = adpcm_buf + 16384 + off; len = 2048 } ]
-         ~base_cycles:11000 ());
+    Ucos.compute_pinned os pins.(i);
     if !phase mod 5 = 0 then Ucos.delay os 1
   done
 
 (* Cache-churn task: walks a working set to model the rest of the
-   guest's memory traffic (the paper's "heavy workload"). *)
+   guest's memory traffic (the paper's "heavy workload"). The walk
+   revisits a small cycle of offsets; pinned traces are interned per
+   offset on first visit. *)
 let churn_task os ~churn_kb () =
   let set_bytes = churn_kb * 1024 in
   let chunk = 8192 in
+  let pins = Hashtbl.create 16 in
+  let pin_for off =
+    match Hashtbl.find_opt pins off with
+    | Some p -> p
+    | None ->
+      let p =
+        Exec.pin1
+          (fp ~label:"churn" ~code_off:0x2000 ~code_len:512
+             ~reads:[ { Exec.base = churn_buf + off; len = chunk } ]
+             ~writes:[ { Exec.base =
+                           churn_buf + ((off + (set_bytes / 2)) mod set_bytes);
+                         len = chunk / 4 } ]
+             ~base_cycles:26000 ())
+      in
+      Hashtbl.replace pins off p;
+      p
+  in
   let pos = ref 0 in
   while true do
     let off = !pos in
     pos := (!pos + chunk) mod set_bytes;
-    Ucos.compute os
-      (fp ~label:"churn" ~code_off:0x2000 ~code_len:512
-         ~reads:[ { Exec.base = churn_buf + off; len = chunk } ]
-         ~writes:[ { Exec.base = churn_buf + ((off + (set_bytes / 2)) mod set_bytes);
-                     len = chunk / 4 } ]
-         ~base_cycles:26000 ())
+    Ucos.compute_pinned os (pin_for off)
   done
 
 exception Done_requests

@@ -154,13 +154,17 @@ let run_ref zynq ~priv t =
   Clock.advance zynq.Zynq.clock (t.base_cycles + issue_cycles t);
   Clock.now zynq.Zynq.clock - start
 
-(* Compile a footprint into a flat program: one descriptor per maximal
-   within-page run of consecutive lines, in exactly the order the
-   reference walk visits them (code, then reads, then writes). The
-   dynamic replay record starts all-stale (-1 stamps); the first visit
-   walks every run cold and records as it goes. *)
-let compile (t : t) =
-  let total = lines_of t.code + data_lines t in
+let seq_lines fps =
+  Array.fold_left (fun a t -> a + lines_of t.code + data_lines t) 0 fps
+
+(* Compile a footprint sequence into one flat program: one descriptor
+   per maximal within-page run of consecutive lines, in exactly the
+   order the reference walk visits them (per footprint: code, then
+   reads, then writes). The dynamic replay record starts all-stale
+   (-1 stamps); the first visit walks every run cold and records as it
+   goes. *)
+let compile_fps (fps : t array) =
+  let total = seq_lines fps in
   if total > Fastpath.memo_lines_cap then None
   else begin
     let vbase = ref [] and off = ref [] and lns = ref [] and knd = ref []
@@ -187,9 +191,12 @@ let compile (t : t) =
         done
       end
     in
-    add_range 0 t.code;
-    List.iter (add_range 1) t.reads;
-    List.iter (add_range 2) t.writes;
+    Array.iter
+      (fun t ->
+         add_range 0 t.code;
+         List.iter (add_range 1) t.reads;
+         List.iter (add_range 2) t.writes)
+      fps;
     let arr l = Array.of_list (List.rev !l) in
     let n = !n_runs in
     Some
@@ -207,6 +214,8 @@ let compile (t : t) =
         slots = Array.make !pos 0;
         l2_slots = Array.make !pos (-1) }
   end
+
+let compile (t : t) = compile_fps [| t |]
 
 let kind_of = function
   | 0 -> Hierarchy.Ifetch
@@ -232,14 +241,14 @@ let kind_of = function
    Every tier performs bit-identical state transitions, statistics
    and cycle charges to the scalar reference walk; the tiers differ
    only in host-side work per line. *)
-let run_prog zynq fast (p : Fastpath.prog) (t : t) ~priv ~asid ~ttbr ~dacr =
+
+let replay_runs zynq fast (p : Fastpath.prog) ~priv ~asid ~ttbr ~dacr =
   let tlb = zynq.Zynq.tlb in
   let hier = zynq.Zynq.hier in
   let l1i = Hierarchy.l1i hier in
   let l1d = Hierarchy.l1d hier in
   let lat = Hierarchy.latencies hier in
   let clock = zynq.Zynq.clock in
-  let start = Clock.now clock in
   let cold = ref 0 in
   let n_runs = p.Fastpath.n_runs in
   for r = 0 to n_runs - 1 do
@@ -282,29 +291,41 @@ let run_prog zynq fast (p : Fastpath.prog) (t : t) ~priv ~asid ~ttbr ~dacr =
         ~write;
       Clock.advance clock (n * lat.Hierarchy.l1_hit)
     end
-    else if Cache.verify_run cache ~slots:p.Fastpath.slots ~from ~n ~a:pa
-    then begin
-      Cache.replay_hits cache p.Fastpath.slots ~start:from ~stop:(from + n)
-        ~write;
-      Array.unsafe_set p.Fastpath.r_cache_epoch r cep;
-      Clock.advance clock (n * lat.Hierarchy.l1_hit)
-    end
     else begin
-      incr cold;
-      ignore
-        (Hierarchy.access_line_run_record hier (kind_of ki) pa n
-           ~slots:p.Fastpath.slots ~next_slots:p.Fastpath.l2_slots ~from);
-      (* The post-walk stamp is only sound when the walk cannot have
-         evicted its own earlier lines: consecutive lines land in
-         distinct sets iff the run fits the set count. *)
-      Array.unsafe_set p.Fastpath.r_cache_epoch r
-        (if n <= Cache.sets cache then Cache.epoch cache else -1)
+      (* Stale stamp: one hinted walk replaces the old verify pass +
+         cold re-walk. Per line it first tries the recorded slot (a
+         single self-verifying tag compare); only lines that actually
+         moved pay the full set scan and, on a miss, the next level.
+         The transitions are bit-identical to the scalar walk either
+         way, and [moved] reports how many hints failed. *)
+      let moved =
+        Hierarchy.access_line_run_record hier (kind_of ki) pa n
+          ~slots:p.Fastpath.slots ~next_slots:p.Fastpath.l2_slots ~from
+      in
+      if moved = 0 then
+        (* Every line was still live in its recorded slot, so the walk
+           was all hits and cannot have bumped the epoch: the stamp is
+           good again. *)
+        Array.unsafe_set p.Fastpath.r_cache_epoch r cep
+      else begin
+        incr cold;
+        (* The post-walk stamp is only sound when the walk cannot have
+           evicted its own earlier lines: consecutive lines land in
+           distinct sets iff the run fits the set count. *)
+        Array.unsafe_set p.Fastpath.r_cache_epoch r
+          (if n <= Cache.sets cache then Cache.epoch cache else -1)
+      end
     end
   done;
   if !cold = 0 then
     fast.Fastpath.warm_replays <- fast.Fastpath.warm_replays + 1
   else if !cold < n_runs then
-    fast.Fastpath.partial_replays <- fast.Fastpath.partial_replays + 1;
+    fast.Fastpath.partial_replays <- fast.Fastpath.partial_replays + 1
+
+let run_prog zynq fast (p : Fastpath.prog) (t : t) ~priv ~asid ~ttbr ~dacr =
+  let clock = zynq.Zynq.clock in
+  let start = Clock.now clock in
+  replay_runs zynq fast p ~priv ~asid ~ttbr ~dacr;
   Clock.advance clock (t.base_cycles + issue_cycles t);
   Clock.now clock - start
 
@@ -337,6 +358,107 @@ let run zynq ~priv t =
             t.writes;
           Clock.advance zynq.Zynq.clock (t.base_cycles + issue_cycles t);
           Clock.now zynq.Zynq.clock - start)
+  end
+
+(* --- pinned control-path traces --- *)
+
+let pin fps =
+  let cycles =
+    Array.fold_left (fun a t -> a + t.base_cycles + issue_cycles t) 0 fps
+  in
+  Fastpath.make_pinned fps ~cycles
+    ~compilable:(seq_lines fps <= Fastpath.memo_lines_cap)
+
+let pin1 t = pin [| t |]
+
+(* MRU scan over the handle's context slots; a hit at depth > 0 is
+   rotated to the front so the steady-state mix stays O(1). *)
+let find_pin_prog (p : Fastpath.pinned) ~asid ~ttbr ~dacr ~priv =
+  let es = p.Fastpath.pin_entries in
+  let n = Array.length es in
+  let rec scan i =
+    if i >= n then None
+    else begin
+      let e = Array.unsafe_get es i in
+      if
+        e.Fastpath.e_asid = asid && e.e_ttbr = ttbr && e.e_dacr = dacr
+        && e.e_priv = priv
+      then begin
+        if i > 0 then begin
+          for j = i downto 1 do
+            Array.unsafe_set es j (Array.unsafe_get es (j - 1))
+          done;
+          Array.unsafe_set es 0 e
+        end;
+        e.Fastpath.e_prog
+      end
+      else scan (i + 1)
+    end
+  in
+  scan 0
+
+(* Install into the LRU slot and rotate it to the front. *)
+let install_pin_prog (p : Fastpath.pinned) ~asid ~ttbr ~dacr ~priv prog =
+  let es = p.Fastpath.pin_entries in
+  let n = Array.length es in
+  let e = es.(n - 1) in
+  e.Fastpath.e_asid <- asid;
+  e.Fastpath.e_ttbr <- ttbr;
+  e.Fastpath.e_dacr <- dacr;
+  e.Fastpath.e_priv <- priv;
+  e.Fastpath.e_prog <- Some prog;
+  for j = n - 1 downto 1 do
+    Array.unsafe_set es j (Array.unsafe_get es (j - 1))
+  done;
+  Array.unsafe_set es 0 e
+
+(* Execute a pinned sequence. Disabled, it is exactly the sequence of
+   reference walks the call sites used to issue; enabled, the whole
+   sequence replays as one compiled program with the summed cycle
+   charge applied at the end — the clock advance moves across the
+   in-sequence accesses, which is unobservable (nothing reads the
+   clock or runs events between the back-to-back footprints), while
+   every TLB/cache state transition happens in reference order. *)
+let run_pinned zynq ~priv (p : Fastpath.pinned) =
+  let fast = zynq.Zynq.fast in
+  if not (Fastpath.enabled fast) then begin
+    let fps = p.Fastpath.pin_fps in
+    for i = 0 to Array.length fps - 1 do
+      ignore (run_ref zynq ~priv (Array.unsafe_get fps i))
+    done
+  end
+  else begin
+    let asid, ttbr, dacr = current_context zynq in
+    match find_pin_prog p ~asid ~ttbr ~dacr ~priv with
+    | Some prog ->
+      replay_runs zynq fast prog ~priv ~asid ~ttbr ~dacr;
+      Clock.advance zynq.Zynq.clock p.Fastpath.pin_cycles
+    | None ->
+      if p.Fastpath.pin_compilable then begin
+        match compile_fps p.Fastpath.pin_fps with
+        | Some prog ->
+          install_pin_prog p ~asid ~ttbr ~dacr ~priv prog;
+          fast.Fastpath.warm_records <- fast.Fastpath.warm_records + 1;
+          replay_runs zynq fast prog ~priv ~asid ~ttbr ~dacr;
+          Clock.advance zynq.Zynq.clock p.Fastpath.pin_cycles
+        | None -> assert false (* pin_compilable checked the cap *)
+      end
+      else begin
+        (* Over the compile cap: straight fast walks, summed charge. *)
+        let fps = p.Fastpath.pin_fps in
+        for i = 0 to Array.length fps - 1 do
+          let t = Array.unsafe_get fps i in
+          touch_fast zynq fast ~priv ~asid ~ttbr ~dacr Hierarchy.Ifetch
+            t.code;
+          List.iter
+            (touch_fast zynq fast ~priv ~asid ~ttbr ~dacr Hierarchy.Load)
+            t.reads;
+          List.iter
+            (touch_fast zynq fast ~priv ~asid ~ttbr ~dacr Hierarchy.Store)
+            t.writes
+        done;
+        Clock.advance zynq.Zynq.clock p.Fastpath.pin_cycles
+      end
   end
 
 let estimate_warm_cycles t =

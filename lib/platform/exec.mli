@@ -48,6 +48,30 @@ val touch : Zynq.t -> priv:bool -> Hierarchy.kind -> range -> unit
 (** Charge one access per cache line of a single range (used for
     fine-grained workload modelling). Raises {!Mmu.Fault}. *)
 
+val pin : t array -> Fastpath.pinned
+(** Intern a fixed footprint sequence as a pinned control-path trace:
+    call sites that execute the same footprints every time (kernel
+    entry stubs, dispatch, world-switch pieces, guest OS services)
+    build the handle once and {!run_pinned} it, skipping the per-call
+    footprint allocation, key hash and program-table lookup of {!run}.
+    The sequence compiles into one flat program per translation
+    context (up to {!Fastpath.pin_ways} contexts cached per handle),
+    epoch-validated on every replay. *)
+
+val pin1 : t -> Fastpath.pinned
+(** [pin [| t |]]. *)
+
+val run_pinned : Zynq.t -> priv:bool -> Fastpath.pinned -> unit
+(** Execute a pinned sequence at the current translation context.
+    Bit-identical — in simulated cycles, cache/TLB statistics, and
+    every state transition — to running each footprint through {!run}
+    (and, with the fast path disabled, it {e is} the sequence of
+    reference walks). The only freedom taken is that the pipeline
+    cycle charges of the sequence are applied after its memory
+    accesses rather than interleaved, which no observer can see:
+    events only run at interrupt-routing points, never inside a
+    footprint sequence. *)
+
 val estimate_warm_cycles : t -> int
 (** Lower bound: cost with every access an L1 hit (for tests and for
     sanity-checking calibration). *)

@@ -126,6 +126,45 @@ end
 
 module Memos = Hashtbl.Make (Key)
 
+(* Pinned control-path traces. A [pinned] handle interns a fixed
+   sequence of footprints (one kernel control path: e.g. trap entry +
+   hypercall dispatch) once at boot, with a small per-handle MRU cache
+   of compiled programs keyed by translation context. This removes the
+   per-call footprint allocation, key hash and program-table lookup of
+   the generic [Exec.run] path: the hot control paths reduce to an MRU
+   scan plus an epoch-validated replay. Correctness needs no explicit
+   invalidation hooks — the context fields key the program, and the
+   per-run TLB/cache epoch stamps inside [prog] revalidate every
+   replay, so kills, recoveries, DPR events and page-table updates are
+   caught exactly as on the generic path. *)
+type pin_entry = {
+  mutable e_asid : int;
+  mutable e_ttbr : int;
+  mutable e_dacr : int;
+  mutable e_priv : bool;
+  mutable e_prog : prog option;   (* None = empty slot *)
+}
+
+type pinned = {
+  pin_fps : fp array;
+  pin_cycles : int;        (* summed base + issue cycles of the sequence *)
+  pin_compilable : bool;   (* total lines within [memo_lines_cap] *)
+  pin_entries : pin_entry array;  (* MRU order: index 0 most recent *)
+}
+
+(* Contexts alive at once = live VMs (bounded by save-area slots) plus
+   the manager; 8 ways keeps every steady-state mix resident. *)
+let pin_ways = 8
+
+let make_pinned fps ~cycles ~compilable =
+  { pin_fps = fps;
+    pin_cycles = cycles;
+    pin_compilable = compilable;
+    pin_entries =
+      Array.init pin_ways (fun _ ->
+          { e_asid = -1; e_ttbr = -1; e_dacr = -1; e_priv = false;
+            e_prog = None }) }
+
 type t = {
   mtlb : mentry array;
   memos : prog Memos.t;

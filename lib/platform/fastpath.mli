@@ -77,6 +77,34 @@ type prog = {
 (** A compiled footprint program: static flattened access pattern plus
     the epoch-guarded dynamic replay record. *)
 
+type pin_entry = {
+  mutable e_asid : int;
+  mutable e_ttbr : int;
+  mutable e_dacr : int;
+  mutable e_priv : bool;
+  mutable e_prog : prog option;   (** [None] = empty slot *)
+}
+
+type pinned = {
+  pin_fps : fp array;
+  pin_cycles : int;        (** summed base + issue cycles of the sequence *)
+  pin_compilable : bool;   (** total lines within {!memo_lines_cap} *)
+  pin_entries : pin_entry array;  (** MRU order: index 0 most recent *)
+}
+(** A pinned control-path trace: a fixed footprint sequence interned
+    once (at boot or VM creation) plus a small MRU cache of compiled
+    programs keyed by translation context. Built with {!Exec.pin},
+    executed with {!Exec.run_pinned}. No explicit invalidation exists
+    or is needed: the context fields key each program and the epoch
+    stamps inside {!prog} revalidate every replay, so kill/recovery/
+    DPR events invalidate stale traces exactly as on the generic
+    path. *)
+
+val pin_ways : int
+(** Context associativity of a pinned handle. *)
+
+val make_pinned : fp array -> cycles:int -> compilable:bool -> pinned
+
 module Memos : Hashtbl.S with type key = key
 (** Program table with a cheap hand-rolled hash over the footprint's
     scalar fields (the polymorphic hash would walk the label string

@@ -57,6 +57,7 @@ type task = {
 
 type t = {
   pt : Port.t;
+  charges : (string, Fastpath.pinned) Hashtbl.t;  (* svc -> pinned trace *)
   by_prio : task option array;      (* index = priority *)
   rdy_tbl : int array;              (* 8 groups of 8 bits *)
   mutable rdy_grp : int;
@@ -81,8 +82,44 @@ let unmap_tbl =
         low 0
       end)
 
+(* Service cost model: each OS service is a small code block inside the
+   guest-kernel image plus a touch of the TCB table. *)
+let svc_table =
+  [ ("boot", (0x0000, 768, 300));
+    ("sched", (0x0400, 224, 25));
+    ("tick", (0x0600, 320, 40));
+    ("delay", (0x0800, 160, 15));
+    ("sem", (0x0A00, 224, 20));
+    ("mutex", (0x0C00, 224, 20));
+    ("mbox", (0x0E00, 192, 20));
+    ("queue", (0x1000, 256, 25));
+    ("irq", (0x1200, 224, 20));
+    ("create", (0x1400, 288, 40));
+    ("print", (0x1600, 128, 10));
+    ("flag", (0x1800, 256, 20));
+    ("mem", (0x1A00, 192, 15)) ]
+
+(* Each service's footprint is fixed for the OS instance's lifetime:
+   intern them all as pinned traces at creation, so a charge is one
+   small-table lookup plus an epoch-validated replay. *)
+let make_charges () =
+  let h = Hashtbl.create 16 in
+  List.iter
+    (fun (svc, (off, len, base)) ->
+       let fp =
+         { Exec.label = "ucos_" ^ svc;
+           code = { Exec.base = Ucos_layout.os_code_base + off; len };
+           reads = [ { Exec.base = Ucos_layout.tcb_base; len = 256 } ];
+           writes = [ { Exec.base = Ucos_layout.tcb_base + 256; len = 64 } ];
+           base_cycles = base }
+       in
+       Hashtbl.replace h svc (Exec.pin1 fp))
+    svc_table;
+  h
+
 let create pt =
   { pt;
+    charges = make_charges ();
     by_prio = Array.make max_tasks None;
     rdy_tbl = Array.make 8 0;
     rdy_grp = 0;
@@ -113,37 +150,10 @@ let highest_ready t =
     Some ((g lsl 3) lor unmap_tbl.(t.rdy_tbl.(g)))
   end
 
-(* Service cost model: each OS service is a small code block inside the
-   guest-kernel image plus a touch of the TCB table. *)
-let svc_table =
-  [ ("boot", (0x0000, 768, 300));
-    ("sched", (0x0400, 224, 25));
-    ("tick", (0x0600, 320, 40));
-    ("delay", (0x0800, 160, 15));
-    ("sem", (0x0A00, 224, 20));
-    ("mutex", (0x0C00, 224, 20));
-    ("mbox", (0x0E00, 192, 20));
-    ("queue", (0x1000, 256, 25));
-    ("irq", (0x1200, 224, 20));
-    ("create", (0x1400, 288, 40));
-    ("print", (0x1600, 128, 10));
-    ("flag", (0x1800, 256, 20));
-    ("mem", (0x1A00, 192, 15)) ]
-
 let charge t svc =
-  let off, len, base =
-    match List.assoc_opt svc svc_table with
-    | Some v -> v
-    | None -> invalid_arg ("Ucos.charge: unknown service " ^ svc)
-  in
-  let fp =
-    { Exec.label = "ucos_" ^ svc;
-      code = { Exec.base = Ucos_layout.os_code_base + off; len };
-      reads = [ { Exec.base = Ucos_layout.tcb_base; len = 256 } ];
-      writes = [ { Exec.base = Ucos_layout.tcb_base + 256; len = 64 } ];
-      base_cycles = base }
-  in
-  ignore (Exec.run t.pt.Port.zynq ~priv:t.pt.Port.priv fp)
+  match Hashtbl.find_opt t.charges svc with
+  | Some p -> Exec.run_pinned t.pt.Port.zynq ~priv:t.pt.Port.priv p
+  | None -> invalid_arg ("Ucos.charge: unknown service " ^ svc)
 
 let spawn t ~name ~prio body =
   if prio < 0 || prio >= max_tasks then
@@ -265,6 +275,10 @@ let yield t =
 
 let compute t fp =
   ignore (Exec.run t.pt.Port.zynq ~priv:t.pt.Port.priv fp);
+  Effect.perform Task_yield
+
+let compute_pinned t p =
+  Exec.run_pinned t.pt.Port.zynq ~priv:t.pt.Port.priv p;
   Effect.perform Task_yield
 
 let delay t n =

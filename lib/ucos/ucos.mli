@@ -57,6 +57,11 @@ val yield : t -> unit
 val compute : t -> Exec.t -> unit
 (** Execute a charged workload footprint, then yield. *)
 
+val compute_pinned : t -> Fastpath.pinned -> unit
+(** {!compute} for a loop-invariant footprint interned with
+    {!Exec.pin}: same simulated behaviour, no per-iteration footprint
+    allocation or program-table lookup. *)
+
 val time_get : t -> int
 (** Ticks since the OS started. *)
 

@@ -6,28 +6,28 @@ let check frame =
     invalid_arg "Gsm_lpc: frame must be 160 samples"
 
 (* Preemphasis then windowed autocorrelation, lags 0..order. The
-   accumulators are loop arguments rather than [ref]s so the hot loops
-   (run per GSM frame per guest) keep floats unboxed. *)
+   accumulators live in float-array cells: float-array loads, stores
+   and the arithmetic between them stay unboxed in straight-line
+   code, whereas float arguments to a local recursive function are
+   boxed at every call without flambda — and these loops run per GSM
+   frame per guest. *)
 let autocorrelation frame =
   check frame;
   let pre = Array.make frame_size 0.0 in
-  let rec emphasize i prev =
-    if i < frame_size then begin
-      let x = float_of_int (Array.unsafe_get frame i) in
-      Array.unsafe_set pre i (x -. (0.86 *. prev));
-      emphasize (i + 1) x
-    end
-  in
-  emphasize 0 0.0;
+  for i = 0 to frame_size - 1 do
+    let x = float_of_int (Array.unsafe_get frame i) in
+    let prev =
+      if i = 0 then 0.0 else float_of_int (Array.unsafe_get frame (i - 1))
+    in
+    Array.unsafe_set pre i (x -. (0.86 *. prev))
+  done;
   let acf = Array.make (order + 1) 0.0 in
   for lag = 0 to order do
-    let rec sum i acc =
-      if i >= frame_size then acc
-      else
-        sum (i + 1)
-          (acc +. (Array.unsafe_get pre i *. Array.unsafe_get pre (i - lag)))
-    in
-    acf.(lag) <- sum lag 0.0
+    for i = lag to frame_size - 1 do
+      Array.unsafe_set acf lag
+        (Array.unsafe_get acf lag
+         +. (Array.unsafe_get pre i *. Array.unsafe_get pre (i - lag)))
+    done
   done;
   acf
 

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Hard wall-time regression gate for BENCH_perf.json.
+
+Compares the current run's perf record against the committed reference
+(BENCH_perf.json at HEAD). Wall time is host-dependent, so the gate is
+only hard when the two records were produced with the same domain
+count; on a mismatch it degrades to a warning and exits 0.
+
+The two records may cover different section subsets (CI smoke runs a
+subset of the full bench), so the compared quantity is the summed
+wall_s over the sections present in BOTH records, not the raw
+total_wall_s fields.
+
+Usage: perf_gate.py REFERENCE.json CURRENT.json [--max-regression 0.10]
+Exit status: 1 on a hard regression, 0 otherwise.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def section_walls(record):
+    return {s["section"]: s["wall_s"] for s in record.get("sections", [])}
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("reference")
+    ap.add_argument("current")
+    ap.add_argument("--max-regression", type=float, default=0.10,
+                    help="hard-fail threshold as a fraction (default 0.10)")
+    args = ap.parse_args()
+
+    ref = load(args.reference)
+    cur = load(args.current)
+
+    ref_secs = section_walls(ref)
+    cur_secs = section_walls(cur)
+    common = sorted(set(ref_secs) & set(cur_secs))
+    if not common:
+        print("perf gate: no common sections between reference and current; "
+              "nothing to compare")
+        return 0
+
+    ref_total = sum(ref_secs[s] for s in common)
+    cur_total = sum(cur_secs[s] for s in common)
+    delta = (cur_total - ref_total) / ref_total if ref_total > 0 else 0.0
+
+    print(f"perf gate: common sections: {', '.join(common)}")
+    for s in common:
+        r, c = ref_secs[s], cur_secs[s]
+        pct = 100.0 * (c - r) / r if r > 0 else 0.0
+        print(f"  {s:14s} ref {r:8.3f}s  cur {c:8.3f}s  ({pct:+.0f}%)")
+    print(f"  {'TOTAL':14s} ref {ref_total:8.3f}s  cur {cur_total:8.3f}s  "
+          f"({100.0 * delta:+.0f}%)")
+
+    same_domains = ref.get("domains") == cur.get("domains")
+    if delta > args.max_regression:
+        if same_domains:
+            print(f"FAIL: wall time regressed {100.0 * delta:.0f}% "
+                  f"(> {100.0 * args.max_regression:.0f}% hard limit, "
+                  f"domains={cur.get('domains')})")
+            return 1
+        print(f"::warning title=Bench wall-time regression::"
+              f"+{100.0 * delta:.0f}% vs reference, but domain counts differ "
+              f"(ref {ref.get('domains')}, cur {cur.get('domains')}) — "
+              f"soft signal only")
+        return 0
+    print(f"perf gate passed ({100.0 * delta:+.0f}% vs reference, "
+          f"limit +{100.0 * args.max_regression:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

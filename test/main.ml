@@ -20,4 +20,5 @@ let () =
       Test_edge.suite;
       Test_fastpath.suite;
       Test_obs.suite;
-      Test_check.suite ]
+      Test_check.suite;
+      Test_ctrlpath.suite ]

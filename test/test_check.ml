@@ -233,6 +233,92 @@ let test_soak_replay_deterministic () =
     Alcotest.check ci "no VM survives" 0 a.Soak.live_vms
   | _ -> Alcotest.fail "replay violated"
 
+(* ------------------------------------------------------------------ *)
+(* Sharded soak: fixed decomposition, domain-count independence.       *)
+
+let sharded_fingerprint (s : Soak.sharded) =
+  (* Everything deterministic about a sharded run: merged stats, each
+     shard's stats, and which shards violated (wall times excluded). *)
+  ( s.Soak.merged_stats,
+    List.map
+      (fun (r : Soak.shard_report) ->
+         ( r.Soak.shard,
+           Soak.stats_of_outcome r.Soak.outcome,
+           match r.Soak.outcome with
+           | Soak.Clean _ -> None
+           | Soak.Violated { violation; _ } ->
+             Some violation.Invariant.checker ))
+      s.Soak.reports,
+    Option.map (fun r -> r.Soak.shard) s.Soak.first_violated )
+
+let test_sharded_domain_independent () =
+  let cfg = { smoke_config with Soak.ops = 20_000 } in
+  let a = Soak.run_sharded ~domains:1 ~shards:4 cfg in
+  let b = Soak.run_sharded ~domains:3 ~shards:4 cfg in
+  Alcotest.check cb "identical outcomes for any domain budget" true
+    (sharded_fingerprint a = sharded_fingerprint b);
+  Alcotest.check ci "all shards ran" 4 (List.length a.Soak.reports);
+  Alcotest.check cb "work actually split"
+    true
+    (List.for_all
+       (fun (r : Soak.shard_report) -> r.Soak.shard_cfg.Soak.ops = 5_000)
+       a.Soak.reports)
+
+let test_sharded_one_shard_is_run () =
+  match Soak.run smoke_config with
+  | Soak.Violated _ -> Alcotest.fail "smoke config violated"
+  | Soak.Clean direct ->
+    let s = Soak.run_sharded ~domains:1 ~shards:1 smoke_config in
+    Alcotest.check stats_t "1-shard run is exactly Soak.run" direct
+      s.Soak.merged_stats
+
+let test_shard_config_split () =
+  let cfg = { smoke_config with Soak.ops = 10_001 } in
+  let shards = 4 in
+  let cfgs =
+    List.init shards (fun i -> Soak.shard_config cfg ~shards ~shard:i)
+  in
+  Alcotest.check ci "ops budget conserved" cfg.Soak.ops
+    (List.fold_left (fun acc c -> acc + c.Soak.ops) 0 cfgs);
+  let seeds = List.map (fun c -> c.Soak.seed) cfgs in
+  Alcotest.check ci "derived seeds are distinct"
+    (List.length seeds)
+    (List.length (List.sort_uniq compare seeds));
+  Alcotest.check ci "derivation is deterministic"
+    (Soak.shard_seed ~seed:cfg.Soak.seed ~shard:2)
+    (List.nth seeds 2)
+
+let test_sharded_reproducer_replays_single_domain () =
+  (* The reproducer a violating shard writes carries that shard's
+     derived config, so it replays in one domain with no sharding
+     context at all — and deterministically. *)
+  let scfg =
+    Soak.shard_config
+      { smoke_config with Soak.ops = 8_000 }
+      ~shards:4 ~shard:2
+  in
+  let violation =
+    { Invariant.checker = "sched"; boundary = "op"; detail = "synthetic" }
+  in
+  let shrunk =
+    [ Soak.A_create { profile = 1; prio = 1; gseed = 42 };
+      Soak.A_run 600;
+      Soak.A_create { profile = 2; prio = 3; gseed = 7 };
+      Soak.A_run 300;
+      Soak.A_kill 0 ]
+  in
+  let path = Filename.temp_file "soak_shard_repro" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       Soak.write_reproducer path scfg violation ~shrunk;
+       match Soak.replay_file path, Soak.replay_file path with
+       | Ok (Soak.Clean a), Ok (Soak.Clean b) ->
+         Alcotest.check stats_t "single-domain replay is deterministic" a b;
+         Alcotest.check ci "both creates applied" 2 a.Soak.creates
+       | Ok _, Ok _ -> Alcotest.fail "replay tripped a checker"
+       | Error e, _ | _, Error e -> Alcotest.failf "replay failed: %s" e)
+
 let test_reproducer_roundtrip () =
   let cfg =
     { Soak.ops = 123_456; seed = 77; max_vms = 9; check = true;
@@ -296,4 +382,12 @@ let suite =
       Alcotest.test_case "soak replay is deterministic" `Quick
         test_soak_replay_deterministic;
       Alcotest.test_case "reproducer file round-trips" `Quick
-        test_reproducer_roundtrip ] )
+        test_reproducer_roundtrip;
+      Alcotest.test_case "sharded soak is domain-count independent" `Quick
+        test_sharded_domain_independent;
+      Alcotest.test_case "1-shard sharded run equals Soak.run" `Quick
+        test_sharded_one_shard_is_run;
+      Alcotest.test_case "shard config split conserves the budget" `Quick
+        test_shard_config_split;
+      Alcotest.test_case "shard reproducer replays single-domain" `Quick
+        test_sharded_reproducer_replays_single_domain ] )

@@ -1,0 +1,178 @@
+(* Equivalence of the compiled kernel control paths with the scalar
+   reference walk.
+
+   The kernel charges its own control paths — SVC entry and hypercall
+   dispatch, per-hypercall handler bodies, world switch (vCPU save,
+   scheduler pick, vCPU restore), IRQ entry, virtual-IRQ inject and
+   manager entry/exit — through pinned Exec footprints, which the fast
+   path compiles into replayable trace programs. Those programs
+   promise to be bit-identical to the reference walk under any guest
+   behaviour: same simulated cycles, same cache/TLB counters, same
+   kernel event timeline, same observability counters. This property
+   drives randomized multi-guest workloads through two fresh kernels —
+   fast path on and off — and compares the full fingerprint. *)
+
+let check = Alcotest.check
+
+(* --- randomized scenario parameters --- *)
+
+type params = {
+  quantum_ms : float;
+  guests : (int * int * int) list;  (* (variant, priority, gseed) *)
+  run_ms : int;
+  kill_after : bool;   (* kill the first guest, then run again *)
+}
+
+let gen_params =
+  QCheck.Gen.(
+    let* quantum_ms = oneofl [ 0.5; 1.0; 2.0 ] in
+    let* nguests = int_range 1 3 in
+    let* guests =
+      list_repeat nguests
+        (triple (int_bound 3) (int_range 1 3) (int_bound 100_000))
+    in
+    let* run_ms = int_range 5 40 in
+    let* kill_after = bool in
+    return { quantum_ms; guests; run_ms; kill_after })
+
+let show_params p =
+  Printf.sprintf "{q=%.1fms run=%dms kill=%b guests=[%s]}" p.quantum_ms
+    p.run_ms p.kill_after
+    (String.concat "; "
+       (List.map
+          (fun (v, pr, g) -> Printf.sprintf "(%d,%d,%d)" v pr g)
+          p.guests))
+
+let arb_params = QCheck.make ~print:show_params gen_params
+
+(* A guest body mixing cheap and heavy hypercalls, IRQ churn, IPC and
+   hostile arguments — every dispatch goes through the compiled
+   prologue/handler/exit traces, and the pauses in between exercise
+   the world-switch save/pick/restore traces. *)
+let guest_body ~variant ~gseed _genv =
+  let rng = Rng.create ~seed:gseed in
+  while true do
+    (match (variant + Rng.int rng 8) land 7 with
+     | 0 -> ignore (Hyper.hypercall (Hyper.Uart_write "c"))
+     | 1 -> ignore (Hyper.hypercall Hyper.Tlb_flush_asid)
+     | 2 -> ignore (Hyper.hypercall (Hyper.Irq_enable (32 + Rng.int rng 8)))
+     | 3 ->
+       ignore
+         (Hyper.hypercall
+            (Hyper.Vm_send
+               { dest = Rng.int rng 4; payload = [| Rng.int rng 1000 |] }))
+     | 4 -> ignore (Hyper.hypercall Hyper.Vm_recv)
+     | 5 -> ignore (Hyper.hypercall (Hyper.Sd_read { block = Rng.int rng 8 }))
+     | 6 -> ignore (Hyper.hypercall (Hyper.Irq_enable (-1)))
+     | _ ->
+       ignore
+         (Hyper.hypercall
+            (Hyper.Vtimer_config
+               { interval = Cycles.of_us (float_of_int (50 + Rng.int rng 300))
+               })));
+    ignore (Hyper.pause ())
+  done
+
+let drive ~fast p =
+  let z = Zynq.create ~observe:true () in
+  Fastpath.set_enabled z.Zynq.fast fast;
+  let kern =
+    Kernel.boot
+      ~config:
+        { Kernel.default_config with quantum = Cycles.of_ms p.quantum_ms }
+      z
+  in
+  let tr = Ktrace.create ~capacity:8192 in
+  Kernel.set_trace kern (Some tr);
+  let ids =
+    List.mapi
+      (fun i (variant, priority, gseed) ->
+         (Kernel.create_vm kern
+            ~name:(Printf.sprintf "g%d" i)
+            ~priority (guest_body ~variant ~gseed)).Pd.id)
+      p.guests
+  in
+  Kernel.run kern ~until:(Cycles.of_ms (float_of_int p.run_ms));
+  if p.kill_after then begin
+    (match ids with
+     | id :: _ -> ignore (Kernel.kill_vm kern id ~reason:"equivalence test")
+     | [] -> ());
+    Kernel.run kern ~until:(Cycles.of_ms (float_of_int (p.run_ms + 5)))
+  end;
+  (z, kern, tr)
+
+let fingerprint (z, kern, tr) =
+  let h = z.Zynq.hier in
+  let counters =
+    String.concat ","
+      (List.map
+         (fun (k, v) -> Printf.sprintf "%s=%d" k v)
+         (Obs.snapshot z.Zynq.obs).Obs.s_counters)
+  in
+  let events =
+    String.concat "\n"
+      (List.map
+         (fun e -> Format.asprintf "%a" Ktrace.pp_event e)
+         (Ktrace.events tr))
+  in
+  Printf.sprintf
+    "clock=%d hyper=%d crashes=%d alive=%d l1i=%d/%d l1d=%d/%d l2=%d/%d \
+     tlb=%d/%d obs[%s] trace[%d dropped %d]\n%s"
+    (Clock.now z.Zynq.clock)
+    (Kernel.hypercalls kern) (Kernel.crashes kern)
+    (Kernel.alive_guests kern)
+    (Cache.hits (Hierarchy.l1i h)) (Cache.misses (Hierarchy.l1i h))
+    (Cache.hits (Hierarchy.l1d h)) (Cache.misses (Hierarchy.l1d h))
+    (Cache.hits (Hierarchy.l2 h)) (Cache.misses (Hierarchy.l2 h))
+    (Tlb.hits z.Zynq.tlb) (Tlb.misses z.Zynq.tlb)
+    counters
+    (List.length (Ktrace.events tr)) (Ktrace.dropped tr)
+    events
+
+let first_diff_line a b =
+  let la = String.split_on_char '\n' a and lb = String.split_on_char '\n' b in
+  let rec go i = function
+    | x :: xs, y :: ys ->
+      if String.equal x y then go (i + 1) (xs, ys)
+      else Printf.sprintf "line %d: fast %S vs ref %S" i x y
+    | x :: _, [] -> Printf.sprintf "line %d only in fast: %S" i x
+    | [], y :: _ -> Printf.sprintf "line %d only in ref: %S" i y
+    | [], [] -> "no textual diff"
+  in
+  go 0 (la, lb)
+
+let prop_equivalent p =
+  let f = fingerprint (drive ~fast:true p) in
+  let r = fingerprint (drive ~fast:false p) in
+  if not (String.equal f r) then
+    QCheck.Test.fail_reportf "control paths diverged for %s:@ %s"
+      (show_params p) (first_diff_line f r);
+  true
+
+let test_equivalence =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:25
+       ~name:"kernel control paths: fastpath == reference (random guests)"
+       arb_params prop_equivalent)
+
+(* The property above must not pass vacuously: the fast kernel has to
+   actually compile and replay control-path trace programs. *)
+let test_control_traces_taken () =
+  let p =
+    { quantum_ms = 1.0; guests = [ (0, 1, 7); (1, 2, 13) ]; run_ms = 20;
+      kill_after = false }
+  in
+  let z, kern, _ = drive ~fast:true p in
+  let _, _, warm_replays, warm_records = Fastpath.stats z.Zynq.fast in
+  check Alcotest.bool "control-path programs compiled" true
+    (warm_records > 0);
+  check Alcotest.bool "control-path programs replayed" true
+    (warm_replays > 0);
+  check Alcotest.bool "hypercalls dispatched" true
+    (Kernel.hypercalls kern > 100)
+
+let suite =
+  ( "ctrlpath",
+    [ test_equivalence;
+      Alcotest.test_case "control traces actually taken" `Quick
+        test_control_traces_taken ] )
