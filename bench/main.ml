@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- table3 fig9  # a subset
 
    Sections: table3 fig9 report reconfig axi vfp trapvshyper asid
-   quantum chaos soak micro.
+   quantum chaos soak slo checkoverhead micro.
 
    Flags are the shared Cli_args vocabulary: --domains, --json, --obs,
    --fault-rate, --fault-seed, --check-baseline (plus --write-baseline
@@ -42,18 +42,16 @@ let soak_perf : (int * float * int * (int * int * float) list) option ref =
    same bounded soak, for the check_overhead perf record. *)
 let check_overhead : (float * float) option ref = ref None
 
-(* (key, wall seconds) per executed section, in execution order. *)
-let section_times : (string * float) list ref = ref []
+(* Per-section wall accounting: shared work (the Table III sweep) is
+   attributed to its own pseudo-section and subtracted from the
+   triggering section, so every recorded wall covers exactly the work
+   that section itself performed. The invariants (no negative own
+   walls; attributed + unattributed = elapsed) live in
+   {!Bench_sections} and are pinned by tests. *)
+let bs = Bench_sections.create ~now:Unix.gettimeofday
 
-(* The Table III sweep feeds both table3 and fig9; run it once. Its
-   wall time is accounted as its own "sweep" pseudo-section (and
-   subtracted from whichever section happened to trigger it), so every
-   section's recorded wall covers exactly the work that section itself
-   performed — a section rendering cached sweep results no longer
-   reports microseconds while another silently absorbs the shared
-   cost. *)
+(* The Table III sweep feeds both table3 and fig9; run it once. *)
 let sweep_cache : Scenario.overheads list option ref = ref None
-let sweep_wall_acc = ref 0.0
 
 let bench_config () =
   { Scenario.default_config with
@@ -68,13 +66,11 @@ let sweep () =
   | None ->
     Format.fprintf fmt
       "running the Fig 8 scenario (native + 1..4 guests)...@.";
-    let t0 = Unix.gettimeofday () in
     let s =
-      Scenario.run_table3 ~config:(bench_config ()) ?domains:!domains_opt ()
+      Bench_sections.shared bs "sweep" (fun () ->
+          Scenario.run_table3 ~config:(bench_config ()) ?domains:!domains_opt
+            ())
     in
-    let dt = Unix.gettimeofday () -. t0 in
-    sweep_wall_acc := !sweep_wall_acc +. dt;
-    section_times := ("sweep", dt) :: !section_times;
     sweep_cache := Some s;
     s
 
@@ -82,13 +78,7 @@ let config_label i = if i = 0 then "native" else Printf.sprintf "%dos" i
 
 let section key name f =
   Format.fprintf fmt "@.===== %s =====@." name;
-  let t0 = Unix.gettimeofday () in
-  let sw0 = !sweep_wall_acc in
-  f ();
-  (* Attribute any shared-sweep run triggered inside [f] to the
-     "sweep" pseudo-section, not to this section's own wall. *)
-  let own = Unix.gettimeofday () -. t0 -. (!sweep_wall_acc -. sw0) in
-  section_times := (key, own) :: !section_times;
+  Bench_sections.section bs key f;
   Format.pp_print_flush fmt ()
 
 let run_table3 () =
@@ -215,6 +205,28 @@ let run_chaos () =
   chaos_cache := Some reports;
   List.iter
     (fun r -> Format.fprintf fmt "  %a@." Chaos.pp_report r)
+    reports
+
+(* E7: open-loop tail latency (SLO plane). *)
+
+let slo_cache : (string * Slo.report) list option ref = ref None
+let slo_arrivals = ref 60
+let slo_seed = ref Slo.default_config.Slo.seed
+
+let run_slo () =
+  Format.fprintf fmt
+    "E7: open-loop tail latency — victim p99 vs aggressor load (seed %d, \
+     %d arrivals/guest)@."
+    !slo_seed !slo_arrivals;
+  let tagged =
+    Slo.bench_matrix ~seed:!slo_seed ~arrivals:!slo_arrivals
+      ~observe:!obs_mode ()
+  in
+  let reports = Slo.sweep ?domains:!domains_opt tagged in
+  slo_cache := Some reports;
+  List.iter
+    (fun (tag, r) ->
+       Format.fprintf fmt "  [%s]@.  %a" tag Slo.pp_report r)
     reports
 
 (* --- Bechamel microbenchmarks --- *)
@@ -597,7 +609,7 @@ let write_json path ~total_wall =
        add
          (Printf.sprintf "\n    {\"name\": \"%s\", \"wall_s\": %s}"
             (json_escape key) (json_float dt)))
-    (List.rev !section_times);
+    (Bench_sections.entries bs);
   add "\n  ],\n";
   add "  \"table3\": [";
   (match !sweep_cache with
@@ -708,8 +720,11 @@ let write_perf_json path ~total_wall =
        add
          (Printf.sprintf "\n    {\"section\": \"%s\", \"wall_s\": %s}"
             (json_escape key) (json_float dt)))
-    (List.rev !section_times);
-  add "\n  ]";
+    (Bench_sections.entries bs);
+  add "\n  ],";
+  add
+    (Printf.sprintf "\n  \"unattributed_wall_s\": %s"
+       (json_float (Bench_sections.unattributed bs)));
   (match !soak_perf with
    | None -> ()
    | Some (shards, wall, ops, per_shard) ->
@@ -744,10 +759,62 @@ let write_perf_json path ~total_wall =
   close_out oc;
   Format.fprintf fmt "wrote %s@." path
 
+(* --- tail-latency artifact (BENCH_slo.json) ---
+
+   One record per bench-matrix cell (process x load, chaos, churn),
+   each with per-VM service/sojourn percentiles, queue depths and PRR
+   utilisation, plus a chaos on/off comparison of the victim's tail
+   (the same seeded fault machinery as the chaos section). Written
+   only when the slo section ran. *)
+
+let write_slo_json path reports =
+  let b = Buffer.create 8192 in
+  let add = Buffer.add_string b in
+  add "{\n";
+  add "  \"schema\": \"mini-nova-slo/1\",\n";
+  add (Printf.sprintf "  \"seed\": %d,\n" !slo_seed);
+  add (Printf.sprintf "  \"arrivals_per_guest\": %d,\n" !slo_arrivals);
+  add "  \"runs\": [";
+  List.iteri
+    (fun i (tag, r) ->
+       if i > 0 then add ",";
+       add (Printf.sprintf "\n    {\"tag\": \"%s\", \"report\": " (json_escape tag));
+       Slo.report_json b r;
+       add "}")
+    reports;
+  add "\n  ]";
+  let victim (r : Slo.report) = List.find_opt (fun v -> v.Slo.vm = 0) r.Slo.vms in
+  (match
+     (List.assoc_opt "poisson/high" reports, List.assoc_opt "chaos/on" reports)
+   with
+   | Some off, Some on ->
+     (match (victim off, victim on) with
+      | Some v_off, Some v_on ->
+        add
+          (Printf.sprintf
+             ",\n  \"chaos_comparison\": {\
+              \"victim_service_p99_us_off\": %s, \
+              \"victim_service_p99_us_on\": %s, \
+              \"victim_sojourn_p99_us_off\": %s, \
+              \"victim_sojourn_p99_us_on\": %s, \
+              \"faults_injected\": %d}"
+             (json_float v_off.Slo.service_p99_us)
+             (json_float v_on.Slo.service_p99_us)
+             (json_float v_off.Slo.sojourn_p99_us)
+             (json_float v_on.Slo.sojourn_p99_us)
+             on.Slo.injected)
+      | _ -> ())
+   | _ -> ());
+  add "\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.fprintf fmt "wrote %s@." path
+
 let all_sections =
   [ "table3"; "fig9"; "report"; "reconfig"; "axi"; "vfp";
-    "trapvshyper"; "asid"; "quantum"; "chaos"; "soak"; "checkoverhead";
-    "micro" ]
+    "trapvshyper"; "asid"; "quantum"; "chaos"; "soak"; "slo";
+    "checkoverhead"; "micro" ]
 
 (* Bench-only flag: regenerate the committed baseline file. *)
 let write_baseline_spec =
@@ -775,7 +842,11 @@ let () =
       Cli_args.value_entry write_baseline_spec
         (fun f -> baseline_write := f);
       Cli_args.value_entry Cli_args.ops (fun n -> soak_ops := n);
-      Cli_args.value_entry Cli_args.seed (fun s -> soak_seed := s);
+      Cli_args.value_entry Cli_args.seed
+        (fun s ->
+           soak_seed := s;
+           slo_seed := s);
+      Cli_args.value_entry Cli_args.arrivals (fun n -> slo_arrivals := n);
       Cli_args.value_entry Cli_args.max_vms (fun n -> soak_max_vms := n);
       Cli_args.value_entry Cli_args.shards (fun n -> soak_shards := n);
       Cli_args.flag_entry Cli_args.check (fun () -> soak_check := true);
@@ -801,7 +872,6 @@ let () =
   end;
   Logs.set_reporter (Logs.format_reporter ());
   Logs.set_level (Some Logs.Error);
-  let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->
        match name with
@@ -819,8 +889,9 @@ let () =
        | "chaos" -> section "chaos" "E5: chaos (fault injection)" run_chaos
        | "soak" ->
          section "soak" "E6: invariant-checked lifecycle soak" run_soak
+       | "slo" -> section "slo" "E7: open-loop tail latency (SLO)" run_slo
        | "checkoverhead" ->
-         section "checkoverhead" "E7: invariant-plane overhead"
+         section "checkoverhead" "E6b: invariant-plane overhead"
            run_check_overhead
        | "micro" -> section "micro" "microbenchmarks" run_micro
        | other -> Format.fprintf fmt "unknown section: %s@." other)
@@ -833,8 +904,11 @@ let () =
        now (its wall time lands in the perf record like any other
        section's). *)
     if !micro_results = [] then section "micro" "microbenchmarks" run_micro;
-    let total_wall = Unix.gettimeofday () -. t0 in
+    let total_wall = Bench_sections.elapsed bs in
     write_json "BENCH_sim.json" ~total_wall;
     write_metrics_json "BENCH_metrics.json";
-    write_perf_json "BENCH_perf.json" ~total_wall
+    write_perf_json "BENCH_perf.json" ~total_wall;
+    match !slo_cache with
+    | Some reports -> write_slo_json "BENCH_slo.json" reports
+    | None -> ()
   end

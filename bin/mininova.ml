@@ -8,6 +8,7 @@
      mininova chaos     fault injection + graceful degradation
      mininova stats     observability breakdown of one run
      mininova soak      invariant-checked VM-lifecycle soak
+     mininova slo       open-loop tail-latency (SLO) run
      mininova trace     traced two-VM demo + event timeline
 
    Flags come from the shared Cli_args vocabulary (lib/harness);
@@ -353,6 +354,75 @@ let soak_cmd =
       $ soak_fault_rate $ soak_fault_seed $ soak_quantum $ replay
       $ repro_out $ shards $ domains)
 
+let slo_cmd =
+  let run verbose seed guests arrivals process interarrival victim_ia
+      quantum fault_rate fault_seed churn observe json =
+    setup_logs verbose;
+    let cfg =
+      { Slo.default_config with
+        Slo.seed; guests;
+        arrivals_per_guest = arrivals;
+        process;
+        mean_interarrival_us = interarrival;
+        victim_interarrival_us = victim_ia;
+        quantum_ms = quantum;
+        fault_rate; fault_seed;
+        churn_kills = churn;
+        observe }
+    in
+    let r = Slo.run ~config:cfg () in
+    if json then begin
+      let b = Buffer.create 4096 in
+      Slo.report_json b r;
+      Buffer.add_char b '\n';
+      print_string (Buffer.contents b)
+    end
+    else begin
+      Format.fprintf fmt "%a" Slo.pp_report r;
+      if observe then begin
+        Format.fprintf fmt "@.";
+        print_metrics r.Slo.metrics
+      end
+    end
+  in
+  let slo_seed =
+    term_of_spec { Cli_args.seed with default = Slo.default_config.Slo.seed }
+  in
+  let slo_guests =
+    term_of_spec
+      { Cli_args.guests with default = Slo.default_config.Slo.guests }
+  in
+  let slo_quantum =
+    term_of_spec
+      { Cli_args.quantum with default = Slo.default_config.Slo.quantum_ms }
+  in
+  let slo_fault_rate =
+    term_of_spec
+      { Cli_args.fault_rate with default = Slo.default_config.Slo.fault_rate }
+  in
+  let slo_fault_seed =
+    term_of_spec
+      { Cli_args.fault_seed with default = Slo.default_config.Slo.fault_seed }
+  in
+  let arrivals = term_of_spec Cli_args.arrivals in
+  let interarrival = term_of_spec Cli_args.interarrival in
+  let victim_ia = term_of_spec Cli_args.victim_interarrival in
+  let process = term_of_spec Cli_args.arrival_process in
+  let churn = term_of_spec Cli_args.churn in
+  Cmd.v
+    (Cmd.info "slo"
+       ~doc:
+         "Open-loop tail-latency run: seeded Poisson or bursty arrivals \
+          drive per-VM hardware-task requests through the event queue; \
+          reports per-VM service and sojourn p50/p99/p999, max queue \
+          depth and PRR utilisation. VM 0 is the victim; pin its rate \
+          with $(b,--victim-interarrival) while $(b,--interarrival) \
+          varies the aggressors to measure interference.")
+    Term.(
+      const run $ verbose $ slo_seed $ slo_guests $ arrivals $ process
+      $ interarrival $ victim_ia $ slo_quantum $ slo_fault_rate
+      $ slo_fault_seed $ churn $ observe $ json_flag)
+
 let trace_cmd =
   let run verbose last =
     setup_logs verbose;
@@ -414,4 +484,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ table3_cmd; fig9_cmd; report_cmd; reconfig_cmd; scenario_cmd;
-            chaos_cmd; stats_cmd; soak_cmd; trace_cmd ]))
+            chaos_cmd; stats_cmd; soak_cmd; slo_cmd; trace_cmd ]))

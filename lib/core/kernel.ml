@@ -474,7 +474,15 @@ let rec route_irqs t =
                  Stats.add t.ki.kp_pl_irq
                    (float_of_int (Clock.now t.z.Zynq.clock - t0));
                  Obs.sample t.z.Zynq.obs ~component:"pl_irq" ~key:cid
-                   ~cycles:(Clock.now t.z.Zynq.clock - t0)
+                   ~cycles:(Clock.now t.z.Zynq.clock - t0);
+                 (* Guest-visible submit→completion-vIRQ turnaround,
+                    keyed by the owning VM (SLO tail plane). *)
+                 Obs.sample t.z.Zynq.obs ~component:"virq_turnaround"
+                   ~key:cid
+                   ~cycles:
+                     (Clock.now t.z.Zynq.clock
+                      - (Prr_controller.prr t.z.Zynq.prrc prr_id)
+                          .Prr.submitted_at)
                | None -> ())
             | None -> ())
          | None -> Probe.incr t.probe "spurious_irq"

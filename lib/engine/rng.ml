@@ -54,6 +54,12 @@ let float t x =
   let v = Int64.to_float (Int64.shift_right_logical (next_i64 t) 11) in
   x *. (v /. 9007199254740992.0 (* 2^53 *))
 
+let exponential t ~mean =
+  if mean <= 0.0 then invalid_arg "Rng.exponential: mean must be positive";
+  (* Inverse-transform sampling; [float t 1.0] is in [0, 1), so the
+     argument of [log] stays in (0, 1] and the result is finite. *)
+  -.mean *. log (1.0 -. float t 1.0)
+
 let pick t arr =
   if Array.length arr = 0 then invalid_arg "Rng.pick: empty array";
   arr.(int t (Array.length arr))

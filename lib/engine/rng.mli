@@ -22,6 +22,12 @@ val bool : t -> bool
 val float : t -> float -> float
 (** [float t x] is uniform in [\[0, x)]. *)
 
+val exponential : t -> mean:float -> float
+(** An exponentially distributed sample with the given mean (inverse
+    transform of one uniform draw) — the inter-arrival law of the
+    open-loop Poisson workload. Always finite and non-negative.
+    @raise Invalid_argument if [mean <= 0]. *)
+
 val pick : t -> 'a array -> 'a
 (** Uniform choice among the elements of a non-empty array.
     @raise Invalid_argument on an empty array. *)

@@ -1,0 +1,38 @@
+type t = {
+  now : unit -> float;
+  started : float;
+  mutable entries : (string * float) list; (* reverse execution order *)
+  mutable shared_acc : float;
+}
+
+let create ~now = { now; started = now (); entries = []; shared_acc = 0.0 }
+
+let record t key dt = t.entries <- (key, dt) :: t.entries
+
+let shared t key f =
+  let t0 = t.now () in
+  let r = f () in
+  let dt = t.now () -. t0 in
+  t.shared_acc <- t.shared_acc +. dt;
+  record t key dt;
+  r
+
+let section t key f =
+  let t0 = t.now () in
+  let s0 = t.shared_acc in
+  f ();
+  let dt = t.now () -. t0 in
+  (* Shared work triggered inside [f] was already attributed to its
+     own pseudo-section; what remains is this section's own wall. The
+     floor keeps a non-monotonic host clock from producing a negative
+     own wall. *)
+  let own = Float.max 0.0 (dt -. (t.shared_acc -. s0)) in
+  record t key own
+
+let entries t = List.rev t.entries
+
+let attributed t = List.fold_left (fun a (_, dt) -> a +. dt) 0.0 t.entries
+
+let elapsed t = t.now () -. t.started
+
+let unattributed t = Float.max 0.0 (elapsed t -. attributed t)

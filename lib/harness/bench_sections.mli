@@ -1,0 +1,48 @@
+(** Per-section wall-time accounting for the bench harness.
+
+    The bench runs named sections, some of which trigger shared work
+    (the Table III sweep feeds both [table3] and [fig9]; it runs once
+    and is cached). Shared work is attributed to its own
+    pseudo-section and subtracted from the enclosing section's wall,
+    so each recorded entry covers exactly the work that section itself
+    performed.
+
+    The accounting invariants — every section's own wall is
+    non-negative, and attributed + unattributed equals the elapsed
+    wall — are structural here and pinned by unit tests against an
+    injected fake clock, which is why this lives in the library rather
+    than inline in [bench/main.ml]. *)
+
+type t
+
+val create : now:(unit -> float) -> t
+(** A tracker reading time from [now] (the bench passes
+    [Unix.gettimeofday]; tests pass a fake). The creation instant
+    starts the {!elapsed} span. *)
+
+val section : t -> string -> (unit -> unit) -> unit
+(** [section t key f] runs [f] and records [key]'s own wall: the
+    elapsed time minus any {!shared} work performed inside [f]
+    (already attributed to the shared key), floored at zero. *)
+
+val shared : t -> string -> (unit -> 'a) -> 'a
+(** [shared t key f] runs [f], records its full wall under [key] (a
+    pseudo-section such as ["sweep"]), and marks it for subtraction
+    from any enclosing {!section}. Returns [f]'s result. *)
+
+val record : t -> string -> float -> unit
+(** Append a pre-measured entry (no shared-work subtraction). *)
+
+val entries : t -> (string * float) list
+(** Recorded (key, own wall seconds) in execution order. Keys can
+    repeat; consumers must sum duplicates. *)
+
+val attributed : t -> float
+(** Sum of all recorded entries. *)
+
+val elapsed : t -> float
+(** Wall seconds since {!create}. *)
+
+val unattributed : t -> float
+(** [elapsed - attributed], floored at zero: time spent outside any
+    section (argument parsing, JSON writing, …). *)

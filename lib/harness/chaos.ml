@@ -55,29 +55,6 @@ type tally = {
   mutable ok : int;
 }
 
-(* Run one verified job; a fault surfaces as [Error _] (false), a
-   mismatch under silent corruption also counts as a failure rather
-   than crashing the guest. *)
-let run_job os rng h kind =
-  match kind with
-  | Task_kind.Qam order ->
-    let bps = Qam.bits_per_symbol (Qam.order_of_int order) in
-    let bits = Array.init (bps * 32) (fun _ -> Rng.int rng 2) in
-    (match Hw_task_api.run_qam_mod os h ~order ~bits with
-     | Ok (i, q) -> Qam.demodulate (Qam.order_of_int order) ~i ~q = bits
-     | Error _ -> false)
-  | Task_kind.Fft points ->
-    let re = Array.init points (fun i -> sin (0.1 *. float_of_int i)) in
-    let im = Array.make points 0.0 in
-    (match Hw_task_api.run_fft os h ~inverse:false ~re ~im with
-     | Ok (hr, hi) ->
-       let sr = Array.copy re and si = Array.copy im in
-       Fft.transform sr si;
-       Float.max (Fft.max_error hr sr) (Fft.max_error hi si)
-       <= 0.05 *. float_of_int points
-     | Error _ -> false)
-  | Task_kind.Fir _ -> false
-
 (* The resilient T_hw: acquire with exponential backoff, run a job,
    release. Failed acquires are counted, never fatal; the loop gives
    up after a bounded number of attempts so quarantined regions at
@@ -99,7 +76,7 @@ let chaos_guest os rng ~cfg ~tasks ~tally () =
       incr acquired;
       tally.busy_retries <- tally.busy_retries + h.Hw_task_api.retries;
       tally.attempted <- tally.attempted + 1;
-      if run_job os rng h kind then tally.ok <- tally.ok + 1;
+      if Scenario.verified_job os rng h kind then tally.ok <- tally.ok + 1;
       Hw_task_api.release os h
   done;
   Ucos.stop os

@@ -162,6 +162,50 @@ let repro_out =
     parse = (fun s -> Ok s);
     show = Fun.id }
 
+let arrivals =
+  { names = [ "arrivals" ];
+    docv = "N";
+    doc = "Open-loop SLO arrivals generated per guest.";
+    default = Slo.default_config.Slo.arrivals_per_guest;
+    parse = parse_int;
+    show = string_of_int }
+
+let interarrival =
+  { names = [ "interarrival" ];
+    docv = "US";
+    doc = "Mean inter-arrival time in microseconds (aggressor load).";
+    default = Slo.default_config.Slo.mean_interarrival_us;
+    parse = parse_float;
+    show = string_of_float }
+
+let victim_interarrival =
+  { names = [ "victim-interarrival" ];
+    docv = "US";
+    doc =
+      "Pin VM 0's mean inter-arrival time (microseconds) while the \
+       aggressors' load varies; defaults to --interarrival.";
+    default = None;
+    parse = (fun s -> Result.map Option.some (parse_float s));
+    show = (function Some v -> string_of_float v | None -> "mean") }
+
+let arrival_process =
+  { names = [ "process" ];
+    docv = "PROC";
+    doc = "Arrival process: poisson or bursty (on-off modulated).";
+    default = Slo.default_config.Slo.process;
+    parse = Slo.process_of_string;
+    show = Slo.process_name }
+
+let churn =
+  { names = [ "churn" ];
+    docv = "N";
+    doc =
+      "Kill and recreate an aggressor VM N times at deterministic \
+       simulated times spread over the arrival horizon.";
+    default = Slo.default_config.Slo.churn_kills;
+    parse = parse_int;
+    show = string_of_int }
+
 let json =
   { f_names = [ "json" ];
     f_doc = "Also emit machine-readable JSON output." }

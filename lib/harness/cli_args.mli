@@ -72,6 +72,22 @@ val replay : string option spec
 val repro_out : string spec
 (** [--repro-out FILE]: reproducer destination on violation. *)
 
+val arrivals : int spec
+(** [--arrivals]: open-loop SLO arrivals per guest. *)
+
+val interarrival : float spec
+(** [--interarrival US]: mean inter-arrival time (aggressor load). *)
+
+val victim_interarrival : float option spec
+(** [--victim-interarrival US]: pin VM 0's rate; default follows
+    [--interarrival]. *)
+
+val arrival_process : Slo.process spec
+(** [--process poisson|bursty]: the SLO arrival process. *)
+
+val churn : int spec
+(** [--churn N]: aggressor VM kill/recreate events during the SLO run. *)
+
 val json : flag
 (** [--json]: machine-readable output. *)
 

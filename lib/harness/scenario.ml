@@ -187,6 +187,30 @@ let run_job os rng h kind =
   | Task_kind.Fft _ | Task_kind.Fir _ ->
     false (* not streamed in the measurement loop *)
 
+(* The tolerant variant: a fault surfaces as [Error _] (false) and a
+   result mismatch under silent corruption also counts as a failure
+   rather than crashing the guest. The chaos and SLO guests — whose
+   whole point is surviving faults — share this one verifier. *)
+let verified_job os rng h kind =
+  match kind with
+  | Task_kind.Qam order ->
+    let bps = Qam.bits_per_symbol (Qam.order_of_int order) in
+    let bits = Array.init (bps * 32) (fun _ -> Rng.int rng 2) in
+    (match Hw_task_api.run_qam_mod os h ~order ~bits with
+     | Ok (i, q) -> Qam.demodulate (Qam.order_of_int order) ~i ~q = bits
+     | Error _ -> false)
+  | Task_kind.Fft points when points <= 1024 ->
+    let re = Array.init points (fun i -> sin (0.1 *. float_of_int i)) in
+    let im = Array.make points 0.0 in
+    (match Hw_task_api.run_fft os h ~inverse:false ~re ~im with
+     | Ok (hr, hi) ->
+       let sr = Array.copy re and si = Array.copy im in
+       Fft.transform sr si;
+       Float.max (Fft.max_error hr sr) (Fft.max_error hi si)
+       <= 0.05 *. float_of_int points
+     | Error _ -> false)
+  | Task_kind.Fft _ | Task_kind.Fir _ -> false (* not streamable *)
+
 (* T_hw: the paper's measurement task — pick a random hardware task,
    issue the request hypercall, sometimes exercise the task. *)
 let t_hw_task os rng ~cfg ~tasks ~on_request () =

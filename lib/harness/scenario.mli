@@ -53,6 +53,15 @@ val pp_overheads : Format.formatter -> overheads -> unit
 val standard_task_set : Task_kind.t list
 (** FFT-{256,512,1024,2048,4096,8192} and QAM-{4,16,64}. *)
 
+val verified_job : Ucos.t -> Rng.t -> Hw_task_api.t -> Task_kind.t -> bool
+(** Run one real DMA job through an acquired task handle and verify
+    the result against the software reference (FFT vs {!Fft.transform},
+    QAM against demodulation). Fault-tolerant: an [Error _] from the
+    job helpers or a verification mismatch returns [false] rather than
+    raising — the behaviour the chaos and SLO guests need. Kinds the
+    whole-job helpers cannot stream (FFT > 1024 points, FIR) return
+    [false]. *)
+
 val run_native : ?config:config -> unit -> overheads
 (** Baseline row of Table III. *)
 

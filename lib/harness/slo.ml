@@ -1,0 +1,546 @@
+(* Open-loop tail-latency SLO plane.
+
+   The Table III workload is closed-loop: each guest issues its next
+   hardware-task request only after the previous one finished, so
+   queueing delay — the thing that kills p99 at load — is structurally
+   invisible. Here arrivals are generated open-loop by the simulation
+   event queue from a seeded arrival process (Poisson or bursty
+   on-off), independent of service progress; a per-VM worker task
+   drains its arrival queue through the ordinary acquire → DMA job →
+   completion-vIRQ path and the harness records sojourn (arrival →
+   completion) and service (submit → completion) times in log2
+   histograms, extracted as p50/p99/p999 with {!Obs.percentile}.
+
+   VM 0 is the victim: its arrival rate can be pinned while the
+   aggressor VMs' load varies, which yields the interference matrix
+   (victim percentiles vs aggressor load). Fault injection reuses the
+   chaos plane's seeded {!Fault_plane}; VM kill/recreate churn drives
+   {!Kernel.kill_vm} between run slices at deterministic simulated
+   times. Everything is derived from the simulated clock and seeded
+   RNGs — no wall time — so a fixed seed reproduces the report bit for
+   bit, and the measurement registry lives harness-side so the
+   simulated cycle count is identical with the board's observability
+   plane on or off. *)
+
+type process = Poisson | Bursty
+
+let process_name = function Poisson -> "poisson" | Bursty -> "bursty"
+
+let process_of_string = function
+  | "poisson" -> Ok Poisson
+  | "bursty" -> Ok Bursty
+  | s -> Error (Printf.sprintf "expected poisson or bursty, got %S" s)
+
+type config = {
+  seed : int;
+  guests : int;
+  process : process;
+  arrivals_per_guest : int;
+  mean_interarrival_us : float;
+  victim_interarrival_us : float option;
+  burst_on_ms : float;
+  burst_off_ms : float;
+  quantum_ms : float;
+  fault_rate : float;
+  fault_seed : int;
+  churn_kills : int;
+  observe : bool;
+}
+
+let default_config =
+  { seed = 42;
+    guests = 3;
+    process = Poisson;
+    arrivals_per_guest = 120;
+    mean_interarrival_us = 4000.0;
+    victim_interarrival_us = None;
+    burst_on_ms = 6.0;
+    burst_off_ms = 12.0;
+    quantum_ms = 33.0;
+    fault_rate = 0.0;
+    fault_seed = 7;
+    churn_kills = 0;
+    observe = false }
+
+type vm_stats = {
+  vm : int;
+  role : string;
+  arrivals : int;
+  served : int;
+  ok : int;
+  dropped : int;
+  max_depth : int;
+  service_p50_us : float;
+  service_p99_us : float;
+  service_p999_us : float;
+  service_max_us : float;
+  sojourn_p50_us : float;
+  sojourn_p99_us : float;
+  sojourn_p999_us : float;
+  sojourn_max_us : float;
+}
+
+type prr_util = {
+  prr_id : int;
+  busy_cycles : int;
+  util : float;
+}
+
+type report = {
+  guests : int;
+  process : process;
+  mean_interarrival_us : float;
+  victim_interarrival_us : float;
+  arrivals_per_guest : int;
+  fault_rate : float;
+  churn_kills : int;
+  vms : vm_stats list;
+  max_depth : int;  (** max total backlog across all VM queues *)
+  prrs : prr_util list;
+  injected : int;
+  kills : int;
+  crashes : int;
+  sim_ms : float;
+  sim_cycles : int;
+  metrics : Obs.snapshot;
+}
+
+(* Kinds the whole-job helpers can stream (the chaos guest's set). *)
+let slo_task_set =
+  [ Task_kind.Fft 256; Task_kind.Fft 512; Task_kind.Fft 1024;
+    Task_kind.Qam 4; Task_kind.Qam 16; Task_kind.Qam 64 ]
+
+(* ------------------------------------------------------------------ *)
+(* Arrival processes.                                                 *)
+
+(* Absolute arrival times (cycles) for one VM, pregenerated from its
+   own seeded stream so they are independent of service progress and
+   of any other VM. Bursty is an on-off modulated Poisson process:
+   during ON windows arrivals come at the conditional rate
+   [mean · duty] so the long-run rate matches the plain Poisson case;
+   an arrival falling into an OFF window slides to the next ON start. *)
+let arrival_times (cfg : config) rng ~mean_us ~n =
+  match cfg.process with
+  | Poisson ->
+    let t = ref 0.0 in
+    List.init n (fun _ ->
+        t := !t +. Rng.exponential rng ~mean:mean_us;
+        Cycles.of_us !t)
+  | Bursty ->
+    let on_us = cfg.burst_on_ms *. 1000.0 in
+    let off_us = cfg.burst_off_ms *. 1000.0 in
+    let period = on_us +. off_us in
+    let mean_on = mean_us *. (on_us /. period) in
+    let t = ref 0.0 in
+    List.init n (fun _ ->
+        t := !t +. Rng.exponential rng ~mean:mean_on;
+        let ph = Float.rem !t period in
+        if ph >= on_us then t := !t +. (period -. ph);
+        Cycles.of_us !t)
+
+(* ------------------------------------------------------------------ *)
+(* Per-VM state shared between the arrival events, the worker task
+   and the churn driver. It survives a kill: the recreated VM's worker
+   keeps draining the same queue, so requests spanning the outage pay
+   for it in their sojourn time — exactly the churn tail story. *)
+
+type vm_state = {
+  g : int;
+  queue : Cycles.t Queue.t;  (* arrival timestamps awaiting service *)
+  mutable arrived : int;
+  mutable served : int;
+  mutable ok : int;
+  mutable dropped : int;
+  mutable depth : int;
+  mutable max_depth : int;
+  mutable inflight : bool;   (* worker popped but not yet recorded *)
+  mutable finished : bool;   (* full budget served *)
+  service : Obs.histogram;   (* submit → completion, cycles *)
+  sojourn : Obs.histogram;   (* arrival → completion, cycles *)
+}
+
+exception Drained
+
+let worker os rng ~st ~clock ~tasks ~budget ~global_depth () =
+  let task_arr = Array.of_list tasks in
+  (try
+     while st.served < budget do
+       match Queue.take_opt st.queue with
+       | None ->
+         if st.arrived >= budget then raise Drained
+         else Ucos.delay os 1 (* open-loop: wait for the next arrival *)
+       | Some t_arr ->
+         st.depth <- st.depth - 1;
+         decr global_depth;
+         st.inflight <- true;
+         let task_id, kind = Rng.pick rng task_arr in
+         (match
+            Hw_task_api.acquire os ~task:task_id ~want_irq:true
+              ~backoff:true ~max_tries:40 ()
+          with
+          | Error _ ->
+            st.served <- st.served + 1;
+            st.dropped <- st.dropped + 1
+          | Ok h ->
+            let t_pick = Clock.now clock in
+            let ok = Scenario.verified_job os rng h kind in
+            let t_done = Clock.now clock in
+            st.served <- st.served + 1;
+            if ok then st.ok <- st.ok + 1;
+            Obs.observe st.service (t_done - t_pick);
+            Obs.observe st.sojourn (t_done - t_arr);
+            Hw_task_api.release os h);
+         st.inflight <- false
+     done
+   with Drained -> ());
+  st.finished <- true;
+  Ucos.stop os
+
+let run ?(config = default_config) () =
+  let cfg = config in
+  if cfg.guests < 1 then invalid_arg "Slo.run: need at least one guest";
+  if cfg.arrivals_per_guest < 1 then
+    invalid_arg "Slo.run: need at least one arrival";
+  let z =
+    Zynq.create ~fault_seed:cfg.fault_seed ~fault_rate:cfg.fault_rate
+      ~observe:cfg.observe ()
+  in
+  let kcfg =
+    { Kernel.quantum = Cycles.of_ms cfg.quantum_ms;
+      vfp_policy = `Lazy;
+      tlb_policy = `Asid;
+      kernel_tick = Some (Cycles.of_ms 1.0) }
+  in
+  let kern = Kernel.boot ~config:kcfg z in
+  let tasks =
+    List.map
+      (fun kind -> (Kernel.register_hw_task kern kind, kind))
+      slo_task_set
+  in
+  (* Measurements live in a harness-owned, always-on registry so the
+     report exists with the board's plane off — and the simulated
+     cycles stay identical either way, since nothing here advances the
+     clock. *)
+  let meas = Obs.create () in
+  let budget = cfg.arrivals_per_guest in
+  let victim_ia =
+    Option.value cfg.victim_interarrival_us ~default:cfg.mean_interarrival_us
+  in
+  let global_depth = ref 0 in
+  let global_max_depth = ref 0 in
+  let states =
+    Array.init cfg.guests (fun g ->
+        { g;
+          queue = Queue.create ();
+          arrived = 0; served = 0; ok = 0; dropped = 0;
+          depth = 0; max_depth = 0;
+          inflight = false; finished = false;
+          service = Obs.histogram meas (Printf.sprintf "svc%d" g);
+          sojourn = Obs.histogram meas (Printf.sprintf "soj%d" g) })
+  in
+  Array.iteri
+    (fun g st ->
+       let mean_us = if g = 0 then victim_ia else cfg.mean_interarrival_us in
+       let arng = Rng.create ~seed:(cfg.seed + (9173 * g) + 1) in
+       List.iter
+         (fun at ->
+            ignore
+              (Event_queue.schedule_at z.Zynq.queue at (fun () ->
+                   st.arrived <- st.arrived + 1;
+                   Queue.push (Event_queue.now z.Zynq.queue) st.queue;
+                   st.depth <- st.depth + 1;
+                   if st.depth > st.max_depth then st.max_depth <- st.depth;
+                   incr global_depth;
+                   if !global_depth > !global_max_depth then
+                     global_max_depth := !global_depth)))
+         (arrival_times cfg arng ~mean_us ~n:budget))
+    states;
+  let pd_ids = Array.make cfg.guests (-1) in
+  let spawn_vm g incarnation =
+    let st = states.(g) in
+    let wrng =
+      Rng.create ~seed:(cfg.seed + (7919 * (g + 1)) + (131 * incarnation))
+    in
+    let name =
+      if incarnation = 0 then Printf.sprintf "slo%d" g
+      else Printf.sprintf "slo%d.%d" g incarnation
+    in
+    let pd =
+      Kernel.create_vm kern ~name (fun genv ->
+          let port = Port.paravirt genv in
+          let os = Ucos.create port in
+          ignore
+            (Ucos.spawn os ~name:"slo_worker" ~prio:8
+               (worker os (Rng.split wrng) ~st ~clock:z.Zynq.clock ~tasks
+                  ~budget ~global_depth));
+          Ucos.run os)
+    in
+    pd_ids.(g) <- pd.Pd.id
+  in
+  for g = 0 to cfg.guests - 1 do
+    spawn_vm g 0
+  done;
+  let horizon_us =
+    float_of_int budget *. Float.max cfg.mean_interarrival_us victim_ia
+  in
+  let cap = Cycles.of_us (horizon_us *. 8.0) + Cycles.of_ms 2000.0 in
+  let kills_done = ref 0 in
+  let kill_times =
+    (* Deterministic simulated times rotating over the aggressor VMs
+       (never the victim), spread over the AGGRESSOR arrival horizon —
+       a pinned slow victim must not push the kills past the point
+       where every aggressor has already drained and stopped. *)
+    if cfg.churn_kills <= 0 || cfg.guests < 2 then []
+    else
+      let aggressor_horizon_us =
+        float_of_int budget *. cfg.mean_interarrival_us
+      in
+      List.init cfg.churn_kills (fun k ->
+          let frac = float_of_int (k + 1) /. float_of_int (cfg.churn_kills + 1) in
+          ( Cycles.of_us (aggressor_horizon_us *. frac),
+            1 + (k mod (cfg.guests - 1)) ))
+  in
+  (match kill_times with
+   | [] -> Kernel.run kern ~until:cap
+   | kills ->
+     (* Kill/recreate must happen between run slices, so the driver
+        advances in 1 ms slices and applies due kills at the
+        boundaries. *)
+     let pending = ref kills in
+     let incarnations = Array.make cfg.guests 0 in
+     let slice = Cycles.of_ms 1.0 in
+     let all_finished () =
+       Array.for_all (fun st -> st.finished) states
+     in
+     let stuck = ref false in
+     while (not (all_finished ())) && (not !stuck)
+           && Clock.now z.Zynq.clock < cap do
+       (match !pending with
+        | (at, g) :: rest when Clock.now z.Zynq.clock >= at ->
+          pending := rest;
+          let st = states.(g) in
+          if (not st.finished) && Kernel.kill_vm kern pd_ids.(g) ~reason:"slo churn"
+          then begin
+            incr kills_done;
+            if st.inflight then begin
+              (* The request the worker held dies with the VM. *)
+              st.inflight <- false;
+              st.served <- st.served + 1;
+              st.dropped <- st.dropped + 1
+            end;
+            incarnations.(g) <- incarnations.(g) + 1;
+            spawn_vm g incarnations.(g)
+          end
+        | _ -> ());
+       let before = Clock.now z.Zynq.clock in
+       Kernel.run_for kern slice;
+       if Clock.now z.Zynq.clock = before && Kernel.alive_guests kern = 0
+       then stuck := true (* nothing can ever run again *)
+     done);
+  let sim_cycles = Clock.now z.Zynq.clock in
+  let msnap = Obs.snapshot meas in
+  let hist name =
+    List.find_opt (fun (d : Obs.hist_data) -> d.Obs.h_name = name)
+      msnap.Obs.s_hists
+  in
+  let pct name q =
+    match hist name with
+    | Some d ->
+      (match Obs.percentile d q with
+       | Some c -> Cycles.to_us (int_of_float c)
+       | None -> 0.0)
+    | None -> 0.0
+  in
+  let hmax name =
+    match hist name with
+    | Some { Obs.h_max = Some m; _ } -> Cycles.to_us m
+    | Some { Obs.h_max = None; _ } | None -> 0.0
+  in
+  let vms =
+    List.init cfg.guests (fun g ->
+        let st = states.(g) in
+        let svc = Printf.sprintf "svc%d" g in
+        let soj = Printf.sprintf "soj%d" g in
+        { vm = g;
+          role = (if g = 0 then "victim" else "aggressor");
+          arrivals = st.arrived;
+          served = st.served;
+          ok = st.ok;
+          dropped = st.dropped;
+          max_depth = st.max_depth;
+          service_p50_us = pct svc 0.5;
+          service_p99_us = pct svc 0.99;
+          service_p999_us = pct svc 0.999;
+          service_max_us = hmax svc;
+          sojourn_p50_us = pct soj 0.5;
+          sojourn_p99_us = pct soj 0.99;
+          sojourn_p999_us = pct soj 0.999;
+          sojourn_max_us = hmax soj })
+  in
+  let prrs =
+    List.init (Prr_controller.prr_count z.Zynq.prrc) (fun i ->
+        let p = Prr_controller.prr z.Zynq.prrc i in
+        { prr_id = i;
+          busy_cycles = p.Prr.busy_cycles;
+          util =
+            (if sim_cycles = 0 then 0.0
+             else float_of_int p.Prr.busy_cycles /. float_of_int sim_cycles) })
+  in
+  { guests = cfg.guests;
+    process = cfg.process;
+    mean_interarrival_us = cfg.mean_interarrival_us;
+    victim_interarrival_us = victim_ia;
+    arrivals_per_guest = budget;
+    fault_rate = cfg.fault_rate;
+    churn_kills = cfg.churn_kills;
+    vms;
+    max_depth = !global_max_depth;
+    prrs;
+    injected = Fault_plane.total_injected z.Zynq.faults;
+    kills = !kills_done;
+    crashes = Kernel.crashes kern;
+    sim_ms = Cycles.to_ms sim_cycles;
+    sim_cycles;
+    metrics = Obs.snapshot z.Zynq.obs }
+
+(* ------------------------------------------------------------------ *)
+(* The bench matrix: Poisson + bursty at two load levels, the chaos
+   on/off pair, churn, and the victim-alone baseline. The victim's
+   rate is pinned in every cell, so reading its row across solo → low
+   → high is the interference matrix. *)
+
+type tagged = { tag : string; t_config : config }
+
+let bench_matrix ?(seed = default_config.seed)
+    ?(arrivals = default_config.arrivals_per_guest) ?(observe = false) () =
+  let base =
+    { default_config with
+      seed;
+      arrivals_per_guest = arrivals;
+      observe;
+      victim_interarrival_us = Some 8000.0 }
+  in
+  let low = 8000.0 and high = 2500.0 in
+  [ { tag = "victim/solo"; t_config = { base with guests = 1 } };
+    { tag = "poisson/low";
+      t_config = { base with mean_interarrival_us = low } };
+    { tag = "poisson/high";
+      t_config = { base with mean_interarrival_us = high } };
+    { tag = "bursty/low";
+      t_config = { base with process = Bursty; mean_interarrival_us = low } };
+    { tag = "bursty/high";
+      t_config = { base with process = Bursty; mean_interarrival_us = high } };
+    { tag = "chaos/on";
+      t_config = { base with mean_interarrival_us = high; fault_rate = 0.1 } };
+    { tag = "churn";
+      t_config = { base with mean_interarrival_us = high; churn_kills = 2 } } ]
+
+let sweep ?domains tagged =
+  Parallel_sweep.run ?domains
+    (List.map (fun t -> fun () -> (t.tag, run ~config:t.t_config ())) tagged)
+
+(* ------------------------------------------------------------------ *)
+(* Rendering.                                                         *)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%s ia=%.0fus (victim %.0fus) guests=%d arrivals=%d fault=%.2f \
+     churn=%d kills=%d inj=%d crash=%d depth<=%d sim=%.0fms@."
+    (process_name r.process) r.mean_interarrival_us r.victim_interarrival_us
+    r.guests r.arrivals_per_guest r.fault_rate r.churn_kills r.kills
+    r.injected r.crashes r.max_depth r.sim_ms;
+  List.iter
+    (fun v ->
+       Format.fprintf ppf
+         "  vm%d %-9s served %d/%d ok %d drop %d depth<=%d  service \
+          p50/p99/p999 %.0f/%.0f/%.0f us (max %.0f)  sojourn p99 %.0f us@."
+         v.vm v.role v.served v.arrivals v.ok v.dropped v.max_depth
+         v.service_p50_us v.service_p99_us v.service_p999_us v.service_max_us
+         v.sojourn_p99_us)
+    r.vms;
+  List.iter
+    (fun p ->
+       Format.fprintf ppf "  prr%d util %.1f%%@." p.prr_id (100.0 *. p.util))
+    r.prrs
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+(* One report as a JSON object. [metrics] controls whether the board
+   observability snapshot (and the kernel's per-VM virq_turnaround
+   percentiles derived from it) is embedded. *)
+let report_json ?(metrics = true) b r =
+  let add = Buffer.add_string b in
+  add
+    (Printf.sprintf
+       "{\"process\": \"%s\", \"guests\": %d, \
+        \"mean_interarrival_us\": %s, \"victim_interarrival_us\": %s, \
+        \"arrivals_per_guest\": %d, \"fault_rate\": %s, \
+        \"churn_kills\": %d, \"kills\": %d, \"injected\": %d, \
+        \"crashes\": %d, \"max_queue_depth\": %d, \"sim_ms\": %s, \
+        \"sim_cycles\": %d, \"vms\": ["
+       (process_name r.process) r.guests
+       (json_float r.mean_interarrival_us)
+       (json_float r.victim_interarrival_us)
+       r.arrivals_per_guest
+       (json_float r.fault_rate)
+       r.churn_kills r.kills r.injected r.crashes r.max_depth
+       (json_float r.sim_ms) r.sim_cycles);
+  List.iteri
+    (fun i v ->
+       if i > 0 then add ", ";
+       add
+         (Printf.sprintf
+            "{\"vm\": %d, \"role\": \"%s\", \"arrivals\": %d, \
+             \"served\": %d, \"ok\": %d, \"dropped\": %d, \
+             \"max_queue_depth\": %d, \"service_p50_us\": %s, \
+             \"service_p99_us\": %s, \"service_p999_us\": %s, \
+             \"service_max_us\": %s, \"sojourn_p50_us\": %s, \
+             \"sojourn_p99_us\": %s, \"sojourn_p999_us\": %s, \
+             \"sojourn_max_us\": %s}"
+            v.vm v.role v.arrivals v.served v.ok v.dropped v.max_depth
+            (json_float v.service_p50_us) (json_float v.service_p99_us)
+            (json_float v.service_p999_us) (json_float v.service_max_us)
+            (json_float v.sojourn_p50_us) (json_float v.sojourn_p99_us)
+            (json_float v.sojourn_p999_us) (json_float v.sojourn_max_us)))
+    r.vms;
+  add "], \"prr_utilisation\": [";
+  List.iteri
+    (fun i p ->
+       if i > 0 then add ", ";
+       add
+         (Printf.sprintf
+            "{\"prr\": %d, \"busy_cycles\": %d, \"util\": %s}"
+            p.prr_id p.busy_cycles (json_float p.util)))
+    r.prrs;
+  add "]";
+  if metrics && r.metrics.Obs.s_enabled then begin
+    (* Per-VM submit→completion-vIRQ turnaround measured kernel-side,
+       keyed by PD id (stable while the VM lives; churn-recreated VMs
+       get fresh ids and therefore fresh rows). *)
+    add ", \"virq_turnaround\": [";
+    let cells =
+      List.filter
+        (fun (c : Obs.cell) -> c.Obs.c_component = "virq_turnaround")
+        r.metrics.Obs.s_cells
+    in
+    List.iteri
+      (fun i (c : Obs.cell) ->
+         if i > 0 then add ", ";
+         let p q =
+           match Obs.cell_percentile c q with
+           | Some cyc -> json_float (Cycles.to_us (int_of_float cyc))
+           | None -> "null"
+         in
+         add
+           (Printf.sprintf
+              "{\"pd\": %d, \"calls\": %d, \"p50_us\": %s, \"p99_us\": %s, \
+               \"p999_us\": %s, \"max_us\": %s}"
+              c.Obs.c_key c.Obs.c_calls (p 0.5) (p 0.99) (p 0.999)
+              (json_float (Cycles.to_us c.Obs.c_max_cycles))))
+      cells;
+    add "], \"metrics\": ";
+    Obs.snapshot_to_json b r.metrics
+  end;
+  add "}"

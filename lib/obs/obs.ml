@@ -204,8 +204,8 @@ type hist_data = {
   h_name : string;
   h_count : int;
   h_total : int;
-  h_min : int;
-  h_max : int;
+  h_min : int option;
+  h_max : int option;
   h_buckets : (int * int) list;
 }
 
@@ -256,10 +256,16 @@ let snapshot t =
         (fun a b -> String.compare a.h_name b.h_name)
         (Hashtbl.fold
            (fun k h acc ->
-              if h.count = 0 then acc
+              (* A registered-but-never-observed histogram is dropped
+                 from a disabled registry (the [empty_snapshot]
+                 invariant) but kept — with [None] min/max, never the
+                 max_int/min_int fill sentinels — when the registry is
+                 live, so JSON consumers see it with a zero count. *)
+              if h.count = 0 && not !(t.on) then acc
               else
                 { h_name = k; h_count = h.count; h_total = h.total;
-                  h_min = h.min_v; h_max = h.max_v;
+                  h_min = (if h.count = 0 then None else Some h.min_v);
+                  h_max = (if h.count = 0 then None else Some h.max_v);
                   h_buckets = nonzero_buckets h.buckets }
                 :: acc)
            t.hists []);
@@ -285,6 +291,71 @@ let snapshot t =
 let empty_snapshot =
   { s_enabled = false; s_counters = []; s_gauges = []; s_hists = [];
     s_cells = []; s_open_spans = 0 }
+
+(* --- percentiles --- *)
+
+(* Value bounds of bucket [i] as floats: bucket 0 is (-inf, 0], bucket
+   i is [2^(i-1), 2^i), the last bucket absorbs the tail. *)
+let bucket_lo i = if i = 0 then 0.0 else ldexp 1.0 (i - 1)
+let bucket_hi i = if i = 0 then 0.0 else ldexp 1.0 i
+
+let percentile_of_buckets ?min_v ?max_v ~count ~buckets q =
+  if count <= 0 then None
+  else begin
+    (* Nearest-rank target, so the bucket we land in is exactly the
+       bucket holding the rank-th smallest observation — which bounds
+       the interpolation error by that bucket's width. *)
+    let rank =
+      let r = int_of_float (Float.ceil (q *. float_of_int count)) in
+      if r < 1 then 1 else if r > count then count else r
+    in
+    let rec find cum = function
+      | [] -> None (* buckets inconsistent with count *)
+      | (i, n) :: rest ->
+        if rank > cum + n then find (cum + n) rest
+        else begin
+          let lo =
+            if i = 0 then
+              (match min_v with Some m when m < 0 -> float_of_int m | _ -> 0.0)
+            else
+              (match min_v with
+               | Some m -> Float.max (bucket_lo i) (float_of_int m)
+               | None -> bucket_lo i)
+          in
+          let hi =
+            let cap =
+              match max_v with
+              | Some m -> Float.min (bucket_hi i) (float_of_int m)
+              | None -> bucket_hi i
+            in
+            let cap =
+              (* The last bucket has no upper power-of-two bound; the
+                 recorded max, when known, is the only honest cap. *)
+              if i = log2_buckets - 1 then
+                match max_v with
+                | Some m -> float_of_int m
+                | None -> bucket_hi i
+              else cap
+            in
+            Float.max cap lo
+          in
+          let frac =
+            (float_of_int (rank - cum) -. 0.5) /. float_of_int n
+          in
+          Some (lo +. ((hi -. lo) *. frac))
+        end
+    in
+    find 0 buckets
+  end
+
+let percentile d q =
+  percentile_of_buckets ?min_v:d.h_min ?max_v:d.h_max ~count:d.h_count
+    ~buckets:d.h_buckets q
+
+let cell_percentile c q =
+  percentile_of_buckets
+    ?max_v:(if c.c_calls > 0 then Some c.c_max_cycles else None)
+    ~count:c.c_calls ~buckets:c.c_buckets q
 
 (* --- rendering --- *)
 
@@ -376,9 +447,12 @@ let snapshot_to_json b s =
        Buffer.add_string b
          (Printf.sprintf "\", \"count\": %d, \"total\": %d" h.h_count
             h.h_total);
-       if h.h_count > 0 then
-         Buffer.add_string b
-           (Printf.sprintf ", \"min\": %d, \"max\": %d" h.h_min h.h_max);
+       let bound k = function
+         | Some v -> Buffer.add_string b (Printf.sprintf ", \"%s\": %d" k v)
+         | None -> Buffer.add_string b (Printf.sprintf ", \"%s\": null" k)
+       in
+       bound "min" h.h_min;
+       bound "max" h.h_max;
        Buffer.add_string b ", \"buckets\": ";
        add_buckets b h.h_buckets;
        Buffer.add_char b '}')

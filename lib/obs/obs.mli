@@ -131,8 +131,9 @@ type hist_data = {
   h_name : string;
   h_count : int;
   h_total : int;
-  h_min : int;  (** meaningless when [h_count = 0] *)
-  h_max : int;
+  h_min : int option;  (** [None] iff [h_count = 0] — the internal
+                           max_int/min_int fill sentinels never leak *)
+  h_max : int option;
   h_buckets : (int * int) list;  (** nonzero (bucket index, count) *)
 }
 
@@ -158,10 +159,38 @@ type snapshot = {
 val snapshot : t -> snapshot
 (** Zero-valued instruments are omitted (interning a name records
     nothing), so snapshots stay compact and a disabled registry's
-    snapshot is structurally {!empty_snapshot}. *)
+    snapshot is structurally {!empty_snapshot}. Exception: on an
+    {e enabled} registry a registered-but-never-observed histogram is
+    kept, with a zero count and [None] min/max, so report consumers
+    can see it exists. *)
 
 val empty_snapshot : snapshot
 (** What [snapshot] returns for a never-enabled registry. *)
+
+(** {2 Percentiles}
+
+    Tail extraction from the fixed log2 buckets: pick the bucket
+    holding the nearest-rank observation and interpolate linearly
+    inside it, clamped by the recorded min/max when known. The
+    estimate therefore lands in the same bucket as the exact
+    percentile of the raw observations, so the error is bounded by
+    one bucket width. *)
+
+val percentile_of_buckets :
+  ?min_v:int -> ?max_v:int -> count:int -> buckets:(int * int) list ->
+  float -> float option
+(** [percentile_of_buckets ~count ~buckets q] for [q] in [\[0, 1\]]
+    (clamped). [buckets] is the nonzero [(bucket index, count)] list
+    in ascending index order, as stored in snapshots. [None] when
+    [count <= 0]. *)
+
+val percentile : hist_data -> float -> float option
+(** [percentile d 0.99] is the interpolated p99 of a snapshot
+    histogram; [None] on an empty histogram. *)
+
+val cell_percentile : cell -> float -> float option
+(** Percentile of a cell's span-duration histogram (cycles), capped
+    by its recorded max. [None] when the cell has no calls. *)
 
 val pp_breakdown :
   ?key_label:(component:string -> int -> string) ->

@@ -23,6 +23,8 @@ type t = {
   mutable irq_index : int option;
   mutable busy_since : Cycles.t;
   mutable job_gen : int;
+  mutable submitted_at : Cycles.t;
+  mutable busy_cycles : int;
 }
 
 let make ~id ~capacity =
@@ -34,7 +36,9 @@ let make ~id ~capacity =
     loaded = None;
     irq_index = None;
     busy_since = 0;
-    job_gen = 0 }
+    job_gen = 0;
+    submitted_at = 0;
+    busy_cycles = 0 }
 
 let check_reg i =
   if i < 0 || i >= Reg.count then invalid_arg "Prr: register index out of range"

@@ -49,6 +49,12 @@ type t = {
   mutable job_gen : int;                (** job generation; a forced reset
                                             bumps it so a stale completion
                                             event is ignored *)
+  mutable submitted_at : Cycles.t;      (** when the last CTRL.start was
+                                            decoded (refused or not) — the
+                                            submit end of the SLO plane's
+                                            submit→completion-vIRQ span *)
+  mutable busy_cycles : int;            (** total cycles spent [Busy]
+                                            (utilisation numerator) *)
 }
 
 val make : id:int -> capacity:int -> t

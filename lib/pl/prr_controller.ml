@@ -72,6 +72,10 @@ let start_job t prr =
     () (* start while not ready: hardware ignores it *)
   | (Prr.Empty | Prr.Ready), None -> ()
   | (Prr.Empty | Prr.Ready), Some bit ->
+    (* The submit end of the guest-visible submit→completion-vIRQ
+       span: every outcome below (refusal included) raises the PRR's
+       interrupt, and the kernel samples the turnaround at injection. *)
+    prr.Prr.submitted_at <- Event_queue.now t.queue;
     let reg i = Int32.to_int (Prr.read_reg prr i) in
     (match Hw_mmu.window prr.Prr.hw_mmu with
      | None -> Prr.set_status_bit prr 2 true
@@ -142,6 +146,7 @@ let start_job t prr =
                   then begin
                     (* AXI beat error: no data written. *)
                     prr.Prr.state <- Prr.Ready;
+                    prr.Prr.busy_cycles <- prr.Prr.busy_cycles + latency;
                     Prr.set_status_bit prr 0 false;
                     Prr.set_status_bit prr 4 true;
                     t.jobs_faulted <- t.jobs_faulted + 1;
@@ -157,6 +162,7 @@ let start_job t prr =
                   then begin
                     Ip_core.run t.mem job;
                     prr.Prr.state <- Prr.Ready;
+                    prr.Prr.busy_cycles <- prr.Prr.busy_cycles + latency;
                     Prr.set_status_bit prr 0 false;
                     Prr.set_status_bit prr 1 true;
                     t.jobs_completed <- t.jobs_completed + 1;
@@ -175,6 +181,8 @@ let force_reset t ~prr_id =
        invalidated by the generation bump. The loaded configuration
        survives a core reset. *)
     p.Prr.job_gen <- p.Prr.job_gen + 1;
+    p.Prr.busy_cycles <-
+      p.Prr.busy_cycles + (Event_queue.now t.queue - p.Prr.busy_since);
     p.Prr.state <-
       (match p.Prr.loaded with Some _ -> Prr.Ready | None -> Prr.Empty);
     Prr.set_status_bit p 0 false;

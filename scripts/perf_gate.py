@@ -26,7 +26,14 @@ def load(path):
 
 
 def section_walls(record):
-    return {s["section"]: s["wall_s"] for s in record.get("sections", [])}
+    # A section key can appear more than once (e.g. "micro" re-run for
+    # --json after an explicit subset, or the shared "sweep"
+    # pseudo-section). Sum duplicates: a dict comprehension would keep
+    # only the last occurrence and silently under-count the reference.
+    walls = {}
+    for s in record.get("sections", []):
+        walls[s["section"]] = walls.get(s["section"], 0.0) + s["wall_s"]
+    return walls
 
 
 def main():

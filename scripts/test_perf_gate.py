@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Unit tests for scripts/perf_gate.py (run: python3 -m unittest
+discover scripts, or python3 scripts/test_perf_gate.py)."""
+
+import json
+import os
+import sys
+import tempfile
+import unittest
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+
+import perf_gate
+
+
+def record(sections, domains=4):
+    return {
+        "schema": "mini-nova-perf/1",
+        "domains": domains,
+        "total_wall_s": sum(w for _, w in sections),
+        "sections": [{"section": k, "wall_s": w} for k, w in sections],
+    }
+
+
+def run_gate(ref, cur, extra=None):
+    """Invoke perf_gate.main() on two in-memory records; returns its
+    exit status."""
+    with tempfile.TemporaryDirectory() as d:
+        ref_path = os.path.join(d, "ref.json")
+        cur_path = os.path.join(d, "cur.json")
+        with open(ref_path, "w") as f:
+            json.dump(ref, f)
+        with open(cur_path, "w") as f:
+            json.dump(cur, f)
+        argv = sys.argv
+        sys.argv = ["perf_gate.py", ref_path, cur_path] + (extra or [])
+        try:
+            return perf_gate.main()
+        finally:
+            sys.argv = argv
+
+
+class SectionWalls(unittest.TestCase):
+    def test_duplicate_keys_are_summed(self):
+        # The old dict comprehension kept only the last "micro" entry
+        # (0.2), under-counting the record by 1.0 s.
+        walls = perf_gate.section_walls(
+            record([("micro", 1.0), ("table3", 3.0), ("micro", 0.2)]))
+        self.assertAlmostEqual(walls["micro"], 1.2)
+        self.assertAlmostEqual(walls["table3"], 3.0)
+
+    def test_unique_keys_pass_through(self):
+        walls = perf_gate.section_walls(
+            record([("table3", 1.5), ("chaos", 2.5)]))
+        self.assertEqual(walls, {"table3": 1.5, "chaos": 2.5})
+
+    def test_empty_record(self):
+        self.assertEqual(perf_gate.section_walls({}), {})
+
+
+class Gate(unittest.TestCase):
+    def test_no_regression_passes(self):
+        self.assertEqual(
+            run_gate(record([("table3", 1.0)]), record([("table3", 1.01)])),
+            0)
+
+    def test_hard_regression_fails_same_domains(self):
+        self.assertEqual(
+            run_gate(record([("table3", 1.0)]), record([("table3", 1.5)])),
+            1)
+
+    def test_regression_with_different_domains_is_soft(self):
+        self.assertEqual(
+            run_gate(record([("table3", 1.0)]),
+                     record([("table3", 1.5)], domains=2)),
+            0)
+
+    def test_duplicates_summed_before_comparison(self):
+        # Reference ran micro twice (0.5 + 0.5); current ran it once
+        # for 1.0. Correct accounting sees no regression; last-wins
+        # would compare 1.0 against 0.5 and hard-fail.
+        self.assertEqual(
+            run_gate(record([("micro", 0.5), ("micro", 0.5)]),
+                     record([("micro", 1.0)])),
+            0)
+
+    def test_disjoint_sections_nothing_to_compare(self):
+        self.assertEqual(
+            run_gate(record([("table3", 1.0)]), record([("chaos", 2.0)])),
+            0)
+
+    def test_zero_wall_sections_do_not_crash(self):
+        # A 0-second reference section must not divide by zero, and a
+        # zero common total must not fail the gate.
+        self.assertEqual(
+            run_gate(record([("report", 0.0)]), record([("report", 0.0)])),
+            0)
+
+    def test_new_section_in_current_only_is_ignored(self):
+        # CI adds new sections (e.g. "slo") before the committed
+        # reference has them: the gate compares common sections only.
+        self.assertEqual(
+            run_gate(record([("table3", 1.0)]),
+                     record([("table3", 1.0), ("slo", 9.0)])),
+            0)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -20,5 +20,6 @@ let () =
       Test_edge.suite;
       Test_fastpath.suite;
       Test_obs.suite;
+      Test_slo.suite;
       Test_check.suite;
       Test_ctrlpath.suite ]

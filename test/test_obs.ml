@@ -55,8 +55,8 @@ let test_histogram_invariants () =
   | [ d ] ->
     check ci "count" (List.length values) d.Obs.h_count;
     check ci "total" (List.fold_left ( + ) 0 values) d.Obs.h_total;
-    check ci "min" 0 d.Obs.h_min;
-    check ci "max" 123_456_789 d.Obs.h_max;
+    check Alcotest.(option int) "min" (Some 0) d.Obs.h_min;
+    check Alcotest.(option int) "max" (Some 123_456_789) d.Obs.h_max;
     check ci "bucket counts sum to count" d.Obs.h_count
       (List.fold_left (fun a (_, n) -> a + n) 0 d.Obs.h_buckets)
   | _ -> Alcotest.fail "expected exactly one histogram"
@@ -105,6 +105,38 @@ let test_disabled_is_inert () =
   check ci "counter stays zero" 0 (Obs.counter_value c);
   check cb "snapshot is the empty snapshot" true
     (Obs.snapshot t = Obs.empty_snapshot)
+
+(* Regression: a registered-but-never-observed histogram must not leak
+   the internal max_int/min_int fill sentinels into snapshots or JSON —
+   it appears (on an enabled registry) with a zero count and null
+   min/max. *)
+let test_empty_histogram_emission () =
+  let t = Obs.create () in
+  ignore (Obs.histogram t "never_observed");
+  (match (Obs.snapshot t).Obs.s_hists with
+   | [ d ] ->
+     check ci "count is zero" 0 d.Obs.h_count;
+     check Alcotest.(option int) "min is None" None d.Obs.h_min;
+     check Alcotest.(option int) "max is None" None d.Obs.h_max;
+     check cb "no buckets" true (d.Obs.h_buckets = [])
+   | _ -> Alcotest.fail "empty histogram missing from enabled snapshot");
+  let b = Buffer.create 256 in
+  Obs.snapshot_to_json b (Obs.snapshot t);
+  let json = Buffer.contents b in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  check cb "JSON has null min/max" true
+    (contains "\"min\": null" json && contains "\"max\": null" json);
+  check cb "no sentinel leaks" true
+    (not (contains (string_of_int max_int) json));
+  (* The empty_snapshot invariant for disabled registries is untouched. *)
+  let d = Obs.disabled () in
+  ignore (Obs.histogram d "ghost");
+  check cb "disabled snapshot stays empty" true
+    (Obs.snapshot d = Obs.empty_snapshot)
 
 (* --- whole-system invariants under chaos --- *)
 
@@ -228,6 +260,8 @@ let suite =
         test_histogram_invariants;
       Alcotest.test_case "spans and meters" `Quick test_spans_and_meters;
       Alcotest.test_case "disabled is inert" `Quick test_disabled_is_inert;
+      Alcotest.test_case "empty histogram emission" `Quick
+        test_empty_histogram_emission;
       Alcotest.test_case "chaos metrics invariants" `Quick
         test_chaos_metrics_invariants;
       Alcotest.test_case "observe is cycle-identical" `Quick
