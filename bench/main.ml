@@ -229,6 +229,139 @@ let run_slo () =
        Format.fprintf fmt "  [%s]@.  %a" tag Slo.pp_report r)
     reports
 
+(* E8: fleet-scale VM density sweep (hypercall ABI v1 vs v2). *)
+
+let density_cache : (string * Density.report) list option ref = ref None
+let density_seed = ref Density.default_config.Density.seed
+let density_vms = ref Density.default_populations
+let density_jobs = ref Density.default_config.Density.jobs_per_vm
+let density_batch = ref Density.default_config.Density.batch
+let density_budget = ref Density.default_config.Density.cvirq_budget
+let density_mode : Density.mode option ref = ref None (* None = both *)
+let density_check = ref false
+
+let density_vms_spec =
+  { Cli_args.names = [ "vms" ];
+    docv = "LIST";
+    doc = "Density sweep populations, comma-separated (e.g. 8,64,256).";
+    default = Density.default_populations;
+    parse =
+      (fun s ->
+         try
+           match
+             List.map
+               (fun x ->
+                  let n = int_of_string (String.trim x) in
+                  if n < 1 then failwith "population must be positive";
+                  n)
+               (String.split_on_char ',' s)
+           with
+           | [] -> Error "expected at least one population"
+           | vs -> Ok vs
+         with _ -> Error (Printf.sprintf "bad population list %S" s));
+    show = (fun vs -> String.concat "," (List.map string_of_int vs)) }
+
+let density_batch_spec =
+  { Cli_args.names = [ "batch" ];
+    docv = "N";
+    doc = "ABI v2 request descriptors published per doorbell.";
+    default = Density.default_config.Density.batch;
+    parse =
+      (fun s ->
+         match int_of_string_opt s with
+         | Some n when n >= 1 -> Ok n
+         | _ -> Error (Printf.sprintf "bad batch %S" s));
+    show = string_of_int }
+
+let density_budget_spec =
+  { Cli_args.names = [ "ring-budget" ];
+    docv = "N";
+    doc = "Completions per moderated ring vIRQ (0 = pure polling).";
+    default = Density.default_config.Density.cvirq_budget;
+    parse =
+      (fun s ->
+         match int_of_string_opt s with
+         | Some n when n >= 0 -> Ok n
+         | _ -> Error (Printf.sprintf "bad ring budget %S" s));
+    show = string_of_int }
+
+let density_mode_spec =
+  { Cli_args.names = [ "mode" ];
+    docv = "MODE";
+    doc = "Density ABI selection: v1, v2 or both.";
+    default = (None : Density.mode option);
+    parse =
+      (fun s ->
+         match s with
+         | "both" -> Ok None
+         | _ ->
+           (match Density.mode_of_string s with
+            | Ok m -> Ok (Some m)
+            | Error _ -> Error (Printf.sprintf "expected v1, v2 or both, got %S" s)));
+    show = (function None -> "both" | Some m -> Density.mode_name m) }
+
+let density_jobs_spec =
+  { Cli_args.names = [ "jobs" ];
+    docv = "N";
+    doc = "Hardware jobs per guest in the density sweep.";
+    default = Density.default_config.Density.jobs_per_vm;
+    parse =
+      (fun s ->
+         match int_of_string_opt s with
+         | Some n when n >= 1 -> Ok n
+         | _ -> Error (Printf.sprintf "bad job count %S" s));
+    show = string_of_int }
+
+(* The v1-per-job / v2-per-job guest→kernel transition ratio at one
+   population — the headline of the sweep (>= batch-linked gain). *)
+let density_ratio reports vms =
+  let per_job m =
+    List.assoc_opt (Printf.sprintf "%s/%d" (Density.mode_name m) vms) reports
+    |> Option.map (fun (r : Density.report) -> r.Density.transitions_per_job)
+  in
+  match (per_job Density.V1, per_job Density.V2) with
+  | Some v1, Some v2 when v2 > 0.0 -> Some (v1, v2, v1 /. v2)
+  | _ -> None
+
+let run_density () =
+  let fault_rate = Option.value !fault_rate_opt ~default:0.0 in
+  Format.fprintf fmt
+    "E8: fleet density sweep — ABI v1 vs v2 (seed %d, vms %s, %d jobs/VM, \
+     batch %d, vIRQ budget %d%s%s)@."
+    !density_seed
+    (String.concat "," (List.map string_of_int !density_vms))
+    !density_jobs !density_batch !density_budget
+    (if fault_rate > 0.0 then Printf.sprintf ", fault rate %g" fault_rate
+     else "")
+    (if !density_check then ", invariants checked" else "");
+  let tagged =
+    Density.bench_matrix ~seed:!density_seed ~populations:!density_vms
+      ~jobs:!density_jobs ~batch:!density_batch
+      ~cvirq_budget:!density_budget ~fault_rate ~check:!density_check ()
+  in
+  let tagged =
+    match !density_mode with
+    | None -> tagged
+    | Some m ->
+      List.filter
+        (fun t -> t.Density.t_config.Density.mode = m)
+        tagged
+  in
+  let reports = Density.sweep ?domains:!domains_opt tagged in
+  density_cache := Some reports;
+  List.iter
+    (fun (tag, r) -> Format.fprintf fmt "  [%s] %a" tag Density.pp_report r)
+    reports;
+  List.iter
+    (fun vms ->
+       match density_ratio reports vms with
+       | Some (v1, v2, ratio) ->
+         Format.fprintf fmt
+           "  %d VMs: %.2f transitions/job (v1) vs %.2f (v2) — %.1fx fewer@."
+           vms v1 v2 ratio
+       | None -> ())
+    !density_vms
+
 (* --- Bechamel microbenchmarks --- *)
 
 let micro_results : (string * float option) list ref = ref []
@@ -811,10 +944,54 @@ let write_slo_json path reports =
   close_out oc;
   Format.fprintf fmt "wrote %s@." path
 
+(* --- density artifact (BENCH_density.json) ---
+
+   One record per (ABI mode x population) cell plus, for every
+   population where both modes ran, the v1/v2 guest→kernel transition
+   ratio. Written only when the density section ran. *)
+
+let write_density_json path reports =
+  let b = Buffer.create 8192 in
+  let add = Buffer.add_string b in
+  add "{\n";
+  add "  \"schema\": \"mini-nova-density/1\",\n";
+  add (Printf.sprintf "  \"seed\": %d,\n" !density_seed);
+  add (Printf.sprintf "  \"jobs_per_vm\": %d,\n" !density_jobs);
+  add (Printf.sprintf "  \"batch\": %d,\n" !density_batch);
+  add (Printf.sprintf "  \"cvirq_budget\": %d,\n" !density_budget);
+  add "  \"runs\": [";
+  List.iteri
+    (fun i (tag, r) ->
+       if i > 0 then add ",";
+       add (Printf.sprintf "\n    {\"tag\": \"%s\", \"report\": " (json_escape tag));
+       Density.report_json b r;
+       add "}")
+    reports;
+  add "\n  ],\n  \"transition_ratio\": [";
+  let first = ref true in
+  List.iter
+    (fun vms ->
+       match density_ratio reports vms with
+       | Some (v1, v2, ratio) ->
+         if not !first then add ",";
+         first := false;
+         add
+           (Printf.sprintf
+              "\n    {\"vms\": %d, \"v1_per_job\": %s, \"v2_per_job\": %s, \
+               \"ratio\": %s}"
+              vms (json_float v1) (json_float v2) (json_float ratio))
+       | None -> ())
+    !density_vms;
+  add "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.fprintf fmt "wrote %s@." path
+
 let all_sections =
   [ "table3"; "fig9"; "report"; "reconfig"; "axi"; "vfp";
     "trapvshyper"; "asid"; "quantum"; "chaos"; "soak"; "slo";
-    "checkoverhead"; "micro" ]
+    "density"; "checkoverhead"; "micro" ]
 
 (* Bench-only flag: regenerate the committed baseline file. *)
 let write_baseline_spec =
@@ -845,12 +1022,24 @@ let () =
       Cli_args.value_entry Cli_args.seed
         (fun s ->
            soak_seed := s;
-           slo_seed := s);
+           slo_seed := s;
+           density_seed := s);
       Cli_args.value_entry Cli_args.arrivals (fun n -> slo_arrivals := n);
+      Cli_args.value_entry density_vms_spec (fun vs -> density_vms := vs);
+      Cli_args.value_entry density_jobs_spec (fun n -> density_jobs := n);
+      Cli_args.value_entry density_batch_spec (fun n -> density_batch := n);
+      Cli_args.value_entry density_budget_spec (fun n -> density_budget := n);
+      Cli_args.value_entry density_mode_spec (fun m -> density_mode := m);
       Cli_args.value_entry Cli_args.max_vms (fun n -> soak_max_vms := n);
       Cli_args.value_entry Cli_args.shards (fun n -> soak_shards := n);
-      Cli_args.flag_entry Cli_args.check (fun () -> soak_check := true);
-      Cli_args.flag_entry Cli_args.no_check (fun () -> soak_check := false);
+      Cli_args.flag_entry Cli_args.check
+        (fun () ->
+           soak_check := true;
+           density_check := true);
+      Cli_args.flag_entry Cli_args.no_check
+        (fun () ->
+           soak_check := false;
+           density_check := false);
       Cli_args.value_entry Cli_args.replay (fun f -> soak_replay := f);
       Cli_args.value_entry Cli_args.repro_out (fun f -> soak_repro_out := f);
       Cli_args.flag_entry
@@ -890,6 +1079,8 @@ let () =
        | "soak" ->
          section "soak" "E6: invariant-checked lifecycle soak" run_soak
        | "slo" -> section "slo" "E7: open-loop tail latency (SLO)" run_slo
+       | "density" ->
+         section "density" "E8: fleet density (ABI v1 vs v2)" run_density
        | "checkoverhead" ->
          section "checkoverhead" "E6b: invariant-plane overhead"
            run_check_overhead
@@ -908,7 +1099,10 @@ let () =
     write_json "BENCH_sim.json" ~total_wall;
     write_metrics_json "BENCH_metrics.json";
     write_perf_json "BENCH_perf.json" ~total_wall;
-    match !slo_cache with
-    | Some reports -> write_slo_json "BENCH_slo.json" reports
+    (match !slo_cache with
+     | Some reports -> write_slo_json "BENCH_slo.json" reports
+     | None -> ());
+    match !density_cache with
+    | Some reports -> write_density_json "BENCH_density.json" reports
     | None -> ()
   end

@@ -9,6 +9,7 @@
      mininova stats     observability breakdown of one run
      mininova soak      invariant-checked VM-lifecycle soak
      mininova slo       open-loop tail-latency (SLO) run
+     mininova density   fleet-scale ABI v1-vs-v2 density run
      mininova trace     traced two-VM demo + event timeline
 
    Flags come from the shared Cli_args vocabulary (lib/harness);
@@ -423,6 +424,142 @@ let slo_cmd =
       $ interarrival $ victim_ia $ slo_quantum $ slo_fault_rate
       $ slo_fault_seed $ churn $ observe $ json_flag)
 
+let density_cmd =
+  let run verbose seed vms jobs batch ring_budget mode quantum fault_rate
+      fault_seed check assert_ratio json =
+    setup_logs verbose;
+    let cfg mode =
+      { Density.default_config with
+        Density.seed; vms; mode;
+        jobs_per_vm = jobs;
+        batch;
+        cvirq_budget = ring_budget;
+        quantum_ms = quantum;
+        fault_rate; fault_seed; check }
+    in
+    let modes =
+      match mode with Some m -> [ m ] | None -> [ Density.V1; Density.V2 ]
+    in
+    let reports =
+      List.map (fun m -> Density.run ~config:(cfg m) ()) modes
+    in
+    if json then begin
+      let b = Buffer.create 4096 in
+      Buffer.add_string b "[";
+      List.iteri
+        (fun i r ->
+           if i > 0 then Buffer.add_string b ", ";
+           Density.report_json b r)
+        reports;
+      Buffer.add_string b "]\n";
+      print_string (Buffer.contents b)
+    end
+    else
+      List.iter (fun r -> Format.fprintf fmt "%a" Density.pp_report r) reports;
+    let ratio =
+      let per_job m =
+        List.find_opt (fun (r : Density.report) -> r.Density.mode = m) reports
+        |> Option.map (fun (r : Density.report) ->
+               r.Density.transitions_per_job)
+      in
+      match (per_job Density.V1, per_job Density.V2) with
+      | Some v1, Some v2 when v2 > 0.0 -> Some (v1 /. v2)
+      | _ -> None
+    in
+    (match ratio with
+     | Some x when not json ->
+       Format.fprintf fmt "transition ratio v1/v2: %.1fx@." x
+     | _ -> ());
+    if assert_ratio > 0.0 then
+      match ratio with
+      | None ->
+        Format.fprintf fmt
+          "FAIL: --assert-ratio needs both ABI modes in the run@.";
+        exit 1
+      | Some x when x < assert_ratio ->
+        Format.fprintf fmt
+          "FAIL: v1/v2 transition ratio %.2f below the asserted %.2f@." x
+          assert_ratio;
+        exit 1
+      | Some x ->
+        if not json then
+          Format.fprintf fmt "density assertion passed (%.1fx >= %.1fx)@." x
+            assert_ratio
+  in
+  let d = Density.default_config in
+  let density_seed =
+    term_of_spec { Cli_args.seed with default = d.Density.seed }
+  in
+  let vms =
+    Arg.(
+      value & opt int d.Density.vms
+      & info [ "vms" ] ~docv:"N" ~doc:"Guest population, victim included.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int d.Density.jobs_per_vm
+      & info [ "jobs" ] ~docv:"N" ~doc:"Hardware jobs per guest.")
+  in
+  let batch =
+    Arg.(
+      value & opt int d.Density.batch
+      & info [ "batch" ] ~docv:"N"
+          ~doc:"ABI v2 request descriptors per doorbell.")
+  in
+  let ring_budget =
+    Arg.(
+      value & opt int d.Density.cvirq_budget
+      & info [ "ring-budget" ] ~docv:"N"
+          ~doc:"Completions per moderated ring vIRQ (0 = pure polling).")
+  in
+  let mode =
+    let mode_conv =
+      Arg.conv
+        ( (fun s ->
+            if s = "both" then Ok None
+            else
+              match Density.mode_of_string s with
+              | Ok m -> Ok (Some m)
+              | Error e -> Error (`Msg e)),
+          fun ppf v ->
+            Format.pp_print_string ppf
+              (match v with None -> "both" | Some m -> Density.mode_name m) )
+    in
+    Arg.(
+      value & opt mode_conv None
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:"Hypercall ABI under test: v1, v2 or both.")
+  in
+  let density_quantum =
+    term_of_spec { Cli_args.quantum with default = d.Density.quantum_ms }
+  in
+  let density_fault_rate =
+    term_of_spec { Cli_args.fault_rate with default = d.Density.fault_rate }
+  in
+  let density_fault_seed =
+    term_of_spec { Cli_args.fault_seed with default = d.Density.fault_seed }
+  in
+  let check = term_of_flag Cli_args.check in
+  let assert_ratio =
+    Arg.(
+      value & opt float 0.0
+      & info [ "assert-ratio" ] ~docv:"X"
+          ~doc:
+            "Exit non-zero unless the v1/v2 guest-to-kernel transition \
+             ratio is at least X (CI smoke mode; needs both modes).")
+  in
+  Cmd.v
+    (Cmd.info "density"
+       ~doc:
+         "Fleet-scale VM density run comparing hypercall ABI v1 (one trap \
+          per job) against the ABI v2 descriptor rings (one doorbell per \
+          batch): per-request overhead, ring batching, PRR utilisation \
+          and the victim's vIRQ-turnaround tail at the chosen population.")
+    Term.(
+      const run $ verbose $ density_seed $ vms $ jobs $ batch $ ring_budget
+      $ mode $ density_quantum $ density_fault_rate $ density_fault_seed
+      $ check $ assert_ratio $ json_flag)
+
 let trace_cmd =
   let run verbose last =
     setup_logs verbose;
@@ -484,4 +621,5 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ table3_cmd; fig9_cmd; report_cmd; reconfig_cmd; scenario_cmd;
-            chaos_cmd; stats_cmd; soak_cmd; slo_cmd; trace_cmd ]))
+            chaos_cmd; stats_cmd; soak_cmd; slo_cmd; density_cmd;
+            trace_cmd ]))

@@ -1,0 +1,440 @@
+(* E8: fleet-scale VM density sweep — hypercall ABI v1 vs v2.
+
+   One cell boots a fresh board, creates [vms] guests and runs them to
+   completion: VM 0 is the fixed victim (a µC/OS guest running real
+   want_irq hardware jobs end to end, identical in every cell so its
+   completion-vIRQ turnaround percentiles are comparable across modes
+   and populations), and the remaining [vms - 1] fleet guests submit
+   [jobs_per_vm] acquire/release pairs through the ABI under test:
+
+   - [V1]: one [Hw_task_request] + [Hw_task_release] hypercall pair
+     per job — the paper ABI, two guest→kernel transitions per job;
+   - [V2]: descriptor-ring batches of [batch] jobs published with a
+     single [Ring_doorbell] (plus one doorbell for the releases), so
+     the per-job transition count collapses by ~[batch].
+
+   Fleet guests are bare effect guests, not µC/OS instances: their
+   per-PD "hypercall" span cells then count exactly the ABI traffic,
+   which is what the v1-vs-v2 transition comparison reports. Every
+   measurement is taken from the observability plane (which never
+   advances the simulated clock) or from kernel totals, so a cell is
+   deterministic in its config alone. *)
+
+type mode = V1 | V2
+
+let mode_name = function V1 -> "v1" | V2 -> "v2"
+
+let mode_of_string = function
+  | "v1" -> Ok V1
+  | "v2" -> Ok V2
+  | s -> Error (Printf.sprintf "expected v1 or v2, got %S" s)
+
+type config = {
+  seed : int;
+  vms : int;
+  mode : mode;
+  jobs_per_vm : int;
+  batch : int;          (* request descriptors per doorbell (v2) *)
+  ring_entries : int;
+  cvirq_budget : int;
+  quantum_ms : float;
+  fault_rate : float;
+  fault_seed : int;
+  check : bool;         (* invariant sweeps at kernel boundaries *)
+}
+
+let default_config =
+  { seed = 42; vms = 8; mode = V2; jobs_per_vm = 16; batch = 8;
+    ring_entries = 32; cvirq_budget = 8; quantum_ms = 2.0;
+    fault_rate = 0.0; fault_seed = 7; check = false }
+
+type prr_util = {
+  prr_id : int;
+  busy_cycles : int;
+  util : float;
+}
+
+type report = {
+  mode : mode;
+  vms : int;
+  jobs_per_vm : int;
+  batch : int;
+  jobs_submitted : int;    (* fleet request descriptors/hypercalls *)
+  jobs_ok : int;           (* fleet success + reconfig outcomes *)
+  jobs_busy : int;
+  jobs_failed : int;
+  transitions : int;       (* fleet guest→kernel hypercall entries *)
+  transitions_per_job : float;
+  overhead_us_per_job : float;
+      (* fleet cycles inside the hypercall path, per submitted job *)
+  hypercalls : int;        (* whole-board total, victim included *)
+  ring : Kernel.ring_stats;
+  victim_jobs : int;
+  victim_ok : int;
+  victim_dropped : int;
+  victim_virqs : int;      (* completion-vIRQ turnaround samples *)
+  victim_p50_us : float;
+  victim_p99_us : float;
+  prrs : prr_util list;
+  injected : int;
+  crashes : int;
+  alive_after : int;
+  sim_ms : float;
+  sim_cycles : int;
+}
+
+(* Per-VM tallies shared between host and guest closures. *)
+type tally = {
+  mutable sub : int;
+  mutable ok : int;
+  mutable busy : int;
+  mutable failed : int;
+}
+
+let fresh_tally () = { sub = 0; ok = 0; busy = 0; failed = 0 }
+
+let density_task_set =
+  [| Task_kind.Qam 4; Task_kind.Qam 16; Task_kind.Fft 256 |]
+
+(* {2 Guests} *)
+
+(* Both fleet ABIs retry [Hw_busy] this many times before giving a
+   job up — the PRR pool is heavily over-committed at high density, so
+   a guest that never retries would finish with almost nothing. Under
+   v1 every retry is a fresh hypercall; under v2 retries ride the next
+   doorbell together with the previous round's releases, which is the
+   transition saving the sweep quantifies. *)
+let busy_retries = 3
+
+(* ABI v1 fleet guest: the classic trap-per-job protocol — one
+   [Hw_task_request] per attempt plus an [Hw_task_release] per win. *)
+let fleet_v1 (cfg : config) st tasks _genv =
+  for j = 0 to cfg.jobs_per_vm - 1 do
+    let task = tasks.(j mod Array.length tasks) in
+    st.sub <- st.sub + 1;
+    let rec attempt tries =
+      match
+        Hyper.hypercall
+          (Hyper.Hw_task_request
+             { task;
+               iface_vaddr = Guest_layout.default_iface_vaddr (task land 7);
+               data_vaddr = Guest_layout.default_data_section;
+               data_len = Guest_layout.default_data_section_len;
+               want_irq = false })
+      with
+      | Hyper.R_hw { status = Hyper.Hw_success | Hyper.Hw_reconfig; _ } ->
+        st.ok <- st.ok + 1;
+        ignore (Hyper.hypercall (Hyper.Hw_task_release { task }))
+      | Hyper.R_hw { status = Hyper.Hw_busy; _ } ->
+        if tries < busy_retries then begin
+          ignore (Hyper.pause ());
+          attempt (tries + 1)
+        end
+        else st.busy <- st.busy + 1
+      | _ -> st.failed <- st.failed + 1
+    in
+    attempt 0;
+    ignore (Hyper.pause ())
+  done
+
+(* ABI v2 fleet guest: the same job stream batched through the ring.
+   Each round publishes the batch's outstanding requests — and the
+   releases won in the previous round — with a single doorbell; busy
+   jobs stay pending for the next round. Release descriptors carry
+   [tag + release_tag_bias] so their completions can't be mistaken
+   for request outcomes. *)
+let release_tag_bias = 0x1000
+
+let fleet_v2 (cfg : config) st tasks genv =
+  let p = Port.paravirt genv in
+  match
+    Ring_api.setup p ~entries:cfg.ring_entries
+      ~cvirq_budget:cfg.cvirq_budget ()
+  with
+  | Error _ -> ()
+  | Ok r ->
+    let to_release = ref [] in
+    let flush_releases () =
+      List.iter
+        (fun (tag, task) ->
+           ignore
+             (Ring_api.enqueue p r ~op:`Release ~task
+                ~tag:(tag + release_tag_bias) ()))
+        !to_release;
+      to_release := []
+    in
+    let submitted = ref 0 in
+    while !submitted < cfg.jobs_per_vm do
+      let n = min cfg.batch (cfg.jobs_per_vm - !submitted) in
+      let chosen =
+        Array.init n (fun i ->
+            tasks.((!submitted + i) mod Array.length tasks))
+      in
+      st.sub <- st.sub + n;
+      let pending = ref (List.init n (fun i -> i + 1)) in
+      let round = ref 0 in
+      while !pending <> [] && !round <= busy_retries do
+        flush_releases ();
+        List.iter
+          (fun tag ->
+             ignore
+               (Ring_api.enqueue p r ~op:`Request ~task:chosen.(tag - 1)
+                  ~tag ()))
+          !pending;
+        ignore (Ring_api.doorbell p r);
+        let retry = ref [] in
+        List.iter
+          (fun (c : Ring_api.cqe) ->
+             if c.Ring_api.tag >= 1 && c.Ring_api.tag <= n then begin
+               if
+                 c.Ring_api.status = Ring_api.status_success
+                 || c.Ring_api.status = Ring_api.status_reconfig
+               then begin
+                 st.ok <- st.ok + 1;
+                 to_release :=
+                   (c.Ring_api.tag, chosen.(c.Ring_api.tag - 1))
+                   :: !to_release
+               end
+               else if c.Ring_api.status = Ring_api.status_busy then
+                 retry := c.Ring_api.tag :: !retry
+               else st.failed <- st.failed + 1
+             end)
+          (Ring_api.drain_completions p r);
+        pending := List.rev !retry;
+        incr round;
+        ignore (Hyper.pause ())
+      done;
+      st.busy <- st.busy + List.length !pending;
+      submitted := !submitted + n
+    done;
+    if !to_release <> [] then begin
+      flush_releases ();
+      ignore (Ring_api.doorbell p r);
+      ignore (Ring_api.drain_completions p r)
+    end
+
+(* The victim: real DMA + exec + completion-vIRQ jobs under µC/OS,
+   identical in both modes. Its kernel-side virq_turnaround cell is
+   the interference metric. *)
+let victim (cfg : config) st tasks genv =
+  let port = Port.paravirt genv in
+  let os = Ucos.create port in
+  let rng = Rng.create ~seed:(cfg.seed + 101) in
+  ignore
+    (Ucos.spawn os ~name:"victim" ~prio:4 (fun () ->
+         for j = 0 to cfg.jobs_per_vm - 1 do
+           Ucos.delay os (1 + Rng.int rng 2);
+           let task = tasks.(j mod Array.length tasks) in
+           st.sub <- st.sub + 1;
+           (match
+              Hw_task_api.acquire os ~task ~want_irq:true ~backoff:true
+                ~max_tries:25 ()
+            with
+            | Error _ -> st.failed <- st.failed + 1
+            | Ok h ->
+              let off = Hw_task_api.data_in_off in
+              Hw_task_api.start os h ~src_off:off ~dst_off:(off + 8192)
+                ~len:64 ~param:4;
+              ignore (Hw_task_api.wait_done os h);
+              Hw_task_api.release os h;
+              st.ok <- st.ok + 1)
+         done;
+         Ucos.stop os));
+  Ucos.run os
+
+(* {2 One cell} *)
+
+let run ?(config = default_config) () =
+  let cfg = config in
+  if cfg.vms < 1 then invalid_arg "Density.run: need at least one VM";
+  if cfg.vms > Address_map.guest_slot_count then
+    invalid_arg "Density.run: vms exceeds the guest slot count";
+  if cfg.jobs_per_vm < 1 then invalid_arg "Density.run: need at least one job";
+  if cfg.batch < 1 then invalid_arg "Density.run: need a positive batch";
+  let z =
+    Zynq.create ~observe:true ~fault_seed:cfg.fault_seed
+      ~fault_rate:cfg.fault_rate ()
+  in
+  let kern =
+    Kernel.boot
+      ~config:
+        { Kernel.default_config with quantum = Cycles.of_ms cfg.quantum_ms }
+      z
+  in
+  let tasks = Array.map (Kernel.register_hw_task kern) density_task_set in
+  if cfg.check then Invariant.attach kern;
+  let vstat = fresh_tally () in
+  let victim_pd =
+    (Kernel.create_vm kern ~name:"victim" (victim cfg vstat tasks)).Pd.id
+  in
+  let fleet = Array.init (max 0 (cfg.vms - 1)) (fun _ -> fresh_tally ()) in
+  let fleet_pds =
+    Array.mapi
+      (fun i st ->
+         let name = Printf.sprintf "d%d-%s" (i + 1) (mode_name cfg.mode) in
+         let main =
+           match cfg.mode with
+           | V1 -> fleet_v1 cfg st tasks
+           | V2 -> fleet_v2 cfg st tasks
+         in
+         (Kernel.create_vm kern ~name main).Pd.id)
+      fleet
+  in
+  (* Generous horizon: every cell ends by guest exhaustion (all VMs
+     return from main), the cap only bounds a pathological stall. *)
+  let cap =
+    Cycles.of_ms (500.0 +. (4.0 *. float_of_int (cfg.vms * cfg.jobs_per_vm)))
+  in
+  Kernel.run kern ~until:cap;
+  if cfg.check then Invariant.raise_first kern ~boundary:"density_final";
+  let sim_cycles = Clock.now z.Zynq.clock in
+  let snap = Obs.snapshot z.Zynq.obs in
+  let fleet_ids = Array.to_list fleet_pds in
+  (* Fleet guests issue nothing but ABI traffic, so their per-PD
+     hypercall cells are exactly the guest→kernel transition count the
+     v1/v2 comparison is about. *)
+  let transitions, trans_cycles =
+    List.fold_left
+      (fun (n, cyc) (c : Obs.cell) ->
+         if c.Obs.c_component = "hypercall" && List.mem c.Obs.c_key fleet_ids
+         then (n + c.Obs.c_calls, cyc + c.Obs.c_cycles)
+         else (n, cyc))
+      (0, 0) snap.Obs.s_cells
+  in
+  let sum f = Array.fold_left (fun a st -> a + f st) 0 fleet in
+  let jobs_submitted = sum (fun st -> st.sub) in
+  let per_job v =
+    if jobs_submitted = 0 then 0.0
+    else float_of_int v /. float_of_int jobs_submitted
+  in
+  let victim_cell =
+    List.find_opt
+      (fun (c : Obs.cell) ->
+         c.Obs.c_component = "virq_turnaround" && c.Obs.c_key = victim_pd)
+      snap.Obs.s_cells
+  in
+  let vp q =
+    match victim_cell with
+    | None -> 0.0
+    | Some c ->
+      (match Obs.cell_percentile c q with
+       | Some cyc -> Cycles.to_us (int_of_float cyc)
+       | None -> 0.0)
+  in
+  let prrs =
+    List.init (Prr_controller.prr_count z.Zynq.prrc) (fun i ->
+        let p = Prr_controller.prr z.Zynq.prrc i in
+        { prr_id = i;
+          busy_cycles = p.Prr.busy_cycles;
+          util =
+            (if sim_cycles = 0 then 0.0
+             else float_of_int p.Prr.busy_cycles /. float_of_int sim_cycles) })
+  in
+  { mode = cfg.mode;
+    vms = cfg.vms;
+    jobs_per_vm = cfg.jobs_per_vm;
+    batch = cfg.batch;
+    jobs_submitted;
+    jobs_ok = sum (fun st -> st.ok);
+    jobs_busy = sum (fun st -> st.busy);
+    jobs_failed = sum (fun st -> st.failed);
+    transitions;
+    transitions_per_job = per_job transitions;
+    overhead_us_per_job = Cycles.to_us (int_of_float (per_job trans_cycles));
+    hypercalls = Kernel.hypercalls kern;
+    ring = Kernel.ring_stats kern;
+    victim_jobs = vstat.sub;
+    victim_ok = vstat.ok;
+    victim_dropped = vstat.failed;
+    victim_virqs =
+      (match victim_cell with Some c -> c.Obs.c_calls | None -> 0);
+    victim_p50_us = vp 0.5;
+    victim_p99_us = vp 0.99;
+    prrs;
+    injected = Fault_plane.total_injected z.Zynq.faults;
+    crashes = Kernel.crashes kern;
+    alive_after = Kernel.alive_guests kern;
+    sim_ms = Cycles.to_ms sim_cycles;
+    sim_cycles }
+
+(* {2 The bench matrix} *)
+
+type tagged = { tag : string; t_config : config }
+
+let default_populations = [ 8; 32; 64; 128; 256 ]
+
+let bench_matrix ?(seed = default_config.seed)
+    ?(populations = default_populations)
+    ?(jobs = default_config.jobs_per_vm) ?(batch = default_config.batch)
+    ?(cvirq_budget = default_config.cvirq_budget)
+    ?(fault_rate = default_config.fault_rate) ?(check = false) () =
+  List.concat_map
+    (fun vms ->
+       List.map
+         (fun mode ->
+            { tag = Printf.sprintf "%s/%d" (mode_name mode) vms;
+              t_config =
+                { default_config with
+                  seed; vms; mode; jobs_per_vm = jobs; batch; cvirq_budget;
+                  fault_rate; check } })
+         [ V1; V2 ])
+    populations
+
+let sweep ?domains tagged =
+  Parallel_sweep.run ?domains
+    (List.map (fun t -> fun () -> (t.tag, run ~config:t.t_config ())) tagged)
+
+(* {2 Rendering} *)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%s vms=%d jobs=%d batch=%d: %d submitted (%d ok, %d busy, %d failed), \
+     %d transitions (%.2f/job, %.2f us/job), victim %d/%d ok p50/p99 \
+     %.1f/%.1f us, rings %d enq %d cpl %d reclaimed, crashes %d, \
+     sim %.0f ms@."
+    (mode_name r.mode) r.vms r.jobs_per_vm r.batch r.jobs_submitted
+    r.jobs_ok r.jobs_busy r.jobs_failed r.transitions r.transitions_per_job
+    r.overhead_us_per_job r.victim_ok r.victim_jobs r.victim_p50_us
+    r.victim_p99_us r.ring.Kernel.rs_enqueued r.ring.Kernel.rs_completed
+    r.ring.Kernel.rs_reclaimed r.crashes r.sim_ms
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let report_json b r =
+  let add = Buffer.add_string b in
+  add
+    (Printf.sprintf
+       "{\"mode\": \"%s\", \"vms\": %d, \"jobs_per_vm\": %d, \
+        \"batch\": %d, \"jobs_submitted\": %d, \"jobs_ok\": %d, \
+        \"jobs_busy\": %d, \"jobs_failed\": %d, \"transitions\": %d, \
+        \"transitions_per_job\": %s, \"overhead_us_per_job\": %s, \
+        \"hypercalls\": %d, \"ring\": {\"enqueued\": %d, \
+        \"completed\": %d, \"reclaimed\": %d, \"doorbells\": %d, \
+        \"empty_doorbells\": %d, \"virqs\": %d, \"max_batch\": %d, \
+        \"asid_steals\": %d}, \"victim\": {\"jobs\": %d, \"ok\": %d, \
+        \"dropped\": %d, \"virqs\": %d, \"p50_us\": %s, \"p99_us\": %s}, \
+        \"prr_utilisation\": ["
+       (mode_name r.mode) r.vms r.jobs_per_vm r.batch r.jobs_submitted
+       r.jobs_ok r.jobs_busy r.jobs_failed r.transitions
+       (json_float r.transitions_per_job)
+       (json_float r.overhead_us_per_job)
+       r.hypercalls r.ring.Kernel.rs_enqueued r.ring.Kernel.rs_completed
+       r.ring.Kernel.rs_reclaimed r.ring.Kernel.rs_doorbells
+       r.ring.Kernel.rs_empty_doorbells r.ring.Kernel.rs_virqs
+       r.ring.Kernel.rs_max_batch r.ring.Kernel.rs_asid_steals
+       r.victim_jobs r.victim_ok r.victim_dropped r.victim_virqs
+       (json_float r.victim_p50_us) (json_float r.victim_p99_us));
+  List.iteri
+    (fun i p ->
+       if i > 0 then add ", ";
+       add
+         (Printf.sprintf "{\"prr\": %d, \"busy_cycles\": %d, \"util\": %s}"
+            p.prr_id p.busy_cycles (json_float p.util)))
+    r.prrs;
+  add
+    (Printf.sprintf
+       "], \"injected\": %d, \"crashes\": %d, \"alive_after\": %d, \
+        \"sim_ms\": %s, \"sim_cycles\": %d}"
+       r.injected r.crashes r.alive_after (json_float r.sim_ms) r.sim_cycles)

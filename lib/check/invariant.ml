@@ -50,16 +50,73 @@ let check_vgic kern =
   List.concat_map (fun (pd : Pd.t) -> Vgic.self_check pd.Pd.vgic)
     (Kernel.pds kern)
 
-let guest_count kern =
-  List.length (List.filter Pd.is_guest (Kernel.pds kern))
-
+(* ASID accounting under over-commit: every allocated guest tag is
+   held by exactly one live guest; PDs beyond the 254-tag space carry
+   the sentinel 0 until the kernel steals a tag for them. *)
 let check_asids kern =
   let live = Kmem.live_asids (Kernel.kmem kern) in
-  let guests = guest_count kern in
-  if live <> guests then
-    [ Printf.sprintf "%d guest ASIDs allocated but %d live guest PDs" live
-        guests ]
-  else []
+  let guests = List.filter Pd.is_guest (Kernel.pds kern) in
+  let held =
+    List.filter_map
+      (fun (pd : Pd.t) -> if pd.Pd.asid >= 2 then Some pd.Pd.asid else None)
+      guests
+  in
+  let problems = ref [] in
+  let note s = problems := s :: !problems in
+  if live <> List.length held then
+    note
+      (Printf.sprintf "%d guest ASIDs allocated but %d live guest PDs hold one"
+         live (List.length held));
+  let sorted = List.sort compare held in
+  let rec dups = function
+    | a :: (b :: _ as rest) ->
+      if a = b then note (Printf.sprintf "ASID %d held by two live PDs" a);
+      dups rest
+    | _ -> ()
+  in
+  dups sorted;
+  List.iter
+    (fun (pd : Pd.t) ->
+       if pd.Pd.asid = 1 || pd.Pd.asid < 0 || pd.Pd.asid > 255 then
+         note
+           (Printf.sprintf "guest pd %d holds reserved/out-of-range ASID %d"
+              pd.Pd.id pd.Pd.asid))
+    guests;
+  List.rev !problems
+
+(* ABI v2 ring conservation: every descriptor the kernel ever observed
+   is completed, reclaimed on kill/reset, or still in flight on a live
+   ring — nothing is lost or double-counted across world switches,
+   kills and recovery. *)
+let check_rings kern =
+  let s = Kernel.ring_stats kern in
+  let views = Kernel.ring_views kern in
+  let pds = Kernel.pds kern in
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun x -> problems := x :: !problems) fmt in
+  let in_flight = ref 0 in
+  List.iter
+    (fun (v : Kernel.ring_view) ->
+       if v.Kernel.rv_in_flight < 0 || v.Kernel.rv_in_flight > v.Kernel.rv_entries
+       then
+         note "pd %d ring has %d in flight on a %d-entry ring" v.Kernel.rv_pd
+           v.Kernel.rv_in_flight v.Kernel.rv_entries;
+       if
+         not
+           (List.exists (fun (p : Pd.t) -> p.Pd.id = v.Kernel.rv_pd) pds)
+       then note "ring held by reaped pd %d" v.Kernel.rv_pd;
+       in_flight := !in_flight + v.Kernel.rv_in_flight)
+    views;
+  if
+    s.Kernel.rs_enqueued
+    <> s.Kernel.rs_completed + s.Kernel.rs_reclaimed + !in_flight
+  then
+    note
+      "ring conservation broken: %d enqueued but %d completed + %d reclaimed \
+       + %d in flight"
+      s.Kernel.rs_enqueued s.Kernel.rs_completed s.Kernel.rs_reclaimed
+      !in_flight;
+  List.rev !problems
 
 let check_frames kern =
   let kmem = Kernel.kmem kern in
@@ -199,6 +256,7 @@ let checkers =
   [ ("sched", check_sched);
     ("virq_conservation", check_vgic);
     ("asid_accounting", check_asids);
+    ("ring_conservation", check_rings);
     ("frame_accounting", check_frames);
     ("event_queue", check_event_queue);
     ("prr_ownership", check_prr_ownership);

@@ -7,7 +7,7 @@
     pure read — no clock advances, no charged memory traffic — so runs
     with checking on are cycle-identical to runs with it off.
 
-    The seven checkers:
+    The eight checkers:
 
     - {e sched} — ring integrity (links, levels, node table, count)
       plus the state agreement: a guest PD is Runnable iff enqueued,
@@ -15,8 +15,13 @@
     - {e virq_conservation} — per live PD, the vGIC structural check
       and the counter identity latched = raised − delivered −
       reclaimed.
-    - {e asid_accounting} — guest ASIDs allocated = live guest PDs (a
-      kill must return its ASID).
+    - {e asid_accounting} — guest ASIDs allocated = live guest PDs
+      holding a tag, each held tag has exactly one holder, and no
+      guest carries a reserved tag (over-committed PDs carry the
+      sentinel 0 until the kernel steals a tag for them).
+    - {e ring_conservation} — ABI v2 descriptor accounting: enqueued =
+      completed + reclaimed-on-kill + in-flight over live rings, every
+      ring belongs to a live PD, and in-flight fits the ring.
     - {e frame_accounting} — allocator live bytes = kernel table +
       live guest tables + retired-table bytes (a kill must return its
       translation-table frames; nothing may be freed twice).

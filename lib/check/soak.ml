@@ -22,8 +22,9 @@ type action =
   | A_run of int
   | A_probe of int
   | A_probe_cancel of int
+  | A_ring_burst of { pick : int; n : int }
 
-let profile_count = 4
+let profile_count = 5
 
 let action_to_string = function
   | A_create { profile; prio; gseed } ->
@@ -32,6 +33,7 @@ let action_to_string = function
   | A_run us -> Printf.sprintf "run %d" us
   | A_probe d -> Printf.sprintf "probe %d" d
   | A_probe_cancel k -> Printf.sprintf "probe-cancel %d" k
+  | A_ring_burst { pick; n } -> Printf.sprintf "ring-burst %d %d" pick n
 
 let action_of_string s =
   match String.split_on_char ' ' (String.trim s) with
@@ -47,6 +49,9 @@ let action_of_string s =
   | [ "probe"; d ] -> Option.map (fun d -> A_probe d) (int_of_string_opt d)
   | [ "probe-cancel"; k ] ->
     Option.map (fun k -> A_probe_cancel k) (int_of_string_opt k)
+  | [ "ring-burst"; p; n ] ->
+    (try Some (A_ring_burst { pick = int_of_string p; n = int_of_string n })
+     with Failure _ -> None)
   | _ -> None
 
 type stats = {
@@ -207,18 +212,75 @@ let ucos_jobs ~gseed tasks genv =
          done));
   Ucos.run os
 
+(* ABI v2 ring churn: batch job descriptors through the shared
+   submission ring, sometimes skipping the doorbell or leaking the
+   acquisition, so kills land on rings with undrained descriptors and
+   exercise the conservation-closing reclamation path. *)
+let ring_jobs ~gseed tasks genv =
+  let rng = Rng.create ~seed:gseed in
+  let port = Port.paravirt genv in
+  let os = Ucos.create port in
+  ignore
+    (Ucos.spawn os ~name:"soak-ring" ~prio:4 (fun () ->
+         match
+           Ring_api.setup port ~entries:16 ~cvirq_budget:(Rng.int rng 3) ()
+         with
+         | Error _ ->
+           while true do
+             Ucos.delay os 1
+           done
+         | Ok r ->
+           while true do
+             Ucos.delay os (1 + Rng.int rng 3);
+             let n = 1 + Rng.int rng 5 in
+             let chosen =
+               Array.init n (fun _ ->
+                   tasks.(Rng.int rng (Array.length tasks)))
+             in
+             Array.iteri
+               (fun i task ->
+                  ignore
+                    (Ring_api.enqueue port r ~op:`Request ~task
+                       ~want_irq:(Rng.bool rng) ~tag:(i + 1) ()))
+               chosen;
+             (* One burst in four stays published but unrung: only a
+                later doorbell — or kill-time reclamation — settles it. *)
+             if Rng.int rng 4 > 0 then begin
+               ignore (Ring_api.doorbell port r);
+               List.iter
+                 (fun (c : Ring_api.cqe) ->
+                    (* Release what we won; tags outside [1..n] belong
+                       to host-injected descriptors, not this burst. *)
+                    if
+                      c.Ring_api.tag >= 1 && c.Ring_api.tag <= n
+                      && (c.Ring_api.status = Ring_api.status_success
+                          || c.Ring_api.status = Ring_api.status_reconfig)
+                      && Rng.int rng 4 > 0
+                    then
+                      ignore
+                        (Ring_api.enqueue port r ~op:`Release
+                           ~task:chosen.(c.Ring_api.tag - 1)
+                           ~tag:c.Ring_api.tag ()))
+                 (Ring_api.drain_completions port r);
+               if Rng.bool rng then ignore (Ring_api.doorbell port r)
+             end
+           done));
+  Ucos.run os
+
 let profile_main profile ~gseed tasks =
   match profile mod profile_count with
   | 0 -> storm ~gseed tasks
   | 1 -> mapper ~gseed tasks
   | 2 -> dpr_churn ~gseed tasks
-  | _ -> ucos_jobs ~gseed tasks
+  | 3 -> ucos_jobs ~gseed tasks
+  | _ -> ring_jobs ~gseed tasks
 
 let profile_name = function
   | 0 -> "storm"
   | 1 -> "mapper"
   | 2 -> "dpr"
-  | _ -> "ucos"
+  | 3 -> "ucos"
+  | _ -> "ring"
 
 (* {2 The engine} *)
 
@@ -287,6 +349,42 @@ let apply cfg w = function
     if w.nprobes > 0 then
       Event_queue.cancel w.z.Zynq.queue
         (Hashtbl.find w.probes (k mod w.nprobes))
+  | A_ring_burst { pick; n } ->
+    (* Host-side descriptor injection: write raw descriptors straight
+       into a live ring's submission page and advance the published
+       tail, the way a DMA-capable device (or a hostile guest thread)
+       would — bypassing every guest-side convenience. The kernel only
+       accounts descriptors once a doorbell observes the tail, so an
+       injected burst that the owner never rings must be settled by
+       kill-time reclamation, which is exactly the path under test. *)
+    (match Kernel.ring_views w.kern with
+     | [] -> ()
+     | views ->
+       let v = List.nth views (pick mod List.length views) in
+       let mem = w.z.Zynq.mem in
+       let sq = v.Kernel.rv_sq_phys in
+       let rd a = Int32.to_int (Phys_mem.read_u32 mem a) land 0xFFFFFFFF in
+       let wr a x = Phys_mem.write_u32 mem a (Int32.of_int x) in
+       let tail = rd sq in
+       let head = rd (sq + 4) in
+       let room = v.Kernel.rv_entries - ((tail - head) land 0xFFFFFFFF) in
+       let m = min n (max 0 room) in
+       for k = 0 to m - 1 do
+         let slot = (tail + k) land (v.Kernel.rv_entries - 1) in
+         let d =
+           sq + Guest_layout.ring_hdr_size
+           + (slot * Guest_layout.ring_desc_size)
+         in
+         wr d 0;
+         wr (d + 4) w.tasks.((pick + k) mod Array.length w.tasks);
+         wr (d + 8)
+           (Guest_layout.page_region_base + ((64 + k) * Addr.page_size));
+         wr (d + 12) Guest_layout.default_data_section;
+         wr (d + 16) Guest_layout.default_data_section_len;
+         wr (d + 20) 0;
+         wr (d + 24) (0x5000 + k)
+       done;
+       if m > 0 then wr sq ((tail + m) land 0xFFFFFFFF))
 
 let stats_of cfg w ~actions =
   ignore cfg;
@@ -345,6 +443,8 @@ let gen_action rng =
   else if r < 18 then A_kill (Rng.int rng 1024)
   else if r < 24 then A_probe (1 + Rng.int rng 200_000)
   else if r < 28 then A_probe_cancel (Rng.int rng 1024)
+  else if r < 33 then
+    A_ring_burst { pick = Rng.int rng 1024; n = 1 + Rng.int rng 8 }
   else A_run (20 + Rng.int rng 400)
 
 let replay_raw cfg actions =

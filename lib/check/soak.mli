@@ -27,15 +27,21 @@ val default_config : config
 
 type action =
   | A_create of { profile : int; prio : int; gseed : int }
-      (** create a VM running guest profile [profile mod 4]
+      (** create a VM running guest profile [profile mod 5]
           (0 = hypercall storm, 1 = page-table mapper, 2 = DPR churn,
-          3 = µC/OS hardware jobs), seeded by [gseed] *)
+          3 = µC/OS hardware jobs, 4 = ABI v2 ring churn), seeded by
+          [gseed] *)
   | A_kill of int     (** kill the [i mod n]-th live guest (sorted by id) *)
   | A_run of int      (** run the kernel for this many microseconds *)
   | A_probe of int    (** schedule a no-op event this many cycles out *)
   | A_probe_cancel of int
       (** cancel the [k mod n]-th probe ever scheduled — including ones
           that already fired, exercising cancel-after-fire *)
+  | A_ring_burst of { pick : int; n : int }
+      (** write [n] raw descriptors host-side into the [pick mod r]-th
+          live descriptor ring and publish the tail, without ringing
+          the doorbell: kills racing an injected burst must reclaim
+          the undrained descriptors *)
 
 val action_to_string : action -> string
 val action_of_string : string -> action option

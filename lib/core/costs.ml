@@ -23,5 +23,10 @@ let mgr_reclaim = 350
 
 let und_decode = 260
 
+let ring_setup = 120
+let ring_desc_validate = 18
+let ring_cqe_write = 10
+let asid_steal = 180
+
 let ipc_per_word = 4
 let uart_per_byte = 12

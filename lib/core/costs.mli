@@ -62,3 +62,17 @@ val und_decode : int
 
 val ipc_per_word : int
 val uart_per_byte : int
+
+val ring_setup : int
+(** [Ring_setup] bookkeeping beyond the stub: validating the request
+    and initialising both ring headers. *)
+
+val ring_desc_validate : int
+(** Per-descriptor decode and validation during a doorbell drain. *)
+
+val ring_cqe_write : int
+(** Formatting one completion entry. *)
+
+val asid_steal : int
+(** Revoking an ASID from an over-committed idle PD: bookkeeping plus
+    the TLB flush-by-ASID broadcast. *)

@@ -16,6 +16,20 @@ let page_region_size = mb
 let default_data_section = kernel_base + 0x0080_0000
 let default_data_section_len = 256 * 1024
 
+(* ABI v2 descriptor rings: one submission page and one completion
+   page at the top of the linearly-mapped user area (below the page
+   region), so the guest reaches them through its ordinary section
+   mappings and the kernel derives their physical home with a plain
+   linear translation — no on-demand mapping hypercalls needed. *)
+let ring_sq_base = kernel_base + (14 * mb)
+let ring_cq_base = ring_sq_base + Addr.page_size
+let ring_max_entries = 64
+let ring_hdr_size = 64
+let ring_desc_size = 32
+let ring_cqe_size = 16
+let ring_desc_vaddr i = ring_sq_base + ring_hdr_size + (i * ring_desc_size)
+let ring_cqe_vaddr i = ring_cq_base + ring_hdr_size + (i * ring_cqe_size)
+
 let default_iface_vaddr prr = page_region_base + (prr * Addr.page_size)
 
 let to_phys ~phys_base vaddr =

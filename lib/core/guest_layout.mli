@@ -41,3 +41,32 @@ val default_iface_vaddr : int -> Addr.t
 val to_phys : phys_base:Addr.t -> Addr.t -> Addr.t
 (** Linear translation for the section-mapped areas (kernel + user).
     @raise Invalid_argument inside the page region (not linear). *)
+
+(** {2 ABI v2 descriptor-ring pages}
+
+    [Ring_setup] places the submission ring on the 4 KB page at
+    [ring_sq_base] and the completion ring on the page right above, at
+    fixed spots in the linearly-mapped user area. Each page carries a
+    64 B header ({e submission}: guest-written tail at +0, kernel head
+    at +4; {e completion}: kernel tail at +0, guest head at +4; all
+    free-running u32 counters) followed by the entry array. Submission
+    descriptors are 32 B: op (+0, 0=request 1=release), task (+4),
+    interface vaddr (+8), data vaddr (+12), data length (+16), flags
+    (+20, bit 0 = want completion vIRQ), tag (+24). Completion entries
+    are 16 B: tag (+0), status (+4), PRR id + 1 (+8), vIRQ + 1 (+12). *)
+
+val ring_sq_base : Addr.t
+val ring_cq_base : Addr.t
+
+val ring_max_entries : int
+(** 64 — both rings fit their 4 KB page at this depth. *)
+
+val ring_hdr_size : int
+val ring_desc_size : int
+val ring_cqe_size : int
+
+val ring_desc_vaddr : int -> Addr.t
+(** Virtual address of submission-descriptor slot [i]. *)
+
+val ring_cqe_vaddr : int -> Addr.t
+(** Virtual address of completion-entry slot [i]. *)

@@ -36,8 +36,13 @@ type request =
   | Hw_task_status of { task : Bitstream.id }
   | Vm_send of { dest : int; payload : int array }
   | Vm_recv
+  | Ring_setup of { entries : int; cvirq_budget : int }
+  | Ring_doorbell
 
-let hypercall_count = 25
+let abi_version = 2
+let hypercall_count_v1 = 25
+let hypercall_count_v2 = 27
+let hypercall_count = hypercall_count_v2
 
 let number = function
   | Cache_clean_range _ -> 1
@@ -65,6 +70,10 @@ let number = function
   | Hw_task_status _ -> 23
   | Vm_send _ -> 24
   | Vm_recv -> 25
+  | Ring_setup _ -> 26
+  | Ring_doorbell -> 27
+
+let version_of r = if number r <= hypercall_count_v1 then 1 else 2
 
 let name = function
   | Cache_clean_range _ -> "cache_clean_range"
@@ -92,11 +101,14 @@ let name = function
   | Hw_task_status _ -> "hw_task_status"
   | Vm_send _ -> "vm_send"
   | Vm_recv -> "vm_recv"
+  | Ring_setup _ -> "ring_setup"
+  | Ring_doorbell -> "ring_doorbell"
 
-(* One representative value per constructor, in ABI order: the
-   enumerable face of the 25-hypercall ABI ([number] restates 1..25,
-   and a test pins both against [hypercall_count]). *)
-let requests =
+(* One representative value per constructor, in ABI order, split by
+   the version that introduced it: v1 is the paper's 25-hypercall ABI
+   (numbers 1..25), v2 appends the descriptor-ring pair (26..27).
+   A unit test pins each version's enumeration separately. *)
+let requests_v1 =
   [ Cache_clean_range { vaddr = 0; len = 0 };
     Cache_invalidate_range { vaddr = 0; len = 0 };
     Cache_flush_all;
@@ -125,6 +137,12 @@ let requests =
     Vm_send { dest = 0; payload = [||] };
     Vm_recv ]
 
+let requests_v2 =
+  [ Ring_setup { entries = 0; cvirq_budget = 0 };
+    Ring_doorbell ]
+
+let requests = requests_v1 @ requests_v2
+
 type hw_status = Hw_success | Hw_reconfig | Hw_busy | Hw_bad_task | Hw_fault
 
 let hw_status_name = function
@@ -141,6 +159,7 @@ type response =
   | R_hw of { status : hw_status; irq : int option; prr : int option }
   | R_msg of (int * int array) option
   | R_status of { prr_ready : bool; consistent : bool; faults : int }
+  | R_ring of { sq_vaddr : Addr.t; cq_vaddr : Addr.t; entries : int }
   | R_error of string
 
 type pause_result = { virqs : int list }
@@ -174,6 +193,9 @@ let pp_response ppf = function
   | R_status { prr_ready; consistent; faults } ->
     Format.fprintf ppf "status:ready=%b consistent=%b faults=%d"
       prr_ready consistent faults
+  | R_ring { sq_vaddr; cq_vaddr; entries } ->
+    Format.fprintf ppf "ring:sq=%a cq=%a entries=%d" Addr.pp sq_vaddr
+      Addr.pp cq_vaddr entries
   | R_error e -> Format.fprintf ppf "error:%s" e
 
 let json_escape b s =
@@ -220,6 +242,12 @@ let response_to_json b = function
          "{\"kind\": \"status\", \"prr_ready\": %b, \"consistent\": %b, \
           \"faults\": %d}"
          prr_ready consistent faults)
+  | R_ring { sq_vaddr; cq_vaddr; entries } ->
+    Buffer.add_string b
+      (Printf.sprintf
+         "{\"kind\": \"ring\", \"sq_vaddr\": %d, \"cq_vaddr\": %d, \
+          \"entries\": %d}"
+         sq_vaddr cq_vaddr entries)
   | R_error e ->
     Buffer.add_string b "{\"kind\": \"error\", \"message\": \"";
     json_escape b e;

@@ -1,8 +1,14 @@
 (** The paravirtualization ABI: hypercalls and VM-exit effects.
 
-    Mini-NOVA provides {e exactly 25 hypercalls} to paravirtualized
-    guests (paper §V-B); {!request} enumerates them and a unit test
-    pins the count. Guests are OCaml fibers: a hypercall is an OCaml
+    The ABI is versioned. {e ABI v1} is the paper's interface:
+    {e exactly 25 hypercalls} (paper §V-B), numbers 1–25, enumerated
+    by {!requests_v1}. {e ABI v2} is the descriptor-ring extension:
+    it appends {!Ring_setup}/{!Ring_doorbell} (numbers 26–27,
+    {!requests_v2}) through which guests batch hardware-task job
+    descriptors into a per-VM shared-memory submission/completion ring
+    and notify the kernel with a single doorbell, instead of one
+    {!Hw_task_request} trap per job. A unit test pins each version's
+    enumeration. Guests are OCaml fibers: a hypercall is an OCaml
     effect performed by guest code and handled by the kernel, which
     models the SVC trap; {!Vm_pause} marks an instruction-boundary
     where interrupts can be delivered and the scheduler may switch
@@ -58,21 +64,52 @@ type request =
   | Hw_task_status of { task : Bitstream.id }
   | Vm_send of { dest : int; payload : int array }
   | Vm_recv
+  | Ring_setup of { entries : int; cvirq_budget : int }
+    (** Map this VM's job ring: [entries] submission/completion slots
+        (rounded into a supported power of two by the kernel) at the
+        fixed window addresses in {!Guest_layout}; [cvirq_budget]
+        caps completions acknowledged per completion vIRQ (0 disables
+        the vIRQ — pure polling). Returns {!R_ring}. *)
+  | Ring_doorbell
+    (** Tell the kernel the submission-ring tail moved. The kernel
+        drains every pending descriptor in order (doorbell
+        coalescing: N enqueues + one doorbell = one trap) and posts
+        one completion entry per descriptor; returns [R_int drained].
+        An empty doorbell is a cheap no-op. *)
+
+val abi_version : int
+(** Current ABI version: 2. *)
+
+val hypercall_count_v1 : int
+(** 25, as the paper states (§V-B). *)
+
+val hypercall_count_v2 : int
+(** 27: v1 plus the ring pair. *)
 
 val hypercall_count : int
-(** 25, as the paper states. *)
+(** Total hypercalls in the current ABI ([hypercall_count_v2]). *)
 
 val number : request -> int
-(** Stable ABI number, 1–25. *)
+(** Stable ABI number: 1–25 for v1, 26–27 for v2. *)
+
+val version_of : request -> int
+(** ABI version that introduced the hypercall (1 or 2). *)
 
 val name : request -> string
 
-val requests : request list
-(** The full ABI, enumerable: one representative value per
-    constructor, in ABI order ([List.map number requests] is
+val requests_v1 : request list
+(** The paper ABI, enumerable: one representative value per v1
+    constructor, in ABI order ([List.map number requests_v1] is
     [1; …; 25]). Payloads are the neutral defaults (zero addresses,
     empty buffers) — useful for documentation generators and
     exhaustiveness tests, not for issuing. *)
+
+val requests_v2 : request list
+(** The v2 additions, same conventions ([List.map number requests_v2]
+    is [26; 27]). *)
+
+val requests : request list
+(** [requests_v1 @ requests_v2]: the full current ABI. *)
 
 type hw_status =
   | Hw_success   (** task ready in a PRR, interface mapped *)
@@ -93,6 +130,10 @@ type response =
     (** [faults] counts fault/recovery events that hit the client's
         current allocation (failed downloads, forced resets, retries);
         0 on a healthy allocation. *)
+  | R_ring of { sq_vaddr : Addr.t; cq_vaddr : Addr.t; entries : int }
+    (** Ring geometry granted by {!Ring_setup}: submission and
+        completion page base addresses in the guest window and the
+        slot count actually provisioned. *)
   | R_error of string
 
 type pause_result = { virqs : int list }
@@ -123,7 +164,7 @@ val hw_status_name : hw_status -> string
 val pp_response : Format.formatter -> response -> unit
 
 val response_to_json : Buffer.t -> response -> unit
-(** Total over {!response}: appends one JSON object tagged by
-    ["kind"] ("unit", "int", "bytes", "hw", "msg", "status",
-    "error"). Byte and word payloads serialize as lengths, not
-    contents. *)
+(** Total over {!response}, v2 included: appends one JSON object
+    tagged by ["kind"] ("unit", "int", "bytes", "hw", "msg",
+    "status", "ring", "error"). Byte and word payloads serialize as
+    lengths, not contents. *)

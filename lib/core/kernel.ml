@@ -53,10 +53,28 @@ type kfast = {
   kf_sched_pick : Fastpath.pinned;
   kf_mgr_entry : Fastpath.pinned;
   kf_handlers : Fastpath.pinned array;   (* index = Hyper.number - 1 *)
+  kf_ring_setup : Fastpath.pinned;       (* ABI v2 ring initialisation *)
+  kf_ring_drain : Fastpath.pinned;       (* doorbell header/descriptor loop *)
+  kf_ring_complete : Fastpath.pinned;    (* CQE writer + header write-back *)
   kf_save : Fastpath.pinned option array;     (* by vCPU save slot *)
   kf_restore : Fastpath.pinned option array;
   kf_inject : Fastpath.pinned option array;
   kf_mgr_exit : Fastpath.pinned option array;
+}
+
+(* One ABI v2 descriptor ring per VM (paper-ABI extension): indices
+   are free-running u32 counters in virtio style, [land (entries-1)]
+   picks the slot. [r_tail] is the last guest-published submission
+   tail the kernel has observed; [r_head] counts descriptors drained
+   (and, since execution is synchronous, completions written). *)
+type ring = {
+  r_pd : int;
+  r_entries : int;                       (* power of two, <= 64 *)
+  r_budget : int;                        (* completions per vIRQ; 0 = poll *)
+  r_sq_phys : Addr.t;
+  r_cq_phys : Addr.t;
+  mutable r_tail : int;
+  mutable r_head : int;
 }
 
 (* Pre-resolved instrumentation handles: the hot paths bump these
@@ -106,9 +124,31 @@ type t = {
   mutable hypercall_count : int;
   mutable trace : Ktrace.t option;
   mutable check_hook : (string -> unit) option;
+  (* O(1) liveness: maintained at create/kill so neither the run loop
+     nor the kill-path gauge rescans the PD table at fleet scale. *)
+  mutable alive : int;
+  (* Allocation-cost meter: every slot/window/ASID allocation step
+     (queue pop, bump, steal probe) bumps this once. Flat per-create
+     at any population — the fleet-scaling regression test pins it. *)
+  mutable alloc_steps : int;
+  (* ASID over-commit (populations beyond the 254 guest tags):
+     asid_owner.(a) is the PD currently holding tag [a] (-1 = free),
+     and the cursor round-robins steals over 2..255. *)
+  asid_owner : int array;
+  mutable asid_cursor : int;
+  rings : (int, ring) Hashtbl.t;         (* PD id -> its v2 ring *)
+  mutable ring_enqueued_total : int;
+  mutable ring_completed_total : int;
+  mutable ring_reclaimed_total : int;
+  mutable ring_doorbells : int;
+  mutable ring_empty_doorbells : int;
+  mutable ring_virqs : int;
+  mutable ring_max_batch : int;
+  mutable asid_steals : int;
 }
 
 let ipc_doorbell_irq = 95
+let ring_virq = 94
 
 let mgr_asid = 1
 
@@ -179,6 +219,13 @@ let make_kfast () =
           Exec.pin1
             (mk_fp (Klayout.handler (i + 1)) "hyper_handler"
                ~base_cycles:Costs.hypercall_handler));
+    kf_ring_setup =
+      Exec.pin1
+        (mk_fp Klayout.ring_setup_stub "ring_setup"
+           ~base_cycles:Costs.ring_setup);
+    kf_ring_drain = Exec.pin1 (mk_fp Klayout.ring_drain_stub "ring_drain");
+    kf_ring_complete =
+      Exec.pin1 (mk_fp Klayout.ring_complete_stub "ring_complete");
     kf_save = Array.make max_vcpu_slots None;
     kf_restore = Array.make max_vcpu_slots None;
     kf_inject = Array.make max_vcpu_slots None;
@@ -244,7 +291,14 @@ let boot ?(config = default_config) z =
       free_guest_indices = Queue.create ();
       free_slots = Queue.create ();
       crash_count = 0; hypercall_count = 0;
-      trace = None; check_hook = None }
+      trace = None; check_hook = None;
+      alive = 0; alloc_steps = 0;
+      asid_owner = Array.make 256 (-1); asid_cursor = 1;
+      rings = Hashtbl.create 8;
+      ring_enqueued_total = 0; ring_completed_total = 0;
+      ring_reclaimed_total = 0;
+      ring_doorbells = 0; ring_empty_doorbells = 0; ring_virqs = 0;
+      ring_max_batch = 0; asid_steals = 0 }
   in
   Hashtbl.replace t.pd_tbl 0 mgr_pd;
   t
@@ -275,10 +329,17 @@ let create_vm t ~name ?(priority = 1) ?(uses_vfp = false) main =
     Queue.is_empty t.free_guest_indices
     && t.next_guest >= Address_map.guest_slot_count
   then failwith "Kernel.create_vm: guest physical windows exhausted";
-  let asid = Kmem.alloc_asid t.kmem in
+  (* ASIDs over-commit beyond the 254 guest tags: a fresh PD that finds
+     the space exhausted starts with the sentinel 0 and has a tag
+     stolen for it the first time it is switched in. *)
+  let asid =
+    t.alloc_steps <- t.alloc_steps + 1;
+    match Kmem.try_alloc_asid t.kmem with Some a -> a | None -> 0
+  in
   let id = t.next_pd in
   t.next_pd <- id + 1;
   let index =
+    t.alloc_steps <- t.alloc_steps + 1;
     match Queue.take_opt t.free_guest_indices with
     | Some i -> i
     | None ->
@@ -287,6 +348,7 @@ let create_vm t ~name ?(priority = 1) ?(uses_vfp = false) main =
       i
   in
   let slot =
+    t.alloc_steps <- t.alloc_steps + 1;
     match Queue.take_opt t.free_slots with
     | Some s -> s
     | None ->
@@ -301,11 +363,13 @@ let create_vm t ~name ?(priority = 1) ?(uses_vfp = false) main =
       ~quantum:t.cfg.quantum ~slot ()
   in
   Vcpu.set_uses_vfp pd.Pd.vcpu uses_vfp;
+  if asid <> 0 then t.asid_owner.(asid) <- id;
   let env = { env_zynq = t.z; pd_id = id; guest_index = index; phys_base } in
   let rt = { pd; main; env; started = false; saved = None; slice_start = 0 } in
   Hashtbl.replace t.pd_tbl id pd;
   Hashtbl.replace t.rts id rt;
   Sched.enqueue t.sched pd;
+  t.alive <- t.alive + 1;
   pd
 
 let pd t id = Hashtbl.find_opt t.pd_tbl id
@@ -314,10 +378,8 @@ let current t = Option.map (fun rt -> rt.pd) t.cur
 let sched t = t.sched
 let set_check_hook t h = t.check_hook <- h
 
-let alive_guests t =
-  Hashtbl.fold
-    (fun _ rt n -> if rt.pd.Pd.state <> Pd.Dead then n + 1 else n)
-    t.rts 0
+let alive_guests t = t.alive
+let alloc_steps t = t.alloc_steps
 
 let crashes t = t.crash_count
 let hypercalls t = t.hypercall_count
@@ -389,10 +451,24 @@ let kill t rt reason =
   Hashtbl.remove t.rts rt.pd.Pd.id;
   Queue.push rt.env.guest_index t.free_guest_indices;
   Queue.push (Vcpu.slot rt.pd.Pd.vcpu) t.free_slots;
-  Kmem.free_asid t.kmem rt.pd.Pd.asid;
+  (* Ring reclamation: descriptors the guest published but the kernel
+     never drained are accounted as reclaimed, keeping the ring
+     conservation invariant closed over kills. *)
+  (match Hashtbl.find_opt t.rings rt.pd.Pd.id with
+   | Some r ->
+     t.ring_reclaimed_total <-
+       t.ring_reclaimed_total + ((r.r_tail - r.r_head) land 0xFFFFFFFF);
+     Hashtbl.remove t.rings rt.pd.Pd.id
+   | None -> ());
+  (let a = rt.pd.Pd.asid in
+   if a <> 0 then begin
+     t.asid_owner.(a) <- -1;
+     Kmem.free_asid t.kmem a
+   end);
   Kmem.retire_guest_pt t.kmem rt.pd.Pd.pt;
+  t.alive <- t.alive - 1;
   Obs.incr t.ki.ko_kills;
-  Obs.set_gauge t.ki.ko_alive (alive_guests t);
+  Obs.set_gauge t.ki.ko_alive t.alive;
   run_check t "kill"
 
 let kill_vm t id ~reason =
@@ -491,6 +567,40 @@ let rec route_irqs t =
     route_irqs t
   end
 
+(* ASID over-commit: give an incoming sentinel-tagged PD a real tag,
+   stealing one round-robin from an idle holder when the space is
+   exhausted. Populations within the 254-tag space never reach the
+   steal path, so tag-resident workloads keep their exact behaviour. *)
+let ensure_asid t (pd : Pd.t) =
+  if pd.Pd.asid = 0 then begin
+    match Kmem.try_alloc_asid t.kmem with
+    | Some a ->
+      pd.Pd.asid <- a;
+      t.asid_owner.(a) <- pd.Pd.id
+    | None ->
+      let victim_asid = ref 0 in
+      let probes = ref 0 in
+      while !victim_asid = 0 do
+        incr probes;
+        if !probes > 254 then
+          failwith "Kernel.ensure_asid: no stealable ASID";
+        t.asid_cursor <- (if t.asid_cursor >= 255 then 2 else t.asid_cursor + 1);
+        let owner = t.asid_owner.(t.asid_cursor) in
+        if owner >= 0 && owner <> pd.Pd.id then victim_asid := t.asid_cursor
+      done;
+      let a = !victim_asid in
+      (match Hashtbl.find_opt t.pd_tbl t.asid_owner.(a) with
+       | Some victim -> victim.Pd.asid <- 0
+       | None -> ());
+      (* The stolen tag's stale translations must go before it names a
+         new address space; charged as kernel bookkeeping. *)
+      ignore (Tlb.flush_asid t.z.Zynq.tlb a);
+      Clock.advance t.z.Zynq.clock Costs.asid_steal;
+      t.asid_owner.(a) <- pd.Pd.id;
+      pd.Pd.asid <- a;
+      t.asid_steals <- t.asid_steals + 1
+  end
+
 let switch_to t rt =
   match t.cur with
   | Some c when c == rt -> ()
@@ -524,6 +634,7 @@ let switch_to t rt =
      Exec.run_pinned t.z ~priv:true
        (slot_pin t.kf.kf_restore (Vcpu.slot v) (fun () ->
             Exec.pin1 (Vcpu.restore_fp v))));
+    ensure_asid t rt.pd;
     Kmem.activate_guest t.kmem rt.pd;
     (match t.cfg.vfp_policy with
      | `Active ->
@@ -585,28 +696,27 @@ let in_linear_guest_area vaddr len =
   vaddr >= Guest_layout.kernel_base && len >= 0
   && vaddr + len <= Guest_layout.page_region_base
 
-(* The Hardware Task Manager invocation: entry / execution / exit are
-   separately timed, matching Table III's three components. *)
-let handle_hw_task_request t rt ~entry_start ~task ~iface_vaddr ~data_vaddr
-    ~data_len ~want_irq =
-  let pd = rt.pd in
-  let clock = t.z.Zynq.clock in
-  let obs = t.z.Zynq.obs in
-  (* Entry: portal dispatch + switch into the manager's space. *)
-  emit t ~severity:Ktrace.Debug ~category:"hwtm" ~name:"entry"
-    [ ("pd", Ktrace.Int pd.Pd.id) ];
-  let sp_entry =
-    Obs.open_span obs ~component:"htm_entry" ~key:pd.Pd.id ~at:entry_start
-  in
-  Kmem.activate_manager t.kmem ~asid:mgr_asid;
-  Exec.run_pinned t.z ~priv:true t.kf.kf_mgr_entry;
-  Obs.close_span obs sp_entry ~at:(Clock.now clock);
-  Stats.add t.ki.kp_hwtm_entry (float_of_int (Clock.now clock - entry_start));
-  (* Execution: the Fig 7 allocation routine. *)
-  let exec_start = Clock.now clock in
-  let sp_exec =
-    Obs.open_span obs ~component:"htm_exec" ~key:pd.Pd.id ~at:exec_start
-  in
+(* Charged word access to the ring pages: the kernel reaches them at
+   their physical home (the rings live in the linearly-mapped guest
+   window), and every header/descriptor/CQE word is real data-cache
+   traffic whose residency decays with VM count. *)
+let kread_u32 t pa =
+  ignore (Hierarchy.access t.z.Zynq.hier Hierarchy.Load pa);
+  Int32.to_int (Phys_mem.read_u32 t.z.Zynq.mem pa) land 0xFFFFFFFF
+
+let kwrite_u32 t pa v =
+  ignore (Hierarchy.access t.z.Zynq.hier Hierarchy.Store pa);
+  Phys_mem.write_u32 t.z.Zynq.mem pa (Int32.of_int v)
+
+let u32_sub a b = (a - b) land 0xFFFFFFFF
+
+(* The allocation-routine body shared by ABI v1 [Hw_task_request] and
+   ABI v2 request descriptors: validation, the manager-client closure
+   set, the Fig 7 allocation call. Runs in manager context; the caller
+   owns entry/exit and timing, so the v1 path is cycle-identical to
+   its pre-ring shape. *)
+let exec_job t (pd : Pd.t) ~task ~iface_vaddr ~data_vaddr ~data_len
+    ~want_irq =
   let resp =
     if data_len < Hw_task_manager.reserved_bytes then
       Hyper.R_error "data section too small"
@@ -665,6 +775,56 @@ let handle_hw_task_request t rt ~entry_start ~task ~iface_vaddr ~data_vaddr
             irq = Option.map Irq_id.pl r.Hw_task_manager.irq;
             prr = r.Hw_task_manager.prr }
   in
+  if t.trace <> None then
+    emit t ~severity:Ktrace.Debug ~category:"hwtm" ~name:"job"
+      [ ("pd", Ktrace.Int pd.Pd.id);
+        ("op", Ktrace.Str "request");
+        ("task", Ktrace.Int task);
+        ("status",
+         Ktrace.Str
+           (match resp with
+            | Hyper.R_hw { status; _ } -> Hyper.hw_status_name status
+            | _ -> "error")) ];
+  resp
+
+(* Release body shared by ABI v1 [Hw_task_release] and ABI v2 release
+   descriptors. *)
+let exec_release t (pd : Pd.t) ~task =
+  let r = Hw_task_manager.release t.hwtm ~client_id:pd.Pd.id ~task in
+  if t.trace <> None then
+    emit t ~severity:Ktrace.Debug ~category:"hwtm" ~name:"job"
+      [ ("pd", Ktrace.Int pd.Pd.id);
+        ("op", Ktrace.Str "release");
+        ("task", Ktrace.Int task);
+        ("status",
+         Ktrace.Str (match r with Ok () -> "success" | Error _ -> "error")) ];
+  r
+
+(* The Hardware Task Manager invocation: entry / execution / exit are
+   separately timed, matching Table III's three components. *)
+let handle_hw_task_request t rt ~entry_start ~task ~iface_vaddr ~data_vaddr
+    ~data_len ~want_irq =
+  let pd = rt.pd in
+  let clock = t.z.Zynq.clock in
+  let obs = t.z.Zynq.obs in
+  (* Entry: portal dispatch + switch into the manager's space. *)
+  emit t ~severity:Ktrace.Debug ~category:"hwtm" ~name:"entry"
+    [ ("pd", Ktrace.Int pd.Pd.id) ];
+  let sp_entry =
+    Obs.open_span obs ~component:"htm_entry" ~key:pd.Pd.id ~at:entry_start
+  in
+  Kmem.activate_manager t.kmem ~asid:mgr_asid;
+  Exec.run_pinned t.z ~priv:true t.kf.kf_mgr_entry;
+  Obs.close_span obs sp_entry ~at:(Clock.now clock);
+  Stats.add t.ki.kp_hwtm_entry (float_of_int (Clock.now clock - entry_start));
+  (* Execution: the Fig 7 allocation routine. *)
+  let exec_start = Clock.now clock in
+  let sp_exec =
+    Obs.open_span obs ~component:"htm_exec" ~key:pd.Pd.id ~at:exec_start
+  in
+  let resp =
+    exec_job t pd ~task ~iface_vaddr ~data_vaddr ~data_len ~want_irq
+  in
   Obs.close_span obs sp_exec ~at:(Clock.now clock);
   Stats.add t.ki.kp_hwtm_exec (float_of_int (Clock.now clock - exec_start));
   (* Exit: back to the caller's space. *)
@@ -687,6 +847,137 @@ let handle_hw_task_request t rt ~entry_start ~task ~iface_vaddr ~data_vaddr
   emit t ~severity:Ktrace.Debug ~category:"hwtm" ~name:"exit"
     [ ("pd", Ktrace.Int pd.Pd.id) ];
   resp
+
+let hw_status_code = function
+  | Hyper.Hw_success -> 0
+  | Hyper.Hw_reconfig -> 1
+  | Hyper.Hw_busy -> 2
+  | Hyper.Hw_bad_task -> 3
+  | Hyper.Hw_fault -> 4
+
+let err_status_code = 5
+
+(* ABI v2 doorbell: drain every descriptor the guest has published,
+   in order, through one manager entry/exit — the batched counterpart
+   of [handle_hw_task_request]. Three phases: (A) in guest context,
+   observe the published tail and fetch the batch; (B) one switch into
+   the manager's space, executing each descriptor through the same
+   [exec_job]/[exec_release] bodies as ABI v1; (C) back in guest
+   context, write completion entries and inject the moderated
+   completion vIRQs (ceil(batch/budget), one injection charge each). *)
+let handle_ring_doorbell t rt ~entry_start =
+  let pd = rt.pd in
+  let clock = t.z.Zynq.clock in
+  let obs = t.z.Zynq.obs in
+  match Hashtbl.find_opt t.rings pd.Pd.id with
+  | None ->
+    Exec.run_pinned t.z ~priv:true t.kf.kf_svc_exit;
+    Hyper.R_error "ring: not set up"
+  | Some r ->
+    t.ring_doorbells <- t.ring_doorbells + 1;
+    (* Phase A: header reads + batch fetch, all charged word traffic. *)
+    Exec.run_pinned t.z ~priv:true t.kf.kf_ring_drain;
+    let new_tail = kread_u32 t r.r_sq_phys in
+    let cq_guest_head = kread_u32 t (r.r_cq_phys + 4) in
+    let fresh = u32_sub new_tail r.r_tail in
+    let in_flight = u32_sub r.r_tail r.r_head in
+    if fresh + in_flight > r.r_entries then begin
+      Exec.run_pinned t.z ~priv:true t.kf.kf_svc_exit;
+      Hyper.R_error "ring: bad submission tail"
+    end
+    else begin
+      t.ring_enqueued_total <- t.ring_enqueued_total + fresh;
+      r.r_tail <- new_tail;
+      (* CQ backpressure: completions the guest has not consumed cap
+         the batch; the excess stays in flight for a later doorbell. *)
+      let cq_room = r.r_entries - u32_sub r.r_head cq_guest_head in
+      let batch = min (u32_sub r.r_tail r.r_head) cq_room in
+      if batch = 0 then begin
+        t.ring_empty_doorbells <- t.ring_empty_doorbells + 1;
+        Exec.run_pinned t.z ~priv:true t.kf.kf_svc_exit;
+        Hyper.R_int 0
+      end
+      else begin
+        let mask = r.r_entries - 1 in
+        let descs =
+          Array.init batch (fun k ->
+              let d =
+                r.r_sq_phys + Guest_layout.ring_hdr_size
+                + (((r.r_head + k) land mask) * Guest_layout.ring_desc_size)
+              in
+              Clock.advance clock Costs.ring_desc_validate;
+              (kread_u32 t d, kread_u32 t (d + 4), kread_u32 t (d + 8),
+               kread_u32 t (d + 12), kread_u32 t (d + 16),
+               kread_u32 t (d + 20), kread_u32 t (d + 24)))
+        in
+        (* Phase B: one manager entry for the whole batch. *)
+        let sp =
+          Obs.open_span obs ~component:"ring_drain" ~key:pd.Pd.id
+            ~at:entry_start
+        in
+        Kmem.activate_manager t.kmem ~asid:mgr_asid;
+        Exec.run_pinned t.z ~priv:true t.kf.kf_mgr_entry;
+        let cqes =
+          Array.map
+            (fun (op, task, iface_vaddr, data_vaddr, data_len, flags, tag) ->
+               match op with
+               | 0 ->
+                 (match
+                    exec_job t pd ~task ~iface_vaddr ~data_vaddr ~data_len
+                      ~want_irq:(flags land 1 = 1)
+                  with
+                  | Hyper.R_hw { status; irq; prr } ->
+                    (tag, hw_status_code status,
+                     (match prr with Some p -> p + 1 | None -> 0),
+                     (match irq with Some i -> i + 1 | None -> 0))
+                  | _ -> (tag, err_status_code, 0, 0))
+               | 1 ->
+                 (match exec_release t pd ~task with
+                  | Ok () -> (tag, 0, 0, 0)
+                  | Error _ -> (tag, err_status_code, 0, 0))
+               | _ -> (tag, err_status_code, 0, 0))
+            descs
+        in
+        (* Phase C: back to the guest; CQE stores + header write-back. *)
+        Exec.run_pinned t.z ~priv:true
+          (slot_pin t.kf.kf_mgr_exit (Vcpu.slot pd.Pd.vcpu) (fun () ->
+               let sa_base, _ = Vcpu.save_area pd.Pd.vcpu in
+               Exec.pin1
+                 (mk_fp Klayout.mgr_exit_stub "hwtm_exit"
+                    ~reads:[ { Exec.base = sa_base; len = 160 } ]
+                    ~base_cycles:Costs.mgr_exit)));
+        Kmem.activate_guest t.kmem pd;
+        Exec.run_pinned t.z ~priv:true t.kf.kf_ring_complete;
+        Array.iteri
+          (fun k (tag, status, prr1, irq1) ->
+             let c =
+               r.r_cq_phys + Guest_layout.ring_hdr_size
+               + (((r.r_head + k) land mask) * Guest_layout.ring_cqe_size)
+             in
+             Clock.advance clock Costs.ring_cqe_write;
+             kwrite_u32 t c tag;
+             kwrite_u32 t (c + 4) status;
+             kwrite_u32 t (c + 8) prr1;
+             kwrite_u32 t (c + 12) irq1)
+          cqes;
+        r.r_head <- (r.r_head + batch) land 0xFFFFFFFF;
+        t.ring_completed_total <- t.ring_completed_total + batch;
+        kwrite_u32 t (r.r_sq_phys + 4) r.r_head;
+        kwrite_u32 t r.r_cq_phys r.r_head;
+        (* Completion-vIRQ moderation: one injection per [budget]
+           completions (0 = pure polling, no vIRQ). *)
+        let virqs =
+          if r.r_budget = 0 then 0
+          else (batch + r.r_budget - 1) / r.r_budget
+        in
+        for _ = 1 to virqs do inject_charged t pd.Pd.id ring_virq done;
+        t.ring_virqs <- t.ring_virqs + virqs;
+        if batch > t.ring_max_batch then t.ring_max_batch <- batch;
+        Exec.run_pinned t.z ~priv:true t.kf.kf_svc_exit;
+        Obs.close_span obs sp ~at:(Clock.now clock);
+        Hyper.R_int batch
+      end
+    end
 
 let handle_simple t rt req =
   let pd = rt.pd in
@@ -786,7 +1077,7 @@ let handle_simple t rt req =
        Hyper.R_unit
      with Invalid_argument e -> Hyper.R_error e)
   | Hyper.Hw_task_release { task } ->
-    (match Hw_task_manager.release t.hwtm ~client_id:pd.Pd.id ~task with
+    (match exec_release t pd ~task with
      | Ok () -> Hyper.R_unit
      | Error e -> Hyper.R_error e)
   | Hyper.Hw_task_status { task } ->
@@ -819,6 +1110,44 @@ let handle_simple t rt req =
          ~base_cycles:(Array.length m.Ipc.payload * Costs.ipc_per_word)
          "ipc_copy";
        Hyper.R_msg (Some (m.Ipc.sender, m.Ipc.payload)))
+  | Hyper.Ring_setup { entries; cvirq_budget } ->
+    if entries < 1 || entries > Guest_layout.ring_max_entries then
+      Hyper.R_error "ring: bad entry count"
+    else if cvirq_budget < 0 then Hyper.R_error "ring: bad vIRQ budget"
+    else begin
+      let e = ref 1 in
+      while !e < entries do e := !e * 2 done;
+      let entries = !e in
+      Exec.run_pinned t.z ~priv:true t.kf.kf_ring_setup;
+      let sq_phys =
+        Guest_layout.to_phys ~phys_base:pd.Pd.phys_base
+          Guest_layout.ring_sq_base
+      and cq_phys =
+        Guest_layout.to_phys ~phys_base:pd.Pd.phys_base
+          Guest_layout.ring_cq_base
+      in
+      (* Both 64 B headers are zeroed (charged stores); re-setup of a
+         live ring forfeits its undrained descriptors as reclaimed so
+         conservation stays closed. *)
+      (match Hashtbl.find_opt t.rings pd.Pd.id with
+       | Some r ->
+         t.ring_reclaimed_total <-
+           t.ring_reclaimed_total + u32_sub r.r_tail r.r_head
+       | None -> ());
+      for i = 0 to (Guest_layout.ring_hdr_size / 4) - 1 do
+        kwrite_u32 t (sq_phys + (4 * i)) 0;
+        kwrite_u32 t (cq_phys + (4 * i)) 0
+      done;
+      Hashtbl.replace t.rings pd.Pd.id
+        { r_pd = pd.Pd.id; r_entries = entries; r_budget = cvirq_budget;
+          r_sq_phys = sq_phys; r_cq_phys = cq_phys; r_tail = 0; r_head = 0 };
+      Vgic.register pd.Pd.vgic ring_virq;
+      Vgic.enable pd.Pd.vgic ring_virq;
+      Hyper.R_ring
+        { sq_vaddr = Guest_layout.ring_sq_base;
+          cq_vaddr = Guest_layout.ring_cq_base; entries }
+    end
+  | Hyper.Ring_doorbell -> assert false (* handled separately *)
   | Hyper.Hw_task_request _ -> assert false (* handled separately *)
 
 let handle_hyper t rt req =
@@ -841,6 +1170,7 @@ let handle_hyper t rt req =
                               want_irq } ->
       handle_hw_task_request t rt ~entry_start:t0 ~task ~iface_vaddr
         ~data_vaddr ~data_len ~want_irq
+    | Hyper.Ring_doorbell -> handle_ring_doorbell t rt ~entry_start:t0
     | _ ->
       let r = handle_simple t rt req in
       Exec.run_pinned t.z ~priv:true t.kf.kf_svc_exit;
@@ -948,3 +1278,40 @@ let run t ~until =
   done
 
 let run_for t d = run t ~until:(Clock.now t.z.Zynq.clock + d)
+
+type ring_stats = {
+  rs_enqueued : int;
+  rs_completed : int;
+  rs_reclaimed : int;
+  rs_doorbells : int;
+  rs_empty_doorbells : int;
+  rs_virqs : int;
+  rs_max_batch : int;
+  rs_asid_steals : int;
+}
+
+let ring_stats t =
+  { rs_enqueued = t.ring_enqueued_total;
+    rs_completed = t.ring_completed_total;
+    rs_reclaimed = t.ring_reclaimed_total;
+    rs_doorbells = t.ring_doorbells;
+    rs_empty_doorbells = t.ring_empty_doorbells;
+    rs_virqs = t.ring_virqs;
+    rs_max_batch = t.ring_max_batch;
+    rs_asid_steals = t.asid_steals }
+
+type ring_view = {
+  rv_pd : int;
+  rv_entries : int;
+  rv_in_flight : int;
+  rv_sq_phys : Addr.t;
+}
+
+let ring_views t =
+  Hashtbl.fold
+    (fun _ r acc ->
+       { rv_pd = r.r_pd; rv_entries = r.r_entries;
+         rv_in_flight = u32_sub r.r_tail r.r_head;
+         rv_sq_phys = r.r_sq_phys }
+       :: acc)
+    t.rings []

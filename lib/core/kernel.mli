@@ -63,6 +63,10 @@ val config : t -> config
 val ipc_doorbell_irq : int
 (** Virtual interrupt injected into a PD when a message arrives. *)
 
+val ring_virq : int
+(** Virtual interrupt carrying moderated ABI v2 ring completions
+    (registered and enabled for a PD by [Ring_setup]). *)
+
 val register_hw_task : t -> Task_kind.t -> Bitstream.id
 (** Add a bitstream to the Hardware Task Manager's store. *)
 
@@ -106,8 +110,46 @@ val run_for : t -> Cycles.t -> unit
 (** [run t ~until:(now + d)]. *)
 
 val alive_guests : t -> int
+(** O(1): maintained at create/kill, never rescans the PD table. *)
+
 val crashes : t -> int
 (** Guests killed on an unhandled fault/exception. *)
 
 val hypercalls : t -> int
 (** Total hypercalls dispatched. *)
+
+val alloc_steps : t -> int
+(** Cumulative slot/window/ASID allocation steps across every
+    [create_vm] (one per queue pop or bump). Growth is flat per create
+    at any population — the fleet-scaling regression pins this. *)
+
+(** {2 ABI v2 descriptor rings} *)
+
+(** Lifetime totals of the ring plane, all monotone. Conservation:
+    [rs_enqueued = rs_completed + rs_reclaimed + Σ in-flight] over the
+    live rings ({!ring_views}) — the invariant plane checks it at
+    world-switch/kill/recovery boundaries. *)
+type ring_stats = {
+  rs_enqueued : int;        (** descriptors observed at doorbells *)
+  rs_completed : int;       (** completion entries written *)
+  rs_reclaimed : int;       (** undrained descriptors of killed/reset rings *)
+  rs_doorbells : int;       (** [Ring_doorbell] hypercalls *)
+  rs_empty_doorbells : int; (** doorbells that found nothing drainable *)
+  rs_virqs : int;           (** moderated completion vIRQ injections *)
+  rs_max_batch : int;       (** largest single-doorbell batch *)
+  rs_asid_steals : int;     (** ASID revocations under over-commit *)
+}
+
+val ring_stats : t -> ring_stats
+
+type ring_view = {
+  rv_pd : int;
+  rv_entries : int;
+  rv_in_flight : int;
+  rv_sq_phys : Addr.t;
+      (** physical base of the submission page — lets harnesses poke
+          descriptors host-side the way a DMA-capable device would *)
+}
+
+val ring_views : t -> ring_view list
+(** One entry per live ring (unordered). *)

@@ -24,6 +24,12 @@ let handler n =
     invalid_arg "Klayout.handler: bad hypercall number";
   (code + 0x1000 + ((n - 1) * 256), 192)
 
+(* ABI v2 ring paths: setup, doorbell drain loop, completion writer.
+   Handlers end at [handler hypercall_count]; these sit above them. *)
+let ring_setup_stub = (code + 0x3000, 224)
+let ring_drain_stub = (code + 0x3100, 256)
+let ring_complete_stub = (code + 0x3200, 224)
+
 (* Manager service: its code/data sit in their own pages, mapped into
    the manager's address space (identity), distinct from all guests. *)
 let mgr_entry_stub = (code + 0x10000, 192)

@@ -44,6 +44,15 @@ val trap_decode : range
 
 val ipc_copy : range
 
+val ring_setup_stub : range
+(** ABI v2 [Ring_setup]: ring-page initialisation. *)
+
+val ring_drain_stub : range
+(** ABI v2 doorbell drain loop: header reads + per-descriptor fetch. *)
+
+val ring_complete_stub : range
+(** ABI v2 completion writer: CQE stores + header write-back. *)
+
 (** {2 Hardware Task Manager service (its own address space)} *)
 
 val mgr_entry_stub : range

@@ -43,6 +43,11 @@ let create zynq =
       ~base:(Address_map.kernel_data_base + heap_off)
       ~size:(Address_map.kernel_data_size - heap_off)
   in
+  (* Fleet-scale guest populations need more page-table frames than the
+     in-image heap holds; spill into the dedicated heap region above the
+     low DDR bank. Placement in the primary region is unchanged. *)
+  Frame_alloc.add_region alloc ~base:Address_map.kernel_heap_base
+    ~size:Address_map.kernel_heap_size;
   let kernel_pt = Page_table.create zynq.Zynq.mem alloc in
   install_kernel_globals kernel_pt;
   map_identity_sections kernel_pt ~base:Address_map.bitstream_store_base
@@ -64,7 +69,7 @@ let zynq t = t.zynq
 let kernel_pt t = t.kernel_pt
 let allocator t = t.alloc
 
-let alloc_asid t =
+let try_alloc_asid t =
   match Queue.take_opt t.free_asids with
   | Some a ->
     (* Recycled: stale entries tagged with the previous owner must go
@@ -72,13 +77,19 @@ let alloc_asid t =
        the cycle charge belongs to the kill path's bookkeeping, and
        table3-style fixed populations never reach this branch. *)
     ignore (Tlb.flush_asid t.zynq.Zynq.tlb a);
-    a
+    Some a
   | None ->
-    if t.next_asid > 255 then
-      failwith "Kmem.alloc_asid: ASID space exhausted";
-    let a = t.next_asid in
-    t.next_asid <- a + 1;
-    a
+    if t.next_asid > 255 then None
+    else begin
+      let a = t.next_asid in
+      t.next_asid <- a + 1;
+      Some a
+    end
+
+let alloc_asid t =
+  match try_alloc_asid t with
+  | Some a -> a
+  | None -> failwith "Kmem.alloc_asid: ASID space exhausted"
 
 let free_asid t a =
   if a < 2 || a > 255 then invalid_arg "Kmem.free_asid: reserved ASID";
@@ -177,6 +188,15 @@ let in_page_region vaddr =
 let charge_pt_update t =
   Clock.advance t.zynq.Zynq.clock Costs.pt_update
 
+(* ASID 0 is the "no ASID assigned yet" sentinel of an over-committed
+   PD: the guest has never run under its own tag, so there are no
+   stale entries to shoot down (and flushing ASID 0 would evict kernel
+   translations instead). *)
+let flush_guest_page t (pd : Pd.t) vaddr =
+  if pd.Pd.asid <> 0 then
+    Tlb.flush_page t.zynq.Zynq.tlb ~asid:pd.Pd.asid
+      ~vpage:(vaddr lsr Addr.page_shift)
+
 let guest_map_page t (pd : Pd.t) ~vaddr ~gphys_off ~user =
   if not (Addr.is_aligned vaddr Addr.page_size) then
     Error "map: vaddr not page aligned"
@@ -193,8 +213,7 @@ let guest_map_page t (pd : Pd.t) ~vaddr ~gphys_off ~user =
        Page_table.map_page pd.Pd.pt ~virt:vaddr
          ~phys:(pd.Pd.phys_base + gphys_off) ~domain ~ap:Pte.Ap_full
          ~global:false;
-       Tlb.flush_page t.zynq.Zynq.tlb ~asid:pd.Pd.asid
-         ~vpage:(vaddr lsr Addr.page_shift);
+       flush_guest_page t pd vaddr;
        charge_pt_update t;
        Ok ()
      with Invalid_argument e -> Error e)
@@ -205,8 +224,7 @@ let guest_unmap_page t (pd : Pd.t) ~vaddr =
     Error "unmap: vaddr outside the guest page region"
   else begin
     let existed = Page_table.unmap_page pd.Pd.pt ~virt:vaddr in
-    Tlb.flush_page t.zynq.Zynq.tlb ~asid:pd.Pd.asid
-      ~vpage:(vaddr lsr Addr.page_shift);
+    flush_guest_page t pd vaddr;
     charge_pt_update t;
     if existed then Ok () else Error "unmap: nothing mapped"
   end
@@ -220,16 +238,14 @@ let map_iface t (pd : Pd.t) ~prr_regs_base ~vaddr =
     (try
        Page_table.map_page pd.Pd.pt ~virt:vaddr ~phys:prr_regs_base
          ~domain:dom_guest_user ~ap:Pte.Ap_full ~global:false;
-       Tlb.flush_page t.zynq.Zynq.tlb ~asid:pd.Pd.asid
-         ~vpage:(vaddr lsr Addr.page_shift);
+       flush_guest_page t pd vaddr;
        charge_pt_update t;
        Ok ()
      with Invalid_argument e -> Error e)
 
 let unmap_iface t (pd : Pd.t) ~vaddr =
   ignore (Page_table.unmap_page pd.Pd.pt ~virt:vaddr);
-  Tlb.flush_page t.zynq.Zynq.tlb ~asid:pd.Pd.asid
-    ~vpage:(vaddr lsr Addr.page_shift);
+  flush_guest_page t pd vaddr;
   charge_pt_update t
 
 let guest_translate t (pd : Pd.t) vaddr =

@@ -28,11 +28,17 @@ val zynq : t -> Zynq.t
 val kernel_pt : t -> Page_table.t
 val allocator : t -> Frame_alloc.t
 
+val try_alloc_asid : t -> int option
+(** Next free ASID (kernel holds 0, manager 1, guests from 2), or
+    [None] when all 254 guest ASIDs are held. ASIDs returned through
+    {!free_asid} are recycled FIFO; a recycled ASID's stale TLB entries
+    are flushed before reuse (host-side, uncharged — the cost is billed
+    to the kill path's bookkeeping). Fleet-scale populations beyond the
+    8-bit space run over-committed: the PD keeps the sentinel ASID 0
+    until the scheduler steals one on first activation. *)
+
 val alloc_asid : t -> int
-(** Next free ASID (kernel holds 0, manager 1, guests from 2). ASIDs
-    returned through {!free_asid} are recycled FIFO; a recycled ASID's
-    stale TLB entries are flushed before reuse (host-side, uncharged —
-    the cost is billed to the kill path's bookkeeping).
+(** {!try_alloc_asid} that raises instead.
     @raise Failure when the 8-bit space is exhausted. *)
 
 val free_asid : t -> int -> unit

@@ -7,7 +7,7 @@ type t = {
   name : string;
   kind : kind;
   priority : int;
-  asid : int;
+  mutable asid : int;
   pt : Page_table.t;
   vcpu : Vcpu.t;
   vgic : Vgic.t;

@@ -21,7 +21,9 @@ type t = {
   name : string;
   kind : kind;
   priority : int;            (** scheduler level, higher wins *)
-  asid : int;
+  mutable asid : int;
+      (** TLB tag; 0 is the over-commit sentinel "none assigned yet" —
+          the kernel steals one before the PD first runs *)
   pt : Page_table.t;
   vcpu : Vcpu.t;
   vgic : Vgic.t;

@@ -9,6 +9,19 @@ val ddr_base : Addr.t
 val ddr_size : int
 (** 512 MB of DDR at [0x0010_0000] (first MB reserved, as on Zynq). *)
 
+val ddr_high_base : Addr.t
+val ddr_high_size : int
+(** Second DDR bank at 4 GB holding the guest windows beyond the low
+    bank's 29 slots. Reached through the extended physical base bits
+    of {!Pte} descriptors; clear of every peripheral window. *)
+
+val kernel_heap_base : Addr.t
+val kernel_heap_size : int
+(** Frame-allocator overflow region directly above the low DDR bank
+    (below 4 GB so L2 table bases still encode in 32 bits): kernel
+    page tables for fleet-scale guest populations spill here once the
+    in-image heap is full. *)
+
 val ocm_base : Addr.t
 val ocm_size : int
 (** 256 KB on-chip memory at [0xFFFC_0000]. *)
@@ -58,10 +71,15 @@ val guest_phys_base : int -> Addr.t
 val guest_phys_size : int
 (** 16 MB per guest. *)
 
+val low_guest_slots : int
+(** Windows that fit in the low DDR bank (29), at their historical
+    addresses. *)
+
 val guest_slot_count : int
-(** Number of guest physical windows that fit in DDR (29) — the bound
-    on {e concurrently} live VMs; the kernel recycles windows of dead
-    VMs. *)
+(** Guest physical windows provisioned across both banks (256) — the
+    bound on {e concurrently} live VMs; the kernel recycles windows of
+    dead VMs. *)
 
 val in_ddr : Addr.t -> bool
-(** True when an address falls inside DDR. *)
+(** True when an address falls inside either DDR bank (kernel heap
+    included). *)

@@ -12,11 +12,24 @@ type t = {
      derivable from [next]: bump allocation skips padding to satisfy
      alignment, and padding is not anybody's allocation. *)
   mutable live : int;
+  (* Optional overflow region: bump-allocated only after the primary
+     region is exhausted, so workloads that fit the primary region see
+     byte-identical placement whether or not an overflow is attached. *)
+  mutable o_base : Addr.t;
+  mutable o_size : int;
+  mutable o_next : Addr.t;
 }
 
 let create ~base ~size =
   { base; size; next = base; free = Hashtbl.create 4; freed_bytes = 0;
-    live = 0 }
+    live = 0; o_base = 0; o_size = 0; o_next = 0 }
+
+let add_region t ~base ~size =
+  if t.o_size <> 0 then invalid_arg "Frame_alloc.add_region: already attached";
+  if size <= 0 then invalid_arg "Frame_alloc.add_region: empty region";
+  t.o_base <- base;
+  t.o_size <- size;
+  t.o_next <- base
 
 let bucket t n =
   match Hashtbl.find_opt t.free n with
@@ -36,14 +49,25 @@ let alloc t ?(align = 4) n =
     a
   | None ->
     let a = Addr.align_up t.next align in
-    if a + n > t.base + t.size then
-      failwith "Frame_alloc: kernel memory region exhausted";
-    t.next <- a + n;
-    t.live <- t.live + n;
-    a
+    if a + n <= t.base + t.size then begin
+      t.next <- a + n;
+      t.live <- t.live + n;
+      a
+    end
+    else if t.o_size <> 0 then begin
+      let a = Addr.align_up t.o_next align in
+      if a + n > t.o_base + t.o_size then
+        failwith "Frame_alloc: kernel memory region exhausted";
+      t.o_next <- a + n;
+      t.live <- t.live + n;
+      a
+    end
+    else failwith "Frame_alloc: kernel memory region exhausted"
 
 let free t addr n =
-  if addr < t.base || addr + n > t.next then
+  let in_primary = addr >= t.base && addr + n <= t.next in
+  let in_overflow = addr >= t.o_base && addr + n <= t.o_next in
+  if not (in_primary || in_overflow) then
     invalid_arg "Frame_alloc.free: chunk outside the allocated region";
   let b = bucket t n in
   if List.mem addr !b then invalid_arg "Frame_alloc.free: double free";
@@ -51,6 +75,6 @@ let free t addr n =
   t.freed_bytes <- t.freed_bytes + n;
   t.live <- t.live - n
 
-let used t = t.next - t.base
-let remaining t = t.base + t.size - t.next
+let used t = (t.next - t.base) + (t.o_next - t.o_base)
+let remaining t = (t.base + t.size - t.next) + (t.o_base + t.o_size - t.o_next)
 let live_bytes t = t.live

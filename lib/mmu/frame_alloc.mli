@@ -12,6 +12,12 @@ type t
 
 val create : base:Addr.t -> size:int -> t
 
+val add_region : t -> base:Addr.t -> size:int -> unit
+(** Attach a one-off overflow region, bump-allocated only after the
+    primary region is exhausted: placement inside the primary region
+    is byte-identical with or without the overflow attached.
+    @raise Invalid_argument if one is already attached or empty. *)
+
 val alloc : t -> ?align:int -> int -> Addr.t
 (** [alloc t ~align n] returns an [align]-aligned physical base of [n]
     bytes — a recycled chunk of exactly size [n] whose address

@@ -13,9 +13,23 @@ type l2 =
 
 (* Word layouts (bits):
    L1 table:   [31:10] L2 base | [8:5] domain | [1:0]=01
-   L1 section: [31:20] base | [17] global | [11:10] AP | [8:5] domain
-               | [1:0]=10
-   L2 small:   [31:12] base | [11] global | [5:4] AP | [1:0]=10 *)
+   L1 section: [31:20] base | [17] global | [15:12] base[35:32]
+               | [11:10] AP | [8:5] domain | [1:0]=10
+   L2 small:   [31:12] base | [11] global | [9:6] base[35:32]
+               | [5:4] AP | [1:0]=10
+
+   Sections and small pages carry LPAE-style extended base bits
+   (PA[35:32], packed into bits the simplified layout leaves free) so
+   guest windows can live in the high DDR bank above 4 GB while the
+   descriptor word stays 32 bits. L2 table frames come from the
+   kernel's frame allocator, which sits below 4 GB, so the L1 table
+   descriptor keeps its plain 32-bit base. *)
+
+let ext_base_max = 1 lsl 36
+
+let check_ext_base what base =
+  if base < 0 || base >= ext_base_max then
+    invalid_arg (Printf.sprintf "Pte: %s base beyond 36-bit physical" what)
 
 let ap_bits = function Ap_none -> 0 | Ap_priv -> 1 | Ap_full -> 3
 
@@ -37,13 +51,17 @@ let encode_l1 = function
     check_domain domain;
     if not (Addr.is_aligned base 1024) then
       invalid_arg "Pte: L2 table base must be 1 KB aligned";
+    if base lsr 32 <> 0 then
+      invalid_arg "Pte: L2 table base must lie below 4 GB";
     to_i32 (base lor (domain lsl 5) lor 0b01)
   | L1_section (base, a) ->
     check_domain a.domain;
     if not (Addr.is_aligned base Addr.section_size) then
       invalid_arg "Pte: section base must be 1 MB aligned";
+    check_ext_base "section" base;
     to_i32
-      (base
+      (base land 0xFFF0_0000
+       lor ((base lsr 32) lsl 12)
        lor (if a.global then 1 lsl 17 else 0)
        lor (ap_bits a.ap lsl 10)
        lor (a.domain lsl 5)
@@ -56,7 +74,7 @@ let decode_l1 w =
   | 0b01 -> L1_table (v land lnot 1023, (v lsr 5) land 0xf)
   | 0b10 ->
     L1_section
-      (v land lnot (Addr.section_size - 1),
+      ((v land 0xFFF0_0000) lor (((v lsr 12) land 0xF) lsl 32),
        { ap = ap_of_bits ((v lsr 10) land 0b11);
          domain = (v lsr 5) land 0xf;
          global = (v lsr 17) land 1 = 1 })
@@ -67,8 +85,10 @@ let encode_l2 = function
   | L2_small (base, ap, global) ->
     if not (Addr.is_aligned base Addr.page_size) then
       invalid_arg "Pte: small page base must be 4 KB aligned";
+    check_ext_base "small page" base;
     to_i32
-      (base
+      (base land 0xFFFF_F000
+       lor ((base lsr 32) lsl 6)
        lor (if global then 1 lsl 11 else 0)
        lor (ap_bits ap lsl 4)
        lor 0b10)
@@ -79,7 +99,7 @@ let decode_l2 w =
   | 0b00 -> L2_fault
   | 0b10 ->
     L2_small
-      (v land lnot (Addr.page_size - 1),
+      ((v land 0xFFFF_F000) lor (((v lsr 6) land 0xF) lsl 32),
        ap_of_bits ((v lsr 4) land 0b11),
        (v lsr 11) land 1 = 1)
   | _ -> invalid_arg "Pte.decode_l2: reserved descriptor type"

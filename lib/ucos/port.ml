@@ -19,6 +19,8 @@ type t = {
     want_irq:bool -> Hyper.response;
   hw_release : task:int -> Hyper.response;
   hw_status : task:int -> Hyper.response;
+  ring_setup : entries:int -> cvirq_budget:int -> Hyper.response;
+  ring_doorbell : unit -> Hyper.response;
   send : dest:int -> int array -> Hyper.response;
   recv : unit -> (int * int array) option;
 }
@@ -76,6 +78,10 @@ let paravirt (env : Kernel.guest_env) =
               { task; iface_vaddr; data_vaddr; data_len; want_irq }));
     hw_release = (fun ~task -> call (Hyper.Hw_task_release { task }));
     hw_status = (fun ~task -> call (Hyper.Hw_task_status { task }));
+    ring_setup =
+      (fun ~entries ~cvirq_budget ->
+         call (Hyper.Ring_setup { entries; cvirq_budget }));
+    ring_doorbell = (fun () -> call Hyper.Ring_doorbell);
     send = (fun ~dest payload -> call (Hyper.Vm_send { dest; payload }));
     recv =
       (fun () ->

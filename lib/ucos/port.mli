@@ -63,6 +63,14 @@ type t = {
 
   hw_release : task:int -> Hyper.response;
   hw_status : task:int -> Hyper.response;
+
+  ring_setup : entries:int -> cvirq_budget:int -> Hyper.response;
+  (** map the ABI v2 descriptor ring ([Ring_setup]; paravirt only —
+      the native port has no hypervisor to batch against) *)
+
+  ring_doorbell : unit -> Hyper.response;
+  (** drain published descriptors ([Ring_doorbell]) *)
+
   send : dest:int -> int array -> Hyper.response;
   recv : unit -> (int * int array) option;
 }

@@ -139,6 +139,9 @@ let create ?prr_capacities ?lat () =
            in
            let faults = Hw_task_manager.faults hwtm ~client_id:0 ~task in
            Hyper.R_status { prr_ready = ready; consistent; faults });
+      ring_setup =
+        (fun ~entries:_ ~cvirq_budget:_ -> Hyper.R_error "native: no ring ABI");
+      ring_doorbell = (fun () -> Hyper.R_error "native: no ring ABI");
       send = (fun ~dest:_ _ -> Hyper.R_error "native: no peers");
       recv = (fun () -> None) }
   in

@@ -1,0 +1,135 @@
+type t = {
+  sq : Addr.t;
+  cq : Addr.t;
+  entries : int;
+  mutable chead : int;
+}
+
+type cqe = {
+  tag : int;
+  status : int;
+  prr : int option;
+  irq : int option;
+}
+
+let status_success = 0
+let status_reconfig = 1
+let status_busy = 2
+let status_bad_task = 3
+let status_fault = 4
+let status_error = 5
+
+let status_name = function
+  | 0 -> "success"
+  | 1 -> "reconfig"
+  | 2 -> "busy"
+  | 3 -> "bad_task"
+  | 4 -> "fault"
+  | _ -> "error"
+
+let mask32 = 0xFFFFFFFF
+
+let rd p a =
+  Int32.to_int (Zynq.vread_u32 p.Port.zynq ~priv:p.Port.priv a) land mask32
+
+let wr p a v =
+  Zynq.vwrite_u32 p.Port.zynq ~priv:p.Port.priv a (Int32.of_int v)
+
+let setup p ?(entries = Guest_layout.ring_max_entries) ?(cvirq_budget = 8) ()
+  =
+  match p.Port.ring_setup ~entries ~cvirq_budget with
+  | Hyper.R_ring { sq_vaddr; cq_vaddr; entries } ->
+    Ok { sq = sq_vaddr; cq = cq_vaddr; entries; chead = 0 }
+  | Hyper.R_error e -> Error e
+  | _ -> Error "ring: unexpected setup response"
+
+(* Header fields are always reread from the shared pages rather than
+   shadowed guest-side: the kernel moves its indices between our
+   accesses (and the soak engine's host-side burst writer moves the
+   guest tail), so cached copies would go stale. *)
+let sq_tail p r = rd p r.sq
+let sq_head p r = rd p (r.sq + 4)
+let cq_tail p r = rd p r.cq
+
+let in_flight p r = (sq_tail p r - sq_head p r) land mask32
+let space p r = r.entries - in_flight p r
+
+let completions_pending p r = (cq_tail p r - r.chead) land mask32
+
+let enqueue p r ~op ~task ?iface_vaddr ?data_vaddr
+    ?(data_len = Guest_layout.default_data_section_len)
+    ?(want_irq = false) ~tag () =
+  let tail = sq_tail p r in
+  if ((tail - sq_head p r) land mask32) >= r.entries then false
+  else begin
+    let iface_vaddr =
+      match iface_vaddr with
+      | Some v -> v
+      | None ->
+        Guest_layout.page_region_base + ((64 + (task land 127)) * Addr.page_size)
+    in
+    let data_vaddr =
+      Option.value data_vaddr ~default:Guest_layout.default_data_section
+    in
+    let slot = tail land (r.entries - 1) in
+    let d =
+      r.sq + Guest_layout.ring_hdr_size + (slot * Guest_layout.ring_desc_size)
+    in
+    wr p d (match op with `Request -> 0 | `Release -> 1);
+    wr p (d + 4) task;
+    wr p (d + 8) iface_vaddr;
+    wr p (d + 12) data_vaddr;
+    wr p (d + 16) data_len;
+    wr p (d + 20) (if want_irq then 1 else 0);
+    wr p (d + 24) tag;
+    (* Publish: the tail store is the guest's half of the protocol. *)
+    wr p r.sq ((tail + 1) land mask32);
+    true
+  end
+
+let doorbell p r =
+  ignore r;
+  match p.Port.ring_doorbell () with
+  | Hyper.R_int n -> Ok n
+  | Hyper.R_error e -> Error e
+  | _ -> Error "ring: unexpected doorbell response"
+
+let poll p r =
+  if completions_pending p r = 0 then None
+  else begin
+    let slot = r.chead land (r.entries - 1) in
+    let c =
+      r.cq + Guest_layout.ring_hdr_size + (slot * Guest_layout.ring_cqe_size)
+    in
+    let tag = rd p c in
+    let status = rd p (c + 4) in
+    let prr1 = rd p (c + 8) in
+    let irq1 = rd p (c + 12) in
+    r.chead <- (r.chead + 1) land mask32;
+    (* Consumption notice: frees the CQE slot for the kernel. *)
+    wr p (r.cq + 4) r.chead;
+    Some
+      { tag; status;
+        prr = (if prr1 = 0 then None else Some (prr1 - 1));
+        irq = (if irq1 = 0 then None else Some (irq1 - 1)) }
+  end
+
+let drain_completions p r =
+  let rec go acc =
+    match poll p r with None -> List.rev acc | Some c -> go (c :: acc)
+  in
+  go []
+
+(* Batched acquire: one descriptor per task, one doorbell, then poll
+   the completion ring — the v2 counterpart of calling
+   [Hw_task_api.acquire] per task. *)
+let submit_requests p r ~tasks ?(want_irq = false) () =
+  let accepted =
+    List.filteri
+      (fun i task ->
+         enqueue p r ~op:`Request ~task ~want_irq ~tag:(i + 1) ())
+      tasks
+  in
+  match doorbell p r with
+  | Ok _ -> Ok (List.length accepted, drain_completions p r)
+  | Error e -> Error e

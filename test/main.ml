@@ -22,4 +22,5 @@ let () =
       Test_obs.suite;
       Test_slo.suite;
       Test_check.suite;
+      Test_ring.suite;
       Test_ctrlpath.suite ]

@@ -35,18 +35,30 @@ let all_requests =
     Hyper.Vm_send { dest = 0; payload = [||] };
     Hyper.Vm_recv ]
 
-let test_hypercall_count_is_25 () =
-  (* The paper provides exactly 25 hypercalls (§V-B). *)
-  check ci "ABI size" 25 Hyper.hypercall_count;
-  check ci "constructor coverage" 25 (List.length all_requests)
+let test_hypercall_count_versioned () =
+  (* The paper provides exactly 25 hypercalls (§V-B): that is ABI v1,
+     pinned forever. The descriptor-ring extension is ABI v2. *)
+  check ci "ABI v1 size" 25 Hyper.hypercall_count_v1;
+  check ci "ABI v2 size" 27 Hyper.hypercall_count_v2;
+  check ci "current ABI is v2" Hyper.hypercall_count_v2 Hyper.hypercall_count;
+  check ci "abi_version" 2 Hyper.abi_version;
+  check ci "v1 constructor coverage" 25 (List.length all_requests);
+  List.iter
+    (fun r -> check ci ("v1: " ^ Hyper.name r) 1 (Hyper.version_of r))
+    all_requests;
+  List.iter
+    (fun r -> check ci ("v2: " ^ Hyper.name r) 2 (Hyper.version_of r))
+    Hyper.requests_v2
 
 let test_hypercall_numbering () =
   let numbers = List.map Hyper.number all_requests in
   check (Alcotest.list ci) "dense stable numbering 1..25"
     (List.init 25 (fun i -> i + 1))
     numbers;
-  let names = List.map Hyper.name all_requests in
-  check ci "names unique" 25
+  check (Alcotest.list ci) "v2 additions numbered 26..27" [ 26; 27 ]
+    (List.map Hyper.number Hyper.requests_v2);
+  let names = List.map Hyper.name (all_requests @ Hyper.requests_v2) in
+  check ci "names unique" 27
     (List.length (List.sort_uniq String.compare names))
 
 (* --- Klayout: code paths must not share cache lines --- *)
@@ -57,6 +69,8 @@ let test_klayout_disjoint () =
       Klayout.irq_entry; Klayout.und_entry; Klayout.abt_entry;
       Klayout.hyper_dispatch; Klayout.vgic_inject; Klayout.vm_switch;
       Klayout.sched_pick; Klayout.trap_decode; Klayout.ipc_copy;
+      Klayout.ring_setup_stub; Klayout.ring_drain_stub;
+      Klayout.ring_complete_stub;
       Klayout.mgr_entry_stub; Klayout.mgr_exit_stub; Klayout.mgr_main;
       Klayout.mgr_task_table; Klayout.mgr_prr_table; Klayout.mgr_stack;
       Klayout.kernel_stack; Klayout.pd_table ]
@@ -354,7 +368,7 @@ let test_kmem_asid_allocation () =
 let suite =
   let t n f = Alcotest.test_case n `Quick f in
   ( "core",
-    [ t "hypercall count is 25" test_hypercall_count_is_25;
+    [ t "hypercall counts are versioned" test_hypercall_count_versioned;
       t "hypercall numbering" test_hypercall_numbering;
       t "klayout disjoint" test_klayout_disjoint;
       t "klayout in kernel image" test_klayout_inside_kernel_image;
