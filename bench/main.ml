@@ -16,6 +16,7 @@
 let fmt = Format.std_formatter
 
 let domains_opt : int option ref = ref None
+let pcpus = ref Cli_args.pcpus.Cli_args.default
 let json_mode = ref false
 let obs_mode = ref false
 let fault_rate_opt : float option ref = ref None
@@ -220,7 +221,7 @@ let run_slo () =
     !slo_seed !slo_arrivals;
   let tagged =
     Slo.bench_matrix ~seed:!slo_seed ~arrivals:!slo_arrivals
-      ~observe:!obs_mode ()
+      ~observe:!obs_mode ~pcpus:!pcpus ()
   in
   let reports = Slo.sweep ?domains:!domains_opt tagged in
   slo_cache := Some reports;
@@ -314,9 +315,14 @@ let density_jobs_spec =
 
 (* The v1-per-job / v2-per-job guest→kernel transition ratio at one
    population — the headline of the sweep (>= batch-linked gain). *)
+let density_tag m vms =
+  if !pcpus > 1 then
+    Printf.sprintf "%s/%d/p%d" (Density.mode_name m) vms !pcpus
+  else Printf.sprintf "%s/%d" (Density.mode_name m) vms
+
 let density_ratio reports vms =
   let per_job m =
-    List.assoc_opt (Printf.sprintf "%s/%d" (Density.mode_name m) vms) reports
+    List.assoc_opt (density_tag m vms) reports
     |> Option.map (fun (r : Density.report) -> r.Density.transitions_per_job)
   in
   match (per_job Density.V1, per_job Density.V2) with
@@ -337,7 +343,8 @@ let run_density () =
   let tagged =
     Density.bench_matrix ~seed:!density_seed ~populations:!density_vms
       ~jobs:!density_jobs ~batch:!density_batch
-      ~cvirq_budget:!density_budget ~fault_rate ~check:!density_check ()
+      ~cvirq_budget:!density_budget ~fault_rate ~check:!density_check
+      ~pcpus:!pcpus ()
   in
   let tagged =
     match !density_mode with
@@ -361,6 +368,71 @@ let run_density () =
            vms v1 v2 ratio
        | None -> ())
     !density_vms
+
+(* E9: SMP parallel-simulation speedup. The same 8-guest density
+   fleet runs on one simulated pCPU and on an SMP complex backed by
+   OCaml domains. The two cells simulate different machines (the SMP
+   complex models IPIs, shootdowns and L2 coherence), so simulated
+   cycles are recorded per cell and the comparison is wall time only.
+   The speedup is recorded honestly — a host with fewer cores than
+   pCPUs cannot sustain the target and the record will show it. *)
+
+type smp_perf = {
+  sp_pcpus : int;
+  sp_host_cores : int;
+  sp_vms : int;
+  sp_wall_1_s : float;
+  sp_cycles_1 : int;
+  sp_wall_n_s : float;
+  sp_cycles_n : int;
+  sp_speedup : float;
+}
+
+let smp_perf : smp_perf option ref = ref None
+
+let run_smp () =
+  let n = if !pcpus > 1 then !pcpus else 4 in
+  let host = Domain.recommended_domain_count () in
+  let vms = 8 in
+  (* The cell must run long enough that the parallel phase dominates
+     the fixed domain-spawn and barrier costs, or the speedup number
+     measures the harness instead of the simulation. *)
+  let jobs = max !density_jobs 128 in
+  let cell p =
+    { Density.default_config with
+      Density.seed = !density_seed;
+      vms;
+      jobs_per_vm = jobs;
+      batch = !density_batch;
+      cvirq_budget = !density_budget;
+      pcpus = p }
+  in
+  let time p =
+    let t0 = Unix.gettimeofday () in
+    let r = Density.run ~config:(cell p) () in
+    (Unix.gettimeofday () -. t0, r.Density.sim_cycles)
+  in
+  Format.fprintf fmt
+    "E9: SMP speedup — %d-guest density fleet, 1 vs %d pCPUs (%d host \
+     cores)@."
+    vms n host;
+  let wall_1, cycles_1 = time 1 in
+  let wall_n, cycles_n = time n in
+  let speedup = wall_1 /. wall_n in
+  smp_perf :=
+    Some
+      { sp_pcpus = n; sp_host_cores = host; sp_vms = vms;
+        sp_wall_1_s = wall_1; sp_cycles_1 = cycles_1;
+        sp_wall_n_s = wall_n; sp_cycles_n = cycles_n;
+        sp_speedup = speedup };
+  Format.fprintf fmt "  pcpus=1: %.3f s wall, %d simulated cycles@." wall_1
+    cycles_1;
+  Format.fprintf fmt "  pcpus=%d: %.3f s wall, %d simulated cycles@." n
+    wall_n cycles_n;
+  Format.fprintf fmt "  wall-time speedup: %.2fx%s@." speedup
+    (if host < n then
+       Printf.sprintf " (host has %d cores for %d pCPUs)" host n
+     else "")
 
 (* --- Bechamel microbenchmarks --- *)
 
@@ -490,7 +562,7 @@ let soak_config () =
     check = !soak_check;
     fault_rate = Option.value !fault_rate_opt ~default:d.Soak.fault_rate;
     fault_seed = Option.value !fault_seed_opt ~default:d.Soak.fault_seed;
-    quantum_ms = d.Soak.quantum_ms }
+    quantum_ms = d.Soak.quantum_ms; pcpus = !pcpus }
 
 let report_soak_violation cfg ~violation ~trace ~shrunk ~stats ~generated =
   Format.fprintf fmt "INVARIANT VIOLATION: %s@."
@@ -845,6 +917,7 @@ let write_perf_json path ~total_wall =
        (match !domains_opt with
         | Some d -> d
         | None -> Parallel_sweep.default_domains ()));
+  add (Printf.sprintf "  \"pcpus\": %d,\n" !pcpus);
   add (Printf.sprintf "  \"total_wall_s\": %s,\n" (json_float total_wall));
   add "  \"sections\": [";
   List.iteri
@@ -886,6 +959,19 @@ let write_perf_json path ~total_wall =
            \"unchecked_wall_s\": %s, \"overhead_pct\": %s}"
           (json_float checked) (json_float unchecked)
           (json_float (100.0 *. (checked -. unchecked) /. unchecked))));
+  (match !smp_perf with
+   | None -> ()
+   | Some s ->
+     add
+       (Printf.sprintf
+          ",\n  \"smp\": {\n    \"pcpus\": %d,\n    \"host_cores\": %d,\n\
+          \    \"vms\": %d,\n    \"wall_1_s\": %s,\n\
+          \    \"sim_cycles_1\": %d,\n    \"wall_n_s\": %s,\n\
+          \    \"sim_cycles_n\": %d,\n    \"speedup\": %s\n  }"
+          s.sp_pcpus s.sp_host_cores s.sp_vms
+          (json_float s.sp_wall_1_s) s.sp_cycles_1
+          (json_float s.sp_wall_n_s) s.sp_cycles_n
+          (json_float s.sp_speedup)));
   add "\n}\n";
   let oc = open_out path in
   output_string oc (Buffer.contents b);
@@ -991,7 +1077,7 @@ let write_density_json path reports =
 let all_sections =
   [ "table3"; "fig9"; "report"; "reconfig"; "axi"; "vfp";
     "trapvshyper"; "asid"; "quantum"; "chaos"; "soak"; "slo";
-    "density"; "checkoverhead"; "micro" ]
+    "density"; "smp"; "checkoverhead"; "micro" ]
 
 (* Bench-only flag: regenerate the committed baseline file. *)
 let write_baseline_spec =
@@ -1010,6 +1096,7 @@ let () =
     [ Cli_args.flag_entry Cli_args.json (fun () -> json_mode := true);
       Cli_args.flag_entry Cli_args.observe (fun () -> obs_mode := true);
       Cli_args.value_entry Cli_args.domains (fun d -> domains_opt := d);
+      Cli_args.value_entry Cli_args.pcpus (fun n -> pcpus := n);
       Cli_args.value_entry Cli_args.fault_rate
         (fun r -> fault_rate_opt := Some r);
       Cli_args.value_entry Cli_args.fault_seed
@@ -1081,6 +1168,7 @@ let () =
        | "slo" -> section "slo" "E7: open-loop tail latency (SLO)" run_slo
        | "density" ->
          section "density" "E8: fleet density (ABI v1 vs v2)" run_density
+       | "smp" -> section "smp" "E9: SMP parallel-simulation speedup" run_smp
        | "checkoverhead" ->
          section "checkoverhead" "E6b: invariant-plane overhead"
            run_check_overhead

@@ -54,17 +54,20 @@ let fault_rate = term_of_spec Cli_args.fault_rate
 let fault_seed = term_of_spec Cli_args.fault_seed
 let observe = term_of_flag Cli_args.observe
 let json_flag = term_of_flag Cli_args.json
+let pcpus_term = term_of_spec Cli_args.pcpus
 
-let config requests warmup quantum seed observe =
+let config requests warmup quantum seed observe pcpus =
   { Scenario.default_config with
     Scenario.requests_per_guest = requests;
     warmup_requests = warmup;
     quantum_ms = quantum;
     seed;
-    observe }
+    observe;
+    pcpus }
 
 let cfg_term =
-  Term.(const config $ requests $ warmup $ quantum $ seed $ observe)
+  Term.(
+    const config $ requests $ warmup $ quantum $ seed $ observe $ pcpus_term)
 
 let fmt = Format.std_formatter
 
@@ -248,12 +251,12 @@ let stats_cmd =
 
 let soak_cmd =
   let run verbose ops seed max_vms check no_check fault_rate fault_seed
-      quantum replay repro_out shards domains =
+      quantum pcpus replay repro_out shards domains =
     setup_logs verbose;
     ignore check (* checking is the soak default; --check documents intent *);
     let cfg =
       { Soak.ops; seed; max_vms; check = not no_check; fault_rate;
-        fault_seed; quantum_ms = quantum }
+        fault_seed; quantum_ms = quantum; pcpus }
     in
     let report_violation scfg ~violation ~trace ~shrunk ~stats =
       Format.fprintf fmt "INVARIANT VIOLATION: %s@."
@@ -333,6 +336,7 @@ let soak_cmd =
   let soak_quantum =
     term_of_spec { Cli_args.quantum with default = d.Soak.quantum_ms }
   in
+  let soak_pcpus = term_of_spec Cli_args.pcpus in
   let check = term_of_flag Cli_args.check in
   let no_check = term_of_flag Cli_args.no_check in
   let replay = term_of_spec Cli_args.replay in
@@ -352,12 +356,12 @@ let soak_cmd =
           single-domain-replayable reproducer and exits non-zero.")
     Term.(
       const run $ verbose $ ops $ soak_seed $ max_vms $ check $ no_check
-      $ soak_fault_rate $ soak_fault_seed $ soak_quantum $ replay
-      $ repro_out $ shards $ domains)
+      $ soak_fault_rate $ soak_fault_seed $ soak_quantum $ soak_pcpus
+      $ replay $ repro_out $ shards $ domains)
 
 let slo_cmd =
   let run verbose seed guests arrivals process interarrival victim_ia
-      quantum fault_rate fault_seed churn observe json =
+      quantum fault_rate fault_seed churn observe pcpus json =
     setup_logs verbose;
     let cfg =
       { Slo.default_config with
@@ -369,7 +373,7 @@ let slo_cmd =
         quantum_ms = quantum;
         fault_rate; fault_seed;
         churn_kills = churn;
-        observe }
+        observe; pcpus }
     in
     let r = Slo.run ~config:cfg () in
     if json then begin
@@ -410,6 +414,7 @@ let slo_cmd =
   let victim_ia = term_of_spec Cli_args.victim_interarrival in
   let process = term_of_spec Cli_args.arrival_process in
   let churn = term_of_spec Cli_args.churn in
+  let slo_pcpus = term_of_spec Cli_args.pcpus in
   Cmd.v
     (Cmd.info "slo"
        ~doc:
@@ -422,11 +427,11 @@ let slo_cmd =
     Term.(
       const run $ verbose $ slo_seed $ slo_guests $ arrivals $ process
       $ interarrival $ victim_ia $ slo_quantum $ slo_fault_rate
-      $ slo_fault_seed $ churn $ observe $ json_flag)
+      $ slo_fault_seed $ churn $ observe $ slo_pcpus $ json_flag)
 
 let density_cmd =
   let run verbose seed vms jobs batch ring_budget mode quantum fault_rate
-      fault_seed check assert_ratio json =
+      fault_seed check pcpus ring_admission assert_ratio json =
     setup_logs verbose;
     let cfg mode =
       { Density.default_config with
@@ -435,7 +440,7 @@ let density_cmd =
         batch;
         cvirq_budget = ring_budget;
         quantum_ms = quantum;
-        fault_rate; fault_seed; check }
+        fault_rate; fault_seed; check; pcpus; ring_admission }
     in
     let modes =
       match mode with Some m -> [ m ] | None -> [ Density.V1; Density.V2 ]
@@ -540,6 +545,8 @@ let density_cmd =
     term_of_spec { Cli_args.fault_seed with default = d.Density.fault_seed }
   in
   let check = term_of_flag Cli_args.check in
+  let density_pcpus = term_of_spec Cli_args.pcpus in
+  let density_ring_admission = term_of_spec Cli_args.ring_admission in
   let assert_ratio =
     Arg.(
       value & opt float 0.0
@@ -558,7 +565,8 @@ let density_cmd =
     Term.(
       const run $ verbose $ density_seed $ vms $ jobs $ batch $ ring_budget
       $ mode $ density_quantum $ density_fault_rate $ density_fault_seed
-      $ check $ assert_ratio $ json_flag)
+      $ check $ density_pcpus $ density_ring_admission $ assert_ratio
+      $ json_flag)
 
 let trace_cmd =
   let run verbose last =

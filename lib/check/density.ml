@@ -41,12 +41,15 @@ type config = {
   fault_rate : float;
   fault_seed : int;
   check : bool;         (* invariant sweeps at kernel boundaries *)
+  pcpus : int;          (* simulated pCPUs; > 1 runs an Smp complex *)
+  ring_admission : [ `Fifo | `Deadline ];
 }
 
 let default_config =
   { seed = 42; vms = 8; mode = V2; jobs_per_vm = 16; batch = 8;
     ring_entries = 32; cvirq_budget = 8; quantum_ms = 2.0;
-    fault_rate = 0.0; fault_seed = 7; check = false }
+    fault_rate = 0.0; fault_seed = 7; check = false; pcpus = 1;
+    ring_admission = `Fifo }
 
 type prr_util = {
   prr_id : int;
@@ -57,6 +60,7 @@ type prr_util = {
 type report = {
   mode : mode;
   vms : int;
+  pcpus : int;
   jobs_per_vm : int;
   batch : int;
   jobs_submitted : int;    (* fleet request descriptors/hypercalls *)
@@ -247,25 +251,37 @@ let victim (cfg : config) st tasks genv =
 let run ?(config = default_config) () =
   let cfg = config in
   if cfg.vms < 1 then invalid_arg "Density.run: need at least one VM";
-  if cfg.vms > Address_map.guest_slot_count then
-    invalid_arg "Density.run: vms exceeds the guest slot count";
+  if cfg.pcpus < 1 then invalid_arg "Density.run: need at least one pCPU";
+  (* pCPU 0 carries the victim plus its round-robin share of the
+     fleet; each node has its own slot table. *)
+  if 1 + (((cfg.vms - 1) + cfg.pcpus - 1) / cfg.pcpus)
+     > Address_map.guest_slot_count
+  then invalid_arg "Density.run: vms exceeds the guest slot count";
   if cfg.jobs_per_vm < 1 then invalid_arg "Density.run: need at least one job";
   if cfg.batch < 1 then invalid_arg "Density.run: need a positive batch";
-  let z =
-    Zynq.create ~observe:true ~fault_seed:cfg.fault_seed
-      ~fault_rate:cfg.fault_rate ()
-  in
-  let kern =
-    Kernel.boot
+  let smp =
+    Smp.create
       ~config:
-        { Kernel.default_config with quantum = Cycles.of_ms cfg.quantum_ms }
-      z
+        { Kernel.default_config with
+          quantum = Cycles.of_ms cfg.quantum_ms;
+          ring_admission = cfg.ring_admission }
+      ~pcpus:cfg.pcpus
+      ~mk_zynq:(fun cpu ->
+          Zynq.create ~observe:true ~fault_seed:(cfg.fault_seed + cpu)
+            ~fault_rate:cfg.fault_rate ~cpu ())
+      ()
   in
-  let tasks = Array.map (Kernel.register_hw_task kern) density_task_set in
-  if cfg.check then Invariant.attach kern;
+  let tasks = Array.map (Smp.register_hw_task smp) density_task_set in
+  if cfg.check then begin
+    if cfg.pcpus > 1 then Invariant.attach_smp smp
+    else Invariant.attach (Smp.kernel smp 0)
+  end;
   let vstat = fresh_tally () in
+  (* The victim is always created first and pinned to pCPU 0 so its
+     vIRQ-turnaround percentiles stay comparable across populations
+     and pcpus counts. *)
   let victim_pd =
-    (Kernel.create_vm kern ~name:"victim" (victim cfg vstat tasks)).Pd.id
+    (Smp.create_vm smp ~name:"victim" ~cpu:0 (victim cfg vstat tasks)).Pd.id
   in
   let fleet = Array.init (max 0 (cfg.vms - 1)) (fun _ -> fresh_tally ()) in
   let fleet_pds =
@@ -277,7 +293,7 @@ let run ?(config = default_config) () =
            | V1 -> fleet_v1 cfg st tasks
            | V2 -> fleet_v2 cfg st tasks
          in
-         (Kernel.create_vm kern ~name main).Pd.id)
+         (Smp.create_vm smp ~name main).Pd.id)
       fleet
   in
   (* Generous horizon: every cell ends by guest exhaustion (all VMs
@@ -285,22 +301,34 @@ let run ?(config = default_config) () =
   let cap =
     Cycles.of_ms (500.0 +. (4.0 *. float_of_int (cfg.vms * cfg.jobs_per_vm)))
   in
-  Kernel.run kern ~until:cap;
-  if cfg.check then Invariant.raise_first kern ~boundary:"density_final";
-  let sim_cycles = Clock.now z.Zynq.clock in
-  let snap = Obs.snapshot z.Zynq.obs in
+  Smp.run smp ~until:cap;
+  if cfg.check then begin
+    if cfg.pcpus > 1 then Invariant.raise_first_smp smp ~boundary:"density_final"
+    else Invariant.raise_first (Smp.kernel smp 0) ~boundary:"density_final"
+  end;
+  let sim_cycles = Smp.now smp in
+  let snaps =
+    List.init cfg.pcpus (fun cpu -> Obs.snapshot (Smp.zynq smp cpu).Zynq.obs)
+  in
   let fleet_ids = Array.to_list fleet_pds in
   (* Fleet guests issue nothing but ABI traffic, so their per-PD
      hypercall cells are exactly the guest→kernel transition count the
-     v1/v2 comparison is about. *)
+     v1/v2 comparison is about. PD ids are complex-global, so summing
+     over every node's registry double-counts nothing. *)
   let transitions, trans_cycles =
     List.fold_left
-      (fun (n, cyc) (c : Obs.cell) ->
-         if c.Obs.c_component = "hypercall" && List.mem c.Obs.c_key fleet_ids
-         then (n + c.Obs.c_calls, cyc + c.Obs.c_cycles)
-         else (n, cyc))
-      (0, 0) snap.Obs.s_cells
+      (fun acc snap ->
+         List.fold_left
+           (fun (n, cyc) (c : Obs.cell) ->
+              if
+                c.Obs.c_component = "hypercall"
+                && List.mem c.Obs.c_key fleet_ids
+              then (n + c.Obs.c_calls, cyc + c.Obs.c_cycles)
+              else (n, cyc))
+           acc snap.Obs.s_cells)
+      (0, 0) snaps
   in
+  let snap = List.hd snaps in
   let sum f = Array.fold_left (fun a st -> a + f st) 0 fleet in
   let jobs_submitted = sum (fun st -> st.sub) in
   let per_job v =
@@ -321,17 +349,50 @@ let run ?(config = default_config) () =
        | Some cyc -> Cycles.to_us (int_of_float cyc)
        | None -> 0.0)
   in
+  (* Each pCPU cluster has its own PL partition: report PRRs with
+     complex-global ids [cpu * prr_count + slot]. *)
   let prrs =
-    List.init (Prr_controller.prr_count z.Zynq.prrc) (fun i ->
-        let p = Prr_controller.prr z.Zynq.prrc i in
-        { prr_id = i;
-          busy_cycles = p.Prr.busy_cycles;
-          util =
-            (if sim_cycles = 0 then 0.0
-             else float_of_int p.Prr.busy_cycles /. float_of_int sim_cycles) })
+    List.concat
+      (List.init cfg.pcpus (fun cpu ->
+           let prrc = (Smp.zynq smp cpu).Zynq.prrc in
+           List.init (Prr_controller.prr_count prrc) (fun i ->
+               let p = Prr_controller.prr prrc i in
+               { prr_id = (cpu * Prr_controller.prr_count prrc) + i;
+                 busy_cycles = p.Prr.busy_cycles;
+                 util =
+                   (if sim_cycles = 0 then 0.0
+                    else
+                      float_of_int p.Prr.busy_cycles
+                      /. float_of_int sim_cycles) })))
+  in
+  let ring =
+    let sum f =
+      List.fold_left ( + ) 0
+        (List.init cfg.pcpus (fun cpu ->
+             f (Kernel.ring_stats (Smp.kernel smp cpu))))
+    in
+    let top f =
+      List.fold_left max 0
+        (List.init cfg.pcpus (fun cpu ->
+             f (Kernel.ring_stats (Smp.kernel smp cpu))))
+    in
+    { Kernel.rs_enqueued = sum (fun r -> r.Kernel.rs_enqueued);
+      rs_completed = sum (fun r -> r.Kernel.rs_completed);
+      rs_reclaimed = sum (fun r -> r.Kernel.rs_reclaimed);
+      rs_doorbells = sum (fun r -> r.Kernel.rs_doorbells);
+      rs_empty_doorbells = sum (fun r -> r.Kernel.rs_empty_doorbells);
+      rs_virqs = sum (fun r -> r.Kernel.rs_virqs);
+      rs_max_batch = top (fun r -> r.Kernel.rs_max_batch);
+      rs_asid_steals = sum (fun r -> r.Kernel.rs_asid_steals) }
+  in
+  let injected =
+    List.fold_left ( + ) 0
+      (List.init cfg.pcpus (fun cpu ->
+           Fault_plane.total_injected (Smp.zynq smp cpu).Zynq.faults))
   in
   { mode = cfg.mode;
     vms = cfg.vms;
+    pcpus = cfg.pcpus;
     jobs_per_vm = cfg.jobs_per_vm;
     batch = cfg.batch;
     jobs_submitted;
@@ -341,8 +402,8 @@ let run ?(config = default_config) () =
     transitions;
     transitions_per_job = per_job transitions;
     overhead_us_per_job = Cycles.to_us (int_of_float (per_job trans_cycles));
-    hypercalls = Kernel.hypercalls kern;
-    ring = Kernel.ring_stats kern;
+    hypercalls = Smp.hypercalls smp;
+    ring;
     victim_jobs = vstat.sub;
     victim_ok = vstat.ok;
     victim_dropped = vstat.failed;
@@ -351,9 +412,9 @@ let run ?(config = default_config) () =
     victim_p50_us = vp 0.5;
     victim_p99_us = vp 0.99;
     prrs;
-    injected = Fault_plane.total_injected z.Zynq.faults;
-    crashes = Kernel.crashes kern;
-    alive_after = Kernel.alive_guests kern;
+    injected;
+    crashes = Smp.crashes smp;
+    alive_after = Smp.alive_guests smp;
     sim_ms = Cycles.to_ms sim_cycles;
     sim_cycles }
 
@@ -367,16 +428,22 @@ let bench_matrix ?(seed = default_config.seed)
     ?(populations = default_populations)
     ?(jobs = default_config.jobs_per_vm) ?(batch = default_config.batch)
     ?(cvirq_budget = default_config.cvirq_budget)
-    ?(fault_rate = default_config.fault_rate) ?(check = false) () =
+    ?(fault_rate = default_config.fault_rate) ?(check = false)
+    ?(pcpus = default_config.pcpus)
+    ?(ring_admission = default_config.ring_admission) () =
   List.concat_map
     (fun vms ->
        List.map
          (fun mode ->
-            { tag = Printf.sprintf "%s/%d" (mode_name mode) vms;
+            { tag =
+                (if pcpus = 1 then
+                   Printf.sprintf "%s/%d" (mode_name mode) vms
+                 else
+                   Printf.sprintf "%s/%d/p%d" (mode_name mode) vms pcpus);
               t_config =
                 { default_config with
                   seed; vms; mode; jobs_per_vm = jobs; batch; cvirq_budget;
-                  fault_rate; check } })
+                  fault_rate; check; pcpus; ring_admission } })
          [ V1; V2 ])
     populations
 
@@ -387,6 +454,7 @@ let sweep ?domains tagged =
 (* {2 Rendering} *)
 
 let pp_report ppf r =
+  if r.pcpus > 1 then Format.fprintf ppf "pcpus=%d " r.pcpus;
   Format.fprintf ppf
     "%s vms=%d jobs=%d batch=%d: %d submitted (%d ok, %d busy, %d failed), \
      %d transitions (%.2f/job, %.2f us/job), victim %d/%d ok p50/p99 \
@@ -406,7 +474,7 @@ let report_json b r =
   let add = Buffer.add_string b in
   add
     (Printf.sprintf
-       "{\"mode\": \"%s\", \"vms\": %d, \"jobs_per_vm\": %d, \
+       "{\"mode\": \"%s\", \"vms\": %d, \"pcpus\": %d, \"jobs_per_vm\": %d, \
         \"batch\": %d, \"jobs_submitted\": %d, \"jobs_ok\": %d, \
         \"jobs_busy\": %d, \"jobs_failed\": %d, \"transitions\": %d, \
         \"transitions_per_job\": %s, \"overhead_us_per_job\": %s, \
@@ -416,7 +484,7 @@ let report_json b r =
         \"asid_steals\": %d}, \"victim\": {\"jobs\": %d, \"ok\": %d, \
         \"dropped\": %d, \"virqs\": %d, \"p50_us\": %s, \"p99_us\": %s}, \
         \"prr_utilisation\": ["
-       (mode_name r.mode) r.vms r.jobs_per_vm r.batch r.jobs_submitted
+       (mode_name r.mode) r.vms r.pcpus r.jobs_per_vm r.batch r.jobs_submitted
        r.jobs_ok r.jobs_busy r.jobs_failed r.transitions
        (json_float r.transitions_per_job)
        (json_float r.overhead_us_per_job)

@@ -33,11 +33,19 @@ type config = {
   fault_rate : float;
   fault_seed : int;
   check : bool;        (** attach the invariant plane + final sweep *)
+  pcpus : int;         (** simulated pCPUs; the victim is pinned to
+                           pCPU 0, the fleet is placed round-robin,
+                           and [> 1] runs the cell as an {!Smp}
+                           complex (parallel on OCaml domains,
+                           bit-identical for any host core count) *)
+  ring_admission : [ `Fifo | `Deadline ];
+      (** doorbell-batch admission order
+          ({!Kernel.config}[.ring_admission]) *)
 }
 
 val default_config : config
 (** seed 42, 8 VMs, v2, 16 jobs each in batches of 8 on 32-entry
-    rings, no faults, checking off. *)
+    rings, no faults, checking off, 1 pCPU, FIFO admission. *)
 
 type prr_util = {
   prr_id : int;
@@ -48,6 +56,7 @@ type prr_util = {
 type report = {
   mode : mode;
   vms : int;
+  pcpus : int;
   jobs_per_vm : int;
   batch : int;
   jobs_submitted : int;     (** fleet request descriptors/hypercalls *)
@@ -87,9 +96,10 @@ val default_populations : int list
 
 val bench_matrix :
   ?seed:int -> ?populations:int list -> ?jobs:int -> ?batch:int ->
-  ?cvirq_budget:int -> ?fault_rate:float -> ?check:bool -> unit ->
-  tagged list
-(** Both modes at every population, tagged ["v1/8"], ["v2/8"], … *)
+  ?cvirq_budget:int -> ?fault_rate:float -> ?check:bool -> ?pcpus:int ->
+  ?ring_admission:[ `Fifo | `Deadline ] -> unit -> tagged list
+(** Both modes at every population, tagged ["v1/8"], ["v2/8"], … —
+    or ["v1/8/p4"], … when [pcpus > 1]. *)
 
 val sweep : ?domains:int -> tagged list -> (string * report) list
 (** Run a matrix on OCaml domains via [Parallel_sweep]; cells are

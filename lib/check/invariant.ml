@@ -280,3 +280,110 @@ let attach kern =
     (Some (fun boundary -> raise_first kern ~boundary))
 
 let detach kern = Kernel.set_check_hook kern None
+
+(* --- SMP (multi-pCPU) plane --- *)
+
+(* Checker #9: run-queue partition integrity. The placement directory
+   and the per-node kernel tables must agree exactly — every directory
+   entry names a live PD on that node, every live guest appears in the
+   directory under its own cpu (which also rules out one id living on
+   two nodes). *)
+let check_partition smp =
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun s -> problems := s :: !problems) fmt in
+  let dir = Smp.directory smp in
+  List.iter
+    (fun (id, cpu) ->
+       if Kernel.pd (Smp.kernel smp cpu) id = None then
+         note "directory maps pd %d to cpu %d which does not host it" id cpu)
+    dir;
+  for cpu = 0 to Smp.pcpus smp - 1 do
+    List.iter
+      (fun (pd : Pd.t) ->
+         if Pd.is_guest pd then
+           match List.assoc_opt pd.Pd.id dir with
+           | Some c when c = cpu -> ()
+           | Some c ->
+             note "pd %d lives on cpu %d but the directory says cpu %d"
+               pd.Pd.id cpu c
+           | None ->
+             note "pd %d lives on cpu %d but is missing from the directory"
+               pd.Pd.id cpu)
+      (Kernel.pds (Smp.kernel smp cpu))
+  done;
+  List.rev !problems
+
+(* Checker #10: IPI conservation. Every IPI ever posted was delivered
+   or accountably dropped, and no outbox carries messages across a
+   barrier. *)
+let check_ipis smp =
+  let s = Smp.stats smp in
+  let problems = ref [] in
+  let note fmt = Printf.ksprintf (fun x -> problems := x :: !problems) fmt in
+  if
+    s.Smp.s_ipis_posted
+    <> s.Smp.s_ipis_delivered + s.Smp.s_ipis_dropped
+  then
+    note "IPI conservation broken: %d posted but %d delivered + %d dropped"
+      s.Smp.s_ipis_posted s.Smp.s_ipis_delivered s.Smp.s_ipis_dropped;
+  if not (Smp.outboxes_empty smp) then
+    note "outboxes not drained at a barrier boundary";
+  List.rev !problems
+
+(* Checker #11: shootdown completion. Every posted ASID shootdown was
+   applied on every other pCPU — no TLB may retain translations under
+   a reused tag. *)
+let check_shootdowns smp =
+  let s = Smp.stats smp in
+  let expect = s.Smp.s_shootdowns_posted * (Smp.pcpus smp - 1) in
+  if s.Smp.s_shootdowns_completed <> expect then
+    [ Printf.sprintf
+        "%d shootdowns posted on %d pCPUs require %d completions, saw %d"
+        s.Smp.s_shootdowns_posted (Smp.pcpus smp) expect
+        s.Smp.s_shootdowns_completed ]
+  else []
+
+let smp_checkers =
+  [ ("smp_partition", check_partition);
+    ("ipi_conservation", check_ipis);
+    ("shootdown_completion", check_shootdowns) ]
+
+(* The full SMP sweep: checkers #1-#8 on every node (checker names
+   prefixed "cpuN/" so a violation pins its pCPU, and the frame/ASID
+   views are audited per CPU by construction — each node has its own
+   Kmem), then the cross-CPU checkers #9-#11. *)
+let check_smp smp ~boundary =
+  let per_node =
+    List.concat
+      (List.init (Smp.pcpus smp) (fun cpu ->
+           List.map
+             (fun v ->
+                { v with checker = Printf.sprintf "cpu%d/%s" cpu v.checker })
+             (check (Smp.kernel smp cpu) ~boundary)))
+  in
+  per_node
+  @ List.concat_map
+      (fun (checker, f) ->
+         List.map (fun detail -> { checker; boundary; detail }) (f smp))
+      smp_checkers
+
+let raise_first_smp smp ~boundary =
+  match check_smp smp ~boundary with
+  | [] -> ()
+  | v :: _ -> raise (Violation v)
+
+(* Per-node hooks run inside the parallel phase (each on the domain
+   simulating that node — safe: they read only that node's state);
+   the cross-CPU sweep runs at barriers, on the orchestrating domain. *)
+let attach_smp smp =
+  for cpu = 0 to Smp.pcpus smp - 1 do
+    attach (Smp.kernel smp cpu)
+  done;
+  Smp.set_barrier_hook smp
+    (Some (fun () -> raise_first_smp smp ~boundary:"epoch_barrier"))
+
+let detach_smp smp =
+  for cpu = 0 to Smp.pcpus smp - 1 do
+    detach (Smp.kernel smp cpu)
+  done;
+  Smp.set_barrier_hook smp None

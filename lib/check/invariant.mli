@@ -60,3 +60,31 @@ val attach : Kernel.t -> unit
     swallowed as a guest crash). *)
 
 val detach : Kernel.t -> unit
+
+(** {2 SMP (multi-pCPU) plane}
+
+    Three more checkers over an {!Smp.t} complex, on top of running
+    #1–#8 on every node (violation checker names gain a ["cpuN/"]
+    prefix; the per-CPU frame and ASID views are audited per node by
+    construction, since each pCPU has its own [Kmem]):
+
+    - {e smp_partition} — the placement directory and the per-node PD
+      tables agree exactly (every directory entry is live on its node,
+      every live guest is in the directory under its own cpu — which
+      also rules out a PD living on two nodes).
+    - {e ipi_conservation} — IPIs posted = delivered + dropped, and
+      every outbox is empty at a barrier boundary.
+    - {e shootdown_completion} — ASID shootdowns completed = posted ×
+      (pcpus − 1). *)
+
+val check_smp : Smp.t -> boundary:string -> violation list
+
+val raise_first_smp : Smp.t -> boundary:string -> unit
+
+val attach_smp : Smp.t -> unit
+(** {!attach} on every node's kernel (those hooks run on whichever
+    domain simulates the node — they read only node-local state), plus
+    {!raise_first_smp} as the barrier hook (boundary
+    ["epoch_barrier"], orchestrator domain). *)
+
+val detach_smp : Smp.t -> unit

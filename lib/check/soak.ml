@@ -10,11 +10,12 @@ type config = {
   fault_rate : float;
   fault_seed : int;
   quantum_ms : float;
+  pcpus : int;
 }
 
 let default_config =
   { ops = 200_000; seed = 1; max_vms = 6; check = true; fault_rate = 0.1;
-    fault_seed = 7; quantum_ms = 2.0 }
+    fault_seed = 7; quantum_ms = 2.0; pcpus = 1 }
 
 type action =
   | A_create of { profile : int; prio : int; gseed : int }
@@ -285,10 +286,9 @@ let profile_name = function
 (* {2 The engine} *)
 
 type world = {
-  z : Zynq.t;
-  kern : Kernel.t;
+  smp : Smp.t;
   tasks : Bitstream.id array;
-  probes : (int, Event_queue.id) Hashtbl.t;
+  probes : (int, int * Event_queue.id) Hashtbl.t;  (* key -> (cpu, id) *)
   mutable nprobes : int;
   mutable vm_seq : int;
   mutable creates : int;
@@ -297,40 +297,51 @@ type world = {
 }
 
 let boot cfg =
-  let z =
-    Zynq.create ~fault_seed:cfg.fault_seed ~fault_rate:cfg.fault_rate ()
+  let pcpus = max 1 cfg.pcpus in
+  let mk_zynq cpu =
+    Zynq.create ~fault_seed:(cfg.fault_seed + cpu)
+      ~fault_rate:cfg.fault_rate ~cpu ()
   in
-  let kern =
-    Kernel.boot
+  let smp =
+    Smp.create
       ~config:
         { Kernel.default_config with
           quantum = Cycles.of_ms cfg.quantum_ms }
-      z
+      ~pcpus ~mk_zynq ()
   in
   let tasks =
-    Array.map (Kernel.register_hw_task kern)
+    Array.map (Smp.register_hw_task smp)
       [| Task_kind.Qam 4; Task_kind.Qam 16; Task_kind.Fft 256 |]
   in
-  if cfg.check then Invariant.attach kern;
-  { z; kern; tasks; probes = Hashtbl.create 64; nprobes = 0; vm_seq = 0;
+  if cfg.check then begin
+    (* pcpus = 1 keeps the legacy single-kernel hook (plain checker
+       names, identical reproducers); > 1 adds the SMP plane. *)
+    if pcpus > 1 then Invariant.attach_smp smp
+    else Invariant.attach (Smp.kernel smp 0)
+  end;
+  { smp; tasks; probes = Hashtbl.create 64; nprobes = 0; vm_seq = 0;
     creates = 0; kills = 0; checks = 0 }
 
 let live_guest_ids w =
-  List.sort compare
-    (List.filter_map
-       (fun (pd : Pd.t) -> if Pd.is_guest pd then Some pd.Pd.id else None)
-       (Kernel.pds w.kern))
+  let ids = ref [] in
+  for cpu = 0 to Smp.pcpus w.smp - 1 do
+    List.iter
+      (fun (pd : Pd.t) -> if Pd.is_guest pd then ids := pd.Pd.id :: !ids)
+      (Kernel.pds (Smp.kernel w.smp cpu))
+  done;
+  List.sort compare !ids
 
 let apply cfg w = function
   | A_create { profile; prio; gseed } ->
     if
-      Kernel.alive_guests w.kern < min cfg.max_vms Address_map.guest_slot_count
+      Smp.alive_guests w.smp
+      < min cfg.max_vms (Address_map.guest_slot_count * Smp.pcpus w.smp)
     then begin
       let name = Printf.sprintf "soak%d-%s" w.vm_seq (profile_name (profile mod profile_count)) in
       w.vm_seq <- w.vm_seq + 1;
       w.creates <- w.creates + 1;
       ignore
-        (Kernel.create_vm w.kern ~name ~priority:(max 1 (prio mod 4))
+        (Smp.create_vm w.smp ~name ~priority:(max 1 (prio mod 4))
            (profile_main profile ~gseed w.tasks))
     end
   | A_kill i ->
@@ -338,17 +349,20 @@ let apply cfg w = function
      | [] -> ()
      | ids ->
        let id = List.nth ids (i mod List.length ids) in
-       if Kernel.kill_vm w.kern id ~reason:"soak kill" then
+       if Smp.kill_vm w.smp id ~reason:"soak kill" then
          w.kills <- w.kills + 1)
-  | A_run us -> Kernel.run_for w.kern (Cycles.of_us (float_of_int us))
+  | A_run us -> Smp.run_for w.smp (Cycles.of_us (float_of_int us))
   | A_probe d ->
-    let id = Event_queue.schedule_after w.z.Zynq.queue d ignore in
-    Hashtbl.replace w.probes w.nprobes id;
+    let cpu = w.nprobes mod Smp.pcpus w.smp in
+    let queue = (Smp.zynq w.smp cpu).Zynq.queue in
+    let id = Event_queue.schedule_after queue d ignore in
+    Hashtbl.replace w.probes w.nprobes (cpu, id);
     w.nprobes <- w.nprobes + 1
   | A_probe_cancel k ->
-    if w.nprobes > 0 then
-      Event_queue.cancel w.z.Zynq.queue
-        (Hashtbl.find w.probes (k mod w.nprobes))
+    if w.nprobes > 0 then begin
+      let cpu, id = Hashtbl.find w.probes (k mod w.nprobes) in
+      Event_queue.cancel (Smp.zynq w.smp cpu).Zynq.queue id
+    end
   | A_ring_burst { pick; n } ->
     (* Host-side descriptor injection: write raw descriptors straight
        into a live ring's submission page and advance the published
@@ -357,11 +371,17 @@ let apply cfg w = function
        accounts descriptors once a doorbell observes the tail, so an
        injected burst that the owner never rings must be settled by
        kill-time reclamation, which is exactly the path under test. *)
-    (match Kernel.ring_views w.kern with
+    (match
+       List.concat
+         (List.init (Smp.pcpus w.smp) (fun cpu ->
+              List.map
+                (fun v -> (cpu, v))
+                (Kernel.ring_views (Smp.kernel w.smp cpu))))
+     with
      | [] -> ()
      | views ->
-       let v = List.nth views (pick mod List.length views) in
-       let mem = w.z.Zynq.mem in
+       let cpu, v = List.nth views (pick mod List.length views) in
+       let mem = (Smp.zynq w.smp cpu).Zynq.mem in
        let sq = v.Kernel.rv_sq_phys in
        let rd a = Int32.to_int (Phys_mem.read_u32 mem a) land 0xFFFFFFFF in
        let wr a x = Phys_mem.write_u32 mem a (Int32.of_int x) in
@@ -388,15 +408,15 @@ let apply cfg w = function
 
 let stats_of cfg w ~actions =
   ignore cfg;
-  { ops_done = Kernel.hypercalls w.kern + w.creates + w.kills;
+  { ops_done = Smp.hypercalls w.smp + w.creates + w.kills;
     actions;
     creates = w.creates;
     kills = w.kills;
-    crashes = Kernel.crashes w.kern;
-    hypercalls = Kernel.hypercalls w.kern;
-    live_vms = Kernel.alive_guests w.kern;
+    crashes = Smp.crashes w.smp;
+    hypercalls = Smp.hypercalls w.smp;
+    live_vms = Smp.alive_guests w.smp;
     checks = w.checks;
-    final_cycles = Clock.now w.z.Zynq.clock }
+    final_cycles = Smp.now w.smp }
 
 (* Drive a fresh world with actions from [next] until it returns
    [None] or an invariant trips. Returns the reversed trace of applied
@@ -417,7 +437,9 @@ let drive cfg next =
          apply cfg w a;
          if cfg.check then begin
            w.checks <- w.checks + 1;
-           Invariant.raise_first w.kern ~boundary:"op"
+           if Smp.pcpus w.smp > 1 then
+             Invariant.raise_first_smp w.smp ~boundary:"op"
+           else Invariant.raise_first (Smp.kernel w.smp 0) ~boundary:"op"
          end
      done
    with
@@ -504,7 +526,7 @@ let run cfg =
   let rng = Rng.create ~seed:cfg.seed in
   let trace, violation, stats =
     drive cfg (fun w ->
-        if Kernel.hypercalls w.kern + w.creates + w.kills >= cfg.ops then None
+        if Smp.hypercalls w.smp + w.creates + w.kills >= cfg.ops then None
         else Some (gen_action rng))
   in
   match violation with
@@ -616,6 +638,9 @@ let write_reproducer path cfg (violation : Invariant.violation) ~shrunk =
   Printf.fprintf oc "fault-rate %f\n" cfg.fault_rate;
   Printf.fprintf oc "fault-seed %d\n" cfg.fault_seed;
   Printf.fprintf oc "quantum-ms %f\n" cfg.quantum_ms;
+  (* Only written when SMP: legacy reproducers stay loadable and a
+     pcpus-1 trace round-trips byte-identically to the old format. *)
+  if cfg.pcpus > 1 then Printf.fprintf oc "pcpus %d\n" cfg.pcpus;
   Printf.fprintf oc "actions\n";
   List.iter (fun a -> Printf.fprintf oc "%s\n" (action_to_string a)) shrunk;
   close_out oc
@@ -648,6 +673,7 @@ let load_reproducer path =
              cfg := { !cfg with fault_seed = int_of_string v }
            | [ "quantum-ms"; v ] ->
              cfg := { !cfg with quantum_ms = float_of_string v }
+           | [ "pcpus"; v ] -> cfg := { !cfg with pcpus = int_of_string v }
            | _ -> error := Some ("bad header line: " ^ line)
        done
      with End_of_file -> ());

@@ -20,10 +20,15 @@ type config = {
   fault_rate : float; (** PL fault-injection rate, as in [bench -- faults] *)
   fault_seed : int;
   quantum_ms : float; (** scheduling quantum *)
+  pcpus : int;        (** simulated pCPUs; 1 drives a single kernel
+                          exactly as before, [> 1] boots an {!Smp}
+                          complex (per-CPU run queues, epoch-barrier
+                          coupling) and checks the SMP invariant plane
+                          at every action boundary *)
 }
 
 val default_config : config
-(** 200k ops, seed 1, 6 VMs, checking on, fault rate 0.1. *)
+(** 200k ops, seed 1, 6 VMs, checking on, fault rate 0.1, 1 pCPU. *)
 
 type action =
   | A_create of { profile : int; prio : int; gseed : int }

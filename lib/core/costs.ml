@@ -30,3 +30,10 @@ let asid_steal = 180
 
 let ipc_per_word = 4
 let uart_per_byte = 12
+
+(* SMP control paths (per-CPU kernels coupled at epoch barriers). *)
+let ipi_send = 40
+let ipi_receive = 60
+let tlb_shootdown = 120
+let vm_migrate = 400
+let ring_admission_sort = 6

@@ -76,3 +76,24 @@ val ring_cqe_write : int
 val asid_steal : int
 (** Revoking an ASID from an over-committed idle PD: bookkeeping plus
     the TLB flush-by-ASID broadcast. *)
+
+val ipi_send : int
+(** Posting a cross-pCPU IPI: writing the message slot + the GIC SGI
+    register write. *)
+
+val ipi_receive : int
+(** Taking a cross-pCPU IPI: IRQ entry on the target + message decode
+    and dispatch. *)
+
+val tlb_shootdown : int
+(** Applying a remote ASID shootdown on the receiving pCPU, on top of
+    the IPI receive itself. *)
+
+val vm_migrate : int
+(** Idle-balance migration of a not-yet-started vCPU between pCPU run
+    queues: dequeue, descriptor hand-off, enqueue. Charged once per
+    side by the SMP orchestrator. *)
+
+val ring_admission_sort : int
+(** Per-descriptor cost of deadline-ordered doorbell admission
+    ([`Deadline] ring_admission): one sift step of the batch sort. *)

@@ -7,13 +7,15 @@ type config = {
   vfp_policy : [ `Lazy | `Active ];
   tlb_policy : [ `Asid | `Flush_all ];
   kernel_tick : Cycles.t option;
+  ring_admission : [ `Fifo | `Deadline ];
 }
 
 let default_config =
   { quantum = Cycles.of_ms 33.0;
     vfp_policy = `Lazy;
     tlb_policy = `Asid;
-    kernel_tick = Some (Cycles.of_ms 1.0) }
+    kernel_tick = Some (Cycles.of_ms 1.0);
+    ring_admission = `Fifo }
 
 type guest_env = {
   env_zynq : Zynq.t;
@@ -56,6 +58,9 @@ type kfast = {
   kf_ring_setup : Fastpath.pinned;       (* ABI v2 ring initialisation *)
   kf_ring_drain : Fastpath.pinned;       (* doorbell header/descriptor loop *)
   kf_ring_complete : Fastpath.pinned;    (* CQE writer + header write-back *)
+  kf_ipi_send : Fastpath.pinned;         (* SMP: IPI post trampoline *)
+  kf_ipi_recv : Fastpath.pinned;         (* SMP: IPI receive + dispatch *)
+  kf_shootdown : Fastpath.pinned;        (* SMP: remote ASID TLB shootdown *)
   kf_save : Fastpath.pinned option array;     (* by vCPU save slot *)
   kf_restore : Fastpath.pinned option array;
   kf_inject : Fastpath.pinned option array;
@@ -97,6 +102,18 @@ type kinstr = {
   kp_kernel_tick : int ref;
   kp_und_trap : int ref;
   kp_vm_crash : int ref;
+}
+
+(* Cross-pCPU coupling, installed by the SMP orchestrator (lib/core
+   Smp) on multi-pCPU runs only — a single-pCPU kernel never consults
+   these, keeping its cycle behaviour bit-identical to the pre-SMP
+   kernel. [sh_vm_send] is consulted when a [Vm_send] misses the local
+   PD table: returning true means a remote pCPU owns the destination
+   and the message was queued as a cross-CPU IPI. [sh_asid_steal]
+   posts an ASID-tagged TLB shootdown to every other pCPU. *)
+type smp_hooks = {
+  sh_vm_send : dest:int -> sender:int -> payload:int array -> bool;
+  sh_asid_steal : asid:int -> unit;
 }
 
 type t = {
@@ -145,6 +162,7 @@ type t = {
   mutable ring_virqs : int;
   mutable ring_max_batch : int;
   mutable asid_steals : int;
+  mutable smp : smp_hooks option;
 }
 
 let ipc_doorbell_irq = 95
@@ -226,6 +244,17 @@ let make_kfast () =
     kf_ring_drain = Exec.pin1 (mk_fp Klayout.ring_drain_stub "ring_drain");
     kf_ring_complete =
       Exec.pin1 (mk_fp Klayout.ring_complete_stub "ring_complete");
+    kf_ipi_send =
+      Exec.pin1
+        (mk_fp Klayout.ipi_send_stub "ipi_send" ~base_cycles:Costs.ipi_send);
+    kf_ipi_recv =
+      Exec.pin1
+        (mk_fp Klayout.ipi_recv_stub "ipi_recv"
+           ~base_cycles:Costs.ipi_receive);
+    kf_shootdown =
+      Exec.pin1
+        (mk_fp Klayout.shootdown_stub "tlb_shootdown"
+           ~base_cycles:Costs.tlb_shootdown);
     kf_save = Array.make max_vcpu_slots None;
     kf_restore = Array.make max_vcpu_slots None;
     kf_inject = Array.make max_vcpu_slots None;
@@ -298,7 +327,7 @@ let boot ?(config = default_config) z =
       ring_enqueued_total = 0; ring_completed_total = 0;
       ring_reclaimed_total = 0;
       ring_doorbells = 0; ring_empty_doorbells = 0; ring_virqs = 0;
-      ring_max_batch = 0; asid_steals = 0 }
+      ring_max_batch = 0; asid_steals = 0; smp = None }
   in
   Hashtbl.replace t.pd_tbl 0 mgr_pd;
   t
@@ -320,7 +349,7 @@ let config t = t.cfg
 
 let register_hw_task t kind = Hw_task_manager.register_task t.hwtm kind
 
-let create_vm t ~name ?(priority = 1) ?(uses_vfp = false) main =
+let create_vm t ~name ?id ?(priority = 1) ?(uses_vfp = false) main =
   (* Fail before consuming anything if a fresh resource would be
      needed but its space is exhausted (recycled ones come first). *)
   if Queue.is_empty t.free_slots && t.next_slot >= max_vcpu_slots then
@@ -336,8 +365,21 @@ let create_vm t ~name ?(priority = 1) ?(uses_vfp = false) main =
     t.alloc_steps <- t.alloc_steps + 1;
     match Kmem.try_alloc_asid t.kmem with Some a -> a | None -> 0
   in
-  let id = t.next_pd in
-  t.next_pd <- id + 1;
+  (* [id] lets the SMP orchestrator keep one PD-id space across
+     pCPUs (and preserve a VM's id over migration); uniqueness is the
+     caller's responsibility there. Single-kernel callers omit it. *)
+  let id =
+    match id with
+    | None ->
+      let id = t.next_pd in
+      t.next_pd <- id + 1;
+      id
+    | Some id ->
+      if Hashtbl.mem t.pd_tbl id then
+        invalid_arg "Kernel.create_vm: pd id already live";
+      t.next_pd <- max t.next_pd (id + 1);
+      id
+  in
   let index =
     t.alloc_steps <- t.alloc_steps + 1;
     match Queue.take_opt t.free_guest_indices with
@@ -377,6 +419,7 @@ let pds t = Hashtbl.fold (fun _ p acc -> p :: acc) t.pd_tbl []
 let current t = Option.map (fun rt -> rt.pd) t.cur
 let sched t = t.sched
 let set_check_hook t h = t.check_hook <- h
+let set_smp_hooks t h = t.smp <- h
 
 let alive_guests t = t.alive
 let alloc_steps t = t.alloc_steps
@@ -477,6 +520,47 @@ let kill_vm t id ~reason =
     kill t rt reason;
     true
   | Some _ | None -> false
+
+(* SMP idle-balance migration support: withdraw a not-yet-started VM
+   so the orchestrator can re-create it (same id) on another pCPU.
+   Only VMs with no machine state beyond their creation-time resources
+   are eligible — never started (the fiber, once begun, captures this
+   board), runnable, no interface mappings, no ring, no queued IPC,
+   no latched vIRQs. Returns the creation-time payload, or [None] if
+   the VM is ineligible or unknown. Host-side bookkeeping only: the
+   cycle charge for the migration is the orchestrator's. *)
+let retract_vm t id =
+  match Hashtbl.find_opt t.rts id with
+  | None -> None
+  | Some rt ->
+    let pd = rt.pd in
+    if
+      rt.started
+      || pd.Pd.state <> Pd.Runnable
+      || pd.Pd.iface_mappings <> []
+      || Hashtbl.mem t.rings id
+      || Ipc.depth pd.Pd.inbox > 0
+      || Vgic.has_deliverable pd.Pd.vgic
+      || (match t.cur with Some c -> c == rt | None -> false)
+    then None
+    else begin
+      Sched.dequeue t.sched pd;
+      pd.Pd.state <- Pd.Dead;
+      pd.Pd.vtimer_generation <- pd.Pd.vtimer_generation + 1;
+      Hashtbl.remove t.pd_tbl id;
+      Hashtbl.remove t.rts id;
+      Queue.push rt.env.guest_index t.free_guest_indices;
+      Queue.push (Vcpu.slot pd.Pd.vcpu) t.free_slots;
+      (let a = pd.Pd.asid in
+       if a <> 0 then begin
+         t.asid_owner.(a) <- -1;
+         Kmem.free_asid t.kmem a
+       end);
+      Kmem.retire_guest_pt t.kmem pd.Pd.pt;
+      t.alive <- t.alive - 1;
+      Obs.set_gauge t.ki.ko_alive t.alive;
+      Some (pd.Pd.name, pd.Pd.priority, Vcpu.uses_vfp pd.Pd.vcpu, rt.main)
+    end
 
 (* Graceful degradation, driven by the kernel tick: drain the PL fault
    log into the trace, run the manager's health scan, apply its
@@ -598,7 +682,15 @@ let ensure_asid t (pd : Pd.t) =
       Clock.advance t.z.Zynq.clock Costs.asid_steal;
       t.asid_owner.(a) <- pd.Pd.id;
       pd.Pd.asid <- a;
-      t.asid_steals <- t.asid_steals + 1
+      t.asid_steals <- t.asid_steals + 1;
+      (* SMP: remote TLBs may hold translations tagged with the stolen
+         ASID — post an IPI-driven shootdown to every other pCPU (the
+         barrier applies it there before the tag can be reused). *)
+      (match t.smp with
+       | Some h ->
+         Exec.run_pinned t.z ~priv:true t.kf.kf_ipi_send;
+         h.sh_asid_steal ~asid:a
+       | None -> ())
   end
 
 let switch_to t rt =
@@ -910,6 +1002,20 @@ let handle_ring_doorbell t rt ~entry_start =
                kread_u32 t (d + 12), kread_u32 t (d + 16),
                kread_u32 t (d + 20), kread_u32 t (d + 24)))
         in
+        (* Deadline-ordered admission (opt-in): execute the batch by
+           ascending deadline key (flags >> 1; bit 0 stays want_irq)
+           instead of submission order. Safe to reorder between fetch
+           and execute — CQEs carry the descriptor tag, so guests
+           match completions by tag, not slot. A stable sort keeps
+           equal-deadline descriptors in submission order. *)
+        (match t.cfg.ring_admission with
+         | `Fifo -> ()
+         | `Deadline ->
+           Clock.advance clock (batch * Costs.ring_admission_sort);
+           Array.stable_sort
+             (fun (_, _, _, _, _, f1, _) (_, _, _, _, _, f2, _) ->
+                compare (f1 lsr 1) (f2 lsr 1))
+             descs);
         (* Phase B: one manager entry for the whole batch. *)
         let sp =
           Obs.open_span obs ~component:"ring_drain" ~key:pd.Pd.id
@@ -1088,7 +1194,16 @@ let handle_simple t rt req =
     Hyper.R_status { prr_ready = ready; consistent; faults }
   | Hyper.Vm_send { dest; payload } ->
     (match Hashtbl.find_opt t.pd_tbl dest with
-     | None -> Hyper.R_error "no such PD"
+     | None ->
+       (* SMP: the destination may live on another pCPU. A message
+          IPI is posted and delivered at the next epoch barrier by
+          the owner; send is optimistic (fire-and-forget, like local
+          sends whose receiver later dies). *)
+       (match t.smp with
+        | Some h when h.sh_vm_send ~dest ~sender:pd.Pd.id ~payload ->
+          Exec.run_pinned t.z ~priv:true t.kf.kf_ipi_send;
+          Hyper.R_unit
+        | Some _ | None -> Hyper.R_error "no such PD")
      | Some target ->
        if target.Pd.state = Pd.Dead then Hyper.R_error "PD is dead"
        else begin
@@ -1278,6 +1393,80 @@ let run t ~until =
   done
 
 let run_for t d = run t ~until:(Clock.now t.z.Zynq.clock + d)
+
+(* One pCPU's slice of a barrier epoch. Differs from [run] in how it
+   treats having nothing to do: an SMP node must keep pace with the
+   epoch clock even when it has no guests (one may be migrated in, or
+   a cross-CPU IPC may wake a blocked one at the barrier), so instead
+   of stopping it idles forward — processing events due before
+   [until] — and finishes with its clock at (or just past) [until].
+   Never sleeps beyond the barrier: events after [until] belong to a
+   later epoch, and waking early keeps cross-CPU delivery ordered. *)
+let run_epoch t ~until =
+  let stop = ref false in
+  while (not !stop) && Clock.now t.z.Zynq.clock < until do
+    route_irqs t;
+    if Clock.now t.z.Zynq.clock >= until then ()
+    else begin
+      match Sched.pick t.sched with
+      | Some pd ->
+        let rt = Hashtbl.find t.rts pd.Pd.id in
+        switch_to t rt;
+        let ex =
+          if not rt.started then begin
+            rt.started <- true;
+            Effect.Deep.match_with rt.main rt.env handler
+          end
+          else
+            match rt.saved with
+            | Some k ->
+              rt.saved <- None;
+              Effect.Deep.continue k (drain rt)
+            | None -> assert false
+        in
+        execute t rt ex ~until
+      | None ->
+        (match Event_queue.next_deadline t.z.Zynq.queue with
+         | Some d when d <= until ->
+           ignore (Event_queue.advance_until t.z.Zynq.queue d)
+         | Some _ | None ->
+           Clock.advance_to t.z.Zynq.clock until;
+           stop := true)
+    end
+  done;
+  if Clock.now t.z.Zynq.clock < until then
+    Clock.advance_to t.z.Zynq.clock until
+
+(* Barrier-time delivery of a cross-CPU [Vm_send]: the receive half of
+   the message IPI, charged on the owning pCPU. Mirrors the local
+   success path of the [Vm_send] handler. Returns false when the
+   destination has died (or its inbox is full) since the send was
+   posted — the message is dropped, exactly like a local send whose
+   receiver dies before draining its inbox. *)
+let deliver_remote_ipc t ~dest ~sender ~payload =
+  match Hashtbl.find_opt t.pd_tbl dest with
+  | None -> false
+  | Some target ->
+    if target.Pd.state = Pd.Dead then false
+    else begin
+      Exec.run_pinned t.z ~priv:true t.kf.kf_ipi_recv;
+      match Ipc.send target.Pd.inbox ~sender payload with
+      | Error _ -> false
+      | Ok () ->
+        run_fp t Klayout.ipc_copy
+          ~base_cycles:(Array.length payload * Costs.ipc_per_word)
+          "ipc_copy";
+        Vgic.set_pending target.Pd.vgic ipc_doorbell_irq;
+        unblock t target;
+        true
+    end
+
+(* Barrier-time application of a remote ASID shootdown: the receive
+   half of the shootdown IPI — drop every local translation tagged
+   with the revoked ASID before the stealing pCPU can reuse it. *)
+let apply_shootdown t ~asid =
+  Exec.run_pinned t.z ~priv:true t.kf.kf_shootdown;
+  ignore (Tlb.flush_asid t.z.Zynq.tlb asid)
 
 type ring_stats = {
   rs_enqueued : int;

@@ -26,10 +26,18 @@ type config = {
 
   kernel_tick : Cycles.t option;
   (** period of the kernel's physical timer tick, [None] disables *)
+
+  ring_admission : [ `Fifo | `Deadline ];
+  (** ABI v2 doorbell batch order: [`Fifo] (default) executes
+      descriptors in submission order; [`Deadline] stable-sorts each
+      batch by the descriptor deadline key ([flags >> 1]) before the
+      manager executes it. CQEs carry tags, so guests are unaffected
+      beyond ordering. *)
 }
 
 val default_config : config
-(** 33 ms quantum, lazy VFP, ASID-tagged TLB, 1 ms kernel tick. *)
+(** 33 ms quantum, lazy VFP, ASID-tagged TLB, 1 ms kernel tick, FIFO
+    ring admission. *)
 
 type t
 
@@ -71,11 +79,14 @@ val register_hw_task : t -> Task_kind.t -> Bitstream.id
 (** Add a bitstream to the Hardware Task Manager's store. *)
 
 val create_vm :
-  t -> name:string -> ?priority:int -> ?uses_vfp:bool ->
+  t -> name:string -> ?id:int -> ?priority:int -> ?uses_vfp:bool ->
   (guest_env -> unit) -> Pd.t
 (** Create a guest VM: allocates its ASID and address space, builds
     its PD, and enqueues it (priority 1 by default; the manager runs
-    at 6). The guest's [main] starts on first schedule. *)
+    at 6). The guest's [main] starts on first schedule. [id] fixes
+    the PD id instead of taking the next free one — used by the SMP
+    orchestrator to keep one id space across pCPUs; raises
+    [Invalid_argument] if that id is already live here. *)
 
 val pd : t -> int -> Pd.t option
 val pds : t -> Pd.t list
@@ -108,6 +119,53 @@ val run : t -> until:Cycles.t -> unit
 
 val run_for : t -> Cycles.t -> unit
 (** [run t ~until:(now + d)]. *)
+
+(** {2 SMP (multi-pCPU) support}
+
+    A multi-pCPU simulation runs one kernel per simulated CPU and
+    couples them only at deterministic epoch barriers (see {!Smp}).
+    Everything below is driven by that orchestrator; single-kernel
+    users never need it, and an un-hooked kernel is bit-identical to
+    the pre-SMP one. *)
+
+type smp_hooks = {
+  sh_vm_send : dest:int -> sender:int -> payload:int array -> bool;
+  (** Consulted when [Vm_send] misses the local PD table. Return true
+      iff a remote pCPU owns [dest] and the message was queued as a
+      cross-CPU IPI (the kernel then charges the IPI-send path and
+      reports success to the guest). *)
+
+  sh_asid_steal : asid:int -> unit;
+  (** An ASID was just stolen locally: post an IPI-driven TLB
+      shootdown for it to every other pCPU. *)
+}
+
+val set_smp_hooks : t -> smp_hooks option -> unit
+
+val run_epoch : t -> until:Cycles.t -> unit
+(** One pCPU's slice of a barrier epoch: like {!run}, but an idle or
+    guestless kernel keeps pace with the epoch clock instead of
+    stopping, never sleeps past [until], and always finishes with its
+    clock at (or just past) [until]. *)
+
+val deliver_remote_ipc :
+  t -> dest:int -> sender:int -> payload:int array -> bool
+(** Barrier-time receive half of a cross-CPU [Vm_send] IPI: charge
+    the IPI-receive path, enqueue into [dest]'s inbox, raise its
+    doorbell. False (message dropped) if [dest] died or its inbox is
+    full — the fate a local fire-and-forget send shares. *)
+
+val apply_shootdown : t -> asid:int -> unit
+(** Barrier-time receive half of a remote ASID-steal shootdown IPI:
+    charge the shootdown path and drop local translations tagged
+    [asid]. *)
+
+val retract_vm : t -> int -> (string * int * bool * (guest_env -> unit)) option
+(** Withdraw a never-started, runnable, resource-free VM for
+    re-creation on another pCPU (idle-balance migration). Returns
+    [(name, priority, uses_vfp, main)], or [None] if the VM is
+    ineligible (already started, blocked, holds mappings/ring/queued
+    IPC/pending vIRQs, or unknown). Host-side bookkeeping only. *)
 
 val alive_guests : t -> int
 (** O(1): maintained at create/kill, never rescans the PD table. *)

@@ -30,6 +30,12 @@ let ring_setup_stub = (code + 0x3000, 224)
 let ring_drain_stub = (code + 0x3100, 256)
 let ring_complete_stub = (code + 0x3200, 224)
 
+(* SMP cross-CPU paths: IPI send/receive trampolines and the
+   ASID-tagged TLB shootdown handler. Same line-spacing rule. *)
+let ipi_send_stub = (code + 0x3300, 160)
+let ipi_recv_stub = (code + 0x3400, 192)
+let shootdown_stub = (code + 0x3500, 192)
+
 (* Manager service: its code/data sit in their own pages, mapped into
    the manager's address space (identity), distinct from all guests. *)
 let mgr_entry_stub = (code + 0x10000, 192)

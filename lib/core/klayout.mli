@@ -53,6 +53,15 @@ val ring_drain_stub : range
 val ring_complete_stub : range
 (** ABI v2 completion writer: CQE stores + header write-back. *)
 
+val ipi_send_stub : range
+(** SMP: cross-pCPU IPI post trampoline. *)
+
+val ipi_recv_stub : range
+(** SMP: IPI receive + message dispatch. *)
+
+val shootdown_stub : range
+(** SMP: remote ASID-tagged TLB shootdown handler. *)
+
 (** {2 Hardware Task Manager service (its own address space)} *)
 
 val mgr_entry_stub : range

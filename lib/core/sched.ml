@@ -122,3 +122,10 @@ let level_members t level =
       if node == head then List.rev acc else walk (node.pd :: acc) node.next
     in
     head.pd :: walk [] head.next
+
+(* All queued PDs in deterministic dispatch order: priority high to
+   low, ring order within a level (head = next to run). This is the
+   victim enumeration work-stealing scans — the stealer takes from
+   the back, i.e. the PD furthest from running here. *)
+let members t =
+  List.concat (List.init levels (fun i -> level_members t (levels - 1 - i)))

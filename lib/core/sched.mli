@@ -36,6 +36,12 @@ val count : t -> int
 val level_members : t -> int -> Pd.t list
 (** Ring order at one level, head first (test/debug). *)
 
+val members : t -> Pd.t list
+(** Every queued PD in deterministic dispatch order: priority high to
+    low, ring order within a level. Work-stealing scans this from the
+    back — the PD furthest from running locally is the cheapest to
+    migrate. *)
+
 val integrity : t -> string list
 (** Structural invariants, for the kernel invariant plane: every ring
     closes within [count] nodes with symmetric links, node priorities

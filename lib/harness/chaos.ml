@@ -91,7 +91,8 @@ let run ?(config = default_config) ~guests () =
     { Kernel.quantum = Cycles.of_ms config.base.Scenario.quantum_ms;
       vfp_policy = config.base.Scenario.vfp_policy;
       tlb_policy = config.base.Scenario.tlb_policy;
-      kernel_tick = Some (Cycles.of_ms 1.0) }
+      kernel_tick = Some (Cycles.of_ms 1.0);
+      ring_admission = `Fifo }
   in
   let kern = Kernel.boot ~config:kcfg z in
   let trace = Ktrace.create ~capacity:65536 in

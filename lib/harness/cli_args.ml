@@ -77,6 +77,39 @@ let domains =
            Error (Printf.sprintf "expected a positive integer, got %S" s));
     show = (function Some d -> string_of_int d | None -> "auto") }
 
+let pcpus =
+  { names = [ "pcpus" ];
+    docv = "N";
+    doc =
+      "Simulated pCPUs. 1 (default) drives a single kernel exactly as \
+       before; N > 1 boots N per-CPU kernels coupled at deterministic \
+       epoch barriers and runs them in parallel on OCaml domains \
+       (results are bit-identical for any host core count).";
+    default = 1;
+    parse =
+      (fun s ->
+         match int_of_string_opt s with
+         | Some v when v >= 1 -> Ok v
+         | Some _ | None ->
+           Error (Printf.sprintf "expected a positive integer, got %S" s));
+    show = string_of_int }
+
+let ring_admission =
+  { names = [ "ring-admission" ];
+    docv = "POLICY";
+    doc =
+      "Descriptor-ring admission order inside a doorbell batch: fifo \
+       (default, submission order) or deadline (ascending descriptor \
+       deadline key, stable).";
+    default = `Fifo;
+    parse =
+      (fun s ->
+         match String.lowercase_ascii s with
+         | "fifo" -> Ok `Fifo
+         | "deadline" -> Ok `Deadline
+         | _ -> Error (Printf.sprintf "expected fifo or deadline, got %S" s));
+    show = (function `Fifo -> "fifo" | `Deadline -> "deadline") }
+
 let fault_rate =
   { names = [ "fault-rate" ];
     docv = "P";

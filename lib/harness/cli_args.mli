@@ -46,6 +46,15 @@ val guests : int spec
 val domains : int option spec
 (** [--domains]: sweep parallelism cap. *)
 
+val pcpus : int spec
+(** [--pcpus N]: simulated pCPU count (>= 1). N > 1 boots an [Smp]
+    complex — per-CPU kernels run in parallel on OCaml domains,
+    coupled at deterministic epoch barriers. *)
+
+val ring_admission : [ `Fifo | `Deadline ] spec
+(** [--ring-admission fifo|deadline]: doorbell-batch admission order
+    ({!Kernel.config}[.ring_admission]). *)
+
 val fault_rate : float spec
 (** [--fault-rate]: PL fault probability. *)
 

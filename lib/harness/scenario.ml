@@ -8,6 +8,7 @@ type config = {
   job_fraction : int;
   churn_kb : int;
   observe : bool;
+  pcpus : int;
 }
 
 let default_config =
@@ -19,7 +20,8 @@ let default_config =
     vfp_policy = `Lazy;
     job_fraction = 4;
     churn_kb = 96;
-    observe = false }
+    observe = false;
+    pcpus = 1 }
 
 type overheads = {
   entry_us : float;
@@ -262,15 +264,14 @@ let mean_us stats =
   if Stats.count stats = 0 then 0.0
   else Cycles.to_us (int_of_float (Stats.mean stats))
 
-let run_virtualized ?(config = default_config) ~guests () =
-  if guests < 1 then invalid_arg "run_virtualized: need at least one guest";
-  let config = sanitize config in
+let run_virtualized_uni ~config ~guests () =
   let z = Zynq.create ~observe:config.observe () in
   let kcfg =
     { Kernel.quantum = Cycles.of_ms config.quantum_ms;
       vfp_policy = config.vfp_policy;
       tlb_policy = config.tlb_policy;
-      kernel_tick = Some (Cycles.of_ms 1.0) }
+      kernel_tick = Some (Cycles.of_ms 1.0);
+      ring_admission = `Fifo }
   in
   let kern = Kernel.boot ~config:kcfg z in
   let tasks =
@@ -332,6 +333,90 @@ let run_virtualized ?(config = default_config) ~guests () =
     sim_ms = Cycles.to_ms (Clock.now z.Zynq.clock);
     sim_cycles = Clock.now z.Zynq.clock;
     metrics = Obs.snapshot z.Zynq.obs }
+
+(* Multi-pCPU variant: the µC/OS guests are distributed round-robin
+   over an [Smp] complex. The warm-up discard of the single-CPU path
+   resets probe and observability state from guest context, which is
+   neither safe nor meaningful when other pCPUs are mid-epoch on
+   other domains, so this variant reports whole-run aggregates and
+   ignores [warmup_requests]; per-path means merge every node's probe
+   (parallel Welford merge). *)
+let run_virtualized_smp ~config ~guests () =
+  let smp =
+    Smp.create
+      ~config:
+        { Kernel.quantum = Cycles.of_ms config.quantum_ms;
+          vfp_policy = config.vfp_policy;
+          tlb_policy = config.tlb_policy;
+          kernel_tick = Some (Cycles.of_ms 1.0);
+          ring_admission = `Fifo }
+      ~pcpus:config.pcpus
+      ~mk_zynq:(fun cpu -> Zynq.create ~observe:config.observe ~cpu ())
+      ()
+  in
+  let tasks =
+    List.map
+      (fun kind -> (Smp.register_hw_task smp kind, kind))
+      standard_task_set
+  in
+  let on_request () = () in
+  for g = 0 to guests - 1 do
+    let rng = Rng.create ~seed:(config.seed + (97 * g)) in
+    ignore
+      (Smp.create_vm smp
+         ~name:(Printf.sprintf "ucos%d" g)
+         (fun genv ->
+            let port = Port.paravirt genv in
+            let os = Ucos.create port in
+            install_workload os ~rng ~cfg:config ~tasks ~on_request;
+            Ucos.run os))
+  done;
+  Smp.run smp ~until:(Cycles.of_ms (120_000.0 *. float_of_int guests));
+  let pcpus = Smp.pcpus smp in
+  let nodes = List.init pcpus (fun cpu -> Smp.kernel smp cpu) in
+  let boards = List.init pcpus (fun cpu -> Smp.zynq smp cpu) in
+  let merged label =
+    List.fold_left
+      (fun acc k -> Stats.merge acc (Probe.stats (Kernel.probe k) label))
+      (Stats.create ()) nodes
+  in
+  let entry = merged Probe.hwtm_entry
+  and exit_ = merged Probe.hwtm_exit
+  and exec = merged Probe.hwtm_exec
+  and plirq = merged Probe.pl_irq_entry in
+  let sum_nodes f = List.fold_left (fun a k -> a + f k) 0 nodes in
+  let sum_boards f = List.fold_left (fun a z -> a + f z) 0 boards in
+  let sim_cycles = Smp.now smp in
+  { entry_us = mean_us entry;
+    exit_us = mean_us exit_;
+    plirq_us = mean_us plirq;
+    exec_us = mean_us exec;
+    total_us = mean_us entry +. mean_us exec +. mean_us exit_;
+    samples = Stats.count exec;
+    reconfigs = sum_nodes (fun k -> Hw_task_manager.reconfigs (Kernel.hwtm k));
+    reclaims = sum_nodes (fun k -> Hw_task_manager.reclaims (Kernel.hwtm k));
+    jobs = sum_boards (fun z -> Prr_controller.jobs_completed z.Zynq.prrc);
+    hwmmu_violations =
+      sum_boards (fun z ->
+          let v = ref 0 in
+          for i = 0 to Prr_controller.prr_count z.Zynq.prrc - 1 do
+            v :=
+              !v
+              + Hw_mmu.violations
+                  (Prr_controller.prr z.Zynq.prrc i).Prr.hw_mmu
+          done;
+          !v);
+    sim_ms = Cycles.to_ms sim_cycles;
+    sim_cycles;
+    metrics = Obs.snapshot (Smp.zynq smp 0).Zynq.obs }
+
+let run_virtualized ?(config = default_config) ~guests () =
+  if guests < 1 then invalid_arg "run_virtualized: need at least one guest";
+  if config.pcpus < 1 then
+    invalid_arg "run_virtualized: need at least one pCPU";
+  let config = sanitize config in
+  if config.pcpus = 1 then run_virtualized_uni ~config ~guests ()
+  else run_virtualized_smp ~config ~guests ()
 
 let run_native ?(config = default_config) () =
   let config = sanitize config in

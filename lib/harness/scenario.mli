@@ -24,6 +24,14 @@ type config = {
   observe : bool;            (** enable the board's {!Obs} plane
                                  (default false; simulated cycles are
                                  identical either way) *)
+  pcpus : int;               (** simulated pCPUs (default 1 — the
+                                 classic single-kernel run). [> 1]
+                                 spreads the guests round-robin over an
+                                 {!Smp} complex; warm-up discarding is
+                                 skipped (it resets probe state from
+                                 guest context, unsafe across domains)
+                                 and per-path means merge every node's
+                                 probe *)
 }
 
 val default_config : config

@@ -45,6 +45,7 @@ type config = {
   fault_seed : int;
   churn_kills : int;
   observe : bool;
+  pcpus : int;
 }
 
 let default_config =
@@ -60,7 +61,8 @@ let default_config =
     fault_rate = 0.0;
     fault_seed = 7;
     churn_kills = 0;
-    observe = false }
+    observe = false;
+    pcpus = 1 }
 
 type vm_stats = {
   vm : int;
@@ -88,6 +90,7 @@ type prr_util = {
 
 type report = {
   guests : int;
+  pcpus : int;
   process : process;
   mean_interarrival_us : float;
   victim_interarrival_us : float;
@@ -199,22 +202,31 @@ let worker os rng ~st ~clock ~tasks ~budget ~global_depth () =
 let run ?(config = default_config) () =
   let cfg = config in
   if cfg.guests < 1 then invalid_arg "Slo.run: need at least one guest";
+  if cfg.pcpus < 1 then invalid_arg "Slo.run: need at least one pCPU";
   if cfg.arrivals_per_guest < 1 then
     invalid_arg "Slo.run: need at least one arrival";
-  let z =
-    Zynq.create ~fault_seed:cfg.fault_seed ~fault_rate:cfg.fault_rate
-      ~observe:cfg.observe ()
+  let pcpus = cfg.pcpus in
+  (* VM g lives on pCPU [g mod pcpus] for its whole life (churn
+     recreates it in place): the victim always owns pCPU 0, and a VM's
+     arrival events fire on its own node's event queue. *)
+  let vm_cpu g = g mod pcpus in
+  let smp =
+    Smp.create
+      ~config:
+        { Kernel.quantum = Cycles.of_ms cfg.quantum_ms;
+          vfp_policy = `Lazy;
+          tlb_policy = `Asid;
+          kernel_tick = Some (Cycles.of_ms 1.0);
+          ring_admission = `Fifo }
+      ~pcpus
+      ~mk_zynq:(fun cpu ->
+          Zynq.create ~fault_seed:(cfg.fault_seed + cpu)
+            ~fault_rate:cfg.fault_rate ~observe:cfg.observe ~cpu ())
+      ()
   in
-  let kcfg =
-    { Kernel.quantum = Cycles.of_ms cfg.quantum_ms;
-      vfp_policy = `Lazy;
-      tlb_policy = `Asid;
-      kernel_tick = Some (Cycles.of_ms 1.0) }
-  in
-  let kern = Kernel.boot ~config:kcfg z in
   let tasks =
     List.map
-      (fun kind -> (Kernel.register_hw_task kern kind, kind))
+      (fun kind -> (Smp.register_hw_task smp kind, kind))
       slo_task_set
   in
   (* Measurements live in a harness-owned, always-on registry so the
@@ -226,8 +238,12 @@ let run ?(config = default_config) () =
   let victim_ia =
     Option.value cfg.victim_interarrival_us ~default:cfg.mean_interarrival_us
   in
-  let global_depth = ref 0 in
-  let global_max_depth = ref 0 in
+  (* Backlog tracking is per pCPU: each cell is touched only by the
+     domain simulating that node, so the parallel phase stays
+     race-free and deterministic. With one pCPU this is exactly the
+     old whole-board counter. *)
+  let node_depth = Array.init pcpus (fun _ -> ref 0) in
+  let node_max_depth = Array.make pcpus 0 in
   let states =
     Array.init cfg.guests (fun g ->
         { g;
@@ -240,24 +256,29 @@ let run ?(config = default_config) () =
   in
   Array.iteri
     (fun g st ->
+       let cpu = vm_cpu g in
+       let queue = (Smp.zynq smp cpu).Zynq.queue in
+       let depth = node_depth.(cpu) in
        let mean_us = if g = 0 then victim_ia else cfg.mean_interarrival_us in
        let arng = Rng.create ~seed:(cfg.seed + (9173 * g) + 1) in
        List.iter
          (fun at ->
             ignore
-              (Event_queue.schedule_at z.Zynq.queue at (fun () ->
+              (Event_queue.schedule_at queue at (fun () ->
                    st.arrived <- st.arrived + 1;
-                   Queue.push (Event_queue.now z.Zynq.queue) st.queue;
+                   Queue.push (Event_queue.now queue) st.queue;
                    st.depth <- st.depth + 1;
                    if st.depth > st.max_depth then st.max_depth <- st.depth;
-                   incr global_depth;
-                   if !global_depth > !global_max_depth then
-                     global_max_depth := !global_depth)))
+                   incr depth;
+                   if !depth > node_max_depth.(cpu) then
+                     node_max_depth.(cpu) <- !depth)))
          (arrival_times cfg arng ~mean_us ~n:budget))
     states;
   let pd_ids = Array.make cfg.guests (-1) in
   let spawn_vm g incarnation =
     let st = states.(g) in
+    let cpu = vm_cpu g in
+    let clock = (Smp.zynq smp cpu).Zynq.clock in
     let wrng =
       Rng.create ~seed:(cfg.seed + (7919 * (g + 1)) + (131 * incarnation))
     in
@@ -266,13 +287,13 @@ let run ?(config = default_config) () =
       else Printf.sprintf "slo%d.%d" g incarnation
     in
     let pd =
-      Kernel.create_vm kern ~name (fun genv ->
+      Smp.create_vm smp ~name ~cpu (fun genv ->
           let port = Port.paravirt genv in
           let os = Ucos.create port in
           ignore
             (Ucos.spawn os ~name:"slo_worker" ~prio:8
-               (worker os (Rng.split wrng) ~st ~clock:z.Zynq.clock ~tasks
-                  ~budget ~global_depth));
+               (worker os (Rng.split wrng) ~st ~clock ~tasks
+                  ~budget ~global_depth:node_depth.(cpu)));
           Ucos.run os)
     in
     pd_ids.(g) <- pd.Pd.id
@@ -301,10 +322,11 @@ let run ?(config = default_config) () =
             1 + (k mod (cfg.guests - 1)) ))
   in
   (match kill_times with
-   | [] -> Kernel.run kern ~until:cap
+   | [] -> Smp.run smp ~until:cap
    | kills ->
-     (* Kill/recreate must happen between run slices, so the driver
-        advances in 1 ms slices and applies due kills at the
+     (* Kill/recreate must happen between run slices (which are epoch
+        barriers in the SMP case — never mid-parallel-phase), so the
+        driver advances in 1 ms slices and applies due kills at the
         boundaries. *)
      let pending = ref kills in
      let incarnations = Array.make cfg.guests 0 in
@@ -314,12 +336,12 @@ let run ?(config = default_config) () =
      in
      let stuck = ref false in
      while (not (all_finished ())) && (not !stuck)
-           && Clock.now z.Zynq.clock < cap do
+           && Smp.now smp < cap do
        (match !pending with
-        | (at, g) :: rest when Clock.now z.Zynq.clock >= at ->
+        | (at, g) :: rest when Smp.now smp >= at ->
           pending := rest;
           let st = states.(g) in
-          if (not st.finished) && Kernel.kill_vm kern pd_ids.(g) ~reason:"slo churn"
+          if (not st.finished) && Smp.kill_vm smp pd_ids.(g) ~reason:"slo churn"
           then begin
             incr kills_done;
             if st.inflight then begin
@@ -332,12 +354,12 @@ let run ?(config = default_config) () =
             spawn_vm g incarnations.(g)
           end
         | _ -> ());
-       let before = Clock.now z.Zynq.clock in
-       Kernel.run_for kern slice;
-       if Clock.now z.Zynq.clock = before && Kernel.alive_guests kern = 0
+       let before = Smp.now smp in
+       Smp.run_for smp slice;
+       if Smp.now smp = before && Smp.alive_guests smp = 0
        then stuck := true (* nothing can ever run again *)
      done);
-  let sim_cycles = Clock.now z.Zynq.clock in
+  let sim_cycles = Smp.now smp in
   let msnap = Obs.snapshot meas in
   let hist name =
     List.find_opt (fun (d : Obs.hist_data) -> d.Obs.h_name = name)
@@ -377,16 +399,24 @@ let run ?(config = default_config) () =
           sojourn_p999_us = pct soj 0.999;
           sojourn_max_us = hmax soj })
   in
+  (* Each pCPU cluster has its own PL partition: PRRs carry
+     complex-global ids [cpu * prr_count + slot]. *)
   let prrs =
-    List.init (Prr_controller.prr_count z.Zynq.prrc) (fun i ->
-        let p = Prr_controller.prr z.Zynq.prrc i in
-        { prr_id = i;
-          busy_cycles = p.Prr.busy_cycles;
-          util =
-            (if sim_cycles = 0 then 0.0
-             else float_of_int p.Prr.busy_cycles /. float_of_int sim_cycles) })
+    List.concat
+      (List.init pcpus (fun cpu ->
+           let prrc = (Smp.zynq smp cpu).Zynq.prrc in
+           List.init (Prr_controller.prr_count prrc) (fun i ->
+               let p = Prr_controller.prr prrc i in
+               { prr_id = (cpu * Prr_controller.prr_count prrc) + i;
+                 busy_cycles = p.Prr.busy_cycles;
+                 util =
+                   (if sim_cycles = 0 then 0.0
+                    else
+                      float_of_int p.Prr.busy_cycles
+                      /. float_of_int sim_cycles) })))
   in
   { guests = cfg.guests;
+    pcpus;
     process = cfg.process;
     mean_interarrival_us = cfg.mean_interarrival_us;
     victim_interarrival_us = victim_ia;
@@ -394,14 +424,17 @@ let run ?(config = default_config) () =
     fault_rate = cfg.fault_rate;
     churn_kills = cfg.churn_kills;
     vms;
-    max_depth = !global_max_depth;
+    max_depth = Array.fold_left max 0 node_max_depth;
     prrs;
-    injected = Fault_plane.total_injected z.Zynq.faults;
+    injected =
+      List.fold_left ( + ) 0
+        (List.init pcpus (fun cpu ->
+             Fault_plane.total_injected (Smp.zynq smp cpu).Zynq.faults));
     kills = !kills_done;
-    crashes = Kernel.crashes kern;
+    crashes = Smp.crashes smp;
     sim_ms = Cycles.to_ms sim_cycles;
     sim_cycles;
-    metrics = Obs.snapshot z.Zynq.obs }
+    metrics = Obs.snapshot (Smp.zynq smp 0).Zynq.obs }
 
 (* ------------------------------------------------------------------ *)
 (* The bench matrix: Poisson + bursty at two load levels, the chaos
@@ -412,12 +445,14 @@ let run ?(config = default_config) () =
 type tagged = { tag : string; t_config : config }
 
 let bench_matrix ?(seed = default_config.seed)
-    ?(arrivals = default_config.arrivals_per_guest) ?(observe = false) () =
+    ?(arrivals = default_config.arrivals_per_guest) ?(observe = false)
+    ?(pcpus = default_config.pcpus) () =
   let base =
     { default_config with
       seed;
       arrivals_per_guest = arrivals;
       observe;
+      pcpus;
       victim_interarrival_us = Some 8000.0 }
   in
   let low = 8000.0 and high = 2500.0 in
@@ -443,6 +478,7 @@ let sweep ?domains tagged =
 (* Rendering.                                                         *)
 
 let pp_report ppf r =
+  if r.pcpus > 1 then Format.fprintf ppf "pcpus=%d " r.pcpus;
   Format.fprintf ppf
     "%s ia=%.0fus (victim %.0fus) guests=%d arrivals=%d fault=%.2f \
      churn=%d kills=%d inj=%d crash=%d depth<=%d sim=%.0fms@."
@@ -474,13 +510,13 @@ let report_json ?(metrics = true) b r =
   let add = Buffer.add_string b in
   add
     (Printf.sprintf
-       "{\"process\": \"%s\", \"guests\": %d, \
+       "{\"process\": \"%s\", \"guests\": %d, \"pcpus\": %d, \
         \"mean_interarrival_us\": %s, \"victim_interarrival_us\": %s, \
         \"arrivals_per_guest\": %d, \"fault_rate\": %s, \
         \"churn_kills\": %d, \"kills\": %d, \"injected\": %d, \
         \"crashes\": %d, \"max_queue_depth\": %d, \"sim_ms\": %s, \
         \"sim_cycles\": %d, \"vms\": ["
-       (process_name r.process) r.guests
+       (process_name r.process) r.guests r.pcpus
        (json_float r.mean_interarrival_us)
        (json_float r.victim_interarrival_us)
        r.arrivals_per_guest

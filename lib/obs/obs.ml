@@ -48,6 +48,7 @@ let null_span = { sp_cell = null_cell; sp_start = 0; sp_meters = [||] }
 
 type t = {
   on : bool ref;
+  cpu : int;  (* pCPU id stamped on every cell this registry emits *)
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
   hists : (string, histogram) Hashtbl.t;
@@ -56,8 +57,10 @@ type t = {
   mutable stack : span list;
 }
 
-let create ?(enabled = true) () =
+let create ?(enabled = true) ?(cpu = 0) () =
+  if cpu < 0 then invalid_arg "Obs.create: negative cpu";
   { on = ref enabled;
+    cpu;
     counters = Hashtbl.create 16;
     gauges = Hashtbl.create 8;
     hists = Hashtbl.create 8;
@@ -69,6 +72,7 @@ let disabled () = create ~enabled:false ()
 
 let enabled t = !(t.on)
 let set_enabled t v = t.on := v
+let cpu t = t.cpu
 
 let reset t =
   if t.stack <> [] then invalid_arg "Obs.reset: spans are open";
@@ -212,6 +216,7 @@ type hist_data = {
 type cell = {
   c_component : string;
   c_key : int;
+  c_cpu : int;
   c_calls : int;
   c_cycles : int;
   c_max_cycles : int;
@@ -277,7 +282,8 @@ let snapshot t =
            | c -> c)
         (Hashtbl.fold
            (fun _ c acc ->
-              { c_component = c.component; c_key = c.key; c_calls = c.calls;
+              { c_component = c.component; c_key = c.key; c_cpu = t.cpu;
+                c_calls = c.calls;
                 c_cycles = c.cycles; c_max_cycles = c.max_cycles;
                 c_buckets = nonzero_buckets c.cbuckets;
                 c_meters =
@@ -465,9 +471,9 @@ let snapshot_to_json b s =
        json_escape b c.c_component;
        Buffer.add_string b
          (Printf.sprintf
-            "\", \"key\": %d, \"calls\": %d, \"cycles\": %d, \
+            "\", \"key\": %d, \"cpu\": %d, \"calls\": %d, \"cycles\": %d, \
              \"max_cycles\": %d, \"meters\": "
-            c.c_key c.c_calls c.c_cycles c.c_max_cycles);
+            c.c_key c.c_cpu c.c_calls c.c_cycles c.c_max_cycles);
        add_pairs_obj b c.c_meters;
        Buffer.add_string b ", \"buckets\": ";
        add_buckets b c.c_buckets;

@@ -30,9 +30,13 @@
 
 type t
 
-val create : ?enabled:bool -> unit -> t
+val create : ?enabled:bool -> ?cpu:int -> unit -> t
 (** A fresh registry (default [enabled:true]). Registries are
-    per-board and never shared across domains. *)
+    per-board and never shared across domains. [cpu] (default 0) is
+    the simulated pCPU id stamped on every breakdown cell the
+    registry emits, so merged multi-pCPU reports stay unambiguous. *)
+
+val cpu : t -> int
 
 val disabled : unit -> t
 (** Shorthand for [create ~enabled:false ()] — never records. *)
@@ -140,6 +144,7 @@ type hist_data = {
 type cell = {
   c_component : string;
   c_key : int;
+  c_cpu : int;  (** pCPU id of the registry that produced the cell *)
   c_calls : int;
   c_cycles : int;      (** total attributed cycles *)
   c_max_cycles : int;

@@ -20,7 +20,7 @@ type t = {
 let default_prr_capacities = [ 1300; 1300; 200; 200 ]
 
 let create ?(prr_capacities = default_prr_capacities) ?lat ?on_uart
-    ?fault_seed ?fault_rate ?(observe = false) () =
+    ?fault_seed ?fault_rate ?(observe = false) ?(cpu = 0) () =
   let clock = Clock.create () in
   let queue = Event_queue.create clock in
   let mem = Phys_mem.create () in
@@ -36,7 +36,7 @@ let create ?(prr_capacities = default_prr_capacities) ?lat ?on_uart
       ?seed:fault_seed
       ?rate:fault_rate ()
   in
-  let obs = Obs.create ~enabled:observe () in
+  let obs = Obs.create ~enabled:observe ~cpu () in
   (* Meters are registered even when disabled: [Obs.set_enabled] can
      turn the plane on later and spans will attribute deltas from the
      same suppliers. *)

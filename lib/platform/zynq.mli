@@ -39,12 +39,15 @@ val default_prr_capacities : int list
 val create :
   ?prr_capacities:int list -> ?lat:Hierarchy.latencies ->
   ?on_uart:(char -> unit) ->
-  ?fault_seed:int -> ?fault_rate:float -> ?observe:bool -> unit -> t
+  ?fault_seed:int -> ?fault_rate:float -> ?observe:bool -> ?cpu:int ->
+  unit -> t
 (** [fault_seed]/[fault_rate] arm the board's {!Fault_plane} (default:
     seed 0, rate 0.0 — disabled, zero-cost). [observe] enables the
     board's {!Obs} plane (default false); cache and TLB miss meters
     are registered either way, so the plane can also be switched on
-    later with [Obs.set_enabled]. *)
+    later with [Obs.set_enabled]. [cpu] (default 0) is the simulated
+    pCPU id this board models; it is stamped on the board's {!Obs}
+    breakdown cells. *)
 
 (** {2 Virtual-address CPU accesses}
 

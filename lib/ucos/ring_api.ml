@@ -58,7 +58,7 @@ let completions_pending p r = (cq_tail p r - r.chead) land mask32
 
 let enqueue p r ~op ~task ?iface_vaddr ?data_vaddr
     ?(data_len = Guest_layout.default_data_section_len)
-    ?(want_irq = false) ~tag () =
+    ?(want_irq = false) ?(deadline = 0) ~tag () =
   let tail = sq_tail p r in
   if ((tail - sq_head p r) land mask32) >= r.entries then false
   else begin
@@ -80,7 +80,7 @@ let enqueue p r ~op ~task ?iface_vaddr ?data_vaddr
     wr p (d + 8) iface_vaddr;
     wr p (d + 12) data_vaddr;
     wr p (d + 16) data_len;
-    wr p (d + 20) (if want_irq then 1 else 0);
+    wr p (d + 20) ((deadline lsl 1) lor (if want_irq then 1 else 0));
     wr p (d + 24) tag;
     (* Publish: the tail store is the guest's half of the protocol. *)
     wr p r.sq ((tail + 1) land mask32);

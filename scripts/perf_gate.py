@@ -4,7 +4,9 @@
 Compares the current run's perf record against the committed reference
 (BENCH_perf.json at HEAD). Wall time is host-dependent, so the gate is
 only hard when the two records were produced with the same domain
-count; on a mismatch it degrades to a warning and exits 0.
+count AND the same simulated-pCPU count (--pcpus); on either mismatch
+it degrades to a warning and exits 0. Records written before the pcpus
+key existed compare as pcpus-matching when both lack the key.
 
 The two records may cover different section subsets (CI smoke runs a
 subset of the full bench), so the compared quantity is the summed
@@ -68,15 +70,22 @@ def main():
           f"({100.0 * delta:+.0f}%)")
 
     same_domains = ref.get("domains") == cur.get("domains")
+    same_pcpus = ref.get("pcpus") == cur.get("pcpus")
     if delta > args.max_regression:
-        if same_domains:
+        if same_domains and same_pcpus:
             print(f"FAIL: wall time regressed {100.0 * delta:.0f}% "
                   f"(> {100.0 * args.max_regression:.0f}% hard limit, "
-                  f"domains={cur.get('domains')})")
+                  f"domains={cur.get('domains')}, "
+                  f"pcpus={cur.get('pcpus')})")
             return 1
+        if not same_domains:
+            mismatch = (f"domain counts differ (ref {ref.get('domains')}, "
+                        f"cur {cur.get('domains')})")
+        else:
+            mismatch = (f"pcpus counts differ (ref {ref.get('pcpus')}, "
+                        f"cur {cur.get('pcpus')})")
         print(f"::warning title=Bench wall-time regression::"
-              f"+{100.0 * delta:.0f}% vs reference, but domain counts differ "
-              f"(ref {ref.get('domains')}, cur {cur.get('domains')}) — "
+              f"+{100.0 * delta:.0f}% vs reference, but {mismatch} — "
               f"soft signal only")
         return 0
     print(f"perf gate passed ({100.0 * delta:+.0f}% vs reference, "

@@ -13,13 +13,16 @@ sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 import perf_gate
 
 
-def record(sections, domains=4):
-    return {
+def record(sections, domains=4, pcpus=1, with_pcpus=True):
+    r = {
         "schema": "mini-nova-perf/1",
         "domains": domains,
         "total_wall_s": sum(w for _, w in sections),
         "sections": [{"section": k, "wall_s": w} for k, w in sections],
     }
+    if with_pcpus:
+        r["pcpus"] = pcpus
+    return r
 
 
 def run_gate(ref, cur, extra=None):
@@ -73,6 +76,34 @@ class Gate(unittest.TestCase):
         self.assertEqual(
             run_gate(record([("table3", 1.0)]),
                      record([("table3", 1.5)], domains=2)),
+            0)
+
+    def test_regression_with_different_pcpus_is_soft(self):
+        # Same domains, different simulated-pCPU counts: the runs
+        # simulate different machines, so the comparison is soft.
+        self.assertEqual(
+            run_gate(record([("table3", 1.0)]),
+                     record([("table3", 1.5)], pcpus=4)),
+            0)
+
+    def test_regression_with_same_pcpus_is_hard(self):
+        self.assertEqual(
+            run_gate(record([("table3", 1.0)], pcpus=4),
+                     record([("table3", 1.5)], pcpus=4)),
+            1)
+
+    def test_records_without_pcpus_key_still_gate_hard(self):
+        # Pre-pcpus records lack the key on both sides; missing ==
+        # missing counts as a match and the hard gate still applies.
+        self.assertEqual(
+            run_gate(record([("table3", 1.0)], with_pcpus=False),
+                     record([("table3", 1.5)], with_pcpus=False)),
+            1)
+
+    def test_reference_without_pcpus_vs_current_with_is_soft(self):
+        self.assertEqual(
+            run_gate(record([("table3", 1.0)], with_pcpus=False),
+                     record([("table3", 1.5)])),
             0)
 
     def test_duplicates_summed_before_comparison(self):

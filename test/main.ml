@@ -23,4 +23,5 @@ let () =
       Test_slo.suite;
       Test_check.suite;
       Test_ring.suite;
-      Test_ctrlpath.suite ]
+      Test_ctrlpath.suite;
+      Test_smp.suite ]

@@ -322,7 +322,7 @@ let test_sharded_reproducer_replays_single_domain () =
 let test_reproducer_roundtrip () =
   let cfg =
     { Soak.ops = 123_456; seed = 77; max_vms = 9; check = true;
-      fault_rate = 0.25; fault_seed = 3; quantum_ms = 1.5 }
+      fault_rate = 0.25; fault_seed = 3; quantum_ms = 1.5; pcpus = 1 }
   in
   let violation =
     { Invariant.checker = "sched"; boundary = "op"; detail = "synthetic" }

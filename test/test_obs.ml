@@ -253,6 +253,29 @@ let test_response_to_json_total () =
          (String.length s >= 8 && String.sub s 1 6 = "\"kind\""))
     responses
 
+(* --- per-pCPU cell keying --- *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_cells_keyed_by_cpu () =
+  let t = Obs.create ~cpu:2 () in
+  check ci "registry carries its pCPU id" 2 (Obs.cpu t);
+  let sp = Obs.open_span t ~component:"hypercall" ~key:1 ~at:100 in
+  Obs.close_span t sp ~at:150;
+  let s = Obs.snapshot t in
+  (match s.Obs.s_cells with
+   | [ c ] -> check ci "cell keyed by pCPU" 2 c.Obs.c_cpu
+   | cs -> Alcotest.failf "expected one cell, got %d" (List.length cs));
+  let b = Buffer.create 256 in
+  Obs.snapshot_to_json b s;
+  check cb "snapshot JSON carries the cpu key" true
+    (contains (Buffer.contents b) "\"cpu\": 2");
+  (* The default registry stays on pCPU 0 — the single-kernel view. *)
+  check ci "default registry is pCPU 0" 0 (Obs.cpu (Obs.create ()))
+
 let suite =
   ( "obs",
     [ Alcotest.test_case "counters and gauges" `Quick test_counters_and_gauges;
@@ -271,4 +294,6 @@ let suite =
       Alcotest.test_case "hyper ABI enumeration" `Quick
         test_hyper_abi_enumeration;
       Alcotest.test_case "response_to_json is total" `Quick
-        test_response_to_json_total ] )
+        test_response_to_json_total;
+      Alcotest.test_case "cells keyed by pCPU" `Quick
+        test_cells_keyed_by_cpu ] )

@@ -344,6 +344,70 @@ let test_density_deterministic () =
     b.Density.ring.Kernel.rs_enqueued;
   Alcotest.check ci "sim cycles" a.Density.sim_cycles b.Density.sim_cycles
 
+(* ------------------------------------------------------------------ *)
+(* Manager admission order. CQEs are written in execution order, so    *)
+(* the echoed tags pin the order a doorbell batch was drained in.      *)
+
+let admission_run ?config ~deadlines () =
+  let z = Zynq.create () in
+  let kern = Kernel.boot ?config z in
+  let task = Kernel.register_hw_task kern (Task_kind.Qam 4) in
+  let tr = Ktrace.create ~capacity:4096 in
+  Kernel.set_trace kern (Some tr);
+  let tags = ref [] in
+  ignore
+    (Kernel.create_vm kern ~name:"adm" (fun genv ->
+         let p = Port.paravirt genv in
+         match Ring_api.setup p ~entries:8 ~cvirq_budget:0 () with
+         | Error e -> Alcotest.failf "setup: %s" e
+         | Ok r ->
+           List.iteri
+             (fun i deadline ->
+                Alcotest.check cb "descriptor accepted" true
+                  (Ring_api.enqueue p r ~op:`Request ~task ~deadline
+                     ~tag:(i + 1) ()))
+             deadlines;
+           ignore (Ring_api.doorbell p r);
+           tags :=
+             List.map
+               (fun (c : Ring_api.cqe) -> c.Ring_api.tag)
+               (Ring_api.drain_completions p r)));
+  Kernel.run_for kern (Cycles.of_ms 5.0);
+  Alcotest.(check (list string)) "invariants hold" []
+    (List.map Invariant.violation_to_string
+       (Invariant.check kern ~boundary:"test"));
+  let rendered =
+    List.map
+      (fun (e : Ktrace.event) ->
+         String.concat " " (List.map field_to_string e.Ktrace.fields))
+      (Ktrace.find tr ~category:"hwtm" ~name:"job" ())
+  in
+  (!tags, Clock.now z.Zynq.clock, rendered)
+
+let test_deadline_admission_order () =
+  let cfg = { Kernel.default_config with Kernel.ring_admission = `Deadline } in
+  (* Tags 1,2,3 submitted with deadlines 30,10,20: deadline-ordered
+     admission must execute (and complete) them as 2, 3, 1. *)
+  let tags, _, _ = admission_run ~config:cfg ~deadlines:[ 30; 10; 20 ] () in
+  Alcotest.(check (list int)) "ascending-deadline execution order"
+    [ 2; 3; 1 ] tags;
+  (* Equal keys keep submission order: the sort is stable. *)
+  let tags, _, _ = admission_run ~config:cfg ~deadlines:[ 7; 7; 7 ] () in
+  Alcotest.(check (list int)) "equal deadlines stay FIFO" [ 1; 2; 3 ] tags
+
+let test_fifo_admission_ignores_deadlines () =
+  (* Default config is FIFO, and under it the deadline key is inert:
+     the same batch with scrambled keys is bit-identical (execution
+     order, job trace, final clock) to the all-zero-key run. *)
+  Alcotest.check cb "default admission is fifo" true
+    (Kernel.default_config.Kernel.ring_admission = `Fifo);
+  let tags0, clock0, trace0 = admission_run ~deadlines:[ 0; 0; 0 ] () in
+  let tags1, clock1, trace1 = admission_run ~deadlines:[ 30; 10; 20 ] () in
+  Alcotest.(check (list int)) "submission order either way" tags0 tags1;
+  Alcotest.(check (list int)) "tags 1..3" [ 1; 2; 3 ] tags0;
+  Alcotest.(check (list string)) "identical job traces" trace0 trace1;
+  Alcotest.check ci "identical final clocks" clock0 clock1
+
 let suite =
   ( "ring-abi",
     let t = Alcotest.test_case in
@@ -355,4 +419,7 @@ let suite =
       t "v1/v2 job-stream equivalence" `Quick test_v1_v2_equivalence;
       t "flat-cost create at 256 guests" `Quick test_flat_cost_create_256;
       t "density transition gate" `Quick test_density_transition_gate;
-      t "density determinism" `Quick test_density_deterministic ] )
+      t "density determinism" `Quick test_density_deterministic;
+      t "deadline admission order" `Quick test_deadline_admission_order;
+      t "fifo admission ignores deadline keys" `Quick
+        test_fifo_admission_ignores_deadlines ] )
