@@ -7,7 +7,7 @@
      dune exec bench/main.exe -- table3 fig9  # a subset
 
    Sections: table3 fig9 report reconfig axi vfp trapvshyper asid
-   quantum chaos soak slo checkoverhead micro.
+   quantum chaos soak slo density smp partition checkoverhead micro.
 
    Flags are the shared Cli_args vocabulary: --domains, --json, --obs,
    --fault-rate, --fault-seed, --check-baseline (plus --write-baseline
@@ -312,6 +312,31 @@ let density_jobs_spec =
          | Some n when n >= 1 -> Ok n
          | _ -> Error (Printf.sprintf "bad job count %S" s));
     show = string_of_int }
+
+(* E10: static vs dynamic PRR partitioning. The cell geometry is
+   fixed (the 2x2 mode x chaos study at the default population); the
+   shared --seed/--check/--pcpus/--domains flags apply. *)
+let partition_cache : (string * Partition.report) list option ref = ref None
+let partition_seed = ref Partition.default_config.Partition.seed
+let partition_check = ref false
+
+let run_partition () =
+  let d = Partition.default_config in
+  Format.fprintf fmt
+    "E10: static vs dynamic PRR partitioning — 2x2 mode x chaos study \
+     (seed %d, %d VMs, %d jobs/VM%s)@."
+    !partition_seed d.Partition.vms d.Partition.jobs_per_vm
+    (if !partition_check then ", invariants checked" else "");
+  let tagged =
+    Partition.bench_matrix ~seed:!partition_seed ~check:!partition_check
+      ~pcpus:!pcpus ()
+  in
+  let reports = Partition.sweep ?domains:!domains_opt tagged in
+  partition_cache := Some reports;
+  List.iter
+    (fun (tag, r) ->
+       Format.fprintf fmt "  [%s] %a" tag Partition.pp_report r)
+    reports
 
 (* The v1-per-job / v2-per-job guest→kernel transition ratio at one
    population — the headline of the sweep (>= batch-linked gain). *)
@@ -1074,10 +1099,37 @@ let write_density_json path reports =
   close_out oc;
   Format.fprintf fmt "wrote %s@." path
 
+(* --- partition artifact (BENCH_partition.json) ---
+
+   One record per (partition mode x chaos) cell. Written only when the
+   partition section ran. *)
+
+let write_partition_json path reports =
+  let b = Buffer.create 8192 in
+  let add = Buffer.add_string b in
+  add "{\n";
+  add "  \"schema\": \"mini-nova-partition/1\",\n";
+  add (Printf.sprintf "  \"seed\": %d,\n" !partition_seed);
+  add "  \"runs\": [";
+  List.iteri
+    (fun i (tag, r) ->
+       if i > 0 then add ",";
+       add
+         (Printf.sprintf "\n    {\"tag\": \"%s\", \"report\": "
+            (json_escape tag));
+       Partition.report_json b r;
+       add "}")
+    reports;
+  add "\n  ]\n}\n";
+  let oc = open_out path in
+  output_string oc (Buffer.contents b);
+  close_out oc;
+  Format.fprintf fmt "wrote %s@." path
+
 let all_sections =
   [ "table3"; "fig9"; "report"; "reconfig"; "axi"; "vfp";
     "trapvshyper"; "asid"; "quantum"; "chaos"; "soak"; "slo";
-    "density"; "smp"; "checkoverhead"; "micro" ]
+    "density"; "smp"; "partition"; "checkoverhead"; "micro" ]
 
 (* Bench-only flag: regenerate the committed baseline file. *)
 let write_baseline_spec =
@@ -1110,7 +1162,8 @@ let () =
         (fun s ->
            soak_seed := s;
            slo_seed := s;
-           density_seed := s);
+           density_seed := s;
+           partition_seed := s);
       Cli_args.value_entry Cli_args.arrivals (fun n -> slo_arrivals := n);
       Cli_args.value_entry density_vms_spec (fun vs -> density_vms := vs);
       Cli_args.value_entry density_jobs_spec (fun n -> density_jobs := n);
@@ -1122,11 +1175,13 @@ let () =
       Cli_args.flag_entry Cli_args.check
         (fun () ->
            soak_check := true;
-           density_check := true);
+           density_check := true;
+           partition_check := true);
       Cli_args.flag_entry Cli_args.no_check
         (fun () ->
            soak_check := false;
-           density_check := false);
+           density_check := false;
+           partition_check := false);
       Cli_args.value_entry Cli_args.replay (fun f -> soak_replay := f);
       Cli_args.value_entry Cli_args.repro_out (fun f -> soak_repro_out := f);
       Cli_args.flag_entry
@@ -1169,6 +1224,9 @@ let () =
        | "density" ->
          section "density" "E8: fleet density (ABI v1 vs v2)" run_density
        | "smp" -> section "smp" "E9: SMP parallel-simulation speedup" run_smp
+       | "partition" ->
+         section "partition" "E10: static vs dynamic partitioning"
+           run_partition
        | "checkoverhead" ->
          section "checkoverhead" "E6b: invariant-plane overhead"
            run_check_overhead
@@ -1190,7 +1248,10 @@ let () =
     (match !slo_cache with
      | Some reports -> write_slo_json "BENCH_slo.json" reports
      | None -> ());
-    match !density_cache with
-    | Some reports -> write_density_json "BENCH_density.json" reports
+    (match !density_cache with
+     | Some reports -> write_density_json "BENCH_density.json" reports
+     | None -> ());
+    match !partition_cache with
+    | Some reports -> write_partition_json "BENCH_partition.json" reports
     | None -> ()
   end

@@ -10,6 +10,7 @@
      mininova soak      invariant-checked VM-lifecycle soak
      mininova slo       open-loop tail-latency (SLO) run
      mininova density   fleet-scale ABI v1-vs-v2 density run
+     mininova partition static-vs-dynamic PRR partitioning study
      mininova trace     traced two-VM demo + event timeline
 
    Flags come from the shared Cli_args vocabulary (lib/harness);
@@ -568,6 +569,172 @@ let density_cmd =
       $ check $ density_pcpus $ density_ring_admission $ assert_ratio
       $ json_flag)
 
+let partition_cmd =
+  let run verbose seed vms jobs mode chaos quantum fault_rate fault_seed
+      check pcpus assert_isolation json =
+    setup_logs verbose;
+    let cfg mode chaos =
+      { Partition.seed; vms; mode; chaos;
+        jobs_per_vm = jobs;
+        quantum_ms = quantum;
+        chaos_fault_rate = fault_rate;
+        fault_seed; check; pcpus }
+    in
+    let modes =
+      match mode with
+      | Some m -> [ m ]
+      | None -> [ Hw_task_manager.Dynamic; Hw_task_manager.Static ]
+    in
+    let chaoses =
+      match chaos with `Both -> [ false; true ] | `On -> [ true ]
+      | `Off -> [ false ]
+    in
+    let reports =
+      List.concat_map
+        (fun m -> List.map (fun c -> Partition.run ~config:(cfg m c) ()) chaoses)
+        modes
+    in
+    if json then begin
+      let b = Buffer.create 4096 in
+      Buffer.add_string b "[";
+      List.iteri
+        (fun i r ->
+           if i > 0 then Buffer.add_string b ", ";
+           Partition.report_json b r)
+        reports;
+      Buffer.add_string b "]\n";
+      print_string (Buffer.contents b)
+    end
+    else
+      List.iter
+        (fun r -> Format.fprintf fmt "%a" Partition.pp_report r)
+        reports;
+    if assert_isolation then begin
+      let fail msg =
+        Format.fprintf fmt "FAIL: %s@." msg;
+        exit 1
+      in
+      let has m =
+        List.exists (fun (r : Partition.report) -> r.Partition.mode = m)
+          reports
+      in
+      if not (has Hw_task_manager.Dynamic && has Hw_task_manager.Static)
+      then fail "--assert-isolation needs both partition modes in the run";
+      List.iter
+        (fun (r : Partition.report) ->
+           let tag =
+             Printf.sprintf "%s/%s"
+               (Partition.mode_name r.Partition.mode)
+               (if r.Partition.chaos then "chaos" else "quiet")
+           in
+           if r.Partition.crashes > 0 then
+             fail (Printf.sprintf "%s: %d crashes" tag r.Partition.crashes);
+           match r.Partition.mode with
+           | Hw_task_manager.Static ->
+             (* The static baseline must fail foreign-PRR requests
+                fast, yet never drop the victim's jobs — its pinned
+                region isolates it from fleet faults and reclaim. *)
+             if r.Partition.jobs_denied = 0 then
+               fail (tag ^ ": expected static denials, saw none");
+             if r.Partition.victim_ok < r.Partition.victim_jobs then
+               fail
+                 (Printf.sprintf "%s: victim lost jobs (%d/%d ok)" tag
+                    r.Partition.victim_ok r.Partition.victim_jobs)
+           | Hw_task_manager.Dynamic ->
+             if r.Partition.jobs_denied > 0 then
+               fail
+                 (Printf.sprintf "%s: %d denials in dynamic mode" tag
+                    r.Partition.jobs_denied))
+        reports;
+      if not json then Format.fprintf fmt "partition assertions passed@."
+    end
+  in
+  let d = Partition.default_config in
+  let partition_seed =
+    term_of_spec { Cli_args.seed with default = d.Partition.seed }
+  in
+  let vms =
+    Arg.(
+      value & opt int d.Partition.vms
+      & info [ "vms" ] ~docv:"N" ~doc:"Guest population, victim included.")
+  in
+  let jobs =
+    Arg.(
+      value & opt int d.Partition.jobs_per_vm
+      & info [ "jobs" ] ~docv:"N" ~doc:"Hardware jobs per guest.")
+  in
+  let mode =
+    let mode_conv =
+      Arg.conv
+        ( (fun s ->
+            if s = "both" then Ok None
+            else
+              match Partition.mode_of_string s with
+              | Ok m -> Ok (Some m)
+              | Error e -> Error (`Msg e)),
+          fun ppf v ->
+            Format.pp_print_string ppf
+              (match v with
+               | None -> "both"
+               | Some m -> Partition.mode_name m) )
+    in
+    Arg.(
+      value & opt mode_conv None
+      & info [ "partition" ] ~docv:"MODE"
+          ~doc:"PRR sharing discipline: dynamic, static or both.")
+  in
+  let chaos =
+    let chaos_conv =
+      Arg.conv
+        ( (function
+            | "on" -> Ok `On
+            | "off" -> Ok `Off
+            | "both" -> Ok `Both
+            | s -> Error (`Msg (Printf.sprintf "expected on, off or both, got %S" s))),
+          fun ppf v ->
+            Format.pp_print_string ppf
+              (match v with `On -> "on" | `Off -> "off" | `Both -> "both") )
+    in
+    Arg.(
+      value & opt chaos_conv `Off
+      & info [ "chaos" ] ~docv:"WHEN"
+          ~doc:"PL fault injection: on, off or both (one cell each).")
+  in
+  let partition_quantum =
+    term_of_spec { Cli_args.quantum with default = d.Partition.quantum_ms }
+  in
+  let partition_fault_rate =
+    term_of_spec
+      { Cli_args.fault_rate with default = d.Partition.chaos_fault_rate }
+  in
+  let partition_fault_seed =
+    term_of_spec { Cli_args.fault_seed with default = d.Partition.fault_seed }
+  in
+  let check = term_of_flag Cli_args.check in
+  let partition_pcpus = term_of_spec Cli_args.pcpus in
+  let assert_isolation =
+    Arg.(
+      value & flag
+      & info [ "assert-isolation" ]
+          ~doc:
+            "Exit non-zero unless static cells deny foreign-PRR requests \
+             while keeping the victim whole, and dynamic cells deny \
+             nothing (CI smoke mode; needs both modes).")
+  in
+  Cmd.v
+    (Cmd.info "partition"
+       ~doc:
+         "Static-vs-dynamic PRR partitioning study over the heterogeneous \
+          IP catalog: a pinned Jailhouse-style layout (foreign requests \
+          fail fast with denied status) against the paper's DPR \
+          time-sharing, optionally under PL fault chaos; reports denial \
+          rates, reconfiguration counts, PRR utilisation and the victim's \
+          vIRQ-turnaround tail.")
+    Term.(
+      const run $ verbose $ partition_seed $ vms $ jobs $ mode $ chaos
+      $ partition_quantum $ partition_fault_rate $ partition_fault_seed
+      $ check $ partition_pcpus $ assert_isolation $ json_flag)
+
 let trace_cmd =
   let run verbose last =
     setup_logs verbose;
@@ -630,4 +797,4 @@ let () =
        (Cmd.group info
           [ table3_cmd; fig9_cmd; report_cmd; reconfig_cmd; scenario_cmd;
             chaos_cmd; stats_cmd; soak_cmd; slo_cmd; density_cmd;
-            trace_cmd ]))
+            partition_cmd; trace_cmd ]))

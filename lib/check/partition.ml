@@ -1,0 +1,422 @@
+(* E10: static vs dynamic PRR partitioning under a heterogeneous
+   catalog.
+
+   One cell boots a fresh board, registers the heterogeneous task set
+   (streaming FFT, scrambler, digest, matmul alongside the classic
+   QAM/FFT cores) and runs a matched population: VM 0 is the fixed
+   µC/OS victim (real want_irq hardware jobs, identical in every cell
+   so its completion-vIRQ turnaround percentiles compare across
+   modes), and the fleet guests hammer acquire/release pairs over the
+   whole catalog.
+
+   The [mode] axis is {!Hw_task_manager.partition}:
+
+   - [Dynamic]: the paper's DPR time-sharing — any client may be
+     allocated any suitable PRR, reclaim and reconfiguration on
+     demand;
+   - [Static]: the Jailhouse-style baseline — each node's PRRs are
+     pinned round-robin across that node's VMs at boot (victim first,
+     so it owns PRR 0, the big region that hosts every catalog kind)
+     and a request whose suitable PRRs are all foreign fails fast
+     with [Hw_denied]; a VM left without a pin is denied everything.
+
+   The [chaos] axis turns the PL fault plane on (corrupt/aborted PCAP
+   downloads, exec faults, hwMMU noise), measuring isolation under
+   faults: in static mode a fleet fault can only burn the faulting
+   client's own region, so the victim's tail should hold, while
+   dynamic mode exposes the victim to reclaim interference and
+   fault-triggered reconfiguration queueing.
+
+   Every measurement comes from the observability plane (which never
+   advances the simulated clock) or from kernel/manager totals, so a
+   cell is deterministic in its config alone. *)
+
+let mode_name = function
+  | Hw_task_manager.Dynamic -> "dynamic"
+  | Hw_task_manager.Static -> "static"
+
+let mode_of_string = function
+  | "dynamic" -> Ok Hw_task_manager.Dynamic
+  | "static" -> Ok Hw_task_manager.Static
+  | s -> Error (Printf.sprintf "expected dynamic or static, got %S" s)
+
+type config = {
+  seed : int;
+  vms : int;
+  mode : Hw_task_manager.partition;
+  chaos : bool;
+  jobs_per_vm : int;
+  quantum_ms : float;
+  chaos_fault_rate : float;
+  fault_seed : int;
+  check : bool;
+  pcpus : int;
+}
+
+let default_config =
+  { seed = 42; vms = 5; mode = Hw_task_manager.Dynamic; chaos = false;
+    jobs_per_vm = 24; quantum_ms = 2.0; chaos_fault_rate = 0.25;
+    fault_seed = 7; check = false; pcpus = 1 }
+
+(* The heterogeneous catalog under study: bitstreams from ~87 KB
+   (SCR-23) to ~460 KB (SFFT-1024), DMA-bound (scrambler) through
+   strongly compute-bound (matmul), small regions (QAM, SCR, DIG fit
+   the 200-unit PRRs) and big-region-only cores (SFFT, MM-16). *)
+let partition_task_set =
+  [| Task_kind.Qam 16; Task_kind.Fft 256; Task_kind.Scramble 23;
+     Task_kind.Digest 64; Task_kind.Fft_stream 1024; Task_kind.Matmul 16 |]
+
+type prr_util = {
+  prr_id : int;
+  pinned : int option;     (* static owner (PD id), if any *)
+  busy_cycles : int;
+  util : float;
+}
+
+type report = {
+  mode : Hw_task_manager.partition;
+  chaos : bool;
+  vms : int;
+  pcpus : int;
+  jobs_per_vm : int;
+  jobs_submitted : int;    (* fleet request hypercalls *)
+  jobs_ok : int;
+  jobs_busy : int;
+  jobs_denied : int;       (* static fail-fast refusals *)
+  jobs_failed : int;
+  requests : int;          (* manager allocation attempts, all clients *)
+  reclaims : int;
+  reconfigs : int;
+  recoveries : int;
+  pcap_transfers : int;
+  pcap_failures : int;
+  victim_jobs : int;
+  victim_ok : int;
+  victim_dropped : int;
+  victim_p50_us : float;
+  victim_p99_us : float;
+  prrs : prr_util list;
+  injected : int;
+  crashes : int;
+  alive_after : int;
+  sim_ms : float;
+  sim_cycles : int;
+}
+
+type tally = {
+  mutable sub : int;
+  mutable ok : int;
+  mutable busy : int;
+  mutable denied : int;
+  mutable failed : int;
+}
+
+let fresh_tally () = { sub = 0; ok = 0; busy = 0; denied = 0; failed = 0 }
+
+(* {2 Guests} *)
+
+let busy_retries = 3
+
+(* Fleet guest: per-job [Hw_task_request]/[Hw_task_release] pairs over
+   the whole catalog, staggered by VM index so the cell exercises
+   cross-kind reconfiguration churn in dynamic mode. [Hw_denied] is
+   terminal — a static denial never clears, so retrying would only
+   inflate the transition count. *)
+let fleet (cfg : config) ~index st tasks _genv =
+  for j = 0 to cfg.jobs_per_vm - 1 do
+    let task = tasks.((index + j) mod Array.length tasks) in
+    st.sub <- st.sub + 1;
+    let rec attempt tries =
+      match
+        Hyper.hypercall
+          (Hyper.Hw_task_request
+             { task;
+               iface_vaddr = Guest_layout.default_iface_vaddr (task land 7);
+               data_vaddr = Guest_layout.default_data_section;
+               data_len = Guest_layout.default_data_section_len;
+               want_irq = false })
+      with
+      | Hyper.R_hw { status = Hyper.Hw_success | Hyper.Hw_reconfig; _ } ->
+        st.ok <- st.ok + 1;
+        ignore (Hyper.hypercall (Hyper.Hw_task_release { task }))
+      | Hyper.R_hw { status = Hyper.Hw_denied; _ } ->
+        st.denied <- st.denied + 1
+      | Hyper.R_hw { status = Hyper.Hw_busy; _ } ->
+        if tries < busy_retries then begin
+          ignore (Hyper.pause ());
+          attempt (tries + 1)
+        end
+        else st.busy <- st.busy + 1
+      | _ -> st.failed <- st.failed + 1
+    in
+    attempt 0;
+    ignore (Hyper.pause ())
+  done
+
+(* The victim: real DMA + exec + completion-vIRQ jobs under µC/OS,
+   identical in every cell. In static mode it owns PRR 0 (1300 units —
+   hosts every catalog kind), so a drop can only come from
+   interference, never from an impossible placement. *)
+let victim (cfg : config) st tasks genv =
+  let port = Port.paravirt genv in
+  let os = Ucos.create port in
+  let rng = Rng.create ~seed:(cfg.seed + 101) in
+  ignore
+    (Ucos.spawn os ~name:"victim" ~prio:4 (fun () ->
+         for j = 0 to cfg.jobs_per_vm - 1 do
+           Ucos.delay os (1 + Rng.int rng 2);
+           let task = tasks.(j mod Array.length tasks) in
+           st.sub <- st.sub + 1;
+           (match
+              Hw_task_api.acquire os ~task ~want_irq:true ~backoff:true
+                ~max_tries:25 ()
+            with
+            | Error _ -> st.failed <- st.failed + 1
+            | Ok h ->
+              let off = Hw_task_api.data_in_off in
+              Hw_task_api.start os h ~src_off:off ~dst_off:(off + 8192)
+                ~len:64 ~param:4;
+              ignore (Hw_task_api.wait_done os h);
+              Hw_task_api.release os h;
+              st.ok <- st.ok + 1)
+         done;
+         Ucos.stop os));
+  Ucos.run os
+
+(* {2 One cell} *)
+
+let run ?(config = default_config) () =
+  let cfg = config in
+  if cfg.vms < 1 then invalid_arg "Partition.run: need at least one VM";
+  if cfg.pcpus < 1 then invalid_arg "Partition.run: need at least one pCPU";
+  if 1 + (((cfg.vms - 1) + cfg.pcpus - 1) / cfg.pcpus)
+     > Address_map.guest_slot_count
+  then invalid_arg "Partition.run: vms exceeds the guest slot count";
+  if cfg.jobs_per_vm < 1 then
+    invalid_arg "Partition.run: need at least one job";
+  let fault_rate = if cfg.chaos then cfg.chaos_fault_rate else 0.0 in
+  let smp =
+    Smp.create
+      ~config:
+        { Kernel.default_config with
+          quantum = Cycles.of_ms cfg.quantum_ms;
+          partition = cfg.mode }
+      ~pcpus:cfg.pcpus
+      ~mk_zynq:(fun cpu ->
+          Zynq.create ~observe:true ~fault_seed:(cfg.fault_seed + cpu)
+            ~fault_rate ~cpu ())
+      ()
+  in
+  let tasks = Array.map (Smp.register_hw_task smp) partition_task_set in
+  if cfg.check then begin
+    if cfg.pcpus > 1 then Invariant.attach_smp smp
+    else Invariant.attach (Smp.kernel smp 0)
+  end;
+  let vstat = fresh_tally () in
+  let victim_pd =
+    (Smp.create_vm smp ~name:"victim" ~cpu:0 (victim cfg vstat tasks)).Pd.id
+  in
+  let fleet_t = Array.init (max 0 (cfg.vms - 1)) (fun _ -> fresh_tally ()) in
+  let _fleet_pds =
+    Array.mapi
+      (fun i st ->
+         let name = Printf.sprintf "p%d-%s" (i + 1) (mode_name cfg.mode) in
+         (Smp.create_vm smp ~name (fleet cfg ~index:(i + 1) st tasks)).Pd.id)
+      fleet_t
+  in
+  (* Static boot-time layout: each node's PRRs are pinned round-robin
+     over that node's own VMs (each pCPU cluster has its own PL), with
+     the victim first on pCPU 0. More VMs than PRRs leaves the tail
+     VMs unpinned — their requests are all denied, which is exactly
+     the static baseline's inflexibility the sweep quantifies. *)
+  if cfg.mode = Hw_task_manager.Static then
+    for cpu = 0 to cfg.pcpus - 1 do
+      let owners =
+        List.filter
+          (fun id -> Smp.vm_cpu smp id = Some cpu)
+          (victim_pd
+           :: List.sort compare
+                (List.filter (( <> ) victim_pd)
+                   (List.map fst (Smp.directory smp))))
+      in
+      if owners <> [] then begin
+        let hwtm = Kernel.hwtm (Smp.kernel smp cpu) in
+        let prrc = (Smp.zynq smp cpu).Zynq.prrc in
+        for i = 0 to Prr_controller.prr_count prrc - 1 do
+          match
+            Hw_task_manager.pin_prr hwtm ~prr_id:i
+              ~client_id:(List.nth owners (i mod List.length owners))
+          with
+          | Ok () -> ()
+          | Error e -> invalid_arg ("Partition.run: " ^ e)
+        done
+      end
+    done;
+  let cap =
+    Cycles.of_ms (500.0 +. (4.0 *. float_of_int (cfg.vms * cfg.jobs_per_vm)))
+  in
+  Smp.run smp ~until:cap;
+  if cfg.check then begin
+    if cfg.pcpus > 1 then
+      Invariant.raise_first_smp smp ~boundary:"partition_final"
+    else Invariant.raise_first (Smp.kernel smp 0) ~boundary:"partition_final"
+  end;
+  let sim_cycles = Smp.now smp in
+  let snap = Obs.snapshot (Smp.zynq smp 0).Zynq.obs in
+  let victim_cell =
+    List.find_opt
+      (fun (c : Obs.cell) ->
+         c.Obs.c_component = "virq_turnaround" && c.Obs.c_key = victim_pd)
+      snap.Obs.s_cells
+  in
+  let vp q =
+    match victim_cell with
+    | None -> 0.0
+    | Some c ->
+      (match Obs.cell_percentile c q with
+       | Some cyc -> Cycles.to_us (int_of_float cyc)
+       | None -> 0.0)
+  in
+  let node_sum f =
+    List.fold_left ( + ) 0 (List.init cfg.pcpus (fun cpu -> f cpu))
+  in
+  let prrs =
+    List.concat
+      (List.init cfg.pcpus (fun cpu ->
+           let hwtm = Kernel.hwtm (Smp.kernel smp cpu) in
+           let prrc = (Smp.zynq smp cpu).Zynq.prrc in
+           List.init (Prr_controller.prr_count prrc) (fun i ->
+               let p = Prr_controller.prr prrc i in
+               { prr_id = (cpu * Prr_controller.prr_count prrc) + i;
+                 pinned = Hw_task_manager.pinned_client hwtm i;
+                 busy_cycles = p.Prr.busy_cycles;
+                 util =
+                   (if sim_cycles = 0 then 0.0
+                    else
+                      float_of_int p.Prr.busy_cycles
+                      /. float_of_int sim_cycles) })))
+  in
+  let sum f = Array.fold_left (fun a st -> a + f st) 0 fleet_t in
+  { mode = cfg.mode;
+    chaos = cfg.chaos;
+    vms = cfg.vms;
+    pcpus = cfg.pcpus;
+    jobs_per_vm = cfg.jobs_per_vm;
+    jobs_submitted = sum (fun st -> st.sub);
+    jobs_ok = sum (fun st -> st.ok);
+    jobs_busy = sum (fun st -> st.busy);
+    jobs_denied = sum (fun st -> st.denied);
+    jobs_failed = sum (fun st -> st.failed);
+    requests =
+      node_sum (fun cpu ->
+          Hw_task_manager.requests (Kernel.hwtm (Smp.kernel smp cpu)));
+    reclaims =
+      node_sum (fun cpu ->
+          Hw_task_manager.reclaims (Kernel.hwtm (Smp.kernel smp cpu)));
+    reconfigs =
+      node_sum (fun cpu ->
+          Hw_task_manager.reconfigs (Kernel.hwtm (Smp.kernel smp cpu)));
+    recoveries =
+      node_sum (fun cpu ->
+          Hw_task_manager.recoveries (Kernel.hwtm (Smp.kernel smp cpu)));
+    pcap_transfers =
+      node_sum (fun cpu -> Pcap.transfers (Smp.zynq smp cpu).Zynq.pcap);
+    pcap_failures =
+      node_sum (fun cpu -> Pcap.failures (Smp.zynq smp cpu).Zynq.pcap);
+    victim_jobs = vstat.sub;
+    victim_ok = vstat.ok;
+    victim_dropped = vstat.failed;
+    victim_p50_us = vp 0.5;
+    victim_p99_us = vp 0.99;
+    prrs;
+    injected =
+      node_sum (fun cpu ->
+          Fault_plane.total_injected (Smp.zynq smp cpu).Zynq.faults);
+    crashes = Smp.crashes smp;
+    alive_after = Smp.alive_guests smp;
+    sim_ms = Cycles.to_ms sim_cycles;
+    sim_cycles }
+
+(* {2 The bench matrix} *)
+
+type tagged = { tag : string; t_config : config }
+
+let bench_matrix ?(seed = default_config.seed) ?(vms = default_config.vms)
+    ?(jobs = default_config.jobs_per_vm) ?(check = false)
+    ?(pcpus = default_config.pcpus) () =
+  List.concat_map
+    (fun mode ->
+       List.map
+         (fun chaos ->
+            { tag =
+                Printf.sprintf "%s/%s%s" (mode_name mode)
+                  (if chaos then "chaos" else "quiet")
+                  (if pcpus = 1 then "" else Printf.sprintf "/p%d" pcpus);
+              t_config =
+                { default_config with
+                  seed; vms; mode; chaos; jobs_per_vm = jobs; check; pcpus }
+            })
+         [ false; true ])
+    [ Hw_task_manager.Dynamic; Hw_task_manager.Static ]
+
+let sweep ?domains tagged =
+  Parallel_sweep.run ?domains
+    (List.map (fun t -> fun () -> (t.tag, run ~config:t.t_config ())) tagged)
+
+(* {2 Rendering} *)
+
+let pp_report ppf r =
+  if r.pcpus > 1 then Format.fprintf ppf "pcpus=%d " r.pcpus;
+  Format.fprintf ppf
+    "%s/%s vms=%d jobs=%d: %d submitted (%d ok, %d busy, %d denied, \
+     %d failed), manager %d requests %d reclaims %d reconfigs \
+     %d recoveries, pcap %d/%d ok, victim %d/%d ok p50/p99 %.1f/%.1f us, \
+     faults %d, crashes %d, sim %.0f ms@."
+    (mode_name r.mode)
+    (if r.chaos then "chaos" else "quiet")
+    r.vms r.jobs_per_vm r.jobs_submitted r.jobs_ok r.jobs_busy r.jobs_denied
+    r.jobs_failed r.requests r.reclaims r.reconfigs r.recoveries
+    (r.pcap_transfers - r.pcap_failures)
+    r.pcap_transfers r.victim_ok r.victim_jobs r.victim_p50_us
+    r.victim_p99_us r.injected r.crashes r.sim_ms
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.6g" f
+
+let report_json b r =
+  let add = Buffer.add_string b in
+  add
+    (Printf.sprintf
+       "{\"mode\": \"%s\", \"chaos\": %b, \"vms\": %d, \"pcpus\": %d, \
+        \"jobs_per_vm\": %d, \"jobs_submitted\": %d, \"jobs_ok\": %d, \
+        \"jobs_busy\": %d, \"jobs_denied\": %d, \"jobs_failed\": %d, \
+        \"manager\": {\"requests\": %d, \"reclaims\": %d, \
+        \"reconfigs\": %d, \"recoveries\": %d}, \"pcap\": \
+        {\"transfers\": %d, \"failures\": %d}, \"victim\": {\"jobs\": %d, \
+        \"ok\": %d, \"dropped\": %d, \"p50_us\": %s, \"p99_us\": %s}, \
+        \"prr_utilisation\": ["
+       (mode_name r.mode) r.chaos r.vms r.pcpus r.jobs_per_vm
+       r.jobs_submitted r.jobs_ok r.jobs_busy r.jobs_denied r.jobs_failed
+       r.requests r.reclaims r.reconfigs r.recoveries r.pcap_transfers
+       r.pcap_failures r.victim_jobs r.victim_ok r.victim_dropped
+       (json_float r.victim_p50_us) (json_float r.victim_p99_us));
+  List.iteri
+    (fun i p ->
+       if i > 0 then add ", ";
+       add
+         (Printf.sprintf
+            "{\"prr\": %d, \"pinned\": %s, \"busy_cycles\": %d, \
+             \"util\": %s}"
+            p.prr_id
+            (match p.pinned with
+             | Some c -> string_of_int c
+             | None -> "null")
+            p.busy_cycles (json_float p.util)))
+    r.prrs;
+  add
+    (Printf.sprintf
+       "], \"injected\": %d, \"crashes\": %d, \"alive_after\": %d, \
+        \"sim_ms\": %s, \"sim_cycles\": %d}"
+       r.injected r.crashes r.alive_after (json_float r.sim_ms)
+       r.sim_cycles)

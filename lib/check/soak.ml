@@ -24,6 +24,7 @@ type action =
   | A_probe of int
   | A_probe_cancel of int
   | A_ring_burst of { pick : int; n : int }
+  | A_task_churn of { kind : int }
 
 let profile_count = 5
 
@@ -35,6 +36,7 @@ let action_to_string = function
   | A_probe d -> Printf.sprintf "probe %d" d
   | A_probe_cancel k -> Printf.sprintf "probe-cancel %d" k
   | A_ring_burst { pick; n } -> Printf.sprintf "ring-burst %d %d" pick n
+  | A_task_churn { kind } -> Printf.sprintf "task-churn %d" kind
 
 let action_of_string s =
   match String.split_on_char ' ' (String.trim s) with
@@ -53,6 +55,8 @@ let action_of_string s =
   | [ "ring-burst"; p; n ] ->
     (try Some (A_ring_burst { pick = int_of_string p; n = int_of_string n })
      with Failure _ -> None)
+  | [ "task-churn"; k ] ->
+    Option.map (fun k -> A_task_churn { kind = k }) (int_of_string_opt k)
   | _ -> None
 
 type stats = {
@@ -288,6 +292,7 @@ let profile_name = function
 type world = {
   smp : Smp.t;
   tasks : Bitstream.id array;
+  mutable churned : Bitstream.id list;  (* oldest first; churn-only tasks *)
   probes : (int, int * Event_queue.id) Hashtbl.t;  (* key -> (cpu, id) *)
   mutable nprobes : int;
   mutable vm_seq : int;
@@ -319,8 +324,8 @@ let boot cfg =
     if pcpus > 1 then Invariant.attach_smp smp
     else Invariant.attach (Smp.kernel smp 0)
   end;
-  { smp; tasks; probes = Hashtbl.create 64; nprobes = 0; vm_seq = 0;
-    creates = 0; kills = 0; checks = 0 }
+  { smp; tasks; churned = []; probes = Hashtbl.create 64; nprobes = 0;
+    vm_seq = 0; creates = 0; kills = 0; checks = 0 }
 
 let live_guest_ids w =
   let ids = ref [] in
@@ -405,6 +410,30 @@ let apply cfg w = function
          wr (d + 24) (0x5000 + k)
        done;
        if m > 0 then wr sq ((tail + m) land 0xFFFFFFFF))
+  | A_task_churn { kind } ->
+    (* Register/destroy churn over the heterogeneous catalog: exercises
+       the bitstream-store recycler (free-list allocation, coalescing)
+       under a live fleet. Churned tasks are never handed to guests, so
+       destroys only fail while the store refuses — both refusals are
+       benign and deliberately tolerated. *)
+    let catalog =
+      [| Task_kind.Scramble 15; Task_kind.Digest 64;
+         Task_kind.Fft_stream 256; Task_kind.Matmul 8;
+         Task_kind.Fir 31; Task_kind.Qam 64 |]
+    in
+    (if List.length w.churned >= 4 then
+       match w.churned with
+       | oldest :: rest ->
+         (match Smp.destroy_hw_task w.smp oldest with
+          | Ok () -> w.churned <- rest
+          | Error _ -> ())
+       | [] -> ());
+    (match
+       Smp.try_register_hw_task w.smp
+         catalog.(kind mod Array.length catalog)
+     with
+     | Ok id -> w.churned <- w.churned @ [ id ]
+     | Error _ -> ())
 
 let stats_of cfg w ~actions =
   ignore cfg;
@@ -467,6 +496,7 @@ let gen_action rng =
   else if r < 28 then A_probe_cancel (Rng.int rng 1024)
   else if r < 33 then
     A_ring_burst { pick = Rng.int rng 1024; n = 1 + Rng.int rng 8 }
+  else if r < 37 then A_task_churn { kind = Rng.int rng 16 }
   else A_run (20 + Rng.int rng 400)
 
 let replay_raw cfg actions =

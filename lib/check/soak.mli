@@ -47,6 +47,10 @@ type action =
           live descriptor ring and publish the tail, without ringing
           the doorbell: kills racing an injected burst must reclaim
           the undrained descriptors *)
+  | A_task_churn of { kind : int }
+      (** register a catalog kind ([kind mod 6]) and destroy the oldest
+          churned task once four are live — steady register/destroy
+          pressure on the bitstream-store recycler *)
 
 val action_to_string : action -> string
 val action_of_string : string -> action option

@@ -24,6 +24,7 @@ type prr_row = {
   prr_id : int;
   mutable row_client : client option;
   mutable row_task : Bitstream.id option;
+  mutable row_pinned : int option;  (* static-partition owner client *)
   (* Graceful-degradation bookkeeping. *)
   mutable row_faults : int;         (* faults on the current allocation *)
   mutable consec_failures : int;    (* consecutive faults on this region *)
@@ -32,6 +33,15 @@ type prr_row = {
   mutable next_retry_at : Cycles.t; (* backoff deadline for the next one *)
   mutable viol_seen : int;          (* hwMMU violation baseline snapshot *)
 }
+
+(* Jailhouse-style static partitioning vs the paper's dynamic DPR
+   sharing. [Dynamic] is the default and the only mode the rest of the
+   kernel knew before the partition study — every path below is
+   bit-identical under it. Under [Static] each PRR belongs to at most
+   one client (set once at boot via [pin_prr]); allocation requests
+   from any other client fail fast with [Hw_denied] after scanning
+   only the requester's own rows. *)
+type partition = Dynamic | Static
 
 type policy = {
   mutable exec_timeout : Cycles.t;
@@ -74,9 +84,11 @@ type t = {
   tasks : (Bitstream.id, task_entry) Hashtbl.t;
   rows : prr_row array;
   policy : policy;
+  partition : partition;
   client_viols : (int, int) Hashtbl.t;
   mutable next_task_id : int;
   mutable store_next : Addr.t;
+  mutable store_free : (Addr.t * int) list; (* recycled ranges, by base *)
   mutable pcap_client : int option;
   mutable requests : int;
   mutable reclaims : int;
@@ -91,48 +103,137 @@ let reserved_bytes = 64
 let flag_offset = 0
 let saved_regs_offset = 4
 
-let create zynq =
+let create ?(partition = Dynamic) zynq =
   let n = Prr_controller.prr_count zynq.Zynq.prrc in
   { zynq;
     tasks = Hashtbl.create 16;
     rows = Array.init n (fun prr_id ->
-        { prr_id; row_client = None; row_task = None;
+        { prr_id; row_client = None; row_task = None; row_pinned = None;
           row_faults = 0; consec_failures = 0; quarantined_until = None;
           retry_count = 0; next_retry_at = 0; viol_seen = 0 });
     policy = default_policy ();
+    partition;
     client_viols = Hashtbl.create 8;
     next_task_id = 1;
     store_next = Address_map.bitstream_store_base;
+    store_free = [];
     pcap_client = None;
     requests = 0; reclaims = 0; reconfigs = 0;
     recoveries = 0; quarantines = 0; hang_resets = 0; retries = 0 }
 
 let policy t = t.policy
+let partition t = t.partition
+
+let pin_prr t ~prr_id ~client_id =
+  if prr_id < 0 || prr_id >= Array.length t.rows then
+    Error "pin_prr: bad PRR id"
+  else begin
+    t.rows.(prr_id).row_pinned <- Some client_id;
+    Ok ()
+  end
+
+let pinned_client t prr_id =
+  if prr_id < 0 || prr_id >= Array.length t.rows then None
+  else t.rows.(prr_id).row_pinned
+
+(* Bitstream-store allocator. The store is a bump region with a
+   free-list of page-aligned ranges recycled by [destroy_task]:
+   first-fit from the list, falling back to the bump pointer. Every
+   mutation happens only once the allocation is known to succeed, so
+   failed registrations leave the manager untouched. *)
+let store_alloc t size =
+  let need = Addr.align_up size Addr.page_size in
+  let rec take acc = function
+    | [] -> None
+    | (base, len) :: rest when len >= need ->
+      let remainder =
+        if len > need then [ (base + need, len - need) ] else []
+      in
+      t.store_free <- List.rev_append acc (remainder @ rest);
+      Some base
+    | r :: rest -> take (r :: acc) rest
+  in
+  match take [] t.store_free with
+  | Some base -> Some base
+  | None ->
+    let store_end =
+      Address_map.bitstream_store_base + Address_map.bitstream_store_size
+    in
+    if t.store_next + size > store_end then None
+    else begin
+      let base = t.store_next in
+      t.store_next <- Addr.align_up (t.store_next + size) Addr.page_size;
+      Some base
+    end
+
+(* Return a range to the free list, keeping it sorted by base and
+   coalescing with abutting neighbours so churn cannot fragment the
+   store into unusably small slivers. *)
+let store_release t base size =
+  let len = Addr.align_up size Addr.page_size in
+  let merged =
+    List.sort compare ((base, len) :: t.store_free)
+    |> List.fold_left
+      (fun acc (b, l) ->
+         match acc with
+         | (pb, pl) :: rest when pb + pl = b -> (pb, pl + l) :: rest
+         | _ -> (b, l) :: acc)
+      []
+  in
+  t.store_free <- List.rev merged
+
+let try_register_task t kind =
+  match Task_kind.validate kind with
+  | exception Invalid_argument m -> Error m
+  | () ->
+    let prr_list =
+      Array.to_list t.rows
+      |> List.filter_map (fun row ->
+          let prr = Prr_controller.prr t.zynq.Zynq.prrc row.prr_id in
+          if Prr.can_host prr kind then Some row.prr_id else None)
+    in
+    if prr_list = [] then
+      Error
+        (Printf.sprintf "Hw_task_manager: no PRR can host %s"
+           (Task_kind.name kind))
+    else begin
+      match store_alloc t (Bitstream.size_for kind) with
+      | None -> Error "Hw_task_manager: bitstream store full"
+      | Some store_addr ->
+        let id = t.next_task_id in
+        t.next_task_id <- id + 1;
+        let bit = Bitstream.make ~id ~kind ~store_addr in
+        Hashtbl.replace t.tasks id { bit; prr_list };
+        Ok id
+    end
 
 let register_task t kind =
+  (* Out-of-range kinds keep raising [Invalid_argument] as
+     [Task_kind.validate] always did; resource failures raise
+     [Failure] with the historical messages. Either way
+     [try_register_task] has left the manager unmutated. *)
   Task_kind.validate kind;
-  let prr_list =
-    Array.to_list t.rows
-    |> List.filter_map (fun row ->
-        let prr = Prr_controller.prr t.zynq.Zynq.prrc row.prr_id in
-        if Prr.can_host prr kind then Some row.prr_id else None)
-  in
-  if prr_list = [] then
-    failwith
-      (Printf.sprintf "Hw_task_manager: no PRR can host %s"
-         (Task_kind.name kind));
-  let id = t.next_task_id in
-  t.next_task_id <- id + 1;
-  let bit = Bitstream.make ~id ~kind ~store_addr:t.store_next in
-  let store_end =
-    Address_map.bitstream_store_base + Address_map.bitstream_store_size
-  in
-  if t.store_next + bit.Bitstream.size_bytes > store_end then
-    failwith "Hw_task_manager: bitstream store full";
-  t.store_next <-
-    Addr.align_up (t.store_next + bit.Bitstream.size_bytes) Addr.page_size;
-  Hashtbl.replace t.tasks id { bit; prr_list };
-  id
+  match try_register_task t kind with
+  | Ok id -> id
+  | Error m -> failwith m
+
+let task_allocated t id =
+  Array.exists (fun row -> row.row_task = Some id) t.rows
+
+let destroy_task t id =
+  match Hashtbl.find_opt t.tasks id with
+  | None -> Error "Hw_task_manager: destroy of unknown task"
+  | Some entry ->
+    if task_allocated t id then
+      Error "Hw_task_manager: destroy while task is allocated"
+    else begin
+      (* Task ids are never reused, so a stale copy of this bitstream
+         left loaded in a PRR can no longer match any future task. *)
+      Hashtbl.remove t.tasks id;
+      store_release t entry.bit.Bitstream.store_addr
+        entry.bit.Bitstream.size_bytes;
+      Ok ()
+    end
 
 let task_kind t id =
   Option.map (fun e -> e.bit.Bitstream.kind) (Hashtbl.find_opt t.tasks id)
@@ -200,7 +301,7 @@ let quarantined t row =
 (* PRR selection (Fig 7 stage 2): among the task's suitable PRRs that
    are idle and not quarantined, prefer one already holding the task,
    then an empty one, then one to reconfigure. *)
-let select_prr t entry =
+let select_prr t entry ~among =
   let candidates =
     List.filter_map
       (fun prr_id ->
@@ -211,7 +312,7 @@ let select_prr t entry =
            match prr.Prr.state with
            | Prr.Busy | Prr.Reconfiguring -> None
            | Prr.Empty | Prr.Ready -> Some (row, prr))
-      entry.prr_list
+      among
   in
   let loaded_with id (_, prr) =
     match prr.Prr.loaded with
@@ -241,7 +342,19 @@ let request t (cl : client) ~task ~want_irq =
     charge_exec t ~prrs_scanned:0;
     { status = Hyper.Hw_bad_task; prr = None; irq = None }
   | Some entry ->
-    charge_exec t ~prrs_scanned:(List.length entry.prr_list);
+    (* Static partitioning narrows the scan to the requester's own
+       pinned rows before any selection happens: a foreign-PRR request
+       pays for scanning zero rows and is denied outright. Dynamic
+       mode scans the task's full PRR list, exactly as before. *)
+    let eligible =
+      match t.partition with
+      | Dynamic -> entry.prr_list
+      | Static ->
+        List.filter
+          (fun prr_id -> t.rows.(prr_id).row_pinned = Some cl.client_id)
+          entry.prr_list
+    in
+    charge_exec t ~prrs_scanned:(List.length eligible);
     (* Idempotent: the client already holds this task. *)
     let already =
       Array.to_list t.rows
@@ -257,8 +370,10 @@ let request t (cl : client) ~task ~want_irq =
        let prr = Prr_controller.prr t.zynq.Zynq.prrc row.prr_id in
        { status = Hyper.Hw_success; prr = Some row.prr_id;
          irq = prr.Prr.irq_index }
+     | None when t.partition = Static && eligible = [] ->
+       { status = Hyper.Hw_denied; prr = None; irq = None }
      | None ->
-       match select_prr t entry with
+       match select_prr t entry ~among:eligible with
        | None -> { status = Hyper.Hw_busy; prr = None; irq = None }
        | Some (row, prr) ->
          let needs_reconfig =

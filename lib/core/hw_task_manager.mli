@@ -102,18 +102,53 @@ val reserved_bytes : int
 val flag_offset : int
 val saved_regs_offset : int
 
-val create : Zynq.t -> t
+(** PRR sharing discipline. [Dynamic] (default) is the paper's DPR
+    time-sharing: any client may be allocated any suitable PRR, with
+    reclaim/reconfiguration on demand. [Static] is the Jailhouse-style
+    baseline: each PRR is pinned to at most one client at boot
+    ({!pin_prr}) and requests that would land on a foreign PRR fail
+    fast with [Hw_denied]. *)
+type partition = Dynamic | Static
+
+val create : ?partition:partition -> Zynq.t -> t
 
 val policy : t -> policy
 (** The live policy record (mutate fields to tune). *)
 
+val partition : t -> partition
+
+val pin_prr : t -> prr_id:int -> client_id:int -> (unit, string) result
+(** Assign a PRR to a client for the lifetime of the static partition
+    (boot-time configuration; repinning overwrites). Only consulted in
+    [Static] mode. *)
+
+val pinned_client : t -> int -> int option
+(** The static owner of a PRR, if any. *)
+
 val register_task : t -> Task_kind.t -> Bitstream.id
 (** Add a task to the hardware task table: allocates space in the
     bitstream store, derives the suitable-PRR list from capacities.
+    Failure leaves the manager state untouched.
+    @raise Invalid_argument if the kind is out of its parameter range.
     @raise Failure if no PRR can host the kind or the store is full. *)
+
+val try_register_task : t -> Task_kind.t -> (Bitstream.id, string) result
+(** Non-raising {!register_task}: every failure (bad kind, no hosting
+    PRR, store exhausted) comes back as [Error] with the manager state
+    unmutated — the form hypercall paths use so a guest request can
+    never crash the simulation. *)
+
+val destroy_task : t -> Bitstream.id -> (unit, string) result
+(** Remove a task from the table and recycle its bitstream-store
+    range (page-aligned, coalesced with abutting free neighbours), so
+    register/destroy churn does not exhaust the store. Refused while
+    any client still holds the task. Task ids are never reused. *)
 
 val task_kind : t -> Bitstream.id -> Task_kind.t option
 val task_ids : t -> Bitstream.id list
+
+val task_allocated : t -> Bitstream.id -> bool
+(** Whether any client currently holds the task on a PRR row. *)
 
 val request : t -> client -> task:Bitstream.id -> want_irq:bool -> alloc_result
 (** The Fig 7 allocation routine (fully charged). A failed

@@ -143,7 +143,13 @@ let requests_v2 =
 
 let requests = requests_v1 @ requests_v2
 
-type hw_status = Hw_success | Hw_reconfig | Hw_busy | Hw_bad_task | Hw_fault
+type hw_status =
+  | Hw_success
+  | Hw_reconfig
+  | Hw_busy
+  | Hw_bad_task
+  | Hw_fault
+  | Hw_denied
 
 let hw_status_name = function
   | Hw_success -> "success"
@@ -151,6 +157,7 @@ let hw_status_name = function
   | Hw_busy -> "busy"
   | Hw_bad_task -> "bad-task"
   | Hw_fault -> "fault"
+  | Hw_denied -> "denied"
 
 type response =
   | R_unit

@@ -119,6 +119,9 @@ type hw_status =
   | Hw_fault     (** manager could not complete the request because of a
                      fault (e.g. the interface page could not be mapped);
                      retrying with the same arguments will fail again *)
+  | Hw_denied    (** static partitioning: none of the task's PRRs is
+                     pinned to the requesting VM — permanent for the
+                     current partition layout, do not retry *)
 
 type response =
   | R_unit

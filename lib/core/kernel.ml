@@ -8,6 +8,7 @@ type config = {
   tlb_policy : [ `Asid | `Flush_all ];
   kernel_tick : Cycles.t option;
   ring_admission : [ `Fifo | `Deadline ];
+  partition : Hw_task_manager.partition;
 }
 
 let default_config =
@@ -15,7 +16,8 @@ let default_config =
     vfp_policy = `Lazy;
     tlb_policy = `Asid;
     kernel_tick = Some (Cycles.of_ms 1.0);
-    ring_admission = `Fifo }
+    ring_admission = `Fifo;
+    partition = Hw_task_manager.Dynamic }
 
 type guest_env = {
   env_zynq : Zynq.t;
@@ -296,7 +298,7 @@ let slot_pin arr slot make =
 
 let boot ?(config = default_config) z =
   let kmem = Kmem.create z in
-  let hwtm = Hw_task_manager.create z in
+  let hwtm = Hw_task_manager.create ~partition:config.partition z in
   let mgr_pd =
     Pd.make ~id:0 ~name:"hwtm" ~kind:Pd.Service ~priority:6 ~asid:mgr_asid
       ~pt:(Kmem.kernel_pt kmem) ~phys_base:0 ~quantum:config.quantum ()
@@ -348,6 +350,7 @@ let hwtm t = t.hwtm
 let config t = t.cfg
 
 let register_hw_task t kind = Hw_task_manager.register_task t.hwtm kind
+let destroy_hw_task t id = Hw_task_manager.destroy_task t.hwtm id
 
 let create_vm t ~name ?id ?(priority = 1) ?(uses_vfp = false) main =
   (* Fail before consuming anything if a fresh resource would be
@@ -946,6 +949,7 @@ let hw_status_code = function
   | Hyper.Hw_busy -> 2
   | Hyper.Hw_bad_task -> 3
   | Hyper.Hw_fault -> 4
+  | Hyper.Hw_denied -> 6 (* 5 is err_status_code in ring CQEs *)
 
 let err_status_code = 5
 

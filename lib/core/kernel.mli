@@ -33,11 +33,17 @@ type config = {
       batch by the descriptor deadline key ([flags >> 1]) before the
       manager executes it. CQEs carry tags, so guests are unaffected
       beyond ordering. *)
+
+  partition : Hw_task_manager.partition;
+  (** PRR sharing discipline: [Dynamic] (default) is the paper's DPR
+      time-sharing; [Static] pins each PRR to one VM at boot
+      ([Hw_task_manager.pin_prr]) and denies foreign-PRR requests —
+      the Jailhouse-style baseline of the partition study. *)
 }
 
 val default_config : config
 (** 33 ms quantum, lazy VFP, ASID-tagged TLB, 1 ms kernel tick, FIFO
-    ring admission. *)
+    ring admission, dynamic partitioning. *)
 
 type t
 
@@ -77,6 +83,10 @@ val ring_virq : int
 
 val register_hw_task : t -> Task_kind.t -> Bitstream.id
 (** Add a bitstream to the Hardware Task Manager's store. *)
+
+val destroy_hw_task : t -> Bitstream.id -> (unit, string) result
+(** Remove a task and recycle its bitstream-store range
+    ([Hw_task_manager.destroy_task]); refused while allocated. *)
 
 val create_vm :
   t -> name:string -> ?id:int -> ?priority:int -> ?uses_vfp:bool ->

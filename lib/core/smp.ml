@@ -121,6 +121,50 @@ let register_hw_task t kind =
     ids;
   ids.(0)
 
+let try_register_hw_task t kind =
+  (* Mirror of [register_hw_task] for the non-raising path: probe the
+     first node, and only fan out once it accepts — the id spaces stay
+     in lockstep because every node sees the same sequence of
+     successful registrations. *)
+  match
+    Hw_task_manager.try_register_task (Kernel.hwtm t.nodes.(0).kern) kind
+  with
+  | Error _ as e -> e
+  | Ok id0 ->
+    Array.iteri
+      (fun i n ->
+         if i > 0 then begin
+           match
+             Hw_task_manager.try_register_task (Kernel.hwtm n.kern) kind
+           with
+           | Ok id when id = id0 -> ()
+           | Ok _ -> failwith "Smp: bitstream id skew"
+           | Error m -> failwith ("Smp: node registration skew: " ^ m)
+         end)
+      t.nodes;
+    Ok id0
+
+let destroy_hw_task t id =
+  (* Every node holds the same task table, but an allocation lives on
+     one node only — so check hold state complex-wide first, then
+     destroy everywhere or nowhere, keeping the tables in lockstep. *)
+  if
+    Array.exists
+      (fun n -> Hw_task_manager.task_allocated (Kernel.hwtm n.kern) id)
+      t.nodes
+  then Error "Hw_task_manager: destroy while task is allocated"
+  else begin
+    let results =
+      Array.map (fun n -> Kernel.destroy_hw_task n.kern id) t.nodes
+    in
+    Array.iter
+      (fun r ->
+         if (r = Ok ()) <> (results.(0) = Ok ()) then
+           failwith "Smp: destroy skew across nodes")
+      results;
+    results.(0)
+  end
+
 let create_vm t ~name ?cpu ?(priority = 1) ?(uses_vfp = false) main =
   if t.pcpus = 1 then begin
     (* Delegation: the kernel owns the id space, exactly as without

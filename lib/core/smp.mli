@@ -53,6 +53,14 @@ val register_hw_task : t -> Task_kind.t -> Bitstream.id
 (** Register the bitstream with every node's manager (each pCPU
     cluster has its own PL partition); ids agree across nodes. *)
 
+val try_register_hw_task : t -> Task_kind.t -> (Bitstream.id, string) result
+(** Non-raising {!register_hw_task}: a refusal (no hosting PRR, store
+    full) touches no node's state. *)
+
+val destroy_hw_task : t -> Bitstream.id -> (unit, string) result
+(** Destroy the task on every node, recycling its store range —
+    all-or-nothing: refused if any node still has it allocated. *)
+
 val run : t -> until:Cycles.t -> unit
 (** Simulate until every node's clock reaches [until] or all guests
     are dead. Cross-CPU delivery happens at epoch barriers only. *)

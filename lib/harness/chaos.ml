@@ -92,7 +92,8 @@ let run ?(config = default_config) ~guests () =
       vfp_policy = config.base.Scenario.vfp_policy;
       tlb_policy = config.base.Scenario.tlb_policy;
       kernel_tick = Some (Cycles.of_ms 1.0);
-      ring_admission = `Fifo }
+      ring_admission = `Fifo;
+      partition = Hw_task_manager.Dynamic }
   in
   let kern = Kernel.boot ~config:kcfg z in
   let trace = Ktrace.create ~capacity:65536 in

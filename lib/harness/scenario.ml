@@ -172,7 +172,8 @@ let run_job os rng h kind =
        if back <> bits then failwith "qam job: roundtrip mismatch";
        true
      | Error _ -> false)
-  | Task_kind.Fft points when points <= 1024 ->
+  | (Task_kind.Fft points | Task_kind.Fft_stream points)
+    when points <= 1024 ->
     let re = Array.init points (fun i -> sin (0.1 *. float_of_int i)) in
     let im = Array.make points 0.0 in
     (match Hw_task_api.run_fft os h ~inverse:false ~re ~im with
@@ -186,7 +187,48 @@ let run_job os rng h kind =
          failwith "fft job: result mismatch";
        true
      | Error _ -> false)
-  | Task_kind.Fft _ | Task_kind.Fir _ ->
+  | Task_kind.Scramble _ ->
+    (* Self-inverse: scrambling the scrambled block with the same seed
+       must restore the input. *)
+    let data = Array.init 256 (fun _ -> Rng.int rng 256) in
+    (match Hw_task_api.run_scramble os h ~seed:0x1D5B ~data with
+     | Ok once ->
+       (match Hw_task_api.run_scramble os h ~seed:0x1D5B ~data:once with
+        | Ok back ->
+          if back <> data then failwith "scramble job: roundtrip mismatch";
+          true
+        | Error _ -> false)
+     | Error _ -> false)
+  | Task_kind.Digest _ ->
+    (* Deterministic: the same block digests to the same 32 bytes. *)
+    let data = Array.init 128 (fun i -> (i * 37) land 0xff) in
+    (match Hw_task_api.run_digest os h ~tweak:7 ~data,
+           Hw_task_api.run_digest os h ~tweak:7 ~data with
+     | Ok a, Ok b ->
+       if a <> b then failwith "digest job: nondeterministic output";
+       true
+     | _ -> false)
+  | Task_kind.Matmul n when n <= 16 ->
+    let a =
+      Array.init (n * n) (fun i -> sin (0.3 *. float_of_int i))
+    in
+    (match Hw_task_api.run_matmul os h ~a with
+     | Ok c ->
+       let err = ref 0.0 in
+       for r = 0 to n - 1 do
+         for col = 0 to n - 1 do
+           let acc = ref 0.0 in
+           for k = 0 to n - 1 do
+             acc := !acc +. (a.((r * n) + k) *. a.((k * n) + col))
+           done;
+           err := Float.max !err (Float.abs (c.((r * n) + col) -. !acc))
+         done
+       done;
+       if !err > 0.01 then failwith "matmul job: result mismatch";
+       true
+     | Error _ -> false)
+  | Task_kind.Fft _ | Task_kind.Fft_stream _ | Task_kind.Fir _
+  | Task_kind.Matmul _ ->
     false (* not streamed in the measurement loop *)
 
 (* The tolerant variant: a fault surfaces as [Error _] (false) and a
@@ -201,7 +243,8 @@ let verified_job os rng h kind =
     (match Hw_task_api.run_qam_mod os h ~order ~bits with
      | Ok (i, q) -> Qam.demodulate (Qam.order_of_int order) ~i ~q = bits
      | Error _ -> false)
-  | Task_kind.Fft points when points <= 1024 ->
+  | (Task_kind.Fft points | Task_kind.Fft_stream points)
+    when points <= 1024 ->
     let re = Array.init points (fun i -> sin (0.1 *. float_of_int i)) in
     let im = Array.make points 0.0 in
     (match Hw_task_api.run_fft os h ~inverse:false ~re ~im with
@@ -211,7 +254,39 @@ let verified_job os rng h kind =
        Float.max (Fft.max_error hr sr) (Fft.max_error hi si)
        <= 0.05 *. float_of_int points
      | Error _ -> false)
-  | Task_kind.Fft _ | Task_kind.Fir _ -> false (* not streamable *)
+  | Task_kind.Scramble _ ->
+    let data = Array.init 256 (fun _ -> Rng.int rng 256) in
+    (match Hw_task_api.run_scramble os h ~seed:0x1D5B ~data with
+     | Ok once ->
+       (match Hw_task_api.run_scramble os h ~seed:0x1D5B ~data:once with
+        | Ok back -> back = data
+        | Error _ -> false)
+     | Error _ -> false)
+  | Task_kind.Digest _ ->
+    let data = Array.init 128 (fun i -> (i * 37) land 0xff) in
+    (match Hw_task_api.run_digest os h ~tweak:7 ~data,
+           Hw_task_api.run_digest os h ~tweak:7 ~data with
+     | Ok a, Ok b -> a = b
+     | _ -> false)
+  | Task_kind.Matmul n when n <= 16 ->
+    let a = Array.init (n * n) (fun i -> sin (0.3 *. float_of_int i)) in
+    (match Hw_task_api.run_matmul os h ~a with
+     | Ok c ->
+       let err = ref 0.0 in
+       for r = 0 to n - 1 do
+         for col = 0 to n - 1 do
+           let acc = ref 0.0 in
+           for k = 0 to n - 1 do
+             acc := !acc +. (a.((r * n) + k) *. a.((k * n) + col))
+           done;
+           err := Float.max !err (Float.abs (c.((r * n) + col) -. !acc))
+         done
+       done;
+       !err <= 0.01
+     | Error _ -> false)
+  | Task_kind.Fft _ | Task_kind.Fft_stream _ | Task_kind.Fir _
+  | Task_kind.Matmul _ ->
+    false (* not streamable *)
 
 (* T_hw: the paper's measurement task — pick a random hardware task,
    issue the request hypercall, sometimes exercise the task. *)
@@ -271,7 +346,8 @@ let run_virtualized_uni ~config ~guests () =
       vfp_policy = config.vfp_policy;
       tlb_policy = config.tlb_policy;
       kernel_tick = Some (Cycles.of_ms 1.0);
-      ring_admission = `Fifo }
+      ring_admission = `Fifo;
+      partition = Hw_task_manager.Dynamic }
   in
   let kern = Kernel.boot ~config:kcfg z in
   let tasks =
@@ -349,7 +425,8 @@ let run_virtualized_smp ~config ~guests () =
           vfp_policy = config.vfp_policy;
           tlb_policy = config.tlb_policy;
           kernel_tick = Some (Cycles.of_ms 1.0);
-          ring_admission = `Fifo }
+          ring_admission = `Fifo;
+          partition = Hw_task_manager.Dynamic }
       ~pcpus:config.pcpus
       ~mk_zynq:(fun cpu -> Zynq.create ~observe:config.observe ~cpu ())
       ()

@@ -217,7 +217,8 @@ let run ?(config = default_config) () =
           vfp_policy = `Lazy;
           tlb_policy = `Asid;
           kernel_tick = Some (Cycles.of_ms 1.0);
-          ring_admission = `Fifo }
+          ring_admission = `Fifo;
+      partition = Hw_task_manager.Dynamic }
       ~pcpus
       ~mk_zynq:(fun cpu ->
           Zynq.create ~fault_seed:(cfg.fault_seed + cpu)

@@ -1,11 +1,13 @@
 let gp_access_cycles = 40
 
+let burst_setup_cycles = 120
+
 (* 64-bit HP beats at 150 MHz fabric = 8 bytes per 4.4 CPU cycles,
    plus burst setup. *)
-let hp_transfer_cycles bytes = 120 + (bytes * 44 / 80)
+let hp_transfer_cycles bytes = burst_setup_cycles + (bytes * 44 / 80)
 
-let acp_transfer_cycles bytes ~l2 base =
-  (* Allocate the transfer's footprint into L2 (coherent path). *)
+(* Allocate a transfer's footprint into L2 (coherent ACP path). *)
+let acp_allocate ~l2 base bytes =
   let line = Addr.line_size in
   let first = Addr.line_base base in
   let last = Addr.line_base (base + (max bytes 1) - 1) in
@@ -13,6 +15,9 @@ let acp_transfer_cycles bytes ~l2 base =
   while !a <= last do
     ignore (Cache.access l2 !a ~write:true);
     a := !a + line
-  done;
+  done
+
+let acp_transfer_cycles bytes ~l2 base =
+  acp_allocate ~l2 base bytes;
   (* Slightly cheaper per beat than HP, same setup. *)
-  120 + (bytes * 40 / 80)
+  burst_setup_cycles + (bytes * 40 / 80)

@@ -16,7 +16,11 @@ type t = {
 
 val size_for : Task_kind.t -> int
 (** Representative .bit sizes: QAM ≈ 80 KB; FIR ≈ 100 KB + 1 KB per
-    tap; FFT grows from ≈250 KB (256-pt) to ≈600 KB (8192-pt). *)
+    tap; FFT grows from ≈250 KB (256-pt) to ≈600 KB (8192-pt); the
+    streaming FFT adds FIFO BRAM (≈320–670 KB); scrambler ≈ 71–95 KB;
+    digest ≈ 214–230 KB; matmul ≈ 396–508 KB. The catalog deliberately
+    spans ~71 KB–670 KB so PCAP reconfiguration latency varies by an
+    order of magnitude across kinds. *)
 
 val make : id:id -> kind:Task_kind.t -> store_addr:Addr.t -> t
 (** Build a descriptor with {!size_for} as size.

@@ -11,11 +11,14 @@ type job = {
   kind : Task_kind.t;
   src : Addr.t;   (** physical input base *)
   dst : Addr.t;   (** physical output base *)
-  len : int;      (** FFT: complex samples (multiple of the FFT size);
-                      QAM: number of bits (multiple of bits/symbol);
-                      FIR: real samples *)
-  param : int;    (** FFT bit0 = inverse; QAM bit0 = demodulate;
-                      FIR bit0 = highpass, bits 8–15 = cutoff·256 *)
+  len : int;      (** FFT/SFFT: complex samples (multiple of the FFT
+                      size); QAM: number of bits (multiple of
+                      bits/symbol); FIR: real samples; SCR: bytes;
+                      DIG: bytes (multiple of 64); MM: float32
+                      elements (multiple of n·n) *)
+  param : int;    (** FFT/SFFT bit0 = inverse; QAM bit0 = demodulate;
+                      FIR bit0 = highpass, bits 8–15 = cutoff·256;
+                      SCR = LFSR seed; DIG = initial tweak *)
 }
 
 val bytes_in : job -> int

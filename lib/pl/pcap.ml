@@ -50,31 +50,41 @@ let launch t bit prr =
         ~prr:prr.Prr.id
         ~candidates:[Fault_plane.Pcap_corrupt; Fault_plane.Pcap_abort]
     in
-    (match fault with
-     | Some Fault_plane.Pcap_corrupt ->
-       (* CRC failure detected once the whole stream is in. *)
-       ignore
-         (Event_queue.schedule_after t.queue d (fun () ->
-              finish_failed t prr ~elapsed:d))
-     | Some Fault_plane.Pcap_abort ->
-       (* DMA abort partway through. *)
-       let half = max 1 (d / 2) in
-       ignore
-         (Event_queue.schedule_after t.queue half (fun () ->
-              finish_failed t prr ~elapsed:half))
-     | Some _ | None ->
-       ignore
-         (Event_queue.schedule_after t.queue d (fun () ->
-              prr.Prr.loaded <- Some bit;
-              prr.Prr.state <- Prr.Ready;
-              Prr.write_reg prr Prr.Reg.task_id (Int32.of_int bit.Bitstream.id);
-              t.busy <- false;
-              t.last_completed <- Some bit.Bitstream.id;
-              t.transfers <- t.transfers + 1;
-              Obs.sample t.obs ~component:"pcap" ~key:prr.Prr.id ~cycles:d;
-              Obs.incr (Obs.counter t.obs "pcap.transfers");
-              Gic.raise_irq t.gic Irq_id.devcfg)));
-    `Started d
+    (* The returned duration is the cycle count until DevCfg actually
+       fires: a DMA abort completes (with error status) at d/2, not d —
+       callers using it for timeout/trace accounting would otherwise
+       overshoot the real completion by 2x. *)
+    let until_devcfg =
+      match fault with
+      | Some Fault_plane.Pcap_corrupt ->
+        (* CRC failure detected once the whole stream is in. *)
+        ignore
+          (Event_queue.schedule_after t.queue d (fun () ->
+               finish_failed t prr ~elapsed:d));
+        d
+      | Some Fault_plane.Pcap_abort ->
+        (* DMA abort partway through. *)
+        let half = max 1 (d / 2) in
+        ignore
+          (Event_queue.schedule_after t.queue half (fun () ->
+               finish_failed t prr ~elapsed:half));
+        half
+      | Some _ | None ->
+        ignore
+          (Event_queue.schedule_after t.queue d (fun () ->
+               prr.Prr.loaded <- Some bit;
+               prr.Prr.state <- Prr.Ready;
+               Prr.write_reg prr Prr.Reg.task_id
+                 (Int32.of_int bit.Bitstream.id);
+               t.busy <- false;
+               t.last_completed <- Some bit.Bitstream.id;
+               t.transfers <- t.transfers + 1;
+               Obs.sample t.obs ~component:"pcap" ~key:prr.Prr.id ~cycles:d;
+               Obs.incr (Obs.counter t.obs "pcap.transfers");
+               Gic.raise_irq t.gic Irq_id.devcfg));
+        d
+    in
+    `Started until_devcfg
   end
 
 let busy t = t.busy

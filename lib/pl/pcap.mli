@@ -29,7 +29,10 @@ val launch : t -> Bitstream.t -> Prr.t -> [ `Started of Cycles.t | `Busy ]
 (** Begin reconfiguring [prr] with [bitstream]. On success the PRR
     enters [Reconfiguring]; at completion it becomes [Ready] with the
     task loaded, its TASK_ID register updated, and {!Irq_id.devcfg}
-    raised. Returns the transfer latency, or [`Busy] when a transfer
+    raised. Returns the cycle count until DevCfg actually fires: the
+    full transfer latency normally, or {e half} of it when an armed
+    fault plane aborts the DMA partway through — so callers can use it
+    for timeout/trace accounting either way. [`Busy] when a transfer
     is already in flight. *)
 
 val busy : t -> bool

@@ -130,8 +130,34 @@ let start_job t prr =
          prr.Prr.job_gen <- prr.Prr.job_gen + 1;
          Prr.set_status_bit prr 0 true;
          let latency =
-           dma_cycles t (in_bytes + out_bytes) job.Ip_core.src
-           + Task_kind.compute_cycles job.Ip_core.kind (Ip_core.items job)
+           match job.Ip_core.kind with
+           | Task_kind.Fft_stream points ->
+             (* Stage-accurate streaming path: DMA beats and butterfly
+                stages overlap, so the lump-sum dma + compute formula
+                is replaced wholesale by the pipeline recurrence. Burst
+                setup is still charged once per direction, and the ACP
+                write path keeps its L2 write-allocate side effect
+                (with a 2-cycle drain beat — the round trip the paper
+                rejected ACP for — which the FIFO model turns into
+                visible upstream backpressure). *)
+             let samples = Ip_core.items job in
+             let in_beat, out_beat =
+               match t.port with
+               | Hp -> 1, 1
+               | Acp ->
+                 Axi.acp_allocate ~l2:(Hierarchy.l2 t.hier)
+                   job.Ip_core.dst out_bytes;
+                 1, 2
+             in
+             let fabric =
+               Stream_fft.job_cycles ~points ~samples ~in_beat ~out_beat ()
+             in
+             (2 * Axi.burst_setup_cycles)
+             + Task_kind.cpu_cycles (float_of_int fabric)
+           | Task_kind.Fft _ | Task_kind.Qam _ | Task_kind.Fir _
+           | Task_kind.Scramble _ | Task_kind.Digest _ | Task_kind.Matmul _ ->
+             dma_cycles t (in_bytes + out_bytes) job.Ip_core.src
+             + Task_kind.compute_cycles job.Ip_core.kind (Ip_core.items job)
          in
          let gen = prr.Prr.job_gen in
          match fault with

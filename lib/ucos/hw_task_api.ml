@@ -87,6 +87,10 @@ let acquire os ~task ?iface_vaddr ?data_vaddr
     | Hyper.R_error e -> Error e
     | Hyper.R_hw { status = Hyper.Hw_bad_task; _ } -> Error "unknown task id"
     | Hyper.R_hw { status = Hyper.Hw_fault; _ } -> Error "manager fault"
+    | Hyper.R_hw { status = Hyper.Hw_denied; _ } ->
+      (* Static partitioning: no pinned PRR can host the task. The
+         denial is permanent for the current layout, so never retry. *)
+      Error "denied by static partition"
     | Hyper.R_hw { status = Hyper.Hw_busy; _ } ->
       if tries <= 0 then Error "hardware busy"
       else begin
@@ -252,6 +256,33 @@ let run_fir os h ~response ~samples =
       ~write_in:(fun off -> write_reals os h ~off samples)
       ~in_bytes:(4 * n) ~out_bytes:(4 * n) ~len:n ~param:(fir_param response)
       ~read_out:(fun off -> read_reals os h ~off n)
+
+let run_scramble os h ~seed ~data =
+  let n = Array.length data in
+  if n = 0 then Error "empty input"
+  else
+    run_job os h
+      ~write_in:(fun off -> write_bits os h ~off data)
+      ~in_bytes:n ~out_bytes:n ~len:n ~param:seed
+      ~read_out:(fun off -> read_bits os h ~off n)
+
+let run_digest os h ~tweak ~data =
+  let n = Array.length data in
+  if n = 0 || n mod 64 <> 0 then Error "input not a 64-byte multiple"
+  else
+    run_job os h
+      ~write_in:(fun off -> write_bits os h ~off data)
+      ~in_bytes:n ~out_bytes:32 ~len:n ~param:tweak
+      ~read_out:(fun off -> read_bits os h ~off 32)
+
+let run_matmul os h ~a =
+  let len = Array.length a in
+  if len = 0 then Error "empty input"
+  else
+    run_job os h
+      ~write_in:(fun off -> write_reals os h ~off a)
+      ~in_bytes:(4 * len) ~out_bytes:(4 * len) ~len ~param:0
+      ~read_out:(fun off -> read_reals os h ~off len)
 
 let run_qam_demod os h ~order ~i ~q =
   let bps = Qam.bits_per_symbol (Qam.order_of_int order) in

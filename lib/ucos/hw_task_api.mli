@@ -95,3 +95,22 @@ val run_fir :
   Ucos.t -> t -> response:Fir.response -> samples:float array ->
   (float array, string) result
 (** Filter a block of real samples through an acquired FIR task. *)
+
+val run_scramble :
+  Ucos.t -> t -> seed:int -> data:int array -> (int array, string) result
+(** XOR a byte block with the scrambler keystream ([seed] programs the
+    LFSR via PARAM). Running the output back through with the same
+    seed restores the input — the verification the scrambler guests
+    use. *)
+
+val run_digest :
+  Ucos.t -> t -> tweak:int -> data:int array -> (int array, string) result
+(** Digest a byte block (length a multiple of 64) into 32 output
+    bytes. *)
+
+val run_matmul :
+  Ucos.t -> t -> a:float array -> (float array, string) result
+(** Square the n×n row-major float32 matrix [a] (length a multiple of
+    n·n for the acquired MM-n task). [run_fft] works unchanged for
+    streaming-FFT (SFFT) tasks — the data layout is identical; only
+    the timing model differs. *)

@@ -18,6 +18,7 @@ let status_busy = 2
 let status_bad_task = 3
 let status_fault = 4
 let status_error = 5
+let status_denied = 6
 
 let status_name = function
   | 0 -> "success"
@@ -25,6 +26,7 @@ let status_name = function
   | 2 -> "busy"
   | 3 -> "bad_task"
   | 4 -> "fault"
+  | 6 -> "denied"
   | _ -> "error"
 
 let mask32 = 0xFFFFFFFF

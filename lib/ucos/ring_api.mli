@@ -34,6 +34,10 @@ val status_bad_task : int
 val status_fault : int
 val status_error : int
 
+val status_denied : int
+(** Static partitioning refused the request ([Hyper.Hw_denied]) —
+    permanent for the current PRR layout, not worth retrying. *)
+
 val status_name : int -> string
 
 val setup :

@@ -251,6 +251,32 @@ let test_native_and_virt_results_agree () =
   let rn = run_one native and rv = run_one virt in
   check cb "identical spectra" true (rn = rv && Array.length rn = 256)
 
+let test_stream_fft_fastpath_identity () =
+  (* The event-queue fastpath must not change a single cycle of the
+     stage-accurate streaming-FFT pipeline — run the same SFFT job end
+     to end with the fastpath on and off and compare final clocks. *)
+  let run_one ~fast =
+    let z = Zynq.create () in
+    if not fast then Fastpath.set_enabled z.Zynq.fast false;
+    let kern = Kernel.boot z in
+    let id = Kernel.register_hw_task kern (Task_kind.Fft_stream 256) in
+    guest kern "sfft" (fun os ->
+        match Hw_task_api.acquire os ~task:id ~want_irq:true () with
+        | Error e -> failwith e
+        | Ok h ->
+          let re = Array.init 256 (fun i -> cos (0.05 *. float_of_int i)) in
+          let im = Array.make 256 0.0 in
+          (match Hw_task_api.run_fft os h ~inverse:false ~re ~im with
+           | Ok _ -> ()
+           | Error e -> failwith e);
+          Hw_task_api.release os h);
+    run kern;
+    (Clock.now z.Zynq.clock : Cycles.t)
+  in
+  let cf = run_one ~fast:true and cs = run_one ~fast:false in
+  check cb "board made progress" true (cf > 0);
+  check ci "fastpath on/off cycle-identical" cs cf
+
 let suite =
   let t n f = Alcotest.test_case n `Quick f in
   ( "hw_task_api",
@@ -263,4 +289,5 @@ let suite =
       t "release frees prr" test_release_frees_prr;
       t "acquire idempotent" test_acquire_is_idempotent;
       t "fir through vm" test_fir_through_vm;
-      t "native and virt agree" test_native_and_virt_results_agree ] )
+      t "native and virt agree" test_native_and_virt_results_agree;
+      t "stream fft fastpath identity" test_stream_fft_fastpath_identity ] )

@@ -5,11 +5,11 @@ let check = Alcotest.check
 let ci = Alcotest.int
 let cb = Alcotest.bool
 
-let setup ?prr_capacities () =
+let setup ?prr_capacities ?partition () =
   let z = Zynq.create ?prr_capacities () in
   (* The manager's footprints run in a kernel-mapped address space. *)
   ignore (Kmem.create z);
-  let hwtm = Hw_task_manager.create z in
+  let hwtm = Hw_task_manager.create ?partition z in
   (z, hwtm)
 
 let plain_client ?(id = 7) z =
@@ -182,6 +182,123 @@ let test_pcap_client_tracked () =
     (Some 5)
     (Hw_task_manager.pcap_client hwtm)
 
+(* Regression: a refused registration must leave the manager exactly
+   as it was — no id burned, no table entry, no store space lost. The
+   old code bumped the id counter and allocated store space before the
+   suitability check, then failwith'd. *)
+let test_register_failure_mutation_free () =
+  let _, hwtm = setup ~prr_capacities:[ 200; 200 ] () in
+  let q = Hw_task_manager.register_task hwtm (Task_kind.Qam 4) in
+  (match Hw_task_manager.try_register_task hwtm (Task_kind.Fft 1024) with
+   | Ok _ -> Alcotest.fail "FFT-1024 must not fit a 200-unit board"
+   | Error m ->
+     check Alcotest.string "capacity message"
+       "Hw_task_manager: no PRR can host FFT-1024" m);
+  check (Alcotest.list ci) "table untouched" [ q ]
+    (Hw_task_manager.task_ids hwtm);
+  check cb "bad kind refused without raising" true
+    (Result.is_error
+       (Hw_task_manager.try_register_task hwtm (Task_kind.Qam 5)));
+  check (Alcotest.list ci) "table still untouched" [ q ]
+    (Hw_task_manager.task_ids hwtm);
+  (* Neither failure burned a task id. *)
+  let q2 = Hw_task_manager.register_task hwtm (Task_kind.Qam 16) in
+  check ci "next id sequential" (q + 1) q2
+
+(* Regression: fill the bitstream store to refusal, then verify the
+   failure mutated nothing and that destroying a task recycles its
+   range. *)
+let test_store_full_then_recycle () =
+  let _, hwtm = setup () in
+  (* SFFT-8192 bitstreams are 670 KB: the store fills after a few
+     dozen registrations. *)
+  let ids = ref [] in
+  let full = ref None in
+  while !full = None do
+    match
+      Hw_task_manager.try_register_task hwtm (Task_kind.Fft_stream 8192)
+    with
+    | Ok id -> ids := id :: !ids
+    | Error m -> full := Some m
+  done;
+  let n = List.length !ids in
+  check cb "store filled after a few dozen" true (n > 20 && n < 100);
+  check (Alcotest.option Alcotest.string) "store-full error"
+    (Some "Hw_task_manager: bitstream store full") !full;
+  check ci "failure registered nothing" n
+    (List.length (Hw_task_manager.task_ids hwtm));
+  let highest = List.hd !ids in
+  (* Recycle one range: registration works again, with a fresh id —
+     ids are never reused, so stale loaded copies stay harmless. *)
+  (match Hw_task_manager.destroy_task hwtm (List.nth !ids (n - 1)) with
+   | Ok () -> ()
+   | Error m -> Alcotest.fail m);
+  (match
+     Hw_task_manager.try_register_task hwtm (Task_kind.Fft_stream 8192)
+   with
+   | Ok id -> check cb "ids never reused" true (id > highest)
+   | Error m -> Alcotest.fail m)
+
+let test_destroy_guards () =
+  let z, hwtm = setup () in
+  check cb "unknown destroy refused" true
+    (Result.is_error (Hw_task_manager.destroy_task hwtm 999));
+  let qam = Hw_task_manager.register_task hwtm (Task_kind.Qam 4) in
+  ignore
+    (Hw_task_manager.request hwtm (plain_client ~id:1 z) ~task:qam
+       ~want_irq:false);
+  settle z;
+  check cb "task is held" true (Hw_task_manager.task_allocated hwtm qam);
+  check cb "held task cannot be destroyed" true
+    (Result.is_error (Hw_task_manager.destroy_task hwtm qam));
+  ignore (Hw_task_manager.release hwtm ~client_id:1 ~task:qam);
+  check cb "released task destroys" true
+    (Result.is_ok (Hw_task_manager.destroy_task hwtm qam));
+  check (Alcotest.list ci) "table empty" []
+    (Hw_task_manager.task_ids hwtm)
+
+let test_static_partition_denies_foreign () =
+  let z, hwtm = setup ~partition:Hw_task_manager.Static () in
+  check cb "mode recorded" true
+    (Hw_task_manager.partition hwtm = Hw_task_manager.Static);
+  let qam = Hw_task_manager.register_task hwtm (Task_kind.Qam 4) in
+  (* Nothing pinned yet: every request fails fast. *)
+  let r0 =
+    Hw_task_manager.request hwtm (plain_client ~id:2 z) ~task:qam
+      ~want_irq:false
+  in
+  check cb "unpinned board denies" true
+    (r0.Hw_task_manager.status = Hyper.Hw_denied);
+  check Alcotest.string "denied status name" "denied"
+    (Hyper.hw_status_name Hyper.Hw_denied);
+  check cb "pin out of range refused" true
+    (Result.is_error
+       (Hw_task_manager.pin_prr hwtm ~prr_id:99 ~client_id:1));
+  for i = 0 to Prr_controller.prr_count z.Zynq.prrc - 1 do
+    match Hw_task_manager.pin_prr hwtm ~prr_id:i ~client_id:1 with
+    | Ok () -> ()
+    | Error m -> Alcotest.fail m
+  done;
+  check (Alcotest.option ci) "owner readable" (Some 1)
+    (Hw_task_manager.pinned_client hwtm 0);
+  let r2 =
+    Hw_task_manager.request hwtm (plain_client ~id:2 z) ~task:qam
+      ~want_irq:false
+  in
+  check cb "foreign request denied" true
+    (r2.Hw_task_manager.status = Hyper.Hw_denied);
+  let r1 =
+    Hw_task_manager.request hwtm (plain_client ~id:1 z) ~task:qam
+      ~want_irq:false
+  in
+  check cb "owner request proceeds" true
+    (r1.Hw_task_manager.status = Hyper.Hw_reconfig)
+
+let test_dynamic_is_default () =
+  let _, hwtm = setup () in
+  check cb "default mode dynamic" true
+    (Hw_task_manager.partition hwtm = Hw_task_manager.Dynamic)
+
 let suite =
   let t n f = Alcotest.test_case n `Quick f in
   ( "hw_task_manager",
@@ -195,4 +312,9 @@ let suite =
       t "reclaim consistency block" test_reclaim_saves_consistency_block;
       t "hwmmu follows client" test_hwmmu_window_follows_client;
       t "release requires holder" test_release_requires_holder;
-      t "pcap client tracked" test_pcap_client_tracked ] )
+      t "pcap client tracked" test_pcap_client_tracked;
+      t "register failure mutation-free" test_register_failure_mutation_free;
+      t "store full then recycle" test_store_full_then_recycle;
+      t "destroy guards" test_destroy_guards;
+      t "static partition denies foreign" test_static_partition_denies_foreign;
+      t "dynamic is default" test_dynamic_is_default ] )

@@ -15,6 +15,64 @@ let test_task_kind_validate () =
     (Invalid_argument "Task_kind: QAM order must be 4, 16 or 64") (fun () ->
         Task_kind.validate (Task_kind.Qam 8))
 
+(* Boundary sweep of the heterogeneous catalog's parameter ranges. *)
+let test_new_kind_boundaries () =
+  List.iter Task_kind.validate
+    [ Task_kind.Fft_stream 256; Task_kind.Fft_stream 8192;
+      Task_kind.Scramble 7; Task_kind.Scramble 31;
+      Task_kind.Digest 64; Task_kind.Digest 80;
+      Task_kind.Matmul 8; Task_kind.Matmul 64 ];
+  let bad msg k =
+    Alcotest.check_raises (Task_kind.name k) (Invalid_argument msg)
+      (fun () -> Task_kind.validate k)
+  in
+  let sfft = "Task_kind: SFFT points must be a power of two in 256-8192" in
+  bad sfft (Task_kind.Fft_stream 128);
+  bad sfft (Task_kind.Fft_stream 16384);
+  bad sfft (Task_kind.Fft_stream 300);
+  let scr = "Task_kind: scrambler LFSR degree must be in 7-31" in
+  bad scr (Task_kind.Scramble 6);
+  bad scr (Task_kind.Scramble 32);
+  let dig = "Task_kind: digest rounds must be 64 or 80" in
+  bad dig (Task_kind.Digest 63);
+  bad dig (Task_kind.Digest 72);
+  let mm = "Task_kind: matmul order must be a power of two in 8-64" in
+  bad mm (Task_kind.Matmul 4);
+  bad mm (Task_kind.Matmul 128);
+  bad mm (Task_kind.Matmul 12);
+  check Alcotest.string "sfft name" "SFFT-1024"
+    (Task_kind.name (Task_kind.Fft_stream 1024));
+  check Alcotest.string "scrambler name" "SCR-23"
+    (Task_kind.name (Task_kind.Scramble 23))
+
+let test_new_bitstream_sizes () =
+  let kb = 1024 in
+  (* The catalog's footprint spread: the scrambler is the smallest
+     core in the store, the 8K streaming FFT the largest. *)
+  check ci "smallest core 71 KB" (71 * kb)
+    (Bitstream.size_for (Task_kind.Scramble 7));
+  check ci "largest core 670 KB" (670 * kb)
+    (Bitstream.size_for (Task_kind.Fft_stream 8192));
+  check ci "sfft-256" (320 * kb)
+    (Bitstream.size_for (Task_kind.Fft_stream 256));
+  check ci "digest-64" (214 * kb) (Bitstream.size_for (Task_kind.Digest 64));
+  check ci "digest-80" (230 * kb) (Bitstream.size_for (Task_kind.Digest 80));
+  check ci "matmul-64" (508 * kb) (Bitstream.size_for (Task_kind.Matmul 64));
+  (* Monotone in the parameter within each family. *)
+  let mono k1 k2 =
+    check cb "size monotone" true
+      (Bitstream.size_for k1 < Bitstream.size_for k2)
+  in
+  mono (Task_kind.Fft_stream 256) (Task_kind.Fft_stream 512);
+  mono (Task_kind.Scramble 7) (Task_kind.Scramble 31);
+  mono (Task_kind.Matmul 8) (Task_kind.Matmul 16);
+  (* Only the big PRRs (1300 units) can host the streaming FFT. *)
+  check cb "sfft-8192 needs a big region" true
+    (Task_kind.resource_units (Task_kind.Fft_stream 8192) > 1200
+     && Task_kind.resource_units (Task_kind.Fft_stream 8192) <= 1300);
+  check cb "scrambler fits a small region" true
+    (Task_kind.resource_units (Task_kind.Scramble 31) < 200)
+
 let test_task_kind_resources () =
   check cb "fft bigger than qam" true
     (Task_kind.resource_units (Task_kind.Fft 256)
@@ -165,6 +223,68 @@ let test_pcap_latency_ordering () =
   check cb "bigger bitstream, longer download" true
     (Pcap.transfer_cycles big > Pcap.transfer_cycles small)
 
+(* Regression: an aborted DMA fires DevCfg at d/2 — [`Started] must
+   carry that cycle count, not the full transfer latency (callers use
+   it for timeout/trace accounting). Fault choice is seed-driven, so
+   sweep seeds until both failure modes have been exercised. *)
+let test_pcap_abort_reports_real_completion () =
+  let bit =
+    Bitstream.make ~id:1 ~kind:(Task_kind.Fft 1024) ~store_addr:0x1000
+  in
+  let d = Pcap.transfer_cycles bit in
+  let seen_abort = ref false and seen_corrupt = ref false in
+  let seed = ref 0 in
+  while (not (!seen_abort && !seen_corrupt)) && !seed < 64 do
+    let z = Zynq.create ~fault_seed:!seed ~fault_rate:1.0 () in
+    let prr = Prr_controller.prr z.Zynq.prrc 0 in
+    (match Pcap.launch z.Zynq.pcap bit prr with
+     | `Busy -> Alcotest.fail "should start"
+     | `Started u ->
+       check cb "duration is d (corrupt) or d/2 (abort)" true
+         (u = d || u = max 1 (d / 2));
+       if u < d then begin
+         seen_abort := true;
+         ignore (Event_queue.advance_until z.Zynq.queue (u - 1));
+         check ci "no failure before the reported cycle" 0
+           (Pcap.failures z.Zynq.pcap);
+         ignore (Event_queue.advance_until z.Zynq.queue u);
+         check ci "failed exactly at the reported cycle" 1
+           (Pcap.failures z.Zynq.pcap);
+         check cb "channel free again" false (Pcap.busy z.Zynq.pcap)
+       end
+       else seen_corrupt := true);
+    incr seed
+  done;
+  check cb "abort case exercised" true !seen_abort;
+  check cb "corrupt case exercised" true !seen_corrupt
+
+(* --- streaming FFT timing model --- *)
+
+let test_stream_fft_model () =
+  check cb "fill latency grows with points" true
+    (Stream_fft.fill_latency 1024 > Stream_fft.fill_latency 256);
+  check ci "fill latency closed form" (255 + (4 * 8))
+    (Stream_fft.fill_latency 256);
+  let j ?fifo_depth ~samples ~out_beat () =
+    Stream_fft.job_cycles ?fifo_depth ~points:256 ~samples ~in_beat:1
+      ~out_beat ()
+  in
+  (* One sample per fabric cycle once the pipe is full. *)
+  let c1 = j ~samples:1024 ~out_beat:1 () in
+  let c2 = j ~samples:2048 ~out_beat:1 () in
+  check ci "steady state streams 1 sample/cycle" 1024 (c2 - c1);
+  (* A slow drain (ACP write beat) backpressures the whole pipe: the
+     job stretches to ~2 cycles/sample, which a lump-sum dma+compute
+     model cannot show. *)
+  let s1 = j ~samples:2048 ~out_beat:2 () in
+  check cb "slow drain visible upstream" true (s1 > c2 + 1024);
+  (* Deeper inter-stage FIFOs only ever help (they absorb transients;
+     steady-state throughput is bound by the slowest element). *)
+  let s2 = j ~fifo_depth:64 ~samples:2048 ~out_beat:2 () in
+  check cb "deeper fifos never hurt" true (s2 <= s1);
+  check ci "empty job costs nothing" 0
+    (Stream_fft.job_cycles ~points:256 ~samples:0 ~in_beat:1 ~out_beat:1 ())
+
 (* --- PRR controller --- *)
 
 let load_task z prr_id kind =
@@ -298,8 +418,10 @@ let suite =
   let t n f = Alcotest.test_case n `Quick f in
   ( "pl",
     [ t "task kind validate" test_task_kind_validate;
+      t "new kind boundaries" test_new_kind_boundaries;
       t "task kind resources" test_task_kind_resources;
       t "bitstream sizes" test_bitstream_sizes;
+      t "new bitstream sizes" test_new_bitstream_sizes;
       t "hw mmu" test_hw_mmu;
       t "prr registers" test_prr_registers;
       t "ip core fft" test_ip_core_fft_functional;
@@ -308,6 +430,9 @@ let suite =
       t "ip core validation" test_ip_core_validation;
       t "pcap transfer" test_pcap_transfer;
       t "pcap latency ordering" test_pcap_latency_ordering;
+      t "pcap abort reports real completion"
+        test_pcap_abort_reports_real_completion;
+      t "stream fft model" test_stream_fft_model;
       t "controller decode" test_controller_decode;
       t "controller job" test_controller_job;
       t "controller hwmmu refusal" test_controller_hwmmu_refusal;
